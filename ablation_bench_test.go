@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/bind"
+	"repro/internal/cg"
+	"repro/internal/ctrlgen"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/paperex"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// paperexFig10 narrows the import for the incremental bench.
+func paperexFig10() *cg.Graph { return paperex.Fig10() }
+
+// BenchmarkAblation_ConflictResolution compares the two conflict
+// resolution strategies of the Hebe-style flow (§VII: "Both heuristic and
+// exact branch and bound search ... can be used") on a design with heavy
+// adder sharing.
+func BenchmarkAblation_ConflictResolution(b *testing.B) {
+	const src = `
+process p (a0, a1, a2, a3, o)
+    in port a0[8], a1[8], a2[8], a3[8];
+    out port o[8];
+    boolean w[8], x[8], y[8], z[8];
+    w = a0 + 1;
+    x = a1 + 1;
+    y = a2 + 1;
+    z = a3 + 1;
+    write o = (w | x) & (y | z);
+`
+	for _, mode := range []struct {
+		name string
+		m    bind.ResolveMode
+	}{{"heuristic", bind.Heuristic}, {"exact", bind.Exact}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := synth.SynthesizeSource(src, synth.Options{
+					Limits:      map[string]int{"add": 1},
+					ResolveMode: mode.m,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ExpressionDecomposition measures the cost of the
+// three-address lowering (finer scheduling granularity vs. larger graphs)
+// on the DCT phase B design.
+func BenchmarkAblation_ExpressionDecomposition(b *testing.B) {
+	src := designs.DCTPhaseB().Source
+	for _, dec := range []bool{false, true} {
+		dec := dec
+		b.Run(fmt.Sprintf("decompose=%v", dec), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.SynthesizeSource(src, synth.Options{Decompose: dec}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_MakeWellposed measures ill-posedness analysis and
+// repair on random graphs that allow ill-posed constraints.
+func BenchmarkAblation_MakeWellposed(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		cfg := randgraph.Default()
+		cfg.N = n
+		cfg.AllowIllPosed = true
+		cfg.MaxConstraints = 8
+		b.Run(fmt.Sprintf("V=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			pool := make([]*cg.Graph, 0, 8)
+			for tries := 0; len(pool) < 8 && tries < 200; tries++ {
+				g := randgraph.Generate(cfg, rng)
+				if relsched.CheckFeasible(g) == nil && !g.HasUnboundedCycle() {
+					pool = append(pool, g)
+				}
+			}
+			if len(pool) == 0 {
+				b.Fatal("no repairable graphs generated")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := relsched.MakeWellPosed(pool[i%len(pool)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_GateElaboration measures lowering the gcd control to
+// gates and simulating 64 cycles of the netlist, per style.
+func BenchmarkAblation_GateElaboration(b *testing.B) {
+	res, err := designs.GCD().Synthesize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := res.TopResult().Schedule
+	for _, style := range []ctrlgen.Style{ctrlgen.Counter, ctrlgen.ShiftRegister} {
+		style := style
+		b.Run(style.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := ctrlgen.Synthesize(sched, relsched.IrredundantAnchors, style)
+				gc := c.Elaborate()
+				s, err := netlist.NewSimulator(gc.Netlist)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for cyc := 0; cyc < 64; cyc++ {
+					for _, sig := range gc.Done {
+						s.Set(sig, cyc > 4)
+					}
+					s.Step()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SlackAnalysis measures slack computation over the
+// scheduled benchmark designs.
+func BenchmarkAblation_SlackAnalysis(b *testing.B) {
+	res, err := designs.Frisc().Synthesize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range res.Order {
+			res.Graphs[g].Schedule.ComputeSlack()
+		}
+	}
+}
+
+// BenchmarkAblation_AdaptiveControl measures the modular FSM network
+// executing the gcd behavior, replaying a recorded decision trace.
+func BenchmarkAblation_AdaptiveControl(b *testing.B) {
+	res, err := designs.GCD().Synthesize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stim := sim.SignalTrace{
+		"restart": {{Cycle: 0, Value: 1}, {Cycle: 5, Value: 0}},
+		"xin":     {{Cycle: 0, Value: 24}},
+		"yin":     {{Cycle: 0, Value: 36}},
+	}
+	s := sim.New(res, stim, ctrlgen.Counter, relsched.IrredundantAnchors)
+	if _, err := s.Run(100000); err != nil {
+		b.Fatal(err)
+	}
+	var dec []adaptive.Decision
+	for _, sd := range s.Decisions() {
+		dec = append(dec, adaptive.Decision{Op: sd.Op, Taken: sd.Taken})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl := adaptive.New(res, relsched.IrredundantAnchors)
+		if _, _, err := ctrl.Run(dec, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_IncrementalReschedule compares warm-started what-if
+// rescheduling against a cold Compute of the same modified graph.
+func BenchmarkAblation_IncrementalReschedule(b *testing.B) {
+	g := paperexFig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2 := g.VertexByName("v2")
+	v7 := g.VertexByName("v7")
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.WithMaxConstraint(v2, v7, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	modified, err := s.WithMaxConstraint(v2, v7, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := relsched.Compute(modified.G); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Command hccomp compiles a HardwareC process through the full
+// Hercules/Hebe-style flow: parse, build the hierarchical sequencing
+// graph, bind operations to modules, resolve resource conflicts under the
+// timing constraints, relative-schedule every graph bottom-up, and
+// generate control logic.
+//
+// Usage:
+//
+//	hccomp [flags] design.hc
+//
+//	-limits add=1,mul=1     cap module instances per class
+//	-exact                  exact (branch and bound) conflict resolution
+//	-control counter|shift  control style to report (default counter)
+//	-mode full|irredundant  anchor sets for the control (default irredundant)
+//	-quiet                  only print the summary line
+//	-sim "p=c:v,c:v;q=c:v"  simulate with the given port waveforms and
+//	                        print the event trace and an ASCII waveform
+//	-fold                   constant-fold the behavior before synthesis
+//	-decompose              lower expressions to three-address form
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bind"
+	"repro/internal/cgio"
+	"repro/internal/ctrlgen"
+	"repro/internal/relsched"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func main() {
+	limits := flag.String("limits", "", "module limits per class, e.g. add=1,mul=2")
+	exact := flag.Bool("exact", false, "exact conflict resolution")
+	control := flag.String("control", "counter", "control style: counter or shift")
+	mode := flag.String("mode", "irredundant", "anchor sets: full or irredundant")
+	quiet := flag.Bool("quiet", false, "summary only")
+	simSpec := flag.String("sim", "", "simulate with port waveforms, e.g. restart=0:1,5:0;xin=0:24")
+	fold := flag.Bool("fold", false, "constant-fold the behavior first")
+	decompose := flag.Bool("decompose", false, "three-address expression lowering")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hccomp [flags] design.hc")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *limits, *exact, *control, *mode, *quiet, *simSpec, *fold, *decompose); err != nil {
+		fmt.Fprintln(os.Stderr, "hccomp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, limitSpec string, exact bool, controlName, modeName string, quiet bool, simSpec string, fold, decompose bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	opts := synth.Options{Fold: fold, Decompose: decompose}
+	if limitSpec != "" {
+		opts.Limits, err = parseLimits(limitSpec)
+		if err != nil {
+			return err
+		}
+	}
+	if exact {
+		opts.ResolveMode = bind.Exact
+	}
+	style := ctrlgen.Counter
+	if controlName == "shift" {
+		style = ctrlgen.ShiftRegister
+	} else if controlName != "counter" {
+		return fmt.Errorf("unknown control style %q", controlName)
+	}
+	anchorMode := relsched.IrredundantAnchors
+	if modeName == "full" {
+		anchorMode = relsched.FullAnchors
+	} else if modeName != "irredundant" {
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	res, err := synth.SynthesizeSource(string(src), opts)
+	if err != nil {
+		return err
+	}
+
+	st := res.Stats()
+	fmt.Printf("process %s: %d graph(s), |A|/|V| = %d/%d, Σ|A(v)| = %d (avg %.2f), Σ|IR(v)| = %d (avg %.2f)\n",
+		res.Process.Name, len(res.Order), st.Anchors, st.Vertices,
+		st.TotalFull, st.AvgFull(), st.TotalIrredundant, st.AvgIrredundant())
+
+	if simSpec != "" {
+		if err := simulate(res, simSpec, style, anchorMode); err != nil {
+			return err
+		}
+	}
+	if quiet {
+		return nil
+	}
+
+	for _, g := range res.Order {
+		gr := res.Graphs[g]
+		fmt.Printf("\n== graph %s: %d ops, %d modules (area %d), latency %s\n",
+			g.Name, len(g.Ops), len(gr.Binding.Instances), gr.Binding.Area(), gr.Latency)
+		if len(gr.Serial) > 0 {
+			fmt.Printf("   conflict serializations: %v\n", gr.Serial)
+		}
+		fmt.Printf("   schedule (%d iterations):\n", gr.Schedule.Iterations)
+		if err := cgio.WriteOffsets(os.Stdout, gr.Schedule, anchorMode); err != nil {
+			return err
+		}
+		ctrl := ctrlgen.Synthesize(gr.Schedule, anchorMode, style)
+		if err := ctrl.Describe(os.Stdout); err != nil {
+			return err
+		}
+		cost := ctrl.Cost()
+		fmt.Printf("   control cost: %d register bits, %d comparators, %d gate inputs\n",
+			cost.RegisterBits, cost.Comparators, cost.GateInputs)
+	}
+	return nil
+}
+
+func parseLimits(spec string) (map[string]int, error) {
+	out := map[string]int{}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad limit %q", kv)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad limit count %q", parts[1])
+		}
+		out[strings.TrimSpace(parts[0])] = n
+	}
+	return out, nil
+}
+
+// simulate runs the synthesized process against the -sim waveforms and
+// prints the observable trace.
+func simulate(res *synth.Result, spec string, style ctrlgen.Style, mode relsched.AnchorMode) error {
+	stim, err := parseStim(spec)
+	if err != nil {
+		return err
+	}
+	s := sim.New(res, stim, style, mode)
+	end, err := s.Run(1_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsimulation completed at cycle %d; events:\n", end)
+	for _, e := range s.Events() {
+		if e.Kind == sim.EvRead || e.Kind == sim.EvWrite {
+			fmt.Println(" ", e)
+		}
+	}
+	fmt.Println()
+	return s.WriteWaveform(os.Stdout, 0, end+1)
+}
+
+// parseStim parses "port=cycle:value,cycle:value;port=..." into a trace.
+func parseStim(spec string) (sim.SignalTrace, error) {
+	tr := sim.SignalTrace{}
+	for _, portSpec := range strings.Split(spec, ";") {
+		parts := strings.SplitN(portSpec, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad stimulus %q", portSpec)
+		}
+		port := strings.TrimSpace(parts[0])
+		for _, step := range strings.Split(parts[1], ",") {
+			cv := strings.SplitN(step, ":", 2)
+			if len(cv) != 2 {
+				return nil, fmt.Errorf("bad step %q for port %s", step, port)
+			}
+			c, err1 := strconv.Atoi(strings.TrimSpace(cv[0]))
+			v, err2 := strconv.ParseInt(strings.TrimSpace(cv[1]), 0, 64)
+			if err1 != nil || err2 != nil || c < 0 {
+				return nil, fmt.Errorf("bad step %q for port %s", step, port)
+			}
+			tr[port] = append(tr[port], sim.Step{Cycle: c, Value: v})
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const tiny = `
+process tiny (i, o)
+    in port i[8];
+    out port o[8];
+    boolean a[8], b[8];
+    a = read(i);
+    b = a + 1;
+    write o = b;
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.hc")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	path := writeTemp(t, tiny)
+	if err := run(path, "", false, "counter", "irredundant", false, "", false, false); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := run(path, "add=1", true, "shift", "full", true, "", false, false); err != nil {
+		t.Errorf("run with limits/exact/quiet: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTemp(t, tiny)
+	if err := run("/missing.hc", "", false, "counter", "irredundant", false, "", false, false); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run(path, "add", false, "counter", "irredundant", false, "", false, false); err == nil {
+		t.Error("bad limits should fail")
+	}
+	if err := run(path, "add=x", false, "counter", "irredundant", false, "", false, false); err == nil {
+		t.Error("bad limit count should fail")
+	}
+	if err := run(path, "", false, "steam", "irredundant", false, "", false, false); err == nil {
+		t.Error("bad control style should fail")
+	}
+	if err := run(path, "", false, "counter", "bogus", false, "", false, false); err == nil {
+		t.Error("bad mode should fail")
+	}
+	bad := writeTemp(t, "process oops (")
+	if err := run(bad, "", false, "counter", "irredundant", false, "", false, false); err == nil {
+		t.Error("parse error should propagate")
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	limits, err := parseLimits("add=1, mul=2")
+	if err != nil {
+		t.Fatalf("parseLimits: %v", err)
+	}
+	if limits["add"] != 1 || limits["mul"] != 2 {
+		t.Errorf("limits = %v", limits)
+	}
+}
+
+func TestRunWithSimulation(t *testing.T) {
+	path := writeTemp(t, tiny)
+	if err := run(path, "", false, "counter", "irredundant", true, "i=0:5", false, false); err != nil {
+		t.Errorf("simulated run: %v", err)
+	}
+	if err := run(path, "", false, "counter", "irredundant", true, "i=0:5", true, true); err != nil {
+		t.Errorf("fold+decompose run: %v", err)
+	}
+	for _, bad := range []string{"nope", "i=x:1", "i=0", "i=-1:4"} {
+		if err := run(path, "", false, "counter", "irredundant", true, bad, false, false); err == nil {
+			t.Errorf("stimulus %q should fail", bad)
+		}
+	}
+}
+
+func TestParseStim(t *testing.T) {
+	tr, err := parseStim("a=0:1,5:0; b=2:0x10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Sample("a", 4) != 1 || tr.Sample("a", 5) != 0 || tr.Sample("b", 3) != 16 {
+		t.Errorf("trace = %v", tr)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestAllSteps regenerates every table and figure once; any panic or
+// error in the reproduction pipeline fails the build.
+func TestAllSteps(t *testing.T) {
+	for name, fn := range map[string]func() error{
+		"fig2": fig2, "fig3": fig3, "fig10": fig10, "fig14": fig14,
+		"table3": table3, "table4": table4, "costs": costTable,
+		"sweep": sweepTable,
+	} {
+		if err := fn(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(2, 0, false, false, false); err != nil {
+		t.Errorf("run fig2: %v", err)
+	}
+	if err := run(0, 4, false, false, false); err != nil {
+		t.Errorf("run table4: %v", err)
+	}
+	if err := run(0, 0, true, false, false); err != nil {
+		t.Errorf("run costs: %v", err)
+	}
+	if err := run(0, 0, false, false, false); err != nil {
+		t.Errorf("run usage: %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+// Command relsched schedules a constraint graph given in the cgio text
+// format and prints the minimum relative schedule, reproducing the offset
+// tables of the paper (Table II, Fig. 10).
+//
+// Usage:
+//
+//	relsched [flags] [graph.cg]
+//
+// With no file argument the graph is read from standard input.
+//
+//	-mode full|relevant|irredundant   anchor sets used in the output table
+//	-trace                            print the per-iteration trace (Fig. 10)
+//	-wellpose                         repair an ill-posed graph first (makeWellposed)
+//	-profile a=3,b=0                  evaluate start times under a delay profile
+//	-control counter|shift            print the generated control logic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cg"
+	"repro/internal/cgio"
+	"repro/internal/ctrlgen"
+	"repro/internal/relsched"
+)
+
+func main() {
+	mode := flag.String("mode", "irredundant", "anchor sets: full, relevant, or irredundant")
+	trace := flag.Bool("trace", false, "print the per-iteration scheduling trace")
+	wellpose := flag.Bool("wellpose", false, "minimally serialize an ill-posed graph first")
+	profile := flag.String("profile", "", "delay profile for start-time evaluation, e.g. a=3,b=0")
+	control := flag.String("control", "", "print control logic: counter or shift")
+	slack := flag.Bool("slack", false, "print per-vertex slack and the critical vertices")
+	flag.Parse()
+
+	if err := run(*mode, *trace, *wellpose, *profile, *control, *slack, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "relsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modeName string, trace, wellpose bool, profile, control string, slack bool, args []string) error {
+	var mode relsched.AnchorMode
+	switch modeName {
+	case "full":
+		mode = relsched.FullAnchors
+	case "relevant":
+		mode = relsched.RelevantAnchors
+	case "irredundant":
+		mode = relsched.IrredundantAnchors
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	in := os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := cgio.Parse(in)
+	if err != nil {
+		return err
+	}
+
+	if wellpose {
+		fixed, added, err := relsched.MakeWellPosed(g)
+		if err != nil {
+			return err
+		}
+		if added > 0 {
+			fmt.Printf("added %d serialization edge(s) to make the graph well-posed\n", added)
+		}
+		g = fixed
+	}
+
+	var sched *relsched.Schedule
+	if trace {
+		s, tr, err := relsched.ComputeTrace(g)
+		if err != nil {
+			return err
+		}
+		sched = s
+		fmt.Printf("converged after %d iteration(s); |E_b|+1 bound = %d\n", s.Iterations, g.NumBackward()+1)
+		if err := cgio.WriteTrace(os.Stdout, g, tr); err != nil {
+			return err
+		}
+		fmt.Println()
+	} else {
+		s, err := relsched.Compute(g)
+		if err != nil {
+			return err
+		}
+		sched = s
+	}
+
+	fmt.Printf("minimum relative schedule (%s anchor sets):\n", mode)
+	if err := cgio.WriteOffsets(os.Stdout, sched, mode); err != nil {
+		return err
+	}
+
+	if profile != "" {
+		p, err := parseProfile(g, profile)
+		if err != nil {
+			return err
+		}
+		t, err := sched.StartTimes(p, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nstart times under profile:")
+		if err := cgio.WriteStartTimes(os.Stdout, g, p, t); err != nil {
+			return err
+		}
+		viol, err := relsched.CheckStartTimes(g, p, t)
+		if err != nil {
+			return err
+		}
+		if len(viol) > 0 {
+			return fmt.Errorf("constraint violations: %v", viol)
+		}
+	}
+
+	if slack {
+		si := sched.ComputeSlack()
+		fmt.Println("\nslack (cycles each vertex may slip without stretching any anchor-relative latency):")
+		for _, v := range g.Vertices() {
+			marker := ""
+			if si.Slack[v.ID] == 0 {
+				marker = "  <- critical"
+			}
+			fmt.Printf("  %-12s %d%s\n", v.Name, si.Slack[v.ID], marker)
+		}
+	}
+
+	if control != "" {
+		var style ctrlgen.Style
+		switch control {
+		case "counter":
+			style = ctrlgen.Counter
+		case "shift":
+			style = ctrlgen.ShiftRegister
+		default:
+			return fmt.Errorf("unknown control style %q", control)
+		}
+		ctrl := ctrlgen.Synthesize(sched, mode, style)
+		fmt.Println()
+		if err := ctrl.Describe(os.Stdout); err != nil {
+			return err
+		}
+		cost := ctrl.Cost()
+		fmt.Printf("cost: %d register bits, %d comparators, %d gate inputs (total %d)\n",
+			cost.RegisterBits, cost.Comparators, cost.GateInputs, cost.Total())
+	}
+	return nil
+}
+
+func parseProfile(g *cg.Graph, spec string) (relsched.DelayProfile, error) {
+	p := relsched.ZeroProfile(g)
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad profile entry %q", kv)
+		}
+		v := g.VertexByName(strings.TrimSpace(parts[0]))
+		if v == cg.None {
+			return nil, fmt.Errorf("unknown vertex %q in profile", parts[0])
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad delay %q in profile", parts[1])
+		}
+		p[v] = n
+	}
+	return p, nil
+}

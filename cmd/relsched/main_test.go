@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cgio"
+)
+
+const fig2Text = `
+vertex a unbounded
+vertex v1 delay=2
+vertex v2 delay=2
+vertex v3 delay=5
+vertex v4 delay=1
+seq v0 a
+seq v0 v1
+seq v1 v2
+seq a v3
+seq v3 v4
+seq v2 v4
+min v0 v3 3
+max v1 v2 2
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.cg")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModes(t *testing.T) {
+	path := writeTemp(t, fig2Text)
+	for _, mode := range []string{"full", "relevant", "irredundant"} {
+		if err := run(mode, false, false, "", "", false, []string{path}); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	if err := run("bogus", false, false, "", "", false, []string{path}); err == nil {
+		t.Error("bogus mode should fail")
+	}
+}
+
+func TestRunTraceProfileControlSlack(t *testing.T) {
+	path := writeTemp(t, fig2Text)
+	if err := run("full", true, false, "a=3,v0=0", "counter", true, []string{path}); err != nil {
+		t.Errorf("full run: %v", err)
+	}
+	if err := run("full", false, false, "", "shift", false, []string{path}); err != nil {
+		t.Errorf("shift control: %v", err)
+	}
+	if err := run("full", false, false, "nope=1", "", false, []string{path}); err == nil {
+		t.Error("unknown profile vertex should fail")
+	}
+	if err := run("full", false, false, "a=x", "", false, []string{path}); err == nil {
+		t.Error("bad profile value should fail")
+	}
+	if err := run("full", false, false, "", "steam", false, []string{path}); err == nil {
+		t.Error("unknown control style should fail")
+	}
+}
+
+func TestRunWellpose(t *testing.T) {
+	illposed := `
+vertex a1 unbounded
+vertex a2 unbounded
+vertex vi delay=1
+vertex vj delay=1
+vertex sink delay=0
+seq v0 a1
+seq v0 a2
+seq a1 vi
+seq a2 vj
+seq vi sink
+seq vj sink
+max vi vj 4
+`
+	path := writeTemp(t, illposed)
+	// Without repair the schedule must fail.
+	if err := run("full", false, false, "", "", false, []string{path}); err == nil {
+		t.Error("ill-posed graph should fail without -wellpose")
+	}
+	if err := run("full", false, true, "", "", false, []string{path}); err != nil {
+		t.Errorf("with -wellpose: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("full", false, false, "", "", false, []string{"/does/not/exist.cg"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	g, err := cgio.ParseString(fig2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parseProfile(g, "a=4, v0=1")
+	if err != nil {
+		t.Fatalf("parseProfile: %v", err)
+	}
+	if p[g.VertexByName("a")] != 4 || p[g.Source()] != 1 {
+		t.Errorf("profile = %v", p)
+	}
+	for _, bad := range []string{"a", "a=-1", "zz=1", "a=4,"} {
+		if _, err := parseProfile(g, bad); err == nil {
+			t.Errorf("profile %q should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Runs a small program on the synthesized frisc microprocessor.
+//
+// The frisc benchmark design is compiled through the full flow and then
+// simulated against a reactive memory model: the stimulus observes the
+// address port the processor drives and answers on the instruction- and
+// data-memory input ports — the external-synchronization scenario the
+// paper's relative scheduling exists for. Timing constraints inside the
+// design pin the fetch data one to two cycles after the address phase and
+// loads one to three cycles after theirs.
+//
+// The program loads two immediates, adds them, stores the sum to data
+// memory, and halts; the example prints the instruction trace and checks
+// the stored value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ctrlgen"
+	"repro/internal/designs"
+	"repro/internal/relsched"
+	"repro/internal/sim"
+)
+
+// encode builds a frisc instruction word: opc<<12 | rd<<10 | rs<<8 | imm.
+func encode(opc, rd, rs, imm int64) int64 {
+	return opc<<12 | rd<<10 | rs<<8 | (imm & 255)
+}
+
+// memory is a reactive stimulus: instruction fetches are served from the
+// program image at the last address driven on iaddr; data-memory reads
+// come from a RAM map updated by stores.
+type memory struct {
+	program []int64
+	ram     map[int64]int64
+	iaddr   int64
+	daddr   int64
+	resetHi int // cycles reset stays asserted
+	stores  []string
+}
+
+func (m *memory) Sample(port string, cycle int) int64 {
+	switch port {
+	case "reset":
+		if cycle < m.resetHi {
+			return 1
+		}
+		return 0
+	case "idata":
+		if int(m.iaddr) < len(m.program) {
+			return m.program[m.iaddr]
+		}
+		return encode(10, 0, 0, 0) // past the end: halt
+	case "din":
+		return m.ram[m.daddr]
+	}
+	return 0
+}
+
+func (m *memory) OnWrite(port string, cycle int, value int64) {
+	switch port {
+	case "iaddr":
+		m.iaddr = value
+	case "daddr":
+		m.daddr = value
+	case "dout":
+		m.ram[m.daddr] = value
+		m.stores = append(m.stores, fmt.Sprintf("cycle %3d: mem[0x%02x] <- %d", cycle, m.daddr, value))
+	}
+}
+
+func main() {
+	res, err := designs.Frisc().Synthesize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats()
+	fmt.Printf("synthesized frisc: %d graphs, |A|/|V| = %d/%d\n\n", len(res.Order), st.Anchors, st.Vertices)
+
+	mem := &memory{
+		program: []int64{
+			encode(9, 1, 0, 5),    // li  r1, 5
+			encode(9, 2, 0, 7),    // li  r2, 7
+			encode(0, 1, 2, 0),    // add r1, r1 + r2
+			encode(7, 1, 0, 0x20), // st  mem[r0 + 0x20] <- r1
+			encode(10, 0, 0, 0),   // halt
+		},
+		ram:     map[int64]int64{},
+		resetHi: 2,
+	}
+
+	s := sim.New(res, mem, ctrlgen.Counter, relsched.IrredundantAnchors)
+	end, err := s.Run(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("instruction fetches:")
+	for _, e := range s.EventsOf(sim.EvRead) {
+		if e.Port == "idata" {
+			fmt.Printf("  cycle %3d: fetch 0x%04x\n", e.Cycle, e.Value)
+		}
+	}
+	fmt.Println("\nstores:")
+	for _, line := range mem.stores {
+		fmt.Println(" ", line)
+	}
+	fmt.Printf("\nhalted at cycle %d; mem[0x20] = %d (want 12)\n", end, mem.ram[0x20])
+	if mem.ram[0x20] != 12 {
+		log.Fatal("wrong result")
+	}
+}

@@ -1,0 +1,376 @@
+// Package adaptive implements the adaptive control synthesis scheme the
+// paper builds its control generation on (§VI, reference [25]): a modular
+// interconnection of per-graph finite-state controllers communicating
+// through go/done handshake signals. Each sequencing graph of the
+// hierarchy gets one controller module; a module starts its operations
+// when their per-anchor offset conditions are met, launches child modules
+// for hierarchical vertices (loops, conditionals, procedure calls), and
+// pulses done when its sink starts. Loop controllers re-launch their body
+// module per iteration, driven by data-dependent condition decisions that
+// the environment (here: a replayed decision trace from the functional
+// simulator) supplies.
+//
+// The package exists to demonstrate the paper's claim that this control
+// style "guarantees the minimum number of cycles in executing the
+// hardware behavior": the FSM network reproduces the functional
+// simulator's operation start times exactly, cycle by cycle (tested).
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/cg"
+	"repro/internal/ctrlgen"
+	"repro/internal/relsched"
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+// Decision is one data-dependent condition outcome, in evaluation order
+// per operation (loops consume one per iteration test, conditionals one
+// per execution).
+type Decision struct {
+	Op    string
+	Taken bool
+}
+
+// Start records an operation start observed on the FSM network.
+type Start struct {
+	Cycle int
+	Op    string
+}
+
+// Controller is the FSM network for one synthesized process.
+type Controller struct {
+	res  *synth.Result
+	mode relsched.AnchorMode
+
+	top       *module
+	decisions map[string][]bool // per-op FIFO of condition outcomes
+	starts    []Start
+	cycle     int
+}
+
+// New builds the modular controller network. mode selects which anchor
+// sets drive the per-module enable logic (irredundant gives the cheapest
+// modules, Theorem 6 guarantees identical behavior).
+func New(res *synth.Result, mode relsched.AnchorMode) *Controller {
+	c := &Controller{res: res, mode: mode, decisions: map[string][]bool{}}
+	c.top = c.newModule(res.Top)
+	return c
+}
+
+// module is the controller of one sequencing graph instance.
+type module struct {
+	c    *Controller
+	gr   *synth.GraphResult
+	ctrl *ctrlgen.Controller
+	opOf []*seq.Op // constraint-graph vertex -> op
+
+	children map[int][]*module // op ID -> child modules (cond: then, else)
+
+	active    bool
+	started   []bool // per cg vertex
+	doneAt    []int  // cycle the vertex's done level rose; -1 = not yet
+	loops     map[int]*loopFSM
+	waiting   map[int]*module // vertex -> child whose done raises ours
+	donePulse int             // cycle of the done pulse, -1 otherwise
+}
+
+// loopFSM sequences one loop vertex: launch body, await done, re-test.
+type loopFSM struct {
+	op        *seq.Op
+	body      *module
+	vertex    int // cg vertex of the loop in the parent
+	goCycle   int // cycle the current body activation started
+	pendingAt int // re-test deferred to this cycle (zero-latency body), -1 none
+}
+
+func (c *Controller) newModule(g *seq.Graph) *module {
+	gr := c.res.Graphs[g]
+	m := &module{
+		c:        c,
+		gr:       gr,
+		ctrl:     ctrlgen.Synthesize(gr.Schedule, c.mode, ctrlgen.Counter),
+		opOf:     make([]*seq.Op, gr.CG.N()),
+		children: map[int][]*module{},
+		started:  make([]bool, gr.CG.N()),
+		doneAt:   make([]int, gr.CG.N()),
+		loops:    map[int]*loopFSM{},
+		waiting:  map[int]*module{},
+	}
+	for _, o := range g.Ops {
+		m.opOf[gr.VID[o.ID]] = o
+		switch o.Kind {
+		case seq.OpLoop, seq.OpCall:
+			m.children[o.ID] = []*module{c.newModule(o.Body)}
+		case seq.OpCond:
+			var kids []*module
+			if o.Then != nil {
+				kids = append(kids, c.newModule(o.Then))
+			} else {
+				kids = append(kids, nil)
+			}
+			if o.Else != nil {
+				kids = append(kids, c.newModule(o.Else))
+			} else {
+				kids = append(kids, nil)
+			}
+			m.children[o.ID] = kids
+		}
+	}
+	return m
+}
+
+// activate resets the module's state and raises its source done level —
+// the go handshake.
+func (m *module) activate(cycle int) {
+	m.active = true
+	m.donePulse = -1
+	for i := range m.started {
+		m.started[i] = false
+		m.doneAt[i] = -1
+	}
+	m.loops = map[int]*loopFSM{}
+	m.waiting = map[int]*module{}
+	src := m.gr.VID[m.gr.Seq.Source()]
+	m.started[src] = true
+	m.doneAt[src] = cycle
+}
+
+// pop consumes the next decision for an op.
+func (c *Controller) pop(op string) (bool, error) {
+	q := c.decisions[op]
+	if len(q) == 0 {
+		return false, fmt.Errorf("adaptive: decision trace exhausted for %s", op)
+	}
+	c.decisions[op] = q[1:]
+	return q[0], nil
+}
+
+// Run drives the network: the top module is activated at cycle 0 and the
+// clock advances until its done pulse, consuming the decision trace for
+// every data-dependent condition. It returns the completion cycle and the
+// recorded operation starts.
+func (c *Controller) Run(decisions []Decision, maxCycles int) (int, []Start, error) {
+	c.decisions = map[string][]bool{}
+	for _, d := range decisions {
+		c.decisions[d.Op] = append(c.decisions[d.Op], d.Taken)
+	}
+	c.starts = nil
+	c.top.activate(0)
+	for c.cycle = 0; c.cycle <= maxCycles; c.cycle++ {
+		if err := c.settle(); err != nil {
+			return 0, nil, err
+		}
+		if c.top.donePulse >= 0 {
+			return c.top.donePulse, c.starts, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("adaptive: no completion within %d cycles", maxCycles)
+}
+
+// settle processes the current cycle to a fixpoint: starts cascade through
+// zero-offset enables and same-cycle handshakes.
+func (c *Controller) settle() error {
+	for {
+		changed, err := c.top.sweep(c.cycle)
+		if err != nil {
+			return err
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// sweep advances one module and its live descendants; reports whether
+// anything changed.
+func (m *module) sweep(cycle int) (bool, error) {
+	changed := false
+	// Children settle before the parent so their done pulses are visible.
+	// They are swept even when this module has already completed: a
+	// bounded-latency hierarchical vertex lets the parent finish while
+	// the child datapath is still draining (its latency is folded into
+	// downstream offsets), so child FSMs can outlive the parent's
+	// activation.
+	for _, kids := range m.children {
+		for _, k := range kids {
+			if k == nil {
+				continue
+			}
+			ch, err := k.sweep(cycle)
+			if err != nil {
+				return false, err
+			}
+			changed = changed || ch
+		}
+	}
+	if !m.active {
+		return changed, nil
+	}
+	// Deferred loop re-tests (zero-latency bodies) fire first.
+	for _, l := range m.loops {
+		if l.pendingAt >= 0 && l.pendingAt <= cycle {
+			l.pendingAt = -1
+			ch, err := m.loopTest(l, cycle)
+			if err != nil {
+				return false, err
+			}
+			changed = changed || ch
+		}
+	}
+	// Child completions raise our done levels.
+	for v, child := range m.waiting {
+		if child.donePulse >= 0 {
+			delete(m.waiting, v)
+			if l, ok := m.loops[v]; ok {
+				ch, err := m.onBodyDone(l, child.donePulse, cycle)
+				if err != nil {
+					return false, err
+				}
+				changed = changed || ch
+			} else {
+				m.doneAt[v] = child.donePulse
+				changed = true
+			}
+		}
+	}
+	// Start newly-enabled vertices.
+	for _, v := range m.gr.CG.TopoForward() {
+		if m.started[v] || v == m.gr.CG.Source() {
+			continue
+		}
+		if !m.enabled(v, cycle) {
+			continue
+		}
+		m.started[v] = true
+		changed = true
+		if err := m.startVertex(v, cycle); err != nil {
+			return false, err
+		}
+	}
+	return changed, nil
+}
+
+// enabled evaluates the vertex's enable conjunction at a cycle.
+func (m *module) enabled(v cg.VertexID, cycle int) bool {
+	terms := m.ctrl.Terms[v]
+	for _, t := range terms {
+		at := m.doneAt[t.Anchor]
+		if at < 0 || cycle-at < t.Offset {
+			return false
+		}
+		// Bounded anchors' done levels: the timers of the flat
+		// controller fold bounded delays into offsets, so doneAt of
+		// bounded vertices is their start (set in startVertex).
+	}
+	return true
+}
+
+// startVertex performs the start action of a vertex at a cycle.
+func (m *module) startVertex(v cg.VertexID, cycle int) error {
+	op := m.opOf[v]
+	m.doneAt[v] = cycle // timers measure from start; unbounded ops overwrite on completion
+	if op.Kind == seq.OpNop {
+		if int(v) == int(m.gr.VID[m.gr.Seq.Sink()]) {
+			m.donePulse = cycle
+			m.active = false
+		}
+		return nil
+	}
+	m.c.starts = append(m.c.starts, Start{Cycle: cycle, Op: op.Name})
+	switch op.Kind {
+	case seq.OpLoop:
+		l := &loopFSM{op: op, body: m.children[op.ID][0], vertex: int(v), pendingAt: -1}
+		m.loops[int(v)] = l
+		m.doneAt[v] = -1 // unbounded: done only on loop exit
+		if op.LoopStyle == seq.WhileLoop {
+			return m.whileTest(l, cycle)
+		}
+		// repeat..until runs the body at least once.
+		l.goCycle = cycle
+		l.body.activate(cycle)
+		m.waiting[int(v)] = l.body
+		return nil
+	case seq.OpCall:
+		child := m.children[op.ID][0]
+		child.activate(cycle)
+		m.doneAt[v] = -1
+		m.waiting[int(v)] = child
+		return nil
+	case seq.OpCond:
+		taken, err := m.c.pop(m.gr.Seq.OpKey(op))
+		if err != nil {
+			return err
+		}
+		var branch *module
+		if taken {
+			branch = m.children[op.ID][0]
+		} else {
+			branch = m.children[op.ID][1]
+		}
+		if branch == nil {
+			m.doneAt[v] = cycle
+			return nil
+		}
+		branch.activate(cycle)
+		m.doneAt[v] = -1
+		m.waiting[int(v)] = branch
+		return nil
+	}
+	// Bounded datapath op: its delay is folded into downstream offsets by
+	// the flat controller; done level = start is what the timers expect.
+	return nil
+}
+
+// whileTest evaluates a while loop's condition at a cycle.
+func (m *module) whileTest(l *loopFSM, cycle int) error {
+	taken, err := m.c.pop(m.gr.Seq.OpKey(l.op))
+	if err != nil {
+		return err
+	}
+	if !taken {
+		m.doneAt[l.vertex] = cycle
+		delete(m.loops, l.vertex)
+		return nil
+	}
+	l.goCycle = cycle
+	l.body.activate(cycle)
+	m.waiting[l.vertex] = l.body
+	return nil
+}
+
+// onBodyDone handles a loop body completion at cycle done, observed at the
+// current cycle.
+func (m *module) onBodyDone(l *loopFSM, done, cycle int) (bool, error) {
+	if done <= l.goCycle {
+		// Zero-latency body: the next test happens next cycle so every
+		// iteration consumes at least one clock (matching the simulator
+		// and real hardware).
+		l.pendingAt = l.goCycle + 1
+		return true, nil
+	}
+	_, err := m.loopTest(l, done)
+	return true, err
+}
+
+// loopTest re-tests the loop condition at a cycle (iteration boundary).
+func (m *module) loopTest(l *loopFSM, cycle int) (bool, error) {
+	if l.op.LoopStyle == seq.WhileLoop {
+		return true, m.whileTest(l, cycle)
+	}
+	taken, err := m.c.pop(m.gr.Seq.OpKey(l.op))
+	if err != nil {
+		return false, err
+	}
+	if taken { // until-condition satisfied: loop completes
+		m.doneAt[l.vertex] = cycle
+		delete(m.loops, l.vertex)
+		return true, nil
+	}
+	l.goCycle = cycle
+	l.body.activate(cycle)
+	m.waiting[l.vertex] = l.body
+	return true, nil
+}

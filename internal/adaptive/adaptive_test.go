@@ -1,0 +1,191 @@
+package adaptive
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctrlgen"
+	"repro/internal/designs"
+	"repro/internal/relsched"
+	"repro/internal/sim"
+)
+
+// runBoth executes a design under the functional simulator and then
+// replays the recorded decisions through the adaptive FSM network,
+// returning both start-time maps (op name -> cycles, chronological).
+func runBoth(t *testing.T, d designs.Design, stim sim.Stimulus) (map[string][]int, map[string][]int, int, int) {
+	t.Helper()
+	res, err := d.Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	s := sim.New(res, stim, ctrlgen.Counter, relsched.IrredundantAnchors)
+	simEnd, err := s.Run(200000)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	want := map[string][]int{}
+	for _, e := range s.EventsOf(sim.EvStart) {
+		want[e.Op] = append(want[e.Op], e.Cycle)
+	}
+
+	var dec []Decision
+	for _, sd := range s.Decisions() {
+		dec = append(dec, Decision{Op: sd.Op, Taken: sd.Taken})
+	}
+	ctrl := New(res, relsched.IrredundantAnchors)
+	fsmEnd, starts, err := ctrl.Run(dec, 200000)
+	if err != nil {
+		t.Fatalf("adaptive.Run: %v", err)
+	}
+	got := map[string][]int{}
+	for _, st := range starts {
+		got[st.Op] = append(got[st.Op], st.Cycle)
+	}
+	for _, m := range []map[string][]int{want, got} {
+		for k := range m {
+			sort.Ints(m[k])
+		}
+	}
+	return want, got, simEnd, fsmEnd
+}
+
+// TestAdaptiveMatchesSimulatorGCD is the paper's [25] claim on the gcd:
+// the modular FSM network reproduces every operation start time of the
+// schedule-table simulation, cycle for cycle.
+func TestAdaptiveMatchesSimulatorGCD(t *testing.T) {
+	stim := sim.SignalTrace{
+		"restart": {{Cycle: 0, Value: 1}, {Cycle: 5, Value: 0}},
+		"xin":     {{Cycle: 0, Value: 24}},
+		"yin":     {{Cycle: 0, Value: 36}},
+	}
+	want, got, simEnd, fsmEnd := runBoth(t, designs.GCD(), stim)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("start times diverge:\nsim: %v\nfsm: %v", want, got)
+	}
+	if simEnd != fsmEnd {
+		t.Errorf("completion: sim %d, fsm %d", simEnd, fsmEnd)
+	}
+}
+
+// TestAdaptiveMatchesSimulatorAllDesigns runs the cross-check over the
+// whole benchmark suite with generic stimuli.
+func TestAdaptiveMatchesSimulatorAllDesigns(t *testing.T) {
+	stimuli := map[string]sim.SignalTrace{
+		"traffic": {"sensor": {{Cycle: 3, Value: 1}}},
+		"length":  {"pulse": {{Cycle: 2, Value: 1}, {Cycle: 9, Value: 0}}},
+		"gcd": {
+			"restart": {{Cycle: 0, Value: 1}, {Cycle: 4, Value: 0}},
+			"xin":     {{Cycle: 0, Value: 27}}, "yin": {{Cycle: 0, Value: 18}},
+		},
+		"frisc": {
+			"reset": {{Cycle: 0, Value: 1}, {Cycle: 2, Value: 0}},
+			"idata": {{Cycle: 0, Value: 10 << 12}},
+			"din":   {{Cycle: 0, Value: 0}},
+		},
+		"daio-decoder": {
+			"biphase": {{Cycle: 2, Value: 1}, {Cycle: 5, Value: 0}, {Cycle: 8, Value: 1}},
+		},
+		"daio-receiver": {
+			"frame":  {{Cycle: 3, Value: 1}},
+			"strobe": strobes(),
+			"bitin":  {{Cycle: 0, Value: 1}},
+		},
+		"dct-a": dctAStim(),
+		"dct-b": dctBStim(),
+	}
+	for _, d := range designs.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			want, got, simEnd, fsmEnd := runBoth(t, d, stimuli[d.Name])
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("start times diverge:\nsim: %v\nfsm: %v", want, got)
+			}
+			if simEnd != fsmEnd {
+				t.Errorf("completion: sim %d, fsm %d", simEnd, fsmEnd)
+			}
+		})
+	}
+}
+
+func strobes() []sim.Step {
+	steps := []sim.Step{{Cycle: 0, Value: 0}}
+	c := 4
+	for i := 0; i < 40; i++ {
+		steps = append(steps, sim.Step{Cycle: c, Value: 1})
+		c += 4
+		steps = append(steps, sim.Step{Cycle: c, Value: 0})
+		c += 3
+	}
+	return steps
+}
+
+func dctAStim() sim.SignalTrace {
+	st := sim.SignalTrace{
+		"start": {{Cycle: 2, Value: 1}},
+		"ready": {{Cycle: 4, Value: 1}},
+	}
+	for i, p := range []string{"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"} {
+		st[p] = []sim.Step{{Cycle: 0, Value: int64(10 * (i + 1))}}
+	}
+	return st
+}
+
+func dctBStim() sim.SignalTrace {
+	st := sim.SignalTrace{
+		"go":    {{Cycle: 1, Value: 1}},
+		"avail": {{Cycle: 3, Value: 1}},
+	}
+	for i, p := range []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"} {
+		st[p] = []sim.Step{{Cycle: 0, Value: int64(100 - 10*i)}}
+	}
+	return st
+}
+
+// TestProperty_AdaptiveGCDRandom drives gcd with random operands and
+// restart timing; the FSM network must track the simulator exactly.
+func TestProperty_AdaptiveGCDRandom(t *testing.T) {
+	res, err := designs.GCD().Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stim := sim.SignalTrace{
+			"restart": {{Cycle: 0, Value: 1}, {Cycle: rng.Intn(9), Value: 0}},
+			"xin":     {{Cycle: 0, Value: int64(rng.Intn(120))}},
+			"yin":     {{Cycle: 0, Value: int64(rng.Intn(120))}},
+		}
+		s := sim.New(res, stim, ctrlgen.Counter, relsched.IrredundantAnchors)
+		simEnd, err := s.Run(200000)
+		if err != nil {
+			return false
+		}
+		var dec []Decision
+		for _, sd := range s.Decisions() {
+			dec = append(dec, Decision{Op: sd.Op, Taken: sd.Taken})
+		}
+		ctrl := New(res, relsched.IrredundantAnchors)
+		fsmEnd, _, err := ctrl.Run(dec, 200000)
+		return err == nil && fsmEnd == simEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecisionExhaustion surfaces a truncated decision trace as an error
+// rather than a hang.
+func TestDecisionExhaustion(t *testing.T) {
+	res, err := designs.GCD().Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(res, relsched.IrredundantAnchors)
+	if _, _, err := ctrl.Run(nil, 1000); err == nil {
+		t.Error("expected decision-exhaustion error")
+	}
+}

@@ -1,0 +1,243 @@
+// Package bind implements the module-binding step that precedes relative
+// scheduling in the Hebe flow (§II, §VII): operations are bound to module
+// instances from a characterized resource library, and conflicts caused by
+// assigning parallel operations to the same instance are resolved by
+// serialization — the "constrained conflict resolution" the paper cites.
+package bind
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hcl"
+	"repro/internal/seq"
+)
+
+// ModuleType characterizes one resource in the library.
+type ModuleType struct {
+	// Class is the operation class the module implements.
+	Class string
+	// Delay is the execution delay in cycles.
+	Delay int
+	// Area is a relative area cost used for reporting.
+	Area int
+}
+
+// Library maps operation classes to module characterizations. Modules are
+// characterized a priori in area and execution time, as the paper assumes
+// of all the systems it builds on.
+type Library struct {
+	types map[string]ModuleType
+}
+
+// NewLibrary builds a library from module types. Later duplicates of a
+// class replace earlier ones.
+func NewLibrary(types ...ModuleType) *Library {
+	l := &Library{types: make(map[string]ModuleType, len(types))}
+	for _, t := range types {
+		l.types[t.Class] = t
+	}
+	return l
+}
+
+// Default returns the library used throughout the repository: single-cycle
+// add/subtract/compare, multi-cycle multiply and divide, single-cycle port
+// interfaces, and zero-cycle (chained) moves and logic.
+func Default() *Library {
+	return NewLibrary(
+		ModuleType{Class: "add", Delay: 1, Area: 8},
+		ModuleType{Class: "sub", Delay: 1, Area: 8},
+		ModuleType{Class: "mul", Delay: 3, Area: 30},
+		ModuleType{Class: "div", Delay: 4, Area: 40},
+		ModuleType{Class: "cmp", Delay: 1, Area: 4},
+		ModuleType{Class: "logic", Delay: 0, Area: 2},
+		ModuleType{Class: "shift", Delay: 1, Area: 6},
+		ModuleType{Class: "pass", Delay: 0, Area: 1},
+		ModuleType{Class: "read", Delay: 1, Area: 3},
+		ModuleType{Class: "write", Delay: 1, Area: 3},
+	)
+}
+
+// Type returns the module type for a class.
+func (l *Library) Type(class string) (ModuleType, bool) {
+	t, ok := l.types[class]
+	return t, ok
+}
+
+// Classify maps an operation to its module class. Hierarchical and nop
+// operations return "" — they consume no datapath module.
+func Classify(o *seq.Op) string {
+	switch o.Kind {
+	case seq.OpRead:
+		return "read"
+	case seq.OpWrite:
+		if _, ok := o.Expr.(*hcl.Binary); ok {
+			// Expression writes still consume the port interface; the
+			// expression itself is folded into the write op.
+			return "write"
+		}
+		return "write"
+	case seq.OpALU:
+		return classifyExpr(o.Expr)
+	default:
+		return ""
+	}
+}
+
+func classifyExpr(e hcl.Expr) string {
+	switch x := e.(type) {
+	case *hcl.Binary:
+		switch x.Op {
+		case hcl.PLUS:
+			return "add"
+		case hcl.MINUS:
+			return "sub"
+		case hcl.STAR:
+			return "mul"
+		case hcl.SLASH, hcl.PERCENT:
+			return "div"
+		case hcl.EQ, hcl.NEQ, hcl.LT, hcl.GT, hcl.LE, hcl.GE:
+			return "cmp"
+		case hcl.SHL, hcl.SHR:
+			return "shift"
+		default:
+			return "logic"
+		}
+	case *hcl.Unary:
+		if x.Op == hcl.MINUS {
+			return "sub"
+		}
+		return "logic"
+	default:
+		return "pass"
+	}
+}
+
+// Instance is one allocated module.
+type Instance struct {
+	Type  ModuleType
+	Index int // instance number within the class
+}
+
+// Name renders the instance for reports.
+func (i Instance) Name() string { return fmt.Sprintf("%s%d", i.Type.Class, i.Index) }
+
+// Binding maps the datapath operations of one sequencing graph to module
+// instances.
+type Binding struct {
+	Graph     *seq.Graph
+	Library   *Library
+	Instances []Instance
+	// Assign maps op ID to an index into Instances; ops that consume no
+	// module (nop, loop, cond) are absent.
+	Assign map[int]int
+}
+
+// Area returns the summed area of allocated instances.
+func (b *Binding) Area() int {
+	total := 0
+	for _, inst := range b.Instances {
+		total += inst.Type.Area
+	}
+	return total
+}
+
+// Delay returns the execution delay of an op under the binding: the bound
+// module's delay for datapath ops; hierarchical and nop ops return 0 and
+// are the caller's concern.
+func (b *Binding) Delay(o *seq.Op) int {
+	if idx, ok := b.Assign[o.ID]; ok {
+		return b.Instances[idx].Type.Delay
+	}
+	return 0
+}
+
+// Bind allocates module instances for one sequencing graph and assigns
+// every datapath operation to an instance. limits caps the number of
+// instances per class (0 or absent = unlimited, i.e. no sharing
+// pressure). Assignment is round-robin over ops in a topological-ish
+// order (op ID order), which spreads parallel ops across instances before
+// forcing sharing.
+func Bind(g *seq.Graph, lib *Library, limits map[string]int) (*Binding, error) {
+	b := &Binding{Graph: g, Library: lib, Assign: map[int]int{}}
+	byClass := map[string][]int{} // class -> instance indices
+	next := map[string]int{}      // class -> round-robin cursor
+	for _, o := range g.Ops {
+		class := Classify(o)
+		if class == "" {
+			continue
+		}
+		mt, ok := lib.Type(class)
+		if !ok {
+			return nil, fmt.Errorf("bind: no module for class %q (op %s)", class, o.Name)
+		}
+		limit := limits[class]
+		insts := byClass[class]
+		if len(insts) == 0 || (limit == 0 || len(insts) < limit) && next[class] >= len(insts) {
+			// Allocate a fresh instance while under the limit.
+			idx := len(b.Instances)
+			b.Instances = append(b.Instances, Instance{Type: mt, Index: len(insts)})
+			byClass[class] = append(insts, idx)
+			insts = byClass[class]
+		}
+		cursor := next[class] % len(insts)
+		b.Assign[o.ID] = insts[cursor]
+		next[class] = cursor + 1
+	}
+	return b, nil
+}
+
+// Conflicts returns the pairs of operations that share a module instance
+// but are not ordered by the sequencing dependencies — simultaneous access
+// to a shared resource that must be resolved by serialization.
+func (b *Binding) Conflicts() [][2]int {
+	g := b.Graph
+	reach := reachability(g)
+	byInst := map[int][]int{}
+	for opID, inst := range b.Assign {
+		byInst[inst] = append(byInst[inst], opID)
+	}
+	var out [][2]int
+	for _, ops := range byInst {
+		sort.Ints(ops)
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				a, c := ops[i], ops[j]
+				if !reach[a][c] && !reach[c][a] {
+					out = append(out, [2]int{a, c})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// reachability computes the transitive closure of the sequencing edges.
+func reachability(g *seq.Graph) [][]bool {
+	n := len(g.Ops)
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	reach := make([][]bool, n)
+	var dfs func(root, v int)
+	dfs = func(root, v int) {
+		for _, w := range adj[v] {
+			if !reach[root][w] {
+				reach[root][w] = true
+				dfs(root, w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		reach[v] = make([]bool, n)
+		dfs(v, v)
+	}
+	return reach
+}

@@ -1,0 +1,237 @@
+package bind
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/hcl"
+	"repro/internal/seq"
+)
+
+func buildGraph(t *testing.T, src string) *seq.Graph {
+	t.Helper()
+	p, err := hcl.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g, err := seq.FromProcess(p)
+	if err != nil {
+		t.Fatalf("FromProcess: %v", err)
+	}
+	return g
+}
+
+// fourAdds has four mutually parallel additions feeding one output.
+const fourAdds = `
+process p (a0, a1, a2, a3, o)
+    in port a0[8], a1[8], a2[8], a3[8];
+    out port o[8];
+    boolean w[8], x[8], y[8], z[8], r0[8], r1[8];
+    w = a0 + 1;
+    x = a1 + 1;
+    y = a2 + 1;
+    z = a3 + 1;
+    r0 = w | x;
+    r1 = y | z;
+    write o = r0 & r1;
+`
+
+func defaultDelay(b *Binding) seq.DelayFn {
+	return func(o *seq.Op) cg.Delay {
+		switch o.Kind {
+		case seq.OpNop:
+			return cg.Cycles(0)
+		case seq.OpLoop, seq.OpCond:
+			return cg.UnboundedDelay()
+		default:
+			return cg.Cycles(b.Delay(o))
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	g := buildGraph(t, `
+process p (o)
+    out port o[8];
+    boolean a[8], b[8], c[8];
+    a = b + c;
+    b = a - 1;
+    c = a * b;
+    a = b / 2;
+    b = a < c;
+    c = a & b;
+    a = b << 1;
+    b = 7;
+    write o = a;
+`)
+	want := []string{"add", "sub", "mul", "div", "cmp", "logic", "shift", "pass", "write"}
+	var got []string
+	for _, o := range g.Ops {
+		if c := Classify(o); c != "" {
+			got = append(got, c)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("classes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("class %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBindUnlimited(t *testing.T) {
+	g := buildGraph(t, fourAdds)
+	b, err := Bind(g, Default(), nil)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	// Unlimited: four adders allocated, no conflicts.
+	adders := 0
+	for _, inst := range b.Instances {
+		if inst.Type.Class == "add" {
+			adders++
+		}
+	}
+	if adders != 4 {
+		t.Errorf("adders = %d, want 4", adders)
+	}
+	if c := b.Conflicts(); len(c) != 0 {
+		t.Errorf("conflicts = %v, want none", c)
+	}
+	if b.Area() <= 0 {
+		t.Error("area should be positive")
+	}
+}
+
+func TestBindLimitedCreatesConflicts(t *testing.T) {
+	g := buildGraph(t, fourAdds)
+	b, err := Bind(g, Default(), map[string]int{"add": 2})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	adders := 0
+	for _, inst := range b.Instances {
+		if inst.Type.Class == "add" {
+			adders++
+		}
+	}
+	if adders != 2 {
+		t.Errorf("adders = %d, want 2", adders)
+	}
+	conflicts := b.Conflicts()
+	if len(conflicts) != 2 {
+		t.Errorf("conflicts = %v, want 2 pairs (two ops per adder)", conflicts)
+	}
+
+	// Both resolution modes must produce schedulable serializations.
+	for _, mode := range []ResolveMode{Heuristic, Exact} {
+		edges, err := b.ResolveConflicts(defaultDelay(b), mode)
+		if err != nil {
+			t.Fatalf("ResolveConflicts(%v): %v", mode, err)
+		}
+		if len(edges) != len(conflicts) {
+			t.Errorf("mode %v: %d serializations for %d conflicts", mode, len(edges), len(conflicts))
+		}
+	}
+}
+
+func TestExactBeatsOrMatchesHeuristic(t *testing.T) {
+	g := buildGraph(t, fourAdds)
+	b, err := Bind(g, Default(), map[string]int{"add": 1})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	d := defaultDelay(b)
+	heur, err := b.ResolveConflicts(d, Heuristic)
+	if err != nil {
+		t.Fatalf("heuristic: %v", err)
+	}
+	exact, err := b.ResolveConflicts(d, Exact)
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	lh, err := b.latencyOf(heur, d)
+	if err != nil {
+		t.Fatalf("latencyOf(heur): %v", err)
+	}
+	le, err := b.latencyOf(exact, d)
+	if err != nil {
+		t.Fatalf("latencyOf(exact): %v", err)
+	}
+	if le > lh {
+		t.Errorf("exact latency %d worse than heuristic %d", le, lh)
+	}
+	// One adder, four serialized adds: latency at least 4.
+	if le < 4 {
+		t.Errorf("latency %d too small for four serialized adds", le)
+	}
+}
+
+// TestResolutionRespectsTimingConstraints builds two parallel reads under
+// a tight maxtime constraint and a shared port... rather, two adds bound
+// to one adder whose results feed writes under a maximum separation that
+// one serialization order violates.
+func TestResolutionRespectsTimingConstraints(t *testing.T) {
+	// u and v are two adds; a maxtime constraint allows v to lag u by at
+	// most 1 cycle. Serializing v before u keeps the constraint; the
+	// reverse orders may violate it depending on latencies, so the exact
+	// search must find a legal order.
+	src := `
+process p (o)
+    out port o[8];
+    boolean u[8], v[8];
+    tag tu, tv;
+    constraint maxtime from tu to tv = 1 cycles;
+    tu: u = u + 1;
+    tv: v = v + 2;
+    write o = u & v;
+`
+	g := buildGraph(t, src)
+	b, err := Bind(g, Default(), map[string]int{"add": 1})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	edges, err := b.ResolveConflicts(defaultDelay(b), Exact)
+	if err != nil {
+		t.Fatalf("exact resolution: %v", err)
+	}
+	if len(edges) != 1 {
+		t.Fatalf("serializations = %v", edges)
+	}
+}
+
+func TestUnresolvableConflict(t *testing.T) {
+	// Two adds on one adder with contradictory maximum constraints in
+	// both directions tighter than the adder delay: no order works.
+	src := `
+process p (o)
+    out port o[8];
+    boolean u[8], v[8];
+    tag tu, tv;
+    constraint maxtime from tu to tv = 0 cycles;
+    constraint maxtime from tv to tu = 0 cycles;
+    tu: u = u + 1;
+    tv: v = v + 2;
+    write o = u & v;
+`
+	g := buildGraph(t, src)
+	b, err := Bind(g, Default(), map[string]int{"add": 1})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	_, err = b.ResolveConflicts(defaultDelay(b), Exact)
+	if !errors.Is(err, ErrNoResolution) {
+		t.Errorf("expected ErrNoResolution, got %v", err)
+	}
+}
+
+func TestBindUnknownClass(t *testing.T) {
+	g := buildGraph(t, fourAdds)
+	lib := NewLibrary(ModuleType{Class: "write", Delay: 1, Area: 1})
+	if _, err := Bind(g, lib, nil); err == nil {
+		t.Error("expected error for missing module class")
+	}
+}

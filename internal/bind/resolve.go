@@ -1,0 +1,190 @@
+package bind
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/relsched"
+	"repro/internal/seq"
+)
+
+// ResolveMode selects the conflict-resolution strategy.
+type ResolveMode int
+
+const (
+	// Heuristic orients each conflict pair from the op with the earlier
+	// ASAP time to the later one, then verifies schedulability — the
+	// list-based strategy the paper describes as the fast option.
+	Heuristic ResolveMode = iota
+	// Exact searches orientations by branch and bound, minimizing the
+	// critical forward length while satisfying the timing constraints —
+	// the "exact branch and bound search for a serialization that
+	// satisfies the required timing constraints".
+	Exact
+)
+
+// ErrNoResolution reports that no orientation of the resource conflicts
+// satisfies the timing constraints.
+var ErrNoResolution = errors.New("bind: no conflict serialization satisfies the timing constraints")
+
+// maxExactConflicts bounds the branch-and-bound search space (2^n
+// orientations).
+const maxExactConflicts = 20
+
+// ResolveConflicts serializes the operations that share module instances
+// without an ordering, returning the serializing dependency pairs to add
+// to the sequencing graph. delayOf supplies execution delays (hierarchical
+// ops included). The returned orientation always yields a schedulable
+// constraint graph; ErrNoResolution is returned when none exists.
+func (b *Binding) ResolveConflicts(delayOf seq.DelayFn, mode ResolveMode) ([][2]int, error) {
+	conflicts := b.Conflicts()
+	if len(conflicts) == 0 {
+		return nil, nil
+	}
+	switch mode {
+	case Heuristic:
+		edges := b.heuristicOrientation(conflicts, delayOf)
+		if _, err := b.latencyOf(edges, delayOf); err != nil {
+			return nil, fmt.Errorf("%w (heuristic orientation failed: %v)", ErrNoResolution, err)
+		}
+		return edges, nil
+	case Exact:
+		if len(conflicts) > maxExactConflicts {
+			return nil, fmt.Errorf("bind: %d conflicts exceed the exact search bound %d", len(conflicts), maxExactConflicts)
+		}
+		return b.exactOrientation(conflicts, delayOf)
+	}
+	return nil, fmt.Errorf("bind: unknown resolve mode %d", mode)
+}
+
+// heuristicOrientation orients conflicts by ASAP order.
+func (b *Binding) heuristicOrientation(conflicts [][2]int, delayOf seq.DelayFn) [][2]int {
+	asap := b.asapTimes(delayOf)
+	out := make([][2]int, 0, len(conflicts))
+	for _, c := range conflicts {
+		x, y := c[0], c[1]
+		if asap[y] < asap[x] || (asap[y] == asap[x] && y < x) {
+			x, y = y, x
+		}
+		out = append(out, [2]int{x, y})
+	}
+	return out
+}
+
+// asapTimes computes as-soon-as-possible start levels over the sequencing
+// edges only, with unbounded delays at 0.
+func (b *Binding) asapTimes(delayOf seq.DelayFn) []int {
+	g := b.Graph
+	n := len(g.Ops)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	asap := make([]int, n)
+	queue := []int{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := delayOf(g.Ops[v]).Min()
+		for _, w := range adj[v] {
+			if asap[v]+d > asap[w] {
+				asap[w] = asap[v] + d
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return asap
+}
+
+// latencyOf builds the constraint graph with the extra serial edges and
+// returns its minimum latency at zero unbounded delays, or an error when
+// the graph is unfeasible, ill-posed, or inconsistent.
+func (b *Binding) latencyOf(extra [][2]int, delayOf seq.DelayFn) (int, error) {
+	cgr, _, err := b.Graph.ToConstraintGraph(delayOf, extra)
+	if err != nil {
+		return 0, err
+	}
+	s, err := relsched.Compute(cgr)
+	if err != nil {
+		return 0, err
+	}
+	t, err := s.StartTimes(relsched.ZeroProfile(cgr), relsched.IrredundantAnchors)
+	if err != nil {
+		return 0, err
+	}
+	return t[cgr.Sink()], nil
+}
+
+// exactOrientation searches all orientations by branch and bound.
+func (b *Binding) exactOrientation(conflicts [][2]int, delayOf seq.DelayFn) ([][2]int, error) {
+	// Order conflicts deterministically; explore the heuristic
+	// orientation first so the incumbent bound tightens early.
+	heur := b.heuristicOrientation(conflicts, delayOf)
+	best := [][2]int(nil)
+	bestLat := int(^uint(0) >> 1) // max int
+	if lat, err := b.latencyOf(heur, delayOf); err == nil {
+		best = append([][2]int{}, heur...)
+		bestLat = lat
+	}
+	chosen := make([][2]int, 0, len(conflicts))
+	var dfs func(i int)
+	dfs = func(i int) {
+		if i == len(conflicts) {
+			lat, err := b.latencyOf(chosen, delayOf)
+			if err == nil && lat < bestLat {
+				bestLat = lat
+				best = append([][2]int{}, chosen...)
+			}
+			return
+		}
+		// Prune: if the partial orientation is already unschedulable or
+		// no better than the incumbent, stop. The critical length is
+		// monotone in added edges, so the bound is admissible.
+		if lat, err := b.partialBound(chosen, delayOf); err != nil || lat >= bestLat {
+			return
+		}
+		c := heur[i]
+		for _, orient := range [2][2]int{c, {c[1], c[0]}} {
+			chosen = append(chosen, orient)
+			dfs(i + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	dfs(0)
+	if best == nil {
+		return nil, ErrNoResolution
+	}
+	sort.Slice(best, func(i, j int) bool {
+		if best[i][0] != best[j][0] {
+			return best[i][0] < best[j][0]
+		}
+		return best[i][1] < best[j][1]
+	})
+	return best, nil
+}
+
+// partialBound computes a lower bound on the latency of any completion of
+// the partial orientation: the critical forward length with only the
+// chosen edges added (unoriented conflicts omitted). It errors when the
+// partial graph is already structurally broken.
+func (b *Binding) partialBound(chosen [][2]int, delayOf seq.DelayFn) (int, error) {
+	cgr, _, err := b.Graph.ToConstraintGraph(delayOf, chosen)
+	if err != nil {
+		return 0, err
+	}
+	if err := relsched.CheckFeasible(cgr); err != nil {
+		return 0, err
+	}
+	return cgr.CriticalForwardLength(), nil
+}

@@ -1,0 +1,111 @@
+// Package bitset provides a compact fixed-universe bit set used for anchor
+// sets, where the universe is the (small) list of anchors of a constraint
+// graph.
+package bitset
+
+import "math/bits"
+
+// Set is a bit set over a fixed universe [0, n). The zero value is an
+// empty set over an empty universe; use New for a sized set.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) Set {
+	return Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size.
+func (s Set) Len() int { return s.n }
+
+// Add inserts i into the set.
+func (s Set) Add(i int) { s.words[i/64] |= 1 << (uint(i) % 64) }
+
+// Remove deletes i from the set.
+func (s Set) Remove(i int) { s.words[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool { return s.words[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Count returns the number of elements in the set.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+// The two sets must share a universe size.
+func (s Set) UnionWith(t Set) bool {
+	changed := false
+	for i, w := range t.words {
+		if s.words[i]|w != s.words[i] {
+			s.words[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s Set) Equal(t Set) bool {
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	return Set{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// Elements returns the members of s in ascending order.
+func (s Set) Elements() []int {
+	var out []int
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every member in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() || s.Count() != 0 || s.Len() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Errorf("Has(%d) false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Has(64) true after Remove")
+	}
+	if got := s.Elements(); !reflect.DeepEqual(got, []int{0, 1, 63, 65, 127, 128, 129}) {
+		t.Errorf("Elements = %v", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Errorf("Count = %d after double Add", s.Count())
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(1)
+	b.Add(70)
+	if !a.UnionWith(b) {
+		t.Error("UnionWith should report change")
+	}
+	if a.UnionWith(b) {
+		t.Error("second UnionWith should report no change")
+	}
+	if !a.Has(1) || !a.Has(70) {
+		t.Error("union missing elements")
+	}
+	if b.Has(1) {
+		t.Error("UnionWith mutated its argument")
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a, b := New(80), New(80)
+	a.Add(5)
+	b.Add(5)
+	b.Add(77)
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a unexpected")
+	}
+	if a.Equal(b) {
+		t.Error("Equal unexpected")
+	}
+	a.Add(77)
+	if !a.Equal(b) {
+		t.Error("Equal expected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Add(10)
+	c := a.Clone()
+	c.Add(20)
+	if a.Has(20) {
+		t.Error("Clone shares storage with original")
+	}
+	if !c.Has(10) {
+		t.Error("Clone lost element")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEach order = %v, want %v", got, want)
+	}
+}
+
+// TestQuick_SetSemantics cross-checks the bit set against a map-based
+// reference implementation under random operation sequences.
+func TestQuick_SetSemantics(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		const n = 150
+		rng := rand.New(rand.NewSource(seed))
+		s := New(n)
+		ref := map[int]bool{}
+		for _, op := range opsRaw {
+			i := rng.Intn(n)
+			switch op % 3 {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			case 2:
+				if s.Has(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for _, e := range s.Elements() {
+			if !ref[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuick_UnionSubset checks the algebraic laws a ⊆ a∪b and b ⊆ a∪b.
+func TestQuick_UnionSubset(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		return a.SubsetOf(u) && b.SubsetOf(u) && u.Count() >= a.Count() && u.Count() >= b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,428 @@
+// Package cg implements the polar weighted constraint graph that underlies
+// relative scheduling (Ku & De Micheli, "Relative Scheduling Under Timing
+// Constraints", DAC 1990).
+//
+// A constraint graph G(V, E) has one vertex per operation plus a source and
+// a sink. Edges come in two families:
+//
+//   - forward edges model sequencing dependencies (weight = execution delay
+//     of the tail operation) and minimum timing constraints (weight = l_ij);
+//   - backward edges model maximum timing constraints u_ij as an edge
+//     (v_j, v_i) of weight -u_ij.
+//
+// An operation whose execution delay is unknown at compile time (external
+// synchronization, data-dependent iteration) is an unbounded-delay vertex.
+// Sequencing edges leaving such a vertex carry an unbounded weight equal to
+// the tail's delay δ(v); longest-path computations treat that weight as its
+// minimum value 0, while anchor-set computations treat it as the marker
+// that propagates the tail as an anchor.
+package cg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex within one Graph. IDs are dense: the source
+// vertex of a graph is always ID 0 and the remaining vertices are numbered
+// in creation order.
+type VertexID int
+
+// None is the sentinel returned by queries that can fail to find a vertex.
+const None VertexID = -1
+
+// Delay is the execution delay of an operation in clock cycles. A delay is
+// either bounded (a fixed non-negative cycle count) or unbounded (unknown
+// at compile time, taking any value in [0, ∞)).
+type Delay struct {
+	bounded bool
+	cycles  int
+}
+
+// Cycles returns a bounded delay of n cycles. It panics if n is negative,
+// since synchronous operations cannot complete before they start.
+func Cycles(n int) Delay {
+	if n < 0 {
+		panic(fmt.Sprintf("cg: negative delay %d", n))
+	}
+	return Delay{bounded: true, cycles: n}
+}
+
+// UnboundedDelay returns the unbounded execution delay δ ∈ [0, ∞).
+func UnboundedDelay() Delay { return Delay{} }
+
+// Bounded reports whether the delay is known at compile time.
+func (d Delay) Bounded() bool { return d.bounded }
+
+// Value returns the cycle count of a bounded delay. It panics for
+// unbounded delays, whose value does not exist at compile time.
+func (d Delay) Value() int {
+	if !d.bounded {
+		panic("cg: Value on unbounded delay")
+	}
+	return d.cycles
+}
+
+// Min returns the minimum value the delay can assume: the fixed cycle
+// count for bounded delays and 0 for unbounded delays.
+func (d Delay) Min() int {
+	if d.bounded {
+		return d.cycles
+	}
+	return 0
+}
+
+// String renders the delay as a cycle count or "δ" for unbounded.
+func (d Delay) String() string {
+	if d.bounded {
+		return fmt.Sprintf("%d", d.cycles)
+	}
+	return "δ"
+}
+
+// Vertex is one operation in the constraint graph.
+type Vertex struct {
+	ID    VertexID
+	Name  string
+	Delay Delay
+}
+
+// EdgeKind classifies how an edge entered the constraint graph. The
+// classification matches Table I of the paper, plus Serialization for the
+// forward edges added by MakeWellPosed.
+type EdgeKind int
+
+const (
+	// Sequencing is a dependency edge (v_i, v_j) of weight δ(v_i).
+	Sequencing EdgeKind = iota
+	// MinConstraint is a forward edge (v_i, v_j) of weight l_ij ≥ 0.
+	MinConstraint
+	// MaxConstraint is a backward edge (v_j, v_i) of weight -u_ij ≤ 0.
+	MaxConstraint
+	// Serialization is a sequencing edge added by MakeWellPosed to
+	// serialize a vertex against an anchor; its weight is δ(anchor).
+	Serialization
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case Sequencing:
+		return "seq"
+	case MinConstraint:
+		return "min"
+	case MaxConstraint:
+		return "max"
+	case Serialization:
+		return "ser"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Forward reports whether edges of this kind belong to the forward edge
+// set E_f. Backward edges (maximum timing constraints) form E_b.
+func (k EdgeKind) Forward() bool { return k != MaxConstraint }
+
+// Edge is a weighted directed edge of the constraint graph.
+type Edge struct {
+	From, To VertexID
+	Kind     EdgeKind
+	// Weight is the bounded part of the edge weight. For unbounded edges
+	// it is ignored in favour of the tail's delay δ(From).
+	Weight int
+	// Unbounded marks edges whose weight is the unbounded delay δ(From).
+	// Longest-path computations use the minimum value 0 for such edges.
+	Unbounded bool
+}
+
+// MinWeight is the minimum value the edge weight can assume: Weight for
+// bounded edges and 0 for unbounded edges.
+func (e Edge) MinWeight() int {
+	if e.Unbounded {
+		return 0
+	}
+	return e.Weight
+}
+
+// String renders the edge for diagnostics.
+func (e Edge) String() string {
+	w := fmt.Sprintf("%d", e.Weight)
+	if e.Unbounded {
+		w = "δ"
+	}
+	return fmt.Sprintf("%d-%s(%s)->%d", e.From, e.Kind, w, e.To)
+}
+
+// Graph is a polar weighted directed constraint graph under construction
+// or in use. The zero value is not usable; call New.
+//
+// Graph methods are not safe for concurrent mutation; concurrent read-only
+// use after Freeze is safe.
+type Graph struct {
+	vertices []Vertex
+	edges    []Edge
+	out      [][]int // vertex -> indices into edges (all kinds)
+	in       [][]int
+	frozen   bool
+
+	// caches built by Freeze
+	topo    []VertexID // topological order of the forward subgraph
+	anchors []VertexID // source + unbounded-delay vertices, ascending
+}
+
+// New returns an empty graph containing only the source vertex. The source
+// models graph activation and therefore has unbounded delay δ(v0), as
+// required by Definition 2 of the paper.
+func New() *Graph {
+	g := &Graph{}
+	g.addVertex("v0", UnboundedDelay())
+	return g
+}
+
+// Source returns the ID of the source vertex (always 0).
+func (g *Graph) Source() VertexID { return 0 }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.vertices) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Vertex returns the vertex with the given ID.
+func (g *Graph) Vertex(id VertexID) Vertex { return g.vertices[id] }
+
+// Vertices returns the vertex slice. Callers must not modify it.
+func (g *Graph) Vertices() []Vertex { return g.vertices }
+
+// Edges returns the edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// VertexByName returns the first vertex with the given name, or None.
+func (g *Graph) VertexByName(name string) VertexID {
+	for _, v := range g.vertices {
+		if v.Name == name {
+			return v.ID
+		}
+	}
+	return None
+}
+
+func (g *Graph) addVertex(name string, d Delay) VertexID {
+	id := VertexID(len(g.vertices))
+	if name == "" {
+		name = fmt.Sprintf("v%d", id)
+	}
+	g.vertices = append(g.vertices, Vertex{ID: id, Name: name, Delay: d})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddOp adds an operation vertex with a bounded or unbounded delay and
+// returns its ID. It panics if the graph has been frozen.
+func (g *Graph) AddOp(name string, d Delay) VertexID {
+	g.mutable()
+	g.invalidate()
+	return g.addVertex(name, d)
+}
+
+func (g *Graph) mutable() {
+	if g.frozen {
+		panic("cg: mutation of frozen graph")
+	}
+}
+
+func (g *Graph) invalidate() {
+	g.topo = nil
+	g.anchors = nil
+}
+
+func (g *Graph) addEdge(e Edge) int {
+	g.check(e.From)
+	g.check(e.To)
+	if e.From == e.To {
+		panic(fmt.Sprintf("cg: self edge on %d", e.From))
+	}
+	i := len(g.edges)
+	g.edges = append(g.edges, e)
+	g.out[e.From] = append(g.out[e.From], i)
+	g.in[e.To] = append(g.in[e.To], i)
+	return i
+}
+
+func (g *Graph) check(id VertexID) {
+	if id < 0 || int(id) >= len(g.vertices) {
+		panic(fmt.Sprintf("cg: vertex %d out of range [0,%d)", id, len(g.vertices)))
+	}
+}
+
+// AddSeq adds a sequencing dependency edge from v_i to v_j with weight
+// δ(v_i). If v_i has unbounded delay the edge weight is unbounded.
+func (g *Graph) AddSeq(from, to VertexID) {
+	g.mutable()
+	g.invalidate()
+	d := g.vertices[from].Delay
+	g.addEdge(Edge{
+		From:      from,
+		To:        to,
+		Kind:      Sequencing,
+		Weight:    d.Min(),
+		Unbounded: !d.Bounded(),
+	})
+}
+
+// AddMin adds a minimum timing constraint σ(v_j) ≥ σ(v_i) + l as a forward
+// edge (v_i, v_j) of weight l. It panics if l is negative; a zero minimum
+// constraint is legal and models simultaneity lower bounds.
+func (g *Graph) AddMin(from, to VertexID, l int) {
+	g.mutable()
+	g.invalidate()
+	if l < 0 {
+		panic(fmt.Sprintf("cg: negative minimum constraint %d", l))
+	}
+	g.addEdge(Edge{From: from, To: to, Kind: MinConstraint, Weight: l})
+}
+
+// AddMax adds a maximum timing constraint σ(v_j) ≤ σ(v_i) + u as a
+// backward edge (v_j, v_i) of weight -u. It panics if u is negative.
+func (g *Graph) AddMax(from, to VertexID, u int) {
+	g.mutable()
+	g.invalidate()
+	if u < 0 {
+		panic(fmt.Sprintf("cg: negative maximum constraint %d", u))
+	}
+	g.addEdge(Edge{From: to, To: from, Kind: MaxConstraint, Weight: -u})
+}
+
+// AddSerialization adds the forward edge from an anchor a to vertex v used
+// by MakeWellPosed, with unbounded weight δ(a). It panics unless a has
+// unbounded delay (only anchors serialize successors this way).
+func (g *Graph) AddSerialization(a, v VertexID) {
+	g.mutable()
+	g.invalidate()
+	if g.vertices[a].Delay.Bounded() {
+		panic(fmt.Sprintf("cg: serialization from bounded-delay vertex %d", a))
+	}
+	g.addEdge(Edge{From: a, To: v, Kind: Serialization, Unbounded: true})
+}
+
+// OutEdges returns the indices of edges leaving v. Callers must not modify
+// the returned slice.
+func (g *Graph) OutEdges(v VertexID) []int { return g.out[v] }
+
+// InEdges returns the indices of edges entering v. Callers must not modify
+// the returned slice.
+func (g *Graph) InEdges(v VertexID) []int { return g.in[v] }
+
+// ForwardOut iterates over the forward edges leaving v, calling fn with
+// each edge index. Iteration stops early if fn returns false.
+func (g *Graph) ForwardOut(v VertexID, fn func(i int, e Edge) bool) {
+	for _, i := range g.out[v] {
+		e := g.edges[i]
+		if !e.Kind.Forward() {
+			continue
+		}
+		if !fn(i, e) {
+			return
+		}
+	}
+}
+
+// BackwardEdges returns the indices of all backward edges (E_b), in
+// insertion order.
+func (g *Graph) BackwardEdges() []int {
+	var b []int
+	for i, e := range g.edges {
+		if !e.Kind.Forward() {
+			b = append(b, i)
+		}
+	}
+	return b
+}
+
+// NumBackward returns |E_b|.
+func (g *Graph) NumBackward() int {
+	n := 0
+	for _, e := range g.edges {
+		if !e.Kind.Forward() {
+			n++
+		}
+	}
+	return n
+}
+
+// Anchors returns the anchor set A of the graph: the source vertex plus
+// every unbounded-delay vertex, in ascending ID order (Definition 2).
+func (g *Graph) Anchors() []VertexID {
+	if g.anchors != nil {
+		return g.anchors
+	}
+	var a []VertexID
+	for _, v := range g.vertices {
+		if !v.Delay.Bounded() {
+			a = append(a, v.ID)
+		}
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	if g.frozen {
+		g.anchors = a
+	}
+	return a
+}
+
+// IsAnchor reports whether v is an anchor of the graph.
+func (g *Graph) IsAnchor(v VertexID) bool {
+	return !g.vertices[v].Delay.Bounded()
+}
+
+// Freeze validates the graph and locks it against further mutation.
+// Validation enforces the structural preconditions of relative scheduling:
+// the forward subgraph must be acyclic and the graph polar (every vertex
+// reachable from the source in G_f, and the sink — the unique vertex with
+// no outgoing forward edges — reachable from every vertex).
+func (g *Graph) Freeze() error {
+	if g.frozen {
+		return nil
+	}
+	if err := g.validate(); err != nil {
+		return err
+	}
+	g.frozen = true
+	g.topo = nil
+	g.anchors = nil
+	g.topo = g.TopoForward()
+	g.anchors = nil
+	g.Anchors()
+	return nil
+}
+
+// MustFreeze is Freeze that panics on error, for graphs constructed by
+// code that guarantees validity (tests, generators).
+func (g *Graph) MustFreeze() *Graph {
+	if err := g.Freeze(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Frozen reports whether the graph has been frozen.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Clone returns a deep, unfrozen copy of the graph. MakeWellPosed uses
+// clones so the caller's graph is never mutated.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		vertices: append([]Vertex(nil), g.vertices...),
+		edges:    append([]Edge(nil), g.edges...),
+		out:      make([][]int, len(g.out)),
+		in:       make([][]int, len(g.in)),
+	}
+	for i := range g.out {
+		c.out[i] = append([]int(nil), g.out[i]...)
+		c.in[i] = append([]int(nil), g.in[i]...)
+	}
+	return c
+}

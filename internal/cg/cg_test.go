@@ -1,0 +1,423 @@
+package cg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// chain builds v0 → a → b → sink with the given delays.
+func chain(t *testing.T, delays ...Delay) (*Graph, []VertexID) {
+	t.Helper()
+	g := New()
+	prev := g.Source()
+	ids := []VertexID{prev}
+	for i, d := range delays {
+		v := g.AddOp("", d)
+		g.AddSeq(prev, v)
+		prev = v
+		ids = append(ids, v)
+		_ = i
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return g, ids
+}
+
+func TestDelay(t *testing.T) {
+	d := Cycles(3)
+	if !d.Bounded() || d.Value() != 3 || d.Min() != 3 || d.String() != "3" {
+		t.Errorf("Cycles(3) misbehaves: %+v", d)
+	}
+	u := UnboundedDelay()
+	if u.Bounded() || u.Min() != 0 || u.String() != "δ" {
+		t.Errorf("UnboundedDelay misbehaves: %+v", u)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Value on unbounded delay should panic")
+		}
+	}()
+	_ = u.Value()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycles(-1) should panic")
+		}
+	}()
+	_ = Cycles(-1)
+}
+
+func TestTableI_Translation(t *testing.T) {
+	// Table I: sequencing edge (v_i,v_j) forward with weight δ(v_i);
+	// minimum constraint l_ij forward with weight l_ij; maximum
+	// constraint u_ij backward (v_j, v_i) with weight -u_ij.
+	g := New()
+	v1 := g.AddOp("v1", Cycles(3))
+	v2 := g.AddOp("v2", Cycles(1))
+	g.AddSeq(g.Source(), v1)
+	g.AddSeq(v1, v2)
+	g.AddMin(v1, v2, 5)
+	g.AddMax(v1, v2, 7)
+
+	edges := g.Edges()
+	if e := edges[1]; e.Kind != Sequencing || e.From != v1 || e.To != v2 || e.Weight != 3 || e.Unbounded {
+		t.Errorf("sequencing edge: %v", e)
+	}
+	if e := edges[0]; !e.Unbounded || e.From != g.Source() {
+		t.Errorf("source sequencing edge must be unbounded: %v", e)
+	}
+	if e := edges[2]; e.Kind != MinConstraint || e.From != v1 || e.To != v2 || e.Weight != 5 || !e.Kind.Forward() {
+		t.Errorf("min constraint edge: %v", e)
+	}
+	if e := edges[3]; e.Kind != MaxConstraint || e.From != v2 || e.To != v1 || e.Weight != -7 || e.Kind.Forward() {
+		t.Errorf("max constraint edge: %v", e)
+	}
+}
+
+func TestFreezeValidatesPolarity(t *testing.T) {
+	g := New()
+	v1 := g.AddOp("v1", Cycles(1))
+	v2 := g.AddOp("v2", Cycles(1))
+	g.AddSeq(g.Source(), v1)
+	_ = v2 // unreachable
+	if err := g.Freeze(); err == nil {
+		t.Error("Freeze should reject unreachable vertex")
+	}
+
+	g2 := New()
+	a := g2.AddOp("a", Cycles(1))
+	b := g2.AddOp("b", Cycles(1))
+	g2.AddSeq(g2.Source(), a)
+	g2.AddSeq(g2.Source(), b)
+	// Two sinks: a and b.
+	if err := g2.Freeze(); err == nil {
+		t.Error("Freeze should reject two sinks")
+	}
+}
+
+func TestFreezeDetectsForwardCycle(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", Cycles(1))
+	b := g.AddOp("b", Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, b)
+	g.AddSeq(b, a)
+	if err := g.Freeze(); !errors.Is(err, ErrForwardCycle) {
+		t.Errorf("Freeze = %v, want ErrForwardCycle", err)
+	}
+}
+
+func TestFrozenGraphRejectsMutation(t *testing.T) {
+	g, ids := chain(t, Cycles(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("AddOp on frozen graph should panic")
+		}
+	}()
+	_ = ids
+	g.AddOp("late", Cycles(1))
+}
+
+func TestTopoForwardOrder(t *testing.T) {
+	g, ids := chain(t, Cycles(1), Cycles(2), Cycles(3))
+	order := g.TopoForward()
+	pos := make(map[VertexID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for i := 1; i < len(ids); i++ {
+		if pos[ids[i-1]] >= pos[ids[i]] {
+			t.Errorf("topological order violates chain at %d", i)
+		}
+	}
+}
+
+func TestSinkAndReachability(t *testing.T) {
+	g, ids := chain(t, Cycles(1), Cycles(2))
+	if got := g.Sink(); got != ids[len(ids)-1] {
+		t.Errorf("Sink = %d, want %d", got, ids[len(ids)-1])
+	}
+	if !g.IsForwardPredecessor(ids[0], ids[2]) {
+		t.Error("v0 should precede the sink")
+	}
+	if g.IsForwardPredecessor(ids[2], ids[0]) {
+		t.Error("sink should not precede v0")
+	}
+	if g.IsForwardPredecessor(ids[1], ids[1]) {
+		t.Error("a vertex is not its own predecessor")
+	}
+	preds := g.ForwardPredecessors(ids[2])
+	if !preds[ids[0]] || !preds[ids[1]] || preds[ids[2]] {
+		t.Errorf("ForwardPredecessors(sink) = %v", preds)
+	}
+}
+
+func TestLongestForwardFrom(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", Cycles(2))
+	b := g.AddOp("b", Cycles(3))
+	c := g.AddOp("c", Cycles(0))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(g.Source(), b)
+	g.AddSeq(a, c)
+	g.AddSeq(b, c)
+	g.MustFreeze()
+	d := g.LongestForwardFrom(g.Source())
+	if d[a] != 0 || d[b] != 0 || d[c] != 3 {
+		t.Errorf("longest = %v", d)
+	}
+	da := g.LongestForwardFrom(a)
+	if da[b] != Unreachable {
+		t.Error("b should be unreachable from a")
+	}
+	if da[c] != 2 {
+		t.Errorf("a→c = %d, want 2", da[c])
+	}
+}
+
+func TestLongestFromWithBackwardEdges(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", Cycles(4))
+	b := g.AddOp("b", Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, b)
+	g.AddMax(a, b, 6) // backward b→a weight -6
+	g.MustFreeze()
+	d, ok := g.LongestFrom(g.Source())
+	if !ok {
+		t.Fatal("no positive cycle expected")
+	}
+	if d[a] != 0 || d[b] != 4 {
+		t.Errorf("longest = %v", d)
+	}
+}
+
+func TestHasPositiveCycle(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", Cycles(4))
+	b := g.AddOp("b", Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, b)
+	g.AddMax(a, b, 2) // u < δ(a): cycle a→b→a of length 4-2 = 2 > 0
+	g.MustFreeze()
+	if !g.HasPositiveCycle() {
+		t.Error("positive cycle expected")
+	}
+	if _, ok := g.LongestFrom(g.Source()); ok {
+		t.Error("LongestFrom should report divergence")
+	}
+}
+
+func TestHasUnboundedCycle(t *testing.T) {
+	g := New()
+	vi := g.AddOp("vi", Cycles(1))
+	a := g.AddOp("a", UnboundedDelay())
+	vj := g.AddOp("vj", Cycles(1))
+	g.AddSeq(g.Source(), vi)
+	g.AddSeq(vi, a)
+	g.AddSeq(a, vj)
+	g.AddMax(vi, vj, 4) // backward vj→vi: cycle through unbounded a→vj edge
+	g.MustFreeze()
+	if !g.HasUnboundedCycle() {
+		t.Error("unbounded cycle expected (Fig 3a shape)")
+	}
+
+	g2 := New()
+	a2 := g2.AddOp("a", UnboundedDelay())
+	v := g2.AddOp("v", Cycles(1))
+	g2.AddSeq(g2.Source(), a2)
+	g2.AddSeq(a2, v)
+	g2.MustFreeze()
+	if g2.HasUnboundedCycle() {
+		t.Error("no unbounded cycle expected")
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", UnboundedDelay())
+	v := g.AddOp("v", Cycles(1))
+	b := g.AddOp("b", UnboundedDelay())
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, v)
+	g.AddSeq(v, b)
+	g.MustFreeze()
+	got := g.Anchors()
+	want := []VertexID{g.Source(), a, b}
+	if len(got) != len(want) {
+		t.Fatalf("Anchors = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Anchors = %v, want %v", got, want)
+		}
+	}
+	if !g.IsAnchor(a) || g.IsAnchor(v) {
+		t.Error("IsAnchor misclassifies")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g, ids := chain(t, Cycles(1))
+	c := g.Clone()
+	if c.Frozen() {
+		t.Error("clone should be thawed")
+	}
+	extra := c.AddOp("extra", Cycles(2))
+	c.AddSeq(ids[1], extra)
+	if g.N() != 2 || c.N() != 3 {
+		t.Errorf("clone not independent: g.N=%d c.N=%d", g.N(), c.N())
+	}
+}
+
+func TestCriticalForwardLength(t *testing.T) {
+	g, _ := chain(t, Cycles(2), Cycles(3), Cycles(4))
+	// Path weights: δ(v0)=unbounded→0, then 2, 3; the sink's own delay is
+	// not on any edge out of it.
+	if got := g.CriticalForwardLength(); got != 5 {
+		t.Errorf("CriticalForwardLength = %d, want 5", got)
+	}
+}
+
+func TestVertexByName(t *testing.T) {
+	g, _ := chain(t, Cycles(1))
+	if g.VertexByName("v0") != g.Source() {
+		t.Error("VertexByName(v0) should find the source")
+	}
+	if g.VertexByName("nope") != None {
+		t.Error("VertexByName should return None for unknown names")
+	}
+}
+
+func TestSelfEdgePanics(t *testing.T) {
+	g := New()
+	v := g.AddOp("v", Cycles(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("self edge should panic")
+		}
+	}()
+	g.AddSeq(v, v)
+}
+
+func TestLongestFromInduced(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", UnboundedDelay())
+	w := g.AddOp("w", Cycles(5))
+	v := g.AddOp("v", Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(g.Source(), w)
+	g.AddSeq(a, v)
+	g.AddSeq(w, v)
+	g.MustFreeze()
+	allowed := g.ReachableForward(a)
+	d, ok := g.LongestFromInduced(a, allowed)
+	if !ok {
+		t.Fatal("unexpected cycle")
+	}
+	if d[v] != 0 {
+		t.Errorf("induced a→v = %d, want 0 (w excluded)", d[v])
+	}
+	if d[w] != Unreachable {
+		t.Errorf("w should be unreachable in induced graph, got %d", d[w])
+	}
+}
+
+func TestAccessorsAndFormat(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", UnboundedDelay())
+	b := g.AddOp("b", Cycles(2))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, b)
+	g.AddMax(a, b, 5)
+	g.AddSerialization(a, b)
+	g.MustFreeze()
+
+	if g.M() != 4 {
+		t.Errorf("M = %d, want 4", g.M())
+	}
+	if g.Vertex(a).Name != "a" || len(g.Vertices()) != 3 {
+		t.Error("vertex accessors broken")
+	}
+	if e := g.Edge(2); e.Kind != MaxConstraint {
+		t.Errorf("Edge(2) = %v", e)
+	}
+	if len(g.OutEdges(a)) != 2 || len(g.InEdges(b)) != 2 {
+		t.Errorf("adjacency: out(a)=%d in(b)=%d", len(g.OutEdges(a)), len(g.InEdges(b)))
+	}
+	if bw := g.BackwardEdges(); len(bw) != 1 || g.NumBackward() != 1 {
+		t.Errorf("backward edges: %v", bw)
+	}
+	// Formatting is stable and mentions every element.
+	out := g.String()
+	for _, want := range []string{"vertex 1 a delay=δ", "max", "ser", "seq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+	if g.Name(VertexID(99)) != "v?99" {
+		t.Errorf("Name fallback = %q", g.Name(VertexID(99)))
+	}
+	if names := g.Names([]VertexID{a, b}); names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	// Edge kind strings.
+	for k, want := range map[EdgeKind]string{Sequencing: "seq", MinConstraint: "min", MaxConstraint: "max", Serialization: "ser"} {
+		if k.String() != want {
+			t.Errorf("EdgeKind(%d) = %q", int(k), k.String())
+		}
+	}
+	if EdgeKind(42).String() == "" || Delay.String(Cycles(3)) != "3" {
+		t.Error("fallback strings broken")
+	}
+}
+
+func TestSerializationFromBoundedPanics(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", Cycles(1))
+	b := g.AddOp("b", Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Error("serialization from a bounded vertex should panic")
+		}
+	}()
+	g.AddSerialization(a, b)
+}
+
+func TestMustFreezePanicsOnInvalid(t *testing.T) {
+	g := New()
+	g.AddOp("orphan", Cycles(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFreeze should panic on invalid graph")
+		}
+	}()
+	g.MustFreeze()
+}
+
+func TestNegativeConstraintsPanic(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", Cycles(1))
+	b := g.AddOp("b", Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, b)
+	for _, fn := range []func(){
+		func() { g.AddMin(a, b, -1) },
+		func() { g.AddMax(a, b, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative constraint should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

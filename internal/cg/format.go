@@ -1,0 +1,45 @@
+package cg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the graph in a compact multi-line form, one vertex and
+// one edge per line, stable across runs.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph n=%d m=%d\n", g.N(), g.M())
+	for _, v := range g.vertices {
+		fmt.Fprintf(&b, "  vertex %d %s delay=%s\n", v.ID, v.Name, v.Delay)
+	}
+	edges := append([]Edge(nil), g.edges...)
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  edge %s\n", e)
+	}
+	return b.String()
+}
+
+// Name returns the vertex name for diagnostics, falling back to "v<id>".
+func (g *Graph) Name(id VertexID) string {
+	if id < 0 || int(id) >= len(g.vertices) {
+		return fmt.Sprintf("v?%d", id)
+	}
+	return g.vertices[id].Name
+}
+
+// Names maps a vertex ID slice to the corresponding names.
+func (g *Graph) Names(ids []VertexID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Name(id)
+	}
+	return out
+}

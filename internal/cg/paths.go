@@ -1,0 +1,188 @@
+package cg
+
+import "math"
+
+// Unreachable is the path length reported for vertex pairs with no
+// connecting path.
+const Unreachable = math.MinInt32
+
+// LongestForwardFrom returns, for every vertex, the length of the longest
+// weighted path from src using only forward edges, with unbounded edge
+// weights at their minimum value 0. Unreachable vertices get Unreachable.
+//
+// The forward subgraph is acyclic so a single relaxation sweep in
+// topological order suffices.
+func (g *Graph) LongestForwardFrom(src VertexID) []int {
+	dist := make([]int, len(g.vertices))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	for _, v := range g.TopoForward() {
+		if dist[v] == Unreachable {
+			continue
+		}
+		for _, i := range g.out[v] {
+			e := g.edges[i]
+			if !e.Kind.Forward() {
+				continue
+			}
+			if d := dist[v] + e.MinWeight(); d > dist[e.To] {
+				dist[e.To] = d
+			}
+		}
+	}
+	return dist
+}
+
+// LongestFrom returns, for every vertex, the length of the longest
+// weighted path from src in the full graph G (forward and backward edges),
+// with unbounded edge weights set to 0 — the paper's length(src, ·). The
+// second result is false if a positive cycle is reachable from src, in
+// which case longest paths are unbounded and the distances are not
+// meaningful.
+//
+// The full graph can contain cycles (through backward edges), so this is
+// Bellman–Ford specialized to longest paths: O(|V|·|E|).
+func (g *Graph) LongestFrom(src VertexID) ([]int, bool) {
+	n := len(g.vertices)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	for iter := 0; iter < n-1; iter++ {
+		changed := false
+		for _, e := range g.edges {
+			if dist[e.From] == Unreachable {
+				continue
+			}
+			if d := dist[e.From] + e.MinWeight(); d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, true
+		}
+	}
+	for _, e := range g.edges {
+		if dist[e.From] == Unreachable {
+			continue
+		}
+		if dist[e.From]+e.MinWeight() > dist[e.To] {
+			return dist, false
+		}
+	}
+	return dist, true
+}
+
+// LongestFromInduced returns longest-path distances from src in the
+// subgraph induced by the vertex set allowed (src must be allowed): only
+// edges with both endpoints allowed participate. Unbounded weights count
+// as 0. This computes the minimum offsets of Definition 3: the induced
+// subgraph G_a over V_a (src and its forward successors) with backward
+// edges among them included. The second result is false if a positive
+// cycle within the induced subgraph is reachable from src.
+func (g *Graph) LongestFromInduced(src VertexID, allowed []bool) ([]int, bool) {
+	n := len(g.vertices)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	for iter := 0; iter < n-1; iter++ {
+		changed := false
+		for _, e := range g.edges {
+			if !allowed[e.From] || !allowed[e.To] || dist[e.From] == Unreachable {
+				continue
+			}
+			if d := dist[e.From] + e.MinWeight(); d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, true
+		}
+	}
+	for _, e := range g.edges {
+		if !allowed[e.From] || !allowed[e.To] || dist[e.From] == Unreachable {
+			continue
+		}
+		if dist[e.From]+e.MinWeight() > dist[e.To] {
+			return dist, false
+		}
+	}
+	return dist, true
+}
+
+// HasPositiveCycle reports whether G₀ — the constraint graph with all
+// unbounded delays set to 0 — contains a cycle of strictly positive
+// length. By Theorem 1 this is exactly the unfeasibility condition.
+func (g *Graph) HasPositiveCycle() bool {
+	// Bellman–Ford from a virtual super-source connected to every vertex
+	// with weight 0, so cycles in any component are found.
+	n := len(g.vertices)
+	dist := make([]int, n) // all zero: the virtual source relaxation
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.edges {
+			if d := dist[e.From] + e.MinWeight(); d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// HasUnboundedCycle reports whether the graph contains a cycle through at
+// least one unbounded-weight edge. By Lemma 3, a feasible graph can be
+// made well-posed if and only if no such cycle exists.
+func (g *Graph) HasUnboundedCycle() bool {
+	// For each unbounded edge (a, v), a cycle of unbounded length exists
+	// iff a is reachable from v in the full graph.
+	n := len(g.vertices)
+	for _, e := range g.edges {
+		if !e.Unbounded {
+			continue
+		}
+		if g.reaches(e.To, e.From, make([]bool, n)) {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether dst is reachable from src in the full graph.
+func (g *Graph) reaches(src, dst VertexID, seen []bool) bool {
+	if src == dst {
+		return true
+	}
+	seen[src] = true
+	for _, i := range g.out[src] {
+		e := g.edges[i]
+		if seen[e.To] {
+			continue
+		}
+		if g.reaches(e.To, dst, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// CriticalForwardLength returns the length of the longest forward path
+// from the source to the sink with unbounded weights at 0 — the minimum
+// possible latency of the graph.
+func (g *Graph) CriticalForwardLength() int {
+	sink := g.Sink()
+	if sink == None {
+		return Unreachable
+	}
+	return g.LongestForwardFrom(g.Source())[sink]
+}

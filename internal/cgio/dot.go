@@ -1,0 +1,43 @@
+package cgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/cg"
+)
+
+// WriteDot renders the constraint graph in Graphviz DOT form, following
+// the paper's visual conventions: anchors are double circles, backward
+// edges (maximum timing constraints) are dashed, minimum-constraint edges
+// are dotted, and unbounded weights print as δ.
+func WriteDot(w io.Writer, g *cg.Graph, title string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n", title)
+	for _, v := range g.Vertices() {
+		shape := "circle"
+		if g.IsAnchor(v.ID) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\\n%s\" shape=%s];\n", v.ID, v.Name, v.Delay, shape)
+	}
+	for _, e := range g.Edges() {
+		attr := ""
+		label := fmt.Sprintf("%d", e.Weight)
+		if e.Unbounded {
+			label = "δ"
+		}
+		switch e.Kind {
+		case cg.MaxConstraint:
+			attr = " style=dashed constraint=false"
+		case cg.MinConstraint:
+			attr = " style=dotted"
+		case cg.Serialization:
+			attr = " color=gray"
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d [label=\"%s\"%s];\n", e.From, e.To, label, attr)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

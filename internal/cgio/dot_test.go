@@ -1,0 +1,32 @@
+package cgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+func TestWriteDot(t *testing.T) {
+	g := paperex.Fig10()
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, g, "fig10"); err != nil {
+		t.Fatalf("WriteDot: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"fig10\"",
+		"doublecircle", // anchors v0 and a
+		"style=dashed", // the three maximum constraints
+		"style=dotted", // minimum constraints
+		"label=\"δ\"",  // unbounded weights
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "->"); n != g.M() {
+		t.Errorf("DOT has %d edges, graph has %d", n, g.M())
+	}
+}

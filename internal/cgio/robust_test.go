@@ -1,0 +1,54 @@
+package cgio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestRobustness_RandomInput: arbitrary text into the graph parser must
+// produce an error or a graph, never a panic.
+func TestRobustness_RandomInput(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = ParseString(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRobustness_MutatedGraph mutates a valid graph description.
+func TestRobustness_MutatedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lines := strings.Split(fig2Text, "\n")
+	for i := 0; i < 300; i++ {
+		mutant := append([]string(nil), lines...)
+		switch rng.Intn(3) {
+		case 0:
+			j := rng.Intn(len(mutant))
+			mutant = append(mutant[:j], mutant[j+1:]...)
+		case 1:
+			j := rng.Intn(len(mutant))
+			mutant[j] = mutant[j] + " extra"
+		case 2:
+			j, k := rng.Intn(len(mutant)), rng.Intn(len(mutant))
+			mutant[j], mutant[k] = mutant[k], mutant[j]
+		}
+		src := strings.Join(mutant, "\n")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on mutant %d: %v\n%s", i, r, src)
+				}
+			}()
+			_, _ = ParseString(src)
+		}()
+	}
+}

@@ -1,0 +1,90 @@
+package cgio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/cg"
+	"repro/internal/relsched"
+)
+
+// WriteOffsets prints the relative schedule as a Table II style table: one
+// row per vertex with its anchor set and the offset from each anchor under
+// the selected mode. A dash marks anchors outside the vertex's set.
+func WriteOffsets(w io.Writer, s *relsched.Schedule, mode relsched.AnchorMode) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	g := s.G
+	fmt.Fprintf(tw, "vertex\tanchor set\t")
+	for _, a := range s.Info.List {
+		fmt.Fprintf(tw, "σ_%s\t", g.Name(a))
+	}
+	fmt.Fprintln(tw)
+	for _, v := range g.Vertices() {
+		set := s.Info.FullSet(v.ID)
+		switch mode {
+		case relsched.RelevantAnchors:
+			set = s.Info.RelevantSet(v.ID)
+		case relsched.IrredundantAnchors:
+			set = s.Info.IrredundantSet(v.ID)
+		}
+		fmt.Fprintf(tw, "%s\t{%s}\t", v.Name, strings.Join(g.Names(set), ","))
+		for _, a := range s.Info.List {
+			if o, ok := s.Offset(a, v.ID, mode); ok && a != v.ID {
+				fmt.Fprintf(tw, "%d\t", o)
+			} else {
+				fmt.Fprintf(tw, "-\t")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteTrace prints a scheduling trace in the style of the paper's
+// Fig. 10: one row per vertex, one column pair (σ per anchor) per phase.
+func WriteTrace(w io.Writer, g *cg.Graph, tr *relsched.Trace) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "vertex\t")
+	for _, ph := range tr.Phases {
+		kind := "compute"
+		if ph.Readjust {
+			kind = "readjust"
+		}
+		fmt.Fprintf(tw, "it%d %s\t", ph.Iteration, kind)
+	}
+	fmt.Fprintln(tw)
+	for _, v := range g.Vertices() {
+		fmt.Fprintf(tw, "%s\t", v.Name)
+		for _, ph := range tr.Phases {
+			cells := make([]string, 0, len(tr.Info.List))
+			for ai, a := range tr.Info.List {
+				o := ph.Off[ai][v.ID]
+				if o == relsched.NoOffset || a == v.ID {
+					cells = append(cells, "-")
+				} else {
+					cells = append(cells, fmt.Sprintf("%d", o))
+				}
+			}
+			fmt.Fprintf(tw, "%s\t", strings.Join(cells, ","))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteStartTimes prints the concrete start times of every vertex for a
+// delay profile.
+func WriteStartTimes(w io.Writer, g *cg.Graph, p relsched.DelayProfile, t []int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "vertex\tdelay\tT(v)\n")
+	for _, v := range g.Vertices() {
+		d := v.Delay.String()
+		if !v.Delay.Bounded() {
+			d = fmt.Sprintf("δ=%d", p[v.ID])
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\n", v.Name, d, t[v.ID])
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,242 @@
+// Package ctrlgen synthesizes control logic from a relative schedule
+// (§VI of the paper). The start time of every operation is defined by
+// offsets from the completion of its anchors, so the controller is a set
+// of per-anchor timers — counters or shift registers — plus per-operation
+// enable logic:
+//
+//	enable_v = Π_{a ∈ AS(v)} ( timer_a ≥ σ_a(v) )
+//
+// where AS(v) is the anchor set selected by the anchor mode. The package
+// provides both implementation styles the paper describes, a gate/register
+// cost model exposing the trade-off between them, and a cycle-accurate
+// evaluation used by the simulator and the tests to show the generated
+// control reproduces the scheduled start times.
+package ctrlgen
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"repro/internal/cg"
+	"repro/internal/relsched"
+)
+
+// Style selects the control implementation.
+type Style int
+
+const (
+	// Counter uses one binary counter per anchor and a magnitude
+	// comparator per enable term (Fig. 12(a)).
+	Counter Style = iota
+	// ShiftRegister uses one done-signal shift register per anchor and a
+	// tap per enable term (Fig. 12(b)), trading registers for
+	// comparators.
+	ShiftRegister
+)
+
+// String names the style.
+func (s Style) String() string {
+	if s == Counter {
+		return "counter"
+	}
+	return "shift-register"
+}
+
+// Term is one conjunct of an enable expression: timer(Anchor) ≥ Offset.
+type Term struct {
+	Anchor cg.VertexID
+	Offset int
+}
+
+// Controller is the synthesized control unit for one scheduled constraint
+// graph.
+type Controller struct {
+	Style Style
+	Mode  relsched.AnchorMode
+	Sched *relsched.Schedule
+	// MaxOff is σ_a^max per anchor — the timer range each anchor needs.
+	MaxOff map[cg.VertexID]int
+	// Terms holds the enable conjunction of every vertex, sorted by
+	// anchor. The source vertex has no terms (it starts the graph).
+	Terms map[cg.VertexID][]Term
+}
+
+// Synthesize builds the controller for a schedule under the given anchor
+// mode and style. Using IrredundantAnchors yields the cheapest control, as
+// §VI argues; FullAnchors reproduces the unoptimized control for cost
+// comparisons.
+func Synthesize(s *relsched.Schedule, mode relsched.AnchorMode, style Style) *Controller {
+	c := &Controller{
+		Style:  style,
+		Mode:   mode,
+		Sched:  s,
+		MaxOff: map[cg.VertexID]int{},
+		Terms:  map[cg.VertexID][]Term{},
+	}
+	g := s.G
+	for _, v := range g.Vertices() {
+		if v.ID == g.Source() {
+			continue
+		}
+		var terms []Term
+		for _, a := range s.Info.List {
+			if a == v.ID {
+				continue
+			}
+			if off, ok := s.Offset(a, v.ID, mode); ok {
+				terms = append(terms, Term{Anchor: a, Offset: off})
+				if off > c.MaxOff[a] {
+					c.MaxOff[a] = off
+				}
+			}
+		}
+		sort.Slice(terms, func(i, j int) bool { return terms[i].Anchor < terms[j].Anchor })
+		c.Terms[v.ID] = terms
+	}
+	// Anchors referenced by no term still exist as timers of range 0.
+	for _, a := range s.Info.List {
+		if _, ok := c.MaxOff[a]; !ok {
+			c.MaxOff[a] = 0
+		}
+	}
+	return c
+}
+
+// Cost summarizes the hardware cost of the controller under the paper's
+// §VI accounting: register bits for the timers, comparators (counter
+// style only), and gate inputs for the enable conjunctions.
+type Cost struct {
+	// RegisterBits counts flip-flops: counter width per anchor for the
+	// counter style, σ_a^max stages per anchor for shift registers (plus
+	// one done flag per anchor in both styles).
+	RegisterBits int
+	// Comparators counts magnitude comparators (counter style).
+	Comparators int
+	// GateInputs counts the AND-plane inputs of all enable signals.
+	GateInputs int
+}
+
+// Total returns a single scalar cost for rough comparisons, weighting a
+// register bit as 4 gate equivalents and a comparator as 2 gates per bit.
+func (c Cost) Total() int {
+	return 4*c.RegisterBits + 2*c.Comparators + c.GateInputs
+}
+
+// Cost evaluates the cost model.
+func (c *Controller) Cost() Cost {
+	var out Cost
+	width := map[cg.VertexID]int{}
+	for a, m := range c.MaxOff {
+		switch c.Style {
+		case Counter:
+			w := 1
+			if m > 0 {
+				w = bits.Len(uint(m))
+			}
+			width[a] = w
+			out.RegisterBits += w + 1 // counter + done flag
+		case ShiftRegister:
+			out.RegisterBits += m + 1 // σ_max stages + done flag
+		}
+	}
+	for _, terms := range c.Terms {
+		if len(terms) > 1 {
+			out.GateInputs += len(terms)
+		}
+		if c.Style == Counter {
+			for _, t := range terms {
+				if t.Offset > 0 {
+					out.Comparators++
+					out.GateInputs += width[t.Anchor]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StartTimes evaluates the controller cycle-accurately for a delay
+// profile: each anchor's timer starts when the anchor completes, and a
+// vertex starts at the first cycle its enable asserts. The result must
+// equal Schedule.StartTimes under the same mode — the controller
+// implements the schedule exactly — and the tests assert this.
+func (c *Controller) StartTimes(p relsched.DelayProfile) ([]int, error) {
+	g := c.Sched.G
+	start := make([]int, g.N())
+	done := make([]int, g.N()) // completion cycle per anchor
+	for _, v := range g.TopoForward() {
+		if v == g.Source() {
+			start[v] = 0
+		} else {
+			// enable_v asserts at cycle t when, for every term,
+			// t - done(anchor) ≥ offset.
+			t := 0
+			for _, term := range c.Terms[v] {
+				if at := done[term.Anchor] + term.Offset; at > t {
+					t = at
+				}
+			}
+			start[v] = t
+		}
+		if g.IsAnchor(v) {
+			d := g.Vertex(v).Delay
+			if d.Bounded() {
+				done[v] = start[v] + d.Value()
+			} else {
+				dv, ok := p[v]
+				if !ok {
+					return nil, fmt.Errorf("ctrlgen: profile missing delay for anchor %s", g.Name(v))
+				}
+				done[v] = start[v] + dv
+			}
+		}
+	}
+	return start, nil
+}
+
+// Describe writes a human-readable netlist of the controller: one timer
+// per anchor and one enable equation per operation.
+func (c *Controller) Describe(w io.Writer) error {
+	g := c.Sched.G
+	fmt.Fprintf(w, "controller style=%s anchors=%d mode=%s\n", c.Style, len(c.MaxOff), c.Mode)
+	anchors := append([]cg.VertexID(nil), c.Sched.Info.List...)
+	for _, a := range anchors {
+		switch c.Style {
+		case Counter:
+			wdt := 1
+			if m := c.MaxOff[a]; m > 0 {
+				wdt = bits.Len(uint(m))
+			}
+			fmt.Fprintf(w, "  counter_%s: %d bits (range 0..%d), starts on done_%s\n",
+				g.Name(a), wdt, c.MaxOff[a], g.Name(a))
+		case ShiftRegister:
+			fmt.Fprintf(w, "  SR_%s: %d stages, shifts done_%s\n",
+				g.Name(a), c.MaxOff[a], g.Name(a))
+		}
+	}
+	for _, v := range g.Vertices() {
+		if v.ID == g.Source() {
+			continue
+		}
+		terms := c.Terms[v.ID]
+		fmt.Fprintf(w, "  enable_%s =", v.Name)
+		if len(terms) == 0 {
+			fmt.Fprintf(w, " 1")
+		}
+		for i, t := range terms {
+			if i > 0 {
+				fmt.Fprintf(w, " &")
+			}
+			switch c.Style {
+			case Counter:
+				fmt.Fprintf(w, " (counter_%s >= %d)", g.Name(t.Anchor), t.Offset)
+			case ShiftRegister:
+				fmt.Fprintf(w, " SR_%s[%d]", g.Name(t.Anchor), t.Offset)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

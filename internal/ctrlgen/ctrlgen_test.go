@@ -1,0 +1,134 @@
+package ctrlgen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperex"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+func TestControllerMatchesScheduleOnFig10(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	for _, style := range []Style{Counter, ShiftRegister} {
+		for _, mode := range []relsched.AnchorMode{relsched.FullAnchors, relsched.IrredundantAnchors} {
+			c := Synthesize(s, mode, style)
+			for _, d := range []int{0, 1, 5} {
+				p := relsched.DelayProfile{g.Source(): 0, g.VertexByName("a"): d}
+				want, err := s.StartTimes(p, mode)
+				if err != nil {
+					t.Fatalf("schedule StartTimes: %v", err)
+				}
+				got, err := c.StartTimes(p)
+				if err != nil {
+					t.Fatalf("controller StartTimes: %v", err)
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						t.Errorf("style=%v mode=%v δ(a)=%d: T(%s) controller=%d schedule=%d",
+							style, mode, d, g.Name(g.Vertex(0).ID), got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProperty_ControlImplementsSchedule is invariant P10: on random
+// well-posed graphs with random delay profiles, the synthesized control
+// asserts every enable exactly at the scheduled start time, in both
+// styles.
+func TestProperty_ControlImplementsSchedule(t *testing.T) {
+	cfg := randgraph.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		s, err := relsched.Compute(g)
+		if err != nil {
+			return true
+		}
+		for _, style := range []Style{Counter, ShiftRegister} {
+			c := Synthesize(s, relsched.IrredundantAnchors, style)
+			p := relsched.DelayProfile(randgraph.RandomProfile(g, rng, 6))
+			want, err := s.StartTimes(p, relsched.IrredundantAnchors)
+			if err != nil {
+				return false
+			}
+			got, err := c.StartTimes(p)
+			if err != nil {
+				return false
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostTradeoff(t *testing.T) {
+	// §VI: shift registers save comparators at the expense of registers.
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	counter := Synthesize(s, relsched.FullAnchors, Counter).Cost()
+	shift := Synthesize(s, relsched.FullAnchors, ShiftRegister).Cost()
+	if counter.Comparators == 0 {
+		t.Error("counter style should use comparators")
+	}
+	if shift.Comparators != 0 {
+		t.Error("shift-register style should use no comparators")
+	}
+	if shift.RegisterBits <= counter.RegisterBits {
+		t.Errorf("shift registers should cost more register bits: %d vs %d",
+			shift.RegisterBits, counter.RegisterBits)
+	}
+
+	// §VI: removing redundant anchors reduces control cost (or at least
+	// never increases it).
+	full := Synthesize(s, relsched.FullAnchors, Counter).Cost()
+	irr := Synthesize(s, relsched.IrredundantAnchors, Counter).Cost()
+	if irr.Total() > full.Total() {
+		t.Errorf("irredundant control costs more than full: %+v vs %+v", irr, full)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := paperex.Fig2()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Synthesize(s, relsched.IrredundantAnchors, Counter).Describe(&buf); err != nil {
+		t.Fatalf("Describe: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counter_v0", "enable_v4", ">="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("description missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := Synthesize(s, relsched.IrredundantAnchors, ShiftRegister).Describe(&buf); err != nil {
+		t.Fatalf("Describe: %v", err)
+	}
+	if !strings.Contains(buf.String(), "SR_") {
+		t.Errorf("shift-register description missing SR_:\n%s", buf.String())
+	}
+}

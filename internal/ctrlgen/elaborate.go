@@ -1,0 +1,117 @@
+package ctrlgen
+
+import (
+	"math/bits"
+
+	"repro/internal/cg"
+	"repro/internal/netlist"
+)
+
+// GateControl is the structural (gate-level) elaboration of a Controller:
+// per-anchor timers built from real flip-flops and gates, plus one enable
+// net per operation. The done_<anchor> nets are the netlist's inputs; the
+// environment (or the datapath) raises done_a at the anchor's completion
+// cycle and holds it.
+type GateControl struct {
+	Netlist *netlist.Netlist
+	// Done maps each anchor to its completion-level input net.
+	Done map[cg.VertexID]netlist.Signal
+	// Enable maps each non-source vertex to its enable net; the vertex
+	// may begin execution at the first cycle its net is high.
+	Enable map[cg.VertexID]netlist.Signal
+}
+
+// Elaborate lowers the controller to gates and flip-flops.
+//
+// Counter style: per anchor, a saturating binary counter starts counting
+// when done_a rises; each enable term with offset k > 0 becomes a
+// magnitude comparator (counter ≥ k) AND done_a, and offset-0 terms
+// reduce to done_a itself.
+//
+// Shift-register style: per anchor, a σ_a^max-stage shift register shifts
+// the (sticky) done_a level; the term with offset k is stage k's output
+// (stage 0 being done_a), so no comparators are needed — the Fig. 12
+// trade-off in actual hardware.
+func (c *Controller) Elaborate() *GateControl {
+	nl := netlist.New()
+	gc := &GateControl{
+		Netlist: nl,
+		Done:    map[cg.VertexID]netlist.Signal{},
+		Enable:  map[cg.VertexID]netlist.Signal{},
+	}
+	g := c.Sched.G
+
+	// Timer state per anchor.
+	cnt := map[cg.VertexID][]netlist.Signal{}    // counter bits (LSB first)
+	stages := map[cg.VertexID][]netlist.Signal{} // shift-register taps
+	for _, a := range c.Sched.Info.List {
+		done := nl.Input("done_" + g.Name(a))
+		gc.Done[a] = done
+		m := c.MaxOff[a]
+		switch c.Style {
+		case Counter:
+			if m == 0 {
+				continue // offset-0 terms read done_a directly
+			}
+			width := bits.Len(uint(m))
+			// Allocate Q nets first so the increment logic can refer to
+			// them.
+			qs := make([]netlist.Signal, width)
+			for b := 0; b < width; b++ {
+				qs[b] = nl.Fresh()
+			}
+			atMax := nl.AddGeConst(m, qs...)
+			notAtMax := nl.AddGate(netlist.Not, atMax)
+			for b := 0; b < width; b++ {
+				incB := nl.AddInc(b, qs...)
+				holdBit := nl.True()
+				if (m>>uint(b))&1 == 0 {
+					holdBit = netlist.NoSignal
+				}
+				d := nl.AddGate(netlist.Or,
+					nl.AddGate(netlist.And, done, notAtMax, incB),
+					nl.AddGate(netlist.And, done, atMax, holdBit),
+				)
+				nl.FFs = append(nl.FFs, netlist.FF{D: d, Q: qs[b]})
+			}
+			cnt[a] = qs
+		case ShiftRegister:
+			taps := make([]netlist.Signal, m+1)
+			taps[0] = done
+			for k := 1; k <= m; k++ {
+				taps[k] = nl.AddFF(taps[k-1], netlist.NoSignal, false)
+			}
+			stages[a] = taps
+		}
+	}
+
+	// Enable nets.
+	for _, v := range g.Vertices() {
+		if v.ID == g.Source() {
+			continue
+		}
+		var terms []netlist.Signal
+		for _, t := range c.Terms[v.ID] {
+			done := gc.Done[t.Anchor]
+			switch {
+			case t.Offset == 0:
+				terms = append(terms, done)
+			case c.Style == Counter:
+				cmpOK := nl.AddGeConst(t.Offset, cnt[t.Anchor]...)
+				terms = append(terms, nl.AddGate(netlist.And, done, cmpOK))
+			default:
+				terms = append(terms, stages[t.Anchor][t.Offset])
+			}
+		}
+		if len(terms) == 0 {
+			gc.Enable[v.ID] = nl.True()
+			continue
+		}
+		if len(terms) == 1 {
+			gc.Enable[v.ID] = terms[0]
+			continue
+		}
+		gc.Enable[v.ID] = nl.AddGate(netlist.And, terms...)
+	}
+	return gc
+}

@@ -1,0 +1,156 @@
+package ctrlgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cg"
+	"repro/internal/netlist"
+	"repro/internal/paperex"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+// gateStartTimes simulates the elaborated netlist against a delay profile
+// and returns, per vertex, the first cycle its enable net asserts. done_a
+// inputs are driven as sticky levels rising at the anchor's completion
+// cycle, computed from the behavioral schedule.
+func gateStartTimes(t *testing.T, c *Controller, p relsched.DelayProfile, horizon int) []int {
+	t.Helper()
+	gc := c.Elaborate()
+	simulator, err := netlist.NewSimulator(gc.Netlist)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	g := c.Sched.G
+	want, err := c.StartTimes(p)
+	if err != nil {
+		t.Fatalf("behavioral StartTimes: %v", err)
+	}
+	doneAt := map[cg.VertexID]int{}
+	for _, a := range c.Sched.Info.List {
+		d := g.Vertex(a).Delay
+		dv := 0
+		if d.Bounded() {
+			dv = d.Value()
+		} else {
+			dv = p[a]
+		}
+		doneAt[a] = want[a] + dv
+	}
+	first := make([]int, g.N())
+	for i := range first {
+		first[i] = -1
+	}
+	for cycle := 0; cycle <= horizon; cycle++ {
+		for a, sig := range gc.Done {
+			simulator.Set(sig, cycle >= doneAt[a])
+		}
+		simulator.Eval()
+		for v, sig := range gc.Enable {
+			if first[v] < 0 && simulator.Get(sig) {
+				first[v] = cycle
+			}
+		}
+		simulator.Step()
+	}
+	return first
+}
+
+// TestGateControlMatchesBehavioralFig10 checks the elaborated hardware
+// against the behavioral controller on the Fig. 10 example, both styles.
+func TestGateControlMatchesBehavioralFig10(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	for _, style := range []Style{Counter, ShiftRegister} {
+		for _, da := range []int{0, 2, 7} {
+			c := Synthesize(s, relsched.IrredundantAnchors, style)
+			p := relsched.DelayProfile{g.Source(): 0, g.VertexByName("a"): da}
+			want, err := c.StartTimes(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := gateStartTimes(t, c, p, 64)
+			for _, v := range g.Vertices() {
+				if v.ID == g.Source() {
+					continue
+				}
+				if got[v.ID] != want[v.ID] {
+					t.Errorf("style %v δ(a)=%d: %s enables at %d, behavioral %d",
+						style, da, v.Name, got[v.ID], want[v.ID])
+				}
+			}
+		}
+	}
+}
+
+// TestProperty_GateControl is the hardware version of invariant P10: on
+// random graphs with random profiles, the gate-level control raises each
+// enable exactly at the scheduled start time.
+func TestProperty_GateControl(t *testing.T) {
+	cfg := randgraph.Default()
+	cfg.N = 20
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		s, err := relsched.Compute(g)
+		if err != nil {
+			return true
+		}
+		style := Counter
+		if seed%2 == 0 {
+			style = ShiftRegister
+		}
+		c := Synthesize(s, relsched.IrredundantAnchors, style)
+		p := relsched.DelayProfile(randgraph.RandomProfile(g, rng, 5))
+		want, err := c.StartTimes(p)
+		if err != nil {
+			return false
+		}
+		horizon := 0
+		for _, w := range want {
+			if w > horizon {
+				horizon = w
+			}
+		}
+		got := gateStartTimes(t, c, p, horizon+16)
+		for _, v := range g.Vertices() {
+			if v.ID == g.Source() {
+				continue
+			}
+			if got[v.ID] != want[v.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGateCostsFollowModel sanity-checks that the elaborated netlist's
+// size tracks the §VI cost model: shift registers carry more flip-flops
+// and no comparators.
+func TestGateCostsFollowModel(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counterNl := Synthesize(s, relsched.FullAnchors, Counter).Elaborate().Netlist.Stats()
+	shiftNl := Synthesize(s, relsched.FullAnchors, ShiftRegister).Elaborate().Netlist.Stats()
+	if counterNl.Comparators == 0 {
+		t.Error("counter netlist should contain comparators")
+	}
+	if shiftNl.Comparators != 0 {
+		t.Error("shift-register netlist should contain no comparators")
+	}
+	if shiftNl.FFs <= counterNl.FFs {
+		t.Errorf("shift-register FFs (%d) should exceed counter FFs (%d)", shiftNl.FFs, counterNl.FFs)
+	}
+}

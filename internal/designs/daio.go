@@ -1,0 +1,126 @@
+package designs
+
+// DAIODecoder returns the digital-audio input/output phase decoder: it
+// synchronizes on the biphase-mark encoded input, measures the interval
+// between transitions against a reference counter, and classifies each
+// cell as a zero, a one, or a preamble violation. Timing constraints pin
+// the status strobe one cycle behind the decoded bit.
+func DAIODecoder() Design {
+	return Design{
+		Name:        "daio-decoder",
+		Description: "digital audio I/O: biphase-mark phase decoder",
+		Source: `
+process daiodec (biphase, bitout, strobe, violation)
+    in port biphase;
+    out port bitout, strobe, violation;
+    boolean prev[1], cur[1], span[8], half[8], isone[1], bad[1];
+    tag bit, stb;
+    /* synchronize on the first transition */
+    while (biphase == prev) {
+        prev = prev & 1;
+    }
+    prev = !prev;
+    /* measure the cell span until the next transition */
+    while (biphase == prev) {
+        span = span + 1;
+    }
+    prev = !prev;
+    /* a mid-cell transition this early means a one */
+    half = span << 1;
+    isone = half <= 8;
+    if (isone != 0) {
+        /* consume the second half-cell transition */
+        while (biphase == prev) {
+            half = half + 1;
+        }
+        prev = !prev;
+        bad = 0;
+    } else {
+        bad = span >= 12;
+    }
+    {
+        constraint mintime from bit to stb = 1 cycles;
+        constraint maxtime from bit to stb = 1 cycles;
+        bit: write bitout = isone;
+        stb: write strobe = 1;
+    }
+    write violation = bad;
+    /* deassert the strobe so the downstream consumer sees a pulse */
+    write strobe = 0;
+`,
+		Paper: PaperRow{
+			Anchors: 14, Vertices: 44,
+			TotalFull: 45, AvgFull: 1.02,
+			TotalIrredundant: 38, AvgIrredundant: 0.86,
+			MaxFull: 2, SumFull: 10, MaxIrredundant: 2, SumIrredundant: 9,
+		},
+	}
+}
+
+// DAIOReceiver returns the digital-audio I/O receiver: it locks onto the
+// preamble, deserializes a 16-bit subframe bit by bit through the phase
+// decoder's strobe interface, checks parity, and delivers the sample with
+// status flags.
+func DAIOReceiver() Design {
+	return Design{
+		Name:        "daio-receiver",
+		Description: "digital audio I/O: subframe receiver with preamble lock and parity",
+		Source: `
+process daiorx (bitin, strobe, frame, sample, valid, parerr, lock)
+    in port bitin, strobe, frame;
+    out port sample[16], valid, parerr, lock;
+    boolean shreg[16], count[5], par[1], b[1], insync[1], pre[4];
+    tag smp, vld;
+    /* strobe edge synchronizers */
+    procedure wait_rise {
+        while (strobe == 0)
+            ;
+    }
+    procedure wait_fall {
+        while (strobe != 0)
+            ;
+    }
+    /* shift one serial bit through the strobe handshake */
+    procedure shift_bit {
+        call wait_rise;
+        b = read(bitin);
+        shreg = (shreg << 1) | b;
+        par = par ^ b;
+        count = count + 1;
+        call wait_fall;
+    }
+    /* wait for the start-of-frame preamble */
+    while (frame == 0) {
+        pre = pre << 1;
+        insync = 0;
+    }
+    write lock = 1;
+    insync = 1;
+    count = 0;
+    par = 0;
+    shreg = 0;
+    /* deserialize 16 bits, one per strobe */
+    repeat {
+        call shift_bit;
+    } until (count == 16);
+    /* deliver the sample with status */
+    {
+        constraint mintime from smp to vld = 1 cycles;
+        constraint maxtime from smp to vld = 2 cycles;
+        smp: write sample = shreg;
+        vld: write valid = insync;
+    }
+    if (par != 0) {
+        write parerr = 1;
+    } else {
+        write parerr = 0;
+    }
+`,
+		Paper: PaperRow{
+			Anchors: 30, Vertices: 67,
+			TotalFull: 76, AvgFull: 1.13,
+			TotalIrredundant: 49, AvgIrredundant: 0.73,
+			MaxFull: 3, SumFull: 16, MaxIrredundant: 1, SumIrredundant: 8,
+		},
+	}
+}

@@ -1,0 +1,170 @@
+package designs
+
+// DCTPhaseA returns phase A of the bidimensional discrete cosine
+// transform chip: the row transform. A row of eight pixels arrives in
+// parallel once the `ready` handshake asserts; the row is pushed through a
+// butterfly network of adds, subtracts and shifts, and the coefficients
+// are written to the transpose memory under a pacing constraint between
+// the first and last writes.
+func DCTPhaseA() Design {
+	return Design{
+		Name:        "dct-a",
+		Description: "bidimensional DCT phase A: handshaked row transform into transpose memory",
+		Source: `
+process dcta (start, ready, x0, x1, x2, x3, x4, x5, x6, x7, taddr, tdata, rowdone)
+    in port start, ready, x0[9], x1[9], x2[9], x3[9], x4[9], x5[9], x6[9], x7[9];
+    out port taddr[6], tdata[12], rowdone;
+    boolean p0[9], p1[9], p2[9], p3[9], p4[9], p5[9], p6[9], p7[9],
+            s0[10], s1[10], s2[10], s3[10], d0[10], d1[10], d2[10], d3[10],
+            e0[11], e1[11], f0[11], f1[11],
+            c0[12], c1[12], c2[12], c3[12], c4[12], c5[12], c6[12], c7[12],
+            row[3];
+    tag w0, w7;
+    /* wait for the row start pulse, counting rows while idle */
+    while (!start) {
+        row = row & 7;
+    }
+    /* wait for the row buffer to be ready */
+    while (!ready)
+        ;
+    /* sample the whole row in parallel */
+    < p0 = read(x0); p1 = read(x1); p2 = read(x2); p3 = read(x3);
+      p4 = read(x4); p5 = read(x5); p6 = read(x6); p7 = read(x7); >
+    /* butterfly stage 1 */
+    s0 = p0 + p7;
+    s1 = p1 + p6;
+    s2 = p2 + p5;
+    s3 = p3 + p4;
+    d0 = p0 - p7;
+    d1 = p1 - p6;
+    d2 = p2 - p5;
+    d3 = p3 - p4;
+    /* butterfly stage 2 */
+    e0 = s0 + s3;
+    e1 = s1 + s2;
+    f0 = s0 - s3;
+    f1 = s1 - s2;
+    /* coefficient outputs (shift-add approximations of the cosines) */
+    c0 = e0 + e1;
+    c4 = e0 - e1;
+    c2 = f0 + (f1 >> 1);
+    c6 = (f0 >> 1) - f1;
+    c1 = d0 + (d1 >> 1) + (d2 >> 2);
+    c3 = d0 - (d3 >> 1) + (d1 >> 2);
+    c5 = d1 - (d2 >> 1) + (d3 >> 2);
+    c7 = d3 - (d0 >> 2) + (d2 >> 1);
+    /* write the row to the transpose memory; pace first-to-last */
+    {
+        constraint mintime from w0 to w7 = 7 cycles;
+        constraint maxtime from w0 to w7 = 14 cycles;
+        w0: write tdata = c0;
+        write tdata = c1;
+        write tdata = c2;
+        write tdata = c3;
+        write tdata = c4;
+        write tdata = c5;
+        write tdata = c6;
+        w7: write tdata = c7;
+    }
+    row = row + 1;
+    write taddr = row;
+    write rowdone = 1;
+`,
+		Paper: PaperRow{
+			Anchors: 41, Vertices: 98,
+			TotalFull: 105, AvgFull: 1.07,
+			TotalIrredundant: 87, AvgIrredundant: 0.89,
+			MaxFull: 2, SumFull: 24, MaxIrredundant: 1, SumIrredundant: 16,
+		},
+	}
+}
+
+// DCTPhaseB returns phase B of the bidimensional DCT: the column
+// transform with rounding and saturation. Columns arrive from the
+// transpose memory in parallel under an availability handshake; each of
+// the low-order outputs is rounded and conditionally saturated (balanced
+// branches keep the conditionals bounded), and the column is emitted
+// under an output pacing constraint.
+func DCTPhaseB() Design {
+	return Design{
+		Name:        "dct-b",
+		Description: "bidimensional DCT phase B: column transform with rounding and saturation",
+		Source: `
+process dctb (go, avail, t0, t1, t2, t3, t4, t5, t6, t7, dctout, colcnt, done)
+    in port go, avail, t0[12], t1[12], t2[12], t3[12], t4[12], t5[12], t6[12], t7[12];
+    out port dctout[9], colcnt[3], done;
+    boolean q0[12], q1[12], q2[12], q3[12], q4[12], q5[12], q6[12], q7[12],
+            u0[13], u1[13], u2[13], u3[13], v0[13], v1[13], v2[13], v3[13],
+            g0[14], g1[14], h0[14], h1[14],
+            o0[14], o1[14], o2[14], o3[14], o4[14], o5[14], o6[14], o7[14],
+            r0[9], r1[9], r2[9], r3[9], col[3], sat[1];
+    tag first, last;
+    /* wait for the column transform trigger */
+    while (!go) {
+        col = col & 7;
+    }
+    /* wait for the transpose memory column */
+    while (!avail)
+        ;
+    /* fetch the eight column entries in parallel */
+    < q0 = read(t0); q1 = read(t1); q2 = read(t2); q3 = read(t3);
+      q4 = read(t4); q5 = read(t5); q6 = read(t6); q7 = read(t7); >
+    /* butterflies */
+    u0 = q0 + q7;
+    u1 = q1 + q6;
+    u2 = q2 + q5;
+    u3 = q3 + q4;
+    v0 = q0 - q7;
+    v1 = q1 - q6;
+    v2 = q2 - q5;
+    v3 = q3 - q4;
+    g0 = u0 + u3;
+    g1 = u1 + u2;
+    h0 = u0 - u3;
+    h1 = u1 - u2;
+    o0 = g0 + g1;
+    o4 = g0 - g1;
+    o2 = h0 + (h1 >> 1);
+    o6 = (h0 >> 1) - h1;
+    o1 = v0 + (v1 >> 1) + (v2 >> 2);
+    o3 = v0 - (v3 >> 1) + (v1 >> 2);
+    o5 = v1 - (v2 >> 1) + (v3 >> 2);
+    o7 = v3 - (v0 >> 2) + (v2 >> 1);
+    /* round and saturate the low-order outputs */
+    r0 = (o0 + 4) >> 3;
+    sat = r0 > 255;
+    if (sat != 0) { r0 = 255; } else { r0 = r0 ^ 0; }
+    r1 = (o1 + 4) >> 3;
+    sat = r1 > 255;
+    if (sat != 0) { r1 = 255; } else { r1 = r1 ^ 0; }
+    r2 = (o2 + 4) >> 3;
+    sat = r2 > 255;
+    if (sat != 0) { r2 = 255; } else { r2 = r2 ^ 0; }
+    r3 = (o3 + 4) >> 3;
+    sat = r3 > 255;
+    if (sat != 0) { r3 = 255; } else { r3 = r3 ^ 0; }
+    /* emit the column under an output pacing constraint */
+    {
+        constraint mintime from first to last = 7 cycles;
+        constraint maxtime from first to last = 10 cycles;
+        first: write dctout = r0;
+        write dctout = r1;
+        write dctout = r2;
+        write dctout = r3;
+        write dctout = o4;
+        write dctout = o5;
+        write dctout = o6;
+        last: write dctout = o7;
+    }
+    col = col + 1;
+    write colcnt = col;
+    write done = 1;
+`,
+		Paper: PaperRow{
+			Anchors: 49, Vertices: 114,
+			TotalFull: 137, AvgFull: 1.20,
+			TotalIrredundant: 108, AvgIrredundant: 0.95,
+			MaxFull: 2, SumFull: 19, MaxIrredundant: 1, SumIrredundant: 16,
+		},
+	}
+}

@@ -1,0 +1,108 @@
+package designs
+
+import (
+	"testing"
+
+	"repro/internal/relsched"
+)
+
+// TestAllDesignsSynthesize is the Table III/IV harness precondition: every
+// benchmark design parses, binds, resolves conflicts, and schedules with
+// consistent, well-posed constraints across its whole hierarchy.
+func TestAllDesignsSynthesize(t *testing.T) {
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			r, err := d.Synthesize()
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			for _, g := range r.Order {
+				gr := r.Graphs[g]
+				if err := relsched.Verify(gr.Schedule); err != nil {
+					t.Errorf("graph %s: %v", g.Name, err)
+				}
+				if gr.Schedule.Iterations > gr.CG.NumBackward()+1 {
+					t.Errorf("graph %s: iteration bound violated", g.Name)
+				}
+			}
+			st := r.Stats()
+			t.Logf("%s: |A|/|V| = %d/%d, ΣA(v)=%d (avg %.2f), ΣIR(v)=%d (avg %.2f), max/Σmax full=%d/%d irr=%d/%d",
+				d.Name, st.Anchors, st.Vertices, st.TotalFull, st.AvgFull(),
+				st.TotalIrredundant, st.AvgIrredundant(),
+				st.MaxFull, st.SumMaxFull, st.MaxIrredundant, st.SumMaxIrredundant)
+		})
+	}
+}
+
+// TestTableIII_Shape asserts the paper's qualitative Table III result on
+// every design: removing redundancies shrinks the anchor sets
+// (ΣIR < ΣA, average |IR(v)| < average |A(v)|), with the exact equality
+// |IR| ≤ |A| per vertex guaranteed by construction.
+func TestTableIII_Shape(t *testing.T) {
+	for _, d := range All() {
+		r, err := d.Synthesize()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		st := r.Stats()
+		if st.TotalIrredundant > st.TotalFull {
+			t.Errorf("%s: ΣIR=%d > ΣA=%d", d.Name, st.TotalIrredundant, st.TotalFull)
+		}
+		if st.TotalIrredundant == st.TotalFull {
+			t.Errorf("%s: no redundancy found; paper reports reductions on every design", d.Name)
+		}
+	}
+}
+
+// TestTableIII_ExactSmallDesigns pins the two hand-verified controllers to
+// the paper's exact Table III numbers.
+func TestTableIII_ExactSmallDesigns(t *testing.T) {
+	for _, name := range []string{"traffic", "length"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := d.Synthesize()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := r.Stats()
+		if st.Anchors != d.Paper.Anchors || st.Vertices != d.Paper.Vertices {
+			t.Errorf("%s: |A|/|V| = %d/%d, paper %d/%d",
+				name, st.Anchors, st.Vertices, d.Paper.Anchors, d.Paper.Vertices)
+		}
+		if st.TotalFull != d.Paper.TotalFull || st.TotalIrredundant != d.Paper.TotalIrredundant {
+			t.Errorf("%s: ΣA=%d ΣIR=%d, paper %d/%d",
+				name, st.TotalFull, st.TotalIrredundant, d.Paper.TotalFull, d.Paper.TotalIrredundant)
+		}
+	}
+}
+
+// TestTableIV_Shape asserts the paper's Table IV result: under the minimum
+// (irredundant) anchor sets, the maximum offset and the sum of maximum
+// offsets never exceed the full-anchor-set figures.
+func TestTableIV_Shape(t *testing.T) {
+	for _, d := range All() {
+		r, err := d.Synthesize()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		st := r.Stats()
+		if st.MaxIrredundant > st.MaxFull {
+			t.Errorf("%s: max offset grew: %d > %d", d.Name, st.MaxIrredundant, st.MaxFull)
+		}
+		if st.SumMaxIrredundant > st.SumMaxFull {
+			t.Errorf("%s: Σ max offset grew: %d > %d", d.Name, st.SumMaxIrredundant, st.SumMaxFull)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("gcd"); err != nil {
+		t.Errorf("ByName(gcd): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}

@@ -1,0 +1,108 @@
+package designs
+
+// Frisc returns the simple microprocessor benchmark: a 16-bit
+// fetch-decode-execute machine with four registers, ALU and memory
+// operations, and a reset synchronization loop. Loads and stores
+// synchronize on external memory, and several conditionals have
+// data-dependent latency, so anchors appear throughout the hierarchy as
+// in the paper's frisc (34 anchors over 188 vertices).
+func Frisc() Design {
+	return Design{
+		Name:        "frisc",
+		Description: "simple 16-bit microprocessor: fetch/decode/execute with memory handshakes",
+		Source: `
+process frisc (reset, idata, iaddr, din, daddr, dout, wr, halted)
+    in port reset, idata[16], din[16];
+    out port iaddr[16], daddr[16], dout[16], wr, halted;
+    boolean pc[16], ir[16], opc[4], rd[2], rs[2], imm[8],
+            r0[16], r1[16], r2[16], r3[16],
+            a[16], b[16], res[16], run[1], flag[1];
+    tag fa, fetch, ld, lr;
+    /* reset synchronization: hold while reset is asserted */
+    while (reset) {
+        pc = 0;
+        run = 1;
+    }
+    while (run) {
+        /* instruction fetch: the memory needs the address one cycle
+           before the data is sampled, and answers within two */
+        constraint mintime from fa to fetch = 1 cycles;
+        constraint maxtime from fa to fetch = 2 cycles;
+        fa: write iaddr = pc;
+        fetch: ir = read(idata);
+        pc = pc + 1;
+        /* decode fields */
+        opc = ir >> 12;
+        rd = (ir >> 10) & 3;
+        rs = (ir >> 8) & 3;
+        imm = ir & 255;
+        /* operand fetch */
+        if (rs == 0) { a = r0; } else {
+            if (rs == 1) { a = r1; } else {
+                if (rs == 2) { a = r2; } else { a = r3; }
+            }
+        }
+        if (rd == 0) { b = r0; } else {
+            if (rd == 1) { b = r1; } else {
+                if (rd == 2) { b = r2; } else { b = r3; }
+            }
+        }
+        /* execute */
+        if (opc == 0) { res = a + b; } else {
+            if (opc == 1) { res = b - a; } else {
+                if (opc == 2) { res = a & b; } else {
+                    if (opc == 3) { res = a | b; } else {
+                        if (opc == 4) { res = a ^ b; } else {
+                            if (opc == 5) { res = a << 1; } else {
+                                if (opc == 6) {
+                                    /* load: address phase, then data one
+                                       to three cycles later */
+                                    constraint mintime from ld to lr = 1 cycles;
+                                    constraint maxtime from ld to lr = 3 cycles;
+                                    ld: write daddr = a + imm;
+                                    lr: res = read(din);
+                                } else {
+                                    if (opc == 7) {
+                                        /* store */
+                                        write daddr = a + imm;
+                                        write dout = b;
+                                        write wr = 1;
+                                        res = b;
+                                    } else {
+                                        if (opc == 8) {
+                                            /* branch if flag */
+                                            if (flag != 0) { pc = pc + imm; } else { pc = pc + 0; }
+                                            res = b;
+                                        } else {
+                                            if (opc == 9) { res = imm; } else {
+                                                /* halt */
+                                                run = 0;
+                                                res = b;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        flag = res == 0;
+        /* writeback */
+        if (rd == 0) { r0 = res; } else {
+            if (rd == 1) { r1 = res; } else {
+                if (rd == 2) { r2 = res; } else { r3 = res; }
+            }
+        }
+    }
+    write halted = 1;
+`,
+		Paper: PaperRow{
+			Anchors: 34, Vertices: 188,
+			TotalFull: 177, AvgFull: 0.94,
+			TotalIrredundant: 161, AvgIrredundant: 0.86,
+			MaxFull: 12, SumFull: 112, MaxIrredundant: 12, SumIrredundant: 107,
+		},
+	}
+}

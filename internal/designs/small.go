@@ -1,0 +1,115 @@
+package designs
+
+// Traffic returns the traffic light controller benchmark. A sensor on the
+// farm road interrupts the highway green; the controller waits on the
+// sensor, updates its state, and drives the lights. The reconstruction
+// reproduces the paper's anchor accounting exactly: 3 anchors (two graph
+// sources plus the sensor wait loop) over 8 vertices.
+func Traffic() Design {
+	return Design{
+		Name:        "traffic",
+		Description: "traffic light controller: sensor-synchronized light sequencing",
+		Source: `
+process traffic (sensor, highway, farm)
+    in port sensor;
+    out port highway[2], farm[2];
+    boolean state[2], tick[2];
+    tag go;
+    /* wait while no car is on the farm road; track wait parity */
+    while (!sensor) {
+        state = state ^ 1;
+        tick = state | 1;
+    }
+    /* switch the lights */
+    go: write highway = 0;
+`,
+		Paper: PaperRow{
+			Anchors: 3, Vertices: 8,
+			TotalFull: 8, AvgFull: 1.00,
+			TotalIrredundant: 6, AvgIrredundant: 0.75,
+			MaxFull: 1, SumFull: 1, MaxIrredundant: 1, SumIrredundant: 1,
+		},
+	}
+}
+
+// Length returns the pulse length detector benchmark: wait for the rising
+// edge of the input pulse, count cycles while it stays high, and report
+// the measured length. 5 anchors (three graph sources plus two
+// synchronization loops) over 12 vertices, matching the paper.
+func Length() Design {
+	return Design{
+		Name:        "length",
+		Description: "pulse length detector: measure the high time of an input pulse",
+		Source: `
+process length (pulse, len)
+    in port pulse;
+    out port len[8];
+    boolean cnt[8], seen[8];
+    tag lo, hi;
+    /* wait for the rising edge */
+    lo: while (!pulse) {
+        seen = seen | 1;
+    }
+    /* count the high time */
+    hi: while (pulse) {
+        cnt = cnt + 1;
+    }
+    seen = seen ^ seen;
+    write len = cnt | seen;
+`,
+		Paper: PaperRow{
+			Anchors: 5, Vertices: 12,
+			TotalFull: 15, AvgFull: 1.25,
+			TotalIrredundant: 9, AvgIrredundant: 0.75,
+			MaxFull: 2, SumFull: 5, MaxIrredundant: 1, SumIrredundant: 2,
+		},
+	}
+}
+
+// GCDSource is the paper's Fig. 13 HardwareC description, verbatim modulo
+// whitespace: Euclid's algorithm with timing constraints forcing the x
+// input to be sampled exactly one cycle after the y input.
+const GCDSource = `
+process gcd (xin, yin, restart, result)
+    in port xin[8], yin[8], restart;
+    out port result[8];
+    boolean x[8], y[8];
+    tag a, b;
+    /* wait for restart to go low */
+    while (restart)
+        ;
+    /* sample inputs */
+    {
+        constraint mintime from a to b = 1 cycles;
+        constraint maxtime from a to b = 1 cycles;
+        a: y = read(yin);
+        b: x = read(xin);
+    }
+    /* Euclid's algorithm */
+    if ((x != 0) & (y != 0))
+    {
+        repeat {
+            while (x >= y)
+                x = x - y;
+            /* swap values */
+            < y = x; x = y; >
+        } until (y == 0);
+    }
+    /* write result to output */
+    write result = x;
+`
+
+// GCD returns the greatest-common-divisor benchmark of Fig. 13.
+func GCD() Design {
+	return Design{
+		Name:        "gcd",
+		Description: "Euclid's gcd with exact input-sampling timing constraints (Fig. 13)",
+		Source:      GCDSource,
+		Paper: PaperRow{
+			Anchors: 16, Vertices: 41,
+			TotalFull: 51, AvgFull: 1.24,
+			TotalIrredundant: 32, AvgIrredundant: 0.78,
+			MaxFull: 4, SumFull: 15, MaxIrredundant: 2, SumIrredundant: 7,
+		},
+	}
+}

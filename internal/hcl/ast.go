@@ -1,0 +1,223 @@
+package hcl
+
+// Dir is a port direction.
+type Dir int
+
+// Port directions.
+const (
+	In Dir = iota
+	Out
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// PortDecl declares a process port.
+type PortDecl struct {
+	Name  string
+	Dir   Dir
+	Width int // bits; 1 for scalar ports
+}
+
+// VarDecl declares a boolean vector variable.
+type VarDecl struct {
+	Name  string
+	Width int
+}
+
+// Constraint is a mintime/maxtime declaration between two tagged
+// operations: mintime requires σ(to) ≥ σ(from) + Cycles, maxtime requires
+// σ(to) ≤ σ(from) + Cycles.
+type Constraint struct {
+	Min      bool
+	From, To string
+	Cycles   int
+	Line     int
+}
+
+// Procedure is a named statement block sharing the enclosing process's
+// variables and ports. Calls to it appear as hierarchical vertices in the
+// sequencing graph (§II of the paper).
+type Procedure struct {
+	Name string
+	Body *Block
+}
+
+// Process is a parsed HardwareC process.
+type Process struct {
+	Name        string
+	Ports       []PortDecl
+	Vars        []VarDecl
+	Tags        []string
+	Procedures  []*Procedure
+	Body        *Block
+	Constraints []Constraint
+}
+
+// Procedure returns the named procedure declaration, or nil.
+func (p *Process) Procedure(name string) *Procedure {
+	for _, pr := range p.Procedures {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}
+
+// Port returns the declaration of the named port, or nil.
+func (p *Process) Port(name string) *PortDecl {
+	for i := range p.Ports {
+		if p.Ports[i].Name == name {
+			return &p.Ports[i]
+		}
+	}
+	return nil
+}
+
+// Var returns the declaration of the named variable, or nil.
+func (p *Process) Var(name string) *VarDecl {
+	for i := range p.Vars {
+		if p.Vars[i].Name == name {
+			return &p.Vars[i]
+		}
+	}
+	return nil
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmt()
+	// Label returns the statement's tag, or "".
+	Label() string
+}
+
+type labeled struct{ Tag string }
+
+// Label returns the statement's tag.
+func (l labeled) Label() string { return l.Tag }
+
+// Block is a sequence of statements; Parallel marks a < … > block whose
+// statements are explicitly concurrent.
+type Block struct {
+	labeled
+	Stmts    []Stmt
+	Parallel bool
+}
+
+// Assign is `lhs = expr;`.
+type Assign struct {
+	labeled
+	LHS string
+	RHS Expr
+}
+
+// Read is `lhs = read(port);`.
+type Read struct {
+	labeled
+	LHS  string
+	Port string
+}
+
+// Write is `write port = expr;`.
+type Write struct {
+	labeled
+	Port string
+	RHS  Expr
+}
+
+// While is `while (cond) body`. An empty body models busy-waiting on an
+// external condition (the paper's "wait for restart to go low").
+type While struct {
+	labeled
+	Cond Expr
+	Body Stmt
+}
+
+// RepeatUntil is `repeat body until (cond);`.
+type RepeatUntil struct {
+	labeled
+	Body Stmt
+	Cond Expr
+}
+
+// If is `if (cond) then [else els]`.
+type If struct {
+	labeled
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// Call invokes a declared procedure.
+type Call struct {
+	labeled
+	Name string
+}
+
+// Empty is a lone `;`.
+type Empty struct{ labeled }
+
+func (*Block) stmt()       {}
+func (*Assign) stmt()      {}
+func (*Read) stmt()        {}
+func (*Write) stmt()       {}
+func (*While) stmt()       {}
+func (*RepeatUntil) stmt() {}
+func (*If) stmt()          {}
+func (*Call) stmt()        {}
+func (*Empty) stmt()       {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Ident references a variable or input port by name.
+type Ident struct{ Name string }
+
+// Num is an integer literal.
+type Num struct{ Value int64 }
+
+// Unary applies NOT or unary MINUS.
+type Unary struct {
+	Op Kind
+	X  Expr
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   Kind
+	X, Y Expr
+}
+
+func (*Ident) expr()  {}
+func (*Num) expr()    {}
+func (*Unary) expr()  {}
+func (*Binary) expr() {}
+
+// Idents collects the distinct identifier names referenced by an
+// expression, in first-appearance order.
+func Idents(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Ident:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *Unary:
+			walk(x.X)
+		case *Binary:
+			walk(x.X)
+			walk(x.Y)
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,200 @@
+package hcl
+
+import "fmt"
+
+// check runs semantic analysis on a parsed process: every referenced
+// identifier must be a declared variable or input port, assignment targets
+// must be variables, read sources input ports, write targets output ports,
+// every used tag must be declared and attached to at most one statement,
+// and every constraint must reference attached tags.
+func check(p *Process) error {
+	if p.Body == nil {
+		return fmt.Errorf("hcl: process %s has no body", p.Name)
+	}
+	vars := map[string]bool{}
+	for _, v := range p.Vars {
+		if vars[v.Name] {
+			return fmt.Errorf("hcl: duplicate variable %q", v.Name)
+		}
+		vars[v.Name] = true
+	}
+	inPorts, outPorts := map[string]bool{}, map[string]bool{}
+	for _, pd := range p.Ports {
+		if inPorts[pd.Name] || outPorts[pd.Name] || vars[pd.Name] {
+			return fmt.Errorf("hcl: duplicate declaration %q", pd.Name)
+		}
+		if pd.Dir == In {
+			inPorts[pd.Name] = true
+		} else {
+			outPorts[pd.Name] = true
+		}
+	}
+	declaredTags := map[string]bool{}
+	for _, tg := range p.Tags {
+		if declaredTags[tg] {
+			return fmt.Errorf("hcl: duplicate tag %q", tg)
+		}
+		declaredTags[tg] = true
+	}
+	procNames := map[string]bool{}
+	for _, pr := range p.Procedures {
+		if procNames[pr.Name] {
+			return fmt.Errorf("hcl: duplicate procedure %q", pr.Name)
+		}
+		procNames[pr.Name] = true
+	}
+
+	attachedTags := map[string]bool{}
+	checkExpr := func(e Expr, ctx string) error {
+		for _, id := range Idents(e) {
+			if !vars[id] && !inPorts[id] {
+				return fmt.Errorf("hcl: %s references undeclared %q", ctx, id)
+			}
+		}
+		return nil
+	}
+	var walk func(s Stmt) error
+	walk = func(s Stmt) error {
+		if tg := s.Label(); tg != "" {
+			if !declaredTags[tg] {
+				return fmt.Errorf("hcl: tag %q not declared", tg)
+			}
+			if attachedTags[tg] {
+				return fmt.Errorf("hcl: tag %q attached to more than one statement", tg)
+			}
+			attachedTags[tg] = true
+		}
+		switch st := s.(type) {
+		case *Block:
+			for _, sub := range st.Stmts {
+				if err := walk(sub); err != nil {
+					return err
+				}
+			}
+		case *Assign:
+			if !vars[st.LHS] {
+				return fmt.Errorf("hcl: assignment to undeclared variable %q", st.LHS)
+			}
+			return checkExpr(st.RHS, "assignment")
+		case *Read:
+			if !vars[st.LHS] {
+				return fmt.Errorf("hcl: read into undeclared variable %q", st.LHS)
+			}
+			if !inPorts[st.Port] {
+				return fmt.Errorf("hcl: read from %q, which is not an input port", st.Port)
+			}
+		case *Write:
+			if !outPorts[st.Port] {
+				return fmt.Errorf("hcl: write to %q, which is not an output port", st.Port)
+			}
+			return checkExpr(st.RHS, "write")
+		case *While:
+			if err := checkExpr(st.Cond, "while condition"); err != nil {
+				return err
+			}
+			return walk(st.Body)
+		case *RepeatUntil:
+			if err := checkExpr(st.Cond, "until condition"); err != nil {
+				return err
+			}
+			return walk(st.Body)
+		case *If:
+			if err := checkExpr(st.Cond, "if condition"); err != nil {
+				return err
+			}
+			if err := walk(st.Then); err != nil {
+				return err
+			}
+			if st.Else != nil {
+				return walk(st.Else)
+			}
+		case *Call:
+			if p.Procedure(st.Name) == nil {
+				return fmt.Errorf("hcl: call to undeclared procedure %q", st.Name)
+			}
+		case *Empty:
+		}
+		return nil
+	}
+	for _, pr := range p.Procedures {
+		if err := walk(pr.Body); err != nil {
+			return fmt.Errorf("hcl: procedure %s: %w", pr.Name, err)
+		}
+	}
+	if err := walk(p.Body); err != nil {
+		return err
+	}
+	if err := checkCallCycles(p); err != nil {
+		return err
+	}
+	for _, c := range p.Constraints {
+		for _, tg := range []string{c.From, c.To} {
+			if !declaredTags[tg] {
+				return fmt.Errorf("hcl: line %d: constraint references undeclared tag %q", c.Line, tg)
+			}
+			if !attachedTags[tg] {
+				return fmt.Errorf("hcl: line %d: constraint references tag %q not attached to any statement", c.Line, tg)
+			}
+		}
+		if c.From == c.To {
+			return fmt.Errorf("hcl: line %d: constraint from a tag to itself", c.Line)
+		}
+	}
+	return nil
+}
+
+// checkCallCycles rejects recursive procedures: the hardware model's
+// hierarchy must stay acyclic (§II).
+func checkCallCycles(p *Process) error {
+	// calls[name] = procedures called from name's body.
+	calls := map[string][]string{}
+	var collect func(s Stmt, out *[]string)
+	collect = func(s Stmt, out *[]string) {
+		switch st := s.(type) {
+		case *Block:
+			for _, sub := range st.Stmts {
+				collect(sub, out)
+			}
+		case *While:
+			collect(st.Body, out)
+		case *RepeatUntil:
+			collect(st.Body, out)
+		case *If:
+			collect(st.Then, out)
+			if st.Else != nil {
+				collect(st.Else, out)
+			}
+		case *Call:
+			*out = append(*out, st.Name)
+		}
+	}
+	for _, pr := range p.Procedures {
+		var out []string
+		collect(pr.Body, &out)
+		calls[pr.Name] = out
+	}
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("hcl: recursive procedure %q (hierarchy must be acyclic)", name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		for _, callee := range calls[name] {
+			if err := visit(callee); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		return nil
+	}
+	for _, pr := range p.Procedures {
+		if err := visit(pr.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

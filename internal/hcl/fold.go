@@ -1,0 +1,181 @@
+package hcl
+
+// FoldExpr performs constant folding and algebraic simplification on an
+// expression — the classical compiler optimizations Hercules applies to
+// the behavior before graph construction (§VII). It returns a new
+// expression; the input is not modified. Folding never changes evaluation
+// semantics: division and modulo by a constant zero are left unfolded so
+// the runtime error surfaces where the source wrote it.
+func FoldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Unary:
+		inner := FoldExpr(x.X)
+		if n, ok := inner.(*Num); ok {
+			switch x.Op {
+			case MINUS:
+				return &Num{Value: -n.Value}
+			case NOT:
+				if n.Value == 0 {
+					return &Num{Value: 1}
+				}
+				return &Num{Value: 0}
+			}
+		}
+		return &Unary{Op: x.Op, X: inner}
+	case *Binary:
+		a := FoldExpr(x.X)
+		b := FoldExpr(x.Y)
+		na, aNum := a.(*Num)
+		nb, bNum := b.(*Num)
+		if aNum && bNum {
+			if v, ok := foldConst(x.Op, na.Value, nb.Value); ok {
+				return &Num{Value: v}
+			}
+		}
+		if folded, ok := foldIdentity(x.Op, a, b, na, aNum, nb, bNum); ok {
+			return folded
+		}
+		return &Binary{Op: x.Op, X: a, Y: b}
+	default:
+		return e
+	}
+}
+
+func foldConst(op Kind, a, b int64) (int64, bool) {
+	boolOf := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case PLUS:
+		return a + b, true
+	case MINUS:
+		return a - b, true
+	case STAR:
+		return a * b, true
+	case SLASH:
+		if b == 0 {
+			return 0, false // preserve the runtime error
+		}
+		return a / b, true
+	case PERCENT:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case AND:
+		return a & b, true
+	case OR:
+		return a | b, true
+	case XOR:
+		return a ^ b, true
+	case LAND:
+		return boolOf(a != 0 && b != 0), true
+	case LOR:
+		return boolOf(a != 0 || b != 0), true
+	case EQ:
+		return boolOf(a == b), true
+	case NEQ:
+		return boolOf(a != b), true
+	case LT:
+		return boolOf(a < b), true
+	case GT:
+		return boolOf(a > b), true
+	case LE:
+		return boolOf(a <= b), true
+	case GE:
+		return boolOf(a >= b), true
+	case SHL:
+		return a << uint(b&63), true
+	case SHR:
+		return a >> uint(b&63), true
+	}
+	return 0, false
+}
+
+// foldIdentity applies algebraic identities with one constant operand.
+func foldIdentity(op Kind, a, b Expr, na *Num, aNum bool, nb *Num, bNum bool) (Expr, bool) {
+	switch op {
+	case PLUS:
+		if aNum && na.Value == 0 {
+			return b, true
+		}
+		if bNum && nb.Value == 0 {
+			return a, true
+		}
+	case MINUS:
+		if bNum && nb.Value == 0 {
+			return a, true
+		}
+	case STAR:
+		if aNum && na.Value == 1 {
+			return b, true
+		}
+		if bNum && nb.Value == 1 {
+			return a, true
+		}
+		if (aNum && na.Value == 0) || (bNum && nb.Value == 0) {
+			return &Num{Value: 0}, true
+		}
+	case OR, XOR:
+		if aNum && na.Value == 0 {
+			return b, true
+		}
+		if bNum && nb.Value == 0 {
+			return a, true
+		}
+	case AND:
+		if (aNum && na.Value == 0) || (bNum && nb.Value == 0) {
+			return &Num{Value: 0}, true
+		}
+	case SHL, SHR:
+		if bNum && nb.Value == 0 {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// FoldProcess returns a copy of the process with every statement
+// expression folded. Loop and branch conditions are folded too — a
+// condition that folds to a constant still evaluates as one (the
+// scheduler treats the construct identically; only the simulator's
+// decisions become deterministic).
+func FoldProcess(p *Process) *Process {
+	out := *p
+	out.Procedures = make([]*Procedure, len(p.Procedures))
+	for i, pr := range p.Procedures {
+		out.Procedures[i] = &Procedure{Name: pr.Name, Body: foldStmt(pr.Body).(*Block)}
+	}
+	out.Body = foldStmt(p.Body).(*Block)
+	return &out
+}
+
+func foldStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *Block:
+		nb := &Block{labeled: st.labeled, Parallel: st.Parallel}
+		for _, sub := range st.Stmts {
+			nb.Stmts = append(nb.Stmts, foldStmt(sub))
+		}
+		return nb
+	case *Assign:
+		return &Assign{labeled: st.labeled, LHS: st.LHS, RHS: FoldExpr(st.RHS)}
+	case *Write:
+		return &Write{labeled: st.labeled, Port: st.Port, RHS: FoldExpr(st.RHS)}
+	case *While:
+		return &While{labeled: st.labeled, Cond: FoldExpr(st.Cond), Body: foldStmt(st.Body)}
+	case *RepeatUntil:
+		return &RepeatUntil{labeled: st.labeled, Cond: FoldExpr(st.Cond), Body: foldStmt(st.Body)}
+	case *If:
+		ni := &If{labeled: st.labeled, Cond: FoldExpr(st.Cond), Then: foldStmt(st.Then)}
+		if st.Else != nil {
+			ni.Else = foldStmt(st.Else)
+		}
+		return ni
+	default:
+		return s
+	}
+}

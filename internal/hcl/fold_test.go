@@ -1,0 +1,161 @@
+package hcl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func parseExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	p, err := Parse(`
+process p (o)
+    out port o[16];
+    boolean a[16], b[16], r[16];
+    r = ` + src + `;
+    write o = r;
+`)
+	if err != nil {
+		t.Fatalf("Parse %q: %v", src, err)
+	}
+	return p.Body.Stmts[0].(*Assign).RHS
+}
+
+func TestFoldConstants(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(10 - 4) / 3", 2},
+		{"7 % 4", 3},
+		{"1 << 4", 16},
+		{"255 >> 4", 15},
+		{"5 & 3", 1},
+		{"5 | 2", 7},
+		{"5 ^ 1", 4},
+		{"3 < 4", 1},
+		{"3 >= 4", 0},
+		{"1 && 0", 0},
+		{"1 || 0", 1},
+		{"!7", 0},
+		{"-(3 + 4)", -7},
+		{"(2 == 2) + (3 != 3)", 1},
+	} {
+		got := FoldExpr(parseExpr(t, tc.src))
+		n, ok := got.(*Num)
+		if !ok || n.Value != tc.want {
+			t.Errorf("Fold(%q) = %s, want %d", tc.src, ExprString(got), tc.want)
+		}
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"a + 0", "a"},
+		{"0 + a", "a"},
+		{"a - 0", "a"},
+		{"a * 1", "a"},
+		{"1 * a", "a"},
+		{"a * 0", "0"},
+		{"0 * a", "0"},
+		{"a | 0", "a"},
+		{"a ^ 0", "a"},
+		{"a & 0", "0"},
+		{"a << 0", "a"},
+		{"a + (2 * 0)", "a"},
+	} {
+		got := ExprString(FoldExpr(parseExpr(t, tc.src)))
+		if got != tc.want {
+			t.Errorf("Fold(%q) = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+	// Division by a constant zero is preserved (runtime error semantics).
+	if _, ok := FoldExpr(parseExpr(t, "a + 4 / 0")).(*Binary); !ok {
+		t.Error("division by zero must not fold away")
+	}
+}
+
+// TestProperty_FoldPreservesValue checks on random constant expressions
+// that folding agrees with direct evaluation.
+func TestProperty_FoldPreservesValue(t *testing.T) {
+	ops := []Kind{PLUS, MINUS, STAR, AND, OR, XOR, LT, GE, EQ, SHL, SHR}
+	var build func(rng *rand.Rand, depth int) Expr
+	build = func(rng *rand.Rand, depth int) Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return &Num{Value: int64(rng.Intn(64))}
+		}
+		return &Binary{
+			Op: ops[rng.Intn(len(ops))],
+			X:  build(rng, depth-1),
+			Y:  build(rng, depth-1),
+		}
+	}
+	var eval func(e Expr) int64
+	eval = func(e Expr) int64 {
+		switch x := e.(type) {
+		case *Num:
+			return x.Value
+		case *Binary:
+			v, _ := foldConst(x.Op, eval(x.X), eval(x.Y))
+			return v
+		}
+		return 0
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := build(rng, 4)
+		folded := FoldExpr(e)
+		n, ok := folded.(*Num)
+		return ok && n.Value == eval(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldProcess(t *testing.T) {
+	p, err := Parse(`
+process p (i, o)
+    in port i;
+    out port o[8];
+    boolean v[8];
+    procedure q {
+        v = v + (3 - 3);
+    }
+    while (i && 1) {
+        v = v * (2 - 1);
+    }
+    if (2 > 1)
+        v = v | 0;
+    call q;
+    write o = v + 2 * 2;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FoldProcess(p)
+	// Procedure body: v + 0 → v.
+	if got := ExprString(f.Procedures[0].Body.Stmts[0].(*Assign).RHS); got != "v" {
+		t.Errorf("procedure fold = %q", got)
+	}
+	// Loop body: v * 1 → v; condition i && 1 stays a Binary (i dynamic).
+	w := f.Body.Stmts[0].(*While)
+	if got := ExprString(w.Body.(*Block).Stmts[0].(*Assign).RHS); got != "v" {
+		t.Errorf("loop body fold = %q", got)
+	}
+	// If condition folds to constant 1.
+	iff := f.Body.Stmts[1].(*If)
+	if n, ok := iff.Cond.(*Num); !ok || n.Value != 1 {
+		t.Errorf("if cond fold = %s", ExprString(iff.Cond))
+	}
+	// Write: v + 4.
+	wr := f.Body.Stmts[3].(*Write)
+	if got := ExprString(wr.RHS); got != "(v + 4)" {
+		t.Errorf("write fold = %q", got)
+	}
+	// The original is untouched.
+	if got := ExprString(p.Body.Stmts[3].(*Write).RHS); got == "(v + 4)" {
+		t.Error("FoldProcess mutated its input")
+	}
+}

@@ -1,0 +1,237 @@
+package hcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// GCDSource is the paper's Fig. 13 HardwareC description, verbatim modulo
+// whitespace, used across the repository's tests and examples.
+const GCDSource = `
+process gcd (xin, yin, restart, result)
+    in port xin[8], yin[8], restart;
+    out port result[8];
+    boolean x[8], y[8];
+    tag a, b;
+    /* wait for restart to go low */
+    while (restart)
+        ;
+    /* sample inputs */
+    {
+        constraint mintime from a to b = 1 cycles;
+        constraint maxtime from a to b = 1 cycles;
+        a: y = read(yin);
+        b: x = read(xin);
+    }
+    /* Euclid's algorithm */
+    if ((x != 0) & (y != 0))
+    {
+        repeat {
+            while (x >= y)
+                x = x - y;
+            /* swap values */
+            < y = x; x = y; >
+        } until (y == 0);
+    }
+    /* write result to output */
+    write result = x;
+`
+
+func TestLexGCD(t *testing.T) {
+	toks, err := Lex(GCDSource)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[len(toks)-1].Kind != EOF {
+		t.Error("token stream must end with EOF")
+	}
+	// Spot-check a few kinds appear.
+	var sawProcess, sawConstraint, sawGE, sawParallel bool
+	for _, tok := range toks {
+		switch tok.Kind {
+		case KWProcess:
+			sawProcess = true
+		case KWConstraint:
+			sawConstraint = true
+		case GE:
+			sawGE = true
+		case LT:
+			sawParallel = true
+		}
+	}
+	if !sawProcess || !sawConstraint || !sawGE || !sawParallel {
+		t.Errorf("missing expected tokens: process=%v constraint=%v ge=%v lt=%v",
+			sawProcess, sawConstraint, sawGE, sawParallel)
+	}
+}
+
+func TestParseGCD(t *testing.T) {
+	p, err := Parse(GCDSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Name != "gcd" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Ports) != 4 {
+		t.Errorf("ports = %d, want 4", len(p.Ports))
+	}
+	if pd := p.Port("xin"); pd == nil || pd.Dir != In || pd.Width != 8 {
+		t.Errorf("xin = %+v", pd)
+	}
+	if pd := p.Port("restart"); pd == nil || pd.Width != 1 {
+		t.Errorf("restart = %+v", pd)
+	}
+	if pd := p.Port("result"); pd == nil || pd.Dir != Out {
+		t.Errorf("result = %+v", pd)
+	}
+	if len(p.Vars) != 2 || p.Var("x") == nil || p.Var("y") == nil {
+		t.Errorf("vars = %+v", p.Vars)
+	}
+	if len(p.Tags) != 2 {
+		t.Errorf("tags = %v", p.Tags)
+	}
+	if len(p.Constraints) != 2 {
+		t.Fatalf("constraints = %d, want 2", len(p.Constraints))
+	}
+	for i, c := range p.Constraints {
+		if c.From != "a" || c.To != "b" || c.Cycles != 1 {
+			t.Errorf("constraint %d = %+v", i, c)
+		}
+	}
+	if !p.Constraints[0].Min || p.Constraints[1].Min {
+		t.Error("constraint kinds wrong")
+	}
+
+	// Structure: while; block; if; write.
+	if len(p.Body.Stmts) != 4 {
+		t.Fatalf("body statements = %d, want 4", len(p.Body.Stmts))
+	}
+	w, ok := p.Body.Stmts[0].(*While)
+	if !ok {
+		t.Fatalf("stmt 0 is %T, want While", p.Body.Stmts[0])
+	}
+	if _, ok := w.Body.(*Empty); !ok {
+		t.Errorf("busy-wait body is %T, want Empty", w.Body)
+	}
+	blk, ok := p.Body.Stmts[1].(*Block)
+	if !ok {
+		t.Fatalf("stmt 1 is %T, want Block", p.Body.Stmts[1])
+	}
+	var tags []string
+	for _, s := range blk.Stmts {
+		if r, ok := s.(*Read); ok {
+			tags = append(tags, r.Label())
+		}
+	}
+	if strings.Join(tags, ",") != "a,b" {
+		t.Errorf("read tags = %v", tags)
+	}
+	iff, ok := p.Body.Stmts[2].(*If)
+	if !ok {
+		t.Fatalf("stmt 2 is %T, want If", p.Body.Stmts[2])
+	}
+	thenBlk := iff.Then.(*Block)
+	rep, ok := thenBlk.Stmts[0].(*RepeatUntil)
+	if !ok {
+		t.Fatalf("then[0] is %T, want RepeatUntil", thenBlk.Stmts[0])
+	}
+	repBlk := rep.Body.(*Block)
+	if len(repBlk.Stmts) != 2 {
+		t.Fatalf("repeat body = %d stmts", len(repBlk.Stmts))
+	}
+	par, ok := repBlk.Stmts[1].(*Block)
+	if !ok || !par.Parallel || len(par.Stmts) != 2 {
+		t.Errorf("swap block = %+v", repBlk.Stmts[1])
+	}
+	if _, ok := p.Body.Stmts[3].(*Write); !ok {
+		t.Errorf("stmt 3 is %T, want Write", p.Body.Stmts[3])
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	src := `
+process p (o)
+    out port o[8];
+    boolean v[8], w[8];
+    v = 1 + 2 * 3;
+    w = v + 1 == 7 & v < 2 | w != 0;
+    write o = v;
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a := p.Body.Stmts[0].(*Assign)
+	b, ok := a.RHS.(*Binary)
+	if !ok || b.Op != PLUS {
+		t.Fatalf("1+2*3 top op = %+v", a.RHS)
+	}
+	if inner, ok := b.Y.(*Binary); !ok || inner.Op != STAR {
+		t.Errorf("2*3 not grouped: %+v", b.Y)
+	}
+	c := p.Body.Stmts[1].(*Assign)
+	top, ok := c.RHS.(*Binary)
+	if !ok || top.Op != OR {
+		t.Errorf("top of mixed expr should be |, got %+v", c.RHS)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"undeclared var", "process p (o)\nout port o;\nz = 1;\nwrite o = 1;"},
+		{"read from out port", "process p (o)\nout port o;\nboolean v;\nv = read(o);\nwrite o = v;"},
+		{"write to in port", "process p (i)\nin port i;\nboolean v;\nwrite i = 1;"},
+		{"port not in params", "process p (i)\nin port i, j;\nwrite i = 1;"},
+		{"undeclared tag", "process p (o)\nout port o;\nboolean v;\nq: v = 1;\nwrite o = v;"},
+		{"constraint missing tag", "process p (o)\nout port o;\nboolean v;\ntag a, b;\nconstraint mintime from a to b = 1 cycles;\na: v = 1;\nwrite o = v;"},
+		{"duplicate tag attach", "process p (o)\nout port o;\nboolean v;\ntag a;\na: v = 1;\na: v = 2;\nwrite o = v;"},
+		{"self constraint", "process p (o)\nout port o;\nboolean v;\ntag a;\na: v = 1;\nconstraint mintime from a to a = 1 cycles;\nwrite o = v;"},
+		{"unterminated comment", "process p (o)\nout port o;\n/* oops\nwrite o = 1;"},
+		{"garbage", "process p (o)\nout port o;\n@;\nwrite o = 1;"},
+		{"unterminated parallel", "process p (o)\nout port o;\nboolean v;\n< v = 1;\nwrite o = v;"},
+	} {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestIdents(t *testing.T) {
+	p, err := Parse(`
+process p (o)
+    out port o[8];
+    boolean a[8], b[8], c[8];
+    c = a + b * a - 3;
+    write o = c;
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rhs := p.Body.Stmts[0].(*Assign).RHS
+	ids := Idents(rhs)
+	if strings.Join(ids, ",") != "a,b" {
+		t.Errorf("Idents = %v, want [a b]", ids)
+	}
+}
+
+func TestTaggedControlStatements(t *testing.T) {
+	src := `
+process p (i, o)
+    in port i;
+    out port o;
+    boolean v;
+    tag L;
+    L: while (i)
+        v = v + 1;
+    write o = v;
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	w := p.Body.Stmts[0].(*While)
+	if w.Label() != "L" {
+		t.Errorf("loop tag = %q", w.Label())
+	}
+}

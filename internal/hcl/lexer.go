@@ -1,0 +1,205 @@
+package hcl
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer splits HardwareC source into tokens. It supports // line comments
+// and /* block comments */.
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole source.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByte2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByte2() == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByte2() == '*':
+			line, col := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByte2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if k, ok := keywords[strings.ToLower(text)]; ok {
+			return Token{Kind: k, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Line: line, Col: col}, nil
+	case c >= '0' && c <= '9':
+		start := lx.pos
+		for lx.pos < len(lx.src) && isNumCont(lx.peekByte()) {
+			lx.advance()
+		}
+		return Token{Kind: NUMBER, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+	}
+	lx.advance()
+	two := func(second byte, k2, k1 Kind) Token {
+		if lx.peekByte() == second {
+			lx.advance()
+			return Token{Kind: k2, Line: line, Col: col}
+		}
+		return Token{Kind: k1, Line: line, Col: col}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Line: line, Col: col}, nil
+	case ')':
+		return Token{Kind: RPAREN, Line: line, Col: col}, nil
+	case '{':
+		return Token{Kind: LBRACE, Line: line, Col: col}, nil
+	case '}':
+		return Token{Kind: RBRACE, Line: line, Col: col}, nil
+	case '[':
+		return Token{Kind: LBRACKET, Line: line, Col: col}, nil
+	case ']':
+		return Token{Kind: RBRACKET, Line: line, Col: col}, nil
+	case ';':
+		return Token{Kind: SEMI, Line: line, Col: col}, nil
+	case ',':
+		return Token{Kind: COMMA, Line: line, Col: col}, nil
+	case ':':
+		return Token{Kind: COLON, Line: line, Col: col}, nil
+	case '=':
+		return two('=', EQ, ASSIGN), nil
+	case '+':
+		return Token{Kind: PLUS, Line: line, Col: col}, nil
+	case '-':
+		return Token{Kind: MINUS, Line: line, Col: col}, nil
+	case '*':
+		return Token{Kind: STAR, Line: line, Col: col}, nil
+	case '/':
+		return Token{Kind: SLASH, Line: line, Col: col}, nil
+	case '%':
+		return Token{Kind: PERCENT, Line: line, Col: col}, nil
+	case '!':
+		return two('=', NEQ, NOT), nil
+	case '&':
+		return two('&', LAND, AND), nil
+	case '|':
+		return two('|', LOR, OR), nil
+	case '^':
+		return Token{Kind: XOR, Line: line, Col: col}, nil
+	case '<':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return Token{Kind: LE, Line: line, Col: col}, nil
+		}
+		if lx.peekByte() == '<' {
+			lx.advance()
+			return Token{Kind: SHL, Line: line, Col: col}, nil
+		}
+		return Token{Kind: LT, Line: line, Col: col}, nil
+	case '>':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return Token{Kind: GE, Line: line, Col: col}, nil
+		}
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return Token{Kind: SHR, Line: line, Col: col}, nil
+		}
+		return Token{Kind: GT, Line: line, Col: col}, nil
+	}
+	return Token{}, errf(line, col, "unexpected character %q", rune(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}
+
+func isNumCont(c byte) bool {
+	return (c >= '0' && c <= '9') || c == 'x' || c == 'X' ||
+		(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,566 @@
+package hcl
+
+import "strconv"
+
+// Parse parses one HardwareC process from source and runs semantic checks
+// (declared identifiers, tag resolution, constraint sanity).
+func Parse(src string) (*Process, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	proc, err := p.parseProcess()
+	if err != nil {
+		return nil, err
+	}
+	if err := check(proc); err != nil {
+		return nil, err
+	}
+	return proc, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, t.Col, "expected %s, found %s", k, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) parseProcess() (*Process, error) {
+	if _, err := p.expect(KWProcess); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	proc := &Process{Name: name.Text}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	// The parameter list repeats the port names; directions and widths
+	// come from the declarations that follow.
+	params := map[string]bool{}
+	for p.cur().Kind != RPAREN {
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		params[id.Text] = true
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+
+	// Declarations, then the body statements, all inside the process.
+	// HardwareC writes declarations directly after the header; we accept
+	// them until the first non-declaration token.
+	for {
+		switch p.cur().Kind {
+		case KWIn, KWOut:
+			dir := In
+			if p.cur().Kind == KWOut {
+				dir = Out
+			}
+			p.advance()
+			if _, err := p.expect(KWPort); err != nil {
+				return nil, err
+			}
+			for {
+				id, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				width := 1
+				if p.accept(LBRACKET) {
+					n, err := p.expect(NUMBER)
+					if err != nil {
+						return nil, err
+					}
+					width, err = strconv.Atoi(n.Text)
+					if err != nil || width <= 0 {
+						return nil, errf(n.Line, n.Col, "bad width %q", n.Text)
+					}
+					if _, err := p.expect(RBRACKET); err != nil {
+						return nil, err
+					}
+				}
+				if !params[id.Text] {
+					return nil, errf(id.Line, id.Col, "port %q not in process parameter list", id.Text)
+				}
+				proc.Ports = append(proc.Ports, PortDecl{Name: id.Text, Dir: dir, Width: width})
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		case KWBoolean:
+			p.advance()
+			for {
+				id, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				width := 1
+				if p.accept(LBRACKET) {
+					n, err := p.expect(NUMBER)
+					if err != nil {
+						return nil, err
+					}
+					width, err = strconv.Atoi(n.Text)
+					if err != nil || width <= 0 {
+						return nil, errf(n.Line, n.Col, "bad width %q", n.Text)
+					}
+					if _, err := p.expect(RBRACKET); err != nil {
+						return nil, err
+					}
+				}
+				proc.Vars = append(proc.Vars, VarDecl{Name: id.Text, Width: width})
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		case KWTag:
+			p.advance()
+			for {
+				id, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				proc.Tags = append(proc.Tags, id.Text)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		case KWProcedure:
+			p.advance()
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.parseStmt(proc)
+			if err != nil {
+				return nil, err
+			}
+			if body == nil {
+				body = &Block{}
+			}
+			blk, ok := body.(*Block)
+			if !ok {
+				blk = &Block{Stmts: []Stmt{body}}
+			}
+			proc.Procedures = append(proc.Procedures, &Procedure{Name: id.Text, Body: blk})
+		default:
+			// Body begins.
+			body := &Block{}
+			for p.cur().Kind != EOF {
+				st, err := p.parseStmt(proc)
+				if err != nil {
+					return nil, err
+				}
+				if st != nil {
+					body.Stmts = append(body.Stmts, st)
+				}
+			}
+			proc.Body = body
+			return proc, nil
+		}
+	}
+}
+
+func (p *parser) parseStmt(proc *Process) (Stmt, error) {
+	t := p.cur()
+	// Tagged statement: IDENT ':' stmt.
+	if t.Kind == IDENT && p.peek().Kind == COLON {
+		tag := p.advance().Text
+		p.advance() // colon
+		st, err := p.parseStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		if st == nil {
+			return nil, errf(t.Line, t.Col, "tag %q on a constraint declaration", tag)
+		}
+		if err := setTag(st, tag, t); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	switch t.Kind {
+	case SEMI:
+		p.advance()
+		return &Empty{}, nil
+	case LBRACE:
+		p.advance()
+		blk := &Block{}
+		for p.cur().Kind != RBRACE {
+			if p.cur().Kind == EOF {
+				return nil, errf(t.Line, t.Col, "unterminated block")
+			}
+			st, err := p.parseStmt(proc)
+			if err != nil {
+				return nil, err
+			}
+			if st != nil {
+				blk.Stmts = append(blk.Stmts, st)
+			}
+		}
+		p.advance()
+		return blk, nil
+	case LT:
+		// Parallel block < s1; s2; … >.
+		p.advance()
+		blk := &Block{Parallel: true}
+		for p.cur().Kind != GT {
+			if p.cur().Kind == EOF {
+				return nil, errf(t.Line, t.Col, "unterminated parallel block")
+			}
+			st, err := p.parseStmt(proc)
+			if err != nil {
+				return nil, err
+			}
+			if st != nil {
+				blk.Stmts = append(blk.Stmts, st)
+			}
+		}
+		p.advance()
+		return blk, nil
+	case KWConstraint:
+		return p.parseConstraint(proc)
+	case KWCall:
+		p.advance()
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Call{Name: id.Text}, nil
+	case KWWhile:
+		p.advance()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		if body == nil {
+			body = &Empty{}
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case KWRepeat:
+		p.advance()
+		body, err := p.parseStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		if body == nil {
+			body = &Empty{}
+		}
+		if _, err := p.expect(KWUntil); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		p.accept(SEMI)
+		return &RepeatUntil{Body: body, Cond: cond}, nil
+	case KWIf:
+		p.advance()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		if then == nil {
+			then = &Empty{}
+		}
+		st := &If{Cond: cond, Then: then}
+		if p.accept(KWElse) {
+			els, err := p.parseStmt(proc)
+			if err != nil {
+				return nil, err
+			}
+			if els == nil {
+				els = &Empty{}
+			}
+			st.Else = els
+		}
+		return st, nil
+	case KWWrite:
+		p.advance()
+		port, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Write{Port: port.Text, RHS: rhs}, nil
+	case IDENT:
+		lhs := p.advance()
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == KWRead {
+			p.advance()
+			if _, err := p.expect(LPAREN); err != nil {
+				return nil, err
+			}
+			port, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &Read{LHS: lhs.Text, Port: port.Text}, nil
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: lhs.Text, RHS: rhs}, nil
+	}
+	return nil, errf(t.Line, t.Col, "unexpected %s at statement start", t)
+}
+
+func setTag(st Stmt, tag string, t Token) error {
+	switch s := st.(type) {
+	case *Assign:
+		s.Tag = tag
+	case *Read:
+		s.Tag = tag
+	case *Write:
+		s.Tag = tag
+	case *While:
+		s.Tag = tag
+	case *RepeatUntil:
+		s.Tag = tag
+	case *If:
+		s.Tag = tag
+	case *Block:
+		s.Tag = tag
+	case *Call:
+		s.Tag = tag
+	default:
+		return errf(t.Line, t.Col, "statement cannot carry tag %q", tag)
+	}
+	return nil
+}
+
+func (p *parser) parseConstraint(proc *Process) (Stmt, error) {
+	t := p.advance() // constraint
+	c := Constraint{Line: t.Line}
+	switch p.cur().Kind {
+	case KWMintime:
+		c.Min = true
+	case KWMaxtime:
+		c.Min = false
+	default:
+		return nil, errf(p.cur().Line, p.cur().Col, "expected mintime or maxtime")
+	}
+	p.advance()
+	if _, err := p.expect(KWFrom); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWTo); err != nil {
+		return nil, err
+	}
+	to, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	n, err := p.expect(NUMBER)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := strconv.Atoi(n.Text)
+	if err != nil || cycles < 0 {
+		return nil, errf(n.Line, n.Col, "bad cycle count %q", n.Text)
+	}
+	// "cycles" (or "cycle" lexed as IDENT) is an optional noise word.
+	if p.cur().Kind == KWCycles {
+		p.advance()
+	} else if p.cur().Kind == IDENT && p.cur().Text == "cycle" {
+		p.advance()
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	c.From, c.To, c.Cycles = from.Text, to.Text, cycles
+	proc.Constraints = append(proc.Constraints, c)
+	// Constraint declarations attach to the process, not to the
+	// statement stream.
+	return nil, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = [][]Kind{
+	{LOR},
+	{LAND},
+	{OR},
+	{XOR},
+	{AND},
+	{EQ, NEQ},
+	{LT, GT, LE, GE},
+	{SHL, SHR},
+	{PLUS, MINUS},
+	{STAR, SLASH, PERCENT},
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseBinary(0)
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precedence) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precedence[level] {
+			if p.cur().Kind == op {
+				p.advance()
+				y, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case NOT, MINUS:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Kind, X: x}, nil
+	case IDENT:
+		p.advance()
+		return &Ident{Name: t.Text}, nil
+	case NUMBER:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad number %q", t.Text)
+		}
+		return &Num{Value: v}, nil
+	case LPAREN:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.Line, t.Col, "unexpected %s in expression", t)
+}

@@ -1,0 +1,172 @@
+package hcl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Print renders a process back to HardwareC source. The output parses to
+// an equivalent process (round-trip tested), which makes generated or
+// transformed ASTs inspectable and lets tools emit the language.
+func Print(w io.Writer, p *Process) error {
+	pr := &printer{w: w}
+	pr.printf("process %s (%s)\n", p.Name, strings.Join(portNames(p), ", "))
+	pr.indent++
+	var ins, outs []string
+	for _, pd := range p.Ports {
+		decl := pd.Name
+		if pd.Width > 1 {
+			decl = fmt.Sprintf("%s[%d]", pd.Name, pd.Width)
+		}
+		if pd.Dir == In {
+			ins = append(ins, decl)
+		} else {
+			outs = append(outs, decl)
+		}
+	}
+	if len(ins) > 0 {
+		pr.printf("in port %s;\n", strings.Join(ins, ", "))
+	}
+	if len(outs) > 0 {
+		pr.printf("out port %s;\n", strings.Join(outs, ", "))
+	}
+	if len(p.Vars) > 0 {
+		var decls []string
+		for _, v := range p.Vars {
+			if v.Width > 1 {
+				decls = append(decls, fmt.Sprintf("%s[%d]", v.Name, v.Width))
+			} else {
+				decls = append(decls, v.Name)
+			}
+		}
+		pr.printf("boolean %s;\n", strings.Join(decls, ", "))
+	}
+	if len(p.Tags) > 0 {
+		pr.printf("tag %s;\n", strings.Join(p.Tags, ", "))
+	}
+	for _, proc := range p.Procedures {
+		pr.printf("procedure %s {\n", proc.Name)
+		pr.indent++
+		for _, s := range proc.Body.Stmts {
+			pr.stmt(s)
+		}
+		pr.indent--
+		pr.printf("}\n")
+	}
+	// Constraints are declarations attached to tags; emit them before the
+	// body so they parse back in statement position.
+	for _, c := range p.Constraints {
+		kind := "maxtime"
+		if c.Min {
+			kind = "mintime"
+		}
+		pr.printf("constraint %s from %s to %s = %d cycles;\n", kind, c.From, c.To, c.Cycles)
+	}
+	for _, s := range p.Body.Stmts {
+		pr.stmt(s)
+	}
+	return pr.err
+}
+
+// PrintString renders a process to a string.
+func PrintString(p *Process) (string, error) {
+	var sb strings.Builder
+	if err := Print(&sb, p); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func portNames(p *Process) []string {
+	out := make([]string, len(p.Ports))
+	for i, pd := range p.Ports {
+		out[i] = pd.Name
+	}
+	return out
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+	err    error
+}
+
+func (pr *printer) printf(format string, args ...interface{}) {
+	if pr.err != nil {
+		return
+	}
+	_, err := fmt.Fprintf(pr.w, "%s%s", strings.Repeat("    ", pr.indent), fmt.Sprintf(format, args...))
+	pr.err = err
+}
+
+func (pr *printer) stmt(s Stmt) {
+	tag := ""
+	if t := s.Label(); t != "" {
+		tag = t + ": "
+	}
+	switch st := s.(type) {
+	case *Empty:
+		pr.printf("%s;\n", tag)
+	case *Block:
+		open, close := "{", "}"
+		if st.Parallel {
+			open, close = "<", ">"
+		}
+		pr.printf("%s%s\n", tag, open)
+		pr.indent++
+		for _, sub := range st.Stmts {
+			pr.stmt(sub)
+		}
+		pr.indent--
+		pr.printf("%s\n", close)
+	case *Assign:
+		pr.printf("%s%s = %s;\n", tag, st.LHS, ExprString(st.RHS))
+	case *Read:
+		pr.printf("%s%s = read(%s);\n", tag, st.LHS, st.Port)
+	case *Write:
+		pr.printf("%swrite %s = %s;\n", tag, st.Port, ExprString(st.RHS))
+	case *While:
+		pr.printf("%swhile (%s)\n", tag, ExprString(st.Cond))
+		pr.indent++
+		pr.stmt(st.Body)
+		pr.indent--
+	case *RepeatUntil:
+		pr.printf("%srepeat\n", tag)
+		pr.indent++
+		pr.stmt(st.Body)
+		pr.indent--
+		pr.printf("until (%s);\n", ExprString(st.Cond))
+	case *If:
+		pr.printf("%sif (%s)\n", tag, ExprString(st.Cond))
+		pr.indent++
+		pr.stmt(st.Then)
+		pr.indent--
+		if st.Else != nil {
+			pr.printf("else\n")
+			pr.indent++
+			pr.stmt(st.Else)
+			pr.indent--
+		}
+	case *Call:
+		pr.printf("%scall %s;\n", tag, st.Name)
+	default:
+		pr.err = fmt.Errorf("hcl: cannot print %T", s)
+	}
+}
+
+// ExprString renders an expression with explicit parentheses around every
+// binary operation, so precedence survives re-parsing exactly.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *Num:
+		return fmt.Sprintf("%d", x.Value)
+	case *Unary:
+		return fmt.Sprintf("%s(%s)", kindNames[x.Op], ExprString(x.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.X), kindNames[x.Op], ExprString(x.Y))
+	}
+	return "?"
+}

@@ -1,0 +1,106 @@
+package hcl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip parses, prints, re-parses, and compares the two ASTs.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse 1: %v", err)
+	}
+	out, err := PrintString(p1)
+	if err != nil {
+		t.Fatalf("print: %v", err)
+	}
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\nprinted source:\n%s", err, out)
+	}
+	// Compare structure. Constraints carry source line numbers that
+	// legitimately differ; normalize them.
+	for i := range p1.Constraints {
+		p1.Constraints[i].Line = 0
+	}
+	for i := range p2.Constraints {
+		p2.Constraints[i].Line = 0
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("round trip changed the AST\noriginal: %#v\nreparsed: %#v\nprinted:\n%s", p1, p2, out)
+	}
+}
+
+// GCDSource is declared in hcl_test.go.
+func TestRoundTripGCD(t *testing.T) { roundTrip(t, GCDSource) }
+
+func TestRoundTripProcedures(t *testing.T) {
+	roundTrip(t, `
+process p (i, o)
+    in port i;
+    out port o[8];
+    boolean v[8], w[8];
+    tag z;
+    procedure bump {
+        v = v + 1;
+    }
+    procedure wrap {
+        call bump;
+        w = -v;
+    }
+    while (!i)
+        ;
+    z: call wrap;
+    if (v > 3)
+        w = v << 1;
+    else
+        w = !v;
+    write o = w;
+`)
+}
+
+func TestRoundTripPrecedence(t *testing.T) {
+	roundTrip(t, `
+process p (o)
+    out port o[16];
+    boolean a[16], b[16], c[16];
+    a = b + c * 2 - (b | c) % 3;
+    b = a < 4 & c >= 1 | a != b ^ c == 0;
+    c = a >> 2 << 1 / 3;
+    write o = a && b || !c;
+`)
+}
+
+func TestExprString(t *testing.T) {
+	p, err := Parse(`
+process p (o)
+    out port o[8];
+    boolean a[8], b[8];
+    a = b + 2 * a;
+    write o = a;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := p.Body.Stmts[0].(*Assign).RHS
+	if got := ExprString(rhs); got != "(b + (2 * a))" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestPrintedSourceIsIndented(t *testing.T) {
+	p, err := Parse(GCDSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PrintString(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "    in port") {
+		t.Errorf("expected indentation:\n%s", out)
+	}
+}

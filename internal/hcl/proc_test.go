@@ -1,0 +1,105 @@
+package hcl
+
+import (
+	"strings"
+	"testing"
+)
+
+const procSource = `
+process p (trigger, o)
+    in port trigger;
+    out port o[8];
+    boolean v[8], w[8];
+    tag c1;
+    procedure bump {
+        v = v + 1;
+        w = w ^ v;
+    }
+    procedure twice {
+        call bump;
+        call bump;
+    }
+    while (!trigger)
+        ;
+    c1: call twice;
+    call bump;
+    write o = w;
+`
+
+func TestParseProcedures(t *testing.T) {
+	p, err := Parse(procSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Procedures) != 2 {
+		t.Fatalf("procedures = %d, want 2", len(p.Procedures))
+	}
+	if p.Procedure("bump") == nil || p.Procedure("twice") == nil {
+		t.Fatal("procedure lookup failed")
+	}
+	if p.Procedure("nope") != nil {
+		t.Fatal("phantom procedure")
+	}
+	// The tagged call keeps its tag.
+	var tagged *Call
+	for _, s := range p.Body.Stmts {
+		if c, ok := s.(*Call); ok && c.Label() == "c1" {
+			tagged = c
+		}
+	}
+	if tagged == nil || tagged.Name != "twice" {
+		t.Errorf("tagged call = %+v", tagged)
+	}
+}
+
+func TestProcedureErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"unknown callee", `
+process p (o)
+    out port o;
+    boolean v;
+    call nothing;
+    write o = v;
+`},
+		{"recursion", `
+process p (o)
+    out port o;
+    boolean v;
+    procedure a { call b; }
+    procedure b { call a; }
+    call a;
+    write o = v;
+`},
+		{"self recursion", `
+process p (o)
+    out port o;
+    boolean v;
+    procedure a { call a; }
+    call a;
+    write o = v;
+`},
+		{"duplicate procedure", `
+process p (o)
+    out port o;
+    boolean v;
+    procedure a { v = 1; }
+    procedure a { v = 2; }
+    call a;
+    write o = v;
+`},
+		{"undeclared var in procedure", `
+process p (o)
+    out port o;
+    boolean v;
+    procedure a { z = 1; }
+    call a;
+    write o = v;
+`},
+	} {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		} else if !strings.Contains(err.Error(), "hcl") {
+			t.Errorf("%s: unexpected error shape %v", tc.name, err)
+		}
+	}
+}

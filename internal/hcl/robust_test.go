@@ -1,0 +1,84 @@
+package hcl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestRobustness_RandomInput feeds arbitrary byte soup to the frontend:
+// it must return an error or a process, never panic or hang.
+func TestRobustness_RandomInput(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRobustness_MutatedGCD mutates the valid gcd source — deleting,
+// duplicating, and swapping random chunks — and requires graceful
+// handling of every mutant.
+func TestRobustness_MutatedGCD(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := GCDSource
+	for i := 0; i < 400; i++ {
+		src := mutate(rng, base)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on mutant %d: %v\n%s", i, r, src)
+				}
+			}()
+			if p, err := Parse(src); err == nil {
+				// Accepted mutants must also print and re-parse.
+				out, perr := PrintString(p)
+				if perr != nil {
+					t.Fatalf("mutant %d parsed but failed to print: %v", i, perr)
+				}
+				if _, rerr := Parse(out); rerr != nil {
+					t.Fatalf("mutant %d round-trip failed: %v\n%s", i, rerr, out)
+				}
+			}
+		}()
+	}
+}
+
+func mutate(rng *rand.Rand, s string) string {
+	b := []byte(s)
+	switch rng.Intn(4) {
+	case 0: // delete a chunk
+		if len(b) > 10 {
+			i := rng.Intn(len(b) - 8)
+			n := 1 + rng.Intn(7)
+			b = append(b[:i], b[i+n:]...)
+		}
+	case 1: // duplicate a chunk
+		if len(b) > 10 {
+			i := rng.Intn(len(b) - 8)
+			n := 1 + rng.Intn(7)
+			chunk := append([]byte(nil), b[i:i+n]...)
+			b = append(b[:i], append(chunk, b[i:]...)...)
+		}
+	case 2: // flip a character
+		if len(b) > 0 {
+			b[rng.Intn(len(b))] = byte(rng.Intn(96) + 32)
+		}
+	case 3: // swap two tokens crudely
+		parts := strings.Fields(string(b))
+		if len(parts) > 2 {
+			i, j := rng.Intn(len(parts)), rng.Intn(len(parts))
+			parts[i], parts[j] = parts[j], parts[i]
+			return strings.Join(parts, " ")
+		}
+	}
+	return string(b)
+}

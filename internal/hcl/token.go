@@ -1,0 +1,141 @@
+// Package hcl implements a frontend for a HardwareC subset — the
+// behavioral hardware description language of the Hercules/Hebe high-level
+// synthesis system the paper evaluates in (§VII). The subset covers every
+// construct the paper's examples use: processes with in/out ports, boolean
+// vectors, read/write, arithmetic and logic expressions, while and
+// repeat…until loops, conditionals, parallel blocks < … >, statement tags,
+// and mintime/maxtime constraints between tags.
+package hcl
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Keywords are distinct kinds so the parser can switch on
+// them directly.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KWProcess
+	KWIn
+	KWOut
+	KWPort
+	KWBoolean
+	KWTag
+	KWConstraint
+	KWMintime
+	KWMaxtime
+	KWFrom
+	KWTo
+	KWCycles
+	KWWhile
+	KWRepeat
+	KWUntil
+	KWIf
+	KWElse
+	KWRead
+	KWWrite
+	KWProcedure
+	KWCall
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	SEMI     // ;
+	COMMA    // ,
+	COLON    // :
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	NOT      // !
+	AND      // &
+	OR       // |
+	XOR      // ^
+	LAND     // &&
+	LOR      // ||
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	SHL      // <<
+	SHR      // >>
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	KWProcess: "process", KWIn: "in", KWOut: "out", KWPort: "port",
+	KWBoolean: "boolean", KWTag: "tag", KWConstraint: "constraint",
+	KWMintime: "mintime", KWMaxtime: "maxtime", KWFrom: "from", KWTo: "to",
+	KWCycles: "cycles", KWWhile: "while", KWRepeat: "repeat",
+	KWUntil: "until", KWIf: "if", KWElse: "else", KWRead: "read",
+	KWWrite: "write", KWProcedure: "procedure", KWCall: "call",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", SEMI: ";", COMMA: ",", COLON: ":",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	PERCENT: "%", NOT: "!", AND: "&", OR: "|", XOR: "^",
+	LAND: "&&", LOR: "||", EQ: "==", NEQ: "!=", LT: "<", GT: ">",
+	LE: "<=", GE: ">=", SHL: "<<", SHR: ">>",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"process": KWProcess, "in": KWIn, "out": KWOut, "port": KWPort,
+	"boolean": KWBoolean, "tag": KWTag, "constraint": KWConstraint,
+	"mintime": KWMintime, "maxtime": KWMaxtime, "from": KWFrom,
+	"to": KWTo, "cycles": KWCycles, "while": KWWhile, "repeat": KWRepeat,
+	"until": KWUntil, "if": KWIf, "else": KWElse, "read": KWRead,
+	"write": KWWrite, "procedure": KWProcedure, "call": KWCall,
+}
+
+// Token is one lexical token with its position.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling or number literal
+	Line int
+	Col  int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a frontend error annotated with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("hcl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,315 @@
+// Package netlist provides a small structural netlist IR — flip-flops,
+// logic gates, comparators — and a cycle-based logic simulator. It is the
+// target for gate-level control synthesis (§VI of the paper): the
+// counter-based and shift-register-based controllers are elaborated into
+// real registers and gates, and the logic simulation of the resulting
+// network is checked against the behavioral controller cycle by cycle.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signal identifies a net in the netlist.
+type Signal int
+
+// NoSignal is the zero, always-false net.
+const NoSignal Signal = 0
+
+// GateKind enumerates combinational elements.
+type GateKind int
+
+// Gate kinds.
+const (
+	// And drives 1 when all inputs are 1 (an empty And drives 1).
+	And GateKind = iota
+	// Or drives 1 when any input is 1 (an empty Or drives 0).
+	Or
+	// Not inverts its single input.
+	Not
+	// GeConst treats its inputs as a binary number (LSB first) and
+	// drives 1 when the value is ≥ K — the magnitude comparator of the
+	// counter-based control style.
+	GeConst
+	// Inc treats inputs as a binary number and drives bit Bit of
+	// input+1 — one slice of a counter increment.
+	Inc
+)
+
+// Gate is one combinational element.
+type Gate struct {
+	Kind GateKind
+	In   []Signal
+	Out  Signal
+	K    int // GeConst threshold
+	Bit  int // Inc output bit index
+}
+
+// FF is one D flip-flop with optional load-enable. When Enable is
+// NoSignal the FF loads every cycle.
+type FF struct {
+	D, Q   Signal
+	Enable Signal
+	Init   bool
+}
+
+// Netlist is a flattened network of gates and flip-flops.
+type Netlist struct {
+	names   map[string]Signal
+	signals int
+	Gates   []Gate
+	FFs     []FF
+	// Inputs are externally driven nets.
+	Inputs []Signal
+}
+
+// New returns an empty netlist. Signal 0 is the constant-false net and
+// signal 1 the constant-true net.
+func New() *Netlist {
+	n := &Netlist{names: map[string]Signal{}}
+	n.names["const0"] = 0
+	n.names["const1"] = 1
+	n.signals = 2
+	return n
+}
+
+// True returns the constant-true net.
+func (n *Netlist) True() Signal { return 1 }
+
+// Fresh allocates an anonymous signal.
+func (n *Netlist) Fresh() Signal {
+	s := Signal(n.signals)
+	n.signals++
+	return s
+}
+
+// Named allocates (or returns) the signal with a name, for inputs and
+// probes.
+func (n *Netlist) Named(name string) Signal {
+	if s, ok := n.names[name]; ok {
+		return s
+	}
+	s := n.Fresh()
+	n.names[name] = s
+	return s
+}
+
+// NameOf returns the name of a signal, or its number.
+func (n *Netlist) NameOf(s Signal) string {
+	for name, sig := range n.names {
+		if sig == s {
+			return name
+		}
+	}
+	return fmt.Sprintf("n%d", int(s))
+}
+
+// Input marks a named signal as externally driven.
+func (n *Netlist) Input(name string) Signal {
+	s := n.Named(name)
+	n.Inputs = append(n.Inputs, s)
+	return s
+}
+
+// AddGate appends a gate driving a fresh signal and returns it.
+func (n *Netlist) AddGate(kind GateKind, in ...Signal) Signal {
+	out := n.Fresh()
+	n.Gates = append(n.Gates, Gate{Kind: kind, In: in, Out: out})
+	return out
+}
+
+// AddGeConst appends a magnitude comparator (value(in) ≥ k).
+func (n *Netlist) AddGeConst(k int, in ...Signal) Signal {
+	out := n.Fresh()
+	n.Gates = append(n.Gates, Gate{Kind: GeConst, In: in, Out: out, K: k})
+	return out
+}
+
+// AddInc appends one increment-slice gate: bit `bit` of value(in)+1.
+func (n *Netlist) AddInc(bit int, in ...Signal) Signal {
+	out := n.Fresh()
+	n.Gates = append(n.Gates, Gate{Kind: Inc, In: in, Out: out, Bit: bit})
+	return out
+}
+
+// AddFF appends a flip-flop and returns its Q output.
+func (n *Netlist) AddFF(d, enable Signal, init bool) Signal {
+	q := n.Fresh()
+	n.FFs = append(n.FFs, FF{D: d, Q: q, Enable: enable, Init: init})
+	return q
+}
+
+// Stats summarizes netlist size.
+type Stats struct {
+	Signals, Gates, FFs, Comparators int
+}
+
+// Stats returns size counters.
+func (n *Netlist) Stats() Stats {
+	st := Stats{Signals: n.signals, Gates: len(n.Gates), FFs: len(n.FFs)}
+	for _, g := range n.Gates {
+		if g.Kind == GeConst {
+			st.Comparators++
+		}
+	}
+	return st
+}
+
+// Simulator evaluates a netlist cycle by cycle: combinational settling by
+// topological evaluation, then a synchronous register update.
+type Simulator struct {
+	n     *Netlist
+	value []bool
+	next  []bool
+	order []int // gate evaluation order
+}
+
+// NewSimulator prepares a simulator; it fails if the combinational logic
+// has a cycle.
+func NewSimulator(n *Netlist) (*Simulator, error) {
+	order, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{n: n, value: make([]bool, n.signals), next: make([]bool, n.signals), order: order}
+	s.Reset()
+	return s, nil
+}
+
+// levelize orders gates so every gate's inputs are driven by FFs, inputs,
+// constants, or earlier gates.
+func levelize(n *Netlist) ([]int, error) {
+	driver := make(map[Signal]int, len(n.Gates)) // signal -> gate index
+	for i, g := range n.Gates {
+		driver[g.Out] = i
+	}
+	seq := make(map[Signal]bool)
+	seq[0] = true
+	seq[1] = true
+	for _, ff := range n.FFs {
+		seq[ff.Q] = true
+	}
+	for _, in := range n.Inputs {
+		seq[in] = true
+	}
+	state := make([]int, len(n.Gates)) // 0 unvisited, 1 visiting, 2 done
+	var order []int
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("netlist: combinational cycle through gate %d", i)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		for _, in := range n.Gates[i].In {
+			if seq[in] {
+				continue
+			}
+			d, ok := driver[in]
+			if !ok {
+				return fmt.Errorf("netlist: signal %s undriven", n.NameOf(in))
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[i] = 2
+		order = append(order, i)
+		return nil
+	}
+	for i := range n.Gates {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Reset restores initial register state.
+func (s *Simulator) Reset() {
+	for i := range s.value {
+		s.value[i] = false
+	}
+	s.value[1] = true
+	for _, ff := range s.n.FFs {
+		s.value[ff.Q] = ff.Init
+	}
+	s.settle()
+}
+
+// Set drives an input net.
+func (s *Simulator) Set(sig Signal, v bool) { s.value[sig] = v }
+
+// Get reads a net after the last settle.
+func (s *Simulator) Get(sig Signal) bool { return s.value[sig] }
+
+// settle evaluates all combinational logic.
+func (s *Simulator) settle() {
+	for _, gi := range s.order {
+		g := s.n.Gates[gi]
+		switch g.Kind {
+		case And:
+			v := true
+			for _, in := range g.In {
+				v = v && s.value[in]
+			}
+			s.value[g.Out] = v
+		case Or:
+			v := false
+			for _, in := range g.In {
+				v = v || s.value[in]
+			}
+			s.value[g.Out] = v
+		case Not:
+			s.value[g.Out] = !s.value[g.In[0]]
+		case GeConst:
+			s.value[g.Out] = s.binValue(g.In) >= g.K
+		case Inc:
+			s.value[g.Out] = (s.binValue(g.In)+1)>>uint(g.Bit)&1 == 1
+		}
+	}
+}
+
+func (s *Simulator) binValue(in []Signal) int {
+	v := 0
+	for i, sig := range in {
+		if s.value[sig] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Eval settles combinational logic with the current input values without
+// advancing the clock, so outputs can be observed mid-cycle.
+func (s *Simulator) Eval() { s.settle() }
+
+// Step settles combinational logic with the current inputs, then clocks
+// every flip-flop once.
+func (s *Simulator) Step() {
+	s.settle()
+	for _, ff := range s.n.FFs {
+		q := s.value[ff.Q]
+		if ff.Enable == NoSignal || s.value[ff.Enable] {
+			q = s.value[ff.D]
+		}
+		s.next[ff.Q] = q
+	}
+	for _, ff := range s.n.FFs {
+		s.value[ff.Q] = s.next[ff.Q]
+	}
+	s.settle()
+}
+
+// Probe returns the named signals in sorted order, for debugging.
+func (n *Netlist) Probe() []string {
+	var names []string
+	for name := range n.names {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

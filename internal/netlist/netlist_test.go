@@ -1,0 +1,242 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGatesTruthTables(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	and := n.AddGate(And, a, b)
+	or := n.AddGate(Or, a, b)
+	not := n.AddGate(Not, a)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b         bool
+		and, or, not bool
+	}{
+		{false, false, false, false, true},
+		{false, true, false, true, true},
+		{true, false, false, true, false},
+		{true, true, true, true, false},
+	} {
+		s.Set(a, tc.a)
+		s.Set(b, tc.b)
+		s.Eval()
+		if s.Get(and) != tc.and || s.Get(or) != tc.or || s.Get(not) != tc.not {
+			t.Errorf("a=%v b=%v: and=%v or=%v not=%v", tc.a, tc.b, s.Get(and), s.Get(or), s.Get(not))
+		}
+	}
+}
+
+func TestConstantsAndEmptyGates(t *testing.T) {
+	n := New()
+	emptyAnd := n.AddGate(And)
+	emptyOr := n.AddGate(Or)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Eval()
+	if !s.Get(n.True()) || s.Get(NoSignal) {
+		t.Error("constants wrong")
+	}
+	if !s.Get(emptyAnd) {
+		t.Error("empty AND must be 1")
+	}
+	if s.Get(emptyOr) {
+		t.Error("empty OR must be 0")
+	}
+}
+
+func TestGeConstAndInc(t *testing.T) {
+	n := New()
+	b0 := n.Input("b0")
+	b1 := n.Input("b1")
+	b2 := n.Input("b2")
+	ge5 := n.AddGeConst(5, b0, b1, b2)
+	inc0 := n.AddInc(0, b0, b1, b2)
+	inc2 := n.AddInc(2, b0, b1, b2)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		s.Set(b0, v&1 == 1)
+		s.Set(b1, v&2 == 2)
+		s.Set(b2, v&4 == 4)
+		s.Eval()
+		if s.Get(ge5) != (v >= 5) {
+			t.Errorf("v=%d: ge5 = %v", v, s.Get(ge5))
+		}
+		if s.Get(inc0) != ((v+1)&1 == 1) || s.Get(inc2) != ((v+1)>>2&1 == 1) {
+			t.Errorf("v=%d: inc bits wrong", v)
+		}
+	}
+}
+
+func TestFFBehavior(t *testing.T) {
+	n := New()
+	d := n.Input("d")
+	en := n.Input("en")
+	q := n.AddFF(d, en, true) // init high, load-enabled
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(q) {
+		t.Error("init value lost")
+	}
+	// Enable low: holds.
+	s.Set(d, false)
+	s.Set(en, false)
+	s.Step()
+	if !s.Get(q) {
+		t.Error("FF loaded with enable low")
+	}
+	// Enable high: loads.
+	s.Set(en, true)
+	s.Step()
+	if s.Get(q) {
+		t.Error("FF failed to load")
+	}
+	s.Reset()
+	if !s.Get(q) {
+		t.Error("Reset did not restore init")
+	}
+}
+
+func TestShiftChain(t *testing.T) {
+	n := New()
+	in := n.Input("in")
+	q1 := n.AddFF(in, NoSignal, false)
+	q2 := n.AddFF(q1, NoSignal, false)
+	q3 := n.AddFF(q2, NoSignal, false)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set(in, true)
+	seen := []int{}
+	for cycle := 0; cycle < 5; cycle++ {
+		s.Eval()
+		v := 0
+		for i, q := range []Signal{q1, q2, q3} {
+			if s.Get(q) {
+				v |= 1 << i
+			}
+		}
+		seen = append(seen, v)
+		s.Step()
+	}
+	want := []int{0, 1, 3, 7, 7}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("shift pattern %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	n := New()
+	a := n.Fresh()
+	b := n.Fresh()
+	n.Gates = append(n.Gates, Gate{Kind: Not, In: []Signal{a}, Out: b})
+	n.Gates = append(n.Gates, Gate{Kind: Not, In: []Signal{b}, Out: a})
+	if _, err := NewSimulator(n); err == nil {
+		t.Error("expected combinational-cycle error")
+	}
+}
+
+func TestUndrivenSignalDetected(t *testing.T) {
+	n := New()
+	ghost := n.Fresh()
+	n.AddGate(Not, ghost)
+	if _, err := NewSimulator(n); err == nil {
+		t.Error("expected undriven-signal error")
+	}
+}
+
+// TestQuick_CounterEquivalence builds a 4-bit saturating counter out of
+// Inc/GeConst gates and checks it against an integer model over random
+// enable sequences.
+func TestQuick_CounterEquivalence(t *testing.T) {
+	const maxVal = 11
+	n := New()
+	run := n.Input("run")
+	qs := make([]Signal, 4)
+	for i := range qs {
+		qs[i] = n.Fresh()
+	}
+	atMax := n.AddGeConst(maxVal, qs...)
+	notAtMax := n.AddGate(Not, atMax)
+	for b := range qs {
+		incB := n.AddInc(b, qs...)
+		holdBit := n.True()
+		if (maxVal>>uint(b))&1 == 0 {
+			holdBit = NoSignal
+		}
+		d := n.AddGate(Or,
+			n.AddGate(And, run, notAtMax, incB),
+			n.AddGate(And, run, atMax, holdBit),
+		)
+		n.FFs = append(n.FFs, FF{D: d, Q: qs[b]})
+	}
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pattern []bool) bool {
+		s.Reset()
+		model := 0
+		for _, on := range pattern {
+			s.Set(run, on)
+			s.Eval()
+			got := 0
+			for i, q := range qs {
+				if s.Get(q) {
+					got |= 1 << i
+				}
+			}
+			if got != model {
+				return false
+			}
+			if on {
+				if model < maxVal {
+					model++
+				}
+			} else {
+				model = 0
+			}
+			s.Step()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamesAndStats(t *testing.T) {
+	n := New()
+	a := n.Named("alpha")
+	if n.Named("alpha") != a {
+		t.Error("Named not idempotent")
+	}
+	if n.NameOf(a) != "alpha" {
+		t.Errorf("NameOf = %q", n.NameOf(a))
+	}
+	n.AddGeConst(2, a)
+	st := n.Stats()
+	if st.Comparators != 1 || st.Gates != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(n.Probe()) < 3 {
+		t.Error("probe list too short")
+	}
+}

@@ -1,0 +1,270 @@
+// Package paperex constructs the example constraint graphs of the paper's
+// figures. Where a figure's topology is fully determined by the prose and
+// tables (Fig. 2/Table II, Fig. 10) the reconstruction reproduces the
+// published numbers exactly; the remaining illustrative figures are
+// faithful to their captions.
+package paperex
+
+import "repro/internal/cg"
+
+// Fig1 returns a small constraint graph with one minimum and one maximum
+// timing constraint and no unbounded operations besides the source,
+// matching the flavor of the paper's Fig. 1: a chain v1(3) → v2(1) → v3
+// with a minimum constraint l(v0,v2) = 4 and a maximum constraint
+// u(v1,v3) = 5.
+func Fig1() *cg.Graph {
+	g := cg.New()
+	v1 := g.AddOp("v1", cg.Cycles(3))
+	v2 := g.AddOp("v2", cg.Cycles(1))
+	v3 := g.AddOp("v3", cg.Cycles(0))
+	g.AddSeq(g.Source(), v1)
+	g.AddSeq(v1, v2)
+	g.AddSeq(v2, v3)
+	g.AddMin(g.Source(), v2, 4)
+	g.AddMax(v1, v3, 5)
+	return g.MustFreeze()
+}
+
+// Fig2 returns the constraint graph of the paper's Fig. 2, whose anchor
+// sets and minimum offsets are listed in Table II:
+//
+//	vertex  A(v)      σ_v0  σ_a
+//	v0      ∅          -     -
+//	a       {v0}       0     -
+//	v1      {v0}       0     -
+//	v2      {v0}       2     -
+//	v3      {v0,a}     3     0
+//	v4      {v0,a}     8     5
+//
+// The graph has a maximum timing constraint u(v1,v2) = 2 and a minimum
+// timing constraint l(v0,v3) = 3; a is an unbounded-delay operation.
+func Fig2() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	v1 := g.AddOp("v1", cg.Cycles(2))
+	v2 := g.AddOp("v2", cg.Cycles(2))
+	v3 := g.AddOp("v3", cg.Cycles(5))
+	v4 := g.AddOp("v4", cg.Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(g.Source(), v1)
+	g.AddSeq(v1, v2)
+	g.AddSeq(a, v3)
+	g.AddSeq(v3, v4)
+	g.AddSeq(v2, v4)
+	g.AddMin(g.Source(), v3, 3)
+	g.AddMax(v1, v2, 2)
+	return g.MustFreeze()
+}
+
+// Fig3a returns the ill-posed graph of Fig. 3(a): an unbounded-delay
+// operation a sits on the path between v_i and v_j, and a maximum timing
+// constraint u(v_i, v_j) bounds their separation. No serialization can
+// repair it: the fix would need an edge from a to v_i, closing an
+// unbounded-length cycle.
+func Fig3a() *cg.Graph {
+	g := cg.New()
+	vi := g.AddOp("vi", cg.Cycles(1))
+	a := g.AddOp("a", cg.UnboundedDelay())
+	vj := g.AddOp("vj", cg.Cycles(1))
+	g.AddSeq(g.Source(), vi)
+	g.AddSeq(vi, a)
+	g.AddSeq(a, vj)
+	g.AddMax(vi, vj, 4)
+	return g.MustFreeze()
+}
+
+// Fig3b returns the ill-posed graph of Fig. 3(b): v_i waits on anchor a1
+// and v_j waits on anchor a2, with a maximum constraint u(v_i, v_j)
+// between them. It is ill-posed (δ(a2) is unknown to v_i) but repairable.
+func Fig3b() *cg.Graph {
+	g := cg.New()
+	a1 := g.AddOp("a1", cg.UnboundedDelay())
+	a2 := g.AddOp("a2", cg.UnboundedDelay())
+	vi := g.AddOp("vi", cg.Cycles(1))
+	vj := g.AddOp("vj", cg.Cycles(1))
+	sink := g.AddOp("sink", cg.Cycles(0))
+	g.AddSeq(g.Source(), a1)
+	g.AddSeq(g.Source(), a2)
+	g.AddSeq(a1, vi)
+	g.AddSeq(a2, vj)
+	g.AddSeq(vi, sink)
+	g.AddSeq(vj, sink)
+	g.AddMax(vi, vj, 4)
+	return g.MustFreeze()
+}
+
+// Fig3c returns the well-posed graph of Fig. 3(c): Fig. 3(b) plus the
+// serializing forward edge from a2 to v_i that MakeWellPosed would add.
+func Fig3c() *cg.Graph {
+	g := cg.New()
+	a1 := g.AddOp("a1", cg.UnboundedDelay())
+	a2 := g.AddOp("a2", cg.UnboundedDelay())
+	vi := g.AddOp("vi", cg.Cycles(1))
+	vj := g.AddOp("vj", cg.Cycles(1))
+	sink := g.AddOp("sink", cg.Cycles(0))
+	g.AddSeq(g.Source(), a1)
+	g.AddSeq(g.Source(), a2)
+	g.AddSeq(a1, vi)
+	g.AddSeq(a2, vj)
+	g.AddSeq(vi, sink)
+	g.AddSeq(vj, sink)
+	g.AddSerialization(a2, vi)
+	g.AddMax(vi, vj, 4)
+	return g.MustFreeze()
+}
+
+// Fig4 returns the cascading-anchor example of Fig. 4: a chain of anchors
+// v0 → a → b followed by v_i. A(v_i) = {v0, a, b} but only b is relevant:
+// the start time of v_i needs only the completion of b.
+func Fig4() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	b := g.AddOp("b", cg.UnboundedDelay())
+	vi := g.AddOp("vi", cg.Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, b)
+	g.AddSeq(b, vi)
+	return g.MustFreeze()
+}
+
+// Fig5b returns a graph in the spirit of Fig. 5 where a defining path
+// through a *backward* edge makes an anchor relevant to a vertex it cannot
+// reach through forward edges — which is exactly the ill-posed situation
+// of Lemma 4 (R(v) ⊄ A(v) on ill-posed graphs).
+func Fig5b() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	b := g.AddOp("b", cg.UnboundedDelay())
+	vi := g.AddOp("vi", cg.Cycles(1))
+	vj := g.AddOp("vj", cg.Cycles(1))
+	sink := g.AddOp("sink", cg.Cycles(0))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(g.Source(), b)
+	g.AddSeq(a, vi)
+	g.AddSeq(b, vj)
+	g.AddSeq(vi, sink)
+	g.AddSeq(vj, sink)
+	// Maximum constraint u(vi, vj): backward edge (vj, vi). The defining
+	// path b →(δb) vj →(backward) vi makes b relevant to vi although
+	// b ∉ A(vi).
+	g.AddMax(vi, vj, 3)
+	return g.MustFreeze()
+}
+
+// Fig5a returns Fig5b repaired by the serializing edge b → v_i, after
+// which both a and b are relevant anchors of v_i and R(v_i) ⊆ A(v_i).
+func Fig5a() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	b := g.AddOp("b", cg.UnboundedDelay())
+	vi := g.AddOp("vi", cg.Cycles(1))
+	vj := g.AddOp("vj", cg.Cycles(1))
+	sink := g.AddOp("sink", cg.Cycles(0))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(g.Source(), b)
+	g.AddSeq(a, vi)
+	g.AddSeq(b, vj)
+	g.AddSeq(vi, sink)
+	g.AddSeq(vj, sink)
+	g.AddSerialization(b, vi)
+	g.AddMax(vi, vj, 3)
+	return g.MustFreeze()
+}
+
+// Fig7 returns the redundant-anchor example of Fig. 7: both a and b are
+// relevant anchors of v_i, but the path a → b → v_i is at least as long as
+// a's maximal defining path a → v1 → v_i, so a is redundant for v_i.
+func Fig7() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	b := g.AddOp("b", cg.UnboundedDelay())
+	v1 := g.AddOp("v1", cg.Cycles(1))
+	v2 := g.AddOp("v2", cg.Cycles(2))
+	vi := g.AddOp("vi", cg.Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, v1)
+	g.AddSeq(v1, vi)
+	g.AddSeq(a, b)
+	g.AddSeq(b, v2)
+	g.AddSeq(v2, vi)
+	return g.MustFreeze()
+}
+
+// Fig8a returns the irredundant case of Fig. 8(a): anchor a's maximal
+// defining path through v1 is the longest path from a to v3, so a stays
+// irredundant for v3 even though an anchor b also lies between them.
+func Fig8a() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	b := g.AddOp("b", cg.UnboundedDelay())
+	v1 := g.AddOp("v1", cg.Cycles(4))
+	v3 := g.AddOp("v3", cg.Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, v1)
+	g.AddSeq(v1, v3)
+	g.AddSeq(a, b)
+	g.AddSeq(b, v3)
+	return g.MustFreeze()
+}
+
+// Fig8b returns the redundant case of Fig. 8(b): the defining path of a is
+// shorter than the path through anchor b, so a is redundant for v3.
+func Fig8b() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	b := g.AddOp("b", cg.UnboundedDelay())
+	v1 := g.AddOp("v1", cg.Cycles(1))
+	v2 := g.AddOp("v2", cg.Cycles(4))
+	v3 := g.AddOp("v3", cg.Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(a, v1)
+	g.AddSeq(v1, v3)
+	g.AddSeq(a, b)
+	g.AddSeq(b, v2)
+	g.AddSeq(v2, v3)
+	return g.MustFreeze()
+}
+
+// Fig10 returns the constraint graph whose scheduling trace is the paper's
+// Fig. 10. The reconstruction reproduces the published offset table
+// exactly: two anchors (v0 and a), three maximum timing constraints
+// (backward edges v3→v2 of weight −1, v6→v5 of weight −2, v6→a of weight
+// −6), three violations repaired in iteration 1, one in iteration 2, and
+// convergence at the third IncrementalOffset call with final offsets
+//
+//	vertex  σ_v0  σ_a         vertex  σ_v0  σ_a
+//	a        2     -          v4       4     2
+//	v1       2     0          v5       6     3
+//	v2       5     3          v6       8     -
+//	v3       6     4          v7      12     6
+func Fig10() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	v1 := g.AddOp("v1", cg.Cycles(1))
+	v2 := g.AddOp("v2", cg.Cycles(1))
+	v3 := g.AddOp("v3", cg.Cycles(0))
+	v4 := g.AddOp("v4", cg.Cycles(1))
+	v5 := g.AddOp("v5", cg.Cycles(2))
+	v6 := g.AddOp("v6", cg.Cycles(4))
+	v7 := g.AddOp("v7", cg.Cycles(0))
+	g.AddSeq(g.Source(), a)
+	g.AddMin(g.Source(), a, 1)
+	g.AddSeq(a, v1)
+	g.AddSeq(v1, v2)
+	g.AddMin(v1, v3, 4)
+	g.AddSeq(v2, v3)
+	g.AddSeq(g.Source(), v4)
+	g.AddMin(g.Source(), v4, 4)
+	g.AddMin(v1, v4, 2)
+	g.AddSeq(v4, v5)
+	g.AddSeq(g.Source(), v6)
+	g.AddMin(g.Source(), v6, 8)
+	g.AddSeq(v5, v7)
+	g.AddSeq(v6, v7)
+	g.AddSeq(v3, v7)
+	g.AddMin(v2, v7, 3)
+	g.AddMax(v2, v3, 1)
+	g.AddMax(v5, v6, 2)
+	g.AddMax(a, v6, 6)
+	return g.MustFreeze()
+}

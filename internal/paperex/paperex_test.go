@@ -1,0 +1,72 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/cg"
+)
+
+// TestAllGraphsValid confirms every reconstructed figure graph freezes
+// (polar, forward-acyclic) and has the expected anchor population.
+func TestAllGraphsValid(t *testing.T) {
+	cases := []struct {
+		name    string
+		mk      func() *cg.Graph
+		anchors int // including the source
+	}{
+		{"fig1", Fig1, 1},
+		{"fig2", Fig2, 2},
+		{"fig3a", Fig3a, 2},
+		{"fig3b", Fig3b, 3},
+		{"fig3c", Fig3c, 3},
+		{"fig4", Fig4, 3},
+		{"fig5a", Fig5a, 3},
+		{"fig5b", Fig5b, 3},
+		{"fig7", Fig7, 3},
+		{"fig8a", Fig8a, 3},
+		{"fig8b", Fig8b, 3},
+		{"fig10", Fig10, 2},
+	}
+	for _, c := range cases {
+		g := c.mk()
+		if !g.Frozen() {
+			t.Errorf("%s: not frozen", c.name)
+		}
+		if got := len(g.Anchors()); got != c.anchors {
+			t.Errorf("%s: anchors = %d, want %d", c.name, got, c.anchors)
+		}
+	}
+}
+
+// TestFig10EdgeCounts pins the reconstruction's structure: exactly three
+// maximum timing constraints (the paper's three dashed backward arcs).
+func TestFig10EdgeCounts(t *testing.T) {
+	g := Fig10()
+	if got := g.NumBackward(); got != 3 {
+		t.Errorf("backward edges = %d, want 3", got)
+	}
+	mins := 0
+	for _, e := range g.Edges() {
+		if e.Kind == cg.MinConstraint {
+			mins++
+		}
+	}
+	if mins != 6 {
+		t.Errorf("min-constraint edges = %d, want 6", mins)
+	}
+	if g.N() != 9 {
+		t.Errorf("|V| = %d, want 9 (v0, a, v1..v7)", g.N())
+	}
+}
+
+// TestGraphsAreFresh ensures the constructors build independent graphs,
+// not shared mutable state.
+func TestGraphsAreFresh(t *testing.T) {
+	a, b := Fig2(), Fig2()
+	if a == b {
+		t.Error("Fig2 must return fresh graphs")
+	}
+	if a.String() != b.String() {
+		t.Error("fresh graphs must be identical")
+	}
+}

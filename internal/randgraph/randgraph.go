@@ -1,0 +1,180 @@
+// Package randgraph generates seeded random constraint graphs for property
+// tests and scalability benchmarks. Generated graphs are always polar with
+// an acyclic forward subgraph; options control size, anchor density, and
+// how timing constraints are placed (guaranteed well-posed, possibly
+// ill-posed, or deliberately inconsistent).
+package randgraph
+
+import (
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/cg"
+)
+
+// Config parameterizes the generator. The zero value is not useful; use
+// Default and override fields.
+type Config struct {
+	// N is the number of operation vertices (excluding source and sink).
+	N int
+	// AnchorProb is the probability that an operation has unbounded delay.
+	AnchorProb float64
+	// MaxDelay bounds the random execution delay of bounded operations.
+	MaxDelay int
+	// MaxFanIn bounds how many sequencing predecessors each vertex gets.
+	MaxFanIn int
+	// MinConstraints and MaxConstraints are how many minimum and maximum
+	// timing constraints to attempt to place.
+	MinConstraints, MaxConstraints int
+	// AllowIllPosed permits maximum constraints whose backward edge
+	// violates anchor-set containment; by default constraints are placed
+	// only where the graph stays well-posed.
+	AllowIllPosed bool
+	// MaxSlack is the extra slack added above the longest path when
+	// choosing a maximum-constraint bound; 0 makes every max constraint
+	// tight.
+	MaxSlack int
+}
+
+// Default returns a medium-sized configuration.
+func Default() Config {
+	return Config{
+		N:              40,
+		AnchorProb:     0.15,
+		MaxDelay:       5,
+		MaxFanIn:       3,
+		MinConstraints: 4,
+		MaxConstraints: 4,
+		MaxSlack:       3,
+	}
+}
+
+// Generate builds a random constraint graph from the configuration using
+// the given random source. The result is frozen and always feasible; it is
+// well-posed unless AllowIllPosed let an ill-posed constraint through.
+func Generate(cfg Config, rng *rand.Rand) *cg.Graph {
+	g := cg.New()
+	ids := make([]cg.VertexID, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		d := cg.Cycles(rng.Intn(cfg.MaxDelay + 1))
+		if rng.Float64() < cfg.AnchorProb {
+			d = cg.UnboundedDelay()
+		}
+		ids = append(ids, g.AddOp("", d))
+	}
+	// Sequencing skeleton: each vertex depends on 1..MaxFanIn earlier
+	// vertices (or the source), which keeps the forward graph acyclic and
+	// every vertex reachable from the source.
+	for i, v := range ids {
+		fanIn := 1 + rng.Intn(cfg.MaxFanIn)
+		for f := 0; f < fanIn; f++ {
+			if i == 0 || rng.Intn(4) == 0 {
+				g.AddSeq(g.Source(), v)
+			} else {
+				g.AddSeq(ids[rng.Intn(i)], v)
+			}
+			if f == 0 && i == 0 {
+				break // single edge from source suffices for the first op
+			}
+		}
+	}
+	// Polarity: route every vertex without forward out-edges to one sink.
+	sink := g.AddOp("sink", cg.Cycles(0))
+	hasOut := make([]bool, g.N())
+	for _, e := range g.Edges() {
+		if e.Kind.Forward() {
+			hasOut[e.From] = true
+		}
+	}
+	for _, v := range ids {
+		if !hasOut[v] {
+			g.AddSeq(v, sink)
+		}
+	}
+	if !hasOut[g.Source()] {
+		g.AddSeq(g.Source(), sink)
+	}
+
+	placeConstraints(g, cfg, rng, ids)
+	return g.MustFreeze()
+}
+
+// placeConstraints adds minimum and maximum timing constraints that keep
+// the graph feasible (and well-posed unless allowed otherwise).
+func placeConstraints(g *cg.Graph, cfg Config, rng *rand.Rand, ids []cg.VertexID) {
+	for c := 0; c < cfg.MinConstraints; c++ {
+		// A minimum constraint i → j is valid when no forward path j → i
+		// exists; pick i before j in creation order, which guarantees it.
+		if len(ids) < 2 {
+			break
+		}
+		ii := rng.Intn(len(ids) - 1)
+		jj := ii + 1 + rng.Intn(len(ids)-ii-1)
+		g.AddMin(ids[ii], ids[jj], rng.Intn(cfg.MaxDelay+2))
+	}
+
+	// Anchor sets must be computed after the minimum constraints: bounded
+	// forward edges also propagate anchor sets.
+	anchorsOf := fullAnchorSets(g)
+
+	for c := 0; c < cfg.MaxConstraints; c++ {
+		vi := ids[rng.Intn(len(ids))]
+		dist := g.LongestForwardFrom(vi)
+		// Candidates: vertices reachable from vi. Well-posedness of the
+		// backward edge (vj, vi) needs A(vj) ⊆ A(vi), i.e. equal sets
+		// since vj is downstream.
+		var cand []cg.VertexID
+		for _, vj := range ids {
+			if vj == vi || dist[vj] == cg.Unreachable {
+				continue
+			}
+			if !cfg.AllowIllPosed && !anchorsOf[vj].SubsetOf(anchorsOf[vi]) {
+				continue
+			}
+			cand = append(cand, vj)
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		vj := cand[rng.Intn(len(cand))]
+		u := dist[vj]
+		if cfg.MaxSlack > 0 {
+			u += rng.Intn(cfg.MaxSlack + 1)
+		}
+		g.AddMax(vi, vj, u)
+	}
+}
+
+// fullAnchorSets computes A(v) bitsets without pulling in the relsched
+// package (randgraph sits below it in the dependency order).
+func fullAnchorSets(g *cg.Graph) []bitset.Set {
+	anchors := g.Anchors()
+	idx := make(map[cg.VertexID]int, len(anchors))
+	for i, a := range anchors {
+		idx[a] = i
+	}
+	sets := make([]bitset.Set, g.N())
+	for v := range sets {
+		sets[v] = bitset.New(len(anchors))
+	}
+	for _, u := range g.TopoForward() {
+		g.ForwardOut(u, func(_ int, e cg.Edge) bool {
+			sets[e.To].UnionWith(sets[u])
+			if e.Unbounded {
+				sets[e.To].Add(idx[u])
+			}
+			return true
+		})
+	}
+	return sets
+}
+
+// RandomProfile returns a random delay profile for the graph's anchors
+// with delays in [0, maxDelay].
+func RandomProfile(g *cg.Graph, rng *rand.Rand, maxDelay int) map[cg.VertexID]int {
+	p := make(map[cg.VertexID]int)
+	for _, a := range g.Anchors() {
+		p[a] = rng.Intn(maxDelay + 1)
+	}
+	return p
+}

@@ -1,0 +1,120 @@
+package randgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cg"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Default()
+		g := Generate(cfg, rng)
+		if !g.Frozen() {
+			return false
+		}
+		// Polarity and forward acyclicity were validated by Freeze; spot
+		// check sizes and the sink.
+		if g.N() != cfg.N+2 { // ops + source + sink
+			return false
+		}
+		return g.Sink() != cg.None
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default()
+	a := Generate(cfg, rand.New(rand.NewSource(7)))
+	b := Generate(cfg, rand.New(rand.NewSource(7)))
+	if a.String() != b.String() {
+		t.Error("same seed should generate identical graphs")
+	}
+	c := Generate(cfg, rand.New(rand.NewSource(8)))
+	if a.String() == c.String() {
+		t.Error("different seeds should generate different graphs")
+	}
+}
+
+func TestAnchorDensity(t *testing.T) {
+	cfg := Default()
+	cfg.N = 400
+	cfg.AnchorProb = 0.25
+	g := Generate(cfg, rand.New(rand.NewSource(1)))
+	anchors := len(g.Anchors()) - 1 // exclude source
+	// Binomial(400, 0.25): far outside [50, 150] would indicate a bug.
+	if anchors < 50 || anchors > 150 {
+		t.Errorf("anchors = %d, expected around 100", anchors)
+	}
+
+	cfg.AnchorProb = 0
+	g0 := Generate(cfg, rand.New(rand.NewSource(1)))
+	if len(g0.Anchors()) != 1 {
+		t.Errorf("AnchorProb=0 should leave only the source anchor, got %d", len(g0.Anchors()))
+	}
+}
+
+func TestConstraintCounts(t *testing.T) {
+	cfg := Default()
+	cfg.MinConstraints = 6
+	cfg.MaxConstraints = 6
+	g := Generate(cfg, rand.New(rand.NewSource(3)))
+	mins, maxs := 0, 0
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case cg.MinConstraint:
+			mins++
+		case cg.MaxConstraint:
+			maxs++
+		}
+	}
+	if mins != 6 {
+		t.Errorf("min constraints = %d, want 6", mins)
+	}
+	// Max constraints can be skipped when no well-posed candidate exists.
+	if maxs > 6 {
+		t.Errorf("max constraints = %d, want ≤ 6", maxs)
+	}
+}
+
+func TestWellPosedByDefault(t *testing.T) {
+	// Without AllowIllPosed, every backward edge must satisfy anchor-set
+	// containment (checked structurally via fullAnchorSets).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Generate(Default(), rng)
+		sets := fullAnchorSets(g)
+		for _, ei := range g.BackwardEdges() {
+			e := g.Edge(ei)
+			if !sets[e.From].SubsetOf(sets[e.To]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomProfile(t *testing.T) {
+	g := Generate(Default(), rand.New(rand.NewSource(5)))
+	p := RandomProfile(g, rand.New(rand.NewSource(6)), 9)
+	for _, a := range g.Anchors() {
+		v, ok := p[a]
+		if !ok {
+			t.Fatalf("profile missing anchor %d", a)
+		}
+		if v < 0 || v > 9 {
+			t.Fatalf("profile value %d out of range", v)
+		}
+	}
+	if len(p) != len(g.Anchors()) {
+		t.Errorf("profile has %d entries, want %d", len(p), len(g.Anchors()))
+	}
+}

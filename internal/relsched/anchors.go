@@ -1,0 +1,236 @@
+// Package relsched implements relative scheduling under timing constraints
+// (Ku & De Micheli, DAC 1990): anchor-set analysis, well-posedness checking
+// and repair, redundant-anchor removal, and the iterative incremental
+// scheduling algorithm that produces minimum relative schedules or proves
+// the constraints inconsistent.
+package relsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/cg"
+)
+
+// AnchorInfo holds the anchor-set analysis of a constraint graph: the
+// anchor list, the full anchor set A(v) of every vertex (Definition 4),
+// the relevant anchor set R(v) (Definition 9), and the irredundant anchor
+// set IR(v) (Definition 11).
+type AnchorInfo struct {
+	G *cg.Graph
+	// List is the graph's anchors in ascending vertex-ID order; the
+	// source vertex is always List[0].
+	List []cg.VertexID
+	// Index maps an anchor vertex to its position in List.
+	Index map[cg.VertexID]int
+	// Full[v] is A(v) as a bit set over anchor indices.
+	Full []bitset.Set
+	// Relevant[v] is R(v). Populated by Analyze.
+	Relevant []bitset.Set
+	// Irredundant[v] is IR(v). Populated by Analyze.
+	Irredundant []bitset.Set
+	// Reach[ai][v] reports whether v is reachable from anchor index ai in
+	// the full graph — the domain over which offsets σ_a(·) exist. By
+	// Theorem 3 the minimum offsets are the longest paths in the full
+	// constraint graph, so the offset tables close over full-graph
+	// reachability (a superset of Definition 3's forward-successor set
+	// V_a; the extra entries are internal bookkeeping that keeps the
+	// tables compositional across backward edges).
+	Reach [][]bool
+}
+
+// NumAnchors returns |A|.
+func (ai *AnchorInfo) NumAnchors() int { return len(ai.List) }
+
+// AnchorVertex returns the vertex ID of anchor index i.
+func (ai *AnchorInfo) AnchorVertex(i int) cg.VertexID { return ai.List[i] }
+
+// FullSet returns A(v) as a sorted vertex-ID slice.
+func (ai *AnchorInfo) FullSet(v cg.VertexID) []cg.VertexID { return ai.ids(ai.Full[v]) }
+
+// RelevantSet returns R(v) as a sorted vertex-ID slice.
+func (ai *AnchorInfo) RelevantSet(v cg.VertexID) []cg.VertexID { return ai.ids(ai.Relevant[v]) }
+
+// IrredundantSet returns IR(v) as a sorted vertex-ID slice.
+func (ai *AnchorInfo) IrredundantSet(v cg.VertexID) []cg.VertexID { return ai.ids(ai.Irredundant[v]) }
+
+func (ai *AnchorInfo) ids(s bitset.Set) []cg.VertexID {
+	var out []cg.VertexID
+	s.ForEach(func(i int) { out = append(out, ai.List[i]) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// anchorSets computes the full anchor sets A(v) for every vertex by a
+// single pass over the forward edges in topological order — the
+// findAnchorSet algorithm of §IV-A, reformulated as a relaxation so each
+// forward edge is examined exactly once: for a forward edge (u, v),
+// A(v) ⊇ A(u), and additionally u ∈ A(v) when the edge weight is the
+// unbounded delay δ(u). Worst-case O(|E_f|·|A|/64) words of merging.
+func anchorSets(g *cg.Graph) *AnchorInfo {
+	list := g.Anchors()
+	ai := &AnchorInfo{
+		G:     g,
+		List:  list,
+		Index: make(map[cg.VertexID]int, len(list)),
+		Full:  make([]bitset.Set, g.N()),
+	}
+	for i, a := range list {
+		ai.Index[a] = i
+	}
+	for v := range ai.Full {
+		ai.Full[v] = bitset.New(len(list))
+	}
+	for _, u := range g.TopoForward() {
+		g.ForwardOut(u, func(_ int, e cg.Edge) bool {
+			ai.Full[e.To].UnionWith(ai.Full[u])
+			if e.Unbounded {
+				ai.Full[e.To].Add(ai.Index[u])
+			}
+			return true
+		})
+	}
+	return ai
+}
+
+// relevantAnchors computes R(v) for every vertex: anchor r is relevant to
+// v when a defining path ρ(r, v) exists — a path in the full graph whose
+// only unbounded-weight edge is the first one, leaving r (Definitions 8–9).
+//
+// Implementation of the paper's relevantAnchor: for each anchor, cross its
+// unbounded out-edges once, then flood along bounded-weight edges of any
+// kind (forward or backward), visiting each vertex at most once per
+// anchor. O(|A|·(|V|+|E|)).
+func (ai *AnchorInfo) relevantAnchors() {
+	g := ai.G
+	ai.Relevant = make([]bitset.Set, g.N())
+	for v := range ai.Relevant {
+		ai.Relevant[v] = bitset.New(len(ai.List))
+	}
+	seen := make([]bool, g.N())
+	for idx, a := range ai.List {
+		for i := range seen {
+			seen[i] = false
+		}
+		seen[a] = true
+		var flood func(v cg.VertexID)
+		flood = func(v cg.VertexID) {
+			if seen[v] {
+				return
+			}
+			seen[v] = true
+			ai.Relevant[v].Add(idx)
+			for _, ei := range g.OutEdges(v) {
+				e := g.Edge(ei)
+				if e.Unbounded {
+					continue // a second unbounded edge ends the defining path
+				}
+				flood(e.To)
+			}
+		}
+		for _, ei := range g.OutEdges(a) {
+			e := g.Edge(ei)
+			if !e.Unbounded {
+				continue // defining paths start with the δ(a) edge
+			}
+			flood(e.To)
+		}
+	}
+}
+
+// irredundantAnchors computes IR(v) for every vertex by the Definition 11
+// domination test, applied over the full anchor set: an anchor x ∈ A(v) is
+// redundant when some anchor q ∈ A(v) with x ∈ A(q) satisfies
+// length(x, v) ≤ length(x, q) + length(q, v), where length is the longest
+// path with unbounded weights at 0. Dropping x is then provably safe for
+// start-time computation (Lemma 6): T(q) ≥ T(x) + δ(x) + σ_x(q) because
+// x ∈ A(q), and δ(q) ≥ 0 closes the inequality.
+//
+// This is the paper's minimumAnchor, generalized from R(v) to A(v): the
+// classical cases coincide, and applying the domination test to the full
+// set stays sound even for the corner where an anchor's longest path to v
+// starts with one of its bounded (minimum-constraint) out-edges — a path
+// shape the relevant-anchor separation argument does not cover.
+//
+// longest[ai] must hold the longest-path distances from anchor ai to all
+// vertices (cg.Unreachable when no path exists).
+func (ai *AnchorInfo) irredundantAnchors(longest [][]int) {
+	g := ai.G
+	ai.Irredundant = make([]bitset.Set, g.N())
+	for v := 0; v < g.N(); v++ {
+		ir := ai.Full[v].Clone()
+		full := ai.Full[v].Elements()
+		for _, qi := range full {
+			q := ai.List[qi]
+			if cg.VertexID(v) == q {
+				continue
+			}
+			for _, xi := range full {
+				if xi == qi || !ai.Full[q].Has(xi) {
+					continue
+				}
+				lxv := longest[xi][v]
+				lxq := longest[xi][q]
+				lqv := longest[qi][v]
+				if lxq == cg.Unreachable || lqv == cg.Unreachable {
+					continue
+				}
+				if lxv <= lxq+lqv {
+					ir.Remove(xi)
+				}
+			}
+		}
+		ai.Irredundant[v] = ir
+	}
+}
+
+// Analyze computes the anchor, relevant-anchor and irredundant-anchor sets
+// of a frozen constraint graph. The graph must be feasible: longest-path
+// computations diverge on positive cycles, so Analyze returns
+// ErrUnfeasible in that case.
+func Analyze(g *cg.Graph) (*AnchorInfo, error) {
+	if err := g.Freeze(); err != nil {
+		return nil, err
+	}
+	if g.HasPositiveCycle() {
+		return nil, ErrUnfeasible
+	}
+	ai := anchorSets(g)
+	ai.relevantAnchors()
+	longest := make([][]int, len(ai.List))
+	ai.Reach = make([][]bool, len(ai.List))
+	for i, a := range ai.List {
+		d, ok := g.LongestFrom(a)
+		if !ok {
+			return nil, ErrUnfeasible
+		}
+		longest[i] = d
+		reach := make([]bool, g.N())
+		for v := range d {
+			reach[v] = d[v] != cg.Unreachable
+		}
+		ai.Reach[i] = reach
+	}
+	ai.irredundantAnchors(longest)
+	return ai, nil
+}
+
+// TotalSizes returns the summed cardinalities of the full, relevant and
+// irredundant anchor sets over all vertices — the quantities reported in
+// Table III of the paper.
+func (ai *AnchorInfo) TotalSizes() (full, relevant, irredundant int) {
+	for v := 0; v < ai.G.N(); v++ {
+		full += ai.Full[v].Count()
+		relevant += ai.Relevant[v].Count()
+		irredundant += ai.Irredundant[v].Count()
+	}
+	return
+}
+
+// String summarizes the analysis for diagnostics.
+func (ai *AnchorInfo) String() string {
+	f, r, ir := ai.TotalSizes()
+	return fmt.Sprintf("anchors=%d |A(v)|=%d |R(v)|=%d |IR(v)|=%d over %d vertices",
+		len(ai.List), f, r, ir, ai.G.N())
+}

@@ -1,0 +1,73 @@
+package relsched
+
+import (
+	"fmt"
+
+	"repro/internal/cg"
+)
+
+// WithMaxConstraint returns the minimum relative schedule of the graph
+// with one additional maximum timing constraint σ(to) ≤ σ(from) + u,
+// without rescheduling from scratch: by Lemma 8, offsets only ever
+// increase as constraints are added, so the existing offsets warm-start
+// the iterative incremental engine. The receiver and its graph are not
+// modified; the result owns a new graph.
+//
+// The usual failure modes apply: the added constraint can make the graph
+// ill-posed (IllPosedError), unfeasible (ErrUnfeasible), or inconsistent
+// (ErrInconsistent).
+func (s *Schedule) WithMaxConstraint(from, to cg.VertexID, u int) (*Schedule, error) {
+	g2 := s.G.Clone()
+	g2.AddMax(from, to, u)
+	return s.reschedule(g2)
+}
+
+// WithMinConstraint is WithMaxConstraint for a minimum timing constraint
+// σ(to) ≥ σ(from) + l. Minimum constraints are always well-posed, but the
+// new forward edge may close a forward cycle (rejected) or interact with
+// existing maximum constraints into inconsistency.
+func (s *Schedule) WithMinConstraint(from, to cg.VertexID, l int) (*Schedule, error) {
+	g2 := s.G.Clone()
+	g2.AddMin(from, to, l)
+	return s.reschedule(g2)
+}
+
+// reschedule freezes and re-analyzes the modified graph, then runs the
+// scheduler warm-started from the receiver's offsets.
+func (s *Schedule) reschedule(g2 *cg.Graph) (*Schedule, error) {
+	if err := g2.Freeze(); err != nil {
+		return nil, err
+	}
+	if err := CheckWellPosed(g2); err != nil {
+		return nil, err
+	}
+	info, err := Analyze(g2)
+	if err != nil {
+		return nil, err
+	}
+	if len(info.List) != len(s.Info.List) {
+		// Anchors are delay-determined; edges cannot change them.
+		return nil, fmt.Errorf("relsched: internal: anchor set changed on constraint addition")
+	}
+	next := &Schedule{G: g2, Info: info}
+	next.initOffsets()
+	// Warm start: previous offsets are valid lower bounds (Lemma 8 —
+	// offsets are lengths of paths, and every old path still exists).
+	for ai := range next.off {
+		for v := range next.off[ai] {
+			if prev := s.off[ai][v]; prev != NoOffset && prev > next.off[ai][v] {
+				next.off[ai][v] = prev
+			}
+		}
+	}
+	backward := g2.BackwardEdges()
+	maxIter := len(backward) + 1
+	for c := 1; c <= maxIter; c++ {
+		next.incrementalOffset()
+		next.Iterations = c
+		if !next.readjustOffsets(backward) {
+			return next, nil
+		}
+	}
+	return nil, ErrInconsistent
+}

@@ -1,0 +1,146 @@
+package relsched_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cg"
+	"repro/internal/paperex"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+// TestIncrementalMatchesCold adds constraints to scheduled graphs and
+// checks that the warm-started incremental schedule equals a cold
+// reschedule of the modified graph.
+func TestIncrementalMatchesCold(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := g.VertexByName("v1")
+	v2 := g.VertexByName("v2")
+	v3 := g.VertexByName("v3")
+	v7 := g.VertexByName("v7")
+
+	// Tighten: v7 at most 4 cycles after v2 (currently σ_v0 separation is
+	// 12 − 5 = 7). σ_v0(v7) = 12 is pinned by the v6 path, so v2 must
+	// slide up to 8.
+	warm, err := s.WithMaxConstraint(v2, v7, 4)
+	if err != nil {
+		t.Fatalf("WithMaxConstraint: %v", err)
+	}
+	if err := relsched.Verify(warm); err != nil {
+		t.Fatalf("Verify(warm): %v", err)
+	}
+	cold, err := relsched.Compute(warm.G)
+	if err != nil {
+		t.Fatalf("cold reschedule: %v", err)
+	}
+	if !relsched.EqualOffsets(warm, cold) {
+		t.Error("warm-started offsets differ from cold reschedule")
+	}
+	if o, _ := warm.Offset(g.Source(), v2, relsched.FullAnchors); o != 8 {
+		t.Errorf("σ_v0(v2) = %d, want 8 after tightening", o)
+	}
+
+	// An over-tight bound across the v1→v3 minimum constraint (4 cycles)
+	// is unfeasible.
+	if _, err := s.WithMaxConstraint(v1, v3, 3); !errors.Is(err, relsched.ErrUnfeasible) {
+		t.Errorf("expected ErrUnfeasible for u=3 against l=4, got %v", err)
+	}
+
+	// A minimum constraint pushes v3 out.
+	warm2, err := s.WithMinConstraint(v1, v3, 9)
+	if err != nil {
+		t.Fatalf("WithMinConstraint: %v", err)
+	}
+	if o, _ := warm2.Offset(g.Source(), v3, relsched.FullAnchors); o != 11 {
+		t.Errorf("σ_v0(v3) = %d, want 11 (σ_v0(v1)=2 + 9)", o)
+	}
+}
+
+// TestIncrementalErrors drives the failure paths.
+func TestIncrementalErrors(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.VertexByName("a")
+	v6 := g.VertexByName("v6")
+	v2 := g.VertexByName("v2")
+
+	// Constraining v2 against v6 is ill-posed: a ∈ A(v2) but a ∉ A(v6).
+	if _, err := s.WithMaxConstraint(v6, v2, 3); err == nil {
+		t.Error("expected ill-posed error")
+	} else {
+		var ill *relsched.IllPosedError
+		if !errors.As(err, &ill) {
+			t.Errorf("got %v, want IllPosedError", err)
+		}
+	}
+
+	// An impossible bound across a dependency chain is unfeasible or
+	// inconsistent.
+	if _, err := s.WithMaxConstraint(a, g.VertexByName("v7"), 0); err == nil {
+		t.Error("expected failure for a zero bound across a long chain")
+	}
+
+	// A minimum constraint closing a forward cycle is rejected
+	// structurally.
+	if _, err := s.WithMinConstraint(g.VertexByName("v7"), a, 1); err == nil {
+		t.Error("expected forward-cycle rejection")
+	}
+}
+
+// TestProperty_IncrementalAgreesWithCold cross-checks warm vs cold on
+// random graphs with a random extra constraint.
+func TestProperty_IncrementalAgreesWithCold(t *testing.T) {
+	cfg := randgraph.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		s, err := relsched.Compute(g)
+		if err != nil {
+			return true
+		}
+		// Pick a random forward-reachable pair for a slackened max
+		// constraint so it is usually satisfiable.
+		vi := cg.VertexID(1 + rng.Intn(g.N()-1))
+		dist := g.LongestForwardFrom(vi)
+		var cands []cg.VertexID
+		for v := 0; v < g.N(); v++ {
+			if cg.VertexID(v) != vi && dist[v] != cg.Unreachable {
+				cands = append(cands, cg.VertexID(v))
+			}
+		}
+		if len(cands) == 0 {
+			return true
+		}
+		vj := cands[rng.Intn(len(cands))]
+		u := dist[vj] + rng.Intn(3)
+		warm, errW := s.WithMaxConstraint(vi, vj, u)
+		if errW != nil {
+			// Cold must fail identically.
+			g2 := g.Clone()
+			g2.AddMax(vi, vj, u)
+			if g2.Freeze() != nil {
+				return true
+			}
+			_, errC := relsched.Compute(g2)
+			return errC != nil
+		}
+		cold, errC := relsched.Compute(warm.G)
+		if errC != nil {
+			return false
+		}
+		return relsched.EqualOffsets(warm, cold) && relsched.Verify(warm) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package relsched
+
+import (
+	"repro/internal/cg"
+)
+
+// IterationBound computes the paper's tight convergence bound L + 1 of
+// Theorem 8. For an anchor a and a vertex v reachable from it, consider
+// all longest weighted paths from a to v (unbounded weights at 0) and
+// take the one with the fewest backward edges; L_a is the maximum of that
+// count over v, and L = max_a L_a. The iterative incremental scheduler
+// needs at most L+1 IncrementalOffset sweeps — usually far fewer than the
+// coarse |E_b|+1 bound, since backward edges rarely chain on longest
+// paths.
+//
+// The computation is a Bellman–Ford over the lexicographic weight
+// (length, −backEdges): maximize length, then minimize the number of
+// backward edges among equally long paths.
+func IterationBound(info *AnchorInfo) int {
+	g := info.G
+	L := 0
+	for _, a := range info.List {
+		if la := lAnchor(g, a); la > L {
+			L = la
+		}
+	}
+	return L + 1
+}
+
+func lAnchor(g *cg.Graph, a cg.VertexID) int {
+	n := g.N()
+	const inf = int(^uint(0) >> 1)
+	length := make([]int, n)
+	back := make([]int, n)
+	for i := range length {
+		length[i] = cg.Unreachable
+		back[i] = inf
+	}
+	length[a] = 0
+	back[a] = 0
+	// n·|E_b| iterations suffice: each backward edge can appear at most
+	// |E_b| times on a simple-ish longest path in a graph with no
+	// positive cycles; iterate until fixpoint with a generous cap.
+	for iter := 0; iter < 2*n; iter++ {
+		changed := false
+		for _, e := range g.Edges() {
+			if length[e.From] == cg.Unreachable {
+				continue
+			}
+			nl := length[e.From] + e.MinWeight()
+			nb := back[e.From]
+			if !e.Kind.Forward() {
+				nb++
+			}
+			if nl > length[e.To] || (nl == length[e.To] && nb < back[e.To]) {
+				length[e.To] = nl
+				back[e.To] = nb
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	L := 0
+	for v := 0; v < n; v++ {
+		if length[v] == cg.Unreachable || back[v] == inf {
+			continue
+		}
+		if back[v] > L {
+			L = back[v]
+		}
+	}
+	return L
+}

@@ -1,0 +1,66 @@
+package relsched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperex"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+// TestIterationBoundFig10 pins Theorem 8's tight bound on the paper's
+// trace example: the scheduler used exactly 3 sweeps, and the structural
+// bound L+1 must cover it while staying within |E_b|+1 = 4.
+func TestIterationBoundFig10(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := relsched.IterationBound(s.Info)
+	if s.Iterations > bound {
+		t.Errorf("iterations %d exceed L+1 = %d", s.Iterations, bound)
+	}
+	if bound > g.NumBackward()+1 {
+		t.Errorf("L+1 = %d exceeds |E_b|+1 = %d", bound, g.NumBackward()+1)
+	}
+}
+
+// TestProperty_TightIterationBound is Theorem 8 as stated: on random
+// well-posed graphs, the scheduler converges within L+1 sweeps, which in
+// turn never exceeds |E_b|+1.
+func TestProperty_TightIterationBound(t *testing.T) {
+	cfg := randgraph.Default()
+	cfg.MaxConstraints = 10
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		s, err := relsched.Compute(g)
+		if err != nil {
+			return true
+		}
+		bound := relsched.IterationBound(s.Info)
+		return s.Iterations <= bound && bound <= g.NumBackward()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIterationBoundNoBackwardEdges: with no maximum constraints, L = 0
+// and one sweep suffices.
+func TestIterationBoundNoBackwardEdges(t *testing.T) {
+	g := paperex.Fig4()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound := relsched.IterationBound(s.Info); bound != 1 {
+		t.Errorf("L+1 = %d, want 1", bound)
+	}
+	if s.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", s.Iterations)
+	}
+}

@@ -1,0 +1,382 @@
+package relsched_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/paperex"
+	"repro/internal/relsched"
+)
+
+// names is a test helper mapping vertex IDs to names for readable asserts.
+func names(g *cg.Graph, ids []cg.VertexID) []string {
+	out := []string{}
+	for _, id := range ids {
+		out = append(out, g.Name(id))
+	}
+	return out
+}
+
+func mustCompute(t *testing.T, g *cg.Graph) *relsched.Schedule {
+	t.Helper()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if err := relsched.Verify(s); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return s
+}
+
+// TestTableII_AnchorSetsAndOffsets reproduces Table II: the anchor sets
+// and minimum offsets of the Fig. 2 constraint graph.
+func TestTableII_AnchorSetsAndOffsets(t *testing.T) {
+	g := paperex.Fig2()
+	s := mustCompute(t, g)
+
+	wantAnchors := map[string][]string{
+		"v0": {},
+		"a":  {"v0"},
+		"v1": {"v0"},
+		"v2": {"v0"},
+		"v3": {"v0", "a"},
+		"v4": {"v0", "a"},
+	}
+	for name, want := range wantAnchors {
+		v := g.VertexByName(name)
+		got := names(g, s.Info.FullSet(v))
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("A(%s) = %v, want %v", name, got, want)
+		}
+	}
+
+	v0 := g.Source()
+	a := g.VertexByName("a")
+	wantOffsets := []struct {
+		vertex string
+		fromV0 int
+		hasA   bool
+		fromA  int
+	}{
+		{"a", 0, false, 0},
+		{"v1", 0, false, 0},
+		{"v2", 2, false, 0},
+		{"v3", 3, true, 0},
+		{"v4", 8, true, 5},
+	}
+	for _, w := range wantOffsets {
+		v := g.VertexByName(w.vertex)
+		got, ok := s.Offset(v0, v, relsched.FullAnchors)
+		if !ok || got != w.fromV0 {
+			t.Errorf("σ_v0(%s) = %d,%v, want %d", w.vertex, got, ok, w.fromV0)
+		}
+		got, ok = s.Offset(a, v, relsched.FullAnchors)
+		if ok != w.hasA {
+			t.Errorf("σ_a(%s) defined=%v, want %v", w.vertex, ok, w.hasA)
+		} else if ok && got != w.fromA {
+			t.Errorf("σ_a(%s) = %d, want %d", w.vertex, got, w.fromA)
+		}
+	}
+}
+
+// TestFig2StartTimeExample checks the worked start-time expression for v4:
+// T(v4) = max{T(v0)+δ(v0)+8, T(a)+δ(a)+5}.
+func TestFig2StartTimeExample(t *testing.T) {
+	g := paperex.Fig2()
+	s := mustCompute(t, g)
+	v4 := g.VertexByName("v4")
+	a := g.VertexByName("a")
+	for _, tc := range []struct {
+		d0, da int
+		want   int
+	}{
+		{0, 0, 8},   // a completes at 0: max(0+8, 0+0+5) — but T(a)=0,δ(a)=0 → max(8,5)=8
+		{0, 10, 15}, // a takes 10: T(a)=0 → max(8, 0+10+5)=15
+		{3, 0, 11},  // activation delay 3 shifts everything
+		{3, 10, 18},
+	} {
+		p := relsched.DelayProfile{g.Source(): tc.d0, a: tc.da}
+		ts, err := s.StartTimes(p, relsched.FullAnchors)
+		if err != nil {
+			t.Fatalf("StartTimes: %v", err)
+		}
+		if ts[v4] != tc.want {
+			t.Errorf("T(v4) with δ(v0)=%d δ(a)=%d: got %d, want %d", tc.d0, tc.da, ts[v4], tc.want)
+		}
+		if viol, err := relsched.CheckStartTimes(g, p, ts); err != nil || len(viol) != 0 {
+			t.Errorf("profile (%d,%d): violations %v err %v", tc.d0, tc.da, viol, err)
+		}
+	}
+}
+
+// TestFig10_IterationTrace reproduces the full per-iteration offset table
+// of the paper's Fig. 10, including which phases appear and the exact
+// offsets after every compute and readjust step.
+func TestFig10_IterationTrace(t *testing.T) {
+	g := paperex.Fig10()
+	s, tr, err := relsched.ComputeTrace(g)
+	if err != nil {
+		t.Fatalf("ComputeTrace: %v", err)
+	}
+	if err := relsched.Verify(s); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if s.Iterations != 3 {
+		t.Fatalf("Iterations = %d, want 3 (paper: terminates in third iteration)", s.Iterations)
+	}
+	// Expected phases: compute1, readjust1, compute2, readjust2, compute3.
+	if len(tr.Phases) != 5 {
+		t.Fatalf("got %d trace phases, want 5", len(tr.Phases))
+	}
+
+	type cell struct{ v0, a int }
+	const none = -1
+	// The table from Fig. 10, phases in order. Rows: a, v1..v7.
+	rows := []string{"a", "v1", "v2", "v3", "v4", "v5", "v6", "v7"}
+	// The anchor's own offset σ_a(a) is normalized to 0 (the paper's table
+	// prints "-" for it; internally it is the fixed self-offset).
+	want := [][]cell{
+		// iteration 1 compute
+		{{1, 0}, {1, 0}, {2, 1}, {5, 4}, {4, 2}, {5, 3}, {8, none}, {12, 5}},
+		// iteration 1 readjust
+		{{2, 0}, {1, 0}, {4, 3}, {5, 4}, {4, 2}, {6, 3}, {8, none}, {12, 5}},
+		// iteration 2 compute
+		{{2, 0}, {2, 0}, {4, 3}, {6, 4}, {4, 2}, {6, 3}, {8, none}, {12, 6}},
+		// iteration 2 readjust
+		{{2, 0}, {2, 0}, {5, 3}, {6, 4}, {4, 2}, {6, 3}, {8, none}, {12, 6}},
+		// final compute
+		{{2, 0}, {2, 0}, {5, 3}, {6, 4}, {4, 2}, {6, 3}, {8, none}, {12, 6}},
+	}
+	v0i := tr.Info.Index[g.Source()]
+	ai := tr.Info.Index[g.VertexByName("a")]
+	for pi, ph := range tr.Phases {
+		for ri, name := range rows {
+			v := g.VertexByName(name)
+			w := want[pi][ri]
+			if got := ph.Off[v0i][v]; got != w.v0 {
+				t.Errorf("phase %d: σ_v0(%s) = %d, want %d", pi, name, got, w.v0)
+			}
+			gotA := ph.Off[ai][v]
+			if w.a == none {
+				if gotA != relsched.NoOffset {
+					t.Errorf("phase %d: σ_a(%s) = %d, want undefined", pi, name, gotA)
+				}
+			} else if gotA != w.a {
+				t.Errorf("phase %d: σ_a(%s) = %d, want %d", pi, name, gotA, w.a)
+			}
+		}
+	}
+}
+
+// TestFig3_WellPosedness checks the three Fig. 3 cases: (a) ill-posed and
+// unrepairable, (b) ill-posed but repairable, (c) well-posed.
+func TestFig3_WellPosedness(t *testing.T) {
+	ga := paperex.Fig3a()
+	err := relsched.CheckWellPosed(ga)
+	var ill *relsched.IllPosedError
+	if !errors.As(err, &ill) {
+		t.Fatalf("Fig3a CheckWellPosed = %v, want IllPosedError", err)
+	}
+	if _, _, err := relsched.MakeWellPosed(ga); !errors.Is(err, relsched.ErrCannotWellPose) {
+		t.Errorf("Fig3a MakeWellPosed err = %v, want ErrCannotWellPose", err)
+	}
+
+	gb := paperex.Fig3b()
+	if err := relsched.CheckWellPosed(gb); err == nil {
+		t.Fatal("Fig3b should be ill-posed")
+	}
+	fixed, added, err := relsched.MakeWellPosed(gb)
+	if err != nil {
+		t.Fatalf("Fig3b MakeWellPosed: %v", err)
+	}
+	if added != 1 {
+		t.Errorf("Fig3b MakeWellPosed added %d edges, want 1 (a2 → vi)", added)
+	}
+	if err := relsched.CheckWellPosed(fixed); err != nil {
+		t.Errorf("repaired Fig3b still ill-posed: %v", err)
+	}
+	// The added edge must be the serialization a2 → vi of Fig. 3(c).
+	last := fixed.Edge(fixed.M() - 1)
+	if fixed.Name(last.From) != "a2" || fixed.Name(last.To) != "vi" || last.Kind != cg.Serialization {
+		t.Errorf("added edge %v, want serialization a2 → vi", last)
+	}
+
+	gc := paperex.Fig3c()
+	if err := relsched.CheckWellPosed(gc); err != nil {
+		t.Errorf("Fig3c should be well-posed: %v", err)
+	}
+	// MakeWellPosed on an already well-posed graph is a fixpoint.
+	_, added, err = relsched.MakeWellPosed(gc)
+	if err != nil || added != 0 {
+		t.Errorf("Fig3c MakeWellPosed = added %d, err %v; want 0, nil", added, err)
+	}
+}
+
+// TestFig4_CascadingAnchors checks that on the anchor chain v0 → a → b → vi
+// only b remains relevant (and irredundant) for vi.
+func TestFig4_CascadingAnchors(t *testing.T) {
+	g := paperex.Fig4()
+	s := mustCompute(t, g)
+	vi := g.VertexByName("vi")
+	if got := names(g, s.Info.FullSet(vi)); !reflect.DeepEqual(got, []string{"v0", "a", "b"}) {
+		t.Errorf("A(vi) = %v", got)
+	}
+	if got := names(g, s.Info.RelevantSet(vi)); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("R(vi) = %v, want [b]", got)
+	}
+	if got := names(g, s.Info.IrredundantSet(vi)); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("IR(vi) = %v, want [b]", got)
+	}
+}
+
+// TestFig5_RelevantViaBackwardEdge checks Lemma 4's boundary: on the
+// ill-posed graph, anchor b is relevant to vi through a backward-edge
+// defining path although b ∉ A(vi); after serialization R(vi) ⊆ A(vi).
+func TestFig5_RelevantViaBackwardEdge(t *testing.T) {
+	gb := paperex.Fig5b()
+	info, err := relsched.Analyze(gb)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	vi := gb.VertexByName("vi")
+	b := gb.VertexByName("b")
+	bi := info.Index[b]
+	if !info.Relevant[vi].Has(bi) {
+		t.Error("b should be relevant to vi via the backward-edge defining path")
+	}
+	if info.Full[vi].Has(bi) {
+		t.Error("b must not be in A(vi) on the ill-posed graph")
+	}
+	if err := relsched.CheckWellPosed(gb); err == nil {
+		t.Error("Fig5b should be ill-posed (R ⊄ A ⇒ ill-posed, Lemma 4)")
+	}
+
+	ga := paperex.Fig5a()
+	s := mustCompute(t, ga)
+	via := ga.VertexByName("vi")
+	got := names(ga, s.Info.RelevantSet(via))
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Fig5a R(vi) = %v, want [a b]", got)
+	}
+}
+
+// TestFig7_RedundantAnchor checks that anchor a is relevant but redundant
+// for vi because the path through b is at least as long as a's maximal
+// defining path.
+func TestFig7_RedundantAnchor(t *testing.T) {
+	g := paperex.Fig7()
+	s := mustCompute(t, g)
+	vi := g.VertexByName("vi")
+	if got := names(g, s.Info.RelevantSet(vi)); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("R(vi) = %v, want [a b]", got)
+	}
+	if got := names(g, s.Info.IrredundantSet(vi)); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("IR(vi) = %v, want [b]", got)
+	}
+}
+
+// TestFig8_IrredundantVsRedundant checks the two Fig. 8 cases.
+func TestFig8_IrredundantVsRedundant(t *testing.T) {
+	ga := paperex.Fig8a()
+	sa := mustCompute(t, ga)
+	v3 := ga.VertexByName("v3")
+	if got := names(ga, sa.Info.IrredundantSet(v3)); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Fig8a IR(v3) = %v, want [a b] (a's defining path is the longest path)", got)
+	}
+
+	gb := paperex.Fig8b()
+	sb := mustCompute(t, gb)
+	v3b := gb.VertexByName("v3")
+	if got := names(gb, sb.Info.IrredundantSet(v3b)); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("Fig8b IR(v3) = %v, want [b] (a is redundant)", got)
+	}
+}
+
+// TestFig1_Schedules sanity-checks the Fig. 1 style graph end to end.
+func TestFig1_Schedules(t *testing.T) {
+	g := paperex.Fig1()
+	s := mustCompute(t, g)
+	v0 := g.Source()
+	for name, want := range map[string]int{"v1": 0, "v2": 4, "v3": 5} {
+		got, ok := s.Offset(v0, g.VertexByName(name), relsched.FullAnchors)
+		if !ok || got != want {
+			t.Errorf("σ_v0(%s) = %d,%v want %d", name, got, ok, want)
+		}
+	}
+	// The same graph under the classical fixed-delay scheduler must agree
+	// (invariant P7): only the source is unbounded.
+	sigma, err := relsched.ClassicalSchedule(g)
+	if err != nil {
+		t.Fatalf("ClassicalSchedule: %v", err)
+	}
+	for _, name := range []string{"v1", "v2", "v3"} {
+		v := g.VertexByName(name)
+		rel, _ := s.Offset(v0, v, relsched.FullAnchors)
+		if sigma[v] != rel {
+			t.Errorf("classical σ(%s)=%d ≠ relative σ_v0=%d", name, sigma[v], rel)
+		}
+	}
+}
+
+// TestDecompositionAgrees cross-checks the iterative incremental scheduler
+// against the per-anchor Bellman–Ford decomposition baseline on all the
+// paper's well-posed example graphs (invariant P8).
+func TestDecompositionAgrees(t *testing.T) {
+	for name, mk := range map[string]func() *cg.Graph{
+		"fig1": paperex.Fig1, "fig2": paperex.Fig2, "fig3c": paperex.Fig3c,
+		"fig4": paperex.Fig4, "fig5a": paperex.Fig5a, "fig7": paperex.Fig7,
+		"fig8a": paperex.Fig8a, "fig8b": paperex.Fig8b, "fig10": paperex.Fig10,
+	} {
+		g := mk()
+		s := mustCompute(t, g)
+		d, err := relsched.DecompositionSchedule(s.Info)
+		if err != nil {
+			t.Errorf("%s: decomposition: %v", name, err)
+			continue
+		}
+		if !relsched.EqualOffsets(s, d) {
+			t.Errorf("%s: decomposition offsets differ from incremental", name)
+		}
+	}
+}
+
+// TestIterationBoundOnExamples asserts Theorem 8's bound on the examples.
+func TestIterationBoundOnExamples(t *testing.T) {
+	for name, mk := range map[string]func() *cg.Graph{
+		"fig1": paperex.Fig1, "fig2": paperex.Fig2, "fig10": paperex.Fig10,
+	} {
+		g := mk()
+		s := mustCompute(t, g)
+		if s.Iterations > g.NumBackward()+1 {
+			t.Errorf("%s: %d iterations > |E_b|+1 = %d", name, s.Iterations, g.NumBackward()+1)
+		}
+	}
+}
+
+// TestInconsistentConstraints drives the scheduler into the Corollary 2
+// case: a feasible-looking but inconsistent pair of constraints.
+func TestInconsistentConstraints(t *testing.T) {
+	g := cg.New()
+	v1 := g.AddOp("v1", cg.Cycles(5))
+	v2 := g.AddOp("v2", cg.Cycles(1))
+	g.AddSeq(g.Source(), v1)
+	g.AddSeq(v1, v2)
+	// v2 must start within 2 cycles of v1, but v1 takes 5 cycles and v2
+	// depends on it: positive cycle v1 → v2 → v1 of length 5-2 = 3.
+	g.AddMax(v1, v2, 2)
+	if err := g.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if err := relsched.CheckFeasible(g); !errors.Is(err, relsched.ErrUnfeasible) {
+		t.Errorf("CheckFeasible = %v, want ErrUnfeasible", err)
+	}
+	if _, err := relsched.Compute(g); err == nil {
+		t.Error("Compute should fail on unfeasible graph")
+	}
+}

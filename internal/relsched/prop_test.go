@@ -1,0 +1,305 @@
+package relsched_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cg"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+// genWellPosed generates a random graph expected to be well-posed and
+// schedulable; it reports (nil, false) for the occasional seed where
+// interacting maximum constraints make the graph unfeasible (the generator
+// only guarantees each constraint is individually satisfiable).
+func genWellPosed(seed int64, cfg randgraph.Config) (*relsched.Schedule, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	g := randgraph.Generate(cfg, rng)
+	s, err := relsched.Compute(g)
+	if err != nil {
+		return nil, false
+	}
+	return s, true
+}
+
+// TestProperty_MinimumOffsetsAreLongestPaths checks invariant P1/P2 via
+// Verify (offset = longest path, all edge inequalities hold) across many
+// random graphs, using testing/quick to drive the seeds.
+func TestProperty_MinimumOffsetsAreLongestPaths(t *testing.T) {
+	cfg := randgraph.Default()
+	f := func(seed int64) bool {
+		s, ok := genWellPosed(seed, cfg)
+		if !ok {
+			return true
+		}
+		return relsched.Verify(s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProperty_StartTimeModesAgree checks invariant P3: under random delay
+// profiles the start times computed from the full, relevant, and
+// irredundant anchor sets coincide and satisfy every constraint
+// (Theorems 4 and 6).
+func TestProperty_StartTimeModesAgree(t *testing.T) {
+	cfg := randgraph.Default()
+	f := func(seed int64) bool {
+		s, ok := genWellPosed(seed, cfg)
+		if !ok {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for trial := 0; trial < 4; trial++ {
+			p := relsched.DelayProfile(randgraph.RandomProfile(s.G, rng, 7))
+			full, err := s.StartTimes(p, relsched.FullAnchors)
+			if err != nil {
+				return false
+			}
+			rel, err := s.StartTimes(p, relsched.RelevantAnchors)
+			if err != nil {
+				return false
+			}
+			irr, err := s.StartTimes(p, relsched.IrredundantAnchors)
+			if err != nil {
+				return false
+			}
+			for v := range full {
+				// Theorem 6: the irredundant projection preserves start
+				// times exactly. The relevant projection is a max over a
+				// subset, hence never larger.
+				if full[v] != irr[v] {
+					t.Logf("seed %d: T(%d) full=%d irr=%d", seed, v, full[v], irr[v])
+					return false
+				}
+				if rel[v] > full[v] {
+					t.Logf("seed %d: T(%d) rel=%d > full=%d", seed, v, rel[v], full[v])
+					return false
+				}
+			}
+			viol, err := relsched.CheckStartTimes(s.G, p, full)
+			if err != nil || len(viol) > 0 {
+				t.Logf("seed %d: violations %v err %v", seed, viol, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProperty_IterationBound checks invariant P4: the scheduler always
+// converges within |E_b|+1 IncrementalOffset calls (Theorem 8).
+func TestProperty_IterationBound(t *testing.T) {
+	cfg := randgraph.Default()
+	cfg.MaxConstraints = 8
+	f := func(seed int64) bool {
+		s, ok := genWellPosed(seed, cfg)
+		if !ok {
+			return true
+		}
+		return s.Iterations <= s.G.NumBackward()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProperty_AnchorSetChain checks invariant P5: IR(v) ⊆ A(v) and
+// R(v) ⊆ A(v) on well-posed graphs (Theorem 5 / Lemma 4), and that A is
+// monotone along forward edges.
+func TestProperty_AnchorSetChain(t *testing.T) {
+	cfg := randgraph.Default()
+	f := func(seed int64) bool {
+		s, ok := genWellPosed(seed, cfg)
+		if !ok {
+			return true
+		}
+		info := s.Info
+		for v := 0; v < s.G.N(); v++ {
+			if !info.Irredundant[v].SubsetOf(info.Full[v]) ||
+				!info.Relevant[v].SubsetOf(info.Full[v]) {
+				return false
+			}
+		}
+		for _, e := range s.G.Edges() {
+			if e.Kind.Forward() && !info.Full[e.From].SubsetOf(info.Full[e.To]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProperty_MakeWellPosed checks invariant P6 on deliberately ill-posed
+// random graphs: MakeWellPosed either proves no repair exists (then the
+// graph must contain an unbounded cycle, Lemma 3) or returns a well-posed
+// serial-compatible graph on which repair is a fixpoint and whose added
+// edges are all serializations from anchors.
+func TestProperty_MakeWellPosed(t *testing.T) {
+	cfg := randgraph.Default()
+	cfg.AllowIllPosed = true
+	cfg.MaxConstraints = 6
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		if relsched.CheckFeasible(g) != nil {
+			return true // generator made an unfeasible graph; nothing to repair
+		}
+		fixed, added, err := relsched.MakeWellPosed(g)
+		if errors.Is(err, relsched.ErrCannotWellPose) {
+			return g.HasUnboundedCycle()
+		}
+		if err != nil {
+			return true // unfeasible via interaction; fine
+		}
+		if err := relsched.CheckWellPosed(fixed); err != nil {
+			t.Logf("seed %d: repaired graph ill-posed: %v", seed, err)
+			return false
+		}
+		// Serial-compatible: the original edges are a prefix, unchanged.
+		if fixed.M() != g.M()+added {
+			return false
+		}
+		for i := 0; i < g.M(); i++ {
+			if fixed.Edge(i) != g.Edge(i) {
+				return false
+			}
+		}
+		for i := g.M(); i < fixed.M(); i++ {
+			e := fixed.Edge(i)
+			if e.Kind != cg.Serialization || !e.Unbounded {
+				return false
+			}
+		}
+		// Fixpoint: repairing again adds nothing.
+		_, again, err := relsched.MakeWellPosed(fixed)
+		if err != nil || again != 0 {
+			t.Logf("seed %d: fixpoint violated: added=%d err=%v", seed, again, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProperty_ClassicalEquivalence checks invariant P7: with no unbounded
+// operations, relative scheduling collapses to the classical schedule.
+func TestProperty_ClassicalEquivalence(t *testing.T) {
+	cfg := randgraph.Default()
+	cfg.AnchorProb = 0 // no unbounded operations
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		s, errRel := relsched.Compute(g)
+		sigma, errCls := relsched.ClassicalSchedule(g)
+		if (errRel == nil) != (errCls == nil) {
+			return false
+		}
+		if errRel != nil {
+			return true
+		}
+		v0 := g.Source()
+		for v := 0; v < g.N(); v++ {
+			if cg.VertexID(v) == v0 {
+				continue
+			}
+			rel, ok := s.Offset(v0, cg.VertexID(v), relsched.FullAnchors)
+			if !ok || rel != sigma[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProperty_DecompositionAgrees checks invariant P8 on random graphs.
+func TestProperty_DecompositionAgrees(t *testing.T) {
+	cfg := randgraph.Default()
+	f := func(seed int64) bool {
+		s, ok := genWellPosed(seed, cfg)
+		if !ok {
+			return true
+		}
+		d, err := relsched.DecompositionSchedule(s.Info)
+		if err != nil {
+			return false
+		}
+		return relsched.EqualOffsets(s, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProperty_InconsistencyDetection cross-checks Corollary 2: the
+// scheduler reports an error exactly when the graph has a positive cycle
+// at zero delays.
+func TestProperty_InconsistencyDetection(t *testing.T) {
+	cfg := randgraph.Default()
+	cfg.MaxSlack = 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		// Tighten one maximum constraint below the critical path so some
+		// graphs become unfeasible.
+		if rng.Intn(2) == 0 && g.NumBackward() > 0 {
+			g = tighten(g, rng)
+		}
+		_, err := relsched.Compute(g)
+		if g.HasPositiveCycle() {
+			return err != nil
+		}
+		// Feasible and generator-well-posed graphs must schedule unless
+		// ill-posedness slipped in (it cannot here: AllowIllPosed=false).
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// tighten rebuilds g with one backward edge's bound reduced, possibly
+// making the constraints inconsistent.
+func tighten(g *cg.Graph, rng *rand.Rand) *cg.Graph {
+	n := cg.New()
+	for _, v := range g.Vertices() {
+		if v.ID == g.Source() {
+			continue
+		}
+		n.AddOp(v.Name, v.Delay)
+	}
+	victims := g.BackwardEdges()
+	victim := victims[rng.Intn(len(victims))]
+	for i, e := range g.Edges() {
+		switch {
+		case e.Kind == cg.MaxConstraint:
+			u := -e.Weight
+			if i == victim && u > 0 {
+				u = rng.Intn(u)
+			}
+			n.AddMax(e.To, e.From, u)
+		case e.Kind == cg.MinConstraint:
+			n.AddMin(e.From, e.To, e.Weight)
+		case e.Kind == cg.Serialization:
+			n.AddSerialization(e.From, e.To)
+		default:
+			n.AddSeq(e.From, e.To)
+		}
+	}
+	return n.MustFreeze()
+}

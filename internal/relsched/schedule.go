@@ -1,0 +1,258 @@
+package relsched
+
+import (
+	"fmt"
+
+	"repro/internal/cg"
+)
+
+// NoOffset is the sentinel stored where a vertex has no offset with
+// respect to an anchor (the anchor is not in the vertex's anchor set).
+const NoOffset = cg.Unreachable
+
+// AnchorMode selects which anchor set defines the offsets a consumer reads
+// from a Schedule: the full anchor set A(v), the relevant set R(v), or the
+// irredundant set IR(v). Theorems 4 and 6 guarantee identical start times
+// under all three; the smaller sets yield cheaper control.
+type AnchorMode int
+
+const (
+	// FullAnchors uses A(v) (Definition 4).
+	FullAnchors AnchorMode = iota
+	// RelevantAnchors uses R(v) (Definition 9).
+	RelevantAnchors
+	// IrredundantAnchors uses IR(v) (Definition 11) — the minimum set.
+	IrredundantAnchors
+)
+
+// String names the mode.
+func (m AnchorMode) String() string {
+	switch m {
+	case FullAnchors:
+		return "full"
+	case RelevantAnchors:
+		return "relevant"
+	case IrredundantAnchors:
+		return "irredundant"
+	}
+	return fmt.Sprintf("AnchorMode(%d)", int(m))
+}
+
+// Schedule is a minimum relative schedule: for every vertex, the minimum
+// offset from each anchor in its anchor set (Definition 5). Offsets are
+// stored against the full anchor sets; the Relevant/Irredundant modes are
+// projections.
+type Schedule struct {
+	// G is the scheduled (well-posed) constraint graph.
+	G *cg.Graph
+	// Info is the anchor-set analysis of G.
+	Info *AnchorInfo
+	// Iterations is the number of IncrementalOffset invocations the
+	// scheduler used; Theorem 8 bounds it by L+1 ≤ |E_b|+1.
+	Iterations int
+
+	// off[ai][v] is σ_a(v) for anchor index ai, or NoOffset.
+	off [][]int
+}
+
+// Offset returns the minimum offset σ_a(v) of vertex v with respect to
+// anchor a under the given mode. ok is false when a is not in v's anchor
+// set for that mode (or a is not an anchor at all).
+func (s *Schedule) Offset(a, v cg.VertexID, mode AnchorMode) (offset int, ok bool) {
+	ai, isAnchor := s.Info.Index[a]
+	if !isAnchor || !s.inMode(ai, v, mode) {
+		return 0, false
+	}
+	return s.off[ai][v], true
+}
+
+func (s *Schedule) inMode(ai int, v cg.VertexID, mode AnchorMode) bool {
+	switch mode {
+	case FullAnchors:
+		return s.Info.Full[v].Has(ai)
+	case RelevantAnchors:
+		return s.Info.Relevant[v].Has(ai)
+	default:
+		return s.Info.Irredundant[v].Has(ai)
+	}
+}
+
+// MaxOffset returns σ_a^max — the maximum offset of any vertex with
+// respect to anchor a under the given mode (Section VI). The second result
+// is false when no vertex references a under that mode.
+func (s *Schedule) MaxOffset(a cg.VertexID, mode AnchorMode) (int, bool) {
+	ai, isAnchor := s.Info.Index[a]
+	if !isAnchor {
+		return 0, false
+	}
+	maxOff, any := 0, false
+	for v := 0; v < s.G.N(); v++ {
+		if !s.inMode(ai, cg.VertexID(v), mode) {
+			continue
+		}
+		any = true
+		if o := s.off[ai][v]; o > maxOff {
+			maxOff = o
+		}
+	}
+	return maxOff, any
+}
+
+// SumOfMaxOffsets returns Σ_a σ_a^max over all anchors under the given
+// mode — the Table IV cost figure that tracks control complexity.
+func (s *Schedule) SumOfMaxOffsets(mode AnchorMode) int {
+	sum := 0
+	for _, a := range s.Info.List {
+		if m, ok := s.MaxOffset(a, mode); ok {
+			sum += m
+		}
+	}
+	return sum
+}
+
+// GlobalMaxOffset returns max_a σ_a^max under the given mode.
+func (s *Schedule) GlobalMaxOffset(mode AnchorMode) int {
+	gm := 0
+	for _, a := range s.Info.List {
+		if m, ok := s.MaxOffset(a, mode); ok && m > gm {
+			gm = m
+		}
+	}
+	return gm
+}
+
+// Compute runs the full relative-scheduling pipeline of Section IV on g:
+// feasibility check (Theorem 1), well-posedness check (Theorem 2),
+// anchor-set analysis including redundancy removal (Theorems 4–6), and
+// iterative incremental scheduling (Theorem 8). It returns ErrUnfeasible,
+// an *IllPosedError, or ErrInconsistent when no minimum relative schedule
+// exists. The input graph must be well-posed; use MakeWellPosed first to
+// repair ill-posed graphs.
+func Compute(g *cg.Graph) (*Schedule, error) {
+	if err := CheckWellPosed(g); err != nil {
+		return nil, err
+	}
+	info, err := Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	return schedule(info)
+}
+
+// ComputeFromAnalysis runs iterative incremental scheduling against an
+// existing anchor-set analysis, skipping the well-posedness re-check. The
+// graph behind info must be well-posed; use Compute when in doubt. This
+// entry point exists for callers that schedule the same graph repeatedly
+// (benchmarks, conflict-resolution search).
+func ComputeFromAnalysis(info *AnchorInfo) (*Schedule, error) {
+	return schedule(info)
+}
+
+// ComputeWellPosed is Compute for graphs that may be ill-posed: it first
+// applies MakeWellPosed and then schedules the serialized graph. The
+// returned schedule's G field is the (possibly serialized) graph; added
+// reports how many serialization edges were introduced.
+func ComputeWellPosed(g *cg.Graph) (sched *Schedule, added int, err error) {
+	wp, added, err := MakeWellPosed(g)
+	if err != nil {
+		return nil, added, err
+	}
+	sched, err = Compute(wp)
+	return sched, added, err
+}
+
+// sigma returns the current offset of v relative to anchor index ai. ok is
+// false while no path from the anchor has valued v yet (or none exists).
+// σ_a(a) is normalized to 0.
+func (s *Schedule) sigma(ai int, v cg.VertexID) (int, bool) {
+	if o := s.off[ai][v]; o != NoOffset {
+		return o, true
+	}
+	return 0, false
+}
+
+// schedule runs iterative incremental scheduling (§IV-E) against the full
+// anchor sets in info. The graph must already be known well-posed.
+func schedule(info *AnchorInfo) (*Schedule, error) {
+	g := info.G
+	s := &Schedule{G: g, Info: info}
+	s.initOffsets()
+	backward := g.BackwardEdges()
+	maxIter := len(backward) + 1
+	for c := 1; c <= maxIter; c++ {
+		s.incrementalOffset()
+		s.Iterations = c
+		if !s.readjustOffsets(backward) {
+			return s, nil
+		}
+	}
+	return nil, ErrInconsistent
+}
+
+// initOffsets sizes the offset tables: σ_a(v) starts at 0 for the anchor
+// and its forward successors (Definition 3's V_a, where the minimum offset
+// is never negative) and at the NoOffset sentinel elsewhere. Entries that
+// are reachable only through backward edges acquire values during
+// readjustment; entries unreachable from the anchor are never written.
+func (s *Schedule) initOffsets() {
+	nA := len(s.Info.List)
+	s.off = make([][]int, nA)
+	for ai := 0; ai < nA; ai++ {
+		s.off[ai] = make([]int, s.G.N())
+		fwd := s.G.ReachableForward(s.Info.List[ai])
+		for v := 0; v < s.G.N(); v++ {
+			if !fwd[v] {
+				s.off[ai][v] = NoOffset
+			}
+		}
+	}
+}
+
+// incrementalOffset performs one longest-path relaxation sweep over the
+// forward edges in topological order (the IncrementalOffset procedure).
+// Offsets only ever increase, so carrying readjusted values from previous
+// iterations is sound (Lemma 8).
+func (s *Schedule) incrementalOffset() {
+	g := s.G
+	nA := len(s.Info.List)
+	for _, p := range g.TopoForward() {
+		g.ForwardOut(p, func(_ int, e cg.Edge) bool {
+			w := e.MinWeight()
+			for ai := 0; ai < nA; ai++ {
+				from, ok := s.sigma(ai, p)
+				if !ok {
+					continue
+				}
+				if d := from + w; d > s.off[ai][e.To] {
+					s.off[ai][e.To] = d
+				}
+			}
+			return true
+		})
+	}
+}
+
+// readjustOffsets scans the backward edges and raises violated offsets to
+// the minimum satisfying value (the ReadjustOffset procedure). It reports
+// whether any offset changed.
+func (s *Schedule) readjustOffsets(backward []int) bool {
+	g := s.G
+	nA := len(s.Info.List)
+	changed := false
+	for _, ei := range backward {
+		e := g.Edge(ei) // tail -> head with weight -u ≤ 0
+		for ai := 0; ai < nA; ai++ {
+			tail, ok := s.sigma(ai, e.From)
+			if !ok {
+				continue
+			}
+			// A head at the NoOffset sentinel is reachable only through
+			// backward edges and acquires its first value here.
+			if s.off[ai][e.To] < tail+e.Weight {
+				s.off[ai][e.To] = tail + e.Weight
+				changed = true
+			}
+		}
+	}
+	return changed
+}

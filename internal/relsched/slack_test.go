@@ -1,0 +1,102 @@
+package relsched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cg"
+	"repro/internal/paperex"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+func TestSlackOnDiamond(t *testing.T) {
+	// Diamond: a long arm (delay 5) and a short arm (delay 2); the short
+	// arm has 3 cycles of slack, everything on the long arm is critical.
+	g := cg.New()
+	long := g.AddOp("long", cg.Cycles(5))
+	short := g.AddOp("short", cg.Cycles(2))
+	join := g.AddOp("join", cg.Cycles(0))
+	g.AddSeq(g.Source(), long)
+	g.AddSeq(g.Source(), short)
+	g.AddSeq(long, join)
+	g.AddSeq(short, join)
+	g.MustFreeze()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := s.ComputeSlack()
+	if si.Slack[long] != 0 {
+		t.Errorf("slack(long) = %d, want 0", si.Slack[long])
+	}
+	if si.Slack[short] != 3 {
+		t.Errorf("slack(short) = %d, want 3", si.Slack[short])
+	}
+	if si.Slack[join] != 0 || si.Slack[g.Source()] != 0 {
+		t.Error("join and source must be critical")
+	}
+	crit := si.Critical()
+	if len(crit) != 3 { // v0, long, join
+		t.Errorf("critical set = %v", crit)
+	}
+}
+
+func TestSlackFig10(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := s.ComputeSlack()
+	// The critical path runs v0 → v6 → v7 (σ_v0(v7) = 12 via v6).
+	for _, name := range []string{"v6", "v7"} {
+		if v := g.VertexByName(name); si.Slack[v] != 0 {
+			t.Errorf("slack(%s) = %d, want 0", name, si.Slack[v])
+		}
+	}
+	// v4's slack is the minimum over its anchors. Relative to v0:
+	// 12 − 4 − 3 = 5. Relative to a: length(a,v7)=6, length(a,v4)=2,
+	// tail v4→v5→v7 = 3, so 6 − 2 − 3 = 1 — the binding coordinate when
+	// δ(a) dominates. Overall slack is therefore 1.
+	if v4 := g.VertexByName("v4"); si.Slack[v4] != 1 {
+		t.Errorf("slack(v4) = %d, want 1", si.Slack[v4])
+	}
+}
+
+// TestProperty_SlackSound checks on random graphs that slack is
+// nonnegative and that zero-slack vertices form a source-to-sink chain
+// (there is always a critical path).
+func TestProperty_SlackSound(t *testing.T) {
+	cfg := randgraph.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		s, err := relsched.Compute(g)
+		if err != nil {
+			return true
+		}
+		si := s.ComputeSlack()
+		for _, sl := range si.Slack {
+			if sl < 0 {
+				return false
+			}
+		}
+		crit := si.Critical()
+		// Source and sink are always critical.
+		hasSrc, hasSink := false, false
+		for _, v := range crit {
+			if v == g.Source() {
+				hasSrc = true
+			}
+			if v == g.Sink() {
+				hasSink = true
+			}
+		}
+		return hasSrc && hasSink
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

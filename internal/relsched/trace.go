@@ -1,0 +1,61 @@
+package relsched
+
+import (
+	"repro/internal/cg"
+)
+
+// TracePhase labels one column of a scheduling trace in the style of the
+// paper's Fig. 10: each iteration contributes a "compute" snapshot (after
+// IncrementalOffset) and, when any maximum constraint was violated, a
+// "readjust" snapshot (after ReadjustOffsets).
+type TracePhase struct {
+	Iteration int
+	// Readjust is false for the compute snapshot and true for the
+	// readjust snapshot of the iteration.
+	Readjust bool
+	// Off[ai][v] is the offset table at this point (NoOffset where the
+	// anchor is not in the vertex's anchor set).
+	Off [][]int
+}
+
+// Trace is the sequence of offset snapshots produced while scheduling.
+type Trace struct {
+	Info   *AnchorInfo
+	Phases []TracePhase
+}
+
+// ComputeTrace schedules g like Compute but additionally records the
+// offset table after every IncrementalOffset and ReadjustOffsets phase,
+// enabling the reproduction of the paper's Fig. 10 trace.
+func ComputeTrace(g *cg.Graph) (*Schedule, *Trace, error) {
+	if err := CheckWellPosed(g); err != nil {
+		return nil, nil, err
+	}
+	info, err := Analyze(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Schedule{G: g, Info: info}
+	s.initOffsets()
+	nA := len(info.List)
+	tr := &Trace{Info: info}
+	snapshot := func(iter int, readjust bool) {
+		cp := make([][]int, nA)
+		for ai := range s.off {
+			cp[ai] = append([]int(nil), s.off[ai]...)
+		}
+		tr.Phases = append(tr.Phases, TracePhase{Iteration: iter, Readjust: readjust, Off: cp})
+	}
+	backward := g.BackwardEdges()
+	maxIter := len(backward) + 1
+	for c := 1; c <= maxIter; c++ {
+		s.incrementalOffset()
+		s.Iterations = c
+		snapshot(c, false)
+		if !s.readjustOffsets(backward) {
+			return s, tr, nil
+		}
+		snapshot(c, true)
+	}
+	return nil, tr, ErrInconsistent
+}

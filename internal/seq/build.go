@@ -1,0 +1,450 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/hcl"
+)
+
+// FromProcess builds the hierarchical sequencing graph of a HardwareC
+// process. Within each graph, operations are maximally parallel: the only
+// sequencing edges are data dependencies (def→use, use→def, def→def on the
+// same variable) and program order between operations touching the same
+// port, mirroring the Hercules behavioral optimization described in §VII.
+// Each timing constraint attaches to the (unique) graph that directly
+// contains both tagged operations.
+func FromProcess(p *hcl.Process) (*Graph, error) {
+	return FromProcessOpts(p, BuildOptions{})
+}
+
+// BuildOptions configures sequencing-graph construction.
+type BuildOptions struct {
+	// Decompose lowers compound expressions into three-address form: one
+	// ALU operation per operator, chained through fresh temporaries.
+	// This is the fine operation granularity Hercules works at; without
+	// it each assignment is a single ALU vertex classified by its
+	// topmost operator. Loop and branch conditions are never decomposed
+	// (the control evaluates them).
+	Decompose bool
+}
+
+// FromProcessOpts is FromProcess with construction options.
+func FromProcessOpts(p *hcl.Process, opts BuildOptions) (*Graph, error) {
+	ports := map[string]bool{}
+	for _, pd := range p.Ports {
+		ports[pd.Name] = true
+	}
+	procs := map[string]*hcl.Procedure{}
+	for _, pr := range p.Procedures {
+		procs[pr.Name] = pr
+	}
+	temps := 0
+	g, err := buildGraphFull(p.Name, p.Body.Stmts, ports, opts, &temps, procs)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve constraints to the graphs holding their tags.
+	for _, c := range p.Constraints {
+		var holder *Graph
+		g.Walk(func(sub *Graph) {
+			if sub.OpByTag(c.From) != nil && sub.OpByTag(c.To) != nil {
+				holder = sub
+			}
+		})
+		if holder == nil {
+			return nil, fmt.Errorf("seq: constraint from %q to %q: tags not in a common graph", c.From, c.To)
+		}
+		holder.Constraints = append(holder.Constraints, c)
+	}
+	return g, nil
+}
+
+// effects summarizes what a statement subtree consumes and produces.
+type effects struct {
+	uses  []string
+	defs  []string
+	ports []string
+}
+
+func (e *effects) add(other effects) {
+	e.uses = union(e.uses, other.uses)
+	e.defs = union(e.defs, other.defs)
+	e.ports = union(e.ports, other.ports)
+}
+
+func union(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// analyze computes the effects of a statement subtree; procs resolves
+// procedure calls to their bodies.
+func analyze(s hcl.Stmt, procs map[string]*hcl.Procedure) effects {
+	switch st := s.(type) {
+	case *hcl.Block:
+		var e effects
+		for _, sub := range st.Stmts {
+			e.add(analyze(sub, procs))
+		}
+		return e
+	case *hcl.Assign:
+		return effects{uses: hcl.Idents(st.RHS), defs: []string{st.LHS}}
+	case *hcl.Read:
+		return effects{defs: []string{st.LHS}, ports: []string{st.Port}}
+	case *hcl.Write:
+		return effects{uses: hcl.Idents(st.RHS), ports: []string{st.Port}}
+	case *hcl.While:
+		e := analyze(st.Body, procs)
+		e.uses = union(e.uses, hcl.Idents(st.Cond))
+		return e
+	case *hcl.RepeatUntil:
+		e := analyze(st.Body, procs)
+		e.uses = union(e.uses, hcl.Idents(st.Cond))
+		return e
+	case *hcl.If:
+		e := effects{uses: hcl.Idents(st.Cond)}
+		e.add(analyze(st.Then, procs))
+		if st.Else != nil {
+			e.add(analyze(st.Else, procs))
+		}
+		return e
+	case *hcl.Call:
+		if pr := procs[st.Name]; pr != nil {
+			return analyze(pr.Body, procs)
+		}
+	}
+	return effects{}
+}
+
+// builder tracks data-flow state while lowering one statement list into
+// one sequencing graph.
+type builder struct {
+	g        *Graph
+	ports    map[string]bool  // declared port names of the process
+	lastDef  map[string]int   // variable -> op that last defined it
+	lastUses map[string][]int // variable -> uses since its last def
+	lastPort map[string]int   // port -> last op touching it
+	barrier  int              // last synchronization barrier op, or -1
+	sub      int              // child-graph counter for naming
+	opts     BuildOptions
+	temps    *int // shared fresh-temporary counter across the hierarchy
+	procs    map[string]*hcl.Procedure
+}
+
+func buildGraphFull(name string, stmts []hcl.Stmt, ports map[string]bool, opts BuildOptions, temps *int, procs map[string]*hcl.Procedure) (*Graph, error) {
+	b := &builder{
+		g:        &Graph{Name: name},
+		ports:    ports,
+		lastDef:  map[string]int{},
+		lastUses: map[string][]int{},
+		lastPort: map[string]int{},
+		barrier:  -1,
+		opts:     opts,
+		temps:    temps,
+		procs:    procs,
+	}
+	b.g.addOp(&Op{Kind: OpNop, Name: "source"})
+	for _, s := range stmts {
+		if err := b.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	b.finish()
+	return b.g, nil
+}
+
+// freshTemp returns a new temporary variable name.
+func (b *builder) freshTemp() string {
+	*b.temps++
+	return fmt.Sprintf("_t%d", *b.temps)
+}
+
+// lowerExpr decomposes a compound expression into three-address ALU ops,
+// returning the residual expression (a leaf or a single operator applied
+// to leaves) for the final consuming operation. Leaves pass through
+// unchanged.
+func (b *builder) lowerExpr(e hcl.Expr) hcl.Expr {
+	switch x := e.(type) {
+	case *hcl.Unary:
+		inner := b.lowerOperand(x.X)
+		return &hcl.Unary{Op: x.Op, X: inner}
+	case *hcl.Binary:
+		return &hcl.Binary{Op: x.Op, X: b.lowerOperand(x.X), Y: b.lowerOperand(x.Y)}
+	default:
+		return e
+	}
+}
+
+// lowerOperand reduces a subexpression to a leaf, emitting an ALU op into
+// a fresh temporary when the subexpression is compound.
+func (b *builder) lowerOperand(e hcl.Expr) hcl.Expr {
+	switch e.(type) {
+	case *hcl.Ident, *hcl.Num:
+		return e
+	}
+	tmp := b.freshTemp()
+	lowered := b.lowerExpr(e)
+	b.place(&Op{Kind: OpALU, Name: "alu_" + tmp, Target: tmp, Expr: lowered},
+		effects{uses: hcl.Idents(lowered), defs: []string{tmp}})
+	return &hcl.Ident{Name: tmp}
+}
+
+// portify moves expression references to declared ports into the port set
+// of the effects: an expression naming an input port samples it, so the
+// op participates in per-port ordering.
+func (b *builder) portify(e effects) effects {
+	for _, u := range e.uses {
+		if b.ports[u] {
+			e.ports = union(e.ports, []string{u})
+		}
+	}
+	return e
+}
+
+// finish appends the sink and wires every op without successors to it.
+func (b *builder) finish() {
+	sink := b.g.addOp(&Op{Kind: OpNop, Name: "sink"})
+	hasOut := make([]bool, len(b.g.Ops))
+	hasIn := make([]bool, len(b.g.Ops))
+	for _, e := range b.g.Edges {
+		hasOut[e[0]] = true
+		hasIn[e[1]] = true
+	}
+	for _, o := range b.g.Ops {
+		if o.ID == sink.ID {
+			continue
+		}
+		if o.ID != b.g.Source() && !hasIn[o.ID] {
+			b.g.addEdge(b.g.Source(), o.ID)
+		}
+		if !hasOut[o.ID] {
+			b.g.addEdge(o.ID, sink.ID)
+		}
+	}
+}
+
+// place adds an op with the given effects, wiring data and port
+// dependencies against the current state and then updating it.
+func (b *builder) place(o *Op, e effects) {
+	e = b.portify(e)
+	op := b.g.addOp(o)
+	op.Uses = e.uses
+	op.Defs = e.defs
+	b.wire(op, e)
+	b.update(op, e)
+	// A hierarchical op (loop, procedure call, conditional) that
+	// synchronizes on or performs I/O is a barrier: later port operations
+	// must not be hoisted across it, even on ports it never touches (the
+	// gcd reads sample only after the while(restart) wait completes, and
+	// a called wait_rise procedure guards the read that follows it).
+	if op.Hierarchical() && len(e.ports) > 0 {
+		b.barrier = op.ID
+	}
+}
+
+// wire adds the dependency edges of an op with effects e against the
+// current data-flow state.
+func (b *builder) wire(op *Op, e effects) {
+	depended := false
+	for _, u := range e.uses {
+		if d, ok := b.lastDef[u]; ok {
+			b.g.addEdge(d, op.ID)
+			depended = true
+		}
+	}
+	for _, d := range e.defs {
+		if prev, ok := b.lastDef[d]; ok {
+			b.g.addEdge(prev, op.ID)
+			depended = true
+		}
+		for _, u := range b.lastUses[d] {
+			b.g.addEdge(u, op.ID)
+			depended = true
+		}
+	}
+	for _, p := range e.ports {
+		if prev, ok := b.lastPort[p]; ok {
+			b.g.addEdge(prev, op.ID)
+			depended = true
+		}
+	}
+	if len(e.ports) > 0 && b.barrier >= 0 && b.barrier != op.ID {
+		b.g.addEdge(b.barrier, op.ID)
+		depended = true
+	}
+	if !depended {
+		b.g.addEdge(b.g.Source(), op.ID)
+	}
+}
+
+// update records the op's effects into the data-flow state.
+func (b *builder) update(op *Op, e effects) {
+	for _, u := range e.uses {
+		b.lastUses[u] = append(b.lastUses[u], op.ID)
+	}
+	for _, d := range e.defs {
+		b.lastDef[d] = op.ID
+		b.lastUses[d] = nil
+	}
+	for _, p := range e.ports {
+		b.lastPort[p] = op.ID
+	}
+}
+
+func (b *builder) stmt(s hcl.Stmt) error {
+	switch st := s.(type) {
+	case *hcl.Empty:
+		return nil
+	case *hcl.Block:
+		if st.Parallel {
+			return b.parallelBlock(st)
+		}
+		for _, sub := range st.Stmts {
+			if err := b.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *hcl.Assign:
+		rhs := st.RHS
+		if b.opts.Decompose {
+			rhs = b.lowerExpr(rhs)
+		}
+		b.place(&Op{Kind: OpALU, Name: "alu_" + st.LHS, Tag: st.Tag, Target: st.LHS, Expr: rhs},
+			effects{uses: hcl.Idents(rhs), defs: []string{st.LHS}})
+		return nil
+	case *hcl.Read:
+		b.place(&Op{Kind: OpRead, Name: "read_" + st.Port, Tag: st.Tag, Target: st.LHS, Port: st.Port},
+			analyze(st, b.procs))
+		return nil
+	case *hcl.Write:
+		rhs := st.RHS
+		if b.opts.Decompose {
+			rhs = b.lowerExpr(rhs)
+		}
+		b.place(&Op{Kind: OpWrite, Name: "write_" + st.Port, Tag: st.Tag, Port: st.Port, Expr: rhs},
+			effects{uses: hcl.Idents(rhs), ports: []string{st.Port}})
+		return nil
+	case *hcl.While:
+		body, err := b.child("loop", bodyStmts(st.Body))
+		if err != nil {
+			return err
+		}
+		e := analyze(st, b.procs)
+		// A pre-test while reads its condition from ports too when the
+		// condition names an input port; ports touched inside the body
+		// already appear in e.ports via analyze.
+		b.place(&Op{Kind: OpLoop, Name: "while", Tag: st.Tag, Expr: st.Cond, Body: body, LoopStyle: WhileLoop}, e)
+		return nil
+	case *hcl.RepeatUntil:
+		body, err := b.child("loop", bodyStmts(st.Body))
+		if err != nil {
+			return err
+		}
+		b.place(&Op{Kind: OpLoop, Name: "repeat", Tag: st.Tag, Expr: st.Cond, Body: body, LoopStyle: RepeatUntilLoop},
+			analyze(st, b.procs))
+		return nil
+	case *hcl.Call:
+		pr := b.procs[st.Name]
+		if pr == nil {
+			return fmt.Errorf("seq: call to unknown procedure %q", st.Name)
+		}
+		body, err := b.child("call_"+st.Name, pr.Body.Stmts)
+		if err != nil {
+			return err
+		}
+		b.place(&Op{Kind: OpCall, Name: "call_" + st.Name, Tag: st.Tag, Body: body},
+			analyze(st, b.procs))
+		return nil
+	case *hcl.If:
+		then, err := b.child("then", bodyStmts(st.Then))
+		if err != nil {
+			return err
+		}
+		var els *Graph
+		if st.Else != nil {
+			els, err = b.child("else", bodyStmts(st.Else))
+			if err != nil {
+				return err
+			}
+		}
+		b.place(&Op{Kind: OpCond, Name: "if", Tag: st.Tag, Expr: st.Cond, Then: then, Else: els},
+			analyze(st, b.procs))
+		return nil
+	}
+	return fmt.Errorf("seq: unsupported statement %T", s)
+}
+
+// parallelBlock lowers a < … > block: every statement's dependencies are
+// computed against the state before the block, so the statements are
+// mutually concurrent (the gcd swap `< y = x; x = y; >` reads both old
+// values). Effects are merged afterwards.
+func (b *builder) parallelBlock(blk *hcl.Block) error {
+	type placed struct {
+		op *Op
+		e  effects
+	}
+	var ops []placed
+	defs := map[string]bool{}
+	// First pass: create and wire ops against the pre-block state.
+	for _, s := range blk.Stmts {
+		var op *Op
+		switch st := s.(type) {
+		case *hcl.Empty:
+			continue
+		case *hcl.Assign:
+			op = &Op{Kind: OpALU, Name: "alu_" + st.LHS, Tag: st.Tag, Target: st.LHS, Expr: st.RHS}
+		case *hcl.Read:
+			op = &Op{Kind: OpRead, Name: "read_" + st.Port, Tag: st.Tag, Target: st.LHS, Port: st.Port}
+		case *hcl.Write:
+			op = &Op{Kind: OpWrite, Name: "write_" + st.Port, Tag: st.Tag, Port: st.Port, Expr: st.RHS}
+		default:
+			return fmt.Errorf("seq: only simple statements allowed in parallel blocks, got %T", s)
+		}
+		e := b.portify(analyze(s, b.procs))
+		for _, d := range e.defs {
+			if defs[d] {
+				return fmt.Errorf("seq: parallel block defines %q twice", d)
+			}
+			defs[d] = true
+		}
+		o := b.g.addOp(op)
+		o.Uses = e.uses
+		o.Defs = e.defs
+		b.wire(o, e)
+		ops = append(ops, placed{o, e})
+	}
+	// Second pass: commit all effects.
+	for _, pl := range ops {
+		b.update(pl.op, pl.e)
+	}
+	return nil
+}
+
+// child builds a child graph from a statement body.
+func (b *builder) child(kind string, stmts []hcl.Stmt) (*Graph, error) {
+	b.sub++
+	return buildGraphFull(fmt.Sprintf("%s.%s%d", b.g.Name, kind, b.sub), stmts, b.ports, b.opts, b.temps, b.procs)
+}
+
+// bodyStmts flattens a statement into the list a child graph is built
+// from: blocks contribute their statements, anything else is a singleton,
+// and empty statements vanish.
+func bodyStmts(s hcl.Stmt) []hcl.Stmt {
+	switch st := s.(type) {
+	case *hcl.Empty:
+		return nil
+	case *hcl.Block:
+		if !st.Parallel {
+			return st.Stmts
+		}
+	}
+	return []hcl.Stmt{s}
+}

@@ -1,0 +1,147 @@
+package seq
+
+import (
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/hcl"
+)
+
+func buildOpts(t *testing.T, src string, opts BuildOptions) *Graph {
+	t.Helper()
+	p, err := hcl.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g, err := FromProcessOpts(p, opts)
+	if err != nil {
+		t.Fatalf("FromProcessOpts: %v", err)
+	}
+	return g
+}
+
+const compound = `
+process p (o)
+    out port o[16];
+    boolean a[16], b[16], c[16], r[16];
+    r = a + (b >> 1) + (c >> 2);
+    write o = r & 255;
+`
+
+func TestDecomposeThreeAddress(t *testing.T) {
+	flat := buildOpts(t, compound, BuildOptions{})
+	dec := buildOpts(t, compound, BuildOptions{Decompose: true})
+
+	countALU := func(g *Graph) int {
+		n := 0
+		for _, o := range g.Ops {
+			if o.Kind == OpALU {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countALU(flat); got != 1 {
+		t.Errorf("flat ALU ops = %d, want 1", got)
+	}
+	// a + (b>>1) + (c>>2): the two shifts and the inner add become
+	// temporaries, the root add defines r (4 ALU ops); the write's
+	// single `& 255` stays inside the write op.
+	if got := countALU(dec); got != 4 {
+		t.Errorf("decomposed ALU ops = %d, want 4", got)
+	}
+	// Every decomposed op's expression is a single operator over leaves.
+	for _, o := range dec.Ops {
+		if o.Kind != OpALU && o.Kind != OpWrite {
+			continue
+		}
+		if depth(o.Expr) > 1 {
+			t.Errorf("op %s still compound: depth %d", o.Name, depth(o.Expr))
+		}
+	}
+}
+
+func depth(e hcl.Expr) int {
+	switch x := e.(type) {
+	case *hcl.Binary:
+		d := depth(x.X)
+		if dy := depth(x.Y); dy > d {
+			d = dy
+		}
+		return d + 1
+	case *hcl.Unary:
+		return depth(x.X) + 1
+	default:
+		return 0
+	}
+}
+
+func TestDecomposePreservesDataFlow(t *testing.T) {
+	// The temporaries must chain: each consumer depends on its producer.
+	g := buildOpts(t, compound, BuildOptions{Decompose: true})
+	cgr, _, err := g.ToConstraintGraph(func(o *Op) cg.Delay {
+		if o.Kind == OpNop {
+			return cg.Cycles(0)
+		}
+		return cg.Cycles(1)
+	}, nil)
+	if err != nil {
+		t.Fatalf("ToConstraintGraph: %v", err)
+	}
+	// With unit delays and a 5-deep chain (shift → add → add → mask →
+	// write), the critical path must reflect the chaining.
+	if l := cgr.CriticalForwardLength(); l < 4 {
+		t.Errorf("critical length = %d, want ≥ 4 (chained temporaries)", l)
+	}
+}
+
+func TestDecomposeUniqueTemps(t *testing.T) {
+	// Temporaries must be unique across the hierarchy: two graphs
+	// decomposing expressions must not share temp names.
+	src := `
+process p (i, o)
+    in port i;
+    out port o[16];
+    boolean a[16], b[16], r[16];
+    while (i) {
+        r = (a + 1) * (b + 2);
+    }
+    r = (a + 3) * (b + 4);
+    write o = r;
+`
+	g := buildOpts(t, src, BuildOptions{Decompose: true})
+	names := map[string]string{}
+	g.Walk(func(sub *Graph) {
+		for _, o := range sub.Ops {
+			if o.Kind != OpALU || o.Target == "" || o.Target[0] != '_' {
+				continue
+			}
+			if prev, dup := names[o.Target]; dup {
+				t.Errorf("temp %s defined in both %s and %s", o.Target, prev, sub.Name)
+			}
+			names[o.Target] = sub.Name
+		}
+	})
+	if len(names) == 0 {
+		t.Error("no temporaries generated")
+	}
+}
+
+func TestDecomposeLeavesConditionsAlone(t *testing.T) {
+	src := `
+process p (i, o)
+    in port i;
+    out port o[8];
+    boolean a[8], r[8];
+    while ((a + 1) < (a * 2)) {
+        a = a + 1;
+    }
+    write o = r;
+`
+	g := buildOpts(t, src, BuildOptions{Decompose: true})
+	for _, o := range g.Ops {
+		if o.Kind == OpLoop && depth(o.Expr) < 2 {
+			t.Error("loop condition should not be decomposed")
+		}
+	}
+}

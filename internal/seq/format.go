@@ -1,0 +1,40 @@
+package seq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the graph and its hierarchy as an indented listing: one
+// line per op with its kind, dependencies, and tags, then child graphs.
+func (g *Graph) String() string {
+	var b strings.Builder
+	g.format(&b, 0)
+	return b.String()
+}
+
+func (g *Graph) format(b *strings.Builder, depth int) {
+	pad := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%sgraph %s (%d ops, %d edges", pad, g.Name, len(g.Ops), len(g.Edges))
+	if len(g.Constraints) > 0 {
+		fmt.Fprintf(b, ", %d constraints", len(g.Constraints))
+	}
+	fmt.Fprintf(b, ")\n")
+	preds := make(map[int][]int)
+	for _, e := range g.Edges {
+		preds[e[1]] = append(preds[e[1]], e[0])
+	}
+	for _, o := range g.Ops {
+		fmt.Fprintf(b, "%s  %2d %-6s %-16s", pad, o.ID, o.Kind, o.Name)
+		if o.Tag != "" {
+			fmt.Fprintf(b, " tag=%s", o.Tag)
+		}
+		if len(preds[o.ID]) > 0 {
+			fmt.Fprintf(b, " <- %v", preds[o.ID])
+		}
+		fmt.Fprintln(b)
+	}
+	for _, c := range g.Children() {
+		c.format(b, depth+1)
+	}
+}

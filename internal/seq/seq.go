@@ -1,0 +1,243 @@
+// Package seq implements the hierarchical polar sequencing graph model of
+// the Hercules/Hebe synthesis system (§II of the paper): vertices are
+// operations, edges are sequencing dependencies derived from data flow,
+// and loops/conditionals are hierarchical vertices whose bodies are
+// sequencing graphs of their own. Package seq also builds sequencing
+// graphs from parsed HardwareC processes, extracting maximal parallelism
+// from data dependencies the way Hercules does.
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/cg"
+	"repro/internal/hcl"
+)
+
+// OpKind classifies sequencing-graph operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpNop is a no-operation vertex: the source and sink of each graph.
+	OpNop OpKind = iota
+	// OpRead samples an input port into a variable.
+	OpRead
+	// OpWrite drives an output port from an expression.
+	OpWrite
+	// OpALU evaluates an expression into a variable.
+	OpALU
+	// OpLoop executes its Body graph repeatedly — a while (pre-test) or
+	// repeat…until (post-test) loop. Loops have unbounded delay.
+	OpLoop
+	// OpCond evaluates a condition and executes Then or Else.
+	OpCond
+	// OpCall executes its Body graph once — a procedure call, the third
+	// hierarchy construct of §II.
+	OpCall
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpNop:
+		return "nop"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpALU:
+		return "alu"
+	case OpLoop:
+		return "loop"
+	case OpCond:
+		return "cond"
+	case OpCall:
+		return "call"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// LoopKind distinguishes pre-test from post-test loops.
+type LoopKind int
+
+// Loop kinds.
+const (
+	WhileLoop LoopKind = iota
+	RepeatUntilLoop
+)
+
+// Op is one operation vertex of a sequencing graph.
+type Op struct {
+	ID   int
+	Kind OpKind
+	Name string
+	Tag  string // HardwareC tag, if the statement carried one
+
+	// Port names the port for OpRead/OpWrite.
+	Port string
+	// Target is the variable defined by OpRead/OpALU.
+	Target string
+	// Expr is the evaluated expression (OpALU, OpWrite) or condition
+	// (OpLoop, OpCond).
+	Expr hcl.Expr
+
+	// Body is the loop body for OpLoop, or the callee graph for OpCall.
+	Body *Graph
+	// LoopStyle selects pre- vs post-test for OpLoop.
+	LoopStyle LoopKind
+	// Then and Else are the branch bodies for OpCond (Else may be nil).
+	Then, Else *Graph
+
+	// Uses and Defs are the variable sets consumed and produced, used by
+	// the data-flow construction and by the simulator.
+	Uses []string
+	Defs []string
+}
+
+// OpKey returns a hierarchy-unique identifier for an op of this graph,
+// used to key data-dependent condition decisions (graph names are unique
+// across the hierarchy and op IDs within a graph).
+func (g *Graph) OpKey(o *Op) string {
+	return fmt.Sprintf("%s/%d", g.Name, o.ID)
+}
+
+// Hierarchical reports whether the op owns child graphs.
+func (o *Op) Hierarchical() bool {
+	return o.Kind == OpLoop || o.Kind == OpCond || o.Kind == OpCall
+}
+
+// Graph is one sequencing graph: a polar DAG of operations. Ops[0] is the
+// source and Ops[len-1] the sink after Finish.
+type Graph struct {
+	Name string
+	Ops  []*Op
+	// Edges are sequencing dependencies (from, to) by op ID.
+	Edges [][2]int
+	// Constraints are the timing constraints whose tagged endpoints both
+	// live directly in this graph.
+	Constraints []hcl.Constraint
+}
+
+// Source returns the source op ID (always 0).
+func (g *Graph) Source() int { return 0 }
+
+// Sink returns the sink op ID (always the last op).
+func (g *Graph) Sink() int { return len(g.Ops) - 1 }
+
+// OpByTag returns the op carrying the given tag, or nil.
+func (g *Graph) OpByTag(tag string) *Op {
+	for _, o := range g.Ops {
+		if o.Tag == tag {
+			return o
+		}
+	}
+	return nil
+}
+
+// Children returns the child graphs of hierarchical ops, in op order.
+func (g *Graph) Children() []*Graph {
+	var out []*Graph
+	for _, o := range g.Ops {
+		if o.Body != nil {
+			out = append(out, o.Body)
+		}
+		if o.Then != nil {
+			out = append(out, o.Then)
+		}
+		if o.Else != nil {
+			out = append(out, o.Else)
+		}
+	}
+	return out
+}
+
+// Walk visits g and every descendant graph, parents before children.
+func (g *Graph) Walk(fn func(*Graph)) {
+	fn(g)
+	for _, c := range g.Children() {
+		c.Walk(fn)
+	}
+}
+
+// CountOps returns the total number of operation vertices in the graph
+// and all descendants, including per-graph source and sink vertices —
+// the |V| accounting used by the paper's Table III ("the values in the
+// table are based on results for the entire graph").
+func (g *Graph) CountOps() int {
+	n := 0
+	g.Walk(func(sub *Graph) { n += len(sub.Ops) })
+	return n
+}
+
+// addOp appends an op and returns it.
+func (g *Graph) addOp(o *Op) *Op {
+	o.ID = len(g.Ops)
+	g.Ops = append(g.Ops, o)
+	return o
+}
+
+// addEdge records a sequencing dependency, dropping duplicates and
+// self-edges.
+func (g *Graph) addEdge(from, to int) {
+	if from == to {
+		return
+	}
+	for _, e := range g.Edges {
+		if e[0] == from && e[1] == to {
+			return
+		}
+	}
+	g.Edges = append(g.Edges, [2]int{from, to})
+}
+
+// DelayFn assigns an execution delay to an operation. The synthesis
+// driver supplies one that consults the module library and the latencies
+// of already-scheduled child graphs.
+type DelayFn func(*Op) cg.Delay
+
+// ToConstraintGraph lowers one (flat) sequencing graph to the polar
+// weighted constraint graph of §III: one vertex per op with the delay
+// assigned by delayOf, sequencing edges as forward edges, and the graph's
+// timing constraints as forward/backward constraint edges. extraSerial
+// lists additional serializing dependencies (from conflict resolution over
+// shared modules), given as op-ID pairs.
+//
+// It returns the constraint graph and the op→vertex mapping.
+func (g *Graph) ToConstraintGraph(delayOf DelayFn, extraSerial [][2]int) (*cg.Graph, []cg.VertexID, error) {
+	cgr := cg.New()
+	vid := make([]cg.VertexID, len(g.Ops))
+	for _, o := range g.Ops {
+		if o.ID == g.Source() {
+			vid[o.ID] = cgr.Source()
+			continue
+		}
+		name := o.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", o.Kind, o.ID)
+		}
+		vid[o.ID] = cgr.AddOp(name, delayOf(o))
+	}
+	for _, e := range g.Edges {
+		cgr.AddSeq(vid[e[0]], vid[e[1]])
+	}
+	for _, e := range extraSerial {
+		cgr.AddSeq(vid[e[0]], vid[e[1]])
+	}
+	for _, c := range g.Constraints {
+		from := g.OpByTag(c.From)
+		to := g.OpByTag(c.To)
+		if from == nil || to == nil {
+			return nil, nil, fmt.Errorf("seq: graph %s: constraint tags %q/%q not in this graph", g.Name, c.From, c.To)
+		}
+		if c.Min {
+			cgr.AddMin(vid[from.ID], vid[to.ID], c.Cycles)
+		} else {
+			cgr.AddMax(vid[from.ID], vid[to.ID], c.Cycles)
+		}
+	}
+	if err := cgr.Freeze(); err != nil {
+		return nil, nil, fmt.Errorf("seq: graph %s: %w", g.Name, err)
+	}
+	return cgr, vid, nil
+}

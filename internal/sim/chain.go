@@ -1,0 +1,55 @@
+package sim
+
+// OutputTrace converts the simulator's output-port writes into a
+// SignalTrace: each write becomes a step, and values hold between writes.
+// Feeding the trace to another simulator co-simulates a feed-forward
+// pipeline of processes (e.g. the DAIO phase decoder driving the
+// receiver), which is how multi-process HardwareC systems compose when
+// the data flow is acyclic.
+func (s *Simulator) OutputTrace() SignalTrace {
+	out := SignalTrace{}
+	for _, e := range s.Events() {
+		if e.Kind == EvWrite {
+			out[e.Port] = append(out[e.Port], Step{Cycle: e.Cycle, Value: e.Value})
+		}
+	}
+	return out
+}
+
+// Renamed returns a stimulus view with ports renamed: Sample(p, c) reads
+// from[rename[p]] when p has a mapping, from[p] otherwise. Use it to wire
+// one process's output ports to another's differently-named inputs.
+func Renamed(stim Stimulus, rename map[string]string) Stimulus {
+	return renamed{stim: stim, rename: rename}
+}
+
+type renamed struct {
+	stim   Stimulus
+	rename map[string]string
+}
+
+func (r renamed) Sample(port string, cycle int) int64 {
+	if src, ok := r.rename[port]; ok {
+		port = src
+	}
+	return r.stim.Sample(port, cycle)
+}
+
+// Overlay merges stimuli: ports present in over take precedence, all
+// other ports fall through to base. Use it to add locally-generated
+// control signals (resets, frame markers) on top of a chained trace.
+func Overlay(base Stimulus, over SignalTrace) Stimulus {
+	return overlay{base: base, over: over}
+}
+
+type overlay struct {
+	base Stimulus
+	over SignalTrace
+}
+
+func (o overlay) Sample(port string, cycle int) int64 {
+	if _, ok := o.over[port]; ok {
+		return o.over.Sample(port, cycle)
+	}
+	return o.base.Sample(port, cycle)
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ctrlgen"
+	"repro/internal/designs"
+	"repro/internal/relsched"
+)
+
+// TestLengthMeasuresPulse runs the pulse-length-detector design and checks
+// it reports the high time of the pulse: one loop iteration (one cycle)
+// per high cycle.
+func TestLengthMeasuresPulse(t *testing.T) {
+	res, err := designs.Length().Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	for _, tc := range []struct{ rise, fall int }{{2, 9}, {1, 4}, {3, 15}} {
+		stim := SignalTrace{"pulse": {{Cycle: tc.rise, Value: 1}, {Cycle: tc.fall, Value: 0}}}
+		s := New(res, stim, ctrlgen.Counter, relsched.IrredundantAnchors)
+		if _, err := s.Run(10000); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		w := s.EventsOf(EvWrite)
+		if len(w) != 1 {
+			t.Fatalf("writes = %v", w)
+		}
+		want := int64(tc.fall - tc.rise)
+		if w[0].Value != want {
+			t.Errorf("pulse %d..%d: len = %d, want %d", tc.rise, tc.fall, w[0].Value, want)
+		}
+	}
+}
+
+// TestTrafficWaitsForSensor checks the traffic controller only switches
+// the lights after the farm-road sensor asserts.
+func TestTrafficWaitsForSensor(t *testing.T) {
+	res, err := designs.Traffic().Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	stim := SignalTrace{"sensor": {{Cycle: 6, Value: 1}}}
+	s := New(res, stim, ctrlgen.ShiftRegister, relsched.IrredundantAnchors)
+	if _, err := s.Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	w := s.EventsOf(EvWrite)
+	if len(w) != 1 || w[0].Port != "highway" {
+		t.Fatalf("writes = %v", w)
+	}
+	if w[0].Cycle < 6 {
+		t.Errorf("lights switched at %d, before the sensor at 6", w[0].Cycle)
+	}
+}
+
+// TestDCTPhaseAAllEqualRow feeds a constant row through the phase-A
+// butterfly: by linearity all AC coefficients vanish and the DC
+// coefficient is 8× the pixel value.
+func TestDCTPhaseAAllEqualRow(t *testing.T) {
+	res, err := designs.DCTPhaseA().Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	const p = 33
+	stim := SignalTrace{
+		"start": {{Cycle: 1, Value: 1}},
+		"ready": {{Cycle: 3, Value: 1}},
+	}
+	for _, port := range []string{"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"} {
+		stim[port] = []Step{{Cycle: 0, Value: p}}
+	}
+	s := New(res, stim, ctrlgen.Counter, relsched.IrredundantAnchors)
+	if _, err := s.Run(100000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var coeffs []int64
+	for _, e := range s.EventsOf(EvWrite) {
+		if e.Port == "tdata" {
+			coeffs = append(coeffs, e.Value)
+		}
+	}
+	if len(coeffs) != 8 {
+		t.Fatalf("tdata writes = %d, want 8", len(coeffs))
+	}
+	if coeffs[0] != 8*p {
+		t.Errorf("DC coefficient = %d, want %d", coeffs[0], 8*p)
+	}
+	for i, c := range coeffs[1:] {
+		if c != 0 {
+			t.Errorf("AC coefficient c%d = %d, want 0", i+1, c)
+		}
+	}
+}
+
+// TestGCDRepeatedActivations runs the gcd process twice back to back with
+// different operands, exercising RunRepeated and the restart protocol.
+func TestGCDRepeatedActivations(t *testing.T) {
+	res, err := designs.GCD().Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	// restart: high, falls at 3 (first run samples), rises again at 5 so
+	// the second activation's wait loop holds until the fall at 25.
+	// Inputs change at cycle 20, between the two samplings.
+	stim := SignalTrace{
+		"restart": {{Cycle: 0, Value: 1}, {Cycle: 3, Value: 0}, {Cycle: 5, Value: 1}, {Cycle: 25, Value: 0}},
+		"xin":     {{Cycle: 0, Value: 18}, {Cycle: 20, Value: 35}},
+		"yin":     {{Cycle: 0, Value: 12}, {Cycle: 20, Value: 21}},
+	}
+	s := New(res, stim, ctrlgen.Counter, relsched.IrredundantAnchors)
+	if _, err := s.RunRepeated(2, 100000); err != nil {
+		t.Fatalf("RunRepeated: %v", err)
+	}
+	w := s.EventsOf(EvWrite)
+	if len(w) != 2 {
+		t.Fatalf("writes = %v, want 2", w)
+	}
+	if w[0].Value != 6 { // gcd(18, 12)
+		t.Errorf("first result = %d, want 6", w[0].Value)
+	}
+	if w[1].Value != 7 { // gcd(35, 21)
+		t.Errorf("second result = %d, want 7", w[1].Value)
+	}
+	// Both activations keep the one-cycle read separation.
+	reads := s.EventsOf(EvRead)
+	if len(reads) != 4 {
+		t.Fatalf("reads = %v", reads)
+	}
+	if reads[1].Cycle != reads[0].Cycle+1 || reads[3].Cycle != reads[2].Cycle+1 {
+		t.Errorf("read pairing broken: %v", reads)
+	}
+}

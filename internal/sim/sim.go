@@ -1,0 +1,498 @@
+// Package sim is a cycle-accurate functional simulator for synthesized
+// HardwareC processes. It executes the hierarchical sequencing graph
+// through the control logic generated from the relative schedule: every
+// operation starts exactly when its enable — a conjunction of per-anchor
+// timer conditions — asserts, with loop delays measured dynamically as the
+// simulation unfolds. The simulator verifies on the fly that every timing
+// constraint holds on the observed trace (invariant P9), and records an
+// event trace from which the paper's Fig. 14 waveform can be reproduced.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ctrlgen"
+	"repro/internal/hcl"
+	"repro/internal/relsched"
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+// Stimulus supplies input-port values per cycle.
+type Stimulus interface {
+	// Sample returns the value on the port at the given cycle.
+	Sample(port string, cycle int) int64
+}
+
+// PortObserver is an optional extension of Stimulus: a stimulus that also
+// observes output-port writes can model reactive environments — memories,
+// handshaking peripherals — that answer on input ports based on what the
+// design drove earlier.
+type PortObserver interface {
+	// OnWrite is called when the design drives an output port.
+	OnWrite(port string, cycle int, value int64)
+}
+
+// Step is one transition of a piecewise-constant signal.
+type Step struct {
+	Cycle int
+	Value int64
+}
+
+// SignalTrace is a piecewise-constant waveform per port.
+type SignalTrace map[string][]Step
+
+// Sample implements Stimulus: the value of the last step at or before the
+// cycle, or 0 before the first step.
+func (tr SignalTrace) Sample(port string, cycle int) int64 {
+	steps := tr[port]
+	var v int64
+	for _, s := range steps {
+		if s.Cycle > cycle {
+			break
+		}
+		v = s.Value
+	}
+	return v
+}
+
+// EventKind classifies trace events.
+type EventKind string
+
+// Event kinds recorded in the trace.
+const (
+	EvStart EventKind = "start" // operation starts
+	EvRead  EventKind = "read"  // input port sampled
+	EvWrite EventKind = "write" // output port driven
+	EvIter  EventKind = "iter"  // loop iteration begins
+	EvDone  EventKind = "done"  // operation completes
+)
+
+// Decision records one evaluation of a loop or conditional condition —
+// the data-dependent choices that determine unbounded delays. The
+// adaptive-control harness replays these to drive the FSM controllers
+// through the same execution. Op is the hierarchy-unique key from
+// seq.Graph.OpKey.
+type Decision struct {
+	Op    string
+	Taken bool
+}
+
+// Event is one observable action in the trace.
+type Event struct {
+	Cycle int
+	Kind  EventKind
+	Op    string // op name
+	Tag   string // HardwareC tag, if any
+	Port  string // for read/write events
+	Value int64  // sampled or driven value
+}
+
+// String renders the event.
+func (e Event) String() string {
+	s := fmt.Sprintf("@%d %s %s", e.Cycle, e.Kind, e.Op)
+	if e.Port != "" {
+		s += fmt.Sprintf(" %s=%d", e.Port, e.Value)
+	}
+	return s
+}
+
+// Simulator executes one synthesized process.
+type Simulator struct {
+	res   *synth.Result
+	stim  Stimulus
+	style ctrlgen.Style
+	mode  relsched.AnchorMode
+
+	st        *state
+	width     map[string]int
+	events    []Event
+	decisions []Decision
+	ctrl      map[*seq.Graph]*ctrlgen.Controller
+	owner     map[*seq.Op]*seq.Graph
+
+	maxCycles int
+	budget    int
+}
+
+// New builds a simulator for a synthesis result. The control style and
+// anchor mode select which generated controller drives the execution.
+func New(res *synth.Result, stim Stimulus, style ctrlgen.Style, mode relsched.AnchorMode) *Simulator {
+	s := &Simulator{
+		res:   res,
+		stim:  stim,
+		style: style,
+		mode:  mode,
+		st:    newState(),
+		width: map[string]int{},
+		ctrl:  map[*seq.Graph]*ctrlgen.Controller{},
+	}
+	for _, v := range res.Process.Vars {
+		s.width[v.Name] = v.Width
+	}
+	for _, p := range res.Process.Ports {
+		s.width[p.Name] = p.Width
+	}
+	for g, gr := range res.Graphs {
+		s.ctrl[g] = ctrlgen.Synthesize(gr.Schedule, mode, style)
+	}
+	s.owner = map[*seq.Op]*seq.Graph{}
+	res.Top.Walk(func(g *seq.Graph) {
+		for _, o := range g.Ops {
+			s.owner[o] = g
+		}
+	})
+	return s
+}
+
+// Decisions returns the recorded condition evaluations, in evaluation
+// order.
+func (s *Simulator) Decisions() []Decision {
+	return append([]Decision(nil), s.decisions...)
+}
+
+// Events returns the recorded trace, ordered by cycle (stable for equal
+// cycles).
+func (s *Simulator) Events() []Event {
+	out := append([]Event(nil), s.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// EventsOf filters the trace by kind.
+func (s *Simulator) EventsOf(kind EventKind) []Event {
+	var out []Event
+	for _, e := range s.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Var returns the final committed value of a variable.
+func (s *Simulator) Var(name string) int64 { return s.st.read(name, int(^uint(0)>>1)) }
+
+// Run activates the top-level graph at cycle 0 and executes it to
+// completion, enforcing every timing constraint on the observed start
+// times. maxCycles bounds total simulated work to catch runaway loops.
+// It returns the completion cycle.
+func (s *Simulator) Run(maxCycles int) (int, error) {
+	return s.RunRepeated(1, maxCycles)
+}
+
+// RunRepeated activates the top-level graph n times back to back — the
+// restart behavior of a hardware process — carrying variable state across
+// activations and accumulating one event trace. Every activation's timing
+// constraints are enforced independently. It returns the completion cycle
+// of the last activation.
+func (s *Simulator) RunRepeated(n, maxCycles int) (int, error) {
+	s.maxCycles = maxCycles
+	s.budget = maxCycles
+	s.events = s.events[:0]
+	s.decisions = s.decisions[:0]
+	s.st = newState()
+	t := 0
+	for i := 0; i < n; i++ {
+		end, err := s.execGraph(s.res.Top, t)
+		if err != nil {
+			return 0, err
+		}
+		if end <= t {
+			end = t + 1 // an instantaneous activation still takes a cycle
+		}
+		t = end
+	}
+	return t, nil
+}
+
+// execGraph runs one activation of a graph starting at cycle t0 and
+// returns its completion cycle.
+func (s *Simulator) execGraph(g *seq.Graph, t0 int) (int, error) {
+	gr := s.res.Graphs[g]
+	ctrl := s.ctrl[g]
+	cgr := gr.CG
+
+	// done[v] is the completion cycle of anchor vertices (absolute).
+	done := make([]int, cgr.N())
+	start := make([]int, cgr.N())
+	actual := make([]int, cgr.N()) // measured execution delay per vertex
+
+	// Map constraint-graph vertex -> op.
+	opOf := make([]*seq.Op, cgr.N())
+	for _, o := range g.Ops {
+		opOf[gr.VID[o.ID]] = o
+	}
+
+	fr := s.st.push(g)
+	defer s.st.pop()
+
+	for _, v := range cgr.TopoForward() {
+		if v == cgr.Source() {
+			fr.cur = g.Source()
+			start[v] = t0
+			done[v] = t0
+			continue
+		}
+		// enable_v: all timer conditions met.
+		t := t0
+		for _, term := range ctrl.Terms[v] {
+			if at := done[term.Anchor] + term.Offset; at > t {
+				t = at
+			}
+		}
+		start[v] = t
+		op := opOf[v]
+		fr.cur = op.ID
+		d, err := s.execOp(op, t)
+		if err != nil {
+			return 0, err
+		}
+		actual[v] = d
+		done[v] = t + d
+		if s.budget -= d + 1; s.budget < 0 {
+			return 0, fmt.Errorf("sim: cycle budget %d exhausted in graph %s", s.maxCycles, g.Name)
+		}
+	}
+
+	// Verify every edge inequality on the observed start times with the
+	// measured delays (invariant P9).
+	for ei, e := range cgr.Edges() {
+		w := e.Weight
+		if e.Unbounded {
+			w = actual[e.From]
+		}
+		if start[e.To] < start[e.From]+w {
+			return 0, fmt.Errorf("sim: graph %s: timing violation on edge %d (%s): T(%s)=%d < T(%s)=%d + %d",
+				g.Name, ei, e, cgr.Name(e.To), start[e.To], cgr.Name(e.From), start[e.From], w)
+		}
+	}
+	return start[cgr.Sink()], nil
+}
+
+// execOp executes one operation starting at cycle t and returns its
+// measured delay.
+func (s *Simulator) execOp(op *seq.Op, t int) (int, error) {
+	gr := s.res.Graphs[s.graphOf(op)]
+	switch op.Kind {
+	case seq.OpNop:
+		return 0, nil
+	case seq.OpRead:
+		v := s.mask(op.Target, s.stim.Sample(op.Port, t))
+		d := gr.Binding.Delay(op)
+		s.st.commit(op.Target, t+d, v)
+		s.emit(Event{Cycle: t, Kind: EvRead, Op: op.Name, Tag: op.Tag, Port: op.Port, Value: v})
+		s.emit(Event{Cycle: t, Kind: EvStart, Op: op.Name, Tag: op.Tag})
+		return d, nil
+	case seq.OpWrite:
+		v, err := s.eval(op.Expr, t)
+		if err != nil {
+			return 0, err
+		}
+		v = s.mask(op.Port, v)
+		if obs, ok := s.stim.(PortObserver); ok {
+			obs.OnWrite(op.Port, t, v)
+		}
+		s.emit(Event{Cycle: t, Kind: EvWrite, Op: op.Name, Tag: op.Tag, Port: op.Port, Value: v})
+		s.emit(Event{Cycle: t, Kind: EvStart, Op: op.Name, Tag: op.Tag})
+		return gr.Binding.Delay(op), nil
+	case seq.OpALU:
+		v, err := s.eval(op.Expr, t)
+		if err != nil {
+			return 0, err
+		}
+		d := gr.Binding.Delay(op)
+		s.st.commit(op.Target, t+d, s.mask(op.Target, v))
+		s.emit(Event{Cycle: t, Kind: EvStart, Op: op.Name, Tag: op.Tag})
+		return d, nil
+	case seq.OpLoop:
+		s.emit(Event{Cycle: t, Kind: EvStart, Op: op.Name, Tag: op.Tag})
+		end, err := s.execLoop(op, t)
+		if err != nil {
+			return 0, err
+		}
+		s.emit(Event{Cycle: end, Kind: EvDone, Op: op.Name, Tag: op.Tag})
+		return end - t, nil
+	case seq.OpCall:
+		s.emit(Event{Cycle: t, Kind: EvStart, Op: op.Name, Tag: op.Tag})
+		end, err := s.execGraph(op.Body, t)
+		if err != nil {
+			return 0, err
+		}
+		s.emit(Event{Cycle: end, Kind: EvDone, Op: op.Name, Tag: op.Tag})
+		return end - t, nil
+	case seq.OpCond:
+		s.emit(Event{Cycle: t, Kind: EvStart, Op: op.Name, Tag: op.Tag})
+		c, err := s.eval(op.Expr, t)
+		if err != nil {
+			return 0, err
+		}
+		s.decisions = append(s.decisions, Decision{Op: s.graphOf(op).OpKey(op), Taken: c != 0})
+		branch := op.Then
+		if c == 0 {
+			branch = op.Else
+		}
+		if branch == nil {
+			return 0, nil
+		}
+		end, err := s.execGraph(branch, t)
+		if err != nil {
+			return 0, err
+		}
+		return end - t, nil
+	}
+	return 0, fmt.Errorf("sim: cannot execute op kind %v", op.Kind)
+}
+
+// execLoop runs a loop op starting at cycle t and returns the completion
+// cycle. Every iteration consumes at least one cycle, so external
+// conditions are re-sampled once per cycle (the busy-wait of the gcd
+// example).
+func (s *Simulator) execLoop(op *seq.Op, t int) (int, error) {
+	for {
+		if s.budget--; s.budget < 0 {
+			return 0, fmt.Errorf("sim: cycle budget exhausted in loop %s", op.Name)
+		}
+		if op.LoopStyle == seq.WhileLoop {
+			c, err := s.eval(op.Expr, t)
+			if err != nil {
+				return 0, err
+			}
+			s.decisions = append(s.decisions, Decision{Op: s.graphOf(op).OpKey(op), Taken: c != 0})
+			if c == 0 {
+				return t, nil
+			}
+		}
+		s.emit(Event{Cycle: t, Kind: EvIter, Op: op.Name, Tag: op.Tag})
+		end, err := s.execGraph(op.Body, t)
+		if err != nil {
+			return 0, err
+		}
+		if end <= t {
+			end = t + 1 // an empty or combinational body still takes a cycle
+		}
+		t = end
+		if op.LoopStyle == seq.RepeatUntilLoop {
+			c, err := s.eval(op.Expr, t)
+			if err != nil {
+				return 0, err
+			}
+			s.decisions = append(s.decisions, Decision{Op: s.graphOf(op).OpKey(op), Taken: c != 0})
+			if c != 0 {
+				return t, nil
+			}
+		}
+	}
+}
+
+// graphOf returns the graph directly containing an op.
+func (s *Simulator) graphOf(op *seq.Op) *seq.Graph { return s.owner[op] }
+
+func (s *Simulator) emit(e Event) { s.events = append(s.events, e) }
+
+// mask truncates a value to the declared width of a variable or port.
+func (s *Simulator) mask(name string, v int64) int64 {
+	w := s.width[name]
+	if w <= 0 || w >= 63 {
+		return v
+	}
+	return v & ((1 << uint(w)) - 1)
+}
+
+// eval evaluates an expression at a cycle. Identifiers resolve to
+// variables, or to input-port samples when they name a declared port.
+func (s *Simulator) eval(e hcl.Expr, cycle int) (int64, error) {
+	switch x := e.(type) {
+	case *hcl.Num:
+		return x.Value, nil
+	case *hcl.Ident:
+		if s.isPort(x.Name) {
+			return s.stim.Sample(x.Name, cycle), nil
+		}
+		return s.st.read(x.Name, cycle), nil
+	case *hcl.Unary:
+		v, err := s.eval(x.X, cycle)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case hcl.NOT:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case hcl.MINUS:
+			return -v, nil
+		}
+	case *hcl.Binary:
+		a, err := s.eval(x.X, cycle)
+		if err != nil {
+			return 0, err
+		}
+		b, err := s.eval(x.Y, cycle)
+		if err != nil {
+			return 0, err
+		}
+		return applyBinary(x.Op, a, b)
+	}
+	return 0, fmt.Errorf("sim: cannot evaluate %T", e)
+}
+
+func (s *Simulator) isPort(name string) bool {
+	return s.res.Process.Port(name) != nil
+}
+
+func applyBinary(op hcl.Kind, a, b int64) (int64, error) {
+	boolOf := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case hcl.PLUS:
+		return a + b, nil
+	case hcl.MINUS:
+		return a - b, nil
+	case hcl.STAR:
+		return a * b, nil
+	case hcl.SLASH:
+		if b == 0 {
+			return 0, fmt.Errorf("sim: division by zero")
+		}
+		return a / b, nil
+	case hcl.PERCENT:
+		if b == 0 {
+			return 0, fmt.Errorf("sim: modulo by zero")
+		}
+		return a % b, nil
+	case hcl.AND:
+		return a & b, nil
+	case hcl.OR:
+		return a | b, nil
+	case hcl.XOR:
+		return a ^ b, nil
+	case hcl.LAND:
+		return boolOf(a != 0 && b != 0), nil
+	case hcl.LOR:
+		return boolOf(a != 0 || b != 0), nil
+	case hcl.EQ:
+		return boolOf(a == b), nil
+	case hcl.NEQ:
+		return boolOf(a != b), nil
+	case hcl.LT:
+		return boolOf(a < b), nil
+	case hcl.GT:
+		return boolOf(a > b), nil
+	case hcl.LE:
+		return boolOf(a <= b), nil
+	case hcl.GE:
+		return boolOf(a >= b), nil
+	case hcl.SHL:
+		return a << uint(b&63), nil
+	case hcl.SHR:
+		return a >> uint(b&63), nil
+	}
+	return 0, fmt.Errorf("sim: unknown operator %v", op)
+}

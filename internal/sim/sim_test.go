@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctrlgen"
+	"repro/internal/designs"
+	"repro/internal/relsched"
+	"repro/internal/synth"
+)
+
+func gcdOf(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func synthGCD(t testing.TB) *synth.Result {
+	t.Helper()
+	r, err := designs.GCD().Synthesize()
+	if err != nil {
+		t.Fatalf("synthesize gcd: %v", err)
+	}
+	return r
+}
+
+// gcdStim builds the Fig. 14 stimulus: restart high until fall, inputs
+// held constant.
+func gcdStim(fall int, x, y int64) SignalTrace {
+	return SignalTrace{
+		"restart": {{Cycle: 0, Value: 1}, {Cycle: fall, Value: 0}},
+		"xin":     {{Cycle: 0, Value: x}},
+		"yin":     {{Cycle: 0, Value: y}},
+	}
+}
+
+// TestGCD_Fig14Trace reproduces the paper's Fig. 14 simulation: after the
+// restart signal falls, yin is sampled first and xin exactly one cycle
+// later (the mintime = maxtime = 1 constraints), and the correct gcd is
+// written to the result port.
+func TestGCD_Fig14Trace(t *testing.T) {
+	res := synthGCD(t)
+	s := New(res, gcdStim(5, 24, 36), ctrlgen.Counter, relsched.IrredundantAnchors)
+	if _, err := s.Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	reads := s.EventsOf(EvRead)
+	if len(reads) != 2 {
+		t.Fatalf("reads = %v, want 2", reads)
+	}
+	var yCycle, xCycle int
+	for _, e := range reads {
+		switch e.Port {
+		case "yin":
+			yCycle = e.Cycle
+			if e.Value != 36 {
+				t.Errorf("sampled y = %d, want 36", e.Value)
+			}
+		case "xin":
+			xCycle = e.Cycle
+			if e.Value != 24 {
+				t.Errorf("sampled x = %d, want 24", e.Value)
+			}
+		}
+	}
+	if yCycle < 5 {
+		t.Errorf("y sampled at %d, before restart fell at 5", yCycle)
+	}
+	if xCycle != yCycle+1 {
+		t.Errorf("x sampled at %d, want exactly one cycle after y at %d", xCycle, yCycle)
+	}
+	writes := s.EventsOf(EvWrite)
+	if len(writes) != 1 {
+		t.Fatalf("writes = %v, want 1", writes)
+	}
+	if writes[0].Port != "result" || writes[0].Value != 12 {
+		t.Errorf("result = %v, want result=12", writes[0])
+	}
+}
+
+// TestGCD_ZeroOperands exercises the untaken Euclid branch: with either
+// input zero the conditional is skipped and x is written through.
+func TestGCD_ZeroOperands(t *testing.T) {
+	res := synthGCD(t)
+	for _, tc := range []struct{ x, y, want int64 }{
+		{0, 9, 0},
+		{7, 0, 7},
+		{0, 0, 0},
+	} {
+		s := New(res, gcdStim(3, tc.x, tc.y), ctrlgen.Counter, relsched.IrredundantAnchors)
+		if _, err := s.Run(10000); err != nil {
+			t.Fatalf("Run(%d,%d): %v", tc.x, tc.y, err)
+		}
+		w := s.EventsOf(EvWrite)
+		if len(w) != 1 || w[0].Value != tc.want {
+			t.Errorf("gcd(%d,%d) wrote %v, want %d", tc.x, tc.y, w, tc.want)
+		}
+	}
+}
+
+// TestProperty_GCDFunctional is invariant P9 plus functional correctness:
+// for random inputs and random restart fall times, the simulation
+// completes without timing violations, the reads stay exactly one cycle
+// apart, and the written value is the gcd.
+func TestProperty_GCDFunctional(t *testing.T) {
+	res := synthGCD(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := int64(rng.Intn(200))
+		y := int64(rng.Intn(200))
+		fall := rng.Intn(12)
+		s := New(res, gcdStim(fall, x, y), ctrlgen.ShiftRegister, relsched.IrredundantAnchors)
+		if _, err := s.Run(100000); err != nil {
+			t.Logf("seed %d (x=%d y=%d fall=%d): %v", seed, x, y, fall, err)
+			return false
+		}
+		reads := s.EventsOf(EvRead)
+		if len(reads) != 2 || reads[1].Cycle != reads[0].Cycle+1 {
+			return false
+		}
+		want := x & 255
+		if x != 0 && y != 0 {
+			want = gcdOf(x, y)
+		}
+		w := s.EventsOf(EvWrite)
+		return len(w) == 1 && w[0].Value == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestControlStylesAgree runs the same stimulus under both control styles
+// and both anchor modes; the traces must be identical (Theorem 6 made
+// physical).
+func TestControlStylesAgree(t *testing.T) {
+	res := synthGCD(t)
+	var ref []Event
+	for _, style := range []ctrlgen.Style{ctrlgen.Counter, ctrlgen.ShiftRegister} {
+		for _, mode := range []relsched.AnchorMode{relsched.FullAnchors, relsched.IrredundantAnchors} {
+			s := New(res, gcdStim(4, 30, 18), style, mode)
+			if _, err := s.Run(10000); err != nil {
+				t.Fatalf("style %v mode %v: %v", style, mode, err)
+			}
+			ev := s.Events()
+			if ref == nil {
+				ref = ev
+				continue
+			}
+			if len(ev) != len(ref) {
+				t.Fatalf("style %v mode %v: %d events, want %d", style, mode, len(ev), len(ref))
+			}
+			for i := range ev {
+				if ev[i] != ref[i] {
+					t.Errorf("style %v mode %v: event %d = %v, want %v", style, mode, i, ev[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSimulateAllDesigns drives every benchmark design with a generic
+// stimulus: all handshake inputs eventually assert, and the run must
+// complete without timing violations (invariant P9 across the suite).
+func TestSimulateAllDesigns(t *testing.T) {
+	stimuli := map[string]SignalTrace{
+		"traffic": {"sensor": {{Cycle: 3, Value: 1}}},
+		"length":  {"pulse": {{Cycle: 2, Value: 1}, {Cycle: 9, Value: 0}}},
+		"gcd":     gcdStim(4, 18, 12),
+		"frisc": {
+			"reset": {{Cycle: 0, Value: 1}, {Cycle: 2, Value: 0}},
+			// opcode 10 (halt) in the top nibble, everything else zero.
+			"idata": {{Cycle: 0, Value: 10 << 12}},
+			"din":   {{Cycle: 0, Value: 0}},
+		},
+		"daio-decoder": {
+			"biphase": {{Cycle: 2, Value: 1}, {Cycle: 5, Value: 0}, {Cycle: 8, Value: 1}},
+			"prev":    {},
+		},
+		"daio-receiver": {
+			"frame":  {{Cycle: 3, Value: 1}},
+			"strobe": strobePattern(4, 3, 40),
+			"bitin":  {{Cycle: 0, Value: 1}},
+		},
+		"dct-a": {
+			"start": {{Cycle: 2, Value: 1}},
+			"ready": {{Cycle: 4, Value: 1}},
+			"x0":    {{Cycle: 0, Value: 10}}, "x1": {{Cycle: 0, Value: 20}},
+			"x2": {{Cycle: 0, Value: 30}}, "x3": {{Cycle: 0, Value: 40}},
+			"x4": {{Cycle: 0, Value: 50}}, "x5": {{Cycle: 0, Value: 60}},
+			"x6": {{Cycle: 0, Value: 70}}, "x7": {{Cycle: 0, Value: 80}},
+		},
+		"dct-b": {
+			"go":    {{Cycle: 1, Value: 1}},
+			"avail": {{Cycle: 3, Value: 1}},
+			"t0":    {{Cycle: 0, Value: 100}}, "t1": {{Cycle: 0, Value: 90}},
+			"t2": {{Cycle: 0, Value: 80}}, "t3": {{Cycle: 0, Value: 70}},
+			"t4": {{Cycle: 0, Value: 60}}, "t5": {{Cycle: 0, Value: 50}},
+			"t6": {{Cycle: 0, Value: 40}}, "t7": {{Cycle: 0, Value: 30}},
+		},
+	}
+	for _, d := range designs.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			stim, ok := stimuli[d.Name]
+			if !ok {
+				t.Fatalf("no stimulus for %s", d.Name)
+			}
+			res, err := d.Synthesize()
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			s := New(res, stim, ctrlgen.Counter, relsched.IrredundantAnchors)
+			end, err := s.Run(200000)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if end <= 0 {
+				t.Errorf("completed at cycle %d, expected positive latency", end)
+			}
+		})
+	}
+}
+
+// strobePattern builds an alternating strobe: high for hi cycles, low for
+// lo cycles, starting at cycle 4, for n transitions.
+func strobePattern(hi, lo, n int) []Step {
+	steps := []Step{{Cycle: 0, Value: 0}}
+	c := 4
+	for i := 0; i < n; i++ {
+		steps = append(steps, Step{Cycle: c, Value: 1})
+		c += hi
+		steps = append(steps, Step{Cycle: c, Value: 0})
+		c += lo
+	}
+	return steps
+}
+
+// TestAllOperators exercises every expression operator through the
+// simulator's evaluator.
+func TestAllOperators(t *testing.T) {
+	src := `
+process ops (i, o)
+    in port i[8];
+    out port o[16];
+    boolean a[16], b[16], r[16];
+    a = read(i);
+    b = 3;
+    r = a + b;
+    r = r - 1;
+    r = r * 2;
+    r = r / 3;
+    r = r % 7;
+    r = r & 6;
+    r = r | 9;
+    r = r ^ 5;
+    r = r << 2;
+    r = r >> 1;
+    r = (a < b) + (a > b) + (a <= b) + (a >= b) + (a == b) + (a != b);
+    r = (r && 1) + (r || 0) + !r + (-b);
+    write o = r;
+`
+	res, err := synth.SynthesizeSource(src, synth.Options{})
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	s := New(res, SignalTrace{"i": {{Cycle: 0, Value: 10}}}, ctrlgen.Counter, relsched.IrredundantAnchors)
+	if _, err := s.Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// a=10, b=3: comparisons: 0+1+0+1+0+1 = 3; then (3&&1)+(3||0)+!3+(-3)
+	// = 1+1+0-3 = -1 masked to 16 bits.
+	w := s.EventsOf(EvWrite)
+	if len(w) != 1 || w[0].Value != (-1&0xFFFF) {
+		t.Errorf("result = %v, want %d", w, -1&0xFFFF)
+	}
+}
+
+// TestDivisionByZeroSurfaces checks the runtime error path.
+func TestDivisionByZeroSurfaces(t *testing.T) {
+	src := `
+process dz (i, o)
+    in port i[8];
+    out port o[8];
+    boolean a[8], r[8];
+    a = read(i);
+    r = 4 / a;
+    write o = r;
+`
+	res, err := synth.SynthesizeSource(src, synth.Options{})
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	s := New(res, SignalTrace{"i": {{Cycle: 0, Value: 0}}}, ctrlgen.Counter, relsched.IrredundantAnchors)
+	if _, err := s.Run(10000); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+}

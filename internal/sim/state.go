@@ -1,0 +1,149 @@
+package sim
+
+import "repro/internal/seq"
+
+// Variable visibility semantics. Operations execute at cycles; a commit to
+// a variable at cycle d is visible to a read at cycle t when
+//
+//   - d < t (the value was registered on an earlier cycle), or
+//   - d == t and the producer precedes the reader in the sequencing
+//     graph (combinational chaining through zero-delay operations), or
+//   - d == t and the commit came from an earlier, already-completed
+//     activation (sequential loop iterations).
+//
+// Parallel operations — no path either way — never see each other's
+// same-cycle commits, which is what makes the gcd swap `< y = x; x = y; >`
+// exchange values like a pair of registers.
+//
+// Commits are tagged with the activation-frame stack at the time of the
+// write; visibility of a same-cycle commit is decided at the deepest
+// frame shared between the commit and the reader, by asking whether the
+// commit's vertex at that frame precedes the reader's vertex there.
+
+// frame is one live graph activation.
+type frame struct {
+	id    int
+	graph *seq.Graph
+	pred  [][]bool // transitive predecessor closure of the graph's edges
+	cur   int      // op currently executing in this activation
+}
+
+// frameTag records where in the activation stack a commit happened.
+type frameTag struct {
+	frameID int
+	vertex  int
+}
+
+// varCommit is one committed value of a variable.
+type varCommit struct {
+	done  int
+	value int64
+	tags  []frameTag
+}
+
+// state tracks variable histories and the activation stack.
+type state struct {
+	nextFrame int
+	stack     []*frame
+	hist      map[string][]varCommit
+	closures  map[*seq.Graph][][]bool
+}
+
+func newState() *state {
+	return &state{hist: map[string][]varCommit{}, closures: map[*seq.Graph][][]bool{}}
+}
+
+// push enters a new activation of g and returns the frame.
+func (st *state) push(g *seq.Graph) *frame {
+	f := &frame{id: st.nextFrame, graph: g, pred: st.closure(g)}
+	st.nextFrame++
+	st.stack = append(st.stack, f)
+	return f
+}
+
+// pop leaves the innermost activation.
+func (st *state) pop() { st.stack = st.stack[:len(st.stack)-1] }
+
+// closure memoizes the predecessor closure of a graph.
+func (st *state) closure(g *seq.Graph) [][]bool {
+	if c, ok := st.closures[g]; ok {
+		return c
+	}
+	n := len(g.Ops)
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	reach := make([][]bool, n)
+	var dfs func(root, v int)
+	dfs = func(root, v int) {
+		for _, w := range adj[v] {
+			if !reach[root][w] {
+				reach[root][w] = true
+				dfs(root, w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		reach[v] = make([]bool, n)
+		dfs(v, v)
+	}
+	st.closures[g] = reach
+	return reach
+}
+
+// tags snapshots the current activation stack.
+func (st *state) tags() []frameTag {
+	out := make([]frameTag, len(st.stack))
+	for i, f := range st.stack {
+		out[i] = frameTag{frameID: f.id, vertex: f.cur}
+	}
+	return out
+}
+
+// commit records a write of value to a variable completing at cycle done.
+func (st *state) commit(name string, done int, value int64) {
+	st.hist[name] = append(st.hist[name], varCommit{done: done, value: value, tags: st.tags()})
+}
+
+// read returns the value of a variable as seen by an operation starting at
+// cycle t under the current activation stack.
+func (st *state) read(name string, t int) int64 {
+	hist := st.hist[name]
+	for i := len(hist) - 1; i >= 0; i-- {
+		if st.visible(hist[i], t) {
+			return hist[i].value
+		}
+	}
+	return 0
+}
+
+// visible reports whether a commit is visible to a read at cycle t.
+func (st *state) visible(c varCommit, t int) bool {
+	if c.done < t {
+		return true
+	}
+	if c.done > t {
+		return false
+	}
+	// Same cycle: find the deepest frame shared with the commit.
+	for i := len(st.stack) - 1; i >= 0; i-- {
+		f := st.stack[i]
+		for _, tag := range c.tags {
+			if tag.frameID != f.id {
+				continue
+			}
+			if tag.vertex == f.cur {
+				// The commit came from inside the vertex this frame is
+				// currently executing but through a different (already
+				// finished) sub-activation — a completed earlier
+				// iteration or branch. Sequentially earlier, so visible.
+				return true
+			}
+			return f.pred[tag.vertex][f.cur]
+		}
+	}
+	// No shared frame: the producing activation completed before this
+	// one began.
+	return true
+}

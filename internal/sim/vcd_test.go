@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ctrlgen"
+	"repro/internal/designs"
+	"repro/internal/relsched"
+)
+
+func TestWriteVCD(t *testing.T) {
+	res, err := designs.GCD().Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	s := New(res, gcdStim(5, 24, 36), ctrlgen.Counter, relsched.IrredundantAnchors)
+	end, err := s.Run(10000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteVCD(&buf, 0, end+1); err != nil {
+		t.Fatalf("WriteVCD: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module gcd", "$enddefinitions",
+		"$var wire 8", "$var wire 1", // vector and scalar ports
+		"b1100 ", // result = 12 in binary
+		"#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The restart fall at cycle 5 must appear as a timestamped change.
+	if !strings.Contains(out, "#5") {
+		t.Error("VCD missing the cycle-5 timestamp")
+	}
+	// Undriven outputs start as x.
+	if !strings.Contains(out, "bx ") && !strings.Contains(out, "x%") {
+		if !strings.Contains(out, "bx") {
+			t.Error("VCD should mark undriven vectors as x")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteWaveform renders a Fig. 14-style ASCII waveform of the simulation:
+// one row per signal (sampled input ports and driven output ports), one
+// column per cycle. Input rows come from the stimulus; output rows show
+// the last driven value, with '.' before the first write. Event markers
+// (r = read sampled here, w = write driven here) annotate a second line
+// per port.
+func (s *Simulator) WriteWaveform(w io.Writer, from, to int) error {
+	bw := bufio.NewWriter(w)
+	proc := s.res.Process
+
+	var inPorts, outPorts []string
+	for _, p := range proc.Ports {
+		if p.Dir.String() == "in" {
+			inPorts = append(inPorts, p.Name)
+		} else {
+			outPorts = append(outPorts, p.Name)
+		}
+	}
+	sort.Strings(inPorts)
+	sort.Strings(outPorts)
+
+	width := 0
+	for _, p := range proc.Ports {
+		if len(p.Name) > width {
+			width = len(p.Name)
+		}
+	}
+
+	fmt.Fprintf(bw, "%*s |", width, "cycle")
+	for c := from; c <= to; c++ {
+		fmt.Fprintf(bw, "%4d", c)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "%s-+%s\n", strings.Repeat("-", width), strings.Repeat("----", to-from+1))
+
+	for _, p := range inPorts {
+		fmt.Fprintf(bw, "%*s |", width, p)
+		for c := from; c <= to; c++ {
+			fmt.Fprintf(bw, "%4d", s.stim.Sample(p, c))
+		}
+		fmt.Fprintln(bw)
+		s.markerRow(bw, width, p, EvRead, from, to)
+	}
+	for _, p := range outPorts {
+		// Reconstruct the driven value over time from write events.
+		writes := map[int]int64{}
+		for _, e := range s.Events() {
+			if e.Kind == EvWrite && e.Port == p {
+				writes[e.Cycle] = e.Value
+			}
+		}
+		fmt.Fprintf(bw, "%*s |", width, p)
+		var cur int64
+		driven := false
+		for c := from; c <= to; c++ {
+			if v, ok := writes[c]; ok {
+				cur = v
+				driven = true
+			}
+			if driven {
+				fmt.Fprintf(bw, "%4d", cur)
+			} else {
+				fmt.Fprintf(bw, "%4s", ".")
+			}
+		}
+		fmt.Fprintln(bw)
+		s.markerRow(bw, width, p, EvWrite, from, to)
+	}
+	return bw.Flush()
+}
+
+// markerRow prints r/w markers for a port's events.
+func (s *Simulator) markerRow(bw *bufio.Writer, width int, port string, kind EventKind, from, to int) {
+	marks := map[int]bool{}
+	for _, e := range s.Events() {
+		if e.Kind == kind && e.Port == port {
+			marks[e.Cycle] = true
+		}
+	}
+	if len(marks) == 0 {
+		return
+	}
+	sym := "r"
+	if kind == EvWrite {
+		sym = "w"
+	}
+	fmt.Fprintf(bw, "%*s |", width, "")
+	for c := from; c <= to; c++ {
+		if marks[c] {
+			fmt.Fprintf(bw, "%4s", sym)
+		} else {
+			fmt.Fprintf(bw, "%4s", "")
+		}
+	}
+	fmt.Fprintln(bw)
+}

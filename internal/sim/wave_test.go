@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ctrlgen"
+	"repro/internal/designs"
+	"repro/internal/relsched"
+)
+
+func TestWriteWaveform(t *testing.T) {
+	res, err := designs.GCD().Synthesize()
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	s := New(res, gcdStim(5, 24, 36), ctrlgen.Counter, relsched.IrredundantAnchors)
+	if _, err := s.Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteWaveform(&buf, 0, 12); err != nil {
+		t.Fatalf("WriteWaveform: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cycle", "restart", "xin", "yin", "result"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waveform missing %q:\n%s", want, out)
+		}
+	}
+	// The result row must show '.' before the write and 12 after it.
+	lines := strings.Split(out, "\n")
+	var resultLine string
+	for _, l := range lines {
+		if strings.Contains(l, "result |") {
+			resultLine = l
+		}
+	}
+	if resultLine == "" {
+		t.Fatalf("no result row:\n%s", out)
+	}
+	if !strings.Contains(resultLine, ".") || !strings.Contains(resultLine, "12") {
+		t.Errorf("result row malformed: %q", resultLine)
+	}
+	// Read markers: one r in the yin block at cycle 5 and one in xin at 6.
+	if strings.Count(out, " r") < 2 {
+		t.Errorf("expected read markers:\n%s", out)
+	}
+}

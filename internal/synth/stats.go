@@ -1,0 +1,69 @@
+package synth
+
+import "repro/internal/relsched"
+
+// AnchorStats aggregates the anchor-set and offset statistics the paper
+// reports in Tables III and IV, over every graph of a design's hierarchy
+// ("the values in the table are based on results for the entire graph").
+type AnchorStats struct {
+	// Anchors is |A|: all source vertices plus all unbounded-delay
+	// operations across the hierarchy. Vertices is |V|.
+	Anchors  int
+	Vertices int
+	// TotalFull and TotalIrredundant are Σ_v |A(v)| and Σ_v |IR(v)|
+	// (Table III); the averages divide by Vertices.
+	TotalFull        int
+	TotalIrredundant int
+	// MaxFull/SumMaxFull are max_a σ_a^max and Σ_a σ_a^max over the full
+	// anchor sets; the Irredundant pair uses the minimum anchor sets
+	// (Table IV).
+	MaxFull           int
+	SumMaxFull        int
+	MaxIrredundant    int
+	SumMaxIrredundant int
+}
+
+// AvgFull returns TotalFull / Vertices.
+func (s AnchorStats) AvgFull() float64 {
+	if s.Vertices == 0 {
+		return 0
+	}
+	return float64(s.TotalFull) / float64(s.Vertices)
+}
+
+// AvgIrredundant returns TotalIrredundant / Vertices.
+func (s AnchorStats) AvgIrredundant() float64 {
+	if s.Vertices == 0 {
+		return 0
+	}
+	return float64(s.TotalIrredundant) / float64(s.Vertices)
+}
+
+// Stats aggregates anchor statistics over the whole hierarchy.
+func (r *Result) Stats() AnchorStats {
+	var st AnchorStats
+	for _, g := range r.Order {
+		gr := r.Graphs[g]
+		sched := gr.Schedule
+		st.Anchors += len(sched.Info.List)
+		st.Vertices += gr.CG.N()
+		f, _, ir := sched.Info.TotalSizes()
+		st.TotalFull += f
+		st.TotalIrredundant += ir
+		for _, a := range sched.Info.List {
+			if m, ok := sched.MaxOffset(a, relsched.FullAnchors); ok {
+				st.SumMaxFull += m
+				if m > st.MaxFull {
+					st.MaxFull = m
+				}
+			}
+			if m, ok := sched.MaxOffset(a, relsched.IrredundantAnchors); ok {
+				st.SumMaxIrredundant += m
+				if m > st.MaxIrredundant {
+					st.MaxIrredundant = m
+				}
+			}
+		}
+	}
+	return st
+}

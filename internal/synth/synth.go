@@ -1,0 +1,188 @@
+// Package synth drives the Hebe-style structural synthesis flow the paper
+// integrates with (§VII): a parsed HardwareC process is lowered to a
+// hierarchical sequencing graph, operations are bound to modules,
+// resource conflicts are serialized under the timing constraints, and
+// each graph of the hierarchy is relative-scheduled bottom-up. The result
+// carries, per graph, the constraint graph, the minimum relative schedule,
+// and the derived latency (bounded or unbounded) that feeds the parent
+// graph's vertex delay.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/bind"
+	"repro/internal/cg"
+	"repro/internal/hcl"
+	"repro/internal/relsched"
+	"repro/internal/seq"
+)
+
+// Options configures synthesis.
+type Options struct {
+	// Library is the module library; nil selects bind.Default().
+	Library *bind.Library
+	// Limits caps module instances per class (0/absent = unlimited).
+	Limits map[string]int
+	// ResolveMode selects heuristic or exact conflict resolution.
+	ResolveMode bind.ResolveMode
+	// Decompose lowers compound expressions into three-address ALU
+	// operations — the fine granularity Hercules schedules at.
+	Decompose bool
+	// Fold applies constant folding and algebraic simplification to the
+	// behavior before graph construction (the Hercules "behavioral
+	// optimization" step of §VII).
+	Fold bool
+}
+
+// GraphResult is the synthesis outcome for one sequencing graph of the
+// hierarchy.
+type GraphResult struct {
+	Seq     *seq.Graph
+	Binding *bind.Binding
+	// Serial lists the serializing dependencies added by conflict
+	// resolution (op-ID pairs).
+	Serial [][2]int
+	// CG is the constraint graph the schedule was computed on.
+	CG *cg.Graph
+	// VID maps op IDs to constraint-graph vertices.
+	VID []cg.VertexID
+	// Schedule is the minimum relative schedule of CG.
+	Schedule *relsched.Schedule
+	// Latency is the graph's execution delay as seen by its parent:
+	// bounded (the zero-profile sink start time) when the graph has no
+	// anchors besides its source, unbounded otherwise.
+	Latency cg.Delay
+}
+
+// Result is the synthesis outcome for a whole process.
+type Result struct {
+	Process *hcl.Process
+	Top     *seq.Graph
+	// Graphs maps every graph in the hierarchy to its result, and Order
+	// lists them in post-order (children before parents).
+	Graphs map[*seq.Graph]*GraphResult
+	Order  []*seq.Graph
+}
+
+// TopResult returns the root graph's result.
+func (r *Result) TopResult() *GraphResult { return r.Graphs[r.Top] }
+
+// Synthesize runs the full flow on a parsed process.
+func Synthesize(p *hcl.Process, opts Options) (*Result, error) {
+	if opts.Fold {
+		p = hcl.FoldProcess(p)
+	}
+	top, err := seq.FromProcessOpts(p, seq.BuildOptions{Decompose: opts.Decompose})
+	if err != nil {
+		return nil, err
+	}
+	return SynthesizeGraph(p, top, opts)
+}
+
+// SynthesizeSource parses HardwareC source and synthesizes it.
+func SynthesizeSource(src string, opts Options) (*Result, error) {
+	p, err := hcl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(p, opts)
+}
+
+// SynthesizeGraph runs binding, conflict resolution, and hierarchical
+// bottom-up relative scheduling on an already-built sequencing graph.
+func SynthesizeGraph(p *hcl.Process, top *seq.Graph, opts Options) (*Result, error) {
+	if opts.Library == nil {
+		opts.Library = bind.Default()
+	}
+	r := &Result{Process: p, Top: top, Graphs: map[*seq.Graph]*GraphResult{}}
+	// Post-order: children first, so parent delayOf can consult child
+	// latencies.
+	var post func(g *seq.Graph) error
+	post = func(g *seq.Graph) error {
+		for _, c := range g.Children() {
+			if err := post(c); err != nil {
+				return err
+			}
+		}
+		gr, err := synthOne(g, opts, r)
+		if err != nil {
+			return err
+		}
+		r.Graphs[g] = gr
+		r.Order = append(r.Order, g)
+		return nil
+	}
+	if err := post(top); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// delayFn builds the DelayFn for one graph against already-synthesized
+// children.
+func delayFn(b *bind.Binding, r *Result) seq.DelayFn {
+	return func(o *seq.Op) cg.Delay {
+		switch o.Kind {
+		case seq.OpNop:
+			return cg.Cycles(0)
+		case seq.OpLoop:
+			// Data-dependent iteration: unbounded (§I).
+			return cg.UnboundedDelay()
+		case seq.OpCall:
+			// A procedure call takes its body's latency.
+			return r.Graphs[o.Body].Latency
+		case seq.OpCond:
+			thenLat := cg.Cycles(0)
+			if o.Then != nil {
+				thenLat = r.Graphs[o.Then].Latency
+			}
+			elseLat := cg.Cycles(0)
+			if o.Else != nil {
+				elseLat = r.Graphs[o.Else].Latency
+			}
+			if thenLat.Bounded() && elseLat.Bounded() && thenLat.Value() == elseLat.Value() {
+				return thenLat
+			}
+			// Unequal or unbounded branches: the conditional's delay is
+			// data-dependent, hence unbounded.
+			return cg.UnboundedDelay()
+		default:
+			return cg.Cycles(b.Delay(o))
+		}
+	}
+}
+
+func synthOne(g *seq.Graph, opts Options, r *Result) (*GraphResult, error) {
+	binding, err := bind.Bind(g, opts.Library, opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+	delayOf := delayFn(binding, r)
+	serial, err := binding.ResolveConflicts(delayOf, opts.ResolveMode)
+	if err != nil {
+		return nil, fmt.Errorf("synth: graph %s: %w", g.Name, err)
+	}
+	cgr, vid, err := g.ToConstraintGraph(delayOf, serial)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := relsched.Compute(cgr)
+	if err != nil {
+		return nil, fmt.Errorf("synth: graph %s: %w", g.Name, err)
+	}
+	gr := &GraphResult{
+		Seq: g, Binding: binding, Serial: serial,
+		CG: cgr, VID: vid, Schedule: sched,
+	}
+	if len(cgr.Anchors()) == 1 { // only the source vertex
+		t, err := sched.StartTimes(relsched.ZeroProfile(cgr), relsched.IrredundantAnchors)
+		if err != nil {
+			return nil, err
+		}
+		gr.Latency = cg.Cycles(t[cgr.Sink()])
+	} else {
+		gr.Latency = cg.UnboundedDelay()
+	}
+	return gr, nil
+}

@@ -1,0 +1,190 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/bind"
+	"repro/internal/relsched"
+	"repro/internal/seq"
+)
+
+const gcdSource = `
+process gcd (xin, yin, restart, result)
+    in port xin[8], yin[8], restart;
+    out port result[8];
+    boolean x[8], y[8];
+    tag a, b;
+    while (restart)
+        ;
+    {
+        constraint mintime from a to b = 1 cycles;
+        constraint maxtime from a to b = 1 cycles;
+        a: y = read(yin);
+        b: x = read(xin);
+    }
+    if ((x != 0) & (y != 0))
+    {
+        repeat {
+            while (x >= y)
+                x = x - y;
+            < y = x; x = y; >
+        } until (y == 0);
+    }
+    write result = x;
+`
+
+func TestSynthesizeGCD(t *testing.T) {
+	r, err := SynthesizeSource(gcdSource, Options{})
+	if err != nil {
+		t.Fatalf("SynthesizeSource: %v", err)
+	}
+	if r.TopResult() == nil {
+		t.Fatal("no top result")
+	}
+	// Hierarchy: 5 graphs, children scheduled before parents.
+	if len(r.Order) != 5 {
+		t.Fatalf("graphs = %d, want 5", len(r.Order))
+	}
+	seen := map[*seq.Graph]bool{}
+	for _, g := range r.Order {
+		for _, c := range g.Children() {
+			if !seen[c] {
+				t.Errorf("child %s scheduled after parent %s", c.Name, g.Name)
+			}
+		}
+		seen[g] = true
+	}
+	// The top graph has unbounded latency (it waits on restart).
+	if r.TopResult().Latency.Bounded() {
+		t.Error("gcd top latency should be unbounded")
+	}
+	// The inner while body (one subtraction) is bounded with latency 1.
+	for _, g := range r.Order {
+		gr := r.Graphs[g]
+		if len(gr.CG.Anchors()) == 1 && !gr.Latency.Bounded() {
+			t.Errorf("graph %s: anchor-free graph must have bounded latency", g.Name)
+		}
+	}
+	// Every schedule verifies.
+	for _, g := range r.Order {
+		if err := relsched.Verify(r.Graphs[g].Schedule); err != nil {
+			t.Errorf("graph %s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestGCDReadOffsets(t *testing.T) {
+	// The mintime/maxtime = 1 pair pins the xin read exactly one cycle
+	// after the yin read in the relative schedule.
+	r, err := SynthesizeSource(gcdSource, Options{})
+	if err != nil {
+		t.Fatalf("SynthesizeSource: %v", err)
+	}
+	top := r.TopResult()
+	var yv, xv = -1, -1
+	for _, o := range top.Seq.Ops {
+		if o.Tag == "a" {
+			yv = int(top.VID[o.ID])
+		}
+		if o.Tag == "b" {
+			xv = int(top.VID[o.ID])
+		}
+	}
+	if yv < 0 || xv < 0 {
+		t.Fatal("tagged reads not found")
+	}
+	s := top.Schedule
+	for _, a := range s.Info.List {
+		oy, oky := s.Offset(a, top.CG.Vertices()[yv].ID, relsched.FullAnchors)
+		ox, okx := s.Offset(a, top.CG.Vertices()[xv].ID, relsched.FullAnchors)
+		if oky && okx && ox != oy+1 {
+			t.Errorf("anchor %s: σ(read x)=%d, want σ(read y)+1=%d", top.CG.Name(a), ox, oy+1)
+		}
+	}
+}
+
+func TestStatsMonotone(t *testing.T) {
+	r, err := SynthesizeSource(gcdSource, Options{})
+	if err != nil {
+		t.Fatalf("SynthesizeSource: %v", err)
+	}
+	st := r.Stats()
+	if st.Vertices <= 0 || st.Anchors <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.TotalIrredundant > st.TotalFull {
+		t.Errorf("ΣIR %d > ΣA %d", st.TotalIrredundant, st.TotalFull)
+	}
+	if st.MaxIrredundant > st.MaxFull || st.SumMaxIrredundant > st.SumMaxFull {
+		t.Errorf("offset stats grew under irredundant sets: %+v", st)
+	}
+	if st.AvgFull() < st.AvgIrredundant() {
+		t.Errorf("average anchor set grew after redundancy removal")
+	}
+}
+
+func TestResourceLimitsSerialize(t *testing.T) {
+	src := `
+process p (a0, a1, a2, a3, o)
+    in port a0[8], a1[8], a2[8], a3[8];
+    out port o[8];
+    boolean w[8], x[8], y[8], z[8];
+    w = a0 + 1;
+    x = a1 + 1;
+    y = a2 + 1;
+    z = a3 + 1;
+    write o = (w | x) & (y | z);
+`
+	free, err := SynthesizeSource(src, Options{})
+	if err != nil {
+		t.Fatalf("unlimited: %v", err)
+	}
+	shared, err := SynthesizeSource(src, Options{
+		Limits:      map[string]int{"add": 1},
+		ResolveMode: bind.Exact,
+	})
+	if err != nil {
+		t.Fatalf("limited: %v", err)
+	}
+	lf := free.TopResult().Latency
+	ls := shared.TopResult().Latency
+	if !lf.Bounded() || !ls.Bounded() {
+		t.Fatal("latencies should be bounded")
+	}
+	if ls.Value() <= lf.Value() {
+		t.Errorf("sharing one adder should lengthen the schedule: %d vs %d", ls.Value(), lf.Value())
+	}
+	if len(shared.TopResult().Serial) == 0 {
+		t.Error("sharing must introduce serializations")
+	}
+}
+
+func TestSynthesizeSourceParseError(t *testing.T) {
+	if _, err := SynthesizeSource("process oops (", Options{}); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestFoldShrinksGraphs(t *testing.T) {
+	src := `
+process p (i, o)
+    in port i[8];
+    out port o[8];
+    boolean v[8];
+    v = read(i);
+    v = v + (3 - 3) + 2 * 2;
+    write o = v * 1;
+`
+	plain, err := SynthesizeSource(src, Options{Decompose: true})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	folded, err := SynthesizeSource(src, Options{Decompose: true, Fold: true})
+	if err != nil {
+		t.Fatalf("folded: %v", err)
+	}
+	if folded.Top.CountOps() >= plain.Top.CountOps() {
+		t.Errorf("folding did not shrink the graph: %d vs %d",
+			folded.Top.CountOps(), plain.Top.CountOps())
+	}
+}
