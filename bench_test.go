@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/cg"
 	"repro/internal/ctrlgen"
 	"repro/internal/designs"
+	"repro/internal/engine"
 	"repro/internal/paperex"
 	"repro/internal/randgraph"
 	"repro/internal/relsched"
@@ -277,6 +279,79 @@ func BenchmarkEndToEnd_AllDesigns(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkEngineBatch compares the three ways of scheduling the eight
+// paper designs' constraint-graph hierarchies R times over (the what-if
+// re-run workload): one-at-a-time relsched.Compute, the engine's worker
+// pool with memoization disabled, and the pooled engine with memoized
+// anchor analysis. See TestEngineBenchArtifact for the BENCH_engine.json
+// artifact derived from the same workload.
+func BenchmarkEngineBatch(b *testing.B) {
+	jobs := paperDesignJobs(b)
+	const rounds = 8
+	workload := repeatJobs(jobs, rounds)
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, j := range workload {
+				if _, err := relsched.Compute(j.Graph); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		e := engine.New(engine.Options{DisableCache: true})
+		for i := 0; i < b.N; i++ {
+			for _, r := range e.RunAll(context.Background(), workload) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("pooled+memoized", func(b *testing.B) {
+		e := engine.New(engine.Options{CacheCapacity: 2 * len(jobs)})
+		for i := 0; i < b.N; i++ {
+			for _, r := range e.RunAll(context.Background(), workload) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}
+
+// paperDesignJobs synthesizes the eight paper designs once and returns one
+// engine job per constraint graph in their hierarchies, labelled
+// design/graph-index.
+func paperDesignJobs(tb testing.TB) []engine.Job {
+	tb.Helper()
+	var jobs []engine.Job
+	for _, d := range designs.All() {
+		r, err := d.Synthesize()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for i, g := range r.Order {
+			jobs = append(jobs, engine.Job{
+				ID:    fmt.Sprintf("%s/%d", d.Name, i),
+				Graph: r.Graphs[g].CG,
+			})
+		}
+	}
+	return jobs
+}
+
+// repeatJobs concatenates rounds copies of the job list, modelling
+// repeated what-if re-scheduling of the same designs.
+func repeatJobs(jobs []engine.Job, rounds int) []engine.Job {
+	out := make([]engine.Job, 0, len(jobs)*rounds)
+	for r := 0; r < rounds; r++ {
+		out = append(out, jobs...)
+	}
+	return out
 }
 
 // pregenerate builds a pool of schedulable random graphs for a config.

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cgio"
+	"repro/internal/engine"
+	"repro/internal/relsched"
+)
+
+// batchUsage documents the batch subcommand.
+const batchUsage = `usage: relsched batch [flags] [dir | graph.cg ...]
+
+Schedules many constraint graphs concurrently on a worker pool with
+memoized anchor analysis (see internal/engine). Inputs are .cg files in
+the text format, given as files, directories (scanned for *.cg), or a
+JSONL manifest of jobs.
+
+flags:
+  -manifest file   JSONL manifest; one {"id","path","wellpose"} object per line
+  -workers n       worker-pool size (default GOMAXPROCS)
+  -repeat n        schedule the whole workload n times (default 1); repeats
+                   exercise the memoization layer the way what-if re-runs do
+  -wellpose        repair ill-posed graphs (makeWellposed) instead of failing
+  -nocache         disable memoization
+  -timeout d       per-job timeout (e.g. 500ms)
+  -mode m          anchor sets for -print: full, relevant, irredundant
+  -print           print each job's offset table
+  -json file       write aggregate timing statistics as JSON
+`
+
+// manifestEntry is one line of a JSONL batch manifest. Path is resolved
+// relative to the manifest file's directory.
+type manifestEntry struct {
+	ID       string `json:"id"`
+	Path     string `json:"path"`
+	WellPose bool   `json:"wellpose,omitempty"`
+}
+
+// batchStats is the aggregate report, also serialized by -json.
+type batchStats struct {
+	Workers     int     `json:"workers"`
+	Repeat      int     `json:"repeat"`
+	Jobs        int     `json:"jobs"`
+	OK          int     `json:"ok"`
+	Failed      int     `json:"failed"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	// WallNS is the end-to-end batch wall time; CPUNs sums the per-job
+	// engine durations across workers.
+	WallNS        int64   `json:"wall_ns"`
+	CPUNs         int64   `json:"cpu_ns"`
+	JobsPerSecond float64 `json:"jobs_per_second"`
+}
+
+// runBatch implements `relsched batch`.
+func runBatch(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	fs.Usage = func() { fmt.Fprint(os.Stderr, batchUsage) }
+	manifest := fs.String("manifest", "", "JSONL job manifest")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	repeat := fs.Int("repeat", 1, "schedule the workload this many times")
+	wellpose := fs.Bool("wellpose", false, "repair ill-posed graphs first")
+	nocache := fs.Bool("nocache", false, "disable memoization")
+	timeout := fs.Duration("timeout", 0, "per-job timeout")
+	modeName := fs.String("mode", "irredundant", "anchor sets for -print")
+	print := fs.Bool("print", false, "print each job's offset table")
+	jsonPath := fs.String("json", "", "write aggregate stats JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		return err
+	}
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be >= 1")
+	}
+
+	base, err := collectJobs(*manifest, fs.Args(), *wellpose)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("no input graphs (want .cg files, a directory, or -manifest)")
+	}
+	jobs := make([]engine.Job, 0, len(base)*(*repeat))
+	for r := 0; r < *repeat; r++ {
+		jobs = append(jobs, base...)
+	}
+
+	e := engine.New(engine.Options{
+		Workers:       *workers,
+		DisableCache:  *nocache,
+		JobTimeout:    *timeout,
+		CacheCapacity: 2 * len(base),
+	})
+	start := time.Now()
+	results := e.RunAll(context.Background(), jobs)
+	wall := time.Since(start)
+
+	stats := batchStats{Workers: e.Workers(), Repeat: *repeat, Jobs: len(jobs)}
+	for _, res := range results {
+		stats.CPUNs += res.Duration.Nanoseconds()
+		if res.Err != nil {
+			stats.Failed++
+			fmt.Fprintf(stdout, "FAIL %-20s %v\n", res.JobID, res.Err)
+			continue
+		}
+		stats.OK++
+		hit := ""
+		if res.CacheHit {
+			hit = " (cached)"
+		}
+		fmt.Fprintf(stdout, "ok   %-20s anchors=%d iterations=%d %v%s\n",
+			res.JobID, res.Info.NumAnchors(), res.Schedule.Iterations, res.Duration.Round(time.Microsecond), hit)
+		if *print {
+			if err := cgio.WriteOffsets(stdout, res.Schedule, mode); err != nil {
+				return err
+			}
+		}
+	}
+	cs := e.Stats()
+	stats.CacheHits, stats.CacheMisses, stats.HitRate = cs.Hits, cs.Misses, cs.HitRate()
+	stats.WallNS = wall.Nanoseconds()
+	if wall > 0 {
+		stats.JobsPerSecond = float64(len(jobs)) / wall.Seconds()
+	}
+
+	fmt.Fprintf(stdout, "\n%d jobs (%d ok, %d failed) on %d workers in %v — %.0f jobs/s, cache %d/%d hits (%.0f%%)\n",
+		stats.Jobs, stats.OK, stats.Failed, stats.Workers, wall.Round(time.Microsecond),
+		stats.JobsPerSecond, stats.CacheHits, stats.CacheHits+stats.CacheMisses, 100*stats.HitRate)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if stats.Failed > 0 {
+		return fmt.Errorf("%d job(s) failed", stats.Failed)
+	}
+	return nil
+}
+
+// collectJobs resolves manifest entries and positional file/dir arguments
+// into engine jobs, parsing each distinct graph file exactly once so
+// repeated workloads share graph values (and therefore O(1) fingerprints).
+func collectJobs(manifest string, args []string, wellpose bool) ([]engine.Job, error) {
+	var jobs []engine.Job
+	if manifest != "" {
+		entries, err := readManifest(manifest)
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Dir(manifest)
+		for _, ent := range entries {
+			path := ent.Path
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(dir, path)
+			}
+			g, err := cgio.ParseFile(path)
+			if err != nil {
+				return nil, err
+			}
+			id := ent.ID
+			if id == "" {
+				id = strings.TrimSuffix(filepath.Base(path), ".cg")
+			}
+			jobs = append(jobs, engine.Job{ID: id, Graph: g, WellPose: ent.WellPose || wellpose})
+		}
+	}
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		var paths []string
+		if info.IsDir() {
+			paths, err = filepath.Glob(filepath.Join(arg, "*.cg"))
+			if err != nil {
+				return nil, err
+			}
+			sort.Strings(paths)
+		} else {
+			paths = []string{arg}
+		}
+		for _, path := range paths {
+			g, err := cgio.ParseFile(path)
+			if err != nil {
+				return nil, err
+			}
+			id := strings.TrimSuffix(filepath.Base(path), ".cg")
+			jobs = append(jobs, engine.Job{ID: id, Graph: g, WellPose: wellpose})
+		}
+	}
+	return jobs, nil
+}
+
+// readManifest parses a JSONL manifest, skipping blank and '#' lines.
+func readManifest(path string) ([]manifestEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []manifestEntry
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ent manifestEntry
+		if err := json.Unmarshal([]byte(text), &ent); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if ent.Path == "" {
+			return nil, fmt.Errorf("%s:%d: manifest entry missing \"path\"", path, line)
+		}
+		entries = append(entries, ent)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// parseMode maps a -mode flag value to an AnchorMode.
+func parseMode(name string) (relsched.AnchorMode, error) {
+	switch name {
+	case "full":
+		return relsched.FullAnchors, nil
+	case "relevant":
+		return relsched.RelevantAnchors, nil
+	case "irredundant":
+		return relsched.IrredundantAnchors, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const illPosedText = `
+vertex a unbounded
+vertex x delay=2
+vertex y delay=1
+vertex sink delay=0
+seq v0 a
+seq a x
+seq v0 y
+seq x sink
+seq y sink
+max y x 5
+`
+
+func writeBatchDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, text := range map[string]string{
+		"fig2.cg":  fig2Text,
+		"fig2b.cg": fig2Text,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestBatchDirectory(t *testing.T) {
+	dir := writeBatchDir(t)
+	jsonPath := filepath.Join(dir, "stats.json")
+	var out bytes.Buffer
+	err := runBatch([]string{"-repeat", "3", "-workers", "2", "-json", jsonPath, dir}, &out)
+	if err != nil {
+		t.Fatalf("runBatch: %v\n%s", err, out.String())
+	}
+	var stats batchStats
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	// 2 files × 3 repeats; the two files have identical content, so only
+	// the very first job misses the cache.
+	if stats.Jobs != 6 || stats.OK != 6 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v, want 6 ok jobs", stats)
+	}
+	if stats.CacheHits != 5 || stats.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 5/1", stats.CacheHits, stats.CacheMisses)
+	}
+	if stats.Workers != 2 {
+		t.Errorf("workers = %d, want 2", stats.Workers)
+	}
+	if !strings.Contains(out.String(), "(cached)") {
+		t.Error("output never marked a cached result")
+	}
+}
+
+func TestBatchManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fig2.cg"), []byte(fig2Text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ill.cg"), []byte(illPosedText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "jobs.jsonl")
+	lines := `# comment lines and blanks are skipped
+{"id": "fig2", "path": "fig2.cg"}
+
+{"id": "repaired", "path": "ill.cg", "wellpose": true}
+`
+	if err := os.WriteFile(manifest, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runBatch([]string{"-manifest", manifest}, &out); err != nil {
+		t.Fatalf("runBatch: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"ok   fig2", "ok   repaired"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBatchFailurePropagates(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ill.cg"), []byte(illPosedText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// Without -wellpose the ill-posed graph must fail the batch.
+	if err := runBatch([]string{dir}, &out); err == nil {
+		t.Fatalf("ill-posed batch succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL ill") {
+		t.Errorf("output missing failure line:\n%s", out.String())
+	}
+}
+
+func TestBatchNoInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := runBatch(nil, &out); err == nil {
+		t.Fatal("empty batch succeeded")
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	relsched [flags] [graph.cg]
+//	relsched batch [flags] [dir | graph.cg ...]
 //
 // With no file argument the graph is read from standard input.
 //
@@ -13,6 +14,10 @@
 //	-wellpose                         repair an ill-posed graph first (makeWellposed)
 //	-profile a=3,b=0                  evaluate start times under a delay profile
 //	-control counter|shift            print the generated control logic
+//
+// The batch subcommand schedules many graphs concurrently on the
+// internal/engine worker pool with memoized anchor analysis; run
+// `relsched batch -h` for its flags.
 package main
 
 import (
@@ -29,6 +34,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		if err := runBatch(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "relsched batch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	mode := flag.String("mode", "irredundant", "anchor sets: full, relevant, or irredundant")
 	trace := flag.Bool("trace", false, "print the per-iteration scheduling trace")
 	wellpose := flag.Bool("wellpose", false, "minimally serialize an ill-posed graph first")
@@ -44,16 +56,9 @@ func main() {
 }
 
 func run(modeName string, trace, wellpose bool, profile, control string, slack bool, args []string) error {
-	var mode relsched.AnchorMode
-	switch modeName {
-	case "full":
-		mode = relsched.FullAnchors
-	case "relevant":
-		mode = relsched.RelevantAnchors
-	case "irredundant":
-		mode = relsched.IrredundantAnchors
-	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+	mode, err := parseMode(modeName)
+	if err != nil {
+		return err
 	}
 
 	in := os.Stdin

@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cgio"
+	"repro/internal/engine"
+	"repro/internal/relsched"
+)
+
+// engineBenchArtifact is the schema of BENCH_engine.json: the measured
+// comparison of sequential, pooled, and pooled+memoized batch scheduling
+// of the eight paper designs (see EXPERIMENTS.md, "Engine throughput").
+type engineBenchArtifact struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	Designs int `json:"designs"`
+	Graphs  int `json:"graphs"`
+	Rounds  int `json:"rounds"`
+	Jobs    int `json:"jobs"`
+
+	SequentialNS     int64 `json:"sequential_ns"`
+	PooledNS         int64 `json:"pooled_ns"`
+	PooledMemoizedNS int64 `json:"pooled_memoized_ns"`
+
+	PooledSpeedup   float64 `json:"pooled_speedup_vs_sequential"`
+	MemoizedSpeedup float64 `json:"pooled_memoized_speedup_vs_sequential"`
+
+	SequentialJobsPerSec float64 `json:"sequential_jobs_per_sec"`
+	PooledJobsPerSec     float64 `json:"pooled_jobs_per_sec"`
+	MemoizedJobsPerSec   float64 `json:"pooled_memoized_jobs_per_sec"`
+
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	IdenticalSchedules bool   `json:"identical_schedules"`
+}
+
+// TestEngineBenchArtifact measures the engine against the sequential
+// baseline on the eight paper designs and writes BENCH_engine.json. The
+// workload repeats every design graph `rounds` times — the what-if re-run
+// shape the memoization layer targets — and the test asserts that (a) all
+// three configurations produce byte-identical offset tables and (b) the
+// pooled+memoized engine is at least 2× faster than the sequential
+// baseline.
+func TestEngineBenchArtifact(t *testing.T) {
+	jobs := paperDesignJobs(t)
+	const rounds = 24
+	workload := repeatJobs(jobs, rounds)
+
+	render := func(s *relsched.Schedule) []byte {
+		var buf bytes.Buffer
+		if err := cgio.WriteOffsets(&buf, s, relsched.IrredundantAnchors); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Untimed warmup so the first measured configuration does not pay
+	// alone for cold CPU caches and allocator growth.
+	for _, j := range jobs {
+		if _, err := relsched.Compute(j.Graph); err != nil {
+			t.Fatalf("%s: %v", j.ID, err)
+		}
+	}
+
+	// Sequential baseline: one relsched.Compute per job, no reuse — what
+	// every caller did before internal/engine existed. Only scheduling is
+	// timed; rendering for the identity check happens outside the clock
+	// in every configuration.
+	seqScheds := make([]*relsched.Schedule, len(workload))
+	seqStart := time.Now()
+	for i, j := range workload {
+		s, err := relsched.Compute(j.Graph)
+		if err != nil {
+			t.Fatalf("%s: %v", j.ID, err)
+		}
+		seqScheds[i] = s
+	}
+	seqNS := time.Since(seqStart)
+	seqOut := make([][]byte, len(workload))
+	for i, s := range seqScheds {
+		seqOut[i] = render(s)
+	}
+
+	run := func(e *engine.Engine) (time.Duration, [][]byte) {
+		start := time.Now()
+		results := e.RunAll(context.Background(), workload)
+		elapsed := time.Since(start)
+		out := make([][]byte, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.JobID, r.Err)
+			}
+			out[i] = render(r.Schedule)
+		}
+		return elapsed, out
+	}
+	pooledNS, pooledOut := run(engine.New(engine.Options{DisableCache: true}))
+	memo := engine.New(engine.Options{CacheCapacity: 2 * len(jobs)})
+	memoNS, memoOut := run(memo)
+
+	identical := true
+	for i := range workload {
+		if !bytes.Equal(seqOut[i], pooledOut[i]) || !bytes.Equal(seqOut[i], memoOut[i]) {
+			identical = false
+			t.Errorf("job %s: engine offsets differ from sequential baseline", workload[i].ID)
+		}
+	}
+
+	stats := memo.Stats()
+	art := engineBenchArtifact{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+
+		Designs: 8,
+		Graphs:  len(jobs),
+		Rounds:  rounds,
+		Jobs:    len(workload),
+
+		SequentialNS:     seqNS.Nanoseconds(),
+		PooledNS:         pooledNS.Nanoseconds(),
+		PooledMemoizedNS: memoNS.Nanoseconds(),
+
+		PooledSpeedup:   float64(seqNS) / float64(pooledNS),
+		MemoizedSpeedup: float64(seqNS) / float64(memoNS),
+
+		SequentialJobsPerSec: float64(len(workload)) / seqNS.Seconds(),
+		PooledJobsPerSec:     float64(len(workload)) / pooledNS.Seconds(),
+		MemoizedJobsPerSec:   float64(len(workload)) / memoNS.Seconds(),
+
+		CacheHits:          stats.Hits,
+		CacheMisses:        stats.Misses,
+		IdenticalSchedules: identical,
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential %v, pooled %v (%.1fx), pooled+memoized %v (%.1fx), cache %d/%d hits",
+		seqNS, pooledNS, art.PooledSpeedup, memoNS, art.MemoizedSpeedup, stats.Hits, stats.Hits+stats.Misses)
+
+	if art.MemoizedSpeedup < 2 {
+		t.Errorf("pooled+memoized speedup %.2fx < 2x acceptance floor", art.MemoizedSpeedup)
+	}
+}

@@ -13,7 +13,8 @@ import (
 	"repro/internal/seq"
 )
 
-// ModuleType characterizes one resource in the library.
+// ModuleType characterizes one resource in the library — a module
+// "characterized a priori in area and execution time" (§II).
 type ModuleType struct {
 	// Class is the operation class the module implements.
 	Class string
@@ -113,7 +114,7 @@ func classifyExpr(e hcl.Expr) string {
 	}
 }
 
-// Instance is one allocated module.
+// Instance is one allocated module of the §II datapath.
 type Instance struct {
 	Type  ModuleType
 	Index int // instance number within the class
@@ -123,7 +124,8 @@ type Instance struct {
 func (i Instance) Name() string { return fmt.Sprintf("%s%d", i.Type.Class, i.Index) }
 
 // Binding maps the datapath operations of one sequencing graph to module
-// instances.
+// instances — the paper's §II binding step, performed before scheduling
+// so that execution delays are known.
 type Binding struct {
 	Graph     *seq.Graph
 	Library   *Library
@@ -153,7 +155,8 @@ func (b *Binding) Delay(o *seq.Op) int {
 }
 
 // Bind allocates module instances for one sequencing graph and assigns
-// every datapath operation to an instance. limits caps the number of
+// every datapath operation to an instance — the binding step of §II that
+// precedes scheduling in the Hebe flow (§VII). limits caps the number of
 // instances per class (0 or absent = unlimited, i.e. no sharing
 // pressure). Assignment is round-robin over ops in a topological-ish
 // order (op ID order), which spreads parallel ops across instances before
@@ -188,7 +191,8 @@ func Bind(g *seq.Graph, lib *Library, limits map[string]int) (*Binding, error) {
 }
 
 // Conflicts returns the pairs of operations that share a module instance
-// but are not ordered by the sequencing dependencies — simultaneous access
+// but are not ordered by the sequencing dependencies — the resource
+// conflicts that §VII resolves by serialization : simultaneous access
 // to a shared resource that must be resolved by serialization.
 func (b *Binding) Conflicts() [][2]int {
 	g := b.Graph

@@ -9,7 +9,8 @@ import (
 	"repro/internal/seq"
 )
 
-// ResolveMode selects the conflict-resolution strategy.
+// ResolveMode selects the strategy for the constrained conflict
+// resolution of §VII.
 type ResolveMode int
 
 const (
@@ -32,9 +33,10 @@ var ErrNoResolution = errors.New("bind: no conflict serialization satisfies the 
 // orientations).
 const maxExactConflicts = 20
 
-// ResolveConflicts serializes the operations that share module instances
-// without an ordering, returning the serializing dependency pairs to add
-// to the sequencing graph. delayOf supplies execution delays (hierarchical
+// ResolveConflicts performs the constrained conflict resolution of §VII:
+// it serializes the operations that share module instances without an
+// ordering, returning the serializing dependency pairs to add to the
+// sequencing graph. delayOf supplies execution delays (hierarchical
 // ops included). The returned orientation always yields a schedulable
 // constraint graph; ErrNoResolution is returned when none exists.
 func (b *Binding) ResolveConflicts(delayOf seq.DelayFn, mode ResolveMode) ([][2]int, error) {

@@ -31,7 +31,8 @@ type VertexID int
 // None is the sentinel returned by queries that can fail to find a vertex.
 const None VertexID = -1
 
-// Delay is the execution delay of an operation in clock cycles. A delay is
+// Delay is the execution delay δ(v) of an operation in clock cycles (§II
+// of the paper). A delay is
 // either bounded (a fixed non-negative cycle count) or unbounded (unknown
 // at compile time, taking any value in [0, ∞)).
 type Delay struct {
@@ -48,7 +49,8 @@ func Cycles(n int) Delay {
 	return Delay{bounded: true, cycles: n}
 }
 
-// UnboundedDelay returns the unbounded execution delay δ ∈ [0, ∞).
+// UnboundedDelay returns the unbounded execution delay δ ∈ [0, ∞); vertices
+// carrying it are the anchors of Definition 2.
 func UnboundedDelay() Delay { return Delay{} }
 
 // Bounded reports whether the delay is known at compile time.
@@ -80,7 +82,8 @@ func (d Delay) String() string {
 	return "δ"
 }
 
-// Vertex is one operation in the constraint graph.
+// Vertex is one operation in the constraint graph — an element of V in the
+// paper's G(V, E) model of §III.
 type Vertex struct {
 	ID    VertexID
 	Name  string
@@ -123,7 +126,8 @@ func (k EdgeKind) String() string {
 // set E_f. Backward edges (maximum timing constraints) form E_b.
 func (k EdgeKind) Forward() bool { return k != MaxConstraint }
 
-// Edge is a weighted directed edge of the constraint graph.
+// Edge is a weighted directed edge of the constraint graph — a member of
+// E_f or E_b in the §III model; Kind records its Table I origin.
 type Edge struct {
 	From, To VertexID
 	Kind     EdgeKind
@@ -153,7 +157,8 @@ func (e Edge) String() string {
 	return fmt.Sprintf("%d-%s(%s)->%d", e.From, e.Kind, w, e.To)
 }
 
-// Graph is a polar weighted directed constraint graph under construction
+// Graph is a polar weighted directed constraint graph — the G(V, E) model
+// of §III — under construction
 // or in use. The zero value is not usable; call New.
 //
 // Graph methods are not safe for concurrent mutation; concurrent read-only
@@ -164,6 +169,11 @@ type Graph struct {
 	out      [][]int // vertex -> indices into edges (all kinds)
 	in       [][]int
 	frozen   bool
+
+	// generation counts structural mutations (vertex, edge, or constraint
+	// additions) so external analysis caches can detect staleness without
+	// re-reading the whole graph. See Generation.
+	generation uint64
 
 	// caches built by Freeze
 	topo    []VertexID // topological order of the forward subgraph
@@ -179,7 +189,8 @@ func New() *Graph {
 	return g
 }
 
-// Source returns the ID of the source vertex (always 0).
+// Source returns the ID of the source vertex (always 0) — the polar
+// source of §III, itself an anchor by Definition 2.
 func (g *Graph) Source() VertexID { return 0 }
 
 // N returns the number of vertices.
@@ -221,8 +232,8 @@ func (g *Graph) addVertex(name string, d Delay) VertexID {
 	return id
 }
 
-// AddOp adds an operation vertex with a bounded or unbounded delay and
-// returns its ID. It panics if the graph has been frozen.
+// AddOp adds an operation vertex of the paper's §II model, with a bounded
+// or unbounded delay, and returns its ID. It panics if the graph has been frozen.
 func (g *Graph) AddOp(name string, d Delay) VertexID {
 	g.mutable()
 	g.invalidate()
@@ -236,9 +247,19 @@ func (g *Graph) mutable() {
 }
 
 func (g *Graph) invalidate() {
+	g.generation++
 	g.topo = nil
 	g.anchors = nil
 }
+
+// Generation returns a counter that increases on every structural mutation
+// of the graph: AddOp, AddSeq, AddMin, AddMax, and AddSerialization all
+// bump it. External memoization layers (internal/engine) key cached
+// analyses on the pair (graph identity, generation): a cached result is
+// stale exactly when the generation has moved on, so staleness detection
+// is O(1) instead of a structural re-hash. Frozen graphs cannot mutate, so
+// their generation is fixed for life.
+func (g *Graph) Generation() uint64 { return g.generation }
 
 func (g *Graph) addEdge(e Edge) int {
 	g.check(e.From)
@@ -260,7 +281,8 @@ func (g *Graph) check(id VertexID) {
 }
 
 // AddSeq adds a sequencing dependency edge from v_i to v_j with weight
-// δ(v_i). If v_i has unbounded delay the edge weight is unbounded.
+// δ(v_i), per Table I. If v_i has unbounded delay the edge weight is
+// unbounded.
 func (g *Graph) AddSeq(from, to VertexID) {
 	g.mutable()
 	g.invalidate()
@@ -275,8 +297,8 @@ func (g *Graph) AddSeq(from, to VertexID) {
 }
 
 // AddMin adds a minimum timing constraint σ(v_j) ≥ σ(v_i) + l as a forward
-// edge (v_i, v_j) of weight l. It panics if l is negative; a zero minimum
-// constraint is legal and models simultaneity lower bounds.
+// edge (v_i, v_j) of weight l, per Table I. It panics if l is negative; a
+// zero minimum constraint is legal and models simultaneity lower bounds.
 func (g *Graph) AddMin(from, to VertexID, l int) {
 	g.mutable()
 	g.invalidate()
@@ -287,7 +309,8 @@ func (g *Graph) AddMin(from, to VertexID, l int) {
 }
 
 // AddMax adds a maximum timing constraint σ(v_j) ≤ σ(v_i) + u as a
-// backward edge (v_j, v_i) of weight -u. It panics if u is negative.
+// backward edge (v_j, v_i) of weight -u, per Table I. It panics if u is
+// negative.
 func (g *Graph) AddMax(from, to VertexID, u int) {
 	g.mutable()
 	g.invalidate()
@@ -298,7 +321,8 @@ func (g *Graph) AddMax(from, to VertexID, u int) {
 }
 
 // AddSerialization adds the forward edge from an anchor a to vertex v used
-// by MakeWellPosed, with unbounded weight δ(a). It panics unless a has
+// by MakeWellPosed (the paper's makeWellposed, Theorem 7), with unbounded
+// weight δ(a). It panics unless a has
 // unbounded delay (only anchors serialize successors this way).
 func (g *Graph) AddSerialization(a, v VertexID) {
 	g.mutable()
@@ -373,13 +397,14 @@ func (g *Graph) Anchors() []VertexID {
 	return a
 }
 
-// IsAnchor reports whether v is an anchor of the graph.
+// IsAnchor reports whether v is an anchor (Definition 2) of the graph.
 func (g *Graph) IsAnchor(v VertexID) bool {
 	return !g.vertices[v].Delay.Bounded()
 }
 
 // Freeze validates the graph and locks it against further mutation.
-// Validation enforces the structural preconditions of relative scheduling:
+// Validation enforces the structural preconditions of relative scheduling
+// (§III):
 // the forward subgraph must be acyclic and the graph polar (every vertex
 // reachable from the source in G_f, and the sink — the unique vertex with
 // no outgoing forward edges — reachable from every vertex).
@@ -412,13 +437,17 @@ func (g *Graph) MustFreeze() *Graph {
 func (g *Graph) Frozen() bool { return g.frozen }
 
 // Clone returns a deep, unfrozen copy of the graph. MakeWellPosed uses
-// clones so the caller's graph is never mutated.
+// clones so the caller's graph is never mutated. The clone inherits the
+// receiver's generation counter; because staleness caches key on graph
+// identity as well as generation, a clone never aliases its parent's
+// cached analyses.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		vertices: append([]Vertex(nil), g.vertices...),
-		edges:    append([]Edge(nil), g.edges...),
-		out:      make([][]int, len(g.out)),
-		in:       make([][]int, len(g.in)),
+		vertices:   append([]Vertex(nil), g.vertices...),
+		edges:      append([]Edge(nil), g.edges...),
+		out:        make([][]int, len(g.out)),
+		in:         make([][]int, len(g.in)),
+		generation: g.generation,
 	}
 	for i := range g.out {
 		c.out[i] = append([]int(nil), g.out[i]...)

@@ -1,0 +1,54 @@
+package cg
+
+import "testing"
+
+// TestGenerationCounter pins the mutation-detection contract that the
+// engine's memoization layer builds on: every structural mutator bumps
+// the generation exactly once, and read-only operations never do.
+func TestGenerationCounter(t *testing.T) {
+	g := New()
+	if g.Generation() != 0 {
+		t.Fatalf("fresh graph generation = %d, want 0", g.Generation())
+	}
+	step := func(name string, mutate func()) {
+		t.Helper()
+		before := g.Generation()
+		mutate()
+		if got := g.Generation(); got != before+1 {
+			t.Errorf("%s: generation %d -> %d, want +1", name, before, got)
+		}
+	}
+	var a, v, w VertexID
+	step("AddOp anchor", func() { a = g.AddOp("a", UnboundedDelay()) })
+	step("AddOp bounded", func() { v = g.AddOp("v", Cycles(2)) })
+	step("AddOp bounded", func() { w = g.AddOp("w", Cycles(1)) })
+	step("AddSeq", func() { g.AddSeq(g.Source(), a) })
+	step("AddSeq", func() { g.AddSeq(a, v) })
+	step("AddSeq", func() { g.AddSeq(v, w) })
+	step("AddMin", func() { g.AddMin(a, w, 1) })
+	step("AddMax", func() { g.AddMax(v, w, 4) })
+	step("AddSerialization", func() { g.AddSerialization(a, w) })
+
+	// Read-only operations and Freeze leave the generation alone.
+	gen := g.Generation()
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	g.Anchors()
+	g.TopoForward()
+	g.LongestForwardFrom(g.Source())
+	g.Sink()
+	if g.Generation() != gen {
+		t.Errorf("read-only use moved generation %d -> %d", gen, g.Generation())
+	}
+
+	// Clones carry the generation forward and diverge independently.
+	c := g.Clone()
+	if c.Generation() != gen {
+		t.Errorf("clone generation = %d, want %d", c.Generation(), gen)
+	}
+	c.AddOp("late", Cycles(1))
+	if c.Generation() != gen+1 || g.Generation() != gen {
+		t.Error("clone mutation leaked into (or missed) a generation counter")
+	}
+}

@@ -8,7 +8,8 @@ const Unreachable = math.MinInt32
 
 // LongestForwardFrom returns, for every vertex, the length of the longest
 // weighted path from src using only forward edges, with unbounded edge
-// weights at their minimum value 0. Unreachable vertices get Unreachable.
+// weights at their minimum value 0 — the length(src, v) quantities of
+// Definition 3 restricted to G_f. Unreachable vertices get Unreachable.
 //
 // The forward subgraph is acyclic so a single relaxation sweep in
 // topological order suffices.
@@ -178,7 +179,8 @@ func (g *Graph) reaches(src, dst VertexID, seen []bool) bool {
 
 // CriticalForwardLength returns the length of the longest forward path
 // from the source to the sink with unbounded weights at 0 — the minimum
-// possible latency of the graph.
+// possible latency of the graph (the fixed-delay latency reported per
+// graph in Table III).
 func (g *Graph) CriticalForwardLength() int {
 	sink := g.Sink()
 	if sink == None {

@@ -11,7 +11,7 @@ import (
 var ErrForwardCycle = errors.New("cg: forward constraint graph is cyclic")
 
 // TopoForward returns a topological order of the vertices with respect to
-// the forward subgraph G_f. It panics if G_f is cyclic; call Freeze first
+// the forward subgraph G_f of §III. It panics if G_f is cyclic; call Freeze first
 // to surface that as an error.
 func (g *Graph) TopoForward() []VertexID {
 	if g.frozen && g.topo != nil {
@@ -61,8 +61,8 @@ func (g *Graph) topoForward() ([]VertexID, error) {
 }
 
 // Sink returns the unique vertex with no outgoing forward edges, or None
-// if there is no such vertex or more than one. Polar graphs have exactly
-// one sink.
+// if there is no such vertex or more than one. Polar graphs (§III) have
+// exactly one sink.
 func (g *Graph) Sink() VertexID {
 	sink := None
 	for _, v := range g.vertices {
@@ -100,7 +100,8 @@ func (g *Graph) dfsForward(v VertexID, seen []bool) {
 }
 
 // IsForwardPredecessor reports whether a is a predecessor of b in G_f,
-// i.e. there is a directed forward path from a to b (a ∈ pred(b)). A
+// i.e. there is a directed forward path from a to b — the pred(·) relation
+// used by Definitions 4 and 9. A
 // vertex is not its own predecessor.
 func (g *Graph) IsForwardPredecessor(a, b VertexID) bool {
 	if a == b {
@@ -110,7 +111,7 @@ func (g *Graph) IsForwardPredecessor(a, b VertexID) bool {
 }
 
 // ForwardPredecessors returns, for every vertex, whether it is a forward
-// predecessor of v (pred(v)). The result is a boolean slice indexed by
+// predecessor of v — the pred(v) relation of Definitions 4 and 9. The result is a boolean slice indexed by
 // vertex ID; v itself is false.
 func (g *Graph) ForwardPredecessors(v VertexID) []bool {
 	seen := make([]bool, len(g.vertices))

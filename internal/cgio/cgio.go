@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -134,6 +135,21 @@ func Parse(r io.Reader) (*cg.Graph, error) {
 // ParseString is Parse over a string.
 func ParseString(s string) (*cg.Graph, error) {
 	return Parse(strings.NewReader(s))
+}
+
+// ParseFile reads a constraint graph from the named file in the text
+// format. The relsched batch subcommand uses it to load job manifests.
+func ParseFile(path string) (*cg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
 }
 
 // Write renders the graph in the text format, one declaration per line.

@@ -23,7 +23,8 @@ import (
 	"repro/internal/relsched"
 )
 
-// Style selects the control implementation.
+// Style selects the control implementation of §VI: Fig. 12(a) counters or
+// Fig. 12(b) shift registers.
 type Style int
 
 const (
@@ -44,14 +45,15 @@ func (s Style) String() string {
 	return "shift-register"
 }
 
-// Term is one conjunct of an enable expression: timer(Anchor) ≥ Offset.
+// Term is one conjunct of an enable expression: timer(Anchor) ≥ Offset —
+// the activation condition of §VI, derived from the offsets σ_a(v).
 type Term struct {
 	Anchor cg.VertexID
 	Offset int
 }
 
 // Controller is the synthesized control unit for one scheduled constraint
-// graph.
+// graph — the relative control of §VI, built from the schedule's offsets.
 type Controller struct {
 	Style Style
 	Mode  relsched.AnchorMode
@@ -124,7 +126,8 @@ func (c Cost) Total() int {
 	return 4*c.RegisterBits + 2*c.Comparators + c.GateInputs
 }
 
-// Cost evaluates the cost model.
+// Cost evaluates the §VI cost model, counting the timer registers,
+// comparators, and enable-gate inputs of the Fig. 12 structures.
 func (c *Controller) Cost() Cost {
 	var out Cost
 	width := map[cg.VertexID]int{}
@@ -158,7 +161,7 @@ func (c *Controller) Cost() Cost {
 }
 
 // StartTimes evaluates the controller cycle-accurately for a delay
-// profile: each anchor's timer starts when the anchor completes, and a
+// profile (an input sequence in the sense of §III): each anchor's timer starts when the anchor completes, and a
 // vertex starts at the first cycle its enable asserts. The result must
 // equal Schedule.StartTimes under the same mode — the controller
 // implements the schedule exactly — and the tests assert this.

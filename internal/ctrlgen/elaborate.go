@@ -7,7 +7,8 @@ import (
 	"repro/internal/netlist"
 )
 
-// GateControl is the structural (gate-level) elaboration of a Controller:
+// GateControl is the structural (gate-level) elaboration of a Controller —
+// the Fig. 12 control structures lowered to flip-flops and gates:
 // per-anchor timers built from real flip-flops and gates, plus one enable
 // net per operation. The done_<anchor> nets are the netlist's inputs; the
 // environment (or the datapath) raises done_a at the anchor's completion

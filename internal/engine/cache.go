@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/cg"
+	"repro/internal/relsched"
+)
+
+// analysisEntry is one memoized scheduling outcome. Entries hold the
+// invariant analysis of a graph — the anchor sets and longest-path
+// matrices inside relsched.AnchorInfo — plus the minimum relative
+// schedule derived from them, or the deterministic error verdict
+// (unfeasible, ill-posed, inconsistent) when no schedule exists. All
+// fields are immutable after construction: the graph is frozen, AnchorInfo
+// and Schedule are never written after Analyze/schedule return, so entries
+// are safe to share across worker goroutines and across results.
+type analysisEntry struct {
+	graph *cg.Graph // the (possibly serialized) graph that was scheduled
+	info  *relsched.AnchorInfo
+	sched *relsched.Schedule
+	added int // serialization edges introduced by MakeWellPosed
+	err   error
+}
+
+// cacheKey identifies a memoized outcome: the canonical graph fingerprint
+// plus the one job option that changes the computed artifact (whether
+// ill-posed graphs are repaired before scheduling). The anchor mode is
+// deliberately absent — a Schedule stores offsets against the full anchor
+// sets and projects Relevant/Irredundant views on read (Theorems 4/6
+// guarantee identical start times), so one entry serves every mode.
+type cacheKey struct {
+	fp       Fingerprint
+	wellPose bool
+}
+
+// cache is a mutex-guarded LRU over analysisEntry values.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type cacheItem struct {
+	key   cacheKey
+	entry *analysisEntry
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		capacity: capacity,
+		entries:  make(map[cacheKey]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// get returns the memoized entry for key, promoting it to most recently
+// used, and records the hit or miss.
+func (c *cache) get(key cacheKey) (*analysisEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// put inserts an entry, evicting the least recently used entry when the
+// cache is full. Concurrent workers may race to compute the same key; the
+// first insertion wins and later duplicates are dropped, so every Result
+// for a given fingerprint shares one entry.
+func (c *cache) put(key cacheKey, entry *analysisEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, entry: entry})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// stats snapshots the hit/miss counters and current size.
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+}
+
+// CacheStats reports the engine cache's effectiveness.
+type CacheStats struct {
+	// Hits and Misses count lookups since the engine was created.
+	Hits, Misses uint64
+	// Entries is the number of memoized analyses currently held.
+	Entries int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

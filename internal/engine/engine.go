@@ -1,0 +1,346 @@
+// Package engine is a concurrent batch front end to the relative
+// scheduler: it executes streams of scheduling jobs (constraint graph +
+// options) on a bounded worker pool and memoizes the invariant analysis —
+// anchor sets (Definitions 4/9/11), longest-path matrices (Theorem 3),
+// the well-posedness verdict (Theorem 2), and the minimum relative
+// schedule itself — behind a canonical graph fingerprint.
+//
+// The motivation is the workload shape of iterative synthesis: what-if
+// constraint exploration, design-space sweeps, and serving many client
+// graphs re-schedule structurally identical graphs over and over, and
+// every call to relsched.Compute repeats the O(|A|·|V|·|E|) Bellman–Ford
+// anchor analysis from scratch. The engine computes each distinct graph
+// once and answers repeats from an LRU cache in O(|V|+|E|) hashing time
+// (O(1) when the graph value itself is resubmitted, via the generation
+// counter of cg.Graph). Scheduling is deterministic, so cached results are
+// bit-for-bit identical to freshly computed ones.
+//
+// Concurrency model, cancellation semantics, and the invariants that make
+// shared read-only cg.Graph access race-free are documented in
+// docs/CONCURRENCY.md.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cg"
+	"repro/internal/relsched"
+)
+
+// Options configures an Engine. The zero value is usable: GOMAXPROCS
+// workers, a DefaultCacheCapacity-entry cache, no per-job timeout.
+type Options struct {
+	// Workers is the size of the worker pool. Values <= 0 select
+	// runtime.GOMAXPROCS(0) — one worker per schedulable CPU, the right
+	// default for the CPU-bound scheduling pipeline.
+	Workers int
+	// CacheCapacity bounds the number of memoized analyses (LRU
+	// eviction). Values <= 0 select DefaultCacheCapacity.
+	CacheCapacity int
+	// DisableCache turns memoization off; every job recomputes from
+	// scratch. Intended for benchmarking the cache itself and for
+	// callers that know their stream never repeats a graph.
+	DisableCache bool
+	// JobTimeout is the default per-job deadline; Job.Timeout overrides
+	// it. Zero means no deadline. See Engine.Schedule for the
+	// checkpointed cancellation semantics.
+	JobTimeout time.Duration
+}
+
+// DefaultCacheCapacity is the cache size used when Options.CacheCapacity
+// is unset.
+const DefaultCacheCapacity = 1024
+
+// Job is one scheduling request.
+type Job struct {
+	// ID is an opaque caller label echoed in the Result.
+	ID string
+	// Graph is the constraint graph to schedule. It must not be mutated
+	// for the lifetime of the batch; frozen graphs satisfy this by
+	// construction (the pipeline freezes unfrozen graphs on first use).
+	Graph *cg.Graph
+	// WellPose applies MakeWellPosed (Theorem 7 minimal serialization)
+	// before scheduling instead of rejecting ill-posed graphs.
+	WellPose bool
+	// Timeout overrides Options.JobTimeout for this job when positive.
+	Timeout time.Duration
+}
+
+// Result is the outcome of one Job.
+type Result struct {
+	// JobID echoes Job.ID.
+	JobID string
+	// Graph is the graph the schedule was computed on: the engine's
+	// canonical graph for the job's fingerprint. For WellPose jobs that
+	// needed repair it is the serialized clone, not the submitted graph;
+	// for cache hits it is the graph of the first equivalent job.
+	Graph *cg.Graph
+	// Schedule is the minimum relative schedule, nil on error. Cache
+	// hits share one immutable Schedule across results.
+	Schedule *relsched.Schedule
+	// Info is the anchor-set analysis behind Schedule (anchor sets,
+	// longest-path matrices, reachability), nil on error.
+	Info *relsched.AnchorInfo
+	// SerializationEdges is the number of edges MakeWellPosed added
+	// (always 0 when WellPose is false).
+	SerializationEdges int
+	// CacheHit reports whether the result was served from the cache.
+	CacheHit bool
+	// Duration is the wall-clock time the engine spent on this job.
+	Duration time.Duration
+	// Err is the pipeline verdict when no schedule exists: ErrUnfeasible
+	// (Theorem 1), *IllPosedError (Theorem 2), ErrInconsistent
+	// (Corollary 2), a graph-validation error, or a context error when
+	// the job was cancelled or timed out.
+	Err error
+}
+
+// Engine schedules batches of constraint graphs concurrently. An Engine
+// is safe for use by multiple goroutines; create one per cache domain and
+// reuse it, since the memoized analyses live on the Engine.
+type Engine struct {
+	workers    int
+	jobTimeout time.Duration
+	cache      *cache // nil when caching is disabled
+
+	// fps memoizes graph fingerprints per live graph value, keyed by the
+	// generation counter so any mutation invalidates the memo (see
+	// cg.Graph.Generation). Bounded: the map is reset when it exceeds
+	// maxFingerprintMemo to keep long-lived engines from pinning dead
+	// graphs.
+	fpMu sync.Mutex
+	fps  map[*cg.Graph]fpMemo
+}
+
+type fpMemo struct {
+	gen uint64
+	fp  Fingerprint
+}
+
+// maxFingerprintMemo bounds the per-graph fingerprint memo.
+const maxFingerprintMemo = 4096
+
+// New creates an Engine from the options.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheCapacity <= 0 {
+		opts.CacheCapacity = DefaultCacheCapacity
+	}
+	e := &Engine{
+		workers:    opts.Workers,
+		jobTimeout: opts.JobTimeout,
+		fps:        make(map[*cg.Graph]fpMemo),
+	}
+	if !opts.DisableCache {
+		e.cache = newCache(opts.CacheCapacity)
+	}
+	return e
+}
+
+// Workers returns the resolved worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats snapshots the cache counters. All zeros when caching is disabled.
+func (e *Engine) Stats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
+
+// Run executes the jobs arriving on the jobs channel on the worker pool
+// and streams one Result per job on the returned channel, which is closed
+// once the jobs channel is closed and all in-flight jobs have finished,
+// or once ctx is cancelled. Result order is completion order, not
+// submission order; use Job.ID (or RunAll) to correlate.
+//
+// On cancellation workers stop taking new jobs and in-flight jobs return
+// with Err set at their next checkpoint; producers writing to jobs must
+// select on ctx.Done() themselves or they may block forever.
+func (e *Engine) Run(ctx context.Context, jobs <-chan Job) <-chan Result {
+	results := make(chan Result)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case job, ok := <-jobs:
+					if !ok {
+						return
+					}
+					select {
+					case results <- e.Schedule(ctx, job):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	return results
+}
+
+// RunAll executes a fixed batch on the worker pool and returns the
+// results in submission order: results[i] answers jobs[i]. Jobs that did
+// not run because ctx was cancelled carry the context error.
+func (e *Engine) RunAll(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	next := int64(-1)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = e.Schedule(ctx, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Schedule executes one job synchronously: fingerprint, cache lookup, and
+// on a miss the full pipeline — well-posedness handling, anchor analysis,
+// iterative incremental scheduling — with the outcome memoized for the
+// next equivalent job.
+//
+// Cancellation is checkpointed: the pipeline stages are uninterruptible
+// CPU-bound passes (each fast — the paper's designs all schedule in well
+// under a second), so ctx and the per-job deadline are checked between
+// stages rather than preempting one. A cancelled or expired job returns
+// Err = ctx.Err() without polluting the cache.
+func (e *Engine) Schedule(ctx context.Context, job Job) Result {
+	start := time.Now()
+	res := Result{JobID: job.ID, Graph: job.Graph}
+	done := func() Result {
+		res.Duration = time.Since(start)
+		return res
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return done()
+	}
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = e.jobTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	key := cacheKey{fp: e.fingerprint(job.Graph), wellPose: job.WellPose}
+	if e.cache != nil {
+		if entry, ok := e.cache.get(key); ok {
+			res.fill(entry)
+			res.CacheHit = true
+			return done()
+		}
+	}
+
+	entry := e.compute(ctx, job)
+	if entry == nil { // cancelled mid-pipeline
+		res.Err = ctx.Err()
+		return done()
+	}
+	if e.cache != nil {
+		e.cache.put(key, entry)
+	}
+	res.fill(entry)
+	return done()
+}
+
+// fill copies a memoized outcome into the result.
+func (r *Result) fill(entry *analysisEntry) {
+	r.Graph = entry.graph
+	r.Schedule = entry.sched
+	r.Info = entry.info
+	r.SerializationEdges = entry.added
+	r.Err = entry.err
+}
+
+// compute runs the scheduling pipeline of §IV for one job. It returns nil
+// (and nothing is cached) when ctx expires between stages; otherwise the
+// returned entry holds either the schedule or the deterministic error
+// verdict, both of which are valid to memoize.
+func (e *Engine) compute(ctx context.Context, job Job) *analysisEntry {
+	entry := &analysisEntry{graph: job.Graph}
+	if job.WellPose {
+		wp, added, err := relsched.MakeWellPosed(job.Graph)
+		entry.added = added
+		if err != nil {
+			entry.err = err
+			return entry
+		}
+		entry.graph = wp
+	} else if err := relsched.CheckWellPosed(job.Graph); err != nil {
+		entry.err = err
+		return entry
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	info, err := relsched.Analyze(entry.graph)
+	if err != nil {
+		entry.err = err
+		return entry
+	}
+	entry.info = info
+	if ctx.Err() != nil {
+		return nil
+	}
+	sched, err := relsched.ComputeFromAnalysis(info)
+	if err != nil {
+		entry.err = err
+		return entry
+	}
+	entry.sched = sched
+	return entry
+}
+
+// fingerprint returns the canonical fingerprint of g, memoized per
+// (graph value, generation) so resubmitting the same graph skips the
+// structural hash. A mutation bumps the generation (cg.Graph.Generation)
+// and forces a re-hash — the stale-cache guard the memoization layer
+// relies on.
+func (e *Engine) fingerprint(g *cg.Graph) Fingerprint {
+	gen := g.Generation()
+	e.fpMu.Lock()
+	if m, ok := e.fps[g]; ok && m.gen == gen {
+		e.fpMu.Unlock()
+		return m.fp
+	}
+	e.fpMu.Unlock()
+	fp := FingerprintOf(g)
+	e.fpMu.Lock()
+	if len(e.fps) >= maxFingerprintMemo {
+		e.fps = make(map[*cg.Graph]fpMemo)
+	}
+	e.fps[g] = fpMemo{gen: gen, fp: fp}
+	e.fpMu.Unlock()
+	return fp
+}

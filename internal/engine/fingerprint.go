@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"repro/internal/cg"
+)
+
+// Fingerprint is a canonical content hash of a constraint graph: two
+// graphs share a fingerprint exactly when they have the same vertex list
+// (names and delays, in ID order) and the same edge list (endpoints,
+// kinds, weights, and unboundedness, in insertion order). Everything the
+// scheduling pipeline reads — feasibility (Theorem 1), well-posedness
+// (Theorem 2), anchor sets (Definitions 4/9/11), longest paths, and the
+// minimum relative schedule itself — is a pure function of exactly this
+// content, so the fingerprint is a sound memoization key for all of them.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as hex for logs and JSON artifacts.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// FingerprintOf computes the canonical fingerprint of a graph by hashing
+// its full structural content. Cost is O(|V|+|E|) — far below the
+// O(|A|·|V|·|E|) Bellman–Ford work it lets the engine skip — but callers
+// that schedule the same *cg.Graph value repeatedly should prefer
+// Engine-internal lookups, which memoize the hash per (graph, generation)
+// pair and make the steady-state cost O(1).
+func FingerprintOf(g *cg.Graph) Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	u64(uint64(g.N()))
+	for _, v := range g.Vertices() {
+		str(v.Name)
+		if v.Delay.Bounded() {
+			u64(1)
+			u64(uint64(v.Delay.Value()))
+		} else {
+			u64(0)
+		}
+	}
+	u64(uint64(g.M()))
+	for _, e := range g.Edges() {
+		u64(uint64(e.From))
+		u64(uint64(e.To))
+		u64(uint64(e.Kind))
+		u64(uint64(int64(e.Weight)))
+		if e.Unbounded {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

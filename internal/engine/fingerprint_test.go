@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cg"
+)
+
+// buildFig2ish constructs a small well-posed graph with one anchor; two
+// calls produce structurally identical but distinct graph values.
+func buildFig2ish() *cg.Graph {
+	g := cg.New()
+	a := g.AddOp("a", cg.UnboundedDelay())
+	v1 := g.AddOp("v1", cg.Cycles(2))
+	v2 := g.AddOp("v2", cg.Cycles(2))
+	v3 := g.AddOp("v3", cg.Cycles(5))
+	v4 := g.AddOp("v4", cg.Cycles(1))
+	g.AddSeq(g.Source(), a)
+	g.AddSeq(g.Source(), v1)
+	g.AddSeq(v1, v2)
+	g.AddSeq(a, v3)
+	g.AddSeq(v3, v4)
+	g.AddSeq(v2, v4)
+	g.AddMin(g.Source(), v3, 3)
+	g.AddMax(v1, v2, 2)
+	return g
+}
+
+func TestFingerprintStable(t *testing.T) {
+	g1 := buildFig2ish()
+	g2 := buildFig2ish()
+	if FingerprintOf(g1) != FingerprintOf(g2) {
+		t.Fatal("structurally identical graphs got different fingerprints")
+	}
+	// Freezing does not change content, so it must not change the key.
+	g2.MustFreeze()
+	if FingerprintOf(g1) != FingerprintOf(g2) {
+		t.Fatal("freezing changed the fingerprint")
+	}
+	// A clone has the same content and must hash identically.
+	if FingerprintOf(g1) != FingerprintOf(g1.Clone()) {
+		t.Fatal("clone changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := FingerprintOf(buildFig2ish())
+	mutations := map[string]func(g *cg.Graph){
+		"add vertex":          func(g *cg.Graph) { g.AddOp("extra", cg.Cycles(1)) },
+		"add sequencing edge": func(g *cg.Graph) { g.AddSeq(g.VertexByName("v1"), g.VertexByName("v3")) },
+		"add min constraint":  func(g *cg.Graph) { g.AddMin(g.VertexByName("v1"), g.VertexByName("v4"), 1) },
+		"add max constraint":  func(g *cg.Graph) { g.AddMax(g.VertexByName("v3"), g.VertexByName("v4"), 9) },
+	}
+	for name, mutate := range mutations {
+		g := buildFig2ish()
+		mutate(g)
+		if FingerprintOf(g) == base {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+	// Different delay on one vertex must change the key even though the
+	// topology is identical.
+	g := cg.New()
+	g.AddOp("x", cg.Cycles(3))
+	h := cg.New()
+	h.AddOp("x", cg.Cycles(4))
+	if FingerprintOf(g) == FingerprintOf(h) {
+		t.Error("delay change: fingerprint unchanged")
+	}
+	// Bounded 0 vs unbounded is the anchor/non-anchor distinction
+	// (Definition 2) and must be distinguished even though both weigh 0
+	// in longest paths.
+	u := cg.New()
+	u.AddOp("x", cg.UnboundedDelay())
+	z := cg.New()
+	z.AddOp("x", cg.Cycles(0))
+	if FingerprintOf(u) == FingerprintOf(z) {
+		t.Error("unbounded vs zero delay: fingerprint unchanged")
+	}
+}
+
+func TestFingerprintGenerationMemo(t *testing.T) {
+	e := New(Options{})
+	g := buildFig2ish()
+	fp1 := e.fingerprint(g)
+	if fp1 != FingerprintOf(g) {
+		t.Fatal("memoized fingerprint differs from direct hash")
+	}
+	gen := g.Generation()
+	// Memoized path: same generation, same answer.
+	if e.fingerprint(g) != fp1 {
+		t.Fatal("memo lookup changed the fingerprint")
+	}
+	if g.Generation() != gen {
+		t.Fatal("fingerprinting mutated the generation")
+	}
+	// Mutation bumps the generation and must invalidate the memo.
+	g.AddOp("late", cg.Cycles(2))
+	if g.Generation() == gen {
+		t.Fatal("mutation did not bump the generation")
+	}
+	if e.fingerprint(g) == fp1 {
+		t.Fatal("stale memoized fingerprint served after mutation")
+	}
+}

@@ -38,21 +38,32 @@ type AnchorInfo struct {
 	// V_a; the extra entries are internal bookkeeping that keeps the
 	// tables compositional across backward edges).
 	Reach [][]bool
+	// Longest[ai][v] is the longest-path distance length(a, v) from anchor
+	// index ai to v in the full graph with unbounded weights at 0
+	// (cg.Unreachable when no path exists) — the matrices behind the
+	// Definition 11 domination test. Populated by Analyze and retained so
+	// memoization layers (internal/engine) can reuse the Bellman–Ford work
+	// across repeated schedules of the same graph.
+	Longest [][]int
 }
 
-// NumAnchors returns |A|.
+// NumAnchors returns |A|, the number of anchors (Definition 2).
 func (ai *AnchorInfo) NumAnchors() int { return len(ai.List) }
 
-// AnchorVertex returns the vertex ID of anchor index i.
+// AnchorVertex returns the vertex ID of anchor index i (an anchor per
+// Definition 2).
 func (ai *AnchorInfo) AnchorVertex(i int) cg.VertexID { return ai.List[i] }
 
-// FullSet returns A(v) as a sorted vertex-ID slice.
+// FullSet returns the anchor set A(v) of Definition 4 as a sorted
+// vertex-ID slice.
 func (ai *AnchorInfo) FullSet(v cg.VertexID) []cg.VertexID { return ai.ids(ai.Full[v]) }
 
-// RelevantSet returns R(v) as a sorted vertex-ID slice.
+// RelevantSet returns the relevant anchor set R(v) of Definition 9 as a
+// sorted vertex-ID slice.
 func (ai *AnchorInfo) RelevantSet(v cg.VertexID) []cg.VertexID { return ai.ids(ai.Relevant[v]) }
 
-// IrredundantSet returns IR(v) as a sorted vertex-ID slice.
+// IrredundantSet returns the irredundant anchor set IR(v) of Definition 11
+// as a sorted vertex-ID slice.
 func (ai *AnchorInfo) IrredundantSet(v cg.VertexID) []cg.VertexID { return ai.ids(ai.Irredundant[v]) }
 
 func (ai *AnchorInfo) ids(s bitset.Set) []cg.VertexID {
@@ -186,7 +197,8 @@ func (ai *AnchorInfo) irredundantAnchors(longest [][]int) {
 }
 
 // Analyze computes the anchor, relevant-anchor and irredundant-anchor sets
-// of a frozen constraint graph. The graph must be feasible: longest-path
+// of a frozen constraint graph — the paper's findAnchorSet, relevantAnchor
+// and minimumAnchor algorithms (§IV). The graph must be feasible: longest-path
 // computations diverge on positive cycles, so Analyze returns
 // ErrUnfeasible in that case.
 func Analyze(g *cg.Graph) (*AnchorInfo, error) {
@@ -198,21 +210,21 @@ func Analyze(g *cg.Graph) (*AnchorInfo, error) {
 	}
 	ai := anchorSets(g)
 	ai.relevantAnchors()
-	longest := make([][]int, len(ai.List))
+	ai.Longest = make([][]int, len(ai.List))
 	ai.Reach = make([][]bool, len(ai.List))
 	for i, a := range ai.List {
 		d, ok := g.LongestFrom(a)
 		if !ok {
 			return nil, ErrUnfeasible
 		}
-		longest[i] = d
+		ai.Longest[i] = d
 		reach := make([]bool, g.N())
 		for v := range d {
 			reach[v] = d[v] != cg.Unreachable
 		}
 		ai.Reach[i] = reach
 	}
-	ai.irredundantAnchors(longest)
+	ai.irredundantAnchors(ai.Longest)
 	return ai, nil
 }
 

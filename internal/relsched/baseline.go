@@ -80,8 +80,9 @@ func DecompositionSchedule(info *AnchorInfo) (*Schedule, error) {
 	return s, nil
 }
 
-// EqualOffsets reports whether two schedules assign identical offsets for
-// every (anchor, vertex) pair in the full anchor sets. Schedules must be
+// EqualOffsets reports whether two schedules assign identical offsets
+// σ_a(v) (Definition 5) for every (anchor, vertex) pair in the full anchor
+// sets. Schedules must be
 // over the same graph and anchor analysis.
 func EqualOffsets(a, b *Schedule) bool {
 	if a.G != b.G || len(a.off) != len(b.off) {

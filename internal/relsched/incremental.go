@@ -22,8 +22,8 @@ func (s *Schedule) WithMaxConstraint(from, to cg.VertexID, u int) (*Schedule, er
 	return s.reschedule(g2)
 }
 
-// WithMinConstraint is WithMaxConstraint for a minimum timing constraint
-// σ(to) ≥ σ(from) + l. Minimum constraints are always well-posed, but the
+// WithMinConstraint is WithMaxConstraint (the Lemma 8 warm-start path) for
+// a minimum timing constraint σ(to) ≥ σ(from) + l of Table I. Minimum constraints are always well-posed, but the
 // new forward edge may close a forward cycle (rejected) or interact with
 // existing maximum constraints into inconsistency.
 func (s *Schedule) WithMinConstraint(from, to cg.VertexID, l int) (*Schedule, error) {

@@ -56,7 +56,7 @@ type Schedule struct {
 }
 
 // Offset returns the minimum offset σ_a(v) of vertex v with respect to
-// anchor a under the given mode. ok is false when a is not in v's anchor
+// anchor a (Definition 5) under the given mode. ok is false when a is not in v's anchor
 // set for that mode (or a is not an anchor at all).
 func (s *Schedule) Offset(a, v cg.VertexID, mode AnchorMode) (offset int, ok bool) {
 	ai, isAnchor := s.Info.Index[a]
@@ -110,7 +110,8 @@ func (s *Schedule) SumOfMaxOffsets(mode AnchorMode) int {
 	return sum
 }
 
-// GlobalMaxOffset returns max_a σ_a^max under the given mode.
+// GlobalMaxOffset returns max_a σ_a^max — the largest per-anchor maximum
+// offset of Definition 5 — under the given mode.
 func (s *Schedule) GlobalMaxOffset(mode AnchorMode) int {
 	gm := 0
 	for _, a := range s.Info.List {
@@ -139,8 +140,9 @@ func Compute(g *cg.Graph) (*Schedule, error) {
 	return schedule(info)
 }
 
-// ComputeFromAnalysis runs iterative incremental scheduling against an
-// existing anchor-set analysis, skipping the well-posedness re-check. The
+// ComputeFromAnalysis runs the iterative incremental scheduling of
+// Theorem 8 against an existing anchor-set analysis, skipping the
+// well-posedness re-check. The
 // graph behind info must be well-posed; use Compute when in doubt. This
 // entry point exists for callers that schedule the same graph repeatedly
 // (benchmarks, conflict-resolution search).
@@ -149,7 +151,8 @@ func ComputeFromAnalysis(info *AnchorInfo) (*Schedule, error) {
 }
 
 // ComputeWellPosed is Compute for graphs that may be ill-posed: it first
-// applies MakeWellPosed and then schedules the serialized graph. The
+// applies MakeWellPosed (the paper's makeWellposed, Theorem 7) and then
+// schedules the serialized graph. The
 // returned schedule's G field is the (possibly serialized) graph; added
 // reports how many serialization edges were introduced.
 func ComputeWellPosed(g *cg.Graph) (sched *Schedule, added int, err error) {

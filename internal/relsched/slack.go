@@ -4,7 +4,8 @@ import (
 	"repro/internal/cg"
 )
 
-// SlackInfo reports the scheduling freedom of each operation: how many
+// SlackInfo reports the scheduling freedom of each operation relative to
+// the minimum schedule of Theorem 8: how many
 // cycles its start may slip past the minimum schedule without stretching
 // the source-to-sink latency (for any fixed profile of unbounded delays)
 // or violating a timing constraint. Operations with zero slack are
@@ -26,7 +27,8 @@ type SlackInfo struct {
 	Slack []int
 }
 
-// ComputeSlack derives slack from a schedule. Vertices that cannot reach
+// ComputeSlack derives slack from a schedule, using the length(·,·)
+// longest paths of Definition 3. Vertices that cannot reach
 // the sink through forward edges would be structurally odd in a polar
 // graph; they are assigned zero slack defensively.
 func (s *Schedule) ComputeSlack() *SlackInfo {
@@ -69,7 +71,9 @@ func (s *Schedule) ComputeSlack() *SlackInfo {
 	return out
 }
 
-// Critical returns the vertices with zero slack, in ID order.
+// Critical returns the vertices with zero slack, in ID order — the
+// operations whose offsets (Definition 5) cannot slip without stretching
+// the latency.
 func (si *SlackInfo) Critical() []cg.VertexID {
 	var out []cg.VertexID
 	for v, sl := range si.Slack {

@@ -13,7 +13,8 @@ import (
 type DelayProfile map[cg.VertexID]int
 
 // ZeroProfile returns the profile with every unbounded delay at its
-// minimum value 0.
+// minimum value 0 — the input sequence under which the relative schedule
+// achieves the minimum latency of Theorem 3.
 func ZeroProfile(g *cg.Graph) DelayProfile {
 	p := make(DelayProfile)
 	for _, a := range g.Anchors() {
@@ -81,8 +82,9 @@ func (s *Schedule) StartTimes(p DelayProfile, mode AnchorMode) ([]int, error) {
 	return t, nil
 }
 
-// ConstraintViolation describes one edge inequality that a set of start
-// times fails to satisfy under a concrete delay profile.
+// ConstraintViolation describes one edge inequality (a Table I constraint)
+// that a set of start times fails to satisfy under a concrete delay
+// profile.
 type ConstraintViolation struct {
 	Edge     int
 	From, To cg.VertexID
@@ -98,7 +100,8 @@ func (v ConstraintViolation) Error() string {
 }
 
 // CheckStartTimes verifies that concrete start times satisfy every edge
-// inequality of the graph under the given profile: sequencing and minimum
+// inequality of the graph (the timing constraints of §III, Table I) under
+// the given profile: sequencing and minimum
 // constraints T(j) ≥ T(i) + w (with w = δ(i) for unbounded edges) and
 // maximum constraints via their negative-weight backward edges. It returns
 // all violations, or nil when the start times are consistent.
@@ -124,7 +127,7 @@ func CheckStartTimes(g *cg.Graph, p DelayProfile, t []int) ([]ConstraintViolatio
 }
 
 // Latency returns the source-to-sink latency T(sink) + δ(sink) under the
-// profile and mode. For graphs whose sink has unbounded delay the sink
+// profile and mode — the latency reported per graph in Table III. For graphs whose sink has unbounded delay the sink
 // delay from the profile is included.
 func (s *Schedule) Latency(p DelayProfile, mode AnchorMode) (int, error) {
 	t, err := s.StartTimes(p, mode)

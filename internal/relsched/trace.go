@@ -18,7 +18,8 @@ type TracePhase struct {
 	Off [][]int
 }
 
-// Trace is the sequence of offset snapshots produced while scheduling.
+// Trace is the sequence of offset snapshots produced while scheduling —
+// the data behind the paper's Fig. 10 iteration trace.
 type Trace struct {
 	Info   *AnchorInfo
 	Phases []TracePhase
