@@ -7,6 +7,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,6 +18,7 @@ import (
 
 	"repro/internal/cgio"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/relsched"
 )
 
@@ -33,10 +37,17 @@ flags:
                    exercise the memoization layer the way what-if re-runs do
   -wellpose        repair ill-posed graphs (makeWellposed) instead of failing
   -nocache         disable memoization
+  -cache n         memoization cache capacity in entries (0 = engine default)
   -timeout d       per-job timeout (e.g. 500ms)
   -mode m          anchor sets for -print: full, relevant, irredundant
   -print           print each job's offset table
   -json file       write aggregate timing statistics as JSON
+  -metrics file    write the engine metrics registry (per-stage latency
+                   histograms, cache/pipeline counters) as a JSON snapshot;
+                   see docs/OBSERVABILITY.md for every metric
+  -pprof addr      serve net/http/pprof and expvar (live metrics at
+                   /debug/vars) on addr, e.g. localhost:6060, for the
+                   duration of the batch
 `
 
 // manifestEntry is one line of a JSONL batch manifest. Path is resolved
@@ -47,7 +58,9 @@ type manifestEntry struct {
 	WellPose bool   `json:"wellpose,omitempty"`
 }
 
-// batchStats is the aggregate report, also serialized by -json.
+// batchStats is the aggregate report, also serialized by -json. The
+// -metrics snapshot is the full-fidelity view (complete histograms); this
+// struct carries the headline numbers.
 type batchStats struct {
 	Workers     int     `json:"workers"`
 	Repeat      int     `json:"repeat"`
@@ -57,11 +70,32 @@ type batchStats struct {
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
 	HitRate     float64 `json:"hit_rate"`
+	// CacheEvictions counts LRU evictions (see -cache); Computes counts
+	// full pipeline executions and DuplicateSuppressed counts concurrent
+	// misses that shared an in-flight computation instead of recomputing,
+	// so CacheHits + DuplicateSuppressed + Computes == Jobs on a batch
+	// with no cancellations.
+	CacheEvictions      uint64 `json:"cache_evictions"`
+	Computes            uint64 `json:"computes"`
+	DuplicateSuppressed uint64 `json:"duplicate_suppressed"`
 	// WallNS is the end-to-end batch wall time; CPUNs sums the per-job
 	// engine durations across workers.
 	WallNS        int64   `json:"wall_ns"`
 	CPUNs         int64   `json:"cpu_ns"`
 	JobsPerSecond float64 `json:"jobs_per_second"`
+	// StageP95NS maps pipeline stage (fingerprint, cache, wellpose,
+	// analyze, schedule) to its p95 latency in nanoseconds.
+	StageP95NS map[string]int64 `json:"stage_p95_ns"`
+}
+
+// batchStages maps the short stage names of the aggregate report to the
+// engine's histogram metric names, in pipeline order.
+var batchStages = []struct{ short, metric string }{
+	{"fingerprint", engine.MetricStageFingerprint},
+	{"cache", engine.MetricStageCache},
+	{"wellpose", engine.MetricStageWellpose},
+	{"analyze", engine.MetricStageAnalyze},
+	{"schedule", engine.MetricStageSchedule},
 }
 
 // runBatch implements `relsched batch`.
@@ -73,10 +107,13 @@ func runBatch(args []string, stdout io.Writer) error {
 	repeat := fs.Int("repeat", 1, "schedule the workload this many times")
 	wellpose := fs.Bool("wellpose", false, "repair ill-posed graphs first")
 	nocache := fs.Bool("nocache", false, "disable memoization")
+	cacheCap := fs.Int("cache", 0, "memoization cache capacity (0 = engine default)")
 	timeout := fs.Duration("timeout", 0, "per-job timeout")
 	modeName := fs.String("mode", "irredundant", "anchor sets for -print")
 	print := fs.Bool("print", false, "print each job's offset table")
 	jsonPath := fs.String("json", "", "write aggregate stats JSON to this file")
+	metricsPath := fs.String("metrics", "", "write a metrics registry JSON snapshot to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +123,9 @@ func runBatch(args []string, stdout io.Writer) error {
 	}
 	if *repeat < 1 {
 		return fmt.Errorf("-repeat must be >= 1")
+	}
+	if *cacheCap < 0 {
+		return fmt.Errorf("-cache must be >= 0 (0 selects the engine default, %d)", engine.DefaultCacheCapacity)
 	}
 
 	base, err := collectJobs(*manifest, fs.Args(), *wellpose)
@@ -100,12 +140,25 @@ func runBatch(args []string, stdout io.Writer) error {
 		jobs = append(jobs, base...)
 	}
 
+	// CacheCapacity 0 falls through to engine.DefaultCacheCapacity, so
+	// eviction behavior no longer silently depends on workload size; size
+	// it explicitly with -cache when the workload's working set is known.
 	e := engine.New(engine.Options{
 		Workers:       *workers,
 		DisableCache:  *nocache,
 		JobTimeout:    *timeout,
-		CacheCapacity: 2 * len(base),
+		CacheCapacity: *cacheCap,
 	})
+
+	if *pprofAddr != "" {
+		ln, err := startDebugServer(*pprofAddr, e.Metrics())
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stdout, "debug server on http://%s (pprof at /debug/pprof/, metrics at /debug/vars)\n", ln.Addr())
+	}
+
 	start := time.Now()
 	results := e.RunAll(context.Background(), jobs)
 	wall := time.Since(start)
@@ -133,14 +186,26 @@ func runBatch(args []string, stdout io.Writer) error {
 	}
 	cs := e.Stats()
 	stats.CacheHits, stats.CacheMisses, stats.HitRate = cs.Hits, cs.Misses, cs.HitRate()
+	stats.CacheEvictions, stats.DuplicateSuppressed = cs.Evictions, cs.Suppressed
 	stats.WallNS = wall.Nanoseconds()
 	if wall > 0 {
 		stats.JobsPerSecond = float64(len(jobs)) / wall.Seconds()
 	}
+	snap := e.Metrics().Snapshot()
+	stats.Computes = snap.Counters[engine.MetricComputes]
+	stats.StageP95NS = make(map[string]int64, len(batchStages))
+	stageLine := ""
+	for _, st := range batchStages {
+		h := snap.Histograms[st.metric]
+		stats.StageP95NS[st.short] = h.P95NS
+		stageLine += fmt.Sprintf(" %s=%v", st.short, time.Duration(h.P95NS).Round(100*time.Nanosecond))
+	}
 
-	fmt.Fprintf(stdout, "\n%d jobs (%d ok, %d failed) on %d workers in %v — %.0f jobs/s, cache %d/%d hits (%.0f%%)\n",
+	fmt.Fprintf(stdout, "\n%d jobs (%d ok, %d failed) on %d workers in %v — %.0f jobs/s, cache %d/%d hits (%.0f%%), %d computes (%d suppressed, %d evictions)\n",
 		stats.Jobs, stats.OK, stats.Failed, stats.Workers, wall.Round(time.Microsecond),
-		stats.JobsPerSecond, stats.CacheHits, stats.CacheHits+stats.CacheMisses, 100*stats.HitRate)
+		stats.JobsPerSecond, stats.CacheHits, stats.CacheHits+stats.CacheMisses, 100*stats.HitRate,
+		stats.Computes, stats.DuplicateSuppressed, stats.CacheEvictions)
+	fmt.Fprintf(stdout, "stage p95:%s\n", stageLine)
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(stats, "", "  ")
@@ -148,6 +213,11 @@ func runBatch(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeMetricsSnapshot(*metricsPath, e.Metrics()); err != nil {
 			return err
 		}
 	}
@@ -240,6 +310,36 @@ func readManifest(path string) ([]manifestEntry, error) {
 		return nil, err
 	}
 	return entries, nil
+}
+
+// writeMetricsSnapshot serializes the engine's metrics registry to path.
+func writeMetricsSnapshot(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startDebugServer publishes the registry to expvar and serves the
+// default mux — net/http/pprof's /debug/pprof/* handlers plus expvar's
+// /debug/vars, which re-snapshots the registry on every scrape — on addr.
+// The caller closes the listener when the batch is done.
+func startDebugServer(addr string, reg *obs.Registry) (net.Listener, error) {
+	reg.PublishExpvar("relsched_engine")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// Serve returns once the listener closes; nothing to report.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln, nil
 }
 
 // parseMode maps a -mode flag value to an AnchorMode.

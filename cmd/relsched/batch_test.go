@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 const illPosedText = `
@@ -115,5 +120,193 @@ func TestBatchNoInputs(t *testing.T) {
 	var out bytes.Buffer
 	if err := runBatch(nil, &out); err == nil {
 		t.Fatal("empty batch succeeded")
+	}
+}
+
+// fig2VariantText is fig2Text with one delay changed — a distinct
+// fingerprint for cache-capacity tests.
+const fig2VariantText = `
+vertex a unbounded
+vertex v1 delay=3
+vertex v2 delay=2
+vertex v3 delay=5
+vertex v4 delay=1
+seq v0 a
+seq v0 v1
+seq v1 v2
+seq a v3
+seq v3 v4
+seq v2 v4
+min v0 v3 3
+max v1 v2 3
+`
+
+// TestBatchMetricsSnapshot covers -metrics: the registry snapshot must
+// contain per-stage histograms whose counts equal the job count, and the
+// duplicate-suppression accounting must show measurably fewer computes
+// than jobs on a -repeat 10 workload.
+func TestBatchMetricsSnapshot(t *testing.T) {
+	dir := writeBatchDir(t)
+	metricsPath := filepath.Join(dir, "metrics.json")
+	jsonPath := filepath.Join(dir, "stats.json")
+	var out bytes.Buffer
+	err := runBatch([]string{"-repeat", "10", "-workers", "4", "-metrics", metricsPath, "-json", jsonPath, dir}, &out)
+	if err != nil {
+		t.Fatalf("runBatch: %v\n%s", err, out.String())
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	const jobs = 20 // 2 files × 10 repeats
+	for _, name := range []string{
+		engine.MetricStageFingerprint,
+		engine.MetricStageCache,
+		engine.MetricJobDuration,
+	} {
+		if got := snap.Histograms[name].Count; got != jobs {
+			t.Errorf("%s count = %d, want %d", name, got, jobs)
+		}
+	}
+	c := snap.Counters
+	if got := c[engine.MetricCacheHits] + c[engine.MetricDuplicateSuppressed] + c[engine.MetricComputes]; got != jobs {
+		t.Errorf("hits(%d) + suppressed(%d) + computes(%d) = %d, want %d",
+			c[engine.MetricCacheHits], c[engine.MetricDuplicateSuppressed], c[engine.MetricComputes], got, jobs)
+	}
+	// Both memoization and duplicate suppression feed this: the -repeat
+	// workload must not recompute per job.
+	if c[engine.MetricComputes] >= jobs {
+		t.Errorf("computes = %d, want fewer than %d jobs", c[engine.MetricComputes], jobs)
+	}
+	// The compute-side stage histograms cover exactly the computes.
+	if got := snap.Histograms[engine.MetricStageWellpose].Count; got != c[engine.MetricComputes] {
+		t.Errorf("wellpose stage count = %d, want %d computes", got, c[engine.MetricComputes])
+	}
+	// relsched hook counters flowed through: at least one relaxation
+	// sweep per compute.
+	if c[engine.MetricRelaxSweeps] < c[engine.MetricComputes] {
+		t.Errorf("relax sweeps = %d < computes = %d", c[engine.MetricRelaxSweeps], c[engine.MetricComputes])
+	}
+
+	var stats batchStats
+	data, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Computes != c[engine.MetricComputes] || stats.DuplicateSuppressed != c[engine.MetricDuplicateSuppressed] {
+		t.Errorf("stats computes/suppressed = %d/%d, registry says %d/%d",
+			stats.Computes, stats.DuplicateSuppressed, c[engine.MetricComputes], c[engine.MetricDuplicateSuppressed])
+	}
+	if len(stats.StageP95NS) != 5 {
+		t.Errorf("stage p95 map = %v, want 5 stages", stats.StageP95NS)
+	}
+	if !strings.Contains(out.String(), "stage p95:") {
+		t.Errorf("aggregate output missing stage p95 line:\n%s", out.String())
+	}
+}
+
+// TestBatchCacheFlag covers -cache: a capacity of 1 over an alternating
+// two-graph workload thrashes (every lookup misses, every insert
+// evicts), while the default capacity hits on every repeat.
+func TestBatchCacheFlag(t *testing.T) {
+	dir := t.TempDir()
+	for name, text := range map[string]string{"a.cg": fig2Text, "b.cg": fig2VariantText} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(args ...string) batchStats {
+		t.Helper()
+		jsonPath := filepath.Join(dir, "stats.json")
+		var out bytes.Buffer
+		if err := runBatch(append(args, "-json", jsonPath, dir), &out); err != nil {
+			t.Fatalf("runBatch: %v\n%s", err, out.String())
+		}
+		var stats batchStats
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	// Capacity 1, one worker: the A,B,A,B,... order alternates keys, so
+	// every job misses and every insert after the first evicts.
+	thrash := run("-cache", "1", "-workers", "1", "-repeat", "3")
+	if thrash.CacheHits != 0 || thrash.CacheMisses != 6 {
+		t.Errorf("cache=1: hits/misses = %d/%d, want 0/6", thrash.CacheHits, thrash.CacheMisses)
+	}
+	if thrash.CacheEvictions != 5 {
+		t.Errorf("cache=1: evictions = %d, want 5", thrash.CacheEvictions)
+	}
+
+	// Default capacity (engine.DefaultCacheCapacity): only the two first
+	// encounters miss.
+	def := run("-workers", "1", "-repeat", "3")
+	if def.CacheHits != 4 || def.CacheMisses != 2 || def.CacheEvictions != 0 {
+		t.Errorf("default cache: hits/misses/evictions = %d/%d/%d, want 4/2/0",
+			def.CacheHits, def.CacheMisses, def.CacheEvictions)
+	}
+
+	var out bytes.Buffer
+	if err := runBatch([]string{"-cache", "-1", dir}, &out); err == nil {
+		t.Error("-cache -1 accepted")
+	}
+}
+
+// TestBatchDebugServer covers -pprof wiring: the helper serves expvar
+// (with the published registry) and the pprof index.
+func TestBatchDebugServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("probe").Add(7)
+	ln, err := startDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + ln.Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "relsched_engine") || !strings.Contains(vars, `"probe":7`) {
+		t.Errorf("/debug/vars missing published registry:\n%.400s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", idx)
+	}
+
+	// End-to-end: the flag itself must come up (on an ephemeral port) and
+	// report the address.
+	dir := writeBatchDir(t)
+	var out bytes.Buffer
+	if err := runBatch([]string{"-pprof", "127.0.0.1:0", dir}, &out); err != nil {
+		t.Fatalf("runBatch -pprof: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "debug server on http://127.0.0.1:") {
+		t.Errorf("output missing debug server line:\n%s", out.String())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/cg"
+	"repro/internal/obs"
 	"repro/internal/relsched"
 )
 
@@ -35,14 +36,16 @@ type cacheKey struct {
 	wellPose bool
 }
 
-// cache is a mutex-guarded LRU over analysisEntry values.
+// cache is a mutex-guarded LRU over analysisEntry values. Hit/miss
+// accounting lives in the engine's metrics (the engine also counts
+// duplicate-suppressed lookups the cache never sees); the cache itself
+// reports only evictions, which happen under its lock.
 type cache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[cacheKey]*list.Element
-	order    *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[cacheKey]*list.Element
+	order     *list.List // front = most recently used
+	evictions *obs.Counter
 }
 
 type cacheItem struct {
@@ -50,33 +53,34 @@ type cacheItem struct {
 	entry *analysisEntry
 }
 
-func newCache(capacity int) *cache {
+func newCache(capacity int, evictions *obs.Counter) *cache {
 	return &cache{
-		capacity: capacity,
-		entries:  make(map[cacheKey]*list.Element, capacity),
-		order:    list.New(),
+		capacity:  capacity,
+		entries:   make(map[cacheKey]*list.Element, capacity),
+		order:     list.New(),
+		evictions: evictions,
 	}
 }
 
 // get returns the memoized entry for key, promoting it to most recently
-// used, and records the hit or miss.
+// used.
 func (c *cache) get(key cacheKey) (*analysisEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
 		return nil, false
 	}
-	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheItem).entry, true
 }
 
 // put inserts an entry, evicting the least recently used entry when the
-// cache is full. Concurrent workers may race to compute the same key; the
-// first insertion wins and later duplicates are dropped, so every Result
-// for a given fingerprint shares one entry.
+// cache is full. Duplicate-suppression (engine.flight) makes racing
+// insertions of the same key rare, but a leader cancelled between put and
+// flight-exit can still race a successor: the first insertion wins and
+// later duplicates are dropped, so every Result for a given fingerprint
+// shares one entry.
 func (c *cache) put(key cacheKey, entry *analysisEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -88,20 +92,29 @@ func (c *cache) put(key cacheKey, entry *analysisEntry) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheItem).key)
+		c.evictions.Inc()
 	}
 }
 
-// stats snapshots the hit/miss counters and current size.
-func (c *cache) stats() CacheStats {
+// len returns the number of live entries.
+func (c *cache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+	return c.order.Len()
 }
 
 // CacheStats reports the engine cache's effectiveness.
 type CacheStats struct {
-	// Hits and Misses count lookups since the engine was created.
+	// Hits and Misses count lookups since the engine was created. A
+	// duplicate-suppressed lookup (served by a concurrent leader's
+	// computation rather than the cache) counts as a miss.
 	Hits, Misses uint64
+	// Evictions counts LRU evictions.
+	Evictions uint64
+	// Suppressed counts duplicate-suppressed lookups: concurrent misses
+	// on the same key that shared the in-flight leader's computation
+	// instead of recomputing (see docs/CONCURRENCY.md).
+	Suppressed uint64
 	// Entries is the number of memoized analyses currently held.
 	Entries int
 }

@@ -22,12 +22,14 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cg"
+	"repro/internal/obs"
 	"repro/internal/relsched"
 )
 
@@ -49,6 +51,11 @@ type Options struct {
 	// it. Zero means no deadline. See Engine.Schedule for the
 	// checkpointed cancellation semantics.
 	JobTimeout time.Duration
+	// Metrics is the registry the engine records into; nil creates a
+	// private registry, retrievable via Engine.Metrics. Supply a shared
+	// registry to aggregate several engines (or co-publish with other
+	// subsystems) under one snapshot.
+	Metrics *obs.Registry
 }
 
 // DefaultCacheCapacity is the cache size used when Options.CacheCapacity
@@ -90,6 +97,11 @@ type Result struct {
 	SerializationEdges int
 	// CacheHit reports whether the result was served from the cache.
 	CacheHit bool
+	// Suppressed reports duplicate suppression: the job missed the cache
+	// but shared a concurrent leader's in-flight computation instead of
+	// recomputing (singleflight). Like a cache hit, the result's
+	// Graph/Schedule/Info are the leader's shared values.
+	Suppressed bool
 	// Duration is the wall-clock time the engine spent on this job.
 	Duration time.Duration
 	// Err is the pipeline verdict when no schedule exists: ErrUnfeasible
@@ -107,6 +119,18 @@ type Engine struct {
 	jobTimeout time.Duration
 	cache      *cache // nil when caching is disabled
 
+	registry *obs.Registry
+	metrics  *engineMetrics
+	hooks    *relsched.Hooks // shared metrics-fed trace hook, see engineMetrics.hooks
+
+	// flight tracks in-progress computations per cache key for
+	// singleflight duplicate suppression: concurrent misses on the same
+	// fingerprint wait for the first worker (the leader) instead of each
+	// burning an O(|A|·|V|·|E|) pipeline run. Nil map entries never
+	// occur; a key is present exactly while a leader is computing it.
+	flightMu sync.Mutex
+	flight   map[cacheKey]*flightCall
+
 	// fps memoizes graph fingerprints per live graph value, keyed by the
 	// generation counter so any mutation invalidates the memo (see
 	// cg.Graph.Generation). Bounded: the map is reset when it exceeds
@@ -114,6 +138,12 @@ type Engine struct {
 	// graphs.
 	fpMu sync.Mutex
 	fps  map[*cg.Graph]fpMemo
+}
+
+// flightCall is one in-progress computation other workers can wait on.
+type flightCall struct {
+	done  chan struct{}  // closed when the leader finishes
+	entry *analysisEntry // nil when the leader was cancelled mid-pipeline
 }
 
 type fpMemo struct {
@@ -132,16 +162,30 @@ func New(opts Options) *Engine {
 	if opts.CacheCapacity <= 0 {
 		opts.CacheCapacity = DefaultCacheCapacity
 	}
+	registry := opts.Metrics
+	if registry == nil {
+		registry = obs.NewRegistry()
+	}
+	m := newEngineMetrics(registry)
 	e := &Engine{
 		workers:    opts.Workers,
 		jobTimeout: opts.JobTimeout,
+		registry:   registry,
+		metrics:    m,
+		hooks:      m.hooks(),
+		flight:     make(map[cacheKey]*flightCall),
 		fps:        make(map[*cg.Graph]fpMemo),
 	}
 	if !opts.DisableCache {
-		e.cache = newCache(opts.CacheCapacity)
+		e.cache = newCache(opts.CacheCapacity, m.evictions)
 	}
 	return e
 }
+
+// Metrics returns the engine's metrics registry (see the Metric* names
+// and docs/OBSERVABILITY.md). The registry is live: snapshot it whenever
+// a report is needed.
+func (e *Engine) Metrics() *obs.Registry { return e.registry }
 
 // Workers returns the resolved worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
@@ -151,18 +195,30 @@ func (e *Engine) Stats() CacheStats {
 	if e.cache == nil {
 		return CacheStats{}
 	}
-	return e.cache.stats()
+	m := e.metrics
+	return CacheStats{
+		Hits:       m.hits.Value(),
+		Misses:     m.misses.Value(),
+		Evictions:  m.evictions.Value(),
+		Suppressed: m.suppressed.Value(),
+		Entries:    e.cache.len(),
+	}
 }
 
 // Run executes the jobs arriving on the jobs channel on the worker pool
 // and streams one Result per job on the returned channel, which is closed
 // once the jobs channel is closed and all in-flight jobs have finished,
-// or once ctx is cancelled. Result order is completion order, not
-// submission order; use Job.ID (or RunAll) to correlate.
+// or once ctx is cancelled and the in-flight results are delivered.
+// Result order is completion order, not submission order; use Job.ID (or
+// RunAll) to correlate.
 //
-// On cancellation workers stop taking new jobs and in-flight jobs return
-// with Err set at their next checkpoint; producers writing to jobs must
-// select on ctx.Done() themselves or they may block forever.
+// Delivery guarantee: every job received from the jobs channel produces
+// exactly one Result — a job in flight when ctx is cancelled is still
+// delivered, with Err = ctx.Err() if the pipeline was cut short. Callers
+// correlating by Job.ID therefore never see an accepted job vanish. The
+// flip side: consumers must drain the results channel until it closes,
+// and producers writing to jobs must select on ctx.Done() themselves or
+// they may block forever once workers stop receiving.
 func (e *Engine) Run(ctx context.Context, jobs <-chan Job) <-chan Result {
 	results := make(chan Result)
 	var wg sync.WaitGroup
@@ -178,11 +234,12 @@ func (e *Engine) Run(ctx context.Context, jobs <-chan Job) <-chan Result {
 					if !ok {
 						return
 					}
-					select {
-					case results <- e.Schedule(ctx, job):
-					case <-ctx.Done():
-						return
-					}
+					// Unconditional send: once a job is accepted its
+					// result must not be dropped, even if ctx is
+					// cancelled while the send is blocked (the result
+					// then carries ctx.Err() from Schedule's
+					// checkpoints, or the last pre-cancel value).
+					results <- e.Schedule(ctx, job)
 				}
 			}
 		}()
@@ -205,6 +262,9 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// queue.depth tracks jobs not yet claimed by a worker; Add (not Set)
+	// so concurrent RunAll calls on a shared engine aggregate.
+	e.metrics.queueDepth.Add(int64(len(jobs)))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -214,6 +274,7 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) []Result {
 				if i >= len(jobs) {
 					return
 				}
+				e.metrics.queueDepth.Add(-1)
 				results[i] = e.Schedule(ctx, jobs[i])
 			}
 		}()
@@ -225,7 +286,9 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) []Result {
 // Schedule executes one job synchronously: fingerprint, cache lookup, and
 // on a miss the full pipeline — well-posedness handling, anchor analysis,
 // iterative incremental scheduling — with the outcome memoized for the
-// next equivalent job.
+// next equivalent job. Concurrent misses on the same key are
+// duplicate-suppressed: one worker (the leader) computes, the rest wait
+// and share its entry.
 //
 // Cancellation is checkpointed: the pipeline stages are uninterruptible
 // CPU-bound passes (each fast — the paper's designs all schedule in well
@@ -233,10 +296,23 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) []Result {
 // stages rather than preempting one. A cancelled or expired job returns
 // Err = ctx.Err() without polluting the cache.
 func (e *Engine) Schedule(ctx context.Context, job Job) Result {
+	m := e.metrics
 	start := time.Now()
+	m.submitted.Inc()
+	m.inflight.Add(1)
 	res := Result{JobID: job.ID, Graph: job.Graph}
 	done := func() Result {
 		res.Duration = time.Since(start)
+		m.inflight.Add(-1)
+		m.jobDuration.Observe(res.Duration)
+		switch {
+		case res.Err == nil:
+			m.completed.Inc()
+		case errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
+			m.cancelled.Inc()
+		default:
+			m.failed.Inc()
+		}
 		return res
 	}
 	if err := ctx.Err(); err != nil {
@@ -253,25 +329,77 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		defer cancel()
 	}
 
+	t := time.Now()
 	key := cacheKey{fp: e.fingerprint(job.Graph), wellPose: job.WellPose}
-	if e.cache != nil {
-		if entry, ok := e.cache.get(key); ok {
+	m.stageFingerprint.Observe(time.Since(t))
+
+	if e.cache == nil {
+		entry := e.compute(ctx, job)
+		if entry == nil { // cancelled mid-pipeline
+			res.Err = ctx.Err()
+			return done()
+		}
+		res.fill(entry)
+		return done()
+	}
+
+	for {
+		t = time.Now()
+		entry, ok := e.cache.get(key)
+		m.stageCache.Observe(time.Since(t))
+		m.lookups.Inc()
+		if ok {
+			m.hits.Inc()
 			res.fill(entry)
 			res.CacheHit = true
 			return done()
 		}
-	}
+		m.misses.Inc()
 
-	entry := e.compute(ctx, job)
-	if entry == nil { // cancelled mid-pipeline
-		res.Err = ctx.Err()
+		e.flightMu.Lock()
+		if call, inFlight := e.flight[key]; inFlight {
+			e.flightMu.Unlock()
+			// Follower: wait for the leader instead of recomputing.
+			select {
+			case <-call.done:
+				if call.entry != nil {
+					m.suppressed.Inc()
+					res.fill(call.entry)
+					res.Suppressed = true
+					return done()
+				}
+				// The leader was cancelled and published nothing; loop
+				// to re-check the cache and, if still empty, lead.
+				continue
+			case <-ctx.Done():
+				res.Err = ctx.Err()
+				return done()
+			}
+		}
+		call := &flightCall{done: make(chan struct{})}
+		e.flight[key] = call
+		e.flightMu.Unlock()
+
+		// Leader: run the pipeline, publish to the cache first so
+		// followers that loop (rather than read call.entry) find it, then
+		// release the flight slot.
+		entry = e.compute(ctx, job)
+		call.entry = entry
+		if entry != nil {
+			e.cache.put(key, entry)
+		}
+		e.flightMu.Lock()
+		delete(e.flight, key)
+		e.flightMu.Unlock()
+		close(call.done)
+
+		if entry == nil { // cancelled mid-pipeline; nothing cached
+			res.Err = ctx.Err()
+			return done()
+		}
+		res.fill(entry)
 		return done()
 	}
-	if e.cache != nil {
-		e.cache.put(key, entry)
-	}
-	res.fill(entry)
-	return done()
 }
 
 // fill copies a memoized outcome into the result.
@@ -283,43 +411,60 @@ func (r *Result) fill(entry *analysisEntry) {
 	r.Err = entry.err
 }
 
-// compute runs the scheduling pipeline of §IV for one job. It returns nil
-// (and nothing is cached) when ctx expires between stages; otherwise the
-// returned entry holds either the schedule or the deterministic error
-// verdict, both of which are valid to memoize.
+// compute runs the scheduling pipeline of §IV for one job, timing each
+// stage into the engine's histograms and counting the run in
+// engine.computes once it reaches a verdict. It returns nil (and nothing
+// is cached, and no compute is counted) when ctx expires between stages;
+// otherwise the returned entry holds either the schedule or the
+// deterministic error verdict, both of which are valid to memoize.
 func (e *Engine) compute(ctx context.Context, job Job) *analysisEntry {
+	m := e.metrics
 	entry := &analysisEntry{graph: job.Graph}
+	verdict := func() *analysisEntry {
+		m.computes.Inc()
+		return entry
+	}
+	t := time.Now()
 	if job.WellPose {
-		wp, added, err := relsched.MakeWellPosed(job.Graph)
+		wp, added, err := relsched.MakeWellPosedTraced(job.Graph, e.hooks)
+		m.stageWellpose.Observe(time.Since(t))
 		entry.added = added
 		if err != nil {
 			entry.err = err
-			return entry
+			return verdict()
 		}
 		entry.graph = wp
-	} else if err := relsched.CheckWellPosed(job.Graph); err != nil {
-		entry.err = err
-		return entry
+	} else {
+		err := relsched.CheckWellPosed(job.Graph)
+		m.stageWellpose.Observe(time.Since(t))
+		if err != nil {
+			entry.err = err
+			return verdict()
+		}
 	}
 	if ctx.Err() != nil {
 		return nil
 	}
+	t = time.Now()
 	info, err := relsched.Analyze(entry.graph)
+	m.stageAnalyze.Observe(time.Since(t))
 	if err != nil {
 		entry.err = err
-		return entry
+		return verdict()
 	}
 	entry.info = info
 	if ctx.Err() != nil {
 		return nil
 	}
-	sched, err := relsched.ComputeFromAnalysis(info)
+	t = time.Now()
+	sched, err := relsched.ComputeFromAnalysisTraced(info, e.hooks)
+	m.stageSchedule.Observe(time.Since(t))
 	if err != nil {
 		entry.err = err
-		return entry
+		return verdict()
 	}
 	entry.sched = sched
-	return entry
+	return verdict()
 }
 
 // fingerprint returns the canonical fingerprint of g, memoized per

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds is the fixed bucket layout used by NewHistogram
+// when no bounds are given: a 1-2-5 decade ladder from 1µs to 10s, the
+// range the scheduling pipeline's stages occupy (a cache hit is ~1µs, a
+// cold frisc-scale analysis is hundreds of µs, and the per-job timeout
+// ceiling is seconds). Values are upper bounds in nanoseconds; an
+// implicit overflow bucket catches everything beyond the last bound.
+var DefaultLatencyBounds = []int64{
+	1e3, 2e3, 5e3, // 1µs 2µs 5µs
+	1e4, 2e4, 5e4, // 10µs 20µs 50µs
+	1e5, 2e5, 5e5, // 100µs 200µs 500µs
+	1e6, 2e6, 5e6, // 1ms 2ms 5ms
+	1e7, 2e7, 5e7, // 10ms 20ms 50ms
+	1e8, 2e8, 5e8, // 100ms 200ms 500ms
+	1e9, 2e9, 5e9, // 1s 2s 5s
+	1e10, // 10s
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are cumulative
+// only at snapshot time; the live representation is one atomic counter
+// per bucket, so Observe is lock-free and safe for any number of
+// concurrent writers. Quantiles are estimated at snapshot time by linear
+// interpolation inside the bucket containing the quantile rank — exact
+// enough for p50/p95/p99 steering given the 1-2-5 bucket resolution.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (ns); counts has one extra overflow slot
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only while count > 0
+	max    atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// in nanoseconds, or DefaultLatencyBounds when bounds is nil.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 sentinel until first Observe
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return ns <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if cur <= ns {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Bucket is one non-empty histogram bucket in a snapshot. UpperNS is the
+// bucket's inclusive upper bound in nanoseconds; the overflow bucket is
+// reported with UpperNS = -1.
+type Bucket struct {
+	UpperNS int64  `json:"le_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram, including
+// interpolated quantiles. Only non-empty buckets are listed.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumNS   int64    `json:"sum_ns"`
+	MinNS   int64    `json:"min_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	MeanNS  int64    `json:"mean_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P95NS   int64    `json:"p95_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state. Concurrent Observe
+// calls during the snapshot may straddle the per-bucket reads; the result
+// is a weakly consistent view, which is the standard trade for a lock-free
+// hot path (the registry documents the same caveat).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		SumNS: h.sum.Load(),
+		MinNS: h.min.Load(),
+		MaxNS: h.max.Load(),
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s.Count = total
+	if total == 0 {
+		s.MinNS = 0
+		return s
+	}
+	s.MeanNS = s.SumNS / int64(total)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		upper := int64(-1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperNS: upper, Count: c})
+	}
+	s.P50NS = h.quantile(counts, total, 0.50, s.MaxNS)
+	s.P95NS = h.quantile(counts, total, 0.95, s.MaxNS)
+	s.P99NS = h.quantile(counts, total, 0.99, s.MaxNS)
+	return s
+}
+
+// quantile interpolates the q-quantile from a counts snapshot. The
+// overflow bucket's upper edge is the observed maximum.
+func (h *Histogram) quantile(counts []uint64, total uint64, q float64, observedMax int64) int64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lower := int64(0)
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := observedMax
+		if i < len(h.bounds) && h.bounds[i] < upper {
+			upper = h.bounds[i]
+		}
+		if upper < lower {
+			upper = lower
+		}
+		frac := (rank - prev) / float64(c)
+		return lower + int64(frac*float64(upper-lower))
+	}
+	return observedMax
+}

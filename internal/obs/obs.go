@@ -1,0 +1,49 @@
+// Package obs is a dependency-free metrics core for the scheduling
+// pipeline: atomic counters, gauges, fixed-bucket latency histograms with
+// quantile snapshots, and a named registry that serializes to JSON and
+// publishes through the standard library's expvar facility.
+//
+// The package exists because the batch engine (internal/engine) is a
+// concurrent black box without it: per-stage timing of the Bellman–Ford
+// anchor analysis (Theorem 3), the |E_b|+1 relaxation loop (Corollary 2),
+// and the memoization layer is the signal that feedback-guided synthesis
+// flows steer by. Everything here is stdlib-only and safe for concurrent
+// use; the hot-path operations (Counter.Add, Gauge.Set,
+// Histogram.Observe) are a handful of atomic instructions so they can sit
+// inside the engine's per-job fast path without disturbing throughput.
+//
+// docs/OBSERVABILITY.md maps every metric the repo registers to the paper
+// construct it measures.
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight jobs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

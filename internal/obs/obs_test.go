@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs") != c {
+		t.Error("Counter is not get-or-create")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	if r.Gauge("depth") != g {
+		t.Error("Gauge is not get-or-create")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	// 100 observations spread 1..100µs: p50 ≈ 50µs, p95 ≈ 95µs.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.MinNS != int64(time.Microsecond) || s.MaxNS != int64(100*time.Microsecond) {
+		t.Errorf("min/max = %d/%d, want 1µs/100µs", s.MinNS, s.MaxNS)
+	}
+	wantMean := int64(50500 * time.Nanosecond)
+	if s.MeanNS != wantMean {
+		t.Errorf("mean = %d, want %d", s.MeanNS, wantMean)
+	}
+	// Bucketed quantiles are approximate; accept the containing 1-2-5
+	// bucket (50µs sits exactly on a bound, 95µs falls in (50µs,100µs]).
+	if s.P50NS < int64(20*time.Microsecond) || s.P50NS > int64(50*time.Microsecond) {
+		t.Errorf("p50 = %v, want within (20µs, 50µs]", time.Duration(s.P50NS))
+	}
+	if s.P95NS < int64(50*time.Microsecond) || s.P95NS > int64(100*time.Microsecond) {
+		t.Errorf("p95 = %v, want within (50µs, 100µs]", time.Duration(s.P95NS))
+	}
+	if s.P99NS < s.P95NS || s.P99NS > s.MaxNS {
+		t.Errorf("p99 = %v outside [p95, max]", time.Duration(s.P99NS))
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			t.Error("snapshot contains an empty bucket")
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]int64{int64(time.Millisecond)})
+	h.Observe(5 * time.Second)
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperNS != -1 {
+		t.Fatalf("overflow bucket not reported: %+v", s.Buckets)
+	}
+	// The overflow bucket's quantile edge is the observed maximum.
+	if s.P99NS > s.MaxNS || s.MaxNS != int64(5*time.Second) {
+		t.Errorf("p99/max = %d/%d", s.P99NS, s.MaxNS)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram(nil).Snapshot()
+	if s.Count != 0 || s.MinNS != 0 || s.MaxNS != 0 || s.P95NS != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != goroutines*per {
+		t.Errorf("counter = %d, want %d", s.Counters["n"], goroutines*per)
+	}
+	if s.Gauges["g"] != goroutines*per {
+		t.Errorf("gauge = %d, want %d", s.Gauges["g"], goroutines*per)
+	}
+	if s.Histograms["h"].Count != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", s.Histograms["h"].Count, goroutines*per)
+	}
+	if s.Histograms["h"].MinNS != 0 {
+		t.Errorf("histogram min = %d, want 0", s.Histograms["h"].MinNS)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-2)
+	r.Histogram("c").Observe(42 * time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a"] != 3 || s.Gauges["b"] != -2 || s.Histograms["c"].Count != 1 {
+		t.Errorf("round-trip mismatch: %+v", s)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.PublishExpvar("obs_test_registry")
+	// Publishing again (same or different registry) must not panic.
+	r.PublishExpvar("obs_test_registry")
+	NewRegistry().PublishExpvar("obs_test_registry")
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	if !strings.Contains(v.String(), `"x":1`) {
+		t.Errorf("expvar value missing counter: %s", v.String())
+	}
+}

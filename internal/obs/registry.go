@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookups are get-or-create,
+// so instrumented code can resolve its metrics once at construction time
+// and pay only atomic operations afterwards. A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named latency histogram with the default bucket
+// layout, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram(nil)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time serializable view of a registry. It is
+// weakly consistent: metrics are read one by one without a global lock,
+// so counters written during the snapshot may be split across it. Callers
+// that need exact cross-metric invariants (the conservation properties in
+// the engine tests) snapshot while the instrumented system is quiescent.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON serializes a snapshot of the registry as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar exposes the registry under the given name in the
+// process-wide expvar namespace (served at /debug/vars by any
+// net/http server using the default mux). The expvar value re-snapshots
+// on every read, so scrapes always see current numbers. Publishing the
+// same name twice is a no-op keeping the first registry — expvar has no
+// unpublish — so long-lived processes should publish exactly one registry
+// per name.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return r.Snapshot()
+	}))
+}

@@ -1,0 +1,48 @@
+package relsched
+
+// Hooks is an optional trace hook into the inner loops of the scheduling
+// pipeline. Each field may be nil; a nil *Hooks disables tracing
+// entirely. Unlike Trace (which copies full offset tables to reproduce
+// the paper's Fig. 10), Hooks reports only loop-shape counts, so it is
+// cheap enough for production instrumentation — internal/engine feeds
+// these callbacks into its metrics registry.
+//
+// Callbacks run synchronously on the scheduling goroutine and must not
+// retain or mutate pipeline state.
+type Hooks struct {
+	// RelaxationSweep fires after each IncrementalOffset longest-path
+	// sweep with the 1-based iteration number. Theorem 8 bounds the
+	// total at L+1 ≤ |E_b|+1; a graph family whose sweep count trends
+	// toward the bound is approaching the ErrInconsistent cliff of
+	// Corollary 2.
+	RelaxationSweep func(iteration int)
+	// Readjustment fires after each ReadjustOffsets pass over the
+	// backward edges with the number of (anchor, vertex) offsets it
+	// raised; 0 means the pass converged.
+	Readjustment func(raised int)
+	// SerializationPass fires after each makeWellposed sweep with the
+	// number of serialization edges the sweep added (Theorem 7); the
+	// final fixpoint sweep reports 0.
+	SerializationPass func(added int)
+}
+
+// relaxationSweep invokes the hook when set.
+func (h *Hooks) relaxationSweep(iteration int) {
+	if h != nil && h.RelaxationSweep != nil {
+		h.RelaxationSweep(iteration)
+	}
+}
+
+// readjustment invokes the hook when set.
+func (h *Hooks) readjustment(raised int) {
+	if h != nil && h.Readjustment != nil {
+		h.Readjustment(raised)
+	}
+}
+
+// serializationPass invokes the hook when set.
+func (h *Hooks) serializationPass(added int) {
+	if h != nil && h.SerializationPass != nil {
+		h.SerializationPass(added)
+	}
+}

@@ -45,9 +45,21 @@ func (s *Schedule) reschedule(g2 *cg.Graph) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Anchors are delay-determined (Definition 2); adding a constraint
+	// edge cannot change them. The warm start below copies offsets by
+	// anchor *index*, so a mere length check is not enough: if the anchor
+	// lists ever disagreed element-wise, offsets computed against one
+	// anchor would silently seed another's row. Assert identity
+	// index-by-index before trusting the alignment.
 	if len(info.List) != len(s.Info.List) {
-		// Anchors are delay-determined; edges cannot change them.
-		return nil, fmt.Errorf("relsched: internal: anchor set changed on constraint addition")
+		return nil, fmt.Errorf("relsched: internal: anchor count changed on constraint addition (%d -> %d)",
+			len(s.Info.List), len(info.List))
+	}
+	for i, a := range info.List {
+		if s.Info.List[i] != a {
+			return nil, fmt.Errorf("relsched: internal: anchor %d changed on constraint addition (%d -> %d)",
+				i, s.Info.List[i], a)
+		}
 	}
 	next := &Schedule{G: g2, Info: info}
 	next.initOffsets()
@@ -65,7 +77,7 @@ func (s *Schedule) reschedule(g2 *cg.Graph) (*Schedule, error) {
 	for c := 1; c <= maxIter; c++ {
 		next.incrementalOffset()
 		next.Iterations = c
-		if !next.readjustOffsets(backward) {
+		if next.readjustOffsets(backward) == 0 {
 			return next, nil
 		}
 	}

@@ -144,3 +144,61 @@ func TestProperty_IncrementalAgreesWithCold(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestIncrementalMultiAnchorWarmStart is the regression test for the
+// warm-start anchor-alignment check: Fig. 3(c) has three anchors
+// (v0, a1, a2), so the warm start copies three offset rows by anchor
+// index. Adding constraints must keep the warm-started offsets identical
+// to a cold Compute of the modified graph — a misaligned anchor list
+// would seed one anchor's row with another's offsets and corrupt them
+// silently.
+func TestIncrementalMultiAnchorWarmStart(t *testing.T) {
+	g := paperex.Fig3c()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Info.NumAnchors(); n != 3 {
+		t.Fatalf("Fig3c has %d anchors, want 3 (v0, a1, a2)", n)
+	}
+	vi := g.VertexByName("vi")
+	vj := g.VertexByName("vj")
+
+	// σ(vj) ≥ σ(vi) + 3 interacts with the existing max constraint
+	// σ(vi) ≤ σ(vj) + 4 and makes a1 an anchor of vj's set.
+	warm, err := s.WithMinConstraint(vi, vj, 3)
+	if err != nil {
+		t.Fatalf("WithMinConstraint: %v", err)
+	}
+	if err := relsched.Verify(warm); err != nil {
+		t.Fatalf("Verify(warm): %v", err)
+	}
+	cold, err := relsched.Compute(warm.G)
+	if err != nil {
+		t.Fatalf("cold reschedule: %v", err)
+	}
+	if !relsched.EqualOffsets(warm, cold) {
+		t.Error("warm-started offsets differ from cold reschedule (anchor-aligned copy broken?)")
+	}
+	a1 := g.VertexByName("a1")
+	if o, ok := warm.Offset(a1, vj, relsched.FullAnchors); !ok || o != 3 {
+		t.Errorf("σ_a1(vj) = %d (ok=%v), want 3 via the new minimum constraint", o, ok)
+	}
+
+	// Stack a maximum constraint on the modified graph: every anchor row
+	// of the second warm start is seeded from the first one's offsets.
+	warm2, err := warm.WithMaxConstraint(vj, vi, 5)
+	if err != nil {
+		t.Fatalf("WithMaxConstraint: %v", err)
+	}
+	cold2, err := relsched.Compute(warm2.G)
+	if err != nil {
+		t.Fatalf("cold reschedule 2: %v", err)
+	}
+	if !relsched.EqualOffsets(warm2, cold2) {
+		t.Error("second warm start diverged from cold reschedule")
+	}
+	if err := relsched.Verify(warm2); err != nil {
+		t.Errorf("Verify(warm2): %v", err)
+	}
+}

@@ -137,7 +137,7 @@ func Compute(g *cg.Graph) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return schedule(info)
+	return schedule(info, nil)
 }
 
 // ComputeFromAnalysis runs the iterative incremental scheduling of
@@ -147,7 +147,14 @@ func Compute(g *cg.Graph) (*Schedule, error) {
 // entry point exists for callers that schedule the same graph repeatedly
 // (benchmarks, conflict-resolution search).
 func ComputeFromAnalysis(info *AnchorInfo) (*Schedule, error) {
-	return schedule(info)
+	return schedule(info, nil)
+}
+
+// ComputeFromAnalysisTraced is ComputeFromAnalysis with an optional trace
+// hook observing the relaxation loop (see Hooks). A nil hook is valid and
+// equivalent to ComputeFromAnalysis.
+func ComputeFromAnalysisTraced(info *AnchorInfo, h *Hooks) (*Schedule, error) {
+	return schedule(info, h)
 }
 
 // ComputeWellPosed is Compute for graphs that may be ill-posed: it first
@@ -175,8 +182,9 @@ func (s *Schedule) sigma(ai int, v cg.VertexID) (int, bool) {
 }
 
 // schedule runs iterative incremental scheduling (§IV-E) against the full
-// anchor sets in info. The graph must already be known well-posed.
-func schedule(info *AnchorInfo) (*Schedule, error) {
+// anchor sets in info. The graph must already be known well-posed. The
+// hook (nilable) observes each relaxation sweep and readjustment pass.
+func schedule(info *AnchorInfo, h *Hooks) (*Schedule, error) {
 	g := info.G
 	s := &Schedule{G: g, Info: info}
 	s.initOffsets()
@@ -185,7 +193,10 @@ func schedule(info *AnchorInfo) (*Schedule, error) {
 	for c := 1; c <= maxIter; c++ {
 		s.incrementalOffset()
 		s.Iterations = c
-		if !s.readjustOffsets(backward) {
+		h.relaxationSweep(c)
+		raised := s.readjustOffsets(backward)
+		h.readjustment(raised)
+		if raised == 0 {
 			return s, nil
 		}
 	}
@@ -236,12 +247,13 @@ func (s *Schedule) incrementalOffset() {
 }
 
 // readjustOffsets scans the backward edges and raises violated offsets to
-// the minimum satisfying value (the ReadjustOffset procedure). It reports
-// whether any offset changed.
-func (s *Schedule) readjustOffsets(backward []int) bool {
+// the minimum satisfying value (the ReadjustOffset procedure). It returns
+// the number of offsets raised; 0 means every maximum constraint held and
+// the schedule has converged.
+func (s *Schedule) readjustOffsets(backward []int) int {
 	g := s.G
 	nA := len(s.Info.List)
-	changed := false
+	raised := 0
 	for _, ei := range backward {
 		e := g.Edge(ei) // tail -> head with weight -u ≤ 0
 		for ai := 0; ai < nA; ai++ {
@@ -253,9 +265,9 @@ func (s *Schedule) readjustOffsets(backward []int) bool {
 			// backward edges and acquires its first value here.
 			if s.off[ai][e.To] < tail+e.Weight {
 				s.off[ai][e.To] = tail + e.Weight
-				changed = true
+				raised++
 			}
 		}
 	}
-	return changed
+	return raised
 }

@@ -53,7 +53,7 @@ func ComputeTrace(g *cg.Graph) (*Schedule, *Trace, error) {
 		s.incrementalOffset()
 		s.Iterations = c
 		snapshot(c, false)
-		if !s.readjustOffsets(backward) {
+		if s.readjustOffsets(backward) == 0 {
 			return s, tr, nil
 		}
 		snapshot(c, true)

@@ -99,6 +99,14 @@ func checkContainment(g *cg.Graph, ai *AnchorInfo) error {
 // when g is already well-posed, in which case the returned graph is a
 // plain clone.
 func MakeWellPosed(g *cg.Graph) (*cg.Graph, int, error) {
+	return MakeWellPosedTraced(g, nil)
+}
+
+// MakeWellPosedTraced is MakeWellPosed with an optional trace hook: each
+// sweep of the fixpoint loop reports the number of serialization edges it
+// added through Hooks.SerializationPass (the converging sweep reports 0).
+// A nil hook is valid and equivalent to MakeWellPosed.
+func MakeWellPosedTraced(g *cg.Graph, h *Hooks) (*cg.Graph, int, error) {
 	if err := CheckFeasible(g); err != nil {
 		return nil, 0, err
 	}
@@ -114,6 +122,7 @@ func MakeWellPosed(g *cg.Graph) (*cg.Graph, int, error) {
 		ai := anchorSets(work)
 		n, err := makeWellPosedPass(work, ai)
 		added += n
+		h.serializationPass(n)
 		if err != nil {
 			return nil, added, err
 		}
