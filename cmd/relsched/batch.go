@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/relsched"
+	"repro/internal/trace"
 )
 
 // batchUsage documents the batch subcommand.
@@ -45,9 +46,13 @@ flags:
   -metrics file    write the engine metrics registry (per-stage latency
                    histograms, cache/pipeline counters) as a JSON snapshot;
                    see docs/OBSERVABILITY.md for every metric
+  -trace file      record per-job spans (fingerprint/cache/wellpose/analyze/
+                   schedule stages, relaxation-sweep events) and write them
+                   as Chrome Trace Event JSON, loadable in Perfetto or
+                   chrome://tracing
   -pprof addr      serve net/http/pprof and expvar (live metrics at
-                   /debug/vars) on addr, e.g. localhost:6060, for the
-                   duration of the batch
+                   /debug/vars, live span tree at /debug/trace) on addr,
+                   e.g. localhost:6060, for the duration of the batch
 `
 
 // manifestEntry is one line of a JSONL batch manifest. Path is resolved
@@ -113,6 +118,7 @@ func runBatch(args []string, stdout io.Writer) error {
 	print := fs.Bool("print", false, "print each job's offset table")
 	jsonPath := fs.String("json", "", "write aggregate stats JSON to this file")
 	metricsPath := fs.String("metrics", "", "write a metrics registry JSON snapshot to this file")
+	tracePath := fs.String("trace", "", "write a Chrome Trace Event JSON of the batch to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +146,19 @@ func runBatch(args []string, stdout io.Writer) error {
 		jobs = append(jobs, base...)
 	}
 
+	// Tracing is on when either consumer wants spans: the -trace file or
+	// the live /debug/trace endpoint. The ring is sized to hold the whole
+	// batch — one root plus at most five stage spans per job — so -trace
+	// files are complete rather than a most-recent window.
+	var tracer *trace.Tracer
+	if *tracePath != "" || *pprofAddr != "" {
+		capacity := len(jobs) * 6
+		if capacity < trace.DefaultCapacity {
+			capacity = trace.DefaultCapacity
+		}
+		tracer = trace.New(trace.Options{Capacity: capacity})
+	}
+
 	// CacheCapacity 0 falls through to engine.DefaultCacheCapacity, so
 	// eviction behavior no longer silently depends on workload size; size
 	// it explicitly with -cache when the workload's working set is known.
@@ -148,15 +167,16 @@ func runBatch(args []string, stdout io.Writer) error {
 		DisableCache:  *nocache,
 		JobTimeout:    *timeout,
 		CacheCapacity: *cacheCap,
+		Tracer:        tracer,
 	})
 
 	if *pprofAddr != "" {
-		ln, err := startDebugServer(*pprofAddr, e.Metrics())
+		ln, err := startDebugServer(*pprofAddr, e.Metrics(), tracer)
 		if err != nil {
 			return err
 		}
 		defer ln.Close()
-		fmt.Fprintf(stdout, "debug server on http://%s (pprof at /debug/pprof/, metrics at /debug/vars)\n", ln.Addr())
+		fmt.Fprintf(stdout, "debug server on http://%s (pprof at /debug/pprof/, metrics at /debug/vars, spans at /debug/trace)\n", ln.Addr())
 	}
 
 	start := time.Now()
@@ -219,6 +239,14 @@ func runBatch(args []string, stdout io.Writer) error {
 	if *metricsPath != "" {
 		if err := writeMetricsSnapshot(*metricsPath, e.Metrics()); err != nil {
 			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTraceFile(*tracePath, tracer); err != nil {
+			return err
+		}
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Fprintf(stdout, "trace ring dropped %d span(s); the file holds the most recent %d\n", n, tracer.Len())
 		}
 	}
 	if stats.Failed > 0 {
@@ -325,19 +353,40 @@ func writeMetricsSnapshot(path string, reg *obs.Registry) error {
 	return f.Close()
 }
 
-// startDebugServer publishes the registry to expvar and serves the
-// default mux — net/http/pprof's /debug/pprof/* handlers plus expvar's
-// /debug/vars, which re-snapshots the registry on every scrape — on addr.
-// The caller closes the listener when the batch is done.
-func startDebugServer(addr string, reg *obs.Registry) (net.Listener, error) {
+// writeTraceFile snapshots the tracer and writes the Chrome Trace Event
+// JSON to path.
+func writeTraceFile(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, tracer.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startDebugServer publishes the registry to expvar and serves, on addr:
+// net/http/pprof's /debug/pprof/* handlers and expvar's /debug/vars
+// (which re-snapshots the registry on every scrape) from the default
+// mux, plus the live span tree at /debug/trace. The trace handler is
+// mounted on a fresh mux wrapping the default one so repeated batch runs
+// in one process never double-register; it serves a valid empty trace
+// when tracing is off. The caller closes the listener when the batch is
+// done.
+func startDebugServer(addr string, reg *obs.Registry, tracer *trace.Tracer) (net.Listener, error) {
 	reg.PublishExpvar("relsched_engine")
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/trace", tracer.Handler())
+	mux.Handle("/", http.DefaultServeMux)
 	go func() {
 		// Serve returns once the listener closes; nothing to report.
-		_ = http.Serve(ln, nil)
+		_ = http.Serve(ln, mux)
 	}()
 	return ln, nil
 }

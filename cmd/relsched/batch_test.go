@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 const illPosedText = `
@@ -270,7 +271,11 @@ func TestBatchCacheFlag(t *testing.T) {
 func TestBatchDebugServer(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("probe").Add(7)
-	ln, err := startDebugServer("127.0.0.1:0", reg)
+	tracer := trace.New(trace.Options{})
+	sp := tracer.StartSpan("job")
+	sp.SetStr("id", "probe")
+	sp.End()
+	ln, err := startDebugServer("127.0.0.1:0", reg, tracer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,6 +302,13 @@ func TestBatchDebugServer(t *testing.T) {
 	}
 	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
 		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", idx)
+	}
+	var live trace.ChromeTrace
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &live); err != nil {
+		t.Fatalf("/debug/trace is not a chrome trace: %v", err)
+	}
+	if len(live.TraceEvents) != 1 || live.TraceEvents[0].Name != "job" {
+		t.Errorf("/debug/trace events = %+v, want the one recorded job span", live.TraceEvents)
 	}
 
 	// End-to-end: the flag itself must come up (on an ephemeral port) and

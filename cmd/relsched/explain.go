@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cg"
+	"repro/internal/cgio"
+	"repro/internal/relsched"
+)
+
+// explainUsage documents the explain subcommand.
+const explainUsage = `usage: relsched explain [flags] [graph.cg]
+
+Schedules the graph and prints, per vertex, the provenance of its
+offsets: for each anchor, the binding constraint chain that forces
+σ_a(v) (the Theorem 1 longest path), the per-anchor and overall slack,
+and the margin of every maximum timing constraint on the vertex —
+flagging the tight ones that bind the schedule.
+
+With no file argument the graph is read from standard input.
+
+flags:
+  -mode m      anchor sets: full, relevant, or irredundant
+  -wellpose    repair an ill-posed graph first (makeWellposed)
+  -vertex v    explain only the named vertex
+  -json        emit the explanation as JSON instead of text
+`
+
+// The explainJSON* types mirror relsched's provenance structs with
+// vertex names instead of IDs, so the JSON is meaningful without the
+// graph in hand.
+type explainJSONStep struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Kind      string `json:"kind"`
+	Weight    int    `json:"weight"`
+	Unbounded bool   `json:"unbounded,omitempty"`
+}
+
+type explainJSONBinding struct {
+	Anchor string            `json:"anchor"`
+	Offset int               `json:"offset"`
+	Slack  int               `json:"slack"`
+	ViaMax bool              `json:"via_max,omitempty"`
+	Chain  []explainJSONStep `json:"chain"`
+}
+
+type explainJSONMax struct {
+	Other  string `json:"other"`
+	U      int    `json:"u"`
+	Margin int    `json:"margin"`
+	Tight  bool   `json:"tight"`
+}
+
+type explainJSONVertex struct {
+	Vertex         string               `json:"vertex"`
+	Slack          int                  `json:"slack"`
+	Bindings       []explainJSONBinding `json:"bindings"`
+	MaxConstraints []explainJSONMax     `json:"max_constraints,omitempty"`
+}
+
+// runExplain implements `relsched explain`.
+func runExplain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	fs.Usage = func() { fmt.Fprint(os.Stderr, explainUsage) }
+	modeName := fs.String("mode", "irredundant", "anchor sets: full, relevant, or irredundant")
+	wellpose := fs.Bool("wellpose", false, "minimally serialize an ill-posed graph first")
+	vertexName := fs.String("vertex", "", "explain only this vertex")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		return err
+	}
+
+	in := os.Stdin
+	if rest := fs.Args(); len(rest) > 0 {
+		f, err := os.Open(rest[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := cgio.Parse(in)
+	if err != nil {
+		return err
+	}
+	if *wellpose {
+		fixed, added, err := relsched.MakeWellPosed(g)
+		if err != nil {
+			return err
+		}
+		if added > 0 && !*jsonOut {
+			fmt.Fprintf(stdout, "added %d serialization edge(s) to make the graph well-posed\n", added)
+		}
+		g = fixed
+	}
+
+	sched, err := relsched.Compute(g)
+	if err != nil {
+		return err
+	}
+	ex := sched.NewExplainer()
+
+	var all []*relsched.VertexProvenance
+	if *vertexName != "" {
+		v := g.VertexByName(*vertexName)
+		if v == cg.None {
+			return fmt.Errorf("unknown vertex %q", *vertexName)
+		}
+		vp, err := ex.Explain(v, mode)
+		if err != nil {
+			return err
+		}
+		all = []*relsched.VertexProvenance{vp}
+	} else {
+		if all, err = ex.ExplainAll(mode); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		return writeExplainJSON(stdout, g, mode, all)
+	}
+	writeExplainText(stdout, g, mode, all)
+	return nil
+}
+
+// formatChain renders a binding chain as
+// a -seq:0*-> v3 -seq:5-> v4, with * marking unbounded edges counted at
+// their minimum weight 0.
+func formatChain(g *cg.Graph, anchor cg.VertexID, chain []relsched.ChainStep) string {
+	var b strings.Builder
+	b.WriteString(g.Name(anchor))
+	for _, st := range chain {
+		star := ""
+		if st.Unbounded {
+			star = "*"
+		}
+		fmt.Fprintf(&b, " -%s:%d%s-> %s", st.Kind, st.Weight, star, g.Name(st.To))
+	}
+	return b.String()
+}
+
+func writeExplainText(w io.Writer, g *cg.Graph, mode relsched.AnchorMode, all []*relsched.VertexProvenance) {
+	fmt.Fprintf(w, "schedule provenance (%s anchor sets); * marks unbounded edges counted at 0\n", mode)
+	for _, vp := range all {
+		critical := ""
+		if vp.Slack == 0 {
+			critical = "  <- critical"
+		}
+		fmt.Fprintf(w, "\n%s  slack=%d%s\n", g.Name(vp.Vertex), vp.Slack, critical)
+		for _, b := range vp.Bindings {
+			via := ""
+			if b.ViaMax {
+				via = "  (raised by a max constraint)"
+			}
+			fmt.Fprintf(w, "  σ_%s = %-3d slack=%-3d %s%s\n",
+				g.Name(b.Anchor), b.Offset, b.Slack, formatChain(g, b.Anchor, b.Chain), via)
+		}
+		for _, mc := range vp.MaxConstraints {
+			tight := ""
+			if mc.Tight {
+				tight = "  <- tight"
+			}
+			fmt.Fprintf(w, "  max: σ(%s) ≤ σ(%s) + %d  margin=%d%s\n",
+				g.Name(vp.Vertex), g.Name(mc.Other), mc.U, mc.Margin, tight)
+		}
+	}
+}
+
+func writeExplainJSON(w io.Writer, g *cg.Graph, mode relsched.AnchorMode, all []*relsched.VertexProvenance) error {
+	out := struct {
+		Mode     string              `json:"mode"`
+		Vertices []explainJSONVertex `json:"vertices"`
+	}{Mode: mode.String()}
+	for _, vp := range all {
+		jv := explainJSONVertex{
+			Vertex:   g.Name(vp.Vertex),
+			Slack:    vp.Slack,
+			Bindings: []explainJSONBinding{},
+		}
+		for _, b := range vp.Bindings {
+			jb := explainJSONBinding{
+				Anchor: g.Name(b.Anchor),
+				Offset: b.Offset,
+				Slack:  b.Slack,
+				ViaMax: b.ViaMax,
+				Chain:  []explainJSONStep{},
+			}
+			for _, st := range b.Chain {
+				jb.Chain = append(jb.Chain, explainJSONStep{
+					From:      g.Name(st.From),
+					To:        g.Name(st.To),
+					Kind:      st.Kind.String(),
+					Weight:    st.Weight,
+					Unbounded: st.Unbounded,
+				})
+			}
+			jv.Bindings = append(jv.Bindings, jb)
+		}
+		for _, mc := range vp.MaxConstraints {
+			jv.MaxConstraints = append(jv.MaxConstraints, explainJSONMax{
+				Other:  g.Name(mc.Other),
+				U:      mc.U,
+				Margin: mc.Margin,
+				Tight:  mc.Tight,
+			})
+		}
+		out.Vertices = append(out.Vertices, jv)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestExplainText(t *testing.T) {
+	path := writeTemp(t, fig2Text)
+	var out bytes.Buffer
+	if err := runExplain([]string{"-mode", "full", path}, &out); err != nil {
+		t.Fatalf("runExplain: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	// Fig. 2 / Table II: σ_a(v4) = 5 via the chain a → v3 → v4, and the
+	// max constraint σ(v2) ≤ σ(v1) + 2 is present with its margin.
+	if !strings.Contains(text, "σ_a = 5") {
+		t.Errorf("output missing σ_a(v4) = 5:\n%s", text)
+	}
+	if !strings.Contains(text, "a -seq:0*-> v3 -seq:5-> v4") {
+		t.Errorf("output missing the v4 binding chain:\n%s", text)
+	}
+	if !strings.Contains(text, "max: σ(v2) ≤ σ(v1) + 2") {
+		t.Errorf("output missing the max-constraint status:\n%s", text)
+	}
+	if !strings.Contains(text, "<- critical") {
+		t.Errorf("output marks no critical vertex:\n%s", text)
+	}
+}
+
+func TestExplainVertexJSON(t *testing.T) {
+	path := writeTemp(t, fig2Text)
+	var out bytes.Buffer
+	if err := runExplain([]string{"-mode", "full", "-json", "-vertex", "v4", path}, &out); err != nil {
+		t.Fatalf("runExplain: %v\n%s", err, out.String())
+	}
+	var got struct {
+		Mode     string              `json:"mode"`
+		Vertices []explainJSONVertex `json:"vertices"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("explain -json is not valid JSON: %v\n%s", err, out.String())
+	}
+	if got.Mode != "full" || len(got.Vertices) != 1 {
+		t.Fatalf("got mode %q, %d vertices; want full, 1", got.Mode, len(got.Vertices))
+	}
+	v4 := got.Vertices[0]
+	if v4.Vertex != "v4" {
+		t.Fatalf("explained vertex = %q", v4.Vertex)
+	}
+	var viaA *explainJSONBinding
+	for i := range v4.Bindings {
+		if v4.Bindings[i].Anchor == "a" {
+			viaA = &v4.Bindings[i]
+		}
+	}
+	if viaA == nil {
+		t.Fatalf("no binding for anchor a: %+v", v4.Bindings)
+	}
+	if viaA.Offset != 5 || len(viaA.Chain) != 2 || viaA.Chain[1].Weight != 5 {
+		t.Errorf("σ_a(v4) binding = %+v, want offset 5 over a 2-step chain ending at weight 5", viaA)
+	}
+	// Replaying the chain must reproduce the offset — the CLI-level echo
+	// of the Theorem 1 invariant.
+	sum := 0
+	for _, st := range viaA.Chain {
+		sum += st.Weight
+	}
+	if sum != viaA.Offset {
+		t.Errorf("chain weights sum to %d, offset is %d", sum, viaA.Offset)
+	}
+}
+
+func TestExplainUnknownVertex(t *testing.T) {
+	path := writeTemp(t, fig2Text)
+	var out bytes.Buffer
+	if err := runExplain([]string{"-vertex", "nope", path}, &out); err == nil {
+		t.Fatal("unknown -vertex accepted")
+	}
+}
+
+// TestBatchTraceFile is the golden-file check of ISSUE acceptance: a
+// batch run with -trace writes Chrome Trace Event JSON that parses and
+// passes the structural schema the CI smoke job enforces.
+func TestBatchTraceFile(t *testing.T) {
+	dir := writeBatchDir(t)
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	if err := runBatch([]string{"-repeat", "2", "-workers", "2", "-trace", tracePath, dir}, &out); err != nil {
+		t.Fatalf("runBatch -trace: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct trace.ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if ct.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+	jobs, tids := 0, map[uint64]bool{}
+	for i, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("event %d: negative dur", i)
+			}
+		case "i":
+			if ev.Scope != "t" {
+				t.Errorf("event %d: instant scope %q", i, ev.Scope)
+			}
+		default:
+			t.Errorf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.PID != 1 || ev.TID == 0 || ev.TS < 0 || ev.Name == "" {
+			t.Errorf("event %d malformed: %+v", i, ev)
+		}
+		tids[ev.TID] = true
+		if ev.Name == "job" {
+			jobs++
+		}
+	}
+	// 2 files × 2 repeats = 4 jobs, each on its own track.
+	if jobs != 4 {
+		t.Errorf("trace has %d job spans, want 4", jobs)
+	}
+	if len(tids) != 4 {
+		t.Errorf("trace has %d tracks, want one per job (4)", len(tids))
+	}
+}

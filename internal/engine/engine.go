@@ -31,6 +31,7 @@ import (
 	"repro/internal/cg"
 	"repro/internal/obs"
 	"repro/internal/relsched"
+	"repro/internal/trace"
 )
 
 // Options configures an Engine. The zero value is usable: GOMAXPROCS
@@ -56,6 +57,12 @@ type Options struct {
 	// registry to aggregate several engines (or co-publish with other
 	// subsystems) under one snapshot.
 	Metrics *obs.Registry
+	// Tracer records one root span per job with child spans per pipeline
+	// stage and instant events for the relsched inner loops (see
+	// internal/trace and docs/OBSERVABILITY.md). Nil disables tracing at
+	// zero cost: the hot path performs no allocations and no atomic
+	// operations for the disabled tracer.
+	Tracer *trace.Tracer
 }
 
 // DefaultCacheCapacity is the cache size used when Options.CacheCapacity
@@ -122,6 +129,7 @@ type Engine struct {
 	registry *obs.Registry
 	metrics  *engineMetrics
 	hooks    *relsched.Hooks // shared metrics-fed trace hook, see engineMetrics.hooks
+	tracer   *trace.Tracer   // nil when tracing is off
 
 	// flight tracks in-progress computations per cache key for
 	// singleflight duplicate suppression: concurrent misses on the same
@@ -173,6 +181,7 @@ func New(opts Options) *Engine {
 		registry:   registry,
 		metrics:    m,
 		hooks:      m.hooks(),
+		tracer:     opts.Tracer,
 		flight:     make(map[cacheKey]*flightCall),
 		fps:        make(map[*cg.Graph]fpMemo),
 	}
@@ -301,6 +310,8 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	m.submitted.Inc()
 	m.inflight.Add(1)
 	res := Result{JobID: job.ID, Graph: job.Graph}
+	span := e.tracer.StartSpan("job")
+	span.SetStr("id", job.ID)
 	done := func() Result {
 		res.Duration = time.Since(start)
 		m.inflight.Add(-1)
@@ -312,6 +323,14 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 			m.cancelled.Inc()
 		default:
 			m.failed.Inc()
+		}
+		if span != nil {
+			span.SetBool("cache_hit", res.CacheHit)
+			span.SetBool("suppressed", res.Suppressed)
+			if res.Err != nil {
+				span.SetStr("error", res.Err.Error())
+			}
+			span.End()
 		}
 		return res
 	}
@@ -330,11 +349,13 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	}
 
 	t := time.Now()
+	fpSpan := span.StartChild("fingerprint")
 	key := cacheKey{fp: e.fingerprint(job.Graph), wellPose: job.WellPose}
+	fpSpan.End()
 	m.stageFingerprint.Observe(time.Since(t))
 
 	if e.cache == nil {
-		entry := e.compute(ctx, job)
+		entry := e.compute(ctx, job, span)
 		if entry == nil { // cancelled mid-pipeline
 			res.Err = ctx.Err()
 			return done()
@@ -345,7 +366,9 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 
 	for {
 		t = time.Now()
+		cacheSpan := span.StartChild("cache")
 		entry, ok := e.cache.get(key)
+		cacheSpan.End()
 		m.stageCache.Observe(time.Since(t))
 		m.lookups.Inc()
 		if ok {
@@ -360,8 +383,10 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		if call, inFlight := e.flight[key]; inFlight {
 			e.flightMu.Unlock()
 			// Follower: wait for the leader instead of recomputing.
+			waitSpan := span.StartChild("flight.wait")
 			select {
 			case <-call.done:
+				waitSpan.End()
 				if call.entry != nil {
 					m.suppressed.Inc()
 					res.fill(call.entry)
@@ -372,6 +397,7 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 				// to re-check the cache and, if still empty, lead.
 				continue
 			case <-ctx.Done():
+				waitSpan.End()
 				res.Err = ctx.Err()
 				return done()
 			}
@@ -383,7 +409,7 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		// Leader: run the pipeline, publish to the cache first so
 		// followers that loop (rather than read call.entry) find it, then
 		// release the flight slot.
-		entry = e.compute(ctx, job)
+		entry = e.compute(ctx, job, span)
 		call.entry = entry
 		if entry != nil {
 			e.cache.put(key, entry)
@@ -417,7 +443,12 @@ func (r *Result) fill(entry *analysisEntry) {
 // is cached, and no compute is counted) when ctx expires between stages;
 // otherwise the returned entry holds either the schedule or the
 // deterministic error verdict, both of which are valid to memoize.
-func (e *Engine) compute(ctx context.Context, job Job) *analysisEntry {
+//
+// When the parent span is live (traced and sampled in), each stage opens
+// a child span under it, and the relsched inner-loop hooks additionally
+// record instant events into the stage span; otherwise the shared
+// metrics-only hooks are used and tracing costs nothing.
+func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span) *analysisEntry {
 	m := e.metrics
 	entry := &analysisEntry{graph: job.Graph}
 	verdict := func() *analysisEntry {
@@ -425,10 +456,13 @@ func (e *Engine) compute(ctx context.Context, job Job) *analysisEntry {
 		return entry
 	}
 	t := time.Now()
+	sp := parent.StartChild("wellpose")
 	if job.WellPose {
-		wp, added, err := relsched.MakeWellPosedTraced(job.Graph, e.hooks)
-		m.stageWellpose.Observe(time.Since(t))
+		wp, added, err := relsched.MakeWellPosedTraced(job.Graph, e.stageHooks(sp))
 		entry.added = added
+		sp.SetInt("serialization_edges", int64(added))
+		sp.End()
+		m.stageWellpose.Observe(time.Since(t))
 		if err != nil {
 			entry.err = err
 			return verdict()
@@ -436,6 +470,7 @@ func (e *Engine) compute(ctx context.Context, job Job) *analysisEntry {
 		entry.graph = wp
 	} else {
 		err := relsched.CheckWellPosed(job.Graph)
+		sp.End()
 		m.stageWellpose.Observe(time.Since(t))
 		if err != nil {
 			entry.err = err
@@ -446,25 +481,60 @@ func (e *Engine) compute(ctx context.Context, job Job) *analysisEntry {
 		return nil
 	}
 	t = time.Now()
+	sp = parent.StartChild("analyze")
 	info, err := relsched.Analyze(entry.graph)
-	m.stageAnalyze.Observe(time.Since(t))
 	if err != nil {
+		sp.End()
+		m.stageAnalyze.Observe(time.Since(t))
 		entry.err = err
 		return verdict()
 	}
+	sp.SetInt("anchors", int64(info.NumAnchors()))
+	sp.End()
+	m.stageAnalyze.Observe(time.Since(t))
 	entry.info = info
 	if ctx.Err() != nil {
 		return nil
 	}
 	t = time.Now()
-	sched, err := relsched.ComputeFromAnalysisTraced(info, e.hooks)
-	m.stageSchedule.Observe(time.Since(t))
+	sp = parent.StartChild("schedule")
+	sched, err := relsched.ComputeFromAnalysisTraced(info, e.stageHooks(sp))
 	if err != nil {
+		sp.End()
+		m.stageSchedule.Observe(time.Since(t))
 		entry.err = err
 		return verdict()
 	}
+	sp.SetInt("iterations", int64(sched.Iterations))
+	sp.End()
+	m.stageSchedule.Observe(time.Since(t))
 	entry.sched = sched
 	return verdict()
+}
+
+// stageHooks returns the relsched trace hooks for one pipeline stage:
+// the shared metrics-only hooks when the stage span is disabled, or a
+// per-stage wrapper that both bumps the counters and records the
+// inner-loop iterations as instant events on the span.
+func (e *Engine) stageHooks(sp *trace.Span) *relsched.Hooks {
+	if sp == nil {
+		return e.hooks
+	}
+	m := e.metrics
+	return &relsched.Hooks{
+		RelaxationSweep: func(iteration int) {
+			m.relaxSweeps.Inc()
+			sp.Event("relax.sweep", int64(iteration))
+		},
+		Readjustment: func(raised int) {
+			m.readjusted.Add(uint64(raised))
+			sp.Event("relax.readjusted", int64(raised))
+		},
+		SerializationPass: func(added int) {
+			m.serialEdges.Add(uint64(added))
+			sp.Event("wellpose.serialization_pass", int64(added))
+		},
+	}
 }
 
 // fingerprint returns the canonical fingerprint of g, memoized per

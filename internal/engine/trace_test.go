@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// attrOf finds a span attribute by key, reporting whether it was set.
+func attrOf(sp trace.SpanData, key string) (trace.Attr, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return trace.Attr{}, false
+}
+
+// TestEngineTracing runs a small batch through a traced engine and
+// checks the span tree: one root per job, stage children with correct
+// lineage, cache-hit marking, and relsched inner-loop events surfaced
+// on the schedule stage.
+func TestEngineTracing(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	e := New(Options{Workers: 1, Tracer: tr})
+	jobs := []Job{
+		{ID: "first", Graph: buildFig2ish()},
+		{ID: "hit", Graph: buildFig2ish()},
+		{ID: "repair", Graph: buildIllPosed(), WellPose: true},
+	}
+	for _, res := range e.RunAll(context.Background(), jobs) {
+		if res.Err != nil {
+			t.Fatalf("job %s: %v", res.JobID, res.Err)
+		}
+	}
+
+	spans := tr.Snapshot()
+	roots := map[trace.SpanID]trace.SpanData{}
+	byID := map[trace.SpanID]trace.SpanData{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		if sp.Parent == 0 {
+			if sp.Name != "job" {
+				t.Errorf("root span named %q, want \"job\"", sp.Name)
+			}
+			roots[sp.ID] = sp
+		}
+	}
+	if len(roots) != len(jobs) {
+		t.Fatalf("got %d root spans, want one per job (%d)", len(roots), len(jobs))
+	}
+
+	// Children index: root ID → stage name set.
+	children := map[trace.SpanID]map[string]trace.SpanData{}
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			continue
+		}
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			t.Fatalf("span %d has unknown parent %d", sp.ID, sp.Parent)
+		}
+		if sp.Root != parent.Root {
+			t.Errorf("span %q root %d != parent root %d", sp.Name, sp.Root, parent.Root)
+		}
+		if children[sp.Parent] == nil {
+			children[sp.Parent] = map[string]trace.SpanData{}
+		}
+		children[sp.Parent][sp.Name] = sp
+	}
+
+	byJob := map[string]trace.SpanData{}
+	for id, root := range roots {
+		a, ok := attrOf(root, "id")
+		if !ok || !a.IsStr {
+			t.Fatalf("root %d has no job id attr: %+v", id, root.Attrs)
+		}
+		byJob[a.Str] = root
+	}
+	for _, j := range jobs {
+		root, ok := byJob[j.ID]
+		if !ok {
+			t.Fatalf("no root span for job %q", j.ID)
+		}
+		kids := children[root.ID]
+		for _, stage := range []string{"fingerprint", "cache"} {
+			if _, ok := kids[stage]; !ok {
+				t.Errorf("job %q missing %q child span: %v", j.ID, stage, kids)
+			}
+		}
+		hit, ok := attrOf(root, "cache_hit")
+		if !ok {
+			t.Fatalf("job %q root has no cache_hit attr", j.ID)
+		}
+		wantHit := j.ID == "hit"
+		if (hit.Int == 1) != wantHit {
+			t.Errorf("job %q cache_hit = %d, want %v", j.ID, hit.Int, wantHit)
+		}
+		if wantHit {
+			if _, ok := kids["schedule"]; ok {
+				t.Errorf("cache-hit job %q has a schedule stage span", j.ID)
+			}
+			continue
+		}
+		// Compute jobs carry the full pipeline.
+		for _, stage := range []string{"wellpose", "analyze", "schedule"} {
+			if _, ok := kids[stage]; !ok {
+				t.Errorf("job %q missing %q child span: %v", j.ID, stage, kids)
+			}
+		}
+		if sched, ok := kids["schedule"]; ok {
+			if it, ok := attrOf(sched, "iterations"); !ok || it.Int < 1 {
+				t.Errorf("job %q schedule span iterations attr = %+v", j.ID, sched.Attrs)
+			}
+			sweeps := 0
+			for _, ev := range sched.Events {
+				if ev.Name == "relax.sweep" {
+					sweeps++
+				}
+			}
+			if sweeps == 0 {
+				t.Errorf("job %q schedule span has no relax.sweep events: %+v", j.ID, sched.Events)
+			}
+		}
+		if an, ok := kids["analyze"]; ok {
+			if n, ok := attrOf(an, "anchors"); !ok || n.Int < 1 {
+				t.Errorf("job %q analyze span anchors attr = %+v", j.ID, an.Attrs)
+			}
+		}
+	}
+
+	// The repaired job's wellpose span records the serialization edges it
+	// added, and the pass itself surfaces as an event.
+	wp := children[byJob["repair"].ID]["wellpose"]
+	if n, ok := attrOf(wp, "serialization_edges"); !ok || n.Int < 1 {
+		t.Errorf("repair wellpose span serialization_edges = %+v", wp.Attrs)
+	}
+	sawPass := false
+	for _, ev := range wp.Events {
+		if ev.Name == "wellpose.serialization_pass" {
+			sawPass = true
+		}
+	}
+	if !sawPass {
+		t.Errorf("repair wellpose span events = %+v, want a serialization_pass", wp.Events)
+	}
+
+	// Metrics and spans agree: the stage hooks must keep feeding the
+	// counters even when tracing is live.
+	if got := e.Stats(); got.Hits != 1 || got.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses", got)
+	}
+}
+
+// TestEngineUntracedUnchanged pins that an engine without a tracer still
+// works and records nothing (the nil-tracer fast path).
+func TestEngineUntracedUnchanged(t *testing.T) {
+	e := New(Options{Workers: 1})
+	res := e.Schedule(context.Background(), Job{ID: "x", Graph: buildFig2ish()})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if e.tracer != nil {
+		t.Error("untraced engine has a tracer")
+	}
+}

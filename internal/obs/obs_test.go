@@ -145,9 +145,8 @@ func TestPublishExpvar(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x").Inc()
 	r.PublishExpvar("obs_test_registry")
-	// Publishing again (same or different registry) must not panic.
+	// Publishing again must not panic (expvar.Publish would).
 	r.PublishExpvar("obs_test_registry")
-	NewRegistry().PublishExpvar("obs_test_registry")
 	v := expvar.Get("obs_test_registry")
 	if v == nil {
 		t.Fatal("registry not published")
@@ -155,4 +154,111 @@ func TestPublishExpvar(t *testing.T) {
 	if !strings.Contains(v.String(), `"x":1`) {
 		t.Errorf("expvar value missing counter: %s", v.String())
 	}
+	// A second registry publishing under the same name — two engines in
+	// one process, e.g. repeated `relsched batch -pprof` runs — takes the
+	// name over: scrapes see the latest engine, not the first one frozen.
+	r2 := NewRegistry()
+	r2.Counter("y").Add(9)
+	r2.PublishExpvar("obs_test_registry")
+	if s := expvar.Get("obs_test_registry").String(); !strings.Contains(s, `"y":9`) || strings.Contains(s, `"x":1`) {
+		t.Errorf("expvar not redirected to the latest registry: %s", s)
+	}
+}
+
+// TestPublishExpvarConcurrent races many registries publishing the same
+// name; run with -race. Before PublishExpvar serialized the
+// check-then-publish, two goroutines could both miss the existing name
+// and the second expvar.Publish would panic the process.
+func TestPublishExpvarConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := NewRegistry()
+			r.Counter("n").Inc()
+			for j := 0; j < 50; j++ {
+				r.PublishExpvar("obs_test_concurrent")
+			}
+		}()
+	}
+	wg.Wait()
+	if v := expvar.Get("obs_test_concurrent"); v == nil || !strings.Contains(v.String(), `"n":1`) {
+		t.Errorf("concurrent publish lost the registry: %v", v)
+	}
+}
+
+// TestWriteJSONDeterministic pins that WriteJSON output is byte-stable
+// for a fixed registry state: encoding/json sorts map keys, so two
+// writes must be identical and metric names must appear in order —
+// the property that makes -metrics snapshots diffable.
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		r.Counter(name).Add(uint64(len(name)))
+		r.Gauge(name + "_g").Set(int64(len(name)))
+		r.Histogram(name + "_h").Observe(time.Millisecond)
+	}
+	var first, second bytes.Buffer
+	if err := r.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("two WriteJSON calls differ:\n%s\n---\n%s", first.String(), second.String())
+	}
+	text := first.String()
+	last := -1
+	for _, name := range []string{"alpha", "beta", "mid", "omega", "zeta"} {
+		idx := strings.Index(text, `"`+name+`"`)
+		if idx < 0 {
+			t.Fatalf("counter %q missing from output:\n%s", name, text)
+		}
+		if idx < last {
+			t.Errorf("counter %q out of sorted order", name)
+		}
+		last = idx
+	}
+}
+
+// TestWriteJSONConcurrentWriters snapshots the registry while writers
+// hammer every metric kind; run with -race. The snapshot is weakly
+// consistent but must be data-race free and always valid JSON.
+func TestWriteJSONConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hits")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+			t.Fatalf("snapshot %d is not valid JSON: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

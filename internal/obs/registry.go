@@ -121,18 +121,41 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// published maps expvar names this package owns to the registry each
+// one currently serves. expvar has no unpublish and panics on duplicate
+// Publish calls, so the expvar entry is created once per name and
+// indirects through this map; publishMu makes concurrent PublishExpvar
+// calls safe (a bare Get-then-Publish would race two callers into the
+// panic).
+var (
+	publishMu sync.Mutex
+	published = make(map[string]*Registry)
+)
+
 // PublishExpvar exposes the registry under the given name in the
 // process-wide expvar namespace (served at /debug/vars by any
 // net/http server using the default mux). The expvar value re-snapshots
-// on every read, so scrapes always see current numbers. Publishing the
-// same name twice is a no-op keeping the first registry — expvar has no
-// unpublish — so long-lived processes should publish exactly one registry
-// per name.
+// on every read, so scrapes always see current numbers. PublishExpvar is
+// idempotent and safe to call concurrently; publishing a second registry
+// under a name this package already owns redirects the name to the new
+// registry (the latest engine's metrics win, matching repeated batch
+// runs in one process). A name already taken by a foreign expvar is left
+// alone.
 func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if _, ours := published[name]; ours {
+		published[name] = r
+		return
+	}
 	if expvar.Get(name) != nil {
 		return
 	}
+	published[name] = r
 	expvar.Publish(name, expvar.Func(func() any {
-		return r.Snapshot()
+		publishMu.Lock()
+		reg := published[name]
+		publishMu.Unlock()
+		return reg.Snapshot()
 	}))
 }

@@ -1,0 +1,231 @@
+package relsched_test
+
+import (
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/designs"
+	"repro/internal/paperex"
+	"repro/internal/relsched"
+)
+
+// checkProvenance verifies every explanation invariant on one schedule:
+// replaying each binding chain's edge weights reproduces σ_a(v) exactly,
+// chains start at the anchor and end at the vertex over real graph
+// edges, per-anchor and overall slack are non-negative, and every
+// maximum-constraint margin is non-negative (the schedule satisfies the
+// constraint) with Tight ⇔ margin 0.
+func checkProvenance(t *testing.T, name string, s *relsched.Schedule) {
+	t.Helper()
+	ex := s.NewExplainer()
+	g := s.G
+	for _, mode := range []relsched.AnchorMode{
+		relsched.FullAnchors, relsched.RelevantAnchors, relsched.IrredundantAnchors,
+	} {
+		all, err := ex.ExplainAll(mode)
+		if err != nil {
+			t.Fatalf("%s/%s: ExplainAll: %v", name, mode, err)
+		}
+		if len(all) != g.N() {
+			t.Fatalf("%s/%s: %d explanations for %d vertices", name, mode, len(all), g.N())
+		}
+		for _, vp := range all {
+			if vp.Slack < 0 {
+				t.Errorf("%s/%s: %s has negative slack %d", name, mode, g.Name(vp.Vertex), vp.Slack)
+			}
+			for _, b := range vp.Bindings {
+				want, ok := s.Offset(b.Anchor, vp.Vertex, mode)
+				if !ok {
+					t.Errorf("%s/%s: binding for %s/%s not in schedule",
+						name, mode, g.Name(b.Anchor), g.Name(vp.Vertex))
+					continue
+				}
+				if b.Offset != want {
+					t.Errorf("%s/%s: binding offset σ_%s(%s) = %d, schedule says %d",
+						name, mode, g.Name(b.Anchor), g.Name(vp.Vertex), b.Offset, want)
+				}
+				// Replay the chain: weights must sum to the offset and the
+				// steps must be contiguous graph edges from anchor to vertex.
+				sum := 0
+				at := b.Anchor
+				viaMax := false
+				for si, st := range b.Chain {
+					e := g.Edge(st.EdgeIndex)
+					if e.From != st.From || e.To != st.To || e.Kind != st.Kind {
+						t.Errorf("%s/%s: chain step %d does not match edge %d: %+v vs %v",
+							name, mode, si, st.EdgeIndex, st, e)
+					}
+					if st.From != at {
+						t.Errorf("%s/%s: chain for %s/%s breaks at step %d: at %s, step from %s",
+							name, mode, g.Name(b.Anchor), g.Name(vp.Vertex), si, g.Name(at), g.Name(st.From))
+					}
+					if st.Weight != e.MinWeight() {
+						t.Errorf("%s/%s: step %d weight %d != edge min weight %d",
+							name, mode, si, st.Weight, e.MinWeight())
+					}
+					sum += st.Weight
+					at = st.To
+					if st.Kind == cg.MaxConstraint {
+						viaMax = true
+					}
+				}
+				if at != vp.Vertex {
+					t.Errorf("%s/%s: chain for %s/%s ends at %s",
+						name, mode, g.Name(b.Anchor), g.Name(vp.Vertex), g.Name(at))
+				}
+				if sum != b.Offset {
+					t.Errorf("%s/%s: replaying chain for σ_%s(%s) sums to %d, offset is %d",
+						name, mode, g.Name(b.Anchor), g.Name(vp.Vertex), sum, b.Offset)
+				}
+				if viaMax != b.ViaMax {
+					t.Errorf("%s/%s: ViaMax = %v, chain says %v", name, mode, b.ViaMax, viaMax)
+				}
+				if b.Slack < 0 {
+					t.Errorf("%s/%s: σ_%s(%s) slack %d < 0",
+						name, mode, g.Name(b.Anchor), g.Name(vp.Vertex), b.Slack)
+				}
+			}
+			for _, mc := range vp.MaxConstraints {
+				e := g.Edge(mc.EdgeIndex)
+				if e.Kind != cg.MaxConstraint || e.From != vp.Vertex {
+					t.Errorf("%s/%s: max-constraint status %d not a backward edge of %s",
+						name, mode, mc.EdgeIndex, g.Name(vp.Vertex))
+				}
+				if mc.U != -e.Weight {
+					t.Errorf("%s/%s: U = %d, edge weight says %d", name, mode, mc.U, -e.Weight)
+				}
+				if mc.Margin < 0 {
+					t.Errorf("%s/%s: satisfied max constraint on %s has negative margin %d",
+						name, mode, g.Name(vp.Vertex), mc.Margin)
+				}
+				if mc.Tight != (mc.Margin == 0) {
+					t.Errorf("%s/%s: Tight = %v with margin %d", name, mode, mc.Tight, mc.Margin)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainPaperExamples pins the provenance invariants on the paper's
+// worked examples.
+func TestExplainPaperExamples(t *testing.T) {
+	for name, mk := range map[string]func() *cg.Graph{
+		"fig1": paperex.Fig1, "fig2": paperex.Fig2, "fig3c": paperex.Fig3c,
+		"fig4": paperex.Fig4, "fig5a": paperex.Fig5a, "fig7": paperex.Fig7,
+		"fig8a": paperex.Fig8a, "fig8b": paperex.Fig8b, "fig10": paperex.Fig10,
+	} {
+		checkProvenance(t, name, mustCompute(t, mk()))
+	}
+}
+
+// TestExplainFig2Chain pins the concrete binding chain of the paper's
+// Table II worked example: σ_a(v4) = 5 is forced by the chain
+// a → v3 (δ(a), counted 0) → v4 (min 5 via v3's delay).
+func TestExplainFig2Chain(t *testing.T) {
+	g := paperex.Fig2()
+	s := mustCompute(t, g)
+	ex := s.NewExplainer()
+	v4 := g.VertexByName("v4")
+	vp, err := ex.Explain(v4, relsched.FullAnchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.VertexByName("a")
+	var binding *relsched.AnchorBinding
+	for i := range vp.Bindings {
+		if vp.Bindings[i].Anchor == a {
+			binding = &vp.Bindings[i]
+		}
+	}
+	if binding == nil {
+		t.Fatalf("no binding for anchor a: %+v", vp.Bindings)
+	}
+	if binding.Offset != 5 {
+		t.Fatalf("σ_a(v4) = %d, want 5", binding.Offset)
+	}
+	if len(binding.Chain) != 2 {
+		t.Fatalf("chain length %d, want 2 (a → v3 → v4): %+v", len(binding.Chain), binding.Chain)
+	}
+	if !binding.Chain[0].Unbounded || binding.Chain[0].Weight != 0 {
+		t.Errorf("first step should be the unbounded δ(a) edge at weight 0: %+v", binding.Chain[0])
+	}
+	if binding.Chain[1].Weight != 5 {
+		t.Errorf("second step weight %d, want 5 (δ(v3))", binding.Chain[1].Weight)
+	}
+	if binding.ViaMax {
+		t.Error("chain uses no maximum constraint")
+	}
+}
+
+// TestExplainTightMaxConstraint drives a schedule where a maximum
+// constraint both binds an offset (ViaMax) and reports tight.
+func TestExplainTightMaxConstraint(t *testing.T) {
+	// v1 and v2 hang off the source; v2 must start within 0 cycles of
+	// v1's start + 3, and a min constraint pushes v1 late, dragging v2's
+	// lower bound up through the backward edge... Construct:
+	//   v0 → v1 (delay 4) → sink, v0 → v2 → sink, max(v2, v1) = 1:
+	//   σ(v2) ≤ σ(v1) + 1 is satisfied trivially (both small); instead
+	//   force v2 ≥ via readjustment: max(v1, v2): σ(v1) ≤ σ(v2) + 1
+	//   with σ(v1) = 4 forces σ(v2) ≥ 3.
+	g := cg.New()
+	v1 := g.AddOp("v1", cg.Cycles(1))
+	v2 := g.AddOp("v2", cg.Cycles(1))
+	sink := g.AddOp("sink", cg.Cycles(0))
+	g.AddSeq(g.Source(), v1)
+	g.AddSeq(g.Source(), v2)
+	g.AddMin(g.Source(), v1, 4)
+	g.AddSeq(v1, sink)
+	g.AddSeq(v2, sink)
+	g.AddMax(v2, v1, 1) // σ(v1) ≤ σ(v2) + 1 → σ(v2) ≥ 3
+	s := mustCompute(t, g.MustFreeze())
+
+	v0 := g.Source()
+	if got, _ := s.Offset(v0, v2, relsched.FullAnchors); got != 3 {
+		t.Fatalf("σ_v0(v2) = %d, want 3 (raised by the max constraint)", got)
+	}
+	ex := s.NewExplainer()
+	vp, err := ex.Explain(v2, relsched.FullAnchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vp.Bindings) != 1 || !vp.Bindings[0].ViaMax {
+		t.Errorf("v2's binding should pass through the backward edge: %+v", vp.Bindings)
+	}
+	// v1 is the constrained vertex of max(v1, v2): σ(v1) ≤ σ(v2) + 1,
+	// 4 ≤ 3 + 1 → margin 0, tight.
+	vpv1, err := ex.Explain(v1, relsched.FullAnchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vpv1.MaxConstraints) != 1 {
+		t.Fatalf("v1 max constraints = %+v, want 1", vpv1.MaxConstraints)
+	}
+	mc := vpv1.MaxConstraints[0]
+	if mc.Other != v2 || mc.U != 1 || mc.Margin != 0 || !mc.Tight {
+		t.Errorf("max constraint status = %+v, want tight margin 0 vs v2 u=1", mc)
+	}
+	checkProvenance(t, "tightmax", s)
+}
+
+// TestExplainEightDesigns cross-checks `explain` against the schedules
+// of the eight paper designs (§VII): every binding chain replays to the
+// exact offset and every satisfied constraint has non-negative
+// slack/margin, across every graph of each design's hierarchy.
+func TestExplainEightDesigns(t *testing.T) {
+	for _, d := range designs.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			res, err := d.Synthesize()
+			if err != nil {
+				t.Fatalf("synthesize: %v", err)
+			}
+			for i, g := range res.Order {
+				gr := res.Graphs[g]
+				if gr.Schedule == nil {
+					t.Fatalf("graph %d has no schedule", i)
+				}
+				checkProvenance(t, d.Name, gr.Schedule)
+			}
+		})
+	}
+}

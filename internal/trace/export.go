@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// ChromeTraceEvent is one entry of the Chrome Trace Event format (the
+// JSON consumed by Perfetto and chrome://tracing): a complete event
+// (Ph == "X") for a span or an instant event (Ph == "i") for a span
+// event. Timestamps and durations are microseconds; fractional values
+// preserve sub-microsecond spans.
+type ChromeTraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	PID  int     `json:"pid"`
+	TID  uint64  `json:"tid"`
+	// Scope is "t" (thread) for instant events, per the format spec.
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level Chrome Trace Event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+}
+
+// chromeCategory tags every exported event.
+const chromeCategory = "relsched"
+
+// ToChromeTrace converts a span snapshot into the Chrome Trace Event
+// object. Each root span (one scheduling job) becomes its own track
+// (tid = root span ID), so a pooled batch renders as one row per job and
+// the rows overlap exactly where the workers ran concurrently; child
+// spans nest within their root's row by time containment.
+func ToChromeTrace(spans []SpanData) *ChromeTrace {
+	ct := &ChromeTrace{
+		TraceEvents:     make([]ChromeTraceEvent, 0, len(spans)),
+		DisplayTimeUnit: "ns",
+	}
+	for _, sp := range spans {
+		ev := ChromeTraceEvent{
+			Name: sp.Name,
+			Cat:  chromeCategory,
+			Ph:   "X",
+			TS:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  uint64(sp.Root),
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				if a.IsStr {
+					ev.Args[a.Key] = a.Str
+				} else {
+					ev.Args[a.Key] = a.Int
+				}
+			}
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ev)
+		for _, e := range sp.Events {
+			ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+				Name:  e.Name,
+				Cat:   chromeCategory,
+				Ph:    "i",
+				TS:    float64(e.At.Nanoseconds()) / 1e3,
+				PID:   1,
+				TID:   uint64(sp.Root),
+				Scope: "t",
+				Args:  map[string]any{"value": e.Value},
+			})
+		}
+	}
+	return ct
+}
+
+// WriteChromeTrace serializes a span snapshot as Chrome Trace Event JSON
+// — load the output in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ToChromeTrace(spans))
+}
+
+// WriteJSONL serializes a span snapshot as JSONL: one SpanData object
+// per line, in completion order — the streaming-friendly form for log
+// pipelines.
+func WriteJSONL(w io.Writer, spans []SpanData) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the tracer's live ring buffer. The default (and
+// ?format=chrome) response is Chrome Trace Event JSON; ?format=jsonl
+// streams one span per line. A nil tracer serves an empty trace, so the
+// endpoint can be registered unconditionally.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := t.Snapshot()
+		switch r.URL.Query().Get("format") {
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = WriteJSONL(w, spans)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, spans)
+		}
+	})
+}

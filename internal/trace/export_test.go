@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildTrace records two jobs with stage children and events.
+func buildTrace() *Tracer {
+	tr := New(Options{})
+	for _, id := range []string{"gcd", "frisc"} {
+		root := tr.StartSpan("job")
+		root.SetStr("id", id)
+		st := root.StartChild("schedule")
+		st.Event("relaxation.sweep", 1)
+		st.SetInt("iterations", 1)
+		st.End()
+		root.SetBool("cache_hit", false)
+		root.End()
+	}
+	return tr
+}
+
+// checkChromeSchema validates the structural invariants of the Chrome
+// Trace Event format on raw JSON bytes, the same check the CI smoke job
+// applies to `relsched batch -trace` output.
+func checkChromeSchema(t *testing.T, data []byte) *ChromeTrace {
+	t.Helper()
+	var ct ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	for i, ev := range ct.TraceEvents {
+		if ev.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+		if ev.Cat != chromeCategory {
+			t.Errorf("event %d: cat = %q, want %q", i, ev.Cat, chromeCategory)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("event %d: negative dur %v", i, ev.Dur)
+			}
+		case "i":
+			if ev.Scope != "t" {
+				t.Errorf("event %d: instant scope = %q, want \"t\"", i, ev.Scope)
+			}
+		default:
+			t.Errorf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.TS < 0 {
+			t.Errorf("event %d: negative ts %v", i, ev.TS)
+		}
+		if ev.PID != 1 || ev.TID == 0 {
+			t.Errorf("event %d: pid/tid = %d/%d", i, ev.PID, ev.TID)
+		}
+	}
+	return &ct
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	ct := checkChromeSchema(t, buf.Bytes())
+	// 2 jobs × (root X + stage X + 1 instant) = 6 events.
+	if len(ct.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(ct.TraceEvents))
+	}
+	// Each job is its own track: two distinct tids, shared by a job's
+	// root, stage, and instant events.
+	tids := map[uint64]int{}
+	for _, ev := range ct.TraceEvents {
+		tids[ev.TID]++
+	}
+	if len(tids) != 2 {
+		t.Errorf("got %d tracks, want one per job (2): %v", len(tids), tids)
+	}
+	for tid, n := range tids {
+		if n != 3 {
+			t.Errorf("track %d has %d events, want 3", tid, n)
+		}
+	}
+	// Attrs surface as args; instants carry their value.
+	var sawID, sawValue bool
+	for _, ev := range ct.TraceEvents {
+		if ev.Args["id"] == "gcd" {
+			sawID = true
+		}
+		if ev.Ph == "i" {
+			if v, ok := ev.Args["value"].(float64); !ok || v != 1 {
+				t.Errorf("instant args = %v, want value 1", ev.Args)
+			}
+			sawValue = true
+		}
+	}
+	if !sawID || !sawValue {
+		t.Errorf("args missing: sawID=%v sawValue=%v", sawID, sawValue)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []SpanData
+	for sc.Scan() {
+		var sp SpanData
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("line %d is not a span object: %v", len(lines)+1, err)
+		}
+		lines = append(lines, sp)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSONL spans, want 4", len(lines))
+	}
+	// Round trip: decoded spans match the snapshot.
+	for i, want := range tr.Snapshot() {
+		got := lines[i]
+		if got.ID != want.ID || got.Name != want.Name || got.Root != want.Root {
+			t.Errorf("span %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := buildTrace()
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/")
+	if ctype != "application/json" {
+		t.Errorf("content type = %q", ctype)
+	}
+	checkChromeSchema(t, []byte(body))
+
+	body, ctype = get("/?format=jsonl")
+	if ctype != "application/jsonl" {
+		t.Errorf("jsonl content type = %q", ctype)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n") + 1; n != 4 {
+		t.Errorf("jsonl has %d lines, want 4", n)
+	}
+
+	// A nil tracer serves an empty, still-valid trace.
+	var nilTracer *Tracer
+	nilSrv := httptest.NewServer(nilTracer.Handler())
+	defer nilSrv.Close()
+	resp, err := nilSrv.Client().Get(nilSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ct ChromeTrace
+	if err := json.NewDecoder(resp.Body).Decode(&ct); err != nil {
+		t.Fatalf("nil tracer endpoint: %v", err)
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Errorf("nil tracer served %d events", len(ct.TraceEvents))
+	}
+}

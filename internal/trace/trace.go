@@ -1,0 +1,273 @@
+// Package trace is a dependency-free, low-overhead span tracer for the
+// scheduling pipeline: bounded ring-buffer storage, atomic span IDs,
+// optional head sampling, and nil-safety throughout (a nil *Tracer or
+// *Span is valid and every operation on it is a no-op, mirroring
+// relsched.Hooks). Where internal/obs answers "how long do jobs take in
+// aggregate", a trace answers "why did *this* job take 40ms": each
+// scheduling job becomes a root span with child spans per pipeline stage
+// (fingerprint, cache, wellpose, analyze, schedule) and instant events
+// for the inner-loop iterations the paper bounds (relaxation sweeps per
+// Theorem 8, serialization passes per Theorem 7).
+//
+// Completed spans land in a fixed-capacity ring buffer; when it fills,
+// the oldest spans are overwritten and counted in Dropped. Two exporters
+// render a snapshot: Chrome Trace Event JSON (loadable in Perfetto or
+// chrome://tracing, see WriteChromeTrace) and JSONL (one span object per
+// line, see WriteJSONL). Handler serves the live ring buffer over HTTP.
+//
+// Concurrency: a Tracer is safe for concurrent use by any number of
+// goroutines. An individual Span is not: it must be started, annotated,
+// and ended by one goroutine (the scheduling pipeline runs each job on a
+// single worker, so this is the natural shape).
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span within one Tracer. IDs are allocated from an
+// atomic counter and never reused; 0 is "no span" (the parent of roots).
+type SpanID uint64
+
+// DefaultCapacity is the ring-buffer size used when Options.Capacity is
+// unset: enough for ~500 jobs at the pipeline's ~8 spans per job.
+const DefaultCapacity = 4096
+
+// Options configures a Tracer. The zero value is usable: DefaultCapacity
+// spans, no sampling.
+type Options struct {
+	// Capacity bounds the number of completed spans retained; older spans
+	// are overwritten (and counted as dropped) once it fills. Values <= 0
+	// select DefaultCapacity.
+	Capacity int
+	// SampleEvery keeps one root span (and its children) out of every N
+	// started; values <= 1 keep everything. Sampling is decided at root
+	// creation, so a sampled-out job pays only one atomic increment.
+	SampleEvery int
+}
+
+// Tracer records spans into a bounded ring buffer. A nil *Tracer is a
+// valid disabled tracer: StartSpan returns a nil *Span and every
+// downstream call is a no-op without allocating.
+type Tracer struct {
+	capacity    int
+	sampleEvery int
+	base        time.Time // all span timestamps are offsets from this
+
+	nextID  atomic.Uint64
+	roots   atomic.Uint64 // root spans requested, for the sampling decision
+	dropped atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanData
+	next  int    // ring write cursor
+	count uint64 // completed spans ever recorded
+}
+
+// New creates a Tracer.
+func New(opts Options) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.SampleEvery < 1 {
+		opts.SampleEvery = 1
+	}
+	return &Tracer{
+		capacity:    opts.Capacity,
+		sampleEvery: opts.SampleEvery,
+		base:        time.Now(),
+	}
+}
+
+// Attr is one key/value annotation on a span. Exactly one of Str or Int
+// is meaningful, selected by IsStr.
+type Attr struct {
+	Key   string `json:"key"`
+	Str   string `json:"str,omitempty"`
+	Int   int64  `json:"int,omitempty"`
+	IsStr bool   `json:"is_str,omitempty"`
+}
+
+// Event is an instant event inside a span (a point in time, not a
+// duration): one inner-loop iteration, one readjustment pass.
+type Event struct {
+	Name string `json:"name"`
+	// At is the offset from the tracer's base time.
+	At time.Duration `json:"at_ns"`
+	// Value carries the event's count (offsets raised, edges added).
+	Value int64 `json:"value"`
+}
+
+// SpanData is the immutable record of a completed span.
+type SpanData struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	// Root is the ID of the span's root ancestor (its own ID for roots);
+	// exporters group spans into per-job tracks by it.
+	Root SpanID `json:"root"`
+	Name string `json:"name"`
+	// Start is the offset from the tracer's base time; Dur the span length.
+	Start  time.Duration `json:"start_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+	Events []Event       `json:"events,omitempty"`
+}
+
+// Span is an in-progress span. A nil *Span is valid: every method is a
+// no-op, so instrumented code never branches on whether tracing is on.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+}
+
+// StartSpan opens a root span. It returns nil — the disabled span — when
+// the tracer is nil or the sampling policy drops this root.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.sampleEvery > 1 && (t.roots.Add(1)-1)%uint64(t.sampleEvery) != 0 {
+		return nil
+	}
+	id := SpanID(t.nextID.Add(1))
+	return &Span{tracer: t, data: SpanData{
+		ID:    id,
+		Root:  id,
+		Name:  name,
+		Start: time.Since(t.base),
+	}}
+}
+
+// StartChild opens a child span. On a nil receiver it returns nil, so a
+// sampled-out or disabled root disables its whole subtree.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	return &Span{tracer: t, data: SpanData{
+		ID:     SpanID(t.nextID.Add(1)),
+		Parent: s.data.ID,
+		Root:   s.data.Root,
+		Name:   name,
+		Start:  time.Since(t.base),
+	}}
+}
+
+// SetInt annotates the span with an integer attribute.
+func (s *Span) SetInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Int: value})
+}
+
+// SetStr annotates the span with a string attribute.
+func (s *Span) SetStr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Str: value, IsStr: true})
+}
+
+// SetBool annotates the span with a boolean attribute (stored as 0/1).
+func (s *Span) SetBool(key string, value bool) {
+	if s == nil {
+		return
+	}
+	v := int64(0)
+	if value {
+		v = 1
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Int: v})
+}
+
+// Event records an instant event inside the span with a count value.
+func (s *Span) Event(name string, value int64) {
+	if s == nil {
+		return
+	}
+	s.data.Events = append(s.data.Events, Event{
+		Name:  name,
+		At:    time.Since(s.tracer.base),
+		Value: value,
+	})
+}
+
+// End completes the span and commits it to the tracer's ring buffer.
+// Ending a span twice records it twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.data.Dur = time.Since(s.tracer.base) - s.data.Start
+	s.tracer.commit(s.data)
+}
+
+// commit appends a completed span, overwriting the oldest when full.
+func (t *Tracer) commit(d SpanData) {
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, d)
+	} else {
+		t.ring[t.next] = d
+		t.dropped.Add(1)
+	}
+	t.next++
+	if t.next == t.capacity {
+		t.next = 0
+	}
+	t.count++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans in completion order (oldest
+// first). A nil tracer snapshots empty.
+func (t *Tracer) Snapshot() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.ring))
+	if len(t.ring) < t.capacity {
+		out = append(out, t.ring...)
+		return out
+	}
+	// Full ring: the oldest span is at the write cursor.
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Reset discards all retained spans (the drop counter survives).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns the number of completed spans overwritten by ring
+// wrap-around since the tracer was created.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}

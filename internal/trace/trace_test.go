@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartSpan("job")
+	root.SetStr("id", "gcd")
+	child := root.StartChild("analyze")
+	child.SetInt("anchors", 3)
+	child.Event("relaxation.sweep", 1)
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (child, root in completion order)", len(spans))
+	}
+	c, r := spans[0], spans[1]
+	if c.Name != "analyze" || r.Name != "job" {
+		t.Fatalf("completion order wrong: %q, %q", c.Name, r.Name)
+	}
+	if c.Parent != r.ID || c.Root != r.ID || r.Root != r.ID || r.Parent != 0 {
+		t.Errorf("lineage wrong: child parent=%d root=%d, root id=%d parent=%d",
+			c.Parent, c.Root, r.ID, r.Parent)
+	}
+	if c.ID == r.ID {
+		t.Error("span IDs must be distinct")
+	}
+	if len(c.Events) != 1 || c.Events[0].Name != "relaxation.sweep" || c.Events[0].Value != 1 {
+		t.Errorf("child events = %+v", c.Events)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Key != "anchors" || c.Attrs[0].Int != 3 {
+		t.Errorf("child attrs = %+v", c.Attrs)
+	}
+	if len(r.Attrs) != 1 || !r.Attrs[0].IsStr || r.Attrs[0].Str != "gcd" {
+		t.Errorf("root attrs = %+v", r.Attrs)
+	}
+	if c.Start < r.Start || c.Dur < 0 || r.Dur < c.Dur {
+		t.Errorf("timing inconsistent: root [%v +%v], child [%v +%v]", r.Start, r.Dur, c.Start, c.Dur)
+	}
+}
+
+func TestRingBufferBounds(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartSpan(fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	spans := tr.Snapshot()
+	for i, sp := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); sp.Name != want {
+			t.Errorf("snapshot[%d] = %q, want %q (oldest-first after wrap)", i, sp.Name, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || len(tr.Snapshot()) != 0 {
+		t.Error("Reset did not clear the ring")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Options{SampleEvery: 3})
+	kept := 0
+	for i := 0; i < 9; i++ {
+		sp := tr.StartSpan("job")
+		if sp != nil {
+			kept++
+			// A sampled root's children are live; a dropped root's are nil.
+			if c := sp.StartChild("stage"); c == nil {
+				t.Error("child of sampled-in root is nil")
+			} else {
+				c.End()
+			}
+			sp.End()
+		}
+	}
+	if kept != 3 {
+		t.Errorf("kept %d of 9 roots with SampleEvery=3, want 3", kept)
+	}
+	if got := tr.Len(); got != 6 {
+		t.Errorf("Len = %d, want 6 (3 roots + 3 children)", got)
+	}
+}
+
+// TestNilSafety drives the whole API through nil receivers: the disabled
+// path of the engine integration.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("job")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	child := sp.StartChild("stage")
+	if child != nil {
+		t.Fatal("nil span returned a live child")
+	}
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.SetBool("k", true)
+	sp.Event("e", 1)
+	sp.End()
+	if tr.Snapshot() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer is not empty")
+	}
+	tr.Reset() // must not panic
+}
+
+// TestNilTracerZeroAllocs pins the acceptance criterion that disabled
+// tracing adds zero allocations to the scheduling hot path: every
+// operation the engine performs per job must be free when the tracer is
+// nil.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.StartSpan("job")
+		root.SetStr("id", "x")
+		root.SetBool("cache_hit", false)
+		stage := root.StartChild("schedule")
+		stage.Event("relaxation.sweep", 1)
+		stage.SetInt("iterations", 3)
+		stage.End()
+		root.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer hot path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestConcurrentCommit exercises the ring buffer from many goroutines;
+// run with -race to verify the locking.
+func TestConcurrentCommit(t *testing.T) {
+	tr := New(Options{Capacity: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.StartSpan("job")
+				c := sp.StartChild("stage")
+				c.End()
+				sp.End()
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 64 {
+		t.Errorf("Len = %d, want full ring 64", got)
+	}
+	if total := uint64(tr.Len()) + tr.Dropped(); total != 1600 {
+		t.Errorf("retained+dropped = %d, want 1600 spans", total)
+	}
+	ids := map[SpanID]bool{}
+	for _, sp := range tr.Snapshot() {
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span ID %d", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+}
+
+// BenchmarkSpanLifecycle measures the enabled-tracer cost of the span
+// work the engine does per traced job: a root, one stage child, an
+// attribute, an event, and both commits.
+func BenchmarkSpanLifecycle(b *testing.B) {
+	tr := New(Options{Capacity: 1 << 16})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.StartSpan("job")
+		stage := root.StartChild("schedule")
+		stage.Event("relax.sweep", 1)
+		stage.SetInt("iterations", 2)
+		stage.End()
+		root.End()
+	}
+}
+
+// BenchmarkNilTracer measures the same call pattern through a nil
+// tracer — the cost every untraced job pays, which must stay at zero
+// allocations and a few nanoseconds of nil checks.
+func BenchmarkNilTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.StartSpan("job")
+		stage := root.StartChild("schedule")
+		stage.Event("relax.sweep", 1)
+		stage.SetInt("iterations", 2)
+		stage.End()
+		root.End()
+	}
+}
