@@ -1,0 +1,39 @@
+// Command promlint validates Prometheus text exposition (format 0.0.4)
+// read from a file or stdin, using the same rules the obs unit tests
+// apply (obs.LintPrometheusText). CI's scrape smoke job runs it against
+// a live /metrics response so a malformed exposition fails the build
+// without pulling in a Prometheus client library.
+//
+// usage: promlint [file]    (no file: read stdin)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	switch {
+	case len(os.Args) > 2:
+		fmt.Fprintln(os.Stderr, "usage: promlint [file]")
+		os.Exit(2)
+	case len(os.Args) == 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, name = f, os.Args[1]
+	}
+	if err := obs.LintPrometheusText(r); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: OK\n", name)
+}

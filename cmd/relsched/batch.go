@@ -18,6 +18,8 @@ import (
 
 	"repro/internal/cgio"
 	"repro/internal/engine"
+	"repro/internal/flight"
+	"repro/internal/logx"
 	"repro/internal/obs"
 	"repro/internal/relsched"
 	"repro/internal/trace"
@@ -50,9 +52,27 @@ flags:
                    schedule stages, relaxation-sweep events) and write them
                    as Chrome Trace Event JSON, loadable in Perfetto or
                    chrome://tracing
-  -pprof addr      serve net/http/pprof and expvar (live metrics at
-                   /debug/vars, live span tree at /debug/trace) on addr,
-                   e.g. localhost:6060, for the duration of the batch
+  -pprof addr      serve the debug endpoints on addr (e.g. localhost:6060)
+                   for the duration of the batch: net/http/pprof, expvar at
+                   /debug/vars, the live span tree at /debug/trace,
+                   Prometheus text exposition at /metrics, and /healthz +
+                   /readyz probes
+  -hold d          keep the -pprof debug server up for d after the batch
+                   drains (e.g. 30s), so external scrapers can collect the
+                   final metrics before the process exits
+  -log format      emit structured job-lifecycle logs to stderr: jsonl
+                   (one JSON object per line) or text (human-readable)
+  -log-level l     minimum log level: debug, info (default), warn, error
+  -log-file file   write logs to file instead of stderr
+  -flight-dir dir  enable the black-box flight recorder: every job is
+                   retained in a bounded ring, and error / timeout /
+                   ill-posedness / latency-outlier jobs dump a diagnostic
+                   bundle (logs, span tree, stage timings, schedule
+                   provenance) as JSON into dir; see docs/OBSERVABILITY.md
+  -flight-threshold d
+                   flight latency trigger: dump any job slower than d
+  -flight-p95x f   flight adaptive trigger: dump any job slower than f ×
+                   the running p95 of job durations (f > 1)
 `
 
 // manifestEntry is one line of a JSONL batch manifest. Path is resolved
@@ -119,7 +139,14 @@ func runBatch(args []string, stdout io.Writer) error {
 	jsonPath := fs.String("json", "", "write aggregate stats JSON to this file")
 	metricsPath := fs.String("metrics", "", "write a metrics registry JSON snapshot to this file")
 	tracePath := fs.String("trace", "", "write a Chrome Trace Event JSON of the batch to this file")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	pprofAddr := fs.String("pprof", "", "serve the debug endpoints on this address")
+	hold := fs.Duration("hold", 0, "keep the -pprof server up this long after the batch drains")
+	logFormat := fs.String("log", "", "structured log format: jsonl or text")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFile := fs.String("log-file", "", "write logs to this file instead of stderr")
+	flightDir := fs.String("flight-dir", "", "enable the flight recorder, dumping bundles into this directory")
+	flightThreshold := fs.Duration("flight-threshold", 0, "flight latency trigger: fixed duration threshold")
+	flightP95x := fs.Float64("flight-p95x", 0, "flight latency trigger: multiple of the running p95 (> 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -159,6 +186,32 @@ func runBatch(args []string, stdout io.Writer) error {
 		tracer = trace.New(trace.Options{Capacity: capacity})
 	}
 
+	logger, logCleanup, err := buildLogger(*logFormat, *logLevel, *logFile)
+	if err != nil {
+		return err
+	}
+	defer logCleanup()
+
+	// One registry shared by the engine and the flight recorder, so a
+	// bundle's metrics section carries the engine's counters and one
+	// /metrics scrape covers both subsystems.
+	reg := obs.NewRegistry()
+	var recorder *flight.Recorder
+	if *flightDir != "" {
+		recorder, err = flight.New(flight.Options{
+			Dir:            *flightDir,
+			FixedThreshold: *flightThreshold,
+			P95Factor:      *flightP95x,
+			Metrics:        reg,
+			Logger:         logger,
+		})
+		if err != nil {
+			return err
+		}
+	} else if *flightThreshold != 0 || *flightP95x != 0 {
+		return fmt.Errorf("-flight-threshold and -flight-p95x require -flight-dir")
+	}
+
 	// CacheCapacity 0 falls through to engine.DefaultCacheCapacity, so
 	// eviction behavior no longer silently depends on workload size; size
 	// it explicitly with -cache when the workload's working set is known.
@@ -167,16 +220,22 @@ func runBatch(args []string, stdout io.Writer) error {
 		DisableCache:  *nocache,
 		JobTimeout:    *timeout,
 		CacheCapacity: *cacheCap,
+		Metrics:       reg,
 		Tracer:        tracer,
+		Logger:        logger,
+		Flight:        recorder,
 	})
 
+	var debug *debugServer
 	if *pprofAddr != "" {
-		ln, err := startDebugServer(*pprofAddr, e.Metrics(), tracer)
+		debug, err = startDebugServer(*pprofAddr, e.Metrics(), tracer)
 		if err != nil {
 			return err
 		}
-		defer ln.Close()
-		fmt.Fprintf(stdout, "debug server on http://%s (pprof at /debug/pprof/, metrics at /debug/vars, spans at /debug/trace)\n", ln.Addr())
+		defer debug.Close()
+		fmt.Fprintf(stdout, "debug server on http://%s (pprof at /debug/pprof/, metrics at /debug/vars and /metrics, spans at /debug/trace)\n", debug.Addr())
+	} else if *hold != 0 {
+		return fmt.Errorf("-hold requires -pprof")
 	}
 
 	start := time.Now()
@@ -249,10 +308,50 @@ func runBatch(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "trace ring dropped %d span(s); the file holds the most recent %d\n", n, tracer.Len())
 		}
 	}
+	if recorder != nil {
+		fmt.Fprintf(stdout, "flight recorder: %d dump(s) in %s\n", recorder.Dumps(), recorder.Dir())
+	}
+	if debug != nil && *hold > 0 {
+		fmt.Fprintf(stdout, "holding debug server for %v\n", *hold)
+		time.Sleep(*hold)
+	}
 	if stats.Failed > 0 {
 		return fmt.Errorf("%d job(s) failed", stats.Failed)
 	}
 	return nil
+}
+
+// buildLogger resolves the -log/-log-level/-log-file flags into a
+// logger and a cleanup closing the log file. An empty format disables
+// logging (nil logger, free at every call site).
+func buildLogger(format, level, file string) (*logx.Logger, func(), error) {
+	cleanup := func() {}
+	if format == "" {
+		if file != "" {
+			return nil, cleanup, fmt.Errorf("-log-file requires -log")
+		}
+		return nil, cleanup, nil
+	}
+	lvl, ok := logx.ParseLevel(level)
+	if !ok {
+		return nil, cleanup, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	var w io.Writer = os.Stderr
+	if file != "" {
+		f, err := os.Create(file)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		cleanup = func() { f.Close() }
+		w = f
+	}
+	switch format {
+	case "jsonl":
+		return logx.New(logx.NewJSONHandler(w, lvl)), cleanup, nil
+	case "text":
+		return logx.New(logx.NewTextHandler(w, lvl)), cleanup, nil
+	}
+	return nil, cleanup, fmt.Errorf("unknown -log format %q (want jsonl or text)", format)
 }
 
 // collectJobs resolves manifest entries and positional file/dir arguments
@@ -367,28 +466,83 @@ func writeTraceFile(path string, tracer *trace.Tracer) error {
 	return f.Close()
 }
 
+// debugServer owns the -pprof listener and its HTTP server. It exists
+// to fix the lifecycle of the old helper, which fired http.Serve on a
+// raw listener in a goroutine and only ever closed the listener: the
+// serve goroutine leaked past the batch, and in-flight scrapes were cut
+// mid-response. Close performs a graceful http.Server.Shutdown (stop
+// accepting, drain in-flight requests, bounded by a timeout) and then
+// waits for the serve goroutine to exit.
+type debugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine returns
+}
+
+// debugShutdownTimeout bounds how long Close waits for in-flight
+// requests to drain before force-closing.
+const debugShutdownTimeout = 2 * time.Second
+
 // startDebugServer publishes the registry to expvar and serves, on addr:
-// net/http/pprof's /debug/pprof/* handlers and expvar's /debug/vars
-// (which re-snapshots the registry on every scrape) from the default
-// mux, plus the live span tree at /debug/trace. The trace handler is
-// mounted on a fresh mux wrapping the default one so repeated batch runs
-// in one process never double-register; it serves a valid empty trace
-// when tracing is off. The caller closes the listener when the batch is
-// done.
-func startDebugServer(addr string, reg *obs.Registry, tracer *trace.Tracer) (net.Listener, error) {
+// net/http/pprof's /debug/pprof/* handlers and expvar's /debug/vars from
+// the default mux, the live span tree at /debug/trace, the Prometheus
+// text exposition of the whole registry at /metrics (namespace
+// relsched_*, re-snapshotted per scrape), and /healthz + /readyz liveness
+// probes. The non-default handlers are mounted on a fresh mux wrapping
+// the default one so repeated batch runs in one process never
+// double-register; /debug/trace serves a valid empty trace when tracing
+// is off.
+func startDebugServer(addr string, reg *obs.Registry, tracer *trace.Tracer) (*debugServer, error) {
 	reg.PublishExpvar("relsched_engine")
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	ok := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/trace", tracer.Handler())
+	mux.Handle("/metrics", obs.PrometheusHandler(reg, "relsched"))
+	// The server only exists while the batch process serves it, so both
+	// probes answer 200: healthz is process liveness, readyz is "the
+	// engine is constructed and the registry is live" — true from the
+	// moment the listener is up.
+	mux.HandleFunc("/healthz", ok)
+	mux.HandleFunc("/readyz", ok)
 	mux.Handle("/", http.DefaultServeMux)
+	ds := &debugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
 	go func() {
-		// Serve returns once the listener closes; nothing to report.
-		_ = http.Serve(ln, mux)
+		defer close(ds.done)
+		// Serve returns ErrServerClosed after Shutdown/Close; nothing to
+		// report either way.
+		_ = ds.srv.Serve(ln)
 	}()
-	return ln, nil
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *debugServer) Addr() net.Addr { return ds.ln.Addr() }
+
+// Close gracefully shuts the server down: new connections are refused,
+// in-flight requests drain (bounded by debugShutdownTimeout, then
+// force-closed), and the serve goroutine has exited by the time Close
+// returns.
+func (ds *debugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), debugShutdownTimeout)
+	defer cancel()
+	err := ds.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain timeout or shutdown error: cut the stragglers.
+		err = ds.srv.Close()
+	}
+	<-ds.done
+	return err
 }
 
 // parseMode maps a -mode flag value to an AnchorMode.

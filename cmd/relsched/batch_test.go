@@ -9,8 +9,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -267,22 +269,24 @@ func TestBatchCacheFlag(t *testing.T) {
 }
 
 // TestBatchDebugServer covers -pprof wiring: the helper serves expvar
-// (with the published registry) and the pprof index.
+// (with the published registry), the pprof index, the live span tree,
+// the Prometheus exposition, and the health probes.
 func TestBatchDebugServer(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("probe").Add(7)
+	reg.Histogram("lat").Observe(3 * time.Millisecond)
 	tracer := trace.New(trace.Options{})
 	sp := tracer.StartSpan("job")
 	sp.SetStr("id", "probe")
 	sp.End()
-	ln, err := startDebugServer("127.0.0.1:0", reg, tracer)
+	ds, err := startDebugServer("127.0.0.1:0", reg, tracer)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	defer ds.Close()
 	get := func(path string) string {
 		t.Helper()
-		resp, err := http.Get("http://" + ln.Addr().String() + path)
+		resp, err := http.Get("http://" + ds.Addr().String() + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,6 +314,21 @@ func TestBatchDebugServer(t *testing.T) {
 	if len(live.TraceEvents) != 1 || live.TraceEvents[0].Name != "job" {
 		t.Errorf("/debug/trace events = %+v, want the one recorded job span", live.TraceEvents)
 	}
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "relsched_probe_total 7") {
+		t.Errorf("/metrics missing namespaced counter:\n%.400s", metrics)
+	}
+	if !strings.Contains(metrics, `relsched_lat_bucket{le="+Inf"} 1`) {
+		t.Errorf("/metrics missing histogram exposition:\n%.600s", metrics)
+	}
+	if err := obs.LintPrometheusText(strings.NewReader(metrics)); err != nil {
+		t.Errorf("/metrics fails exposition lint: %v", err)
+	}
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		if body := get(probe); strings.TrimSpace(body) != "ok" {
+			t.Errorf("%s = %q, want ok", probe, body)
+		}
+	}
 
 	// End-to-end: the flag itself must come up (on an ephemeral port) and
 	// report the address.
@@ -320,5 +339,141 @@ func TestBatchDebugServer(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "debug server on http://127.0.0.1:") {
 		t.Errorf("output missing debug server line:\n%s", out.String())
+	}
+}
+
+// TestDebugServerShutdown pins the lifecycle fix: after Close, the port
+// no longer accepts connections and the serve goroutine has exited
+// (Close blocks on it). An in-flight request started before Close must
+// complete — Shutdown drains rather than cuts.
+func TestDebugServerShutdown(t *testing.T) {
+	reg := obs.NewRegistry()
+	ds, err := startDebugServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ds.Addr().String()
+
+	// An in-flight scrape races Close; it must either complete or be
+	// refused cleanly, never hang.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			_, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		inflight <- err
+	}()
+
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-inflight:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request hung across Close")
+	}
+	// The serve goroutine exited (done closed) and the port is released.
+	select {
+	case <-ds.done:
+	default:
+		t.Error("serve goroutine still running after Close")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Close")
+	}
+	// Close is idempotent enough for a defer after an explicit Close.
+	_ = ds.Close()
+}
+
+// TestBatchLogging covers -log/-log-level/-log-file: JSONL job lifecycle
+// lines land in the file with job-correlated attributes.
+func TestBatchLogging(t *testing.T) {
+	dir := writeBatchDir(t)
+	logPath := filepath.Join(dir, "batch.log")
+	var out bytes.Buffer
+	err := runBatch([]string{"-log", "jsonl", "-log-level", "debug", "-log-file", logPath, dir}, &out)
+	if err != nil {
+		t.Fatalf("runBatch: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scheduled int
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		if m["msg"] == "job scheduled" {
+			scheduled++
+			if m["job"] == nil || m["level"] != "info" {
+				t.Errorf("scheduled line missing attributes: %v", m)
+			}
+		}
+	}
+	if scheduled != 2 {
+		t.Errorf("scheduled lines = %d, want 2:\n%s", scheduled, data)
+	}
+
+	// Flag validation.
+	if err := runBatch([]string{"-log", "yaml", dir}, &out); err == nil {
+		t.Error("-log yaml accepted")
+	}
+	if err := runBatch([]string{"-log", "jsonl", "-log-level", "loud", dir}, &out); err == nil {
+		t.Error("-log-level loud accepted")
+	}
+	if err := runBatch([]string{"-log-file", logPath, dir}, &out); err == nil {
+		t.Error("-log-file without -log accepted")
+	}
+}
+
+// TestBatchFlightRecorder covers -flight-dir end to end: an ill-posed
+// job in the batch dumps a valid bundle, and the dump count reaches the
+// aggregate output.
+func TestBatchFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fig2.cg"), []byte(fig2Text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ill.cg"), []byte(illPosedText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flightDir := filepath.Join(dir, "flight")
+	var out bytes.Buffer
+	err := runBatch([]string{"-flight-dir", flightDir, "-workers", "1", dir}, &out)
+	if err == nil {
+		t.Fatal("batch with an ill-posed job succeeded")
+	}
+	bundles, err := filepath.Glob(filepath.Join(flightDir, "flight-*.json"))
+	if err != nil || len(bundles) != 1 {
+		t.Fatalf("bundles = %v (err %v), want exactly 1", bundles, err)
+	}
+	data, err := os.ReadFile(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b flight.Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle is not valid JSON: %v", err)
+	}
+	if b.Trigger != flight.TriggerIllPosed || b.Job.JobID != "ill" {
+		t.Errorf("bundle trigger/job = %q/%q", b.Trigger, b.Job.JobID)
+	}
+	if !strings.Contains(out.String(), "flight recorder: 1 dump(s)") {
+		t.Errorf("output missing flight summary:\n%s", out.String())
+	}
+
+	// Trigger flags without a directory are rejected.
+	if err := runBatch([]string{"-flight-p95x", "3", dir}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-flight-dir") {
+		t.Errorf("-flight-p95x without -flight-dir: %v", err)
+	}
+	// -hold without -pprof is rejected.
+	if err := runBatch([]string{"-hold", "1s", dir}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-pprof") {
+		t.Errorf("-hold without -pprof: %v", err)
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +20,13 @@ import (
 // comparison of sequential, pooled, and pooled+memoized batch scheduling
 // of the eight paper designs (see EXPERIMENTS.md, "Engine throughput").
 type engineBenchArtifact struct {
+	// Commit is the git revision the run measured ("unknown" when the
+	// test runs outside a git checkout); TimeUTC stamps the run in
+	// RFC3339. Together they make BENCH_history.jsonl lines comparable
+	// across the PR sequence.
+	Commit  string `json:"commit"`
+	TimeUTC string `json:"time_utc"`
+
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
@@ -123,6 +132,9 @@ func TestEngineBenchArtifact(t *testing.T) {
 
 	stats := memo.Stats()
 	art := engineBenchArtifact{
+		Commit:  gitCommit(),
+		TimeUTC: time.Now().UTC().Format(time.RFC3339),
+
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -156,6 +168,9 @@ func TestEngineBenchArtifact(t *testing.T) {
 	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if err := appendBenchHistory("BENCH_history.jsonl", art); err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("sequential %v, pooled %v (%.1fx), pooled+memoized %v (%.1fx), cache %d/%d hits",
 		seqNS, pooledNS, art.PooledSpeedup, memoNS, art.MemoizedSpeedup, stats.Hits, stats.Hits+stats.Misses)
 
@@ -173,4 +188,34 @@ func TestEngineBenchArtifact(t *testing.T) {
 	} else {
 		t.Logf("GOMAXPROCS=1: skipping pooled-speedup assertion")
 	}
+}
+
+// gitCommit resolves the current git revision, "unknown" outside a
+// checkout (a source tarball, `go test` against the module cache).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendBenchHistory appends the artifact as one JSONL line. The latest
+// snapshot file (BENCH_engine.json) stays the canonical current view;
+// the history accumulates one line per run so regressions are visible
+// as a time series across commits.
+func appendBenchHistory(path string, art engineBenchArtifact) error {
+	line, err := json.Marshal(art)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

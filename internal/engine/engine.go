@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"repro/internal/cg"
+	"repro/internal/flight"
+	"repro/internal/logx"
 	"repro/internal/obs"
 	"repro/internal/relsched"
 	"repro/internal/trace"
@@ -63,6 +65,18 @@ type Options struct {
 	// zero cost: the hot path performs no allocations and no atomic
 	// operations for the disabled tracer.
 	Tracer *trace.Tracer
+	// Logger receives job-lifecycle records (submitted outcome, cache
+	// disposition, verdicts) with job-correlated attributes. Nil disables
+	// logging; the disabled path is allocation-free (see internal/logx).
+	Logger *logx.Logger
+	// Flight is the black-box flight recorder: every job outcome is
+	// appended to its ring, and error/timeout/ill-posedness/latency-
+	// outlier jobs dump a diagnostic bundle with the job's log lines,
+	// span tree, stage timings, and schedule provenance (see
+	// internal/flight and docs/OBSERVABILITY.md). Nil disables recording.
+	// When Flight is set, per-job logs are captured for bundles even if
+	// Logger is nil.
+	Flight *flight.Recorder
 }
 
 // DefaultCacheCapacity is the cache size used when Options.CacheCapacity
@@ -128,8 +142,10 @@ type Engine struct {
 
 	registry *obs.Registry
 	metrics  *engineMetrics
-	hooks    *relsched.Hooks // shared metrics-fed trace hook, see engineMetrics.hooks
-	tracer   *trace.Tracer   // nil when tracing is off
+	hooks    *relsched.Hooks  // shared metrics-fed trace hook, see engineMetrics.hooks
+	tracer   *trace.Tracer    // nil when tracing is off
+	log      *logx.Logger     // nil when logging is off
+	recorder *flight.Recorder // nil when flight recording is off
 
 	// flight tracks in-progress computations per cache key for
 	// singleflight duplicate suppression: concurrent misses on the same
@@ -182,6 +198,8 @@ func New(opts Options) *Engine {
 		metrics:    m,
 		hooks:      m.hooks(),
 		tracer:     opts.Tracer,
+		log:        opts.Logger,
+		recorder:   opts.Flight,
 		flight:     make(map[cacheKey]*flightCall),
 		fps:        make(map[*cg.Graph]fpMemo),
 	}
@@ -312,6 +330,25 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	res := Result{JobID: job.ID, Graph: job.Graph}
 	span := e.tracer.StartSpan("job")
 	span.SetStr("id", job.ID)
+
+	// Per-job logging context: bind the job id (and span id when traced).
+	// With the flight recorder on, a Capture tees every record — debug
+	// included — into the job's evidence while forwarding lines the live
+	// sink wants, and stage timings are collected for the flight record.
+	jc := &jobCtx{log: e.log}
+	var capture *logx.Capture
+	if e.recorder != nil {
+		capture = logx.NewCapture(e.log.Handler(), 0)
+		jc.log = logx.New(capture)
+		jc.stages = make(map[string]int64, 8)
+	}
+	jc.log = jc.log.With(logx.Str("job", job.ID))
+	if id := span.ID(); id != 0 {
+		jc.log = jc.log.With(logx.Int("span", int64(id)))
+	}
+	var fp Fingerprint
+	fpKnown := false
+
 	done := func() Result {
 		res.Duration = time.Since(start)
 		m.inflight.Add(-1)
@@ -330,8 +367,11 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 			if res.Err != nil {
 				span.SetStr("error", res.Err.Error())
 			}
+			// End before finishJob so a flight dump's snapshot already
+			// holds this job's completed span tree.
 			span.End()
 		}
+		e.finishJob(job, &res, jc, capture, span, fp, fpKnown)
 		return res
 	}
 	if err := ctx.Err(); err != nil {
@@ -352,10 +392,18 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	fpSpan := span.StartChild("fingerprint")
 	key := cacheKey{fp: e.fingerprint(job.Graph), wellPose: job.WellPose}
 	fpSpan.End()
-	m.stageFingerprint.Observe(time.Since(t))
+	d := time.Since(t)
+	m.stageFingerprint.Observe(d)
+	jc.stage("fingerprint", int64(d))
+	fp, fpKnown = key.fp, true
+	if jc.log.Enabled(logx.LevelDebug) {
+		jc.log.Debug("job accepted",
+			logx.Str("fingerprint", key.fp.String()),
+			logx.Bool("wellpose", job.WellPose))
+	}
 
 	if e.cache == nil {
-		entry := e.compute(ctx, job, span)
+		entry := e.compute(ctx, job, span, jc)
 		if entry == nil { // cancelled mid-pipeline
 			res.Err = ctx.Err()
 			return done()
@@ -369,7 +417,9 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		cacheSpan := span.StartChild("cache")
 		entry, ok := e.cache.get(key)
 		cacheSpan.End()
-		m.stageCache.Observe(time.Since(t))
+		d = time.Since(t)
+		m.stageCache.Observe(d)
+		jc.stage("cache", int64(d))
 		m.lookups.Inc()
 		if ok {
 			m.hits.Inc()
@@ -409,7 +459,7 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		// Leader: run the pipeline, publish to the cache first so
 		// followers that loop (rather than read call.entry) find it, then
 		// release the flight slot.
-		entry = e.compute(ctx, job, span)
+		entry = e.compute(ctx, job, span, jc)
 		call.entry = entry
 		if entry != nil {
 			e.cache.put(key, entry)
@@ -448,7 +498,7 @@ func (r *Result) fill(entry *analysisEntry) {
 // a child span under it, and the relsched inner-loop hooks additionally
 // record instant events into the stage span; otherwise the shared
 // metrics-only hooks are used and tracing costs nothing.
-func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span) *analysisEntry {
+func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *jobCtx) *analysisEntry {
 	m := e.metrics
 	entry := &analysisEntry{graph: job.Graph}
 	verdict := func() *analysisEntry {
@@ -462,16 +512,23 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span) *anal
 		entry.added = added
 		sp.SetInt("serialization_edges", int64(added))
 		sp.End()
-		m.stageWellpose.Observe(time.Since(t))
+		d := time.Since(t)
+		m.stageWellpose.Observe(d)
+		jc.stage("wellpose", int64(d))
 		if err != nil {
 			entry.err = err
 			return verdict()
+		}
+		if jc.log.Enabled(logx.LevelDebug) && added > 0 {
+			jc.log.Debug("graph serialized", logx.Int("edges_added", int64(added)))
 		}
 		entry.graph = wp
 	} else {
 		err := relsched.CheckWellPosed(job.Graph)
 		sp.End()
-		m.stageWellpose.Observe(time.Since(t))
+		d := time.Since(t)
+		m.stageWellpose.Observe(d)
+		jc.stage("wellpose", int64(d))
 		if err != nil {
 			entry.err = err
 			return verdict()
@@ -485,13 +542,20 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span) *anal
 	info, err := relsched.Analyze(entry.graph)
 	if err != nil {
 		sp.End()
-		m.stageAnalyze.Observe(time.Since(t))
+		d := time.Since(t)
+		m.stageAnalyze.Observe(d)
+		jc.stage("analyze", int64(d))
 		entry.err = err
 		return verdict()
 	}
 	sp.SetInt("anchors", int64(info.NumAnchors()))
 	sp.End()
-	m.stageAnalyze.Observe(time.Since(t))
+	d := time.Since(t)
+	m.stageAnalyze.Observe(d)
+	jc.stage("analyze", int64(d))
+	if jc.log.Enabled(logx.LevelDebug) {
+		jc.log.Debug("anchor analysis done", logx.Int("anchors", int64(info.NumAnchors())))
+	}
 	entry.info = info
 	if ctx.Err() != nil {
 		return nil
@@ -501,13 +565,17 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span) *anal
 	sched, err := relsched.ComputeFromAnalysisTraced(info, e.stageHooks(sp))
 	if err != nil {
 		sp.End()
-		m.stageSchedule.Observe(time.Since(t))
+		d = time.Since(t)
+		m.stageSchedule.Observe(d)
+		jc.stage("schedule", int64(d))
 		entry.err = err
 		return verdict()
 	}
 	sp.SetInt("iterations", int64(sched.Iterations))
 	sp.End()
-	m.stageSchedule.Observe(time.Since(t))
+	d = time.Since(t)
+	m.stageSchedule.Observe(d)
+	jc.stage("schedule", int64(d))
 	entry.sched = sched
 	return verdict()
 }

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"repro/internal/flight"
+	"repro/internal/logx"
+	"repro/internal/relsched"
+	"repro/internal/trace"
+)
+
+// This file wires the engine into the narrative layers of the
+// observability triad: per-job structured logging (internal/logx) and
+// the black-box flight recorder (internal/flight). Both are optional
+// and nil-safe; with neither configured the per-job overhead is a
+// handful of nil checks.
+
+// jobCtx carries one job's logging and evidence-collection state
+// through the pipeline. The zero value is the disabled state: a nil
+// logger no-ops and a nil stages map skips timing collection.
+type jobCtx struct {
+	log *logx.Logger
+	// stages accumulates per-stage wall-clock time for the flight
+	// record; allocated only when the flight recorder is on. The
+	// pipeline runs one job on one worker, so no lock is needed.
+	stages map[string]int64
+}
+
+func (jc *jobCtx) stage(name string, ns int64) {
+	if jc.stages != nil {
+		jc.stages[name] = ns
+	}
+}
+
+// finishJob runs after the job's span is ended and its counters are
+// settled: it emits the job's outcome log line and hands the record to
+// the flight recorder. Enrichment (span tree, provenance) happens
+// inside the recorder's dump path only, so healthy jobs never pay for
+// it.
+func (e *Engine) finishJob(job Job, res *Result, jc *jobCtx, capture *logx.Capture, span *trace.Span, fp Fingerprint, fpKnown bool) {
+	kind := classifyErrKind(res.Err)
+	switch kind {
+	case "":
+		if jc.log.Enabled(logx.LevelInfo) {
+			jc.log.Info("job scheduled",
+				logx.Bool("cache_hit", res.CacheHit),
+				logx.Bool("suppressed", res.Suppressed),
+				logx.Dur("dur", res.Duration))
+		}
+	case flight.ErrKindCanceled, flight.ErrKindTimeout:
+		if jc.log.Enabled(logx.LevelWarn) {
+			jc.log.Warn("job "+kind, logx.Dur("dur", res.Duration), logx.Err(res.Err))
+		}
+	default:
+		if jc.log.Enabled(logx.LevelError) {
+			jc.log.Error("job failed",
+				logx.Str("kind", kind),
+				logx.Dur("dur", res.Duration),
+				logx.Err(res.Err))
+		}
+	}
+	if e.recorder == nil {
+		return
+	}
+	rec := flight.JobRecord{
+		JobID:      res.JobID,
+		WellPose:   job.WellPose,
+		CacheHit:   res.CacheHit,
+		Suppressed: res.Suppressed,
+		DurationNS: int64(res.Duration),
+		ErrKind:    kind,
+		StageNS:    jc.stages,
+	}
+	if fpKnown {
+		rec.Fingerprint = fp.String()
+	}
+	if res.Err != nil {
+		rec.Err = res.Err.Error()
+	}
+	if capture != nil {
+		rec.Logs, rec.LogsDropped = capture.Records()
+	}
+	e.recorder.Observe(rec, func(jr *flight.JobRecord) {
+		if e.tracer != nil {
+			if spans := trace.FilterRoot(e.tracer.Snapshot(), span.ID()); len(spans) > 0 {
+				jr.Spans = spans
+			}
+		}
+		if p := provenanceJSON(res); p != nil {
+			jr.Provenance = p
+		}
+	})
+}
+
+// classifyErrKind maps a job verdict onto the flight recorder's error
+// taxonomy: deadline and cancellation are told apart (only the former
+// is dump-worthy), ill-posedness is its own trigger, anything else is a
+// generic error. Order matters: a deadline error wrapped by the
+// pipeline must not be mistaken for ill-posedness.
+func classifyErrKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return flight.ErrKindTimeout
+	case errors.Is(err, context.Canceled):
+		return flight.ErrKindCanceled
+	}
+	var ill *relsched.IllPosedError
+	if errors.As(err, &ill) {
+		return flight.ErrKindIllPosed
+	}
+	return flight.ErrKindError
+}
+
+// Compact provenance summary embedded in flight bundles: the critical
+// structure of the schedule (zero-slack vertices and maximum timing
+// constraints with their margins), not the full per-vertex dump that
+// `relsched explain -json` produces — a bundle wants the part a human
+// reads first, bounded in size.
+type provenanceSummary struct {
+	// Vertices is the number of scheduled vertices; Critical how many
+	// have zero slack; Listed how many made it into Entries (capped).
+	Vertices int `json:"vertices"`
+	Critical int `json:"critical"`
+	Listed   int `json:"listed"`
+	// Entries holds the interesting vertices: zero slack or carrying a
+	// maximum timing constraint.
+	Entries []provenanceEntry `json:"entries,omitempty"`
+}
+
+type provenanceEntry struct {
+	Vertex string `json:"vertex"`
+	Slack  int    `json:"slack"`
+	// Bindings: one line per anchor binding — which anchor forces the
+	// offset, through how long a chain, and whether a maximum constraint
+	// (rather than a dependency) did the forcing.
+	Bindings []provenanceBinding `json:"bindings,omitempty"`
+	// MaxConstraints: the vertex's maximum timing constraints with
+	// margins; a tight one binds the schedule.
+	MaxConstraints []provenanceMax `json:"max_constraints,omitempty"`
+}
+
+type provenanceBinding struct {
+	Anchor   string `json:"anchor"`
+	Offset   int    `json:"offset"`
+	ChainLen int    `json:"chain_len"`
+	ViaMax   bool   `json:"via_max,omitempty"`
+	Slack    int    `json:"slack"`
+}
+
+type provenanceMax struct {
+	Other  string `json:"other"`
+	U      int    `json:"u"`
+	Margin int    `json:"margin"`
+	Tight  bool   `json:"tight,omitempty"`
+}
+
+// maxProvenanceEntries bounds the bundle's provenance section.
+const maxProvenanceEntries = 32
+
+// provenanceJSON builds the bundle provenance for a job that produced a
+// schedule. It runs only inside a flight dump (rate-limited), so the
+// O(|V|·|E|) Explainer construction is off the per-job path. Returns
+// nil when explanation fails — a bundle with no provenance beats no
+// bundle.
+func provenanceJSON(res *Result) json.RawMessage {
+	if res.Schedule == nil {
+		return nil
+	}
+	ex := res.Schedule.NewExplainer()
+	all, err := ex.ExplainAll(relsched.FullAnchors)
+	if err != nil {
+		return nil
+	}
+	g := res.Graph
+	sum := provenanceSummary{Vertices: len(all)}
+	for _, vp := range all {
+		if vp.Slack == 0 {
+			sum.Critical++
+		}
+		if vp.Slack != 0 && len(vp.MaxConstraints) == 0 {
+			continue
+		}
+		if len(sum.Entries) >= maxProvenanceEntries {
+			continue
+		}
+		e := provenanceEntry{Vertex: g.Name(vp.Vertex), Slack: vp.Slack}
+		for _, b := range vp.Bindings {
+			e.Bindings = append(e.Bindings, provenanceBinding{
+				Anchor:   g.Name(b.Anchor),
+				Offset:   b.Offset,
+				ChainLen: len(b.Chain),
+				ViaMax:   b.ViaMax,
+				Slack:    b.Slack,
+			})
+		}
+		for _, mc := range vp.MaxConstraints {
+			e.MaxConstraints = append(e.MaxConstraints, provenanceMax{
+				Other:  g.Name(mc.Other),
+				U:      mc.U,
+				Margin: mc.Margin,
+				Tight:  mc.Tight,
+			})
+		}
+		sum.Entries = append(sum.Entries, e)
+	}
+	sum.Listed = len(sum.Entries)
+	data, err := json.Marshal(sum)
+	if err != nil {
+		return nil
+	}
+	return data
+}

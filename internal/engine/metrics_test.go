@@ -99,7 +99,7 @@ func TestDuplicateSuppressionFollower(t *testing.T) {
 	// before publishing — once the follower has missed, the live flight
 	// entry forces it onto the wait path, so the suppression outcome is
 	// deterministic.
-	entry := e.compute(ctx, Job{Graph: g}, nil)
+	entry := e.compute(ctx, Job{Graph: g}, nil, &jobCtx{})
 	if entry == nil || entry.err != nil {
 		t.Fatalf("leader compute failed: %+v", entry)
 	}

@@ -1,0 +1,274 @@
+package logx
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// lineHandler is the shared core of the JSONL and text handlers: a
+// level gate, a mutex-serialized writer, and a pooled scratch buffer so
+// rendering costs one buffer checkout per record regardless of attribute
+// count.
+type lineHandler struct {
+	min    Level
+	render func(buf []byte, rec Record) []byte
+
+	mu sync.Mutex
+	w  io.Writer
+}
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+func (h *lineHandler) Enabled(level Level) bool { return level >= h.min }
+
+func (h *lineHandler) Handle(rec Record) {
+	bp := bufPool.Get().(*[]byte)
+	buf := h.render((*bp)[:0], rec)
+	buf = append(buf, '\n')
+	h.mu.Lock()
+	_, _ = h.w.Write(buf)
+	h.mu.Unlock()
+	*bp = buf[:0]
+	bufPool.Put(bp)
+}
+
+// NewJSONHandler returns a handler writing one JSON object per record
+// (JSONL) to w, dropping records below min. The object shape is
+// {"t": RFC3339Nano, "level": "info", "msg": ..., "<key>": <value>, ...}
+// with attribute keys inlined at the top level, duplicate keys rendered
+// in order (later wins under most JSON decoders), and durations in
+// nanoseconds.
+func NewJSONHandler(w io.Writer, min Level) Handler {
+	return &lineHandler{min: min, w: w, render: renderJSON}
+}
+
+// NewTextHandler returns a handler writing one human-readable line per
+// record to w, dropping records below min:
+//
+//	2026-08-06T12:00:00.000000Z INFO  job done job=gcd dur=1.2ms
+func NewTextHandler(w io.Writer, min Level) Handler {
+	return &lineHandler{min: min, w: w, render: renderText}
+}
+
+func renderJSON(buf []byte, rec Record) []byte {
+	buf = append(buf, `{"t":"`...)
+	buf = rec.Time.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, rec.Level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSONString(buf, rec.Msg)
+	for _, a := range rec.Attrs {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, a.Key)
+		buf = append(buf, ':')
+		switch a.Kind {
+		case KindString:
+			buf = appendJSONString(buf, a.Str)
+		case KindBool:
+			if a.Num != 0 {
+				buf = append(buf, "true"...)
+			} else {
+				buf = append(buf, "false"...)
+			}
+		default: // KindInt, KindDuration
+			buf = strconv.AppendInt(buf, a.Num, 10)
+		}
+	}
+	return append(buf, '}')
+}
+
+// MarshalJSON renders the record exactly as the JSONL handler would
+// (one object, attribute keys inlined), so a flight-recorder bundle's
+// "logs" array and the live -log jsonl stream share one shape.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return renderJSON(nil, r), nil
+}
+
+// UnmarshalJSON parses the JSONL shape back into a Record, for tooling
+// that reads bundles. Attribute typing is partially recovered: strings,
+// booleans, and integers round-trip; durations come back as KindInt
+// (the nanosecond value survives, the rendering hint does not).
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*r = Record{}
+	if v, ok := raw["t"]; ok {
+		if err := json.Unmarshal(v, &r.Time); err != nil {
+			return err
+		}
+	}
+	if v, ok := raw["level"]; ok {
+		var name string
+		if err := json.Unmarshal(v, &name); err != nil {
+			return err
+		}
+		if lvl, ok := ParseLevel(name); ok {
+			r.Level = lvl
+		}
+	}
+	if v, ok := raw["msg"]; ok {
+		if err := json.Unmarshal(v, &r.Msg); err != nil {
+			return err
+		}
+	}
+	for key, v := range raw {
+		switch key {
+		case "t", "level", "msg":
+			continue
+		}
+		var s string
+		if json.Unmarshal(v, &s) == nil {
+			r.Attrs = append(r.Attrs, Str(key, s))
+			continue
+		}
+		var b bool
+		if json.Unmarshal(v, &b) == nil {
+			r.Attrs = append(r.Attrs, Bool(key, b))
+			continue
+		}
+		var n int64
+		if json.Unmarshal(v, &n) == nil {
+			r.Attrs = append(r.Attrs, Int(key, n))
+		}
+	}
+	return nil
+}
+
+func renderText(buf []byte, rec Record) []byte {
+	buf = rec.Time.UTC().AppendFormat(buf, "2006-01-02T15:04:05.000000Z")
+	buf = append(buf, ' ')
+	lvl := rec.Level.String()
+	buf = append(buf, lvl...)
+	for i := len(lvl); i < 5; i++ {
+		buf = append(buf, ' ')
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, rec.Msg...)
+	for _, a := range rec.Attrs {
+		buf = append(buf, ' ')
+		buf = append(buf, a.Key...)
+		buf = append(buf, '=')
+		switch a.Kind {
+		case KindString:
+			if needsQuoting(a.Str) {
+				buf = appendJSONString(buf, a.Str)
+			} else {
+				buf = append(buf, a.Str...)
+			}
+		case KindBool:
+			if a.Num != 0 {
+				buf = append(buf, "true"...)
+			} else {
+				buf = append(buf, "false"...)
+			}
+		case KindDuration:
+			buf = append(buf, time.Duration(a.Num).String()...)
+		default:
+			buf = strconv.AppendInt(buf, a.Num, 10)
+		}
+	}
+	return buf
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Non-ASCII bytes
+// pass through unmodified (valid UTF-8 is valid JSON); control
+// characters, quotes, and backslashes are escaped.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// Capture is a handler that retains recent records in memory while
+// forwarding them to an optional next handler. The flight recorder uses
+// one Capture per job to assemble the log section of a diagnostic
+// bundle; the bound is a safety valve against pathological jobs, not a
+// ring (after max records the rest are counted, not kept).
+type Capture struct {
+	next Handler
+	max  int
+
+	mu      sync.Mutex
+	records []Record
+	dropped int
+}
+
+// NewCapture returns a Capture keeping up to max records (max <= 0
+// selects 64). next may be nil to capture without forwarding.
+func NewCapture(next Handler, max int) *Capture {
+	if max <= 0 {
+		max = 64
+	}
+	return &Capture{next: next, max: max}
+}
+
+// Enabled captures everything; with a next handler, records below its
+// threshold are still retained for the bundle (the bundle wants debug
+// detail even when the live stream is info-only).
+func (c *Capture) Enabled(Level) bool { return true }
+
+// Handle retains the record and forwards it when the next handler wants
+// its level.
+func (c *Capture) Handle(rec Record) {
+	c.mu.Lock()
+	if len(c.records) < c.max {
+		c.records = append(c.records, rec)
+	} else {
+		c.dropped++
+	}
+	c.mu.Unlock()
+	if c.next != nil && c.next.Enabled(rec.Level) {
+		c.next.Handle(rec)
+	}
+}
+
+// Records returns the captured records (shared backing array; callers
+// must not mutate) and the number dropped over the max.
+func (c *Capture) Records() ([]Record, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records, c.dropped
+}

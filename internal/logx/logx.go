@@ -1,0 +1,224 @@
+// Package logx is a dependency-free structured logging core for the
+// scheduling stack: leveled, attribute-carrying records rendered as JSONL
+// or human-readable text, nil-safe throughout, and cheap enough to sit on
+// the engine's per-job path. It completes the observability triad —
+// internal/obs aggregates (how long do jobs take), internal/trace
+// explains one job's timeline (where did this job spend 40ms), and logx
+// retains the *narrative*: which job, which graph fingerprint, which
+// cache outcome, which verdict, in an order a human or a log pipeline can
+// follow after the fact.
+//
+// The design mirrors log/slog (stdlib): a Logger front end fans typed
+// key/value Attrs into a Handler that renders records. SlogHandler
+// bridges the two worlds — wrap any logx.Handler and hand it to
+// slog.New, and code written against *slog.Logger logs through the same
+// sink with the same job-correlated attributes.
+//
+// Nil safety is the contract, exactly as in internal/trace: a nil
+// *Logger is a valid disabled logger and every method on it is a no-op.
+// The disabled path is allocation-free when call sites gate attribute
+// construction on Enabled:
+//
+//	if log.Enabled(logx.LevelDebug) {
+//	    log.Debug("cache probe", logx.Str("fingerprint", fp), logx.Bool("hit", ok))
+//	}
+//
+// Enabled on a nil logger is false with no atomic operations, so the
+// guarded form costs one branch per call site — pinned at zero
+// allocations by TestDisabledLoggerZeroAllocs and BenchmarkDisabledLogger.
+package logx
+
+import (
+	"time"
+)
+
+// Level is a log severity. The numeric values match log/slog's so the
+// slog bridge is a direct cast.
+type Level int8
+
+const (
+	LevelDebug Level = -4
+	LevelInfo  Level = 0
+	LevelWarn  Level = 4
+	LevelError Level = 8
+)
+
+// String returns the level's canonical lower-case name.
+func (l Level) String() string {
+	switch {
+	case l < LevelInfo:
+		return "debug"
+	case l < LevelWarn:
+		return "info"
+	case l < LevelError:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a level name (debug, info, warn, error) to its Level.
+func ParseLevel(name string) (Level, bool) {
+	switch name {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return LevelInfo, false
+}
+
+// Kind discriminates the value stored in an Attr.
+type Kind uint8
+
+const (
+	KindString Kind = iota
+	KindInt
+	KindBool
+	KindDuration
+)
+
+// Attr is one typed key/value annotation on a record. Construct with
+// Str, Int, Bool, Dur, or Err; an Attr is a small value and copying it
+// is free of allocation.
+type Attr struct {
+	Key  string
+	Kind Kind
+	Str  string
+	Num  int64 // int64 value, 0/1 bool, or duration in nanoseconds
+}
+
+// Str returns a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Kind: KindString, Str: value} }
+
+// Int returns an integer attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, Kind: KindInt, Num: value} }
+
+// Bool returns a boolean attribute.
+func Bool(key string, value bool) Attr {
+	n := int64(0)
+	if value {
+		n = 1
+	}
+	return Attr{Key: key, Kind: KindBool, Num: n}
+}
+
+// Dur returns a duration attribute (rendered in nanoseconds in JSONL,
+// humanized in text output).
+func Dur(key string, value time.Duration) Attr {
+	return Attr{Key: key, Kind: KindDuration, Num: int64(value)}
+}
+
+// Err returns the conventional "err" string attribute, or a no-value
+// attribute when err is nil (handlers skip empty keys, so logging a nil
+// error is harmless).
+func Err(err error) Attr {
+	if err == nil {
+		return Attr{}
+	}
+	return Attr{Key: "err", Kind: KindString, Str: err.Error()}
+}
+
+// Record is one log event as delivered to a Handler. Attrs holds the
+// logger's bound attributes followed by the call-site attributes; the
+// slice is freshly allocated per delivered record, so handlers may retain
+// it (the Capture handler does).
+type Record struct {
+	Time  time.Time `json:"t"`
+	Level Level     `json:"level"`
+	Msg   string    `json:"msg"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Handler renders records. Implementations must be safe for concurrent
+// use by multiple goroutines — the engine logs from every worker.
+type Handler interface {
+	// Enabled reports whether the handler wants records at this level.
+	// It is called on every log attempt and must be cheap.
+	Enabled(Level) bool
+	// Handle renders one record. Handle is only called when Enabled
+	// returned true for the record's level.
+	Handle(Record)
+}
+
+// Logger is the front end: it binds context attributes (job id,
+// fingerprint) and forwards leveled records to its handler. A nil
+// *Logger is a valid disabled logger: every method is a no-op, Enabled
+// is false, and With returns nil, so a disabled logger disables its
+// whole derivation tree without any call-site branching.
+type Logger struct {
+	h     Handler
+	bound []Attr
+}
+
+// New returns a Logger writing to h. A nil handler yields a nil
+// (disabled) logger, so construction composes with optional sinks.
+func New(h Handler) *Logger {
+	if h == nil {
+		return nil
+	}
+	return &Logger{h: h}
+}
+
+// Handler returns the logger's handler (nil for a disabled logger).
+func (l *Logger) Handler() Handler {
+	if l == nil {
+		return nil
+	}
+	return l.h
+}
+
+// With returns a logger that adds attrs to every record. The bound
+// attributes are copied; the receiver is unchanged.
+func (l *Logger) With(attrs ...Attr) *Logger {
+	if l == nil || len(attrs) == 0 {
+		return l
+	}
+	bound := make([]Attr, 0, len(l.bound)+len(attrs))
+	bound = append(bound, l.bound...)
+	bound = append(bound, attrs...)
+	return &Logger{h: l.h, bound: bound}
+}
+
+// Enabled reports whether a record at the level would be delivered.
+// False on a nil logger; call sites gate attribute construction on it to
+// keep the disabled path allocation-free.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && l.h.Enabled(level)
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, attrs ...Attr) { l.log(LevelDebug, msg, attrs) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, attrs ...Attr) { l.log(LevelInfo, msg, attrs) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, attrs ...Attr) { l.log(LevelWarn, msg, attrs) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, attrs ...Attr) { l.log(LevelError, msg, attrs) }
+
+// Log logs at an arbitrary level.
+func (l *Logger) Log(level Level, msg string, attrs ...Attr) { l.log(level, msg, attrs) }
+
+func (l *Logger) log(level Level, msg string, attrs []Attr) {
+	if l == nil || !l.h.Enabled(level) {
+		return
+	}
+	rec := Record{Time: time.Now(), Level: level, Msg: msg}
+	// One fresh slice per delivered record: handlers may retain it.
+	rec.Attrs = make([]Attr, 0, len(l.bound)+len(attrs))
+	rec.Attrs = append(rec.Attrs, l.bound...)
+	for _, a := range attrs {
+		if a.Key == "" { // Err(nil) placeholder
+			continue
+		}
+		rec.Attrs = append(rec.Attrs, a)
+	}
+	l.h.Handle(rec)
+}

@@ -1,0 +1,247 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONHandlerShape(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(NewJSONHandler(&buf, LevelDebug)).With(Str("job", "gcd"))
+	log.Info("job done",
+		Str("fingerprint", "abc123"),
+		Int("anchors", 3),
+		Bool("cache_hit", true),
+		Dur("dur", 1500*time.Nanosecond),
+		Err(errors.New(`bad "quote"`)),
+	)
+	line := strings.TrimSpace(buf.String())
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	want := map[string]any{
+		"level":       "info",
+		"msg":         "job done",
+		"job":         "gcd",
+		"fingerprint": "abc123",
+		"anchors":     float64(3),
+		"cache_hit":   true,
+		"dur":         float64(1500),
+		"err":         `bad "quote"`,
+	}
+	for k, v := range want {
+		if obj[k] != v {
+			t.Errorf("%s = %v (%T), want %v", k, obj[k], obj[k], v)
+		}
+	}
+	if _, err := time.Parse(time.RFC3339Nano, obj["t"].(string)); err != nil {
+		t.Errorf("t = %v: %v", obj["t"], err)
+	}
+}
+
+func TestTextHandlerShape(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(NewTextHandler(&buf, LevelDebug))
+	log.Warn("slow job", Str("job", "frisc"), Str("spaced", "a b"), Dur("dur", 2*time.Millisecond), Int("n", -7))
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{"warn", "slow job", "job=frisc", `spaced="a b"`, "dur=2ms", "n=-7"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(NewJSONHandler(&buf, LevelWarn))
+	log.Debug("d")
+	log.Info("i")
+	if buf.Len() != 0 {
+		t.Fatalf("below-threshold records written: %s", buf.String())
+	}
+	if log.Enabled(LevelInfo) || !log.Enabled(LevelError) {
+		t.Error("Enabled disagrees with the handler threshold")
+	}
+	log.Error("e")
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("got %d lines, want 1", n)
+	}
+}
+
+func TestNilLoggerIsDisabled(t *testing.T) {
+	var log *Logger
+	log.Debug("x")
+	log.Info("x", Str("k", "v"))
+	log.Warn("x")
+	log.Error("x")
+	log.Log(LevelInfo, "x")
+	if log.Enabled(LevelError) {
+		t.Error("nil logger claims enabled")
+	}
+	if got := log.With(Str("k", "v")); got != nil {
+		t.Error("With on nil logger is not nil")
+	}
+	if log.Handler() != nil {
+		t.Error("Handler on nil logger is not nil")
+	}
+	if New(nil) != nil {
+		t.Error("New(nil) is not the nil logger")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, ok := ParseLevel(name)
+		if !ok || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("loud"); ok {
+		t.Error("ParseLevel accepted junk")
+	}
+}
+
+func TestWithDoesNotMutateParent(t *testing.T) {
+	var buf bytes.Buffer
+	base := New(NewJSONHandler(&buf, LevelDebug)).With(Str("a", "1"))
+	l1 := base.With(Str("b", "2"))
+	l2 := base.With(Str("c", "3"))
+	l1.Info("one")
+	l2.Info("two")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if strings.Contains(lines[0], `"c"`) || strings.Contains(lines[1], `"b"`) {
+		t.Fatalf("sibling attributes leaked:\n%s", buf.String())
+	}
+}
+
+func TestCapture(t *testing.T) {
+	var buf bytes.Buffer
+	cap := NewCapture(NewJSONHandler(&buf, LevelWarn), 2)
+	log := New(cap)
+	log.Debug("kept below next threshold")
+	log.Warn("forwarded")
+	log.Info("dropped by capture bound")
+	recs, dropped := cap.Records()
+	if len(recs) != 2 || dropped != 1 {
+		t.Fatalf("capture = %d records, %d dropped, want 2/1", len(recs), dropped)
+	}
+	if recs[0].Msg != "kept below next threshold" {
+		t.Errorf("first captured = %q", recs[0].Msg)
+	}
+	// Only the warn line passed the next handler's gate.
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Errorf("forwarded %d lines, want 1:\n%s", n, buf.String())
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(NewJSONHandler(&buf, LevelDebug))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				log.Info("msg", Int("j", int64(j)))
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("interleaved write corrupted a line: %v\n%s", err, line)
+		}
+	}
+}
+
+func TestSlogBridge(t *testing.T) {
+	var buf bytes.Buffer
+	std := slog.New(NewSlogHandler(NewJSONHandler(&buf, LevelInfo)))
+	std = std.With("job", "gcd").WithGroup("req")
+	std.Info("handled", "method", "POST", slog.Group("peer", "addr", "1.2.3.4"), "n", 7)
+	std.Debug("gated out")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1:\n%s", len(lines), buf.String())
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range map[string]any{
+		"job": "gcd", "req.method": "POST", "req.peer.addr": "1.2.3.4", "req.n": float64(7), "msg": "handled",
+	} {
+		if obj[k] != v {
+			t.Errorf("%s = %v, want %v", k, obj[k], v)
+		}
+	}
+}
+
+// TestDisabledLoggerZeroAllocs pins the disabled path's allocation
+// contract: a nil logger with Enabled-gated attribute construction (the
+// form the engine's hot path uses) performs zero allocations, and so
+// does a level-gated handler behind the same guard.
+func TestDisabledLoggerZeroAllocs(t *testing.T) {
+	var nilLog *Logger
+	if n := testing.AllocsPerRun(1000, func() {
+		if nilLog.Enabled(LevelDebug) {
+			nilLog.Debug("cache probe", Str("fp", "abc"), Bool("hit", true), Int("n", 1))
+		}
+	}); n != 0 {
+		t.Errorf("nil logger, gated: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		nilLog.Info("no attrs")
+	}); n != 0 {
+		t.Errorf("nil logger, no attrs: %v allocs/op, want 0", n)
+	}
+	gated := New(NewJSONHandler(&bytes.Buffer{}, LevelWarn))
+	if n := testing.AllocsPerRun(1000, func() {
+		if gated.Enabled(LevelDebug) {
+			gated.Debug("cache probe", Str("fp", "abc"), Bool("hit", true))
+		}
+	}); n != 0 {
+		t.Errorf("level-gated logger: %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkDisabledLogger measures the guarded disabled path; the
+// -benchmem allocs/op column must read 0 (see docs/OBSERVABILITY.md,
+// which quotes the number).
+func BenchmarkDisabledLogger(b *testing.B) {
+	var log *Logger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if log.Enabled(LevelDebug) {
+			log.Debug("cache probe", Str("fp", "abc"), Bool("hit", true), Int("n", int64(i)))
+		}
+	}
+}
+
+// BenchmarkJSONHandler measures the enabled JSONL path end to end.
+func BenchmarkJSONHandler(b *testing.B) {
+	log := New(NewJSONHandler(discard{}, LevelDebug)).With(Str("job", "gcd"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		log.Info("job done", Str("fp", "abc123"), Bool("cache_hit", true), Dur("dur", time.Millisecond))
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

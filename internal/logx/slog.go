@@ -1,0 +1,93 @@
+package logx
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+)
+
+// SlogHandler adapts a logx.Handler to the log/slog.Handler interface,
+// so code written against the stdlib's *slog.Logger shares a sink (and
+// therefore a format, a level gate, and a flight-recorder capture) with
+// the engine's own logging:
+//
+//	h := logx.NewJSONHandler(os.Stderr, logx.LevelInfo)
+//	std := slog.New(logx.NewSlogHandler(h))
+//
+// Groups are flattened into dotted key prefixes ("req.method"), matching
+// how the engine names its own attributes.
+type SlogHandler struct {
+	h      Handler
+	bound  []Attr
+	prefix string
+}
+
+// NewSlogHandler wraps h for use with slog.New.
+func NewSlogHandler(h Handler) *SlogHandler { return &SlogHandler{h: h} }
+
+// Enabled implements slog.Handler.
+func (s *SlogHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return s.h.Enabled(Level(level))
+}
+
+// Handle implements slog.Handler.
+func (s *SlogHandler) Handle(_ context.Context, r slog.Record) error {
+	rec := Record{Time: r.Time, Level: Level(r.Level), Msg: r.Message}
+	rec.Attrs = make([]Attr, 0, len(s.bound)+r.NumAttrs())
+	rec.Attrs = append(rec.Attrs, s.bound...)
+	r.Attrs(func(a slog.Attr) bool {
+		rec.Attrs = appendSlogAttr(rec.Attrs, s.prefix, a)
+		return true
+	})
+	s.h.Handle(rec)
+	return nil
+}
+
+// WithAttrs implements slog.Handler.
+func (s *SlogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	bound := append([]Attr(nil), s.bound...)
+	for _, a := range attrs {
+		bound = appendSlogAttr(bound, s.prefix, a)
+	}
+	return &SlogHandler{h: s.h, bound: bound, prefix: s.prefix}
+}
+
+// WithGroup implements slog.Handler.
+func (s *SlogHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return s
+	}
+	return &SlogHandler{h: s.h, bound: s.bound, prefix: s.prefix + name + "."}
+}
+
+func appendSlogAttr(dst []Attr, prefix string, a slog.Attr) []Attr {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p += a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			dst = appendSlogAttr(dst, p, ga)
+		}
+		return dst
+	}
+	if a.Key == "" {
+		return dst
+	}
+	key := prefix + a.Key
+	switch v.Kind() {
+	case slog.KindString:
+		return append(dst, Str(key, v.String()))
+	case slog.KindInt64:
+		return append(dst, Int(key, v.Int64()))
+	case slog.KindUint64:
+		return append(dst, Int(key, int64(v.Uint64())))
+	case slog.KindBool:
+		return append(dst, Bool(key, v.Bool()))
+	case slog.KindDuration:
+		return append(dst, Dur(key, v.Duration()))
+	default:
+		return append(dst, Str(key, fmt.Sprint(v.Any())))
+	}
+}

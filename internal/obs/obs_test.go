@@ -85,13 +85,6 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
-func TestHistogramEmpty(t *testing.T) {
-	s := NewHistogram(nil).Snapshot()
-	if s.Count != 0 || s.MinNS != 0 || s.MaxNS != 0 || s.P95NS != 0 || len(s.Buckets) != 0 {
-		t.Errorf("empty snapshot = %+v, want zeros", s)
-	}
-}
-
 func TestConcurrentObserve(t *testing.T) {
 	r := NewRegistry()
 	const goroutines, per = 8, 1000

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4), so any standard scraper — Prometheus itself, the
+// OpenTelemetry collector, victoria-metrics agents — can poll the batch
+// engine without bespoke integration. The mapping follows the upstream
+// conventions:
+//
+//   - metric names are sanitized (every non-[a-zA-Z0-9_] byte becomes
+//     '_') and prefixed with "<namespace>_" when a namespace is given;
+//   - counters get the "_total" suffix ("flight.dumps" scrapes as
+//     relsched_flight_dumps_total);
+//   - histograms emit cumulative "_bucket" samples with an le label in
+//     SECONDS (the registry stores nanoseconds internally), a "_sum" in
+//     seconds, a "_count", and the mandatory le="+Inf" bucket equal to
+//     the count;
+//   - every family is announced by "# HELP" then "# TYPE" immediately
+//     before its samples.
+//
+// LintPrometheusText checks exactly these properties; the exposition
+// test round-trips WritePrometheus through it, and CI applies the same
+// rules to a live /metrics scrape.
+
+// WritePrometheus renders every metric in the registry in the
+// Prometheus text format. Families are sorted by name, so output is
+// deterministic for a quiesced registry. Namespace may be empty.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	r.mu.RLock()
+	type hist struct {
+		bounds []int64
+		snap   HistogramSnapshot
+	}
+	counters := make(map[string]uint64, len(r.counters))
+	gauges := make(map[string]int64, len(r.gauges))
+	hists := make(map[string]hist, len(r.histograms))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hists[name] = hist{bounds: h.bounds, snap: h.Snapshot()}
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	writeFamily := func(name, typ string, emit func(prom string)) {
+		prom := PrometheusName(namespace, name)
+		if typ == "counter" {
+			prom += "_total"
+		}
+		b.WriteString("# HELP ")
+		b.WriteString(prom)
+		b.WriteString(" ")
+		b.WriteString(typ)
+		b.WriteString(" metric ")
+		b.WriteString(name)
+		b.WriteString(" (see docs/OBSERVABILITY.md)\n")
+		b.WriteString("# TYPE ")
+		b.WriteString(prom)
+		b.WriteString(" ")
+		b.WriteString(typ)
+		b.WriteString("\n")
+		emit(prom)
+	}
+
+	for _, name := range sortedKeys(counters) {
+		writeFamily(name, "counter", func(prom string) {
+			b.WriteString(prom)
+			b.WriteString(" ")
+			b.WriteString(strconv.FormatUint(counters[name], 10))
+			b.WriteString("\n")
+		})
+	}
+	for _, name := range sortedKeys(gauges) {
+		writeFamily(name, "gauge", func(prom string) {
+			b.WriteString(prom)
+			b.WriteString(" ")
+			b.WriteString(strconv.FormatInt(gauges[name], 10))
+			b.WriteString("\n")
+		})
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		writeFamily(name, "histogram", func(prom string) {
+			// The snapshot lists only non-empty buckets; rebuild the
+			// cumulative series over every configured bound.
+			perBucket := make(map[int64]uint64, len(h.snap.Buckets))
+			for _, bk := range h.snap.Buckets {
+				perBucket[bk.UpperNS] = bk.Count
+			}
+			var cum uint64
+			for _, bound := range h.bounds {
+				cum += perBucket[bound]
+				b.WriteString(prom)
+				b.WriteString(`_bucket{le="`)
+				b.WriteString(formatSeconds(float64(bound) / 1e9))
+				b.WriteString(`"} `)
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteString("\n")
+			}
+			b.WriteString(prom)
+			b.WriteString(`_bucket{le="+Inf"} `)
+			b.WriteString(strconv.FormatUint(h.snap.Count, 10))
+			b.WriteString("\n")
+			b.WriteString(prom)
+			b.WriteString("_sum ")
+			b.WriteString(formatSeconds(float64(h.snap.SumNS) / 1e9))
+			b.WriteString("\n")
+			b.WriteString(prom)
+			b.WriteString("_count ")
+			b.WriteString(strconv.FormatUint(h.snap.Count, 10))
+			b.WriteString("\n")
+		})
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PrometheusName sanitizes a registry metric name into a Prometheus
+// metric name, prefixed with "<namespace>_" when namespace is non-empty.
+func PrometheusName(namespace, name string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatSeconds renders a seconds value the way Prometheus clients
+// conventionally do: shortest float that round-trips.
+func formatSeconds(s float64) string {
+	return strconv.FormatFloat(s, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PrometheusHandler serves the registry at a scrape endpoint
+// (conventionally mounted at /metrics) with the text-format content
+// type. Each request renders a fresh snapshot.
+func PrometheusHandler(reg *Registry, namespace string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w, namespace)
+	})
+}

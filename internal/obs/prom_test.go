@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("engine.jobs.submitted").Add(42)
+	r.Counter("flight.dumps").Add(3)
+	r.Gauge("engine.queue.depth").Set(-2)
+	h := r.Histogram("engine.job.duration")
+	h.Observe(1500 * time.Nanosecond) // 2µs bucket
+	h.Observe(3 * time.Microsecond)   // 5µs bucket
+	h.Observe(3 * time.Microsecond)
+	h.Observe(time.Minute) // overflow
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte for a
+// small registry: names sanitized, counters suffixed _total, HELP/TYPE
+// ordering, cumulative buckets in seconds with the +Inf bucket equal to
+// the count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flight.dumps").Add(3)
+	r.Gauge("engine.queue.depth").Set(-2)
+	h := r.Histogram("stage")
+	h.Observe(1500 * time.Nanosecond)
+	h.Observe(time.Minute)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "relsched"); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	const want = `# HELP relsched_flight_dumps_total counter metric flight.dumps (see docs/OBSERVABILITY.md)
+# TYPE relsched_flight_dumps_total counter
+relsched_flight_dumps_total 3
+# HELP relsched_engine_queue_depth gauge metric engine.queue.depth (see docs/OBSERVABILITY.md)
+# TYPE relsched_engine_queue_depth gauge
+relsched_engine_queue_depth -2
+`
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("counter/gauge section mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		"# HELP relsched_stage histogram metric stage (see docs/OBSERVABILITY.md)",
+		"# TYPE relsched_stage histogram",
+		`relsched_stage_bucket{le="1e-06"} 0`, // 1µs bound: below the 1.5µs observation
+		`relsched_stage_bucket{le="2e-06"} 1`, // 2µs bound holds it
+		`relsched_stage_bucket{le="10"} 1`,    // last finite bound (10s): the 1m obs is overflow
+		`relsched_stage_bucket{le="+Inf"} 2`,
+		"relsched_stage_count 2",
+		"relsched_stage_sum 60.0000015",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", line, got)
+		}
+	}
+}
+
+// TestWritePrometheusLints round-trips a fuller registry through the
+// hand-rolled lint.
+func TestWritePrometheusLints(t *testing.T) {
+	r := promRegistry()
+	r.Histogram("empty") // zero observations must still lint
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "relsched"); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheusText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("exposition fails its own lint: %v\n%s", err, sb.String())
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	srv := httptest.NewServer(PrometheusHandler(promRegistry(), "relsched"))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if err := LintPrometheusText(resp.Body); err != nil {
+		t.Fatalf("served exposition fails lint: %v", err)
+	}
+}
+
+func TestPrometheusName(t *testing.T) {
+	for in, want := range map[string]string{
+		"engine.jobs.submitted": "engine_jobs_submitted",
+		"flight.dumps":          "flight_dumps",
+		"weird-name/2":          "weird_name_2",
+		"2fast":                 "_2fast",
+	} {
+		if got := PrometheusName("", in); got != want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := PrometheusName("relsched", "a.b"); got != "relsched_a_b" {
+		t.Errorf("namespaced = %q", got)
+	}
+}
+
+// TestLintRejects feeds the lint hand-built violations of each rule.
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without metadata": "foo_total 1\n",
+		"TYPE without HELP":       "# TYPE foo counter\nfoo 1\n",
+		"HELP after TYPE":         "# TYPE foo counter\n# HELP foo x\nfoo 1\n",
+		"TYPE after samples":      "# HELP foo x\nfoo 1\n# TYPE foo counter\n",
+		"negative counter":        "# HELP foo_total c\n# TYPE foo_total counter\nfoo_total -1\n",
+		"two counter samples":     "# HELP foo c\n# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"interleaved families":    "# HELP a c\n# TYPE a counter\na 1\n# HELP b c\n# TYPE b counter\nb 1\na 2\n",
+		"non-cumulative buckets": `# HELP h x
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="0.2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"missing +Inf": `# HELP h x
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_sum 1
+h_count 5
+`,
+		"+Inf != count": `# HELP h x
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 6
+`,
+		"bad value":        "# HELP foo c\n# TYPE foo counter\nfoo zebra\n",
+		"bad metric name":  "# HELP foo c\n# TYPE foo counter\n1foo 1\n",
+		"unknown type":     "# HELP foo c\n# TYPE foo zset\nfoo 1\n",
+		"empty exposition": "\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheusText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted:\n%s", name, text)
+		}
+	}
+	good := "# HELP ok c\n# TYPE ok counter\nok 7\n"
+	if err := LintPrometheusText(strings.NewReader(good)); err != nil {
+		t.Errorf("lint rejected a valid exposition: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheusText is a hand-rolled validator for the Prometheus text
+// exposition format, strict about the properties a scraper relies on:
+//
+//   - every sample belongs to a family announced by "# HELP" followed
+//     immediately by "# TYPE" (in that order, once each);
+//   - families are contiguous — samples of one family never interleave
+//     with another's;
+//   - metric names and label syntax are well-formed;
+//   - histogram "_bucket" series are cumulative (monotonically
+//     non-decreasing in le order), the le="+Inf" bucket is present and
+//     equals the "_count" sample, and "_sum"/"_count" exist;
+//   - counter and gauge families carry exactly one sample whose value
+//     parses as a number (counters non-negative).
+//
+// It exists so both the unit tests and CI's scrape smoke job can reject
+// a malformed /metrics surface without importing a Prometheus client.
+func LintPrometheusText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	type family struct {
+		typ        string
+		seenType   bool
+		samples    int
+		buckets    []struct{ le, v float64 }
+		infBucket  float64
+		hasInf     bool
+		sum, count float64
+		hasSum     bool
+		hasCount   bool
+		sealed     bool // a later family started; no more samples allowed
+	}
+	families := make(map[string]*family)
+	var current string
+	lineNo := 0
+
+	finish := func(name string, f *family) error {
+		if !f.seenType {
+			return fmt.Errorf("family %s: samples without # TYPE", name)
+		}
+		switch f.typ {
+		case "counter", "gauge":
+			if f.samples != 1 {
+				return fmt.Errorf("family %s: %d samples, want 1", name, f.samples)
+			}
+		case "histogram":
+			if !f.hasSum || !f.hasCount {
+				return fmt.Errorf("family %s: missing _sum or _count", name)
+			}
+			if !f.hasInf {
+				return fmt.Errorf("family %s: missing le=\"+Inf\" bucket", name)
+			}
+			if f.infBucket != f.count {
+				return fmt.Errorf("family %s: +Inf bucket %v != count %v", name, f.infBucket, f.count)
+			}
+			prevLe := math.Inf(-1)
+			prevV := -1.0
+			for _, b := range f.buckets {
+				if b.le <= prevLe {
+					return fmt.Errorf("family %s: bucket le %v out of order", name, b.le)
+				}
+				if b.v < prevV {
+					return fmt.Errorf("family %s: bucket counts not cumulative (%v after %v)", name, b.v, prevV)
+				}
+				prevLe, prevV = b.le, b.v
+				if b.v > f.infBucket {
+					return fmt.Errorf("family %s: bucket %v exceeds +Inf bucket %v", name, b.v, f.infBucket)
+				}
+			}
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			switch fields[1] {
+			case "HELP":
+				if f, ok := families[name]; ok && (f.seenType || f.samples > 0) {
+					return fmt.Errorf("line %d: duplicate # HELP for %s", lineNo, name)
+				}
+				families[name] = &family{}
+				current = name
+			case "TYPE":
+				f, ok := families[name]
+				if !ok || name != current {
+					return fmt.Errorf("line %d: # TYPE %s without immediately preceding # HELP", lineNo, name)
+				}
+				if f.seenType {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+				}
+				if f.samples > 0 {
+					return fmt.Errorf("line %d: # TYPE %s after its samples", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: # TYPE %s missing a type", lineNo, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = fields[3]
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				f.seenType = true
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		f, ok := families[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s without # HELP/# TYPE", lineNo, name)
+		}
+		if base != current {
+			if f.sealed {
+				return fmt.Errorf("line %d: family %s interleaved with %s", lineNo, base, current)
+			}
+			return fmt.Errorf("line %d: sample %s outside its family block (current %s)", lineNo, name, current)
+		}
+		for other, of := range families {
+			if other != current {
+				of.sealed = true
+			}
+		}
+		f.samples++
+		switch {
+		case f.typ == "histogram" && strings.HasSuffix(name, "_bucket"):
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			if le == "+Inf" {
+				f.hasInf = true
+				f.infBucket = value
+			} else {
+				leV, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+				f.buckets = append(f.buckets, struct{ le, v float64 }{leV, value})
+			}
+		case f.typ == "histogram" && strings.HasSuffix(name, "_sum"):
+			f.sum, f.hasSum = value, true
+		case f.typ == "histogram" && strings.HasSuffix(name, "_count"):
+			f.count, f.hasCount = value, true
+		case f.typ == "counter":
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s is negative", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(families) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	for name, f := range families {
+		if err := finish(name, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseSample parses one exposition sample line:
+//
+//	name{label="value",...} 12.5 [timestamp]
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		for _, pair := range splitLabels(rest[i+1 : end]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("bad label %q", pair)
+			}
+			k := strings.TrimSpace(pair[:eq])
+			v := strings.TrimSpace(pair[eq+1:])
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value %q", v)
+			}
+			labels[k] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fieldEnd := strings.IndexByte(rest, ' ')
+		if fieldEnd < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value")
+		}
+		name = rest[:fieldEnd]
+		rest = strings.TrimSpace(rest[fieldEnd+1:])
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if p := strings.TrimSpace(s[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

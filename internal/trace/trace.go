@@ -156,6 +156,15 @@ func (s *Span) StartChild(name string) *Span {
 	}}
 }
 
+// ID returns the span's ID, or 0 for a nil (disabled) span. The flight
+// recorder uses it to carve one job's subtree out of a snapshot.
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.data.ID
+}
+
 // SetInt annotates the span with an integer attribute.
 func (s *Span) SetInt(key string, value int64) {
 	if s == nil {
@@ -239,6 +248,22 @@ func (t *Tracer) Snapshot() []SpanData {
 	// Full ring: the oldest span is at the write cursor.
 	out = append(out, t.ring[t.next:]...)
 	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// FilterRoot returns the spans belonging to one root's tree (the root
+// itself included), preserving order. Snapshot + FilterRoot is how the
+// flight recorder assembles the span section of a diagnostic bundle.
+func FilterRoot(spans []SpanData, root SpanID) []SpanData {
+	if root == 0 {
+		return nil
+	}
+	var out []SpanData
+	for _, d := range spans {
+		if d.Root == root {
+			out = append(out, d)
+		}
+	}
 	return out
 }
 
