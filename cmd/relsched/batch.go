@@ -12,6 +12,8 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -52,6 +54,11 @@ flags:
                    schedule stages, relaxation-sweep events) and write them
                    as Chrome Trace Event JSON, loadable in Perfetto or
                    chrome://tracing
+  -cpuprofile file write an offline CPU profile of the batch (pprof format);
+                   profiling starts just before the first job and stops when
+                   the batch drains, so the profile is pure scheduling work
+  -memprofile file write an offline allocation profile (pprof heap format,
+                   captured after a final GC) when the batch drains
   -pprof addr      serve the debug endpoints on addr (e.g. localhost:6060)
                    for the duration of the batch: net/http/pprof, expvar at
                    /debug/vars, the live span tree at /debug/trace,
@@ -139,6 +146,8 @@ func runBatch(args []string, stdout io.Writer) error {
 	jsonPath := fs.String("json", "", "write aggregate stats JSON to this file")
 	metricsPath := fs.String("metrics", "", "write a metrics registry JSON snapshot to this file")
 	tracePath := fs.String("trace", "", "write a Chrome Trace Event JSON of the batch to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
 	pprofAddr := fs.String("pprof", "", "serve the debug endpoints on this address")
 	hold := fs.Duration("hold", 0, "keep the -pprof server up this long after the batch drains")
 	logFormat := fs.String("log", "", "structured log format: jsonl or text")
@@ -238,9 +247,43 @@ func runBatch(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-hold requires -pprof")
 	}
 
+	// Offline profiles bracket only the batch itself (not input parsing or
+	// report rendering), so they are directly comparable across runs and
+	// feed `go tool pprof` without a live -pprof server.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	results := e.RunAll(context.Background(), jobs)
 	wall := time.Since(start)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile() // idempotent with the deferred stop
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows live retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 
 	stats := batchStats{Workers: e.Workers(), Repeat: *repeat, Jobs: len(jobs)}
 	for _, res := range results {

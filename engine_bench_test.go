@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
@@ -45,6 +46,16 @@ type engineBenchArtifact struct {
 	PooledNS         int64 `json:"pooled_ns"`
 	PooledMemoizedNS int64 `json:"pooled_memoized_ns"`
 
+	// ColdBaselineNS times the retained pre-optimization pipeline
+	// (relsched.ReferenceCompute — closure iteration, per-job [][]int
+	// tables) sequentially over the workload; ColdNS is the optimized
+	// engine's uncached time over the same workload (the pooled_ns
+	// measurement), and ColdSpeedup their ratio — the PR's cold-path
+	// acceptance number, asserted ≥ 1.5 when GOMAXPROCS > 1.
+	ColdBaselineNS int64   `json:"cold_baseline_ns"`
+	ColdNS         int64   `json:"cold_ns"`
+	ColdSpeedup    float64 `json:"cold_speedup"`
+
 	PooledSpeedup   float64 `json:"pooled_speedup_vs_sequential"`
 	MemoizedSpeedup float64 `json:"pooled_memoized_speedup_vs_sequential"`
 
@@ -66,7 +77,10 @@ type engineBenchArtifact struct {
 // baseline.
 func TestEngineBenchArtifact(t *testing.T) {
 	jobs := paperDesignJobs(t)
-	const rounds = 24
+	// 96 rounds puts each timed repetition near ~25ms; shorter runs sit
+	// inside the wall-clock jitter of a shared runner and the ~15%
+	// pipeline-level differences this artifact records would drown.
+	const rounds = 96
 	workload := repeatJobs(jobs, rounds)
 
 	render := func(s *relsched.Schedule) []byte {
@@ -85,48 +99,99 @@ func TestEngineBenchArtifact(t *testing.T) {
 		}
 	}
 
+	// Wall-clock timing on a shared runner is noisy at the ~10ms scale of
+	// this workload, so every uncached configuration is timed timingReps
+	// times and the minimum kept — the best-of-N is the run least disturbed
+	// by scheduler preemption and allocator growth, and all repetitions do
+	// identical work. (The memoized configuration runs once: repeating it
+	// would re-serve the populated cache and measure something else.)
+	// Every configuration retains a full corpus of schedules (that is what
+	// a batch engine returns), so GC state at rep start is the other big
+	// noise source: each rep begins with an explicit collection, outside
+	// the clock, so no configuration is billed for a predecessor's garbage.
+	const timingReps = 3
+	timeBest := func(f func()) time.Duration {
+		best := time.Duration(0)
+		for rep := 0; rep < timingReps; rep++ {
+			runtime.GC()
+			start := time.Now()
+			f()
+			if d := time.Since(start); rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
 	// Sequential baseline: one relsched.Compute per job, no reuse — what
 	// every caller did before internal/engine existed. Only scheduling is
 	// timed; rendering for the identity check happens outside the clock
 	// in every configuration.
 	seqScheds := make([]*relsched.Schedule, len(workload))
-	seqStart := time.Now()
-	for i, j := range workload {
-		s, err := relsched.Compute(j.Graph)
-		if err != nil {
-			t.Fatalf("%s: %v", j.ID, err)
+	seqNS := timeBest(func() {
+		for i, j := range workload {
+			s, err := relsched.Compute(j.Graph)
+			if err != nil {
+				t.Fatalf("%s: %v", j.ID, err)
+			}
+			seqScheds[i] = s
 		}
-		seqScheds[i] = s
-	}
-	seqNS := time.Since(seqStart)
+	})
 	seqOut := make([][]byte, len(workload))
 	for i, s := range seqScheds {
 		seqOut[i] = render(s)
 	}
 
-	run := func(e *engine.Engine) (time.Duration, [][]byte) {
-		start := time.Now()
-		results := e.RunAll(context.Background(), workload)
-		elapsed := time.Since(start)
-		out := make([][]byte, len(results))
-		for i, r := range results {
-			if r.Err != nil {
-				t.Fatalf("%s: %v", r.JobID, r.Err)
+	// Cold baseline: the seed implementation retained in
+	// relsched.ReferenceCompute, run sequentially per job like the
+	// pre-engine callers did. Its schedules double as the oracle for the
+	// identity check below.
+	refScheds := make([]*relsched.Schedule, len(workload))
+	refNS := timeBest(func() {
+		for i, j := range workload {
+			s, err := relsched.ReferenceCompute(j.Graph)
+			if err != nil {
+				t.Fatalf("%s: reference: %v", j.ID, err)
 			}
-			out[i] = render(r.Schedule)
+			refScheds[i] = s
 		}
-		return elapsed, out
+	})
+	refOut := make([][]byte, len(workload))
+	for i, s := range refScheds {
+		refOut[i] = render(s)
 	}
+
 	pooled := engine.New(engine.Options{DisableCache: true})
-	pooledNS, pooledOut := run(pooled)
+	var pooledResults []engine.Result
+	pooledNS := timeBest(func() {
+		pooledResults = pooled.RunAll(context.Background(), workload)
+	})
+	pooledOut := make([][]byte, len(pooledResults))
+	for i, r := range pooledResults {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.JobID, r.Err)
+		}
+		pooledOut[i] = render(r.Schedule)
+	}
 	memo := engine.New(engine.Options{CacheCapacity: 2 * len(jobs)})
-	memoNS, memoOut := run(memo)
+	runtime.GC()
+	memoStart := time.Now()
+	memoResults := memo.RunAll(context.Background(), workload)
+	memoNS := time.Since(memoStart)
+	memoOut := make([][]byte, len(memoResults))
+	for i, r := range memoResults {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.JobID, r.Err)
+		}
+		memoOut[i] = render(r.Schedule)
+	}
 
 	identical := true
 	for i := range workload {
-		if !bytes.Equal(seqOut[i], pooledOut[i]) || !bytes.Equal(seqOut[i], memoOut[i]) {
+		if !bytes.Equal(seqOut[i], pooledOut[i]) || !bytes.Equal(seqOut[i], memoOut[i]) ||
+			!bytes.Equal(seqOut[i], refOut[i]) {
 			identical = false
-			t.Errorf("job %s: engine offsets differ from sequential baseline", workload[i].ID)
+			t.Errorf("job %s: offsets differ across configurations (reference oracle included)", workload[i].ID)
 		}
 	}
 
@@ -150,6 +215,10 @@ func TestEngineBenchArtifact(t *testing.T) {
 		PooledNS:         pooledNS.Nanoseconds(),
 		PooledMemoizedNS: memoNS.Nanoseconds(),
 
+		ColdBaselineNS: refNS.Nanoseconds(),
+		ColdNS:         pooledNS.Nanoseconds(),
+		ColdSpeedup:    float64(refNS) / float64(pooledNS),
+
 		PooledSpeedup:   float64(seqNS) / float64(pooledNS),
 		MemoizedSpeedup: float64(seqNS) / float64(memoNS),
 
@@ -168,11 +237,17 @@ func TestEngineBenchArtifact(t *testing.T) {
 	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// The history is append-only and forever: refuse to extend it with a
+	// malformed artifact (missing cold-path fields would silently break
+	// the regression time series).
+	if err := validateColdFields(art); err != nil {
+		t.Fatalf("refusing to append to BENCH_history.jsonl: %v", err)
+	}
 	if err := appendBenchHistory("BENCH_history.jsonl", art); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("sequential %v, pooled %v (%.1fx), pooled+memoized %v (%.1fx), cache %d/%d hits",
-		seqNS, pooledNS, art.PooledSpeedup, memoNS, art.MemoizedSpeedup, stats.Hits, stats.Hits+stats.Misses)
+	t.Logf("sequential %v, pooled %v (%.1fx), pooled+memoized %v (%.1fx), cold baseline %v (cold %.2fx), cache %d/%d hits",
+		seqNS, pooledNS, art.PooledSpeedup, memoNS, art.MemoizedSpeedup, refNS, art.ColdSpeedup, stats.Hits, stats.Hits+stats.Misses)
 
 	if art.MemoizedSpeedup < 2 {
 		t.Errorf("pooled+memoized speedup %.2fx < 2x acceptance floor", art.MemoizedSpeedup)
@@ -188,6 +263,35 @@ func TestEngineBenchArtifact(t *testing.T) {
 	} else {
 		t.Logf("GOMAXPROCS=1: skipping pooled-speedup assertion")
 	}
+	// Cold-path acceptance: uncached engine scheduling of the corpus must
+	// beat the retained pre-optimization baseline by ≥ 1.5× once the
+	// worker pool has real CPUs; at GOMAXPROCS=1 the numbers are still
+	// recorded (the single-threaded CSR/arena win is visible there too)
+	// but the floor is not asserted.
+	if runtime.GOMAXPROCS(0) > 1 {
+		if art.ColdSpeedup < 1.5 {
+			t.Errorf("cold speedup %.2fx < 1.5x acceptance floor (baseline %v, cold %v)",
+				art.ColdSpeedup, time.Duration(art.ColdBaselineNS), time.Duration(art.ColdNS))
+		}
+	} else {
+		t.Logf("GOMAXPROCS=1: recording cold speedup %.2fx without asserting the 1.5x floor", art.ColdSpeedup)
+	}
+}
+
+// validateColdFields guards the BENCH_history.jsonl append: every line
+// must carry the cold-path measurements with sane values.
+func validateColdFields(art engineBenchArtifact) error {
+	switch {
+	case art.ColdBaselineNS <= 0:
+		return fmt.Errorf("cold_baseline_ns = %d, want > 0", art.ColdBaselineNS)
+	case art.ColdNS <= 0:
+		return fmt.Errorf("cold_ns = %d, want > 0", art.ColdNS)
+	case art.ColdSpeedup <= 0:
+		return fmt.Errorf("cold_speedup = %g, want > 0", art.ColdSpeedup)
+	case !art.IdenticalSchedules:
+		return fmt.Errorf("identical_schedules = false: offsets diverged from the oracle")
+	}
+	return nil
 }
 
 // gitCommit resolves the current git revision, "unknown" outside a

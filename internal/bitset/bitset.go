@@ -17,6 +17,21 @@ func New(n int) Set {
 	return Set{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// NewArena returns count empty sets over the universe [0, n), all carved
+// from one shared backing allocation. Callers that build a set per graph
+// vertex (anchor-set analysis does, three times per graph) pay two
+// allocations instead of count+1. The sets are independent views — only
+// their storage is contiguous.
+func NewArena(count, n int) []Set {
+	w := (n + 63) / 64
+	words := make([]uint64, count*w)
+	sets := make([]Set, count)
+	for i := range sets {
+		sets[i] = Set{words: words[i*w : (i+1)*w : (i+1)*w], n: n}
+	}
+	return sets
+}
+
 // Len returns the universe size.
 func (s Set) Len() int { return s.n }
 
@@ -84,6 +99,24 @@ func (s Set) Equal(t Set) bool {
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
 	return Set{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// CopyFrom overwrites s's contents with t's. The sets must share a
+// universe size.
+func (s Set) CopyFrom(t Set) { copy(s.words, t.words) }
+
+// AppendTo appends the members of s in ascending order to buf and returns
+// the extended slice — the allocation-free counterpart of Elements for
+// callers with a reusable buffer.
+func (s Set) AppendTo(buf []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			buf = append(buf, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return buf
 }
 
 // Elements returns the members of s in ascending order.

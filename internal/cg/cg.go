@@ -178,6 +178,7 @@ type Graph struct {
 	// caches built by Freeze
 	topo    []VertexID // topological order of the forward subgraph
 	anchors []VertexID // source + unbounded-delay vertices, ascending
+	csr     *CSR       // flat edge layout for the hot scheduling loops
 }
 
 // New returns an empty graph containing only the source vertex. The source
@@ -250,6 +251,7 @@ func (g *Graph) invalidate() {
 	g.generation++
 	g.topo = nil
 	g.anchors = nil
+	g.csr = nil
 }
 
 // Generation returns a counter that increases on every structural mutation
@@ -421,6 +423,7 @@ func (g *Graph) Freeze() error {
 	g.topo = g.TopoForward()
 	g.anchors = nil
 	g.Anchors()
+	g.csr = buildCSR(g)
 	return nil
 }
 

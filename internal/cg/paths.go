@@ -12,13 +12,26 @@ const Unreachable = math.MinInt32
 // Definition 3 restricted to G_f. Unreachable vertices get Unreachable.
 //
 // The forward subgraph is acyclic so a single relaxation sweep in
-// topological order suffices.
+// topological order suffices. On frozen graphs the sweep runs over the CSR
+// topo-ordered forward edge arrays — one flat pass, no per-edge closure.
 func (g *Graph) LongestForwardFrom(src VertexID) []int {
 	dist := make([]int, len(g.vertices))
 	for i := range dist {
 		dist[i] = Unreachable
 	}
 	dist[src] = 0
+	if c := g.csr; c != nil {
+		for k := range c.TopoFrom {
+			f := dist[c.TopoFrom[k]]
+			if f == Unreachable {
+				continue
+			}
+			if d := f + c.TopoW[k]; d > dist[c.TopoTo[k]] {
+				dist[c.TopoTo[k]] = d
+			}
+		}
+		return dist
+	}
 	for _, v := range g.TopoForward() {
 		if dist[v] == Unreachable {
 			continue
@@ -44,7 +57,8 @@ func (g *Graph) LongestForwardFrom(src VertexID) []int {
 // meaningful.
 //
 // The full graph can contain cycles (through backward edges), so this is
-// Bellman–Ford specialized to longest paths: O(|V|·|E|).
+// Bellman–Ford specialized to longest paths: O(|V|·|E|). Frozen graphs
+// relax over the CSR flat edge arrays.
 func (g *Graph) LongestFrom(src VertexID) ([]int, bool) {
 	n := len(g.vertices)
 	dist := make([]int, n)
@@ -52,6 +66,9 @@ func (g *Graph) LongestFrom(src VertexID) ([]int, bool) {
 		dist[i] = Unreachable
 	}
 	dist[src] = 0
+	if c := g.csr; c != nil {
+		return dist, c.relaxLongest(dist, n)
+	}
 	for iter := 0; iter < n-1; iter++ {
 		changed := false
 		for _, e := range g.edges {
@@ -76,6 +93,41 @@ func (g *Graph) LongestFrom(src VertexID) ([]int, bool) {
 		}
 	}
 	return dist, true
+}
+
+// relaxLongest runs the Bellman–Ford longest-path relaxation over the flat
+// edge arrays until fixpoint, bounded by n-1 sweeps plus the positive-cycle
+// check. dist must be pre-seeded; ok is false on a reachable positive
+// cycle. The sweep order matches the insertion-order edge slice, so the
+// per-sweep intermediate values equal the unfrozen path's.
+func (c *CSR) relaxLongest(dist []int, n int) bool {
+	from, to, w := c.AllFrom, c.AllTo, c.AllW
+	for iter := 0; iter < n-1; iter++ {
+		changed := false
+		for k := range from {
+			f := dist[from[k]]
+			if f == Unreachable {
+				continue
+			}
+			if d := f + w[k]; d > dist[to[k]] {
+				dist[to[k]] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	for k := range from {
+		f := dist[from[k]]
+		if f == Unreachable {
+			continue
+		}
+		if f+w[k] > dist[to[k]] {
+			return false
+		}
+	}
+	return true
 }
 
 // LongestFromInduced returns longest-path distances from src in the
@@ -126,6 +178,22 @@ func (g *Graph) HasPositiveCycle() bool {
 	// with weight 0, so cycles in any component are found.
 	n := len(g.vertices)
 	dist := make([]int, n) // all zero: the virtual source relaxation
+	if c := g.csr; c != nil {
+		from, to, w := c.AllFrom, c.AllTo, c.AllW
+		for iter := 0; iter < n; iter++ {
+			changed := false
+			for k := range from {
+				if d := dist[from[k]] + w[k]; d > dist[to[k]] {
+					dist[to[k]] = d
+					changed = true
+				}
+			}
+			if !changed {
+				return false
+			}
+		}
+		return true
+	}
 	for iter := 0; iter < n; iter++ {
 		changed := false
 		for _, e := range g.edges {
@@ -159,19 +227,28 @@ func (g *Graph) HasUnboundedCycle() bool {
 	return false
 }
 
-// reaches reports whether dst is reachable from src in the full graph.
+// reaches reports whether dst is reachable from src in the full graph,
+// by an explicit-stack depth-first search (recursion would overflow on
+// deep chain graphs).
 func (g *Graph) reaches(src, dst VertexID, seen []bool) bool {
 	if src == dst {
 		return true
 	}
+	stack := make([]VertexID, 0, 64)
 	seen[src] = true
-	for _, i := range g.out[src] {
-		e := g.edges[i]
-		if seen[e.To] {
-			continue
-		}
-		if g.reaches(e.To, dst, seen) {
-			return true
+	stack = append(stack, src)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range g.out[v] {
+			to := g.edges[i].To
+			if to == dst {
+				return true
+			}
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
 		}
 	}
 	return false

@@ -82,19 +82,58 @@ func (g *Graph) Sink() VertexID {
 // edges, including v itself (succ(v) ∪ {v} in the paper's notation).
 func (g *Graph) ReachableForward(v VertexID) []bool {
 	seen := make([]bool, len(g.vertices))
-	g.dfsForward(v, seen)
+	g.floodForward(v, seen)
 	return seen
 }
 
-func (g *Graph) dfsForward(v VertexID, seen []bool) {
-	if seen[v] {
+// ReachableForwardInto is ReachableForward into caller-provided storage:
+// seen (length N()) is cleared and then filled. Exists so analysis layers
+// can carve per-anchor rows from one flat arena instead of allocating a
+// slice per query.
+func (g *Graph) ReachableForwardInto(v VertexID, seen []bool) {
+	for i := range seen {
+		seen[i] = false
+	}
+	g.floodForward(v, seen)
+}
+
+// floodForward marks every vertex forward-reachable from v (v included)
+// in seen, by an explicit-stack depth-first search — recursion depth on
+// deep chain graphs would otherwise scale with |V|. Frozen graphs walk the
+// CSR adjacency.
+func (g *Graph) floodForward(v VertexID, seen []bool) {
+	stack := make([]VertexID, 0, 64)
+	seen[v] = true
+	stack = append(stack, v)
+	if c := g.csr; c != nil {
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for k := c.OutStart[u]; k < c.OutStart[u+1]; k++ {
+				if !c.OutFwd[k] {
+					continue
+				}
+				to := VertexID(c.OutTo[k])
+				if !seen[to] {
+					seen[to] = true
+					stack = append(stack, to)
+				}
+			}
+		}
 		return
 	}
-	seen[v] = true
-	for _, i := range g.out[v] {
-		e := g.edges[i]
-		if e.Kind.Forward() {
-			g.dfsForward(e.To, seen)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range g.out[u] {
+			e := g.edges[i]
+			if !e.Kind.Forward() {
+				continue
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
 		}
 	}
 }
@@ -115,18 +154,20 @@ func (g *Graph) IsForwardPredecessor(a, b VertexID) bool {
 // vertex ID; v itself is false.
 func (g *Graph) ForwardPredecessors(v VertexID) []bool {
 	seen := make([]bool, len(g.vertices))
-	var dfs func(u VertexID)
-	dfs = func(u VertexID) {
+	stack := make([]VertexID, 0, 64)
+	stack = append(stack, v)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		for _, i := range g.in[u] {
 			e := g.edges[i]
 			if !e.Kind.Forward() || seen[e.From] {
 				continue
 			}
 			seen[e.From] = true
-			dfs(e.From)
+			stack = append(stack, e.From)
 		}
 	}
-	dfs(v)
 	return seen
 }
 
@@ -150,22 +191,23 @@ func (g *Graph) validate() error {
 	if sink == None {
 		return errors.New("cg: graph is not polar: no unique sink")
 	}
-	// Every vertex must reach the sink.
+	// Every vertex must reach the sink: flood the reversed forward edges
+	// from the sink (explicit stack — validation runs before the graph is
+	// frozen, so deep chains would otherwise recurse |V| frames).
 	co := make([]bool, len(g.vertices))
-	var rdfs func(u VertexID)
-	rdfs = func(u VertexID) {
-		if co[u] {
-			return
-		}
-		co[u] = true
+	stack := []VertexID{sink}
+	co[sink] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		for _, i := range g.in[u] {
 			e := g.edges[i]
-			if e.Kind.Forward() {
-				rdfs(e.From)
+			if e.Kind.Forward() && !co[e.From] {
+				co[e.From] = true
+				stack = append(stack, e.From)
 			}
 		}
 	}
-	rdfs(sink)
 	for _, v := range g.vertices {
 		if !co[v.ID] {
 			return fmt.Errorf("cg: vertex %d (%s) cannot reach sink", v.ID, v.Name)

@@ -137,6 +137,7 @@ type Result struct {
 // reuse it, since the memoized analyses live on the Engine.
 type Engine struct {
 	workers    int
+	par        int // relsched.Options.Parallelism per job, see New
 	jobTimeout time.Duration
 	cache      *cache // nil when caching is disabled
 
@@ -191,8 +192,17 @@ func New(opts Options) *Engine {
 		registry = obs.NewRegistry()
 	}
 	m := newEngineMetrics(registry)
+	// Per-job intra-pipeline parallelism (relsched's anchor-sharded
+	// stages): split the schedulable CPUs across the worker pool so a
+	// saturated batch does not oversubscribe — each worker gets its share,
+	// and a lone worker (Workers: 1) gets the whole machine.
+	par := runtime.GOMAXPROCS(0) / opts.Workers
+	if par < 1 {
+		par = 1
+	}
 	e := &Engine{
 		workers:    opts.Workers,
+		par:        par,
 		jobTimeout: opts.JobTimeout,
 		registry:   registry,
 		metrics:    m,
@@ -539,7 +549,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	}
 	t = time.Now()
 	sp = parent.StartChild("analyze")
-	info, err := relsched.Analyze(entry.graph)
+	info, err := relsched.AnalyzeOpts(entry.graph, relsched.Options{Parallelism: e.par})
 	if err != nil {
 		sp.End()
 		d := time.Since(t)
@@ -562,7 +572,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	}
 	t = time.Now()
 	sp = parent.StartChild("schedule")
-	sched, err := relsched.ComputeFromAnalysisTraced(info, e.stageHooks(sp))
+	sched, err := relsched.ComputeFromAnalysisOpts(info, e.stageHooks(sp), relsched.Options{Parallelism: e.par})
 	if err != nil {
 		sp.End()
 		d = time.Since(t)

@@ -99,6 +99,30 @@ func Generate(cfg Config, rng *rand.Rand) *cg.Graph {
 	return g.MustFreeze()
 }
 
+// Chain builds a pure sequencing chain source → v₁ → … → v_n → sink with
+// an anchor (unbounded-delay operation) every anchorEvery vertices
+// (anchorEvery <= 0 places no anchors beyond the source). Chains are the
+// worst case for recursive graph traversals — depth equals |V| — and the
+// best case for cache-linear edge iteration, which makes them the
+// regression fixture for stack-safety and the microbenchmark fixture for
+// sweep throughput. Each bounded operation gets delay 1.
+func Chain(n, anchorEvery int) *cg.Graph {
+	g := cg.New()
+	prev := g.Source()
+	for i := 1; i <= n; i++ {
+		d := cg.Cycles(1)
+		if anchorEvery > 0 && i%anchorEvery == 0 {
+			d = cg.UnboundedDelay()
+		}
+		v := g.AddOp("", d)
+		g.AddSeq(prev, v)
+		prev = v
+	}
+	sink := g.AddOp("sink", cg.Cycles(0))
+	g.AddSeq(prev, sink)
+	return g.MustFreeze()
+}
+
 // placeConstraints adds minimum and maximum timing constraints that keep
 // the graph feasible (and well-posed unless allowed otherwise).
 func placeConstraints(g *cg.Graph, cfg Config, rng *rand.Rand, ids []cg.VertexID) {

@@ -8,6 +8,7 @@ package relsched
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/cg"
@@ -45,6 +46,22 @@ type AnchorInfo struct {
 	// memoization layers (internal/engine) can reuse the Bellman–Ford work
 	// across repeated schedules of the same graph.
 	Longest [][]int
+	// FwdReach[ai][v] reports whether v is forward-reachable from anchor
+	// index ai (the anchor included) — Definition 3's successor set V_a.
+	// Computed once per analysis so every schedule of the graph (including
+	// the incremental WithMax/WithMinConstraint probes during conflict
+	// search) seeds its offset rows without re-walking the graph.
+	FwdReach [][]bool
+}
+
+// fwdReach returns the forward-reachability row of anchor index ai,
+// computing it on the fly for hand-built AnchorInfo values predating
+// FwdReach (nil entries).
+func (ai *AnchorInfo) fwdReach(i int) []bool {
+	if i < len(ai.FwdReach) && ai.FwdReach[i] != nil {
+		return ai.FwdReach[i]
+	}
+	return ai.G.ReachableForward(ai.List[i])
 }
 
 // NumAnchors returns |A|, the number of anchors (Definition 2).
@@ -85,14 +102,32 @@ func anchorSets(g *cg.Graph) *AnchorInfo {
 		G:     g,
 		List:  list,
 		Index: make(map[cg.VertexID]int, len(list)),
-		Full:  make([]bitset.Set, g.N()),
+		Full:  bitset.NewArena(g.N(), len(list)),
 	}
 	for i, a := range list {
 		ai.Index[a] = i
 	}
-	for v := range ai.Full {
-		ai.Full[v] = bitset.New(len(list))
+	if c := g.CSR(); c != nil {
+		// Frozen graph: the CSR forward edge arrays are already sorted by
+		// the tail's topological rank, so one flat pass is the whole sweep.
+		anchorIdx := make([]int32, g.N())
+		for i := range anchorIdx {
+			anchorIdx[i] = -1
+		}
+		for i, a := range list {
+			anchorIdx[a] = int32(i)
+		}
+		for k := range c.TopoFrom {
+			u, to := c.TopoFrom[k], c.TopoTo[k]
+			ai.Full[to].UnionWith(ai.Full[u])
+			if c.TopoUnb[k] {
+				ai.Full[to].Add(int(anchorIdx[u]))
+			}
+		}
+		return ai
 	}
+	// Unfrozen graphs (MakeWellPosed analyzes mutable clones mid-repair)
+	// walk the adjacency through the closure iterator.
 	for _, u := range g.TopoForward() {
 		g.ForwardOut(u, func(_ int, e cg.Edge) bool {
 			ai.Full[e.To].UnionWith(ai.Full[u])
@@ -111,41 +146,49 @@ func anchorSets(g *cg.Graph) *AnchorInfo {
 //
 // Implementation of the paper's relevantAnchor: for each anchor, cross its
 // unbounded out-edges once, then flood along bounded-weight edges of any
-// kind (forward or backward), visiting each vertex at most once per
-// anchor. O(|A|·(|V|+|E|)).
+// kind (forward or backward) with an explicit work stack — recursion depth
+// would otherwise scale with |V| on deep chain graphs — visiting each
+// vertex at most once per anchor. O(|A|·(|V|+|E|)).
 func (ai *AnchorInfo) relevantAnchors() {
 	g := ai.G
-	ai.Relevant = make([]bitset.Set, g.N())
-	for v := range ai.Relevant {
-		ai.Relevant[v] = bitset.New(len(ai.List))
-	}
+	c := g.CSR()
+	ai.Relevant = bitset.NewArena(g.N(), len(ai.List))
 	seen := make([]bool, g.N())
+	stack := make([]cg.VertexID, 0, 64)
+	// crossUnbounded pushes the heads of v's unbounded out-edges (start of
+	// a defining path); pushBounded pushes the heads of its bounded ones
+	// (continuation of one).
+	crossFrom := func(v cg.VertexID, unbounded bool) {
+		if c != nil {
+			for k := c.OutStart[v]; k < c.OutStart[v+1]; k++ {
+				if c.OutUnb[k] == unbounded {
+					stack = append(stack, cg.VertexID(c.OutTo[k]))
+				}
+			}
+			return
+		}
+		for _, ei := range g.OutEdges(v) {
+			if e := g.Edge(ei); e.Unbounded == unbounded {
+				stack = append(stack, e.To)
+			}
+		}
+	}
 	for idx, a := range ai.List {
 		for i := range seen {
 			seen[i] = false
 		}
 		seen[a] = true
-		var flood func(v cg.VertexID)
-		flood = func(v cg.VertexID) {
+		stack = stack[:0]
+		crossFrom(a, true)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			if seen[v] {
-				return
+				continue
 			}
 			seen[v] = true
 			ai.Relevant[v].Add(idx)
-			for _, ei := range g.OutEdges(v) {
-				e := g.Edge(ei)
-				if e.Unbounded {
-					continue // a second unbounded edge ends the defining path
-				}
-				flood(e.To)
-			}
-		}
-		for _, ei := range g.OutEdges(a) {
-			e := g.Edge(ei)
-			if !e.Unbounded {
-				continue // defining paths start with the δ(a) edge
-			}
-			flood(e.To)
+			crossFrom(v, false)
 		}
 	}
 }
@@ -168,10 +211,12 @@ func (ai *AnchorInfo) relevantAnchors() {
 // vertices (cg.Unreachable when no path exists).
 func (ai *AnchorInfo) irredundantAnchors(longest [][]int) {
 	g := ai.G
-	ai.Irredundant = make([]bitset.Set, g.N())
+	ai.Irredundant = bitset.NewArena(g.N(), len(ai.List))
+	full := make([]int, 0, len(ai.List))
 	for v := 0; v < g.N(); v++ {
-		ir := ai.Full[v].Clone()
-		full := ai.Full[v].Elements()
+		ir := ai.Irredundant[v]
+		ir.CopyFrom(ai.Full[v])
+		full = ai.Full[v].AppendTo(full[:0])
 		for _, qi := range full {
 			q := ai.List[qi]
 			if cg.VertexID(v) == q {
@@ -192,7 +237,6 @@ func (ai *AnchorInfo) irredundantAnchors(longest [][]int) {
 				}
 			}
 		}
-		ai.Irredundant[v] = ir
 	}
 }
 
@@ -202,6 +246,15 @@ func (ai *AnchorInfo) irredundantAnchors(longest [][]int) {
 // computations diverge on positive cycles, so Analyze returns
 // ErrUnfeasible in that case.
 func Analyze(g *cg.Graph) (*AnchorInfo, error) {
+	return AnalyzeOpts(g, Options{})
+}
+
+// AnalyzeOpts is Analyze with performance options. The per-anchor work —
+// the Bellman–Ford longest-path solve and the forward-reachability flood —
+// is independent across anchors, so above the internal size threshold it
+// is sharded over opt.Parallelism goroutines. Results are identical for
+// every Options value.
+func AnalyzeOpts(g *cg.Graph, opt Options) (*AnchorInfo, error) {
 	if err := g.Freeze(); err != nil {
 		return nil, err
 	}
@@ -210,19 +263,54 @@ func Analyze(g *cg.Graph) (*AnchorInfo, error) {
 	}
 	ai := anchorSets(g)
 	ai.relevantAnchors()
-	ai.Longest = make([][]int, len(ai.List))
-	ai.Reach = make([][]bool, len(ai.List))
-	for i, a := range ai.List {
+	nA := len(ai.List)
+	n := g.N()
+	ai.Longest = make([][]int, nA)
+	ai.Reach = make([][]bool, nA)
+	ai.FwdReach = make([][]bool, nA)
+	// Both boolean tables are carved from flat arenas — two allocations
+	// for 2·nA rows. Rows are disjoint subslices, so the parallel shards
+	// below never write the same element.
+	reachArena := make([]bool, nA*n)
+	fwdArena := make([]bool, nA*n)
+	// analyzeAnchor fills row i of the three per-anchor tables; it reports
+	// false when longest paths from the anchor diverge (positive cycle).
+	analyzeAnchor := func(i int) bool {
+		a := ai.List[i]
 		d, ok := g.LongestFrom(a)
 		if !ok {
-			return nil, ErrUnfeasible
+			return false
 		}
 		ai.Longest[i] = d
-		reach := make([]bool, g.N())
+		reach := reachArena[i*n : (i+1)*n : (i+1)*n]
 		for v := range d {
 			reach[v] = d[v] != cg.Unreachable
 		}
 		ai.Reach[i] = reach
+		fwd := fwdArena[i*n : (i+1)*n : (i+1)*n]
+		g.ReachableForwardInto(a, fwd)
+		ai.FwdReach[i] = fwd
+		return true
+	}
+	if par := opt.shards(nA, nA*(g.N()+g.M())); par > 1 {
+		var unfeasible atomic.Bool
+		runShards(par, nA, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !analyzeAnchor(i) {
+					unfeasible.Store(true)
+					return
+				}
+			}
+		})
+		if unfeasible.Load() {
+			return nil, ErrUnfeasible
+		}
+	} else {
+		for i := range ai.List {
+			if !analyzeAnchor(i) {
+				return nil, ErrUnfeasible
+			}
+		}
 	}
 	ai.irredundantAnchors(ai.Longest)
 	return ai, nil

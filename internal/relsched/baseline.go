@@ -59,22 +59,17 @@ func ClassicalSchedule(g *cg.Graph) ([]int, error) {
 // baseline.
 func DecompositionSchedule(info *AnchorInfo) (*Schedule, error) {
 	g := info.G
-	s := &Schedule{G: g, Info: info}
 	nA := len(info.List)
-	s.off = make([][]int, nA)
+	s := &Schedule{G: g, Info: info, nV: g.N()}
+	s.off = make([]int, nA*g.N())
 	for ai, a := range info.List {
 		dist, ok := g.LongestFrom(a)
 		if !ok {
 			return nil, ErrInconsistent
 		}
-		s.off[ai] = make([]int, g.N())
-		for v := 0; v < g.N(); v++ {
-			if dist[v] == cg.Unreachable {
-				s.off[ai][v] = NoOffset
-				continue
-			}
-			s.off[ai][v] = dist[v]
-		}
+		// cg.Unreachable and NoOffset are the same sentinel, so the
+		// distance vector is the offset row verbatim.
+		copy(s.row(ai), dist)
 	}
 	s.Iterations = nA // one longest-path solve per anchor
 	return s, nil
@@ -85,14 +80,12 @@ func DecompositionSchedule(info *AnchorInfo) (*Schedule, error) {
 // sets. Schedules must be
 // over the same graph and anchor analysis.
 func EqualOffsets(a, b *Schedule) bool {
-	if a.G != b.G || len(a.off) != len(b.off) {
+	if a.G != b.G || len(a.off) != len(b.off) || a.nV != b.nV {
 		return false
 	}
-	for ai := range a.off {
-		for v := range a.off[ai] {
-			if a.off[ai][v] != b.off[ai][v] {
-				return false
-			}
+	for i := range a.off {
+		if a.off[i] != b.off[i] {
+			return false
 		}
 	}
 	return true

@@ -61,25 +61,26 @@ func (s *Schedule) reschedule(g2 *cg.Graph) (*Schedule, error) {
 				i, s.Info.List[i], a)
 		}
 	}
-	next := &Schedule{G: g2, Info: info}
+	next := &Schedule{G: g2, Info: info, nV: g2.N()}
+	sc := schedulePool.Get().(*scratch)
+	next.off = sc.offsets(len(info.List) * g2.N())
 	next.initOffsets()
 	// Warm start: previous offsets are valid lower bounds (Lemma 8 —
-	// offsets are lengths of paths, and every old path still exists).
-	for ai := range next.off {
-		for v := range next.off[ai] {
-			if prev := s.off[ai][v]; prev != NoOffset && prev > next.off[ai][v] {
-				next.off[ai][v] = prev
-			}
+	// offsets are lengths of paths, and every old path still exists). The
+	// graphs have identical vertex and anchor numbering, so the flat
+	// arenas align element-wise.
+	for i, prev := range s.off {
+		if prev != NoOffset && prev > next.off[i] {
+			next.off[i] = prev
 		}
 	}
-	backward := g2.BackwardEdges()
-	maxIter := len(backward) + 1
-	for c := 1; c <= maxIter; c++ {
-		next.incrementalOffset()
-		next.Iterations = c
-		if next.readjustOffsets(backward) == 0 {
-			return next, nil
-		}
+	// solve derives its active bitset from the warm-started values, so the
+	// copied entries participate from the first sweep.
+	if err := next.solve(nil, Options{}, sc); err != nil {
+		schedulePool.Put(sc)
+		return nil, err
 	}
-	return nil, ErrInconsistent
+	sc.off = nil
+	schedulePool.Put(sc)
+	return next, nil
 }

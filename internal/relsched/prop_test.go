@@ -246,6 +246,33 @@ func TestProperty_DecompositionAgrees(t *testing.T) {
 	}
 }
 
+// TestProperty_ReferenceAgrees checks invariant P9: the optimized
+// scheduling core (CSR iteration, flat pooled arenas) and the retained
+// seed implementation (ReferenceCompute) are observationally identical —
+// same offsets, same iteration count, same accept/reject verdict — on
+// random graphs. The fixed-corpus version of this sweep lives in
+// differential_test.go.
+func TestProperty_ReferenceAgrees(t *testing.T) {
+	cfg := randgraph.Default()
+	cfg.MaxConstraints = 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgraph.Generate(cfg, rng)
+		s, err := relsched.Compute(g)
+		ref, refErr := relsched.ReferenceCompute(g)
+		if (err == nil) != (refErr == nil) {
+			return false
+		}
+		if err != nil {
+			return true
+		}
+		return s.Iterations == ref.Iterations && relsched.EqualOffsets(s, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestProperty_InconsistencyDetection cross-checks Corollary 2: the
 // scheduler reports an error exactly when the graph has a positive cycle
 // at zero delays.

@@ -123,7 +123,7 @@ func (ex *Explainer) Explain(v cg.VertexID, mode AnchorMode) (*VertexProvenance,
 		if !s.inMode(ai, v, mode) {
 			continue
 		}
-		off := s.off[ai][v]
+		off := s.off[ai*s.nV+int(v)]
 		if off == NoOffset {
 			// Anchor-set membership without an offset cannot happen on a
 			// well-posed scheduled graph; guard anyway.
@@ -179,7 +179,8 @@ func (ex *Explainer) maxConstraints(v cg.VertexID) []MaxConstraintStatus {
 		st := MaxConstraintStatus{EdgeIndex: ei, Other: e.To, U: -e.Weight}
 		margin, any := 0, false
 		for ai := range s.Info.List {
-			ov, oo := s.off[ai][v], s.off[ai][e.To]
+			row := s.row(ai)
+			ov, oo := row[v], row[e.To]
 			if ov == NoOffset || oo == NoOffset {
 				continue
 			}
@@ -211,7 +212,7 @@ func (s *Schedule) bindingChain(ai int, v cg.VertexID) ([]ChainStep, error) {
 	if v == a {
 		return nil, nil
 	}
-	off := s.off[ai]
+	off := s.row(ai)
 	visited := make([]bool, g.N())
 	var steps []ChainStep
 	var dfs func(u cg.VertexID) bool

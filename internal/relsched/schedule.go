@@ -2,6 +2,8 @@ package relsched
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/cg"
 )
@@ -38,6 +40,38 @@ func (m AnchorMode) String() string {
 	return fmt.Sprintf("AnchorMode(%d)", int(m))
 }
 
+// Options tunes how the scheduling pipeline spends hardware, without any
+// effect on results: every configuration produces bit-identical anchor
+// analyses and offset tables. The zero value is the sequential default.
+type Options struct {
+	// Parallelism caps the number of goroutines used for the
+	// embarrassingly per-anchor stages: the Bellman–Ford longest-path
+	// loop of Analyze and the anchor-sharded relaxation sweeps of the
+	// iterative scheduler. Values <= 1 keep everything on the calling
+	// goroutine. Graphs below an internal size threshold never fan out
+	// regardless — goroutine handoff would cost more than the sweep.
+	Parallelism int
+}
+
+// parallelMinWork is the minimum per-stage work estimate (anchors ×
+// (vertices + edges)) below which the per-anchor stages stay sequential:
+// the paper-scale designs sit far under it, and for them a goroutine
+// handoff costs more than the whole sweep.
+const parallelMinWork = 1 << 15
+
+// shards resolves the worker count for a per-anchor stage over nA anchors
+// with the given work estimate.
+func (o Options) shards(nA, work int) int {
+	p := o.Parallelism
+	if p <= 1 || nA < 2 || work < parallelMinWork {
+		return 1
+	}
+	if p > nA {
+		p = nA
+	}
+	return p
+}
+
 // Schedule is a minimum relative schedule: for every vertex, the minimum
 // offset from each anchor in its anchor set (Definition 5). Offsets are
 // stored against the full anchor sets; the Relevant/Irredundant modes are
@@ -51,9 +85,17 @@ type Schedule struct {
 	// scheduler used; Theorem 8 bounds it by L+1 ≤ |E_b|+1.
 	Iterations int
 
-	// off[ai][v] is σ_a(v) for anchor index ai, or NoOffset.
-	off [][]int
+	// off is the σ table as one flat arena: off[ai*nV+v] is σ_a(v) for
+	// anchor index ai, or NoOffset. A single allocation (pooled while the
+	// scheduler is still iterating) replaces the per-anchor [][]int rows
+	// the seed implementation kept — see docs/PERFORMANCE.md.
+	off []int
+	nV  int
 }
+
+// row returns the σ_a(·) row of anchor index ai as a slice view into the
+// flat arena.
+func (s *Schedule) row(ai int) []int { return s.off[ai*s.nV : (ai+1)*s.nV] }
 
 // Offset returns the minimum offset σ_a(v) of vertex v with respect to
 // anchor a (Definition 5) under the given mode. ok is false when a is not in v's anchor
@@ -63,7 +105,7 @@ func (s *Schedule) Offset(a, v cg.VertexID, mode AnchorMode) (offset int, ok boo
 	if !isAnchor || !s.inMode(ai, v, mode) {
 		return 0, false
 	}
-	return s.off[ai][v], true
+	return s.off[ai*s.nV+int(v)], true
 }
 
 func (s *Schedule) inMode(ai int, v cg.VertexID, mode AnchorMode) bool {
@@ -85,13 +127,14 @@ func (s *Schedule) MaxOffset(a cg.VertexID, mode AnchorMode) (int, bool) {
 	if !isAnchor {
 		return 0, false
 	}
+	row := s.row(ai)
 	maxOff, any := 0, false
 	for v := 0; v < s.G.N(); v++ {
 		if !s.inMode(ai, cg.VertexID(v), mode) {
 			continue
 		}
 		any = true
-		if o := s.off[ai][v]; o > maxOff {
+		if o := row[v]; o > maxOff {
 			maxOff = o
 		}
 	}
@@ -130,14 +173,20 @@ func (s *Schedule) GlobalMaxOffset(mode AnchorMode) int {
 // exists. The input graph must be well-posed; use MakeWellPosed first to
 // repair ill-posed graphs.
 func Compute(g *cg.Graph) (*Schedule, error) {
+	return ComputeOpts(g, Options{})
+}
+
+// ComputeOpts is Compute with performance options; results are identical
+// for every Options value.
+func ComputeOpts(g *cg.Graph, opt Options) (*Schedule, error) {
 	if err := CheckWellPosed(g); err != nil {
 		return nil, err
 	}
-	info, err := Analyze(g)
+	info, err := AnalyzeOpts(g, opt)
 	if err != nil {
 		return nil, err
 	}
-	return schedule(info, nil)
+	return schedule(info, nil, opt)
 }
 
 // ComputeFromAnalysis runs the iterative incremental scheduling of
@@ -147,14 +196,20 @@ func Compute(g *cg.Graph) (*Schedule, error) {
 // entry point exists for callers that schedule the same graph repeatedly
 // (benchmarks, conflict-resolution search).
 func ComputeFromAnalysis(info *AnchorInfo) (*Schedule, error) {
-	return schedule(info, nil)
+	return schedule(info, nil, Options{})
 }
 
 // ComputeFromAnalysisTraced is ComputeFromAnalysis with an optional trace
 // hook observing the relaxation loop (see Hooks). A nil hook is valid and
 // equivalent to ComputeFromAnalysis.
 func ComputeFromAnalysisTraced(info *AnchorInfo, h *Hooks) (*Schedule, error) {
-	return schedule(info, h)
+	return schedule(info, h, Options{})
+}
+
+// ComputeFromAnalysisOpts is ComputeFromAnalysisTraced with performance
+// options (see Options); the hook may be nil.
+func ComputeFromAnalysisOpts(info *AnchorInfo, h *Hooks, opt Options) (*Schedule, error) {
+	return schedule(info, h, opt)
 }
 
 // ComputeWellPosed is Compute for graphs that may be ill-posed: it first
@@ -175,99 +230,298 @@ func ComputeWellPosed(g *cg.Graph) (sched *Schedule, added int, err error) {
 // false while no path from the anchor has valued v yet (or none exists).
 // σ_a(a) is normalized to 0.
 func (s *Schedule) sigma(ai int, v cg.VertexID) (int, bool) {
-	if o := s.off[ai][v]; o != NoOffset {
+	if o := s.off[ai*s.nV+int(v)]; o != NoOffset {
 		return o, true
 	}
 	return 0, false
 }
 
+// scratch is the reusable cold-path working set: the flat offset arena the
+// scheduler iterates in and the per-vertex active-anchor bitset of the
+// sequential sweeps. Recycling through schedulePool keeps the per-job
+// steady-state allocation count flat (pinned by the AllocsPerRun test in
+// differential_test.go): the bitset is reused across jobs outright, and
+// the arena is reused whenever a schedule fails or is discarded — on
+// success its ownership transfers to the returned Schedule, which outlives
+// the call.
+type scratch struct {
+	off    []int
+	active []uint64
+}
+
+// schedulePool recycles scratch structs across schedule invocations on all
+// goroutines; see docs/PERFORMANCE.md for the lifecycle.
+var schedulePool = sync.Pool{New: func() any { return new(scratch) }}
+
+// offsets returns a length-n arena, reusing the pooled allocation when its
+// capacity suffices. Contents are undefined; initOffsets overwrites every
+// entry.
+func (sc *scratch) offsets(n int) []int {
+	if cap(sc.off) < n {
+		sc.off = make([]int, n)
+	}
+	return sc.off[:n]
+}
+
+// bitset returns a zeroed length-n word slice, reusing the pooled
+// allocation when possible.
+func (sc *scratch) bitset(n int) []uint64 {
+	if cap(sc.active) < n {
+		sc.active = make([]uint64, n)
+		return sc.active
+	}
+	w := sc.active[:n]
+	for i := range w {
+		w[i] = 0
+	}
+	return w
+}
+
 // schedule runs iterative incremental scheduling (§IV-E) against the full
 // anchor sets in info. The graph must already be known well-posed. The
 // hook (nilable) observes each relaxation sweep and readjustment pass.
-func schedule(info *AnchorInfo, h *Hooks) (*Schedule, error) {
+func schedule(info *AnchorInfo, h *Hooks, opt Options) (*Schedule, error) {
 	g := info.G
-	s := &Schedule{G: g, Info: info}
+	s := &Schedule{G: g, Info: info, nV: g.N()}
+	sc := schedulePool.Get().(*scratch)
+	s.off = sc.offsets(len(info.List) * g.N())
 	s.initOffsets()
-	backward := g.BackwardEdges()
-	maxIter := len(backward) + 1
-	for c := 1; c <= maxIter; c++ {
-		s.incrementalOffset()
-		s.Iterations = c
-		h.relaxationSweep(c)
-		raised := s.readjustOffsets(backward)
-		h.readjustment(raised)
-		if raised == 0 {
-			return s, nil
-		}
+	err := s.solve(h, opt, sc)
+	if err != nil {
+		schedulePool.Put(sc) // arena included: the failed table is discarded
+		return nil, err
 	}
-	return nil, ErrInconsistent
+	sc.off = nil // the Schedule now owns the arena
+	schedulePool.Put(sc)
+	return s, nil
 }
 
-// initOffsets sizes the offset tables: σ_a(v) starts at 0 for the anchor
+// initOffsets fills the offset arena: σ_a(v) starts at 0 for the anchor
 // and its forward successors (Definition 3's V_a, where the minimum offset
 // is never negative) and at the NoOffset sentinel elsewhere. Entries that
 // are reachable only through backward edges acquire values during
 // readjustment; entries unreachable from the anchor are never written.
+// Forward reachability comes from the analysis (AnchorInfo.FwdReach,
+// computed once in Analyze) instead of a per-schedule graph traversal.
 func (s *Schedule) initOffsets() {
-	nA := len(s.Info.List)
-	s.off = make([][]int, nA)
-	for ai := 0; ai < nA; ai++ {
-		s.off[ai] = make([]int, s.G.N())
-		fwd := s.G.ReachableForward(s.Info.List[ai])
-		for v := 0; v < s.G.N(); v++ {
-			if !fwd[v] {
-				s.off[ai][v] = NoOffset
+	for ai := 0; ai < len(s.Info.List); ai++ {
+		row := s.row(ai)
+		fwd := s.Info.fwdReach(ai)
+		for v := range row {
+			if fwd[v] {
+				row[v] = 0
+			} else {
+				row[v] = NoOffset
 			}
 		}
 	}
 }
 
-// incrementalOffset performs one longest-path relaxation sweep over the
-// forward edges in topological order (the IncrementalOffset procedure).
-// Offsets only ever increase, so carrying readjusted values from previous
-// iterations is sound (Lemma 8).
-func (s *Schedule) incrementalOffset() {
+// solve iterates IncrementalOffset relaxation sweeps and ReadjustOffset
+// passes until convergence or the |E_b|+1 bound of Theorem 8, mutating the
+// receiver's offset arena in place. Offsets only ever increase, so warm
+// starts (reschedule) are sound (Lemma 8).
+//
+// Two iteration strategies produce identical tables (each anchor's row
+// depends only on itself, and within a row the edge order is fixed):
+//
+//   - sequential: one pass over the topo-ordered forward edge arrays per
+//     sweep, visiting at each edge only the anchors with a defined offset
+//     at the tail, via a per-vertex active-anchor bitset — sparse anchor
+//     sets skip the |A|-wide inner loop;
+//   - parallel: the anchor rows are sharded over opt.Parallelism
+//     goroutines, each sweeping its rows independently (no shared writes,
+//     so no synchronization inside a sweep).
+func (s *Schedule) solve(h *Hooks, opt Options, sc *scratch) error {
 	g := s.G
+	if g.CSR() == nil {
+		// Defensive: every analysis path freezes first, but a
+		// hand-constructed AnchorInfo might not have.
+		if err := g.Freeze(); err != nil {
+			return err
+		}
+	}
+	c := g.CSR()
 	nA := len(s.Info.List)
-	for _, p := range g.TopoForward() {
-		g.ForwardOut(p, func(_ int, e cg.Edge) bool {
-			w := e.MinWeight()
-			for ai := 0; ai < nA; ai++ {
-				from, ok := s.sigma(ai, p)
-				if !ok {
-					continue
-				}
-				if d := from + w; d > s.off[ai][e.To] {
-					s.off[ai][e.To] = d
-				}
+	maxIter := len(c.BwdFrom) + 1
+	par := opt.shards(nA, nA*(g.N()+g.M()))
+
+	var active []uint64
+	wpa := 0 // active-bitset words per vertex
+	if par == 1 {
+		wpa = (nA + 63) / 64
+		active = sc.bitset(g.N() * wpa)
+		s.buildActive(active, wpa)
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		if par == 1 {
+			s.sweepForward(c, active, wpa)
+		} else {
+			runShards(par, nA, func(lo, hi int) { s.sweepForwardRows(c, lo, hi) })
+		}
+		s.Iterations = iter
+		h.relaxationSweep(iter)
+		var raised int
+		if par == 1 {
+			raised = s.readjust(c, active, wpa)
+		} else {
+			counts := make([]int, par)
+			shard := 0
+			var mu sync.Mutex
+			runShards(par, nA, func(lo, hi int) {
+				n := s.readjustRows(c, lo, hi)
+				mu.Lock()
+				counts[shard] = n
+				shard++
+				mu.Unlock()
+			})
+			for _, n := range counts {
+				raised += n
 			}
-			return true
-		})
+		}
+		h.readjustment(raised)
+		if raised == 0 {
+			return nil
+		}
+	}
+	return ErrInconsistent
+}
+
+// buildActive derives the per-vertex active-anchor bitset from the current
+// arena: bit ai of vertex v is set exactly when σ_a(v) is defined. Derived
+// from values (not FwdReach) so warm-started tables are covered too.
+func (s *Schedule) buildActive(active []uint64, wpa int) {
+	for ai := 0; ai < len(s.Info.List); ai++ {
+		row := s.row(ai)
+		word := uint64(1) << uint(ai&63)
+		wi := ai >> 6
+		for v, o := range row {
+			if o != NoOffset {
+				active[v*wpa+wi] |= word
+			}
+		}
 	}
 }
 
-// readjustOffsets scans the backward edges and raises violated offsets to
-// the minimum satisfying value (the ReadjustOffset procedure). It returns
-// the number of offsets raised; 0 means every maximum constraint held and
-// the schedule has converged.
-func (s *Schedule) readjustOffsets(backward []int) int {
-	g := s.G
-	nA := len(s.Info.List)
+// sweepForward is one sequential IncrementalOffset relaxation sweep: the
+// topo-ordered forward edges are scanned once, and at each edge only the
+// anchors active at the tail are relaxed. A head entry leaving NoOffset
+// activates its bit so later edges in the same sweep observe it (the
+// forward edge list is sorted by tail rank, so the head's out-edges always
+// come later).
+func (s *Schedule) sweepForward(c *cg.CSR, active []uint64, wpa int) {
+	off, nV := s.off, s.nV
+	for k := range c.TopoFrom {
+		p := int(c.TopoFrom[k])
+		to := int(c.TopoTo[k])
+		w := c.TopoW[k]
+		base := p * wpa
+		toBase := to * wpa
+		for wi := 0; wi < wpa; wi++ {
+			word := active[base+wi]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				ai := wi<<6 | b
+				cur := off[ai*nV+to]
+				if d := off[ai*nV+p] + w; d > cur {
+					off[ai*nV+to] = d
+					if cur == NoOffset {
+						active[toBase+wi] |= uint64(1) << uint(b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// readjust is one sequential ReadjustOffset pass over the backward edges,
+// raising violated offsets to the minimum satisfying value and returning
+// the number of raises (0 = converged). A head at the NoOffset sentinel is
+// reachable only through backward edges and acquires its first value (and
+// active bit) here.
+func (s *Schedule) readjust(c *cg.CSR, active []uint64, wpa int) int {
+	off, nV := s.off, s.nV
 	raised := 0
-	for _, ei := range backward {
-		e := g.Edge(ei) // tail -> head with weight -u ≤ 0
-		for ai := 0; ai < nA; ai++ {
-			tail, ok := s.sigma(ai, e.From)
-			if !ok {
+	for k := range c.BwdFrom {
+		tail := int(c.BwdFrom[k])
+		head := int(c.BwdTo[k])
+		w := c.BwdW[k] // -u ≤ 0
+		base := tail * wpa
+		headBase := head * wpa
+		for wi := 0; wi < wpa; wi++ {
+			word := active[base+wi]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				ai := wi<<6 | b
+				cur := off[ai*nV+head]
+				if d := off[ai*nV+tail] + w; d > cur {
+					off[ai*nV+head] = d
+					if cur == NoOffset {
+						active[headBase+wi] |= uint64(1) << uint(b)
+					}
+					raised++
+				}
+			}
+		}
+	}
+	return raised
+}
+
+// sweepForwardRows is the row-sharded IncrementalOffset sweep for anchor
+// indices [lo, hi): each row relaxes over the topo-ordered forward edges
+// independently, touching no other row.
+func (s *Schedule) sweepForwardRows(c *cg.CSR, lo, hi int) {
+	for ai := lo; ai < hi; ai++ {
+		row := s.row(ai)
+		for k := range c.TopoFrom {
+			f := row[c.TopoFrom[k]]
+			if f == NoOffset {
 				continue
 			}
-			// A head at the NoOffset sentinel is reachable only through
-			// backward edges and acquires its first value here.
-			if s.off[ai][e.To] < tail+e.Weight {
-				s.off[ai][e.To] = tail + e.Weight
+			if d := f + c.TopoW[k]; d > row[c.TopoTo[k]] {
+				row[c.TopoTo[k]] = d
+			}
+		}
+	}
+}
+
+// readjustRows is the row-sharded ReadjustOffset pass for anchor indices
+// [lo, hi), returning the number of offsets raised in those rows.
+func (s *Schedule) readjustRows(c *cg.CSR, lo, hi int) int {
+	raised := 0
+	for ai := lo; ai < hi; ai++ {
+		row := s.row(ai)
+		for k := range c.BwdFrom {
+			f := row[c.BwdFrom[k]]
+			if f == NoOffset {
+				continue
+			}
+			if d := f + c.BwdW[k]; d > row[c.BwdTo[k]] {
+				row[c.BwdTo[k]] = d
 				raised++
 			}
 		}
 	}
 	return raised
+}
+
+// runShards splits [0, nA) into par contiguous shards and runs fn on each
+// concurrently, returning when all are done.
+func runShards(par, nA int, fn func(lo, hi int)) {
+	chunk := (nA + par - 1) / par
+	var wg sync.WaitGroup
+	for lo := 0; lo < nA; lo += chunk {
+		hi := lo + chunk
+		if hi > nA {
+			hi = nA
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }

@@ -36,24 +36,25 @@ func ComputeTrace(g *cg.Graph) (*Schedule, *Trace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	s := &Schedule{G: g, Info: info}
-	s.initOffsets()
 	nA := len(info.List)
+	s := &Schedule{G: g, Info: info, nV: g.N()}
+	s.off = make([]int, nA*g.N()) // unpooled: snapshots alias-copy rows anyway
+	s.initOffsets()
 	tr := &Trace{Info: info}
 	snapshot := func(iter int, readjust bool) {
 		cp := make([][]int, nA)
-		for ai := range s.off {
-			cp[ai] = append([]int(nil), s.off[ai]...)
+		for ai := 0; ai < nA; ai++ {
+			cp[ai] = append([]int(nil), s.row(ai)...)
 		}
 		tr.Phases = append(tr.Phases, TracePhase{Iteration: iter, Readjust: readjust, Off: cp})
 	}
-	backward := g.BackwardEdges()
-	maxIter := len(backward) + 1
+	csr := g.CSR()
+	maxIter := len(csr.BwdFrom) + 1
 	for c := 1; c <= maxIter; c++ {
-		s.incrementalOffset()
+		s.sweepForwardRows(csr, 0, nA)
 		s.Iterations = c
 		snapshot(c, false)
-		if s.readjustOffsets(backward) == 0 {
+		if s.readjustRows(csr, 0, nA) == 0 {
 			return s, tr, nil
 		}
 		snapshot(c, true)

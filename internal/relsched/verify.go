@@ -46,9 +46,9 @@ func Verify(s *Schedule) error {
 			if !s.Info.Reach[ai][v] {
 				continue
 			}
-			if s.off[ai][v] != dist[v] {
+			if got := s.off[ai*s.nV+v]; got != dist[v] {
 				return fmt.Errorf("relsched: σ_%s(%s)=%d differs from longest path %d (Theorem 3)",
-					g.Name(a), g.Name(cg.VertexID(v)), s.off[ai][v], dist[v])
+					g.Name(a), g.Name(cg.VertexID(v)), got, dist[v])
 			}
 		}
 	}

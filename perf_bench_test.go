@@ -1,0 +1,194 @@
+package repro
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/designs"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+// Per-stage microbenchmarks of the cold scheduling path, one
+// sub-benchmark per paper design (all of a design's constraint graphs per
+// iteration). Compare against the retained seed pipeline with:
+//
+//	go test -run '^$' -bench 'ScheduleCold' -count 10 . | benchstat -
+//
+// (see docs/PERFORMANCE.md for the full walkthrough). The *Baseline
+// variants run relsched.ReferenceCompute* — the pre-optimization
+// implementation kept as reference.go — so the CSR/arena win stays
+// measurable in-tree instead of requiring a checkout of the old commit.
+
+// designGraphs returns the constraint graphs of every paper design,
+// keyed by design name in designs.All() order.
+func designGraphs(tb testing.TB) []struct {
+	name   string
+	graphs []*cg.Graph
+} {
+	tb.Helper()
+	var out []struct {
+		name   string
+		graphs []*cg.Graph
+	}
+	for _, d := range designs.All() {
+		r, err := d.Synthesize()
+		if err != nil {
+			tb.Fatalf("%s: %v", d.Name, err)
+		}
+		var gs []*cg.Graph
+		for _, gname := range r.Order {
+			gs = append(gs, r.Graphs[gname].CG)
+		}
+		out = append(out, struct {
+			name   string
+			graphs []*cg.Graph
+		}{d.Name, gs})
+	}
+	return out
+}
+
+// BenchmarkAnalyze measures the anchor-analysis stage (anchor sets,
+// relevant/irredundant sets, per-anchor longest paths and forward
+// reachability) per design.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, d := range designGraphs(b) {
+		b.Run(d.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, g := range d.graphs {
+					if _, err := relsched.Analyze(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleCold measures the iterative scheduling stage alone —
+// analysis precomputed, cache disabled by construction — per design. This
+// is the loop the flat pooled arena and CSR edge iteration target.
+func BenchmarkScheduleCold(b *testing.B) {
+	for _, d := range designGraphs(b) {
+		infos := analyzeAll(b, d.graphs)
+		b.Run(d.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, info := range infos {
+					if _, err := relsched.ComputeFromAnalysis(info); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleColdBaseline is BenchmarkScheduleCold against the
+// retained seed scheduler ([][]int tables, closure sweeps, per-schedule
+// reachability floods).
+func BenchmarkScheduleColdBaseline(b *testing.B) {
+	for _, d := range designGraphs(b) {
+		infos := analyzeAll(b, d.graphs)
+		b.Run(d.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, info := range infos {
+					if _, err := relsched.ReferenceComputeFromAnalysis(info); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipeline times the full cold pipeline — well-posedness check,
+// anchor analysis, iterative scheduling — end to end over every paper
+// design, optimized vs the retained seed implementation. This is the
+// benchmark-shaped counterpart of the cold_speedup ratio recorded in
+// BENCH_engine.json.
+func BenchmarkPipeline(b *testing.B) {
+	ds := designGraphs(b)
+	run := func(b *testing.B, compute func(*cg.Graph) (*relsched.Schedule, error)) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range ds {
+				for _, g := range d.graphs {
+					if _, err := compute(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	b.Run("optimized", func(b *testing.B) { run(b, relsched.Compute) })
+	b.Run("reference", func(b *testing.B) { run(b, relsched.ReferenceCompute) })
+}
+
+func analyzeAll(tb testing.TB, graphs []*cg.Graph) []*relsched.AnchorInfo {
+	tb.Helper()
+	infos := make([]*relsched.AnchorInfo, len(graphs))
+	for i, g := range graphs {
+		info, err := relsched.Analyze(g)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
+// largeGraph generates a constraint graph big enough to clear the
+// anchor-parallel fan-out threshold (anchors × (vertices+edges) work).
+func largeGraph(tb testing.TB) *cg.Graph {
+	tb.Helper()
+	cfg := randgraph.Config{
+		N: 3000, AnchorProb: 0.04, MaxDelay: 6, MaxFanIn: 3,
+		MinConstraints: 40, MaxConstraints: 40, MaxSlack: 5,
+	}
+	return randgraph.Generate(cfg, rand.New(rand.NewSource(7)))
+}
+
+// BenchmarkAnalyzeParallel measures the anchor-sharded analysis on a
+// large random graph, sequential vs all-CPU parallelism.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	g := largeGraph(b)
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(parLabel(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relsched.AnalyzeOpts(g, relsched.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleColdParallel measures the anchor-sharded relaxation
+// sweeps on a large random graph, sequential vs all-CPU parallelism.
+func BenchmarkScheduleColdParallel(b *testing.B) {
+	g := largeGraph(b)
+	info, err := relsched.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(parLabel(par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := relsched.ComputeFromAnalysisOpts(info, nil, relsched.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func parLabel(par int) string {
+	if par == 1 {
+		return "seq"
+	}
+	return "par"
+}
