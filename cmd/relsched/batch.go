@@ -7,7 +7,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
@@ -24,6 +23,7 @@ import (
 	"repro/internal/logx"
 	"repro/internal/obs"
 	"repro/internal/relsched"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -235,7 +235,7 @@ func runBatch(args []string, stdout io.Writer) error {
 		Flight:        recorder,
 	})
 
-	var debug *debugServer
+	var debug *serve.HTTPServer
 	if *pprofAddr != "" {
 		debug, err = startDebugServer(*pprofAddr, e.Metrics(), tracer)
 		if err != nil {
@@ -509,83 +509,23 @@ func writeTraceFile(path string, tracer *trace.Tracer) error {
 	return f.Close()
 }
 
-// debugServer owns the -pprof listener and its HTTP server. It exists
-// to fix the lifecycle of the old helper, which fired http.Serve on a
-// raw listener in a goroutine and only ever closed the listener: the
-// serve goroutine leaked past the batch, and in-flight scrapes were cut
-// mid-response. Close performs a graceful http.Server.Shutdown (stop
-// accepting, drain in-flight requests, bounded by a timeout) and then
-// waits for the serve goroutine to exit.
-type debugServer struct {
-	ln   net.Listener
-	srv  *http.Server
-	done chan struct{} // closed when the serve goroutine returns
-}
-
-// debugShutdownTimeout bounds how long Close waits for in-flight
-// requests to drain before force-closing.
-const debugShutdownTimeout = 2 * time.Second
-
-// startDebugServer publishes the registry to expvar and serves, on addr:
-// net/http/pprof's /debug/pprof/* handlers and expvar's /debug/vars from
-// the default mux, the live span tree at /debug/trace, the Prometheus
-// text exposition of the whole registry at /metrics (namespace
-// relsched_*, re-snapshotted per scrape), and /healthz + /readyz liveness
-// probes. The non-default handlers are mounted on a fresh mux wrapping
-// the default one so repeated batch runs in one process never
-// double-register; /debug/trace serves a valid empty trace when tracing
-// is off.
-func startDebugServer(addr string, reg *obs.Registry, tracer *trace.Tracer) (*debugServer, error) {
-	reg.PublishExpvar("relsched_engine")
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	ok := func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	}
+// startDebugServer serves the batch's diagnostic endpoints on addr via
+// the shared listener lifecycle (serve.StartHTTP — the same
+// graceful-shutdown helper the `relsched serve` daemon uses, extracted
+// so the two cannot drift): net/http/pprof's /debug/pprof/* handlers
+// and expvar's /debug/vars from the default mux, plus the shared
+// observability surface (/debug/trace, /metrics, /healthz, /readyz)
+// from serve.MountDebug. The non-default handlers are mounted on a
+// fresh mux wrapping the default one so repeated batch runs in one
+// process never double-register; /debug/trace serves a valid empty
+// trace when tracing is off. Both probes answer 200 for the server's
+// whole lifetime: the batch has no drain phase — readiness is "the
+// listener is up".
+func startDebugServer(addr string, reg *obs.Registry, tracer *trace.Tracer) (*serve.HTTPServer, error) {
 	mux := http.NewServeMux()
-	mux.Handle("/debug/trace", tracer.Handler())
-	mux.Handle("/metrics", obs.PrometheusHandler(reg, "relsched"))
-	// The server only exists while the batch process serves it, so both
-	// probes answer 200: healthz is process liveness, readyz is "the
-	// engine is constructed and the registry is live" — true from the
-	// moment the listener is up.
-	mux.HandleFunc("/healthz", ok)
-	mux.HandleFunc("/readyz", ok)
+	serve.MountDebug(mux, reg, tracer, nil)
 	mux.Handle("/", http.DefaultServeMux)
-	ds := &debugServer{
-		ln:   ln,
-		srv:  &http.Server{Handler: mux},
-		done: make(chan struct{}),
-	}
-	go func() {
-		defer close(ds.done)
-		// Serve returns ErrServerClosed after Shutdown/Close; nothing to
-		// report either way.
-		_ = ds.srv.Serve(ln)
-	}()
-	return ds, nil
-}
-
-// Addr returns the bound listen address (useful with ":0").
-func (ds *debugServer) Addr() net.Addr { return ds.ln.Addr() }
-
-// Close gracefully shuts the server down: new connections are refused,
-// in-flight requests drain (bounded by debugShutdownTimeout, then
-// force-closed), and the serve goroutine has exited by the time Close
-// returns.
-func (ds *debugServer) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), debugShutdownTimeout)
-	defer cancel()
-	err := ds.srv.Shutdown(ctx)
-	if err != nil {
-		// Drain timeout or shutdown error: cut the stragglers.
-		err = ds.srv.Close()
-	}
-	<-ds.done
-	return err
+	return serve.StartHTTP(addr, mux)
 }
 
 // parseMode maps a -mode flag value to an AnchorMode.

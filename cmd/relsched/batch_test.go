@@ -376,7 +376,7 @@ func TestDebugServerShutdown(t *testing.T) {
 	}
 	// The serve goroutine exited (done closed) and the port is released.
 	select {
-	case <-ds.done:
+	case <-ds.Done():
 	default:
 		t.Error("serve goroutine still running after Close")
 	}

@@ -6,6 +6,7 @@
 //
 //	relsched [flags] [graph.cg]
 //	relsched batch [flags] [dir | graph.cg ...]
+//	relsched serve [flags]
 //	relsched explain [flags] [graph.cg]
 //
 // With no file argument the graph is read from standard input.
@@ -19,10 +20,13 @@
 // The batch subcommand schedules many graphs concurrently on the
 // internal/engine worker pool with memoized anchor analysis; run
 // `relsched batch -h` for its flags (including -trace, which writes a
-// Chrome Trace Event JSON of the batch's span tree). The explain
-// subcommand prints schedule provenance — per vertex, the binding
-// constraint chain behind each offset, the slack, and the margin of
-// every maximum timing constraint; run `relsched explain -h`.
+// Chrome Trace Event JSON of the batch's span tree). The serve
+// subcommand runs the same engine as a long-running HTTP/JSON daemon —
+// bounded admission with backpressure, per-tenant rate limits, graceful
+// drain on SIGTERM — documented in docs/SERVICE.md; run `relsched serve
+// -h`. The explain subcommand prints schedule provenance — per vertex,
+// the binding constraint chain behind each offset, the slack, and the
+// margin of every maximum timing constraint; run `relsched explain -h`.
 package main
 
 import (
@@ -42,6 +46,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "batch" {
 		if err := runBatch(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "relsched batch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:], os.Stdout, serveSignals()); err != nil {
+			fmt.Fprintln(os.Stderr, "relsched serve:", err)
 			os.Exit(1)
 		}
 		return

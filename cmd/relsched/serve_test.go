@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe stdout sink: runServe writes from its
+// own goroutine while the test polls for the startup line.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var serveAddrRe = regexp.MustCompile(`http://([^ \n]+)`)
+
+// startServe runs `relsched serve` with a test-owned signal channel and
+// returns the base URL, the signal channel, the output buffer, and the
+// error channel runServe resolves on.
+func startServe(t *testing.T, args ...string) (string, chan os.Signal, *syncBuffer, <-chan error) {
+	t.Helper()
+	out := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runServe(append([]string{"-addr", "localhost:0"}, args...), out, sig)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := serveAddrRe.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], sig, out, errc
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("serve exited before binding: %v\noutput: %s", err, out.String())
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no startup line within deadline; output: %s", out.String())
+	return "", nil, nil, nil
+}
+
+// TestServeEndToEnd is the CLI-level smoke the CI job mirrors: start the
+// daemon, post the GCD example through the HTTP API, poll the result to
+// done, scrape /metrics through the lint, then SIGTERM and expect a
+// clean drain.
+func TestServeEndToEnd(t *testing.T) {
+	src, err := os.ReadFile("../../examples/gcd/gcd.cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, sig, out, errc := startServe(t, "-workers", "2", "-queue", "8")
+
+	body, _ := json.Marshal(map[string]any{"id": "gcd", "source": string(src), "wellpose": true})
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d, want 202", resp.StatusCode)
+	}
+
+	var view struct {
+		Status  string `json:"status"`
+		Offsets string `json:"offsets"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/jobs/gcd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		view = struct {
+			Status  string `json:"status"`
+			Offsets string `json:"offsets"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if view.Status == "done" {
+			break
+		}
+		if view.Status == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job gcd did not finish: %+v", view)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(view.Offsets, "while") {
+		t.Errorf("offset table missing the while vertex:\n%s", view.Offsets)
+	}
+
+	// The observability surface rides the same listener.
+	for _, path := range []string{"/healthz", "/readyz", "/v1/status", "/metrics", "/debug/trace"} {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(scrape), "relsched_serve_jobs_accepted_total 1") {
+		t.Errorf("scrape missing the accepted counter:\n%s", scrape)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	if got := out.String(); !strings.Contains(got, "drained: 1 done, 0 failed") {
+		t.Errorf("drain summary missing from output:\n%s", got)
+	}
+}
+
+// TestServeFlagValidation covers the argument errors that must fail
+// before a listener binds.
+func TestServeFlagValidation(t *testing.T) {
+	sig := make(chan os.Signal)
+	if err := runServe([]string{"-cache", "-1"}, io.Discard, sig); err == nil {
+		t.Error("negative -cache accepted")
+	}
+	if err := runServe([]string{"stray-arg"}, io.Discard, sig); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := runServe([]string{"-flight-threshold", "1s"}, io.Discard, sig); err == nil {
+		t.Error("-flight-threshold without -flight-dir accepted")
+	}
+}
+
+// TestServeSigtermMidFlight pins the CLI half of the exactly-once
+// guarantee: SIGTERM arrives right after a 31-job batch is accepted —
+// with work queued, running, or already done depending on scheduler
+// luck (this container may have a single CPU) — and the drain summary
+// must account for all 31, none lost, none failed. The deterministic
+// mid-flight variants (readyz flip, 503 intake, expired grace period)
+// live in internal/serve where the test gate makes them exact.
+func TestServeSigtermMidFlight(t *testing.T) {
+	url, sig, out, errc := startServe(t, "-workers", "1", "-nocache", "-drain-timeout", "60s")
+
+	// A deliberately heavy chain-with-max-constraints graph. The engine
+	// schedules a 2k-vertex chain in well under a millisecond, so the
+	// head job uses 100k vertices (~40ms of engine time) to hold the
+	// lone worker while 30 small jobs pile up behind it.
+	heavy := func(n int) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "graph h%d\n", n)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "vertex n%d delay=1\n", i)
+		}
+		b.WriteString("vertex a0 unbounded\nseq v0 a0\nseq a0 n0\n")
+		for i := 1; i < n; i++ {
+			fmt.Fprintf(&b, "seq n%d n%d\n", i-1, i)
+		}
+		for i := 0; i+40 < n; i += 17 {
+			fmt.Fprintf(&b, "max n%d n%d %d\n", i, i+40, 40)
+		}
+		return b.String()
+	}
+	batch := make([]map[string]any, 31)
+	batch[0] = map[string]any{"source": heavy(100000)}
+	for i := 1; i < len(batch); i++ {
+		batch[i] = map[string]any{"source": heavy(2200)}
+	}
+	body, _ := json.Marshal(batch)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d, want 202", resp.StatusCode)
+	}
+
+	// Every accepted job must resolve before the process lets go.
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not drain after SIGTERM")
+	}
+	if got := out.String(); !strings.Contains(got, fmt.Sprintf("drained: %d done, 0 failed", len(batch))) {
+		t.Errorf("drain summary does not account for all %d jobs:\n%s", len(batch), got)
+	}
+}

@@ -103,6 +103,27 @@ func (c *cache) len() int {
 	return c.order.Len()
 }
 
+// setCapacity rebounds the cache, evicting least-recently-used entries
+// when the new capacity is below the current population.
+func (c *cache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheItem).key)
+		c.evictions.Inc()
+	}
+}
+
+// getCapacity returns the current bound.
+func (c *cache) getCapacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
 // CacheStats reports the engine cache's effectiveness.
 type CacheStats struct {
 	// Hits and Misses count lookups since the engine was created. A

@@ -227,6 +227,32 @@ func (e *Engine) Metrics() *obs.Registry { return e.registry }
 // Workers returns the resolved worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// CacheCapacity returns the memoization cache's current entry bound, 0
+// when caching is disabled.
+func (e *Engine) CacheCapacity() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.getCapacity()
+}
+
+// SetCacheCapacity rebounds the memoization cache at runtime (hot reload
+// for long-running servers), evicting least-recently-used entries when
+// the new capacity is below the current population. Values <= 0 select
+// DefaultCacheCapacity. It reports the effective capacity, 0 when
+// caching is disabled (a disabled cache cannot be enabled after
+// construction — the choice is part of the engine's identity).
+func (e *Engine) SetCacheCapacity(n int) int {
+	if e.cache == nil {
+		return 0
+	}
+	if n <= 0 {
+		n = DefaultCacheCapacity
+	}
+	e.cache.setCapacity(n)
+	return n
+}
+
 // Stats snapshots the cache counters. All zeros when caching is disabled.
 func (e *Engine) Stats() CacheStats {
 	if e.cache == nil {

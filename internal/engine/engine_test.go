@@ -350,3 +350,64 @@ func TestBatchMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestSetCacheCapacity pins the hot-reload contract used by
+// internal/serve's POST /v1/admin/config: shrinking evicts LRU-first
+// down to the new bound, growing re-admits, <= 0 restores the default,
+// and a disabled cache stays disabled.
+func TestSetCacheCapacity(t *testing.T) {
+	e := New(Options{Workers: 1, CacheCapacity: 4})
+	ctx := context.Background()
+	if got := e.CacheCapacity(); got != 4 {
+		t.Fatalf("CacheCapacity() = %d, want 4", got)
+	}
+
+	// Fill all four slots with distinct graphs.
+	for i := 0; i < 4; i++ {
+		res := e.Schedule(ctx, Job{Graph: randgraph.Chain(5+i, 2)})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if st := e.Stats(); st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", st.Entries)
+	}
+
+	// Shrink to 2: the two oldest entries are evicted immediately.
+	if got := e.SetCacheCapacity(2); got != 2 {
+		t.Fatalf("SetCacheCapacity(2) = %d, want 2", got)
+	}
+	st := e.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries after shrink = %d, want 2", st.Entries)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions after shrink = %d, want 2", st.Evictions)
+	}
+	// The newest entries survived (LRU evicts oldest-first)...
+	if res := e.Schedule(ctx, Job{Graph: randgraph.Chain(8, 2)}); !res.CacheHit {
+		t.Error("most-recent entry evicted by the shrink")
+	}
+	// ...and the oldest did not.
+	if res := e.Schedule(ctx, Job{Graph: randgraph.Chain(5, 2)}); res.CacheHit {
+		t.Error("oldest entry survived a shrink below it")
+	}
+
+	// Growing raises the bound without dropping anything.
+	if got := e.SetCacheCapacity(8); got != 8 || e.CacheCapacity() != 8 {
+		t.Errorf("grow: got %d / %d, want 8", got, e.CacheCapacity())
+	}
+	// <= 0 restores the engine default.
+	if got := e.SetCacheCapacity(0); got != DefaultCacheCapacity {
+		t.Errorf("SetCacheCapacity(0) = %d, want the default %d", got, DefaultCacheCapacity)
+	}
+
+	// A cache disabled at construction cannot be re-enabled.
+	off := New(Options{Workers: 1, DisableCache: true})
+	if got := off.CacheCapacity(); got != 0 {
+		t.Errorf("disabled CacheCapacity() = %d, want 0", got)
+	}
+	if got := off.SetCacheCapacity(16); got != 0 {
+		t.Errorf("disabled SetCacheCapacity(16) = %d, want 0", got)
+	}
+}

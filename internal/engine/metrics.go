@@ -29,6 +29,14 @@ const (
 	MetricDuplicateSuppressed = "engine.cache.duplicate_suppressed"
 	// Full pipeline executions (cache misses that ran to a verdict).
 	MetricComputes = "engine.computes"
+	// MetricJobsShed counts jobs refused at admission by a serving layer
+	// sitting in front of the engine (internal/serve): queue full, tenant
+	// rate limit, or tenant quota. The engine itself never sheds — every
+	// job it accepts produces exactly one Result — so the counter lives
+	// here as part of the job-accounting namespace and is recorded by the
+	// admission layer on the shared registry. Conservation: HTTP jobs
+	// requested = accepted + shed (pinned by internal/serve tests).
+	MetricJobsShed = "engine.jobs.shed"
 	// Per-stage latency histograms of the scheduling pipeline.
 	MetricStageFingerprint = "engine.stage.fingerprint"
 	MetricStageCache       = "engine.stage.cache"

@@ -58,6 +58,11 @@ const (
 	// TriggerLatency: the job finished, but slower than the fixed or
 	// adaptive threshold.
 	TriggerLatency Trigger = "latency"
+	// TriggerShed: an admission layer (internal/serve) refused jobs
+	// faster than the configured storm threshold — the signal that the
+	// service is saturated or a tenant is flooding, captured with the
+	// recent-job context that tells those apart.
+	TriggerShed Trigger = "shed"
 )
 
 // Metric names the recorder registers in its obs.Registry.
@@ -72,6 +77,8 @@ const (
 	MetricDumpErrors = "flight.dump_errors"
 	// MetricRecorded counts every job observed by the recorder.
 	MetricRecorded = "flight.jobs_recorded"
+	// MetricSheds counts admission refusals reported via ObserveShed.
+	MetricSheds = "flight.sheds_observed"
 )
 
 // ErrKind values the engine assigns when classifying a job's error.
@@ -107,6 +114,14 @@ type Options struct {
 	// MaxDumps caps total bundles written over the recorder's lifetime
 	// (a disk budget). Zero means unlimited.
 	MaxDumps int
+	// ShedStormThreshold arms the shed-storm trigger: when ObserveShed
+	// has been called at least this many times inside ShedStormWindow, a
+	// bundle with TriggerShed is dumped (rate-limited like every other
+	// trigger). Zero disables the trigger — ObserveShed then only counts.
+	ShedStormThreshold int
+	// ShedStormWindow is the sliding window the threshold is evaluated
+	// over (<= 0 selects 10s).
+	ShedStormWindow time.Duration
 	// Metrics receives the flight.* counters; nil creates a private
 	// registry. Share the engine's registry so one /metrics scrape (and
 	// one bundle's metrics section) covers both.
@@ -203,6 +218,7 @@ type Recorder struct {
 	suppressed *obs.Counter
 	dumpErrors *obs.Counter
 	recorded   *obs.Counter
+	sheds      *obs.Counter
 	durations  *obs.Histogram
 
 	mu       sync.Mutex
@@ -211,6 +227,9 @@ type Recorder struct {
 	total    uint64 // jobs ever recorded
 	seq      uint64 // bundles written, for filenames
 	lastDump time.Time
+	// shedTimes holds the timestamps of recent ObserveShed calls inside
+	// the storm window, oldest first (pruned on every call).
+	shedTimes []time.Time
 }
 
 // New creates a Recorder and its dump directory.
@@ -233,6 +252,9 @@ func New(opts Options) (*Recorder, error) {
 	if opts.MinInterval == 0 {
 		opts.MinInterval = time.Second
 	}
+	if opts.ShedStormWindow <= 0 {
+		opts.ShedStormWindow = 10 * time.Second
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -250,6 +272,7 @@ func New(opts Options) (*Recorder, error) {
 		suppressed: reg.Counter(MetricDumpsSuppressed),
 		dumpErrors: reg.Counter(MetricDumpErrors),
 		recorded:   reg.Counter(MetricRecorded),
+		sheds:      reg.Counter(MetricSheds),
 		durations:  reg.Histogram("flight.job.duration"),
 	}, nil
 }
@@ -360,6 +383,88 @@ func (r *Recorder) Observe(rec JobRecord, enrich func(*JobRecord)) Trigger {
 		logx.Str("path", path),
 		logx.Dur("dur", time.Duration(rec.DurationNS)))
 	return trigger
+}
+
+// ObserveShed records one admission refusal (a 429 shed by
+// internal/serve's queue, rate-limit, or quota gate). When
+// ShedStormThreshold refusals accumulate inside ShedStormWindow, a
+// bundle with TriggerShed is written — subject to the same rate limiting
+// as job-triggered dumps — whose Job section is a synthetic record
+// carrying the refusal reason, and whose Recent section is the ring of
+// jobs that were running while intake was being refused (the context
+// that tells "service saturated" from "one tenant flooding"). It returns
+// TriggerShed when the storm rule fired (dumped or suppressed),
+// TriggerNone otherwise. A nil recorder counts nothing.
+func (r *Recorder) ObserveShed(reason string) Trigger {
+	if r == nil {
+		return TriggerNone
+	}
+	r.sheds.Inc()
+	now := r.now()
+
+	r.mu.Lock()
+	// Slide the window: drop sheds older than ShedStormWindow.
+	cut := 0
+	for cut < len(r.shedTimes) && now.Sub(r.shedTimes[cut]) > r.opts.ShedStormWindow {
+		cut++
+	}
+	r.shedTimes = append(r.shedTimes[cut:], now)
+	stormed := r.opts.ShedStormThreshold > 0 && len(r.shedTimes) >= r.opts.ShedStormThreshold
+	inWindow := len(r.shedTimes)
+	var allowed bool
+	var recent []RecentJob
+	if stormed {
+		underBudget := r.opts.MaxDumps == 0 || r.seq < uint64(r.opts.MaxDumps)
+		outsideWindow := r.opts.MinInterval < 0 || r.lastDump.IsZero() || now.Sub(r.lastDump) >= r.opts.MinInterval
+		if underBudget && outsideWindow {
+			allowed = true
+			r.seq++
+			r.lastDump = now
+			// A storm dump resets the window so the next bundle witnesses a
+			// fresh burst rather than the tail of this one.
+			r.shedTimes = r.shedTimes[:0]
+			recent = r.recentLocked(recentInBundle)
+		}
+	}
+	seq := r.seq
+	r.mu.Unlock()
+
+	if !stormed {
+		return TriggerNone
+	}
+	if !allowed {
+		r.suppressed.Inc()
+		return TriggerShed
+	}
+	why := fmt.Sprintf("%d admission refusal(s) within %v (threshold %d); last: %s",
+		inWindow, r.opts.ShedStormWindow, r.opts.ShedStormThreshold, reason)
+	snap := r.reg.Snapshot()
+	bundle := Bundle{
+		Schema:  BundleSchema,
+		TimeUTC: now.UTC().Format(time.RFC3339Nano),
+		Trigger: TriggerShed,
+		Reason:  why,
+		Job: JobRecord{
+			JobID:   "admission",
+			Time:    now,
+			Err:     reason,
+			ErrKind: "shed",
+			Trigger: TriggerShed,
+		},
+		Metrics: &snap,
+		Recent:  recent,
+	}
+	path, err := r.writeBundle(seq, &bundle)
+	if err != nil {
+		r.dumpErrors.Inc()
+		r.log.Error("flight shed dump failed", logx.Err(err))
+		return TriggerShed
+	}
+	r.dumps.Inc()
+	r.log.Warn("flight shed-storm dump written",
+		logx.Int("sheds_in_window", int64(inWindow)),
+		logx.Str("path", path))
+	return TriggerShed
 }
 
 // classify applies the trigger rules to a record. It returns the

@@ -379,3 +379,116 @@ func TestObserveConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestShedStormTrigger(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	reg := obs.NewRegistry()
+	r := newTestRecorder(t, func(o *Options) {
+		o.ShedStormThreshold = 3
+		o.ShedStormWindow = 10 * time.Second
+		o.Metrics = reg
+		o.Now = clock.now
+	})
+
+	// Two sheds inside the window: counted, no storm yet.
+	if got := r.ObserveShed("queue full"); got != TriggerNone {
+		t.Errorf("first shed = %q, want none", got)
+	}
+	clock.advance(time.Second)
+	r.ObserveShed("queue full")
+	if got := len(bundleFiles(t, r.Dir())); got != 0 {
+		t.Fatalf("bundle before the threshold: %d", got)
+	}
+
+	// The third shed within 10s crosses the threshold and dumps.
+	clock.advance(time.Second)
+	if got := r.ObserveShed("rate limit exceeded for tenant \"a\""); got != TriggerShed {
+		t.Fatalf("storm shed = %q, want %q", got, TriggerShed)
+	}
+	files := bundleFiles(t, r.Dir())
+	if len(files) != 1 {
+		t.Fatalf("bundles after storm = %d, want 1", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Trigger != TriggerShed {
+		t.Errorf("bundle trigger = %q, want %q", b.Trigger, TriggerShed)
+	}
+	if !strings.Contains(b.Reason, "3 admission refusal(s)") || !strings.Contains(b.Reason, "rate limit") {
+		t.Errorf("bundle reason = %q, want the count and the last refusal", b.Reason)
+	}
+	if b.Job.JobID != "admission" || b.Job.ErrKind != "shed" {
+		t.Errorf("bundle job = %+v, want the synthetic admission record", b.Job)
+	}
+	if b.Metrics == nil {
+		t.Error("storm bundle has no metrics snapshot")
+	}
+
+	// The dump reset the window: the next storm needs a fresh burst of 3.
+	clock.advance(time.Second)
+	r.ObserveShed("queue full")
+	r.ObserveShed("queue full")
+	if got := len(bundleFiles(t, r.Dir())); got != 1 {
+		t.Fatalf("window did not reset: %d bundles", got)
+	}
+	r.ObserveShed("queue full")
+	if got := len(bundleFiles(t, r.Dir())); got != 2 {
+		t.Fatalf("second storm did not dump: %d bundles", got)
+	}
+
+	if got := reg.Counter(MetricSheds).Value(); got != 6 {
+		t.Errorf("%s = %d, want 6", MetricSheds, got)
+	}
+}
+
+func TestShedStormDisabledOnlyCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newTestRecorder(t, func(o *Options) { o.Metrics = reg })
+	for i := 0; i < 50; i++ {
+		if got := r.ObserveShed("queue full"); got != TriggerNone {
+			t.Fatalf("shed %d triggered %q with the storm trigger disabled", i, got)
+		}
+	}
+	if got := len(bundleFiles(t, r.Dir())); got != 0 {
+		t.Errorf("bundles = %d, want 0", got)
+	}
+	if got := reg.Counter(MetricSheds).Value(); got != 50 {
+		t.Errorf("%s = %d, want 50", MetricSheds, got)
+	}
+}
+
+func TestShedStormRateLimited(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	reg := obs.NewRegistry()
+	r := newTestRecorder(t, func(o *Options) {
+		o.ShedStormThreshold = 1
+		o.MinInterval = time.Minute
+		o.Metrics = reg
+		o.Now = clock.now
+	})
+	r.ObserveShed("queue full") // dump 1
+	clock.advance(time.Second)
+	// Still a storm (threshold 1) but inside MinInterval: suppressed.
+	if got := r.ObserveShed("queue full"); got != TriggerShed {
+		t.Errorf("suppressed storm = %q, want %q (trigger classified, dump withheld)", got, TriggerShed)
+	}
+	if got := len(bundleFiles(t, r.Dir())); got != 1 {
+		t.Errorf("bundles = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricDumpsSuppressed).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDumpsSuppressed, got)
+	}
+}
+
+func TestNilRecorderObserveShed(t *testing.T) {
+	var r *Recorder
+	if got := r.ObserveShed("queue full"); got != TriggerNone {
+		t.Errorf("nil recorder ObserveShed = %q, want none", got)
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cg"
+	"repro/internal/designs"
+	"repro/internal/engine"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+// This file is the E18 harness (EXPERIMENTS.md): sustained-load
+// throughput and latency of the serve daemon over real HTTP, replaying
+// the eight paper designs' constraint graphs plus seeded randgraph
+// traffic through closed-loop clients. Run with
+//
+//	go test -run '^$' -bench BenchmarkServeSustained -benchtime 5x ./internal/serve
+//
+// Reported custom metrics: jobs/s (client-observed completion
+// throughput), p50/p99-ms (the serve.job.latency histogram — admission
+// to terminal state, queue wait included).
+
+// renderCG serializes a graph to the .cg text format with synthetic
+// vertex names (n<id>, source as the implicit v0), so design graphs with
+// repeated operation names survive the name-addressed format.
+func renderCG(g *cg.Graph) string {
+	name := func(id cg.VertexID) string {
+		if id == g.Source() {
+			return "v0"
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph g%d\n", g.N())
+	for _, v := range g.Vertices() {
+		if v.ID == g.Source() {
+			continue
+		}
+		if v.Delay.Bounded() {
+			fmt.Fprintf(&b, "vertex %s delay=%d\n", name(v.ID), v.Delay.Value())
+		} else {
+			fmt.Fprintf(&b, "vertex %s unbounded\n", name(v.ID))
+		}
+	}
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case cg.Sequencing, cg.Serialization:
+			fmt.Fprintf(&b, "seq %s %s\n", name(e.From), name(e.To))
+		case cg.MinConstraint:
+			fmt.Fprintf(&b, "min %s %s %d\n", name(e.From), name(e.To), e.Weight)
+		case cg.MaxConstraint:
+			// AddMax(from,to,u) stores the edge reversed with weight -u.
+			fmt.Fprintf(&b, "max %s %s %d\n", name(e.To), name(e.From), -e.Weight)
+		}
+	}
+	return b.String()
+}
+
+// trafficCorpus is the E18 replay mix: every constraint graph in the
+// eight paper designs' hierarchies, plus seeded random graphs at three
+// sizes to model the long tail of user-submitted work.
+func trafficCorpus(tb testing.TB) []string {
+	tb.Helper()
+	var sources []string
+	for _, d := range designs.All() {
+		r, err := d.Synthesize()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, g := range r.Order {
+			sources = append(sources, renderCG(r.Graphs[g].CG))
+		}
+	}
+	rng := rand.New(rand.NewSource(18))
+	for _, n := range []int{40, 120, 400} {
+		cfg := randgraph.Default()
+		cfg.N = n
+		// The generator aims for feasible graphs but tight max
+		// constraints can still produce a positive cycle; keep only
+		// schedulable traffic.
+		for kept, tries := 0, 0; kept < 15 && tries < 200; tries++ {
+			g := randgraph.Generate(cfg, rng)
+			if _, err := relsched.Compute(g); err != nil {
+				continue
+			}
+			kept++
+			sources = append(sources, renderCG(g))
+		}
+	}
+	return sources
+}
+
+// postBatch submits sources as one JSON array and returns the
+// server-assigned job IDs from the 202 body.
+func postBatch(tb testing.TB, client *http.Client, url string, sources []string) []string {
+	tb.Helper()
+	reqs := make([]map[string]any, len(sources))
+	for i, src := range sources {
+		reqs[i] = map[string]any{"source": src}
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := client.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		tb.Fatalf("POST /v1/jobs = %d, want 202", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		tb.Fatal(err)
+	}
+	ids := make([]string, len(out.Jobs))
+	for i, v := range out.Jobs {
+		ids[i] = v.ID
+	}
+	return ids
+}
+
+// pollDone polls GET /v1/jobs/{id} until the job is terminal, failing
+// the benchmark on a failed job.
+func pollDone(tb testing.TB, client *http.Client, url, id string) {
+	tb.Helper()
+	for {
+		resp, err := client.Get(url + "/v1/jobs/" + id + "?mode=irredundant")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var v JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		switch v.Status {
+		case StatusDone:
+			return
+		case StatusFailed:
+			tb.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// BenchmarkServeSustained drives the corpus through the full HTTP stack
+// with closed-loop concurrent clients: each client POSTs a batch, polls
+// every job in it to completion, then posts the next. The warm variant
+// keeps the engine memo cache (the steady-state daemon); cold disables
+// it (every job pays the full pipeline).
+func BenchmarkServeSustained(b *testing.B) {
+	corpus := trafficCorpus(b)
+	const (
+		clients   = 4
+		batchSize = 8
+	)
+	for _, mode := range []struct {
+		name    string
+		nocache bool
+	}{{"warm", false}, {"cold", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: 1, DisableCache: mode.nocache})
+			s, err := New(Options{Engine: eng, QueueDepth: 2 * len(corpus)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			client := ts.Client()
+
+			// Batches are fixed slices of the corpus so every iteration
+			// replays the identical traffic.
+			var batches [][]string
+			for i := 0; i < len(corpus); i += batchSize {
+				end := i + batchSize
+				if end > len(corpus) {
+					end = len(corpus)
+				}
+				batches = append(batches, corpus[i:end])
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work := make(chan []string, len(batches))
+				for _, batch := range batches {
+					work <- batch
+				}
+				close(work)
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for batch := range work {
+							for _, id := range postBatch(b, client, ts.URL, batch) {
+								pollDone(b, client, ts.URL, id)
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+
+			jobs := float64(b.N * len(corpus))
+			b.ReportMetric(jobs/b.Elapsed().Seconds(), "jobs/s")
+			snap := s.jobLatency.Snapshot()
+			b.ReportMetric(float64(snap.P50NS)/1e6, "p50-ms")
+			b.ReportMetric(float64(snap.P99NS)/1e6, "p99-ms")
+		})
+	}
+}

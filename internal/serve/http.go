@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// This file owns the one listener-lifecycle helper shared by every HTTP
+// surface the repo exposes: the `relsched serve` daemon and the
+// `relsched batch -pprof` debug server. It exists because the two used
+// to risk diverging copies of the same subtle code — the original batch
+// helper fired http.Serve on a raw listener in a goroutine and only
+// ever closed the listener, leaking the serve goroutine past the batch
+// and cutting in-flight scrapes mid-response. The lifecycle below is
+// the fix, written once: Close performs a graceful http.Server.Shutdown
+// (stop accepting, drain in-flight requests, bounded by a timeout),
+// force-closes stragglers, and waits for the serve goroutine to exit
+// before returning.
+
+// ShutdownTimeout bounds how long HTTPServer.Close waits for in-flight
+// requests to drain before force-closing them.
+const ShutdownTimeout = 2 * time.Second
+
+// HTTPServer binds a TCP listener to an http.Handler with a correct
+// shutdown lifecycle. Create one with StartHTTP.
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine returns
+}
+
+// StartHTTP listens on addr (":0" picks a free port, see Addr) and
+// serves handler on it in a background goroutine until Close.
+func StartHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &HTTPServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: handler},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(hs.done)
+		// Serve returns ErrServerClosed after Shutdown/Close; nothing to
+		// report either way.
+		_ = hs.srv.Serve(ln)
+	}()
+	return hs, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (hs *HTTPServer) Addr() net.Addr { return hs.ln.Addr() }
+
+// Done is closed when the serve goroutine has exited (always the case
+// once Close returns); tests assert the no-leak guarantee on it.
+func (hs *HTTPServer) Done() <-chan struct{} { return hs.done }
+
+// Close gracefully shuts the server down: new connections are refused,
+// in-flight requests drain (bounded by ShutdownTimeout, then
+// force-closed), and the serve goroutine has exited by the time Close
+// returns.
+func (hs *HTTPServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	err := hs.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain timeout or shutdown error: cut the stragglers.
+		err = hs.srv.Close()
+	}
+	<-hs.done
+	return err
+}
+
+// MountDebug mounts the shared observability surface on mux: the live
+// span tree at /debug/trace (a valid empty trace when tracing is off),
+// the Prometheus text exposition of reg at /metrics (namespace
+// "relsched", re-snapshotted per scrape), and /healthz + /readyz
+// probes. healthz is process liveness and always answers 200; readyz
+// answers 200 while ready() is true and 503 once it flips (nil means
+// always ready — the batch server's semantics, where readiness is "the
+// listener is up"). The registry is also published to expvar under
+// "relsched_engine" so /debug/vars (mounted by callers that want the
+// default mux, e.g. for net/http/pprof) carries it.
+func MountDebug(mux *http.ServeMux, reg *obs.Registry, tracer *trace.Tracer, ready func() bool) {
+	reg.PublishExpvar("relsched_engine")
+	mux.Handle("/debug/trace", tracer.Handler())
+	mux.Handle("/metrics", obs.PrometheusHandler(reg, "relsched"))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func TestStartHTTPLifecycle(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "pong")
+	})
+	hs, err := StartHTTP("localhost:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + hs.Addr().String()
+
+	resp, err := http.Get(url + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ping = %d, want 200", resp.StatusCode)
+	}
+
+	if err := hs.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close returning implies the serve goroutine exited.
+	select {
+	case <-hs.Done():
+	default:
+		t.Error("Done() open after Close returned")
+	}
+	if _, err := http.Get(url + "/ping"); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+	// Close is idempotent.
+	_ = hs.Close()
+}
+
+func TestMountDebugSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("engine.jobs.done").Add(3)
+	tracer := trace.New(trace.Options{})
+	var ready atomic.Bool
+	ready.Store(true)
+
+	mux := http.NewServeMux()
+	MountDebug(mux, reg, tracer, ready.Load)
+	hs, err := StartHTTP("localhost:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	url := "http://" + hs.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz while ready = %d, want 200", code)
+	}
+	ready.Store(false)
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("/readyz while draining = %d %q, want 503 draining", code, body)
+	}
+	ready.Store(true)
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "relsched_engine_jobs_done_total 3") {
+		t.Errorf("/metrics missing the counter:\n%s", body)
+	}
+	if err := obs.LintPrometheusText(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics fails promlint: %v", err)
+	}
+	// Tracing is off, but the endpoint still answers with a valid empty
+	// trace rather than 404ing the operator.
+	if code, _ := get("/debug/trace"); code != http.StatusOK {
+		t.Errorf("/debug/trace = %d, want 200", code)
+	}
+}
+
+func TestCloseDrainsInFlightRequests(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprintln(w, "done")
+	})
+	hs, err := StartHTTP("localhost:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + hs.Addr().String()
+
+	type result struct {
+		code int
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(url + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.ReadAll(resp.Body)
+		got <- result{code: resp.StatusCode}
+	}()
+	<-entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- hs.Close() }()
+	// Give Shutdown a moment to begin, then let the handler finish: the
+	// in-flight request must complete, not be cut.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	r := <-got
+	if r.err != nil || r.code != http.StatusOK {
+		t.Errorf("in-flight request across Close = %+v, want 200", r)
+	}
+	if err := <-closed; err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

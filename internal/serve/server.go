@@ -1,0 +1,670 @@
+// Package serve turns the batch scheduling engine into a long-running
+// network service: `relsched serve` — HTTP/JSON job intake in front of
+// internal/engine, with the admission discipline a daemon needs and the
+// batch CLI never did. The pieces, front to back:
+//
+//   - Intake: POST /v1/jobs accepts one job (inline .cg source) or a
+//     JSONL batch; GET /v1/jobs/{id} returns status and, once scheduled,
+//     the offset table and stats. Results are held in a bounded store.
+//   - Admission: a bounded queue between intake and the workers. When it
+//     is full the request is shed with 429 + Retry-After instead of
+//     queuing unboundedly — backpressure is the contract, not latency
+//     collapse. Sheds are counted (engine.jobs.shed) and reported to the
+//     flight recorder, which dumps a diagnostic bundle on shed storms.
+//   - Tenancy: per-tenant token-bucket rate limits and concurrency
+//     quotas keyed by the X-Tenant header (see tenant.go).
+//   - Drain: Server.Drain — wired to SIGTERM/SIGINT by the CLI — flips
+//     /readyz to 503, refuses new jobs with 503, lets every admitted job
+//     finish, and only then releases the process. Exactly one terminal
+//     result per accepted job, none lost, none duplicated (pinned by
+//     TestDrainExactlyOnce).
+//   - Hot reload: POST /v1/admin/config resizes the worker pool, the
+//     engine's memo cache, and the tenant policy without a restart.
+//
+// The observability surface from docs/OBSERVABILITY.md (/metrics,
+// /healthz, /readyz, /debug/trace) rides on the same mux via MountDebug,
+// so one listener serves both the job API and its own diagnosis.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cg"
+	"repro/internal/cgio"
+	"repro/internal/engine"
+	"repro/internal/flight"
+	"repro/internal/logx"
+	"repro/internal/obs"
+	"repro/internal/relsched"
+	"repro/internal/trace"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine executes the jobs; required. The server records its
+	// admission metrics into Engine.Metrics(), so one /metrics scrape
+	// covers intake and execution.
+	Engine *engine.Engine
+	// Workers is the initial number of serving workers pulling from the
+	// admission queue (each runs one engine.Schedule at a time). <= 0
+	// selects Engine.Workers(). Hot-reloadable via /v1/admin/config.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with
+	// 429. <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// ResultCapacity bounds the finished-result store (oldest finished
+	// results are evicted first; queued and running jobs are never
+	// evicted). <= 0 selects DefaultResultCapacity.
+	ResultCapacity int
+	// RatePerTenant is the sustained per-tenant admission rate in jobs
+	// per second (token bucket, see tenant.go); 0 disables rate
+	// limiting. Burst is the bucket size (default max(1, ceil(rate))).
+	RatePerTenant float64
+	Burst         int
+	// TenantQuota bounds one tenant's jobs queued or running at once;
+	// 0 disables.
+	TenantQuota int
+	// Tracer, Logger, Flight are the optional observability hooks,
+	// shared with the engine (all nil-safe).
+	Tracer *trace.Tracer
+	Logger *logx.Logger
+	Flight *flight.Recorder
+	// Now is a clock override for tests; nil selects time.Now.
+	Now func() time.Time
+}
+
+// Defaults for Options.
+const (
+	DefaultQueueDepth     = 256
+	DefaultResultCapacity = 4096
+)
+
+// Serve-layer metric names (registered on the engine's registry; the
+// shed counter itself is engine.MetricJobsShed). Documented in
+// docs/SERVICE.md and docs/OBSERVABILITY.md.
+const (
+	// MetricJobsAccepted counts jobs admitted past every gate (each will
+	// produce exactly one terminal result). Conservation:
+	// requested = accepted + shed, and
+	// shed = shed_queue_full + shed_rate_limited + shed_quota.
+	MetricJobsAccepted = "serve.jobs.accepted"
+	// MetricJobsRequested counts jobs asked for via POST /v1/jobs that
+	// passed validation (parseable source), before admission. Jobs
+	// refused because the server is draining are not counted, so the
+	// conservation law above holds exactly at every instant.
+	MetricJobsRequested = "serve.jobs.requested"
+	// Shed reasons, summing to engine.jobs.shed.
+	MetricShedQueueFull   = "serve.shed.queue_full"
+	MetricShedRateLimited = "serve.shed.rate_limited"
+	MetricShedQuota       = "serve.shed.quota"
+	// MetricQueueDepth gauges jobs admitted but not yet claimed by a
+	// worker (the admission queue's population).
+	MetricQueueDepth = "serve.queue.depth"
+	// MetricWorkers gauges the current worker-pool size.
+	MetricWorkers = "serve.workers"
+	// MetricHTTPRequests counts API requests by coarse outcome.
+	MetricHTTPRequests = "serve.http.requests"
+	// MetricJobLatency is the end-to-end latency histogram of accepted
+	// jobs: admission (202) to terminal state, queue wait included —
+	// what a client experiences under load, as opposed to
+	// engine.job.duration, which starts when a worker picks the job up.
+	MetricJobLatency = "serve.job.latency"
+)
+
+// JobStatus is the lifecycle of one accepted job.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// JobRequest is one submitted job: the POST /v1/jobs body (single
+// object) or one line of a JSONL batch.
+type JobRequest struct {
+	// ID is the caller's handle for GET /v1/jobs/{id}; server-assigned
+	// ("j-<n>") when empty. Submitting an ID that is still known
+	// (queued, running, or retained) is a 409 conflict.
+	ID string `json:"id,omitempty"`
+	// Source is the constraint graph in the cgio text format. Required.
+	Source string `json:"source"`
+	// WellPose repairs an ill-posed graph (Theorem 7 minimal
+	// serialization) instead of failing it.
+	WellPose bool `json:"wellpose,omitempty"`
+	// TimeoutMS overrides the engine's per-job timeout when positive.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobView is the GET /v1/jobs/{id} response (and the per-job element of
+// a batch POST response).
+type JobView struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Tenant string    `json:"tenant,omitempty"`
+	// Terminal-state fields.
+	CacheHit           bool   `json:"cache_hit,omitempty"`
+	DurationNS         int64  `json:"duration_ns,omitempty"`
+	Anchors            int    `json:"anchors,omitempty"`
+	Iterations         int    `json:"iterations,omitempty"`
+	SerializationEdges int    `json:"serialization_edges,omitempty"`
+	Error              string `json:"error,omitempty"`
+	ErrorKind          string `json:"error_kind,omitempty"`
+	// Offsets is the schedule's offset table in the CLI text format
+	// (GET only; mode selected by ?mode=full|relevant|irredundant,
+	// default irredundant).
+	Offsets string `json:"offsets,omitempty"`
+}
+
+// jobRecord is the server-side state of one accepted job: the parsed
+// inputs until a worker claims it, the engine result after.
+type jobRecord struct {
+	id         string
+	tenant     string
+	graph      *cg.Graph
+	wellPose   bool
+	timeout    time.Duration
+	acceptedAt time.Time
+	status     JobStatus
+	result     engine.Result // valid once status is terminal
+	errKind    string
+}
+
+// Server is the scheduling daemon. Create with New, mount via Handler,
+// stop with Drain. Safe for concurrent use.
+type Server struct {
+	eng     *engine.Engine
+	limiter *tenantLimiter
+	log     *logx.Logger
+	tracer  *trace.Tracer
+	flight  *flight.Recorder
+	now     func() time.Time
+
+	// metrics resolved once (see the Metric* names).
+	requested, accepted  *obs.Counter
+	shed, shedQueue      *obs.Counter
+	shedRate, shedQuota  *obs.Counter
+	httpRequests         *obs.Counter
+	jobLatency           *obs.Histogram
+	queueDepth, workersG *obs.Gauge
+	queueCap, resultCap  int
+
+	// Admission queue. intakeMu is held shared by enqueuers and
+	// exclusively by Drain: a send can never race the close.
+	intakeMu sync.RWMutex
+	draining atomic.Bool
+	queue    chan *jobRecord
+
+	// Worker pool: resizable (quit tokens shrink it), wg tracks workers
+	// for drain.
+	poolMu  sync.Mutex
+	workers int
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	// Job store: every accepted job from admission to (bounded)
+	// retention after completion.
+	storeMu  sync.Mutex
+	store    map[string]*jobRecord
+	finished []string // terminal job IDs, oldest first, for eviction
+	seq      uint64   // server-assigned job IDs
+
+	// testJobGate, when non-nil, blocks each worker at job start until
+	// the gate channel yields; white-box tests use it to hold jobs
+	// in-flight deterministically.
+	testJobGate chan struct{}
+
+	drainOnce sync.Once
+	drained   chan struct{} // closed when the last worker exits
+}
+
+// New creates a Server and starts its worker pool. The server is
+// immediately ready to accept jobs (mount Handler on a listener, e.g.
+// via StartHTTP).
+func New(opts Options) (*Server, error) {
+	if opts.Engine == nil {
+		return nil, fmt.Errorf("serve: Options.Engine is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = opts.Engine.Workers()
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.ResultCapacity <= 0 {
+		opts.ResultCapacity = DefaultResultCapacity
+	}
+	if opts.Burst <= 0 && opts.RatePerTenant > 0 {
+		opts.Burst = int(opts.RatePerTenant + 0.999)
+		if opts.Burst < 1 {
+			opts.Burst = 1
+		}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	reg := opts.Engine.Metrics()
+	s := &Server{
+		eng:          opts.Engine,
+		limiter:      newTenantLimiter(opts.RatePerTenant, opts.Burst, opts.TenantQuota, now),
+		log:          opts.Logger,
+		tracer:       opts.Tracer,
+		flight:       opts.Flight,
+		now:          now,
+		requested:    reg.Counter(MetricJobsRequested),
+		accepted:     reg.Counter(MetricJobsAccepted),
+		shed:         reg.Counter(engine.MetricJobsShed),
+		shedQueue:    reg.Counter(MetricShedQueueFull),
+		shedRate:     reg.Counter(MetricShedRateLimited),
+		shedQuota:    reg.Counter(MetricShedQuota),
+		httpRequests: reg.Counter(MetricHTTPRequests),
+		jobLatency:   reg.Histogram(MetricJobLatency),
+		queueDepth:   reg.Gauge(MetricQueueDepth),
+		workersG:     reg.Gauge(MetricWorkers),
+		queueCap:     opts.QueueDepth,
+		resultCap:    opts.ResultCapacity,
+		queue:        make(chan *jobRecord, opts.QueueDepth),
+		quit:         make(chan struct{}),
+		store:        make(map[string]*jobRecord),
+		drained:      make(chan struct{}),
+	}
+	s.resizePool(opts.Workers)
+	return s, nil
+}
+
+// Ready reports whether the server accepts new jobs (false once Drain
+// starts); it is the /readyz predicate.
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// Workers returns the current worker-pool size.
+func (s *Server) Workers() int {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	return s.workers
+}
+
+// QueueDepth returns the number of admitted jobs not yet claimed by a
+// worker, and the queue's capacity.
+func (s *Server) QueueDepth() (depth, capacity int) {
+	return len(s.queue), s.queueCap
+}
+
+// resizePool grows or shrinks the worker pool to n (n >= 1). Shrinking
+// hands out quit tokens; a worker mid-job finishes that job first, so a
+// resize never abandons work. Caller must not hold poolMu.
+func (s *Server) resizePool(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	for s.workers < n {
+		s.workers++
+		s.wg.Add(1)
+		go s.worker()
+	}
+	for s.workers > n {
+		s.workers--
+		s.quit <- struct{}{}
+	}
+	s.workersG.Set(int64(s.workers))
+}
+
+// worker pulls admitted jobs until the queue closes (drain) or it
+// receives a quit token (pool shrink).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// A pending quit token wins over more work, so shrinks settle
+		// even while the queue is hot.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case rec, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.queueDepth.Add(-1)
+			s.runJob(rec)
+		}
+	}
+}
+
+// runJob executes one admitted job to its terminal state. Drain runs
+// with context.Background() deliberately: an accepted job is a promise,
+// and the per-job timeout (engine Options or JobRequest.TimeoutMS)
+// bounds how long the promise can take.
+func (s *Server) runJob(rec *jobRecord) {
+	if s.testJobGate != nil {
+		<-s.testJobGate
+	}
+	s.storeMu.Lock()
+	rec.status = StatusRunning
+	s.storeMu.Unlock()
+
+	res := s.eng.Schedule(context.Background(), engine.Job{
+		ID:       rec.id,
+		Graph:    rec.graph,
+		WellPose: rec.wellPose,
+		Timeout:  rec.timeout,
+	})
+
+	s.storeMu.Lock()
+	rec.result = res
+	if res.Err != nil {
+		rec.status = StatusFailed
+		rec.errKind = errKind(res.Err)
+	} else {
+		rec.status = StatusDone
+	}
+	s.finished = append(s.finished, rec.id)
+	s.evictLocked()
+	s.storeMu.Unlock()
+	s.jobLatency.Observe(s.now().Sub(rec.acceptedAt))
+	s.limiter.release(rec.tenant)
+}
+
+// evictLocked drops the oldest finished results over the retention
+// bound. Caller holds storeMu.
+func (s *Server) evictLocked() {
+	for len(s.finished) > s.resultCap {
+		id := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.store, id)
+	}
+}
+
+// parsedJob is one validated intake job, ready for admission.
+type parsedJob struct {
+	id       string
+	graph    *cg.Graph
+	wellPose bool
+	timeout  time.Duration
+}
+
+// apiError is an admission or lookup refusal, rendered as a JSON error
+// body with the HTTP status (and Retry-After header when set).
+type apiError struct {
+	status     int
+	msg        string
+	reason     string // shed reason for 429s: queue_full, rate, quota
+	retryAfter time.Duration
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// submit admits a batch of validated jobs atomically: either every job
+// is accepted (one jobRecord each, queued in request order) or none is
+// and the refusal names why. Gates in order: drain (503), tenant rate
+// limit and quota (429), queue capacity (429). A refused batch consumes
+// no tokens and no quota.
+func (s *Server) submit(tenant string, jobs []parsedJob) ([]*jobRecord, *apiError) {
+	n := len(jobs)
+
+	// Shared intake lock: Drain takes it exclusively after flipping the
+	// draining flag, so a submit that saw draining==false still enqueues
+	// before the queue closes — a send can never race the close.
+	s.intakeMu.RLock()
+	defer s.intakeMu.RUnlock()
+	if s.draining.Load() {
+		return nil, &apiError{status: 503, msg: "server is draining; not accepting jobs"}
+	}
+	// Counted after the drain gate so requested = accepted + shed holds
+	// exactly: a drain refusal is lifecycle, not admission control.
+	s.requested.Add(uint64(n))
+
+	if v := s.limiter.admit(tenant, n); !v.ok {
+		s.shed.Add(uint64(n))
+		reason := "tenant rate limit"
+		if v.reason == "quota" {
+			s.shedQuota.Add(uint64(n))
+			reason = "tenant quota"
+		} else {
+			s.shedRate.Add(uint64(n))
+		}
+		detail := fmt.Sprintf("%s exceeded for tenant %q (%d job(s))", reason, tenant, n)
+		s.flight.ObserveShed(detail)
+		if s.log.Enabled(logx.LevelWarn) {
+			s.log.Warn("jobs shed", logx.Str("reason", v.reason),
+				logx.Str("tenant", tenant), logx.Int("jobs", int64(n)))
+		}
+		return nil, &apiError{status: 429, msg: detail, reason: v.reason, retryAfter: v.retryAfter}
+	}
+
+	s.storeMu.Lock()
+	for _, j := range jobs {
+		if j.id == "" {
+			continue
+		}
+		if _, exists := s.store[j.id]; exists {
+			s.storeMu.Unlock()
+			s.releaseN(tenant, n)
+			return nil, &apiError{status: 409, msg: fmt.Sprintf("job id %q already exists", j.id)}
+		}
+	}
+	// Capacity check under storeMu: every enqueuer serializes here and
+	// workers only ever shrink the queue, so the reservation holds and
+	// the sends below cannot block.
+	if len(s.queue)+n > s.queueCap {
+		s.storeMu.Unlock()
+		s.releaseN(tenant, n)
+		s.shed.Add(uint64(n))
+		s.shedQueue.Add(uint64(n))
+		detail := fmt.Sprintf("admission queue full (%d/%d), refusing %d job(s)", len(s.queue), s.queueCap, n)
+		s.flight.ObserveShed(detail)
+		if s.log.Enabled(logx.LevelWarn) {
+			s.log.Warn("jobs shed", logx.Str("reason", "queue_full"),
+				logx.Str("tenant", tenant), logx.Int("jobs", int64(n)))
+		}
+		return nil, &apiError{status: 429, msg: detail, reason: "queue_full", retryAfter: time.Second}
+	}
+	records := make([]*jobRecord, n)
+	for i, j := range jobs {
+		id := j.id
+		if id == "" {
+			s.seq++
+			id = fmt.Sprintf("j-%d", s.seq)
+			// A server-assigned ID colliding with a client-chosen one is
+			// possible; keep bumping until free.
+			for _, exists := s.store[id]; exists; _, exists = s.store[id] {
+				s.seq++
+				id = fmt.Sprintf("j-%d", s.seq)
+			}
+		}
+		rec := &jobRecord{
+			id:         id,
+			tenant:     tenant,
+			graph:      j.graph,
+			wellPose:   j.wellPose,
+			timeout:    j.timeout,
+			acceptedAt: s.now(),
+			status:     StatusQueued,
+		}
+		s.store[id] = rec
+		records[i] = rec
+	}
+	for _, rec := range records {
+		s.queue <- rec
+	}
+	s.storeMu.Unlock()
+
+	s.queueDepth.Add(int64(n))
+	s.accepted.Add(uint64(n))
+	if s.log.Enabled(logx.LevelInfo) {
+		s.log.Info("jobs accepted", logx.Str("tenant", tenant), logx.Int("jobs", int64(n)))
+	}
+	return records, nil
+}
+
+// releaseN returns n admitted slots to the tenant (refusal after the
+// limiter said yes).
+func (s *Server) releaseN(tenant string, n int) {
+	for i := 0; i < n; i++ {
+		s.limiter.release(tenant)
+	}
+}
+
+// Drain performs the graceful-shutdown handshake, idempotently:
+//
+//  1. flip draining — /readyz answers 503 and POST /v1/jobs answers 503
+//     from this moment;
+//  2. wait out submitters already past the flag (the intake lock), then
+//     close the admission queue;
+//  3. wait for the workers to finish every admitted job — queued jobs
+//     are executed, not dropped, so every 202 the server ever returned
+//     resolves to exactly one terminal result.
+//
+// Drain returns nil once the pool is idle, or ctx.Err() if the deadline
+// expires first (jobs may then still be running; the caller decides
+// whether to hard-exit). Only the first call drains; later calls just
+// wait on the same completion.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.intakeMu.Lock()
+		close(s.queue)
+		s.intakeMu.Unlock()
+		if s.log.Enabled(logx.LevelInfo) {
+			s.log.Info("drain started", logx.Int("queued", int64(len(s.queue))))
+		}
+		go func() {
+			s.wg.Wait()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		if s.log.Enabled(logx.LevelInfo) {
+			s.log.Info("drain complete")
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drained reports drain completion (closed when the last worker exits).
+func (s *Server) Drained() <-chan struct{} { return s.drained }
+
+// job looks up a record by ID.
+func (s *Server) job(id string) (*jobRecord, bool) {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	rec, ok := s.store[id]
+	return rec, ok
+}
+
+// view renders a record. withOffsets adds the offset table (terminal
+// successful jobs only); the schedule is immutable once published, so
+// rendering happens outside the lock on a copied result.
+func (s *Server) view(rec *jobRecord, mode relsched.AnchorMode, withOffsets bool) JobView {
+	s.storeMu.Lock()
+	v := JobView{ID: rec.id, Status: rec.status, Tenant: rec.tenant}
+	res := rec.result
+	errKind := rec.errKind
+	s.storeMu.Unlock()
+
+	switch v.Status {
+	case StatusDone:
+		v.CacheHit = res.CacheHit
+		v.DurationNS = res.Duration.Nanoseconds()
+		v.SerializationEdges = res.SerializationEdges
+		if res.Info != nil {
+			v.Anchors = res.Info.NumAnchors()
+		}
+		if res.Schedule != nil {
+			v.Iterations = res.Schedule.Iterations
+			if withOffsets {
+				var b strings.Builder
+				if err := cgio.WriteOffsets(&b, res.Schedule, mode); err == nil {
+					v.Offsets = b.String()
+				}
+			}
+		}
+	case StatusFailed:
+		v.DurationNS = res.Duration.Nanoseconds()
+		if res.Err != nil {
+			v.Error = res.Err.Error()
+		}
+		v.ErrorKind = errKind
+	}
+	return v
+}
+
+// errKind classifies a job verdict with the flight recorder's taxonomy.
+func errKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return flight.ErrKindTimeout
+	case errors.Is(err, context.Canceled):
+		return flight.ErrKindCanceled
+	}
+	var ill *relsched.IllPosedError
+	if errors.As(err, &ill) {
+		return flight.ErrKindIllPosed
+	}
+	return flight.ErrKindError
+}
+
+// StatusView is the GET /v1/status (and admin config) response.
+type StatusView struct {
+	Ready         bool    `json:"ready"`
+	Draining      bool    `json:"draining"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	CacheCapacity int     `json:"cache_capacity"`
+	RatePerTenant float64 `json:"rate_per_tenant"`
+	Burst         int     `json:"burst"`
+	TenantQuota   int     `json:"tenant_quota"`
+	JobsQueued    int     `json:"jobs_queued"`
+	JobsRunning   int     `json:"jobs_running"`
+	JobsDone      int     `json:"jobs_done"`
+	JobsFailed    int     `json:"jobs_failed"`
+}
+
+// Status snapshots the server.
+func (s *Server) Status() StatusView {
+	rate, burst, quota := s.limiter.policy()
+	v := StatusView{
+		Ready:         s.Ready(),
+		Draining:      s.draining.Load(),
+		Workers:       s.Workers(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.queueCap,
+		CacheCapacity: s.eng.CacheCapacity(),
+		RatePerTenant: rate,
+		Burst:         burst,
+		TenantQuota:   quota,
+	}
+	s.storeMu.Lock()
+	for _, rec := range s.store {
+		switch rec.status {
+		case StatusQueued:
+			v.JobsQueued++
+		case StatusRunning:
+			v.JobsRunning++
+		case StatusDone:
+			v.JobsDone++
+		case StatusFailed:
+			v.JobsFailed++
+		}
+	}
+	s.storeMu.Unlock()
+	return v
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantLimiter enforces the per-tenant admission policy: a token-bucket
+// rate limit (sustained jobs/second with a burst allowance) and a
+// concurrency quota (jobs queued or running at once). Tenants are keyed
+// by the X-Tenant request header; requests without one share the
+// "default" tenant, so anonymous traffic is rate-limited as one
+// aggregate rather than bypassing the policy.
+//
+// The limiter is deliberately lazy: a tenant's bucket materializes on
+// first use and refills arithmetically from its last-touch timestamp
+// (no background goroutine), so idle tenants cost one map entry and a
+// flood of distinct tenant names is bounded by maxTenants — when the map
+// would exceed it, stale entries (idle for a minute, zero active jobs)
+// are swept; if none are stale the newcomer is admitted against a fresh
+// bucket without being retained, which fails open on rate but still
+// counts quota as zero (a deliberate trade: memory safety over perfect
+// fairness under tenant-name cardinality attacks).
+type tenantLimiter struct {
+	mu sync.Mutex
+	// rate is the sustained refill in tokens (jobs) per second; 0
+	// disables rate limiting. burst is the bucket capacity (minimum 1
+	// once rate limiting is on).
+	rate  float64
+	burst float64
+	// quota bounds a tenant's jobs queued or running at once; 0 disables.
+	quota   int
+	tenants map[string]*tenantState
+	now     func() time.Time
+}
+
+// maxTenants bounds the limiter's map (see the fail-open note above).
+const maxTenants = 4096
+
+// DefaultTenant is the bucket shared by requests without an X-Tenant
+// header.
+const DefaultTenant = "default"
+
+type tenantState struct {
+	tokens float64
+	last   time.Time
+	active int // jobs queued or running
+}
+
+func newTenantLimiter(rate float64, burst, quota int, now func() time.Time) *tenantLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if rate > 0 && b < 1 {
+		b = 1
+	}
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   b,
+		quota:   quota,
+		tenants: make(map[string]*tenantState),
+		now:     now,
+	}
+}
+
+// admitVerdict is the outcome of one admission check.
+type admitVerdict struct {
+	ok bool
+	// reason is "rate" or "quota" on refusal.
+	reason string
+	// retryAfter is the client hint: how long until the bucket has the
+	// tokens (rate) or a conservative fixed hint (quota).
+	retryAfter time.Duration
+}
+
+// admit asks for n job slots for the tenant. On success the tenant's
+// active count grows by n (the caller must release each job exactly
+// once); on refusal nothing is consumed — a rejected batch takes no
+// tokens, so a client retrying after Retry-After is not double-charged.
+func (l *tenantLimiter) admit(tenant string, n int) admitVerdict {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts := l.lookupLocked(tenant)
+	now := l.now()
+	if l.rate > 0 {
+		ts.tokens = math.Min(l.burst, ts.tokens+now.Sub(ts.last).Seconds()*l.rate)
+	}
+	ts.last = now
+	if l.quota > 0 && ts.active+n > l.quota {
+		return admitVerdict{
+			reason: "quota",
+			// No token arithmetic predicts when running jobs finish; hint
+			// one second, the order of a slow scheduling job.
+			retryAfter: time.Second,
+		}
+	}
+	if l.rate > 0 && ts.tokens < float64(n) {
+		need := float64(n) - ts.tokens
+		return admitVerdict{
+			reason:     "rate",
+			retryAfter: time.Duration(math.Ceil(need / l.rate * float64(time.Second))),
+		}
+	}
+	if l.rate > 0 {
+		ts.tokens -= float64(n)
+	}
+	ts.active += n
+	return admitVerdict{ok: true}
+}
+
+// release returns one job slot to the tenant (call once per admitted
+// job, when it reaches a terminal state).
+func (l *tenantLimiter) release(tenant string) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ts, ok := l.tenants[tenant]; ok && ts.active > 0 {
+		ts.active--
+	}
+}
+
+// setPolicy hot-reloads the limits. Existing buckets keep their token
+// level, clamped to the new burst; active counts are untouched.
+func (l *tenantLimiter) setPolicy(rate float64, burst, quota int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := float64(burst)
+	if rate > 0 && b < 1 {
+		b = 1
+	}
+	l.rate, l.burst, l.quota = rate, b, quota
+	for _, ts := range l.tenants {
+		if ts.tokens > l.burst {
+			ts.tokens = l.burst
+		}
+	}
+}
+
+// policy reports the current limits.
+func (l *tenantLimiter) policy() (rate float64, burst, quota int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate, int(l.burst), l.quota
+}
+
+// lookupLocked returns the tenant's state, creating it (full bucket)
+// on first sight and sweeping stale entries when the map is at its
+// bound. Caller holds l.mu.
+func (l *tenantLimiter) lookupLocked(tenant string) *tenantState {
+	if ts, ok := l.tenants[tenant]; ok {
+		return ts
+	}
+	if len(l.tenants) >= maxTenants {
+		cutoff := l.now().Add(-time.Minute)
+		for name, ts := range l.tenants {
+			if ts.active == 0 && ts.last.Before(cutoff) {
+				delete(l.tenants, name)
+			}
+		}
+	}
+	ts := &tenantState{tokens: l.burst, last: l.now()}
+	if len(l.tenants) < maxTenants {
+		l.tenants[tenant] = ts
+	}
+	return ts
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// limiterClock is a deterministic clock for the token-bucket math.
+type limiterClock struct{ t time.Time }
+
+func (c *limiterClock) now() time.Time          { return c.t }
+func (c *limiterClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newLimiterClock() *limiterClock { return &limiterClock{t: time.Unix(1000, 0)} }
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(2, 4, 0, clk.now) // 2 jobs/s, burst 4
+
+	if v := l.admit("a", 4); !v.ok {
+		t.Fatalf("burst of 4 refused: %+v", v)
+	}
+	v := l.admit("a", 1)
+	if v.ok || v.reason != "rate" {
+		t.Fatalf("empty bucket admitted: %+v", v)
+	}
+	// 1 token missing at 2/s: the hint is the exact wait, rounded up.
+	if v.retryAfter != 500*time.Millisecond {
+		t.Errorf("retryAfter = %v, want 500ms", v.retryAfter)
+	}
+
+	clk.advance(time.Second) // +2 tokens
+	if v := l.admit("a", 2); !v.ok {
+		t.Fatalf("refilled tokens refused: %+v", v)
+	}
+	// Refill clamps at burst: a long idle doesn't bank unlimited credit.
+	clk.advance(time.Hour)
+	if v := l.admit("a", 5); v.ok {
+		t.Fatal("admitted above burst after idle")
+	}
+	if v := l.admit("a", 4); !v.ok {
+		t.Fatalf("burst after idle refused: %+v", v)
+	}
+}
+
+func TestLimiterRefusalConsumesNothing(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(1, 2, 0, clk.now)
+
+	// An oversized batch is refused whole — and the very next affordable
+	// batch still has the full bucket.
+	if v := l.admit("a", 3); v.ok {
+		t.Fatal("batch over burst admitted")
+	}
+	if v := l.admit("a", 2); !v.ok {
+		t.Fatalf("refusal consumed tokens: %+v", v)
+	}
+}
+
+func TestLimiterQuota(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(0, 0, 2, clk.now) // no rate limit, quota 2
+
+	if v := l.admit("a", 2); !v.ok {
+		t.Fatalf("under quota refused: %+v", v)
+	}
+	v := l.admit("a", 1)
+	if v.ok || v.reason != "quota" || v.retryAfter <= 0 {
+		t.Fatalf("over quota: %+v, want quota refusal with a retry hint", v)
+	}
+	// Finishing a job frees its slot.
+	l.release("a")
+	if v := l.admit("a", 1); !v.ok {
+		t.Fatalf("released slot not reusable: %+v", v)
+	}
+	// Quota is per tenant.
+	if v := l.admit("b", 2); !v.ok {
+		t.Fatalf("tenant b hit tenant a's quota: %+v", v)
+	}
+}
+
+func TestLimiterTenantsIndependent(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(1, 1, 0, clk.now)
+
+	if v := l.admit("a", 1); !v.ok {
+		t.Fatal("a's first job refused")
+	}
+	if v := l.admit("b", 1); !v.ok {
+		t.Fatal("b throttled by a's bucket")
+	}
+}
+
+func TestLimiterEmptyTenantIsDefault(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(1, 1, 0, clk.now)
+
+	if v := l.admit("", 1); !v.ok {
+		t.Fatal("anonymous job refused")
+	}
+	// "" and "default" share one bucket: anonymous traffic cannot bypass
+	// the policy by omitting the header.
+	if v := l.admit(DefaultTenant, 1); v.ok {
+		t.Fatal("anonymous traffic and \"default\" have separate buckets")
+	}
+}
+
+func TestLimiterSetPolicy(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(1, 10, 0, clk.now)
+	if v := l.admit("a", 2); !v.ok {
+		t.Fatal("setup admit refused")
+	}
+
+	// Shrinking burst clamps existing token levels.
+	l.setPolicy(1, 3, 5)
+	if rate, burst, quota := l.policy(); rate != 1 || burst != 3 || quota != 5 {
+		t.Fatalf("policy = %v/%v/%v, want 1/3/5", rate, burst, quota)
+	}
+	if v := l.admit("a", 4); v.ok {
+		t.Fatal("admitted above the new, smaller burst")
+	}
+	if v := l.admit("a", 3); !v.ok {
+		t.Fatalf("clamped bucket refused a full burst: %+v", v)
+	}
+
+	// Disabling the rate (0) keeps the quota enforceable.
+	l.setPolicy(0, 0, 5)
+	if v := l.admit("a", 1); v.ok {
+		// 5 active jobs already (2 + 3): quota refuses the sixth.
+		t.Fatal("quota ignored after rate disabled")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(0, 0, 0, clk.now)
+	for i := 0; i < 1000; i++ {
+		if v := l.admit("a", 7); !v.ok {
+			t.Fatalf("disabled limiter refused at i=%d: %+v", i, v)
+		}
+	}
+}
+
+func TestLimiterCardinalityBound(t *testing.T) {
+	clk := newLimiterClock()
+	l := newTenantLimiter(1, 1, 0, clk.now)
+
+	// A flood of distinct tenant names fills the map to its bound...
+	for i := 0; i < maxTenants; i++ {
+		l.admit(fmt.Sprintf("t%d", i), 1)
+		l.release(fmt.Sprintf("t%d", i))
+	}
+	if len(l.tenants) != maxTenants {
+		t.Fatalf("map holds %d tenants, want the bound %d", len(l.tenants), maxTenants)
+	}
+	// ...and stays there: a newcomer while nothing is stale is served
+	// from an untracked fresh bucket (fail open) instead of growing it.
+	if v := l.admit("newcomer", 1); !v.ok {
+		t.Fatalf("newcomer at the bound refused: %+v", v)
+	}
+	if len(l.tenants) > maxTenants {
+		t.Fatalf("map grew past the bound: %d", len(l.tenants))
+	}
+
+	// Once the crowd is stale (idle a minute, zero active), the sweep
+	// reclaims their slots and newcomers are tracked again.
+	clk.advance(2 * time.Minute)
+	if v := l.admit("tracked-again", 1); !v.ok {
+		t.Fatalf("post-sweep admit refused: %+v", v)
+	}
+	if len(l.tenants) >= maxTenants {
+		t.Fatalf("sweep reclaimed nothing: %d tenants", len(l.tenants))
+	}
+	if _, ok := l.tenants["tracked-again"]; !ok {
+		t.Error("newcomer not tracked after the sweep made room")
+	}
+}
