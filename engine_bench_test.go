@@ -12,8 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cg"
 	"repro/internal/cgio"
 	"repro/internal/engine"
+	"repro/internal/randgraph"
 	"repro/internal/relsched"
 )
 
@@ -55,6 +57,16 @@ type engineBenchArtifact struct {
 	ColdBaselineNS int64   `json:"cold_baseline_ns"`
 	ColdNS         int64   `json:"cold_ns"`
 	ColdSpeedup    float64 `json:"cold_speedup"`
+
+	// DeltaEditNS is the mean per-edit latency of Schedule.Apply on a
+	// 100 000-vertex chain (a max-constraint add/remove pair near the
+	// sink, averaged over many rounds); FullRecomputeNS is a cold Compute
+	// of the same graph — the cost every edit paid before the delta path —
+	// and DeltaSpeedup their ratio, asserted ≥ 10 (this PR's incremental
+	// acceptance number; see BenchmarkDeltaEdit / BenchmarkFullRecompute).
+	DeltaEditNS     int64   `json:"delta_edit_ns"`
+	FullRecomputeNS int64   `json:"full_recompute_ns"`
+	DeltaSpeedup    float64 `json:"delta_speedup"`
 
 	PooledSpeedup   float64 `json:"pooled_speedup_vs_sequential"`
 	MemoizedSpeedup float64 `json:"pooled_memoized_speedup_vs_sequential"`
@@ -186,6 +198,8 @@ func TestEngineBenchArtifact(t *testing.T) {
 		memoOut[i] = render(r.Schedule)
 	}
 
+	deltaNS, fullNS := measureDeltaEdit(t, timeBest)
+
 	identical := true
 	for i := range workload {
 		if !bytes.Equal(seqOut[i], pooledOut[i]) || !bytes.Equal(seqOut[i], memoOut[i]) ||
@@ -219,6 +233,10 @@ func TestEngineBenchArtifact(t *testing.T) {
 		ColdNS:         pooledNS.Nanoseconds(),
 		ColdSpeedup:    float64(refNS) / float64(pooledNS),
 
+		DeltaEditNS:     deltaNS.Nanoseconds(),
+		FullRecomputeNS: fullNS.Nanoseconds(),
+		DeltaSpeedup:    float64(fullNS) / float64(deltaNS),
+
 		PooledSpeedup:   float64(seqNS) / float64(pooledNS),
 		MemoizedSpeedup: float64(seqNS) / float64(memoNS),
 
@@ -248,6 +266,12 @@ func TestEngineBenchArtifact(t *testing.T) {
 	}
 	t.Logf("sequential %v, pooled %v (%.1fx), pooled+memoized %v (%.1fx), cold baseline %v (cold %.2fx), cache %d/%d hits",
 		seqNS, pooledNS, art.PooledSpeedup, memoNS, art.MemoizedSpeedup, refNS, art.ColdSpeedup, stats.Hits, stats.Hits+stats.Misses)
+	t.Logf("delta edit %v vs full recompute %v (%.0fx)", deltaNS, fullNS, art.DeltaSpeedup)
+
+	if art.DeltaSpeedup < 10 {
+		t.Errorf("delta speedup %.1fx < 10x acceptance floor (edit %v, recompute %v)",
+			art.DeltaSpeedup, deltaNS, fullNS)
+	}
 
 	if art.MemoizedSpeedup < 2 {
 		t.Errorf("pooled+memoized speedup %.2fx < 2x acceptance floor", art.MemoizedSpeedup)
@@ -288,10 +312,49 @@ func validateColdFields(art engineBenchArtifact) error {
 		return fmt.Errorf("cold_ns = %d, want > 0", art.ColdNS)
 	case art.ColdSpeedup <= 0:
 		return fmt.Errorf("cold_speedup = %g, want > 0", art.ColdSpeedup)
+	case art.DeltaEditNS <= 0:
+		return fmt.Errorf("delta_edit_ns = %d, want > 0", art.DeltaEditNS)
+	case art.FullRecomputeNS <= 0:
+		return fmt.Errorf("full_recompute_ns = %d, want > 0", art.FullRecomputeNS)
+	case art.DeltaSpeedup <= 0:
+		return fmt.Errorf("delta_speedup = %g, want > 0", art.DeltaSpeedup)
 	case !art.IdenticalSchedules:
 		return fmt.Errorf("identical_schedules = false: offsets diverged from the oracle")
 	}
 	return nil
+}
+
+// measureDeltaEdit times the incremental-edit acceptance workload: a
+// max-constraint add/remove pair near the sink of a 100 000-vertex chain
+// through Schedule.Apply (per-edit mean over deltaRounds×2 edits), against
+// a cold relsched.Compute of the same graph. Both sides use the caller's
+// best-of-N timer.
+func measureDeltaEdit(t *testing.T, timeBest func(func()) time.Duration) (deltaNS, fullNS time.Duration) {
+	t.Helper()
+	g := randgraph.Chain(100_000, 20_000)
+	fullNS = timeBest(func() {
+		if _, err := relsched.Compute(g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	u, v := cg.VertexID(n-3), cg.VertexID(n-2)
+	const deltaRounds = 100
+	deltaNS = timeBest(func() {
+		for i := 0; i < deltaRounds; i++ {
+			if s, err = s.Apply(cg.AddMaxEdit(u, v, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if s, err = s.Apply(cg.RemoveEdgeEdit(s.G.M() - 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}) / (2 * deltaRounds)
+	return deltaNS, fullNS
 }
 
 // gitCommit resolves the current git revision, "unknown" outside a

@@ -76,6 +76,34 @@ func (s Set) UnionWith(t Set) bool {
 	return changed
 }
 
+// Clear removes every element from s.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// AndNot returns the set difference s \ t as a new set. The two sets
+// must share a universe size.
+func (s Set) AndNot(t Set) Set {
+	d := Set{words: make([]uint64, len(s.words)), n: s.n}
+	for i, w := range s.words {
+		d.words[i] = w &^ t.words[i]
+	}
+	return d
+}
+
+// Intersects reports whether s and t share at least one element. The two
+// sets must share a universe size.
+func (s Set) Intersects(t Set) bool {
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // SubsetOf reports whether every element of s is in t.
 func (s Set) SubsetOf(t Set) bool {
 	for i, w := range s.words {

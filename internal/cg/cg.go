@@ -162,7 +162,10 @@ func (e Edge) String() string {
 // or in use. The zero value is not usable; call New.
 //
 // Graph methods are not safe for concurrent mutation; concurrent read-only
-// use after Freeze is safe.
+// use after Freeze is safe. ApplyEdit and RevertDelta (delta.go) are
+// mutations: they must not overlap with each other or with readers that
+// touch the graph's structure (see docs/INCREMENTAL.md for the exact
+// reader contract during delta application).
 type Graph struct {
 	vertices []Vertex
 	edges    []Edge
@@ -179,6 +182,14 @@ type Graph struct {
 	topo    []VertexID // topological order of the forward subgraph
 	anchors []VertexID // source + unbounded-delay vertices, ascending
 	csr     *CSR       // flat edge layout for the hot scheduling loops
+
+	// Post-freeze edit state (see delta.go). topoPos[v] is v's rank in
+	// topo, maintained incrementally by ApplyEdit so edits never re-run
+	// the full Kahn sort. csrDirty marks the CSR as stale after an edit;
+	// CSR() rebuilds it lazily on the next call, so chains of edits that
+	// stay on the adjacency-list view pay nothing for it.
+	topoPos  []int32
+	csrDirty bool
 }
 
 // New returns an empty graph containing only the source vertex. The source
@@ -250,17 +261,29 @@ func (g *Graph) mutable() {
 func (g *Graph) invalidate() {
 	g.generation++
 	g.topo = nil
+	g.topoPos = nil
 	g.anchors = nil
 	g.csr = nil
+	g.csrDirty = false
+}
+
+// editBump records a sanctioned post-freeze edit (ApplyEdit/RevertDelta):
+// the generation moves so (identity, generation) caches invalidate, and
+// the CSR is marked stale for lazy rebuild, but the incrementally
+// maintained topo/anchors caches are kept.
+func (g *Graph) editBump() {
+	g.generation++
+	g.csrDirty = true
 }
 
 // Generation returns a counter that increases on every structural mutation
-// of the graph: AddOp, AddSeq, AddMin, AddMax, and AddSerialization all
-// bump it. External memoization layers (internal/engine) key cached
-// analyses on the pair (graph identity, generation): a cached result is
-// stale exactly when the generation has moved on, so staleness detection
-// is O(1) instead of a structural re-hash. Frozen graphs cannot mutate, so
-// their generation is fixed for life.
+// of the graph: AddOp, AddSeq, AddMin, AddMax, and AddSerialization bump
+// it while building, and ApplyEdit/RevertDelta bump it after Freeze.
+// External memoization layers (internal/engine) key cached analyses on the
+// pair (graph identity, generation): a cached result is stale exactly when
+// the generation has moved on, so staleness detection is O(1) instead of a
+// structural re-hash. A frozen graph's generation moves only through the
+// delta API (delta.go), which keeps the Freeze-time caches consistent.
 func (g *Graph) Generation() uint64 { return g.generation }
 
 func (g *Graph) addEdge(e Edge) int {
@@ -421,10 +444,20 @@ func (g *Graph) Freeze() error {
 	g.topo = nil
 	g.anchors = nil
 	g.topo = g.TopoForward()
+	g.buildRanks()
 	g.anchors = nil
 	g.Anchors()
 	g.csr = buildCSR(g)
+	g.csrDirty = false
 	return nil
+}
+
+// buildRanks derives the topoPos rank array from g.topo.
+func (g *Graph) buildRanks() {
+	g.topoPos = make([]int32, len(g.vertices))
+	for i, v := range g.topo {
+		g.topoPos[v] = int32(i)
+	}
 }
 
 // MustFreeze is Freeze that panics on error, for graphs constructed by

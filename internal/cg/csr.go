@@ -55,7 +55,30 @@ func (c *CSR) N() int { return c.n }
 
 // CSR returns the frozen compressed layout of the graph, or nil when the
 // graph has not been frozen yet (mutable graphs have no stable layout).
-func (g *Graph) CSR() *CSR { return g.csr }
+// After a post-freeze edit (ApplyEdit/RevertDelta) the layout is rebuilt
+// lazily on the next call: chains of edits that stay on the adjacency
+// view never pay for it, while CSR consumers (Analyze, ReferenceCompute,
+// positive-cycle classification) transparently see the edited graph.
+// The lazy rebuild is a mutation of the cache: like edits themselves, a
+// first CSR() call after an edit must not race other graph readers.
+func (g *Graph) CSR() *CSR {
+	if g.csrDirty {
+		g.csr = buildCSR(g)
+		g.csrDirty = false
+	}
+	return g.csr
+}
+
+// csrView returns the CSR fast-path view, or nil when there is none OR
+// the cached one is stale from a post-freeze edit. Query helpers with an
+// adjacency fallback use this instead of g.csr so they stay correct (and
+// mutation-free) between an edit and the next CSR() rebuild.
+func (g *Graph) csrView() *CSR {
+	if g.csrDirty {
+		return nil
+	}
+	return g.csr
+}
 
 // buildCSR freezes the adjacency into flat arrays. Called by Freeze once
 // validation has succeeded and the topological order is cached.

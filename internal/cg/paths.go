@@ -20,7 +20,7 @@ func (g *Graph) LongestForwardFrom(src VertexID) []int {
 		dist[i] = Unreachable
 	}
 	dist[src] = 0
-	if c := g.csr; c != nil {
+	if c := g.csrView(); c != nil {
 		for k := range c.TopoFrom {
 			f := dist[c.TopoFrom[k]]
 			if f == Unreachable {
@@ -66,7 +66,7 @@ func (g *Graph) LongestFrom(src VertexID) ([]int, bool) {
 		dist[i] = Unreachable
 	}
 	dist[src] = 0
-	if c := g.csr; c != nil {
+	if c := g.csrView(); c != nil {
 		return dist, c.relaxLongest(dist, n)
 	}
 	for iter := 0; iter < n-1; iter++ {
@@ -178,7 +178,7 @@ func (g *Graph) HasPositiveCycle() bool {
 	// with weight 0, so cycles in any component are found.
 	n := len(g.vertices)
 	dist := make([]int, n) // all zero: the virtual source relaxation
-	if c := g.csr; c != nil {
+	if c := g.csrView(); c != nil {
 		from, to, w := c.AllFrom, c.AllTo, c.AllW
 		for iter := 0; iter < n; iter++ {
 			changed := false

@@ -105,7 +105,7 @@ func (g *Graph) floodForward(v VertexID, seen []bool) {
 	stack := make([]VertexID, 0, 64)
 	seen[v] = true
 	stack = append(stack, v)
-	if c := g.csr; c != nil {
+	if c := g.csrView(); c != nil {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]

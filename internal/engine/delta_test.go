@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/paperex"
+	"repro/internal/relsched"
+)
+
+// TestApplyDeltaWarmPath pins the delta caching contract: after
+// ApplyDelta, resubmitting the edited graph is a warm hit — counted as a
+// cache hit (conservation laws intact) and a delta warm hit, with no
+// fingerprint stage observation.
+func TestApplyDeltaWarmPath(t *testing.T) {
+	e := New(Options{Workers: 1})
+	g := paperex.Fig10()
+	base := e.Schedule(context.Background(), Job{ID: "seed", Graph: g})
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+
+	// Engine cache entries are shared: fork before editing.
+	f, err := base.Schedule.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	v2 := f.G.VertexByName("v2")
+	v7 := f.G.VertexByName("v7")
+	next, err := e.ApplyDelta(f, cg.AddMaxEdit(v2, v7, 4))
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if o, _ := next.Offset(next.G.Source(), v2, relsched.FullAnchors); o != 8 {
+		t.Errorf("σ_v0(v2) = %d, want 8 after tightening", o)
+	}
+
+	fpBefore := e.Metrics().Snapshot().Histograms[MetricStageFingerprint].Count
+	res := e.Schedule(context.Background(), Job{ID: "warm", Graph: next.G})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.CacheHit {
+		t.Error("job on delta-edited graph missed the warm map")
+	}
+	if res.Schedule != next {
+		t.Error("warm hit did not return the delta schedule")
+	}
+	snap := e.Metrics().Snapshot()
+	if got := snap.Counters[MetricDeltaWarmHits]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDeltaWarmHits, got)
+	}
+	if got := snap.Counters[MetricDeltaApplied]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDeltaApplied, got)
+	}
+	if got := snap.Histograms[MetricStageFingerprint].Count; got != fpBefore {
+		t.Errorf("warm hit ran the fingerprint stage (%d → %d observations)", fpBefore, got)
+	}
+	// Conservation: lookups = hits + misses must survive the warm path.
+	if l, h, m := snap.Counters[MetricCacheLookups], snap.Counters[MetricCacheHits], snap.Counters[MetricCacheMisses]; l != h+m {
+		t.Errorf("lookups(%d) != hits(%d) + misses(%d)", l, h, m)
+	}
+
+	// A further edit invalidates the warm entry: the job falls through to
+	// the fingerprint path (and misses, since this graph was never
+	// fingerprint-cached).
+	next2, err := e.ApplyDelta(next, cg.AddMinEdit(v2, v7, 3))
+	if err != nil {
+		t.Fatalf("second ApplyDelta: %v", err)
+	}
+	res2 := e.Schedule(context.Background(), Job{ID: "warm2", Graph: next2.G})
+	if res2.Err != nil || !res2.CacheHit {
+		t.Errorf("chained delta job: err=%v hit=%v, want warm hit", res2.Err, res2.CacheHit)
+	}
+	if got := e.Metrics().Snapshot().Counters[MetricDeltaWarmHits]; got != 2 {
+		t.Errorf("%s = %d after chain, want 2", MetricDeltaWarmHits, got)
+	}
+}
+
+// TestApplyDeltaFailure checks the rejected-delta path: typed error out,
+// graph rolled back, base still fresh, failure counted.
+func TestApplyDeltaFailure(t *testing.T) {
+	e := New(Options{Workers: 1})
+	g := paperex.Fig10()
+	res := e.Schedule(context.Background(), Job{ID: "seed", Graph: g})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	f, err := res.Schedule.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := f.G.VertexByName("v1")
+	v3 := f.G.VertexByName("v3")
+	if _, err := e.ApplyDelta(f, cg.AddMaxEdit(v1, v3, 3)); !errors.Is(err, relsched.ErrUnfeasible) {
+		t.Fatalf("unfeasible delta: got %v, want ErrUnfeasible", err)
+	}
+	snap := e.Metrics().Snapshot()
+	if got := snap.Counters[MetricDeltaFailed]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDeltaFailed, got)
+	}
+	// The rollback restored the fork's generation, so it can still apply.
+	v2 := f.G.VertexByName("v2")
+	v7 := f.G.VertexByName("v7")
+	if _, err := e.ApplyDelta(f, cg.AddMaxEdit(v2, v7, 4)); err != nil {
+		t.Errorf("delta after rejected probe: %v", err)
+	}
+}

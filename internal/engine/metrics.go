@@ -37,13 +37,24 @@ const (
 	// admission layer on the shared registry. Conservation: HTTP jobs
 	// requested = accepted + shed (pinned by internal/serve tests).
 	MetricJobsShed = "engine.jobs.shed"
+	// Reactive delta counters (Engine.ApplyDelta, see delta.go):
+	// incremental re-schedules that succeeded / were rejected, and jobs
+	// answered from the generation-keyed warm map without fingerprinting.
+	// Warm hits also count as cache lookups + hits, so the conservation
+	// laws above hold unchanged; warm_hits <= hits refines the split.
+	MetricDeltaApplied  = "engine.delta.applied"
+	MetricDeltaFailed   = "engine.delta.failed"
+	MetricDeltaWarmHits = "engine.delta.warm_hits"
 	// Per-stage latency histograms of the scheduling pipeline.
 	MetricStageFingerprint = "engine.stage.fingerprint"
 	MetricStageCache       = "engine.stage.cache"
 	MetricStageWellpose    = "engine.stage.wellpose"
 	MetricStageAnalyze     = "engine.stage.analyze"
 	MetricStageSchedule    = "engine.stage.schedule"
-	MetricJobDuration      = "engine.job.duration"
+	// MetricStageDelta times Engine.ApplyDelta end to end (the
+	// incremental counterpart of wellpose+analyze+schedule combined).
+	MetricStageDelta  = "engine.stage.delta"
+	MetricJobDuration = "engine.job.duration"
 	// Inner-loop counters fed by relsched.Hooks: IncrementalOffset sweeps
 	// (Theorem 8), offsets raised by ReadjustOffsets passes, and
 	// serialization edges added by makeWellposed (Theorem 7).
@@ -59,11 +70,12 @@ type engineMetrics struct {
 	submitted, completed, failed, cancelled    *obs.Counter
 	lookups, hits, misses, evictions           *obs.Counter
 	suppressed, computes                       *obs.Counter
+	deltaApplied, deltaFailed, warmHits        *obs.Counter
 	relaxSweeps, readjusted, serialEdges       *obs.Counter
 	inflight, queueDepth                       *obs.Gauge
 	stageFingerprint, stageCache               *obs.Histogram
 	stageWellpose, stageAnalyze, stageSchedule *obs.Histogram
-	jobDuration                                *obs.Histogram
+	stageDelta, jobDuration                    *obs.Histogram
 }
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
@@ -78,6 +90,9 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		evictions:        r.Counter(MetricCacheEvictions),
 		suppressed:       r.Counter(MetricDuplicateSuppressed),
 		computes:         r.Counter(MetricComputes),
+		deltaApplied:     r.Counter(MetricDeltaApplied),
+		deltaFailed:      r.Counter(MetricDeltaFailed),
+		warmHits:         r.Counter(MetricDeltaWarmHits),
 		relaxSweeps:      r.Counter(MetricRelaxSweeps),
 		readjusted:       r.Counter(MetricReadjustedOffsets),
 		serialEdges:      r.Counter(MetricSerializationEdges),
@@ -88,6 +103,7 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		stageWellpose:    r.Histogram(MetricStageWellpose),
 		stageAnalyze:     r.Histogram(MetricStageAnalyze),
 		stageSchedule:    r.Histogram(MetricStageSchedule),
+		stageDelta:       r.Histogram(MetricStageDelta),
 		jobDuration:      r.Histogram(MetricJobDuration),
 	}
 }

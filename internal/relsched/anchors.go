@@ -214,30 +214,38 @@ func (ai *AnchorInfo) irredundantAnchors(longest [][]int) {
 	ai.Irredundant = bitset.NewArena(g.N(), len(ai.List))
 	full := make([]int, 0, len(ai.List))
 	for v := 0; v < g.N(); v++ {
-		ir := ai.Irredundant[v]
-		ir.CopyFrom(ai.Full[v])
-		full = ai.Full[v].AppendTo(full[:0])
-		for _, qi := range full {
-			q := ai.List[qi]
-			if cg.VertexID(v) == q {
+		full = ai.irredundantAt(v, longest, ai.Irredundant[v], full)
+	}
+}
+
+// irredundantAt runs the Definition 11 domination test at one vertex,
+// filling ir with IR(v). full is a reusable scratch buffer, returned for
+// recycling. Factored out of irredundantAnchors so the delta path
+// (delta.go) can re-derive IR(v) for just the vertices an edit touched.
+func (ai *AnchorInfo) irredundantAt(v int, longest [][]int, ir bitset.Set, full []int) []int {
+	ir.CopyFrom(ai.Full[v])
+	full = ai.Full[v].AppendTo(full[:0])
+	for _, qi := range full {
+		q := ai.List[qi]
+		if cg.VertexID(v) == q {
+			continue
+		}
+		for _, xi := range full {
+			if xi == qi || !ai.Full[q].Has(xi) {
 				continue
 			}
-			for _, xi := range full {
-				if xi == qi || !ai.Full[q].Has(xi) {
-					continue
-				}
-				lxv := longest[xi][v]
-				lxq := longest[xi][q]
-				lqv := longest[qi][v]
-				if lxq == cg.Unreachable || lqv == cg.Unreachable {
-					continue
-				}
-				if lxv <= lxq+lqv {
-					ir.Remove(xi)
-				}
+			lxv := longest[xi][v]
+			lxq := longest[xi][q]
+			lqv := longest[qi][v]
+			if lxq == cg.Unreachable || lqv == cg.Unreachable {
+				continue
+			}
+			if lxv <= lxq+lqv {
+				ir.Remove(xi)
 			}
 		}
 	}
+	return full
 }
 
 // Analyze computes the anchor, relevant-anchor and irredundant-anchor sets

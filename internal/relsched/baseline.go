@@ -62,6 +62,7 @@ func DecompositionSchedule(info *AnchorInfo) (*Schedule, error) {
 	nA := len(info.List)
 	s := &Schedule{G: g, Info: info, nV: g.N()}
 	s.off = make([]int, nA*g.N())
+	s.bindRows(nA)
 	for ai, a := range info.List {
 		dist, ok := g.LongestFrom(a)
 		if !ok {
@@ -80,12 +81,18 @@ func DecompositionSchedule(info *AnchorInfo) (*Schedule, error) {
 // sets. Schedules must be
 // over the same graph and anchor analysis.
 func EqualOffsets(a, b *Schedule) bool {
-	if a.G != b.G || len(a.off) != len(b.off) || a.nV != b.nV {
+	if a.G != b.G || a.nV != b.nV || len(a.rows) != len(b.rows) {
 		return false
 	}
-	for i := range a.off {
-		if a.off[i] != b.off[i] {
-			return false
+	for ai := range a.rows {
+		ra, rb := a.rows[ai], b.rows[ai]
+		if len(ra) > 0 && len(rb) > 0 && &ra[0] == &rb[0] {
+			continue // copy-on-write chains share unchanged rows
+		}
+		for v := range ra {
+			if ra[v] != rb[v] {
+				return false
+			}
 		}
 	}
 	return true

@@ -1,0 +1,276 @@
+package relsched_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/paperex"
+	"repro/internal/randgraph"
+	"repro/internal/relsched"
+)
+
+// This file pins the reactive delta layer (Schedule.Apply) to the seed
+// oracle: after EVERY edit in randomized add/remove/insert sequences, the
+// incrementally maintained schedule must agree with a cold
+// ReferenceCompute of the edited graph — on the raw offset table, on
+// every anchor-mode projection, and on the anchor-set analysis itself.
+// Rejected edits must leave the live schedule untouched and the graph
+// reverted, so the chain continues from the same state.
+
+// agreeWithReference cross-checks the delta schedule against a cold
+// reference run on the (shared, edited) graph.
+func agreeWithReference(t *testing.T, label string, s *relsched.Schedule) {
+	t.Helper()
+	ref, err := relsched.ReferenceCompute(s.G)
+	if err != nil {
+		t.Fatalf("%s: ReferenceCompute on live graph failed: %v", label, err)
+	}
+	agreeEverywhere(t, label, s, ref)
+	if err := relsched.Verify(s); err != nil {
+		t.Fatalf("%s: Verify: %v", label, err)
+	}
+	// The analysis tables must match set-for-set, not just through the
+	// Offset projection: Full (Theorem 2 containment), Relevant
+	// (Definitions 8–9), Irredundant (Definition 11).
+	for v := 0; v < s.G.N(); v++ {
+		if !s.Info.Full[v].Equal(ref.Info.Full[v]) {
+			t.Fatalf("%s: Full[%d] = %v, reference %v", label, v, s.Info.Full[v].Elements(), ref.Info.Full[v].Elements())
+		}
+		if !s.Info.Relevant[v].Equal(ref.Info.Relevant[v]) {
+			t.Fatalf("%s: Relevant[%d] = %v, reference %v", label, v, s.Info.Relevant[v].Elements(), ref.Info.Relevant[v].Elements())
+		}
+		if !s.Info.Irredundant[v].Equal(ref.Info.Irredundant[v]) {
+			t.Fatalf("%s: Irredundant[%d] = %v, reference %v", label, v, s.Info.Irredundant[v].Elements(), ref.Info.Irredundant[v].Elements())
+		}
+	}
+}
+
+// randomEdit draws one edit biased toward additions, with removals and
+// the occasional vertex insertion mixed in. Most draws are rejectable
+// (cycles, polarity, ill-posedness) — that is the point: the sequence
+// exercises revert as hard as apply.
+func randomEdit(rng *rand.Rand, g *cg.Graph) cg.Edit {
+	n := g.N()
+	pick := func() (cg.VertexID, cg.VertexID) {
+		return cg.VertexID(rng.Intn(n)), cg.VertexID(rng.Intn(n))
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		f, to := pick()
+		return cg.AddMinEdit(f, to, rng.Intn(4))
+	case 3, 4, 5:
+		f, to := pick()
+		return cg.AddMaxEdit(f, to, 1+rng.Intn(12))
+	case 6, 7:
+		return cg.RemoveEdgeEdit(rng.Intn(g.M()))
+	case 8:
+		f, to := pick()
+		return cg.AddSerializationEdit(f, to)
+	default:
+		f, to := pick()
+		return cg.InsertOpEdit("", cg.Cycles(rng.Intn(3)), f, to)
+	}
+}
+
+// TestDeltaEditSequenceDifferential is the main oracle: randomized edit
+// sequences over random graphs, per-edit equality with the reference
+// pipeline.
+func TestDeltaEditSequenceDifferential(t *testing.T) {
+	cfg := randgraph.Default()
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := randgraph.Generate(cfg, rng)
+			s, err := relsched.Compute(g)
+			if err != nil {
+				t.Skipf("seed graph unschedulable: %v", err)
+			}
+			applied, rejected := 0, 0
+			for step := 0; step < 40; step++ {
+				ed := randomEdit(rng, g)
+				gen := g.Generation()
+				m, n := g.M(), g.N()
+				next, err := s.Apply(ed)
+				label := fmt.Sprintf("step %d (%v)", step, ed.Op)
+				if err != nil {
+					rejected++
+					if g.Generation() != gen || g.M() != m || g.N() != n {
+						t.Fatalf("%s: rejected edit mutated the graph", label)
+					}
+					// The live schedule must still be the graph's valid
+					// schedule, and still fresh for the next edit.
+					agreeWithReference(t, label+" after reject", s)
+					continue
+				}
+				applied++
+				agreeWithReference(t, label, next)
+				s = next
+			}
+			if applied == 0 {
+				t.Error("edit sequence applied nothing; generator too hostile")
+			}
+			t.Logf("applied %d, rejected %d", applied, rejected)
+		})
+	}
+}
+
+// TestDeltaTransactionalMultiEdit checks the all-or-nothing contract: a
+// batch whose last edit fails must unwind the earlier edits.
+func TestDeltaTransactionalMultiEdit(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := g.VertexByName("v1")
+	v2 := g.VertexByName("v2")
+	v3 := g.VertexByName("v3")
+	v7 := g.VertexByName("v7")
+	gen := g.Generation()
+	m := g.M()
+
+	// Edit 1 alone is fine; edit 2 is unfeasible (max 3 against min 4).
+	_, err = s.Apply(
+		cg.AddMaxEdit(v2, v7, 4),
+		cg.AddMaxEdit(v1, v3, 3),
+	)
+	if !errors.Is(err, relsched.ErrUnfeasible) {
+		t.Fatalf("batch: got %v, want ErrUnfeasible", err)
+	}
+	if g.M() != m || g.Generation() != gen {
+		t.Fatalf("failed batch left edits behind (M %d→%d, gen %d→%d)", m, g.M(), gen, g.Generation())
+	}
+	agreeWithReference(t, "after failed batch", s)
+
+	// The same batch without the poison pill applies atomically.
+	next, err := s.Apply(
+		cg.AddMaxEdit(v2, v7, 4),
+		cg.AddMinEdit(v1, v3, 9),
+	)
+	if err != nil {
+		t.Fatalf("good batch: %v", err)
+	}
+	agreeWithReference(t, "after good batch", next)
+}
+
+// TestDeltaInsertOp covers the vertex-insertion path: bounded inserts
+// rebuild cold (with anchors pinned), unbounded inserts are typed
+// anchor-drift rejections.
+func TestDeltaInsertOp(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := g.VertexByName("v2")
+	v7 := g.VertexByName("v7")
+
+	next, err := s.Apply(cg.InsertOpEdit("patch", cg.Cycles(2), v2, v7))
+	if err != nil {
+		t.Fatalf("bounded insert: %v", err)
+	}
+	agreeWithReference(t, "bounded insert", next)
+
+	var drift *relsched.AnchorDriftError
+	if _, err := next.Apply(cg.InsertOpEdit("osc", cg.UnboundedDelay(), v2, v7)); !errors.As(err, &drift) {
+		t.Fatalf("unbounded insert: got %v, want AnchorDriftError", err)
+	}
+	agreeWithReference(t, "after drift reject", next)
+}
+
+// TestDeltaStaleAndFork pins the generation contract: only the newest
+// schedule applies deltas, and Fork yields an independently editable
+// graph for schedules held by caches.
+func TestDeltaStaleAndFork(t *testing.T) {
+	g := paperex.Fig10()
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := g.VertexByName("v2")
+	v7 := g.VertexByName("v7")
+
+	f, err := s.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if f.G == s.G {
+		t.Fatal("Fork shares the graph")
+	}
+	mBase := g.M()
+	if _, err := f.Apply(cg.AddMaxEdit(v2, v7, 4)); err != nil {
+		t.Fatalf("Apply on fork: %v", err)
+	}
+	if g.M() != mBase {
+		t.Error("editing the fork mutated the original graph")
+	}
+
+	next, err := s.Apply(cg.AddMaxEdit(v2, v7, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(cg.AddMinEdit(v2, v7, 1)); !errors.Is(err, relsched.ErrStaleSchedule) {
+		t.Errorf("stale Apply: got %v, want ErrStaleSchedule", err)
+	}
+	if _, err := s.Fork(); !errors.Is(err, relsched.ErrStaleSchedule) {
+		t.Errorf("stale Fork: got %v, want ErrStaleSchedule", err)
+	}
+	agreeWithReference(t, "newest after stale probes", next)
+}
+
+// TestDeltaConcurrentReaders runs Offset readers on the base schedule
+// while a chain of constraint-only deltas applies — the copy-on-write
+// contract says base reads never observe the edits. Run under -race.
+func TestDeltaConcurrentReaders(t *testing.T) {
+	g := randgraph.Chain(2000, 500)
+	s, err := relsched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := s.Info.List
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := anchors[rng.Intn(len(anchors))]
+				v := cg.VertexID(rng.Intn(2000))
+				if o, ok := s.Offset(a, v, relsched.FullAnchors); ok && o < 0 {
+					t.Errorf("negative offset %d", o)
+					return
+				}
+			}
+		}(r)
+	}
+	cur := s
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 30; i++ {
+		// Constraint-only edits (no InsertOp): those are the ones the
+		// reader contract covers.
+		lo := cg.VertexID(1 + rng.Intn(1000))
+		hi := lo + cg.VertexID(1+rng.Intn(900))
+		next, err := cur.Apply(cg.AddMaxEdit(lo, hi, 4000))
+		if err != nil {
+			continue
+		}
+		cur = next
+	}
+	close(stop)
+	wg.Wait()
+	if err := relsched.Verify(cur); err != nil {
+		t.Fatalf("final Verify: %v", err)
+	}
+}

@@ -1,8 +1,6 @@
 package relsched
 
 import (
-	"fmt"
-
 	"repro/internal/cg"
 )
 
@@ -10,77 +8,25 @@ import (
 // with one additional maximum timing constraint σ(to) ≤ σ(from) + u,
 // without rescheduling from scratch: by Lemma 8, offsets only ever
 // increase as constraints are added, so the existing offsets warm-start
-// the iterative incremental engine. The receiver and its graph are not
-// modified; the result owns a new graph.
+// a cone-bounded raise-only relaxation (see Apply). The edit mutates the
+// schedule's graph in place — the receiver becomes stale on success, and
+// readers of the receiver keep seeing its own (copy-on-write) offsets.
+// On failure the edit is reverted and the receiver remains the graph's
+// valid schedule.
 //
 // The usual failure modes apply: the added constraint can make the graph
 // ill-posed (IllPosedError), unfeasible (ErrUnfeasible), or inconsistent
-// (ErrInconsistent).
+// (ErrInconsistent). The receiver's Options and Hooks carry over to the
+// new schedule, matching a cold Compute with the same configuration.
 func (s *Schedule) WithMaxConstraint(from, to cg.VertexID, u int) (*Schedule, error) {
-	g2 := s.G.Clone()
-	g2.AddMax(from, to, u)
-	return s.reschedule(g2)
+	return s.Apply(cg.AddMaxEdit(from, to, u))
 }
 
-// WithMinConstraint is WithMaxConstraint (the Lemma 8 warm-start path) for
-// a minimum timing constraint σ(to) ≥ σ(from) + l of Table I. Minimum constraints are always well-posed, but the
-// new forward edge may close a forward cycle (rejected) or interact with
-// existing maximum constraints into inconsistency.
+// WithMinConstraint is WithMaxConstraint (the Lemma 8 warm-start path)
+// for a minimum timing constraint σ(to) ≥ σ(from) + l of Table I.
+// Minimum constraints are always well-posed, but the new forward edge
+// may close a forward cycle (rejected) or interact with existing maximum
+// constraints into inconsistency.
 func (s *Schedule) WithMinConstraint(from, to cg.VertexID, l int) (*Schedule, error) {
-	g2 := s.G.Clone()
-	g2.AddMin(from, to, l)
-	return s.reschedule(g2)
-}
-
-// reschedule freezes and re-analyzes the modified graph, then runs the
-// scheduler warm-started from the receiver's offsets.
-func (s *Schedule) reschedule(g2 *cg.Graph) (*Schedule, error) {
-	if err := g2.Freeze(); err != nil {
-		return nil, err
-	}
-	if err := CheckWellPosed(g2); err != nil {
-		return nil, err
-	}
-	info, err := Analyze(g2)
-	if err != nil {
-		return nil, err
-	}
-	// Anchors are delay-determined (Definition 2); adding a constraint
-	// edge cannot change them. The warm start below copies offsets by
-	// anchor *index*, so a mere length check is not enough: if the anchor
-	// lists ever disagreed element-wise, offsets computed against one
-	// anchor would silently seed another's row. Assert identity
-	// index-by-index before trusting the alignment.
-	if len(info.List) != len(s.Info.List) {
-		return nil, fmt.Errorf("relsched: internal: anchor count changed on constraint addition (%d -> %d)",
-			len(s.Info.List), len(info.List))
-	}
-	for i, a := range info.List {
-		if s.Info.List[i] != a {
-			return nil, fmt.Errorf("relsched: internal: anchor %d changed on constraint addition (%d -> %d)",
-				i, s.Info.List[i], a)
-		}
-	}
-	next := &Schedule{G: g2, Info: info, nV: g2.N()}
-	sc := schedulePool.Get().(*scratch)
-	next.off = sc.offsets(len(info.List) * g2.N())
-	next.initOffsets()
-	// Warm start: previous offsets are valid lower bounds (Lemma 8 —
-	// offsets are lengths of paths, and every old path still exists). The
-	// graphs have identical vertex and anchor numbering, so the flat
-	// arenas align element-wise.
-	for i, prev := range s.off {
-		if prev != NoOffset && prev > next.off[i] {
-			next.off[i] = prev
-		}
-	}
-	// solve derives its active bitset from the warm-started values, so the
-	// copied entries participate from the first sweep.
-	if err := next.solve(nil, Options{}, sc); err != nil {
-		schedulePool.Put(sc)
-		return nil, err
-	}
-	sc.off = nil
-	schedulePool.Put(sc)
-	return next, nil
+	return s.Apply(cg.AddMinEdit(from, to, l))
 }

@@ -14,7 +14,9 @@ import (
 
 // TestIncrementalMatchesCold adds constraints to scheduled graphs and
 // checks that the warm-started incremental schedule equals a cold
-// reschedule of the modified graph.
+// reschedule of the modified graph. Edits mutate the graph in place, so
+// failing probes (which revert) run first, chains continue from the
+// newest schedule, and a delta removal restores the base graph.
 func TestIncrementalMatchesCold(t *testing.T) {
 	g := paperex.Fig10()
 	s, err := relsched.Compute(g)
@@ -25,6 +27,12 @@ func TestIncrementalMatchesCold(t *testing.T) {
 	v2 := g.VertexByName("v2")
 	v3 := g.VertexByName("v3")
 	v7 := g.VertexByName("v7")
+
+	// An over-tight bound across the v1→v3 minimum constraint (4 cycles)
+	// is unfeasible; the edit is reverted, so s stays fresh.
+	if _, err := s.WithMaxConstraint(v1, v3, 3); !errors.Is(err, relsched.ErrUnfeasible) {
+		t.Errorf("expected ErrUnfeasible for u=3 against l=4, got %v", err)
+	}
 
 	// Tighten: v7 at most 4 cycles after v2 (currently σ_v0 separation is
 	// 12 − 5 = 7). σ_v0(v7) = 12 is pinned by the v6 path, so v2 must
@@ -47,19 +55,33 @@ func TestIncrementalMatchesCold(t *testing.T) {
 		t.Errorf("σ_v0(v2) = %d, want 8 after tightening", o)
 	}
 
-	// An over-tight bound across the v1→v3 minimum constraint (4 cycles)
-	// is unfeasible.
-	if _, err := s.WithMaxConstraint(v1, v3, 3); !errors.Is(err, relsched.ErrUnfeasible) {
-		t.Errorf("expected ErrUnfeasible for u=3 against l=4, got %v", err)
+	// The edit advanced the graph generation, so the base schedule may no
+	// longer apply deltas.
+	if _, err := s.WithMinConstraint(v1, v3, 9); !errors.Is(err, relsched.ErrStaleSchedule) {
+		t.Errorf("stale base schedule: got %v, want ErrStaleSchedule", err)
+	}
+
+	// Removing the constraint just added (it was appended, so it is the
+	// last edge) restores the base graph; the cone-recompute removal path
+	// must land back on the original offsets exactly.
+	restored, err := warm.Apply(cg.RemoveEdgeEdit(g.M() - 1))
+	if err != nil {
+		t.Fatalf("Apply(remove): %v", err)
+	}
+	if !relsched.EqualOffsets(restored, s) {
+		t.Error("removing the added constraint did not restore the base offsets")
 	}
 
 	// A minimum constraint pushes v3 out.
-	warm2, err := s.WithMinConstraint(v1, v3, 9)
+	warm2, err := restored.WithMinConstraint(v1, v3, 9)
 	if err != nil {
 		t.Fatalf("WithMinConstraint: %v", err)
 	}
 	if o, _ := warm2.Offset(g.Source(), v3, relsched.FullAnchors); o != 11 {
 		t.Errorf("σ_v0(v3) = %d, want 11 (σ_v0(v1)=2 + 9)", o)
+	}
+	if err := relsched.Verify(warm2); err != nil {
+		t.Fatalf("Verify(warm2): %v", err)
 	}
 }
 

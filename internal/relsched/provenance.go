@@ -123,7 +123,7 @@ func (ex *Explainer) Explain(v cg.VertexID, mode AnchorMode) (*VertexProvenance,
 		if !s.inMode(ai, v, mode) {
 			continue
 		}
-		off := s.off[ai*s.nV+int(v)]
+		off := s.rows[ai][v]
 		if off == NoOffset {
 			// Anchor-set membership without an offset cannot happen on a
 			// well-posed scheduled graph; guard anyway.

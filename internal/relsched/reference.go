@@ -332,6 +332,7 @@ func (r *referenceSchedule) toSchedule() *Schedule {
 	g := r.info.G
 	s := &Schedule{G: g, Info: r.info, Iterations: r.iterations, nV: g.N()}
 	s.off = make([]int, len(r.info.List)*g.N())
+	s.bindRows(len(r.info.List))
 	for ai := range r.off {
 		copy(s.row(ai), r.off[ai])
 	}

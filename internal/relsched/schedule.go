@@ -88,14 +88,44 @@ type Schedule struct {
 	// off is the σ table as one flat arena: off[ai*nV+v] is σ_a(v) for
 	// anchor index ai, or NoOffset. A single allocation (pooled while the
 	// scheduler is still iterating) replaces the per-anchor [][]int rows
-	// the seed implementation kept — see docs/PERFORMANCE.md.
+	// the seed implementation kept — see docs/PERFORMANCE.md. Cold-path
+	// only: schedules derived by Apply leave off nil and carry rows alone.
 	off []int
-	nV  int
+	// rows holds the per-anchor σ row views all readers go through. A cold
+	// compute slices them out of the off arena (bindRows); Apply shares
+	// the base schedule's rows and replaces only the ones an edit actually
+	// raises (row-granular copy-on-write — see docs/INCREMENTAL.md), so a
+	// delta's cost is proportional to its cone, not the table size.
+	rows [][]int
+	nV   int
+
+	// opt and hooks are the performance options and trace hooks the
+	// schedule was computed with. Derived schedules (Apply, the
+	// WithMax/WithMinConstraint probes) inherit them, so incremental
+	// re-schedules run with the same parallelism and tracing as the cold
+	// path that produced the base — see docs/INCREMENTAL.md.
+	opt   Options
+	hooks *Hooks
+
+	// gen is the graph generation this schedule describes. Apply demands
+	// gen == G.Generation(): in a chain of deltas only the newest
+	// schedule matches the live graph, and applying to a stale one would
+	// silently drop the edits that came after it (ErrStaleSchedule).
+	gen uint64
 }
 
-// row returns the σ_a(·) row of anchor index ai as a slice view into the
-// flat arena.
-func (s *Schedule) row(ai int) []int { return s.off[ai*s.nV : (ai+1)*s.nV] }
+// row returns the σ_a(·) row of anchor index ai.
+func (s *Schedule) row(ai int) []int { return s.rows[ai] }
+
+// bindRows slices the flat arena into the per-anchor row views. Every
+// cold construction calls this right after allocating off; delta-derived
+// schedules build rows by copy-on-write instead and never bind an arena.
+func (s *Schedule) bindRows(nA int) {
+	s.rows = make([][]int, nA)
+	for ai := range s.rows {
+		s.rows[ai] = s.off[ai*s.nV : (ai+1)*s.nV]
+	}
+}
 
 // Offset returns the minimum offset σ_a(v) of vertex v with respect to
 // anchor a (Definition 5) under the given mode. ok is false when a is not in v's anchor
@@ -105,7 +135,7 @@ func (s *Schedule) Offset(a, v cg.VertexID, mode AnchorMode) (offset int, ok boo
 	if !isAnchor || !s.inMode(ai, v, mode) {
 		return 0, false
 	}
-	return s.off[ai*s.nV+int(v)], true
+	return s.rows[ai][v], true
 }
 
 func (s *Schedule) inMode(ai int, v cg.VertexID, mode AnchorMode) bool {
@@ -230,7 +260,7 @@ func ComputeWellPosed(g *cg.Graph) (sched *Schedule, added int, err error) {
 // false while no path from the anchor has valued v yet (or none exists).
 // σ_a(a) is normalized to 0.
 func (s *Schedule) sigma(ai int, v cg.VertexID) (int, bool) {
-	if o := s.off[ai*s.nV+int(v)]; o != NoOffset {
+	if o := s.rows[ai][v]; o != NoOffset {
 		return o, true
 	}
 	return 0, false
@@ -282,9 +312,10 @@ func (sc *scratch) bitset(n int) []uint64 {
 // hook (nilable) observes each relaxation sweep and readjustment pass.
 func schedule(info *AnchorInfo, h *Hooks, opt Options) (*Schedule, error) {
 	g := info.G
-	s := &Schedule{G: g, Info: info, nV: g.N()}
+	s := &Schedule{G: g, Info: info, nV: g.N(), opt: opt, hooks: h, gen: g.Generation()}
 	sc := schedulePool.Get().(*scratch)
 	s.off = sc.offsets(len(info.List) * g.N())
+	s.bindRows(len(info.List))
 	s.initOffsets()
 	err := s.solve(h, opt, sc)
 	if err != nil {

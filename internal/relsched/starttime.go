@@ -70,7 +70,7 @@ func (s *Schedule) StartTimes(p DelayProfile, mode AnchorMode) ([]int, error) {
 				perr = err
 				return
 			}
-			if cand := t[a] + d + s.off[ai*s.nV+int(v)]; cand > best {
+			if cand := t[a] + d + s.rows[ai][v]; cand > best {
 				best = cand
 			}
 		})

@@ -39,6 +39,7 @@ func ComputeTrace(g *cg.Graph) (*Schedule, *Trace, error) {
 	nA := len(info.List)
 	s := &Schedule{G: g, Info: info, nV: g.N()}
 	s.off = make([]int, nA*g.N()) // unpooled: snapshots alias-copy rows anyway
+	s.bindRows(nA)
 	s.initOffsets()
 	tr := &Trace{Info: info}
 	snapshot := func(iter int, readjust bool) {

@@ -46,7 +46,7 @@ func Verify(s *Schedule) error {
 			if !s.Info.Reach[ai][v] {
 				continue
 			}
-			if got := s.off[ai*s.nV+v]; got != dist[v] {
+			if got := s.rows[ai][v]; got != dist[v] {
 				return fmt.Errorf("relsched: σ_%s(%s)=%d differs from longest path %d (Theorem 3)",
 					g.Name(a), g.Name(cg.VertexID(v)), got, dist[v])
 			}

@@ -193,15 +193,17 @@ func decodeJSONL(data []byte) ([]JobRequest, error) {
 	return reqs, nil
 }
 
-// handleJobGet is GET /v1/jobs/{id}: the job's current JobView — 200
-// with status queued/running/done/failed, or 404 for an ID the server
-// never accepted or has evicted. ?mode=full|relevant|irredundant picks
-// the offset table's anchor sets (default irredundant).
+// handleJobGet is GET and PATCH /v1/jobs/{id}. GET returns the job's
+// current JobView — 200 with status queued/running/done/failed, or 404
+// for an ID the server never accepted or has evicted. PATCH applies
+// graph edits through the incremental delta path (see handleJobPatch).
+// ?mode=full|relevant|irredundant picks the offset table's anchor sets
+// (default irredundant) for both methods.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	s.httpRequests.Inc()
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "use GET /v1/jobs/{id}")
+	if r.Method != http.MethodGet && r.Method != http.MethodPatch {
+		w.Header().Set("Allow", "GET, PATCH")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or PATCH /v1/jobs/{id}")
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
@@ -218,6 +220,10 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		mode = relsched.RelevantAnchors
 	default:
 		writeError(w, http.StatusBadRequest, "unknown mode %q (want full, relevant, or irredundant)", m)
+		return
+	}
+	if r.Method == http.MethodPatch {
+		s.handleJobPatch(w, r, id, mode)
 		return
 	}
 	rec, ok := s.job(id)

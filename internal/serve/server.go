@@ -110,6 +110,11 @@ const (
 	MetricWorkers = "serve.workers"
 	// MetricHTTPRequests counts API requests by coarse outcome.
 	MetricHTTPRequests = "serve.http.requests"
+	// MetricJobsPatched counts graph edits applied through
+	// PATCH /v1/jobs/{id} (one per edit, not per request). The engine's
+	// engine.delta.applied/failed counters split the same traffic by
+	// scheduling outcome.
+	MetricJobsPatched = "serve.jobs.patched"
 	// MetricJobLatency is the end-to-end latency histogram of accepted
 	// jobs: admission (202) to terminal state, queue wait included —
 	// what a client experiences under load, as opposed to
@@ -150,13 +155,16 @@ type JobView struct {
 	Status JobStatus `json:"status"`
 	Tenant string    `json:"tenant,omitempty"`
 	// Terminal-state fields.
-	CacheHit           bool   `json:"cache_hit,omitempty"`
-	DurationNS         int64  `json:"duration_ns,omitempty"`
-	Anchors            int    `json:"anchors,omitempty"`
-	Iterations         int    `json:"iterations,omitempty"`
-	SerializationEdges int    `json:"serialization_edges,omitempty"`
-	Error              string `json:"error,omitempty"`
-	ErrorKind          string `json:"error_kind,omitempty"`
+	CacheHit           bool  `json:"cache_hit,omitempty"`
+	DurationNS         int64 `json:"duration_ns,omitempty"`
+	Anchors            int   `json:"anchors,omitempty"`
+	Iterations         int   `json:"iterations,omitempty"`
+	SerializationEdges int   `json:"serialization_edges,omitempty"`
+	// Patches counts the graph edits applied via PATCH /v1/jobs/{id};
+	// the offset table below always reflects the patched schedule.
+	Patches   int    `json:"patches,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
 	// Offsets is the schedule's offset table in the CLI text format
 	// (GET only; mode selected by ?mode=full|relevant|irredundant,
 	// default irredundant).
@@ -175,6 +183,17 @@ type jobRecord struct {
 	status     JobStatus
 	result     engine.Result // valid once status is terminal
 	errKind    string
+
+	// renderMu serializes PATCH delta application against offset
+	// rendering: Schedule.Apply mutates the record's (private, forked)
+	// graph in place, and WriteOffsets walks that graph. Lock order is
+	// renderMu before storeMu, never the reverse — view and the patch
+	// handler take renderMu first and storeMu briefly inside.
+	renderMu sync.Mutex
+	// patches counts the graph edits applied via PATCH /v1/jobs/{id}.
+	// Zero means the record still shares the engine's immutable cache
+	// entry; the first patch forks it (see handleJobPatch).
+	patches int
 }
 
 // Server is the scheduling daemon. Create with New, mount via Handler,
@@ -192,6 +211,7 @@ type Server struct {
 	shed, shedQueue      *obs.Counter
 	shedRate, shedQuota  *obs.Counter
 	httpRequests         *obs.Counter
+	patched              *obs.Counter
 	jobLatency           *obs.Histogram
 	queueDepth, workersG *obs.Gauge
 	queueCap, resultCap  int
@@ -266,6 +286,7 @@ func New(opts Options) (*Server, error) {
 		shedRate:     reg.Counter(MetricShedRateLimited),
 		shedQuota:    reg.Counter(MetricShedQuota),
 		httpRequests: reg.Counter(MetricHTTPRequests),
+		patched:      reg.Counter(MetricJobsPatched),
 		jobLatency:   reg.Histogram(MetricJobLatency),
 		queueDepth:   reg.Gauge(MetricQueueDepth),
 		workersG:     reg.Gauge(MetricWorkers),
@@ -568,11 +589,17 @@ func (s *Server) job(id string) (*jobRecord, bool) {
 }
 
 // view renders a record. withOffsets adds the offset table (terminal
-// successful jobs only); the schedule is immutable once published, so
-// rendering happens outside the lock on a copied result.
+// successful jobs only); the schedule's offsets are immutable once
+// published, so rendering happens outside storeMu on a copied result —
+// but under the record's renderMu, because a concurrent PATCH mutates
+// the record's graph in place and the renderer walks it.
 func (s *Server) view(rec *jobRecord, mode relsched.AnchorMode, withOffsets bool) JobView {
+	if withOffsets {
+		rec.renderMu.Lock()
+		defer rec.renderMu.Unlock()
+	}
 	s.storeMu.Lock()
-	v := JobView{ID: rec.id, Status: rec.status, Tenant: rec.tenant}
+	v := JobView{ID: rec.id, Status: rec.status, Tenant: rec.tenant, Patches: rec.patches}
 	res := rec.result
 	errKind := rec.errKind
 	s.storeMu.Unlock()

@@ -192,3 +192,43 @@ func parLabel(par int) string {
 	}
 	return "par"
 }
+
+// BenchmarkDeltaEdit measures one incremental edit — adding and removing
+// a maximum constraint near the sink of a 100 000-vertex chain — through
+// Schedule.Apply. The edit's cone is the chain tail, so the cone-bounded
+// delta path re-schedules in microseconds where a cold recompute
+// (BenchmarkFullRecompute, same graph) takes milliseconds; the ratio is
+// the delta_speedup recorded in BENCH_engine.json.
+func BenchmarkDeltaEdit(b *testing.B) {
+	g := randgraph.Chain(100_000, 20_000)
+	s, err := relsched.Compute(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	u, v := cg.VertexID(n-3), cg.VertexID(n-2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s, err = s.Apply(cg.AddMaxEdit(u, v, 2)); err != nil {
+			b.Fatal(err)
+		}
+		if s, err = s.Apply(cg.RemoveEdgeEdit(s.G.M() - 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRecompute is the cold counterpart of BenchmarkDeltaEdit:
+// a from-scratch Compute of the same 100 000-vertex chain, the cost every
+// edit paid before the delta path existed.
+func BenchmarkFullRecompute(b *testing.B) {
+	g := randgraph.Chain(100_000, 20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relsched.Compute(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
