@@ -1,10 +1,11 @@
-// Command promlint validates Prometheus text exposition (format 0.0.4)
-// read from a file or stdin, using the same rules the obs unit tests
-// apply (obs.LintPrometheusText). CI's scrape smoke job runs it against
-// a live /metrics response so a malformed exposition fails the build
-// without pulling in a Prometheus client library.
+// Command promlint validates Prometheus text exposition (format 0.0.4,
+// with OpenMetrics-style exemplars tolerated on counters and histogram
+// buckets) read from files or stdin, using the same rules the obs unit
+// tests apply (obs.LintPrometheusText). CI's scrape smoke jobs run it
+// against live /metrics responses so a malformed exposition fails the
+// build without pulling in a Prometheus client library.
 //
-// usage: promlint [file]    (no file: read stdin)
+// usage: promlint [file ...]    (no files: read stdin)
 package main
 
 import (
@@ -15,25 +16,36 @@ import (
 	"repro/internal/obs"
 )
 
-func main() {
-	var r io.Reader = os.Stdin
-	name := "<stdin>"
-	switch {
-	case len(os.Args) > 2:
-		fmt.Fprintln(os.Stderr, "usage: promlint [file]")
-		os.Exit(2)
-	case len(os.Args) == 2:
-		f, err := os.Open(os.Args[1])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "promlint:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		r, name = f, os.Args[1]
-	}
+func lint(r io.Reader, name string) bool {
 	if err := obs.LintPrometheusText(r); err != nil {
 		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
-		os.Exit(1)
+		return false
 	}
 	fmt.Printf("promlint: %s: OK\n", name)
+	return true
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		if !lint(os.Stdin, "<stdin>") {
+			os.Exit(1)
+		}
+		return
+	}
+	ok := true
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			ok = false
+			continue
+		}
+		if !lint(f, path) {
+			ok = false
+		}
+		f.Close()
+	}
+	if !ok {
+		os.Exit(1)
+	}
 }

@@ -7,6 +7,7 @@
 //	relsched [flags] [graph.cg]
 //	relsched batch [flags] [dir | graph.cg ...]
 //	relsched serve [flags]
+//	relsched top [flags]
 //	relsched explain [flags] [graph.cg]
 //
 // With no file argument the graph is read from standard input.
@@ -24,7 +25,10 @@
 // subcommand runs the same engine as a long-running HTTP/JSON daemon —
 // bounded admission with backpressure, per-tenant rate limits, graceful
 // drain on SIGTERM — documented in docs/SERVICE.md; run `relsched serve
-// -h`. The explain subcommand prints schedule provenance — per vertex,
+// -h`. The top subcommand is a live dashboard for a running daemon:
+// queue and pool state, labeled request counters, and a tail of the
+// /v1/events lifecycle stream; run `relsched top -h`. The explain
+// subcommand prints schedule provenance — per vertex,
 // the binding constraint chain behind each offset, the slack, and the
 // margin of every maximum timing constraint; run `relsched explain -h`.
 package main
@@ -53,6 +57,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:], os.Stdout, serveSignals()); err != nil {
 			fmt.Fprintln(os.Stderr, "relsched serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "relsched top:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// This file is `relsched top`: a live ops dashboard for a running
+// `relsched serve` daemon, built entirely on the public HTTP surface —
+// /v1/status for the queue/pool/delta snapshot, /metrics for the
+// labeled RED counters, and the /v1/events SSE stream for a rolling
+// tail of lifecycle events. It needs nothing the daemon does not
+// already expose, so it works against any reachable instance.
+
+const topUsage = `usage: relsched top [flags]
+
+Watches a running relsched serve daemon: queue and worker-pool state,
+per-route request counters (RED), delta/patch totals, and a rolling
+tail of /v1/events lifecycle events, refreshed in place on an interval.
+
+flags:
+  -addr url     daemon base URL (default http://localhost:8080)
+  -interval d   refresh interval (default 2s)
+  -n count      stop after count refreshes; 0 = run until interrupted
+  -events k     tail the last k lifecycle events (0 disables the stream;
+                default 8)
+`
+
+// eventTail keeps the newest k events from /v1/events.
+type eventTail struct {
+	mu     sync.Mutex
+	ring   []serve.Event
+	cap    int
+	err    error // terminal stream error, shown once in the dashboard
+	closed bool  // stream ended (daemon drained or disconnected us)
+}
+
+func (et *eventTail) push(ev serve.Event) {
+	et.mu.Lock()
+	et.ring = append(et.ring, ev)
+	if len(et.ring) > et.cap {
+		et.ring = et.ring[len(et.ring)-et.cap:]
+	}
+	et.mu.Unlock()
+}
+
+func (et *eventTail) snapshot() ([]serve.Event, error, bool) {
+	et.mu.Lock()
+	defer et.mu.Unlock()
+	out := append([]serve.Event(nil), et.ring...)
+	return out, et.err, et.closed
+}
+
+// follow consumes the SSE stream into the tail until it ends.
+func (et *eventTail) follow(client *http.Client, url string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		et.mu.Lock()
+		et.err = err
+		et.closed = true
+		et.mu.Unlock()
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err == nil {
+			et.push(ev)
+		}
+	}
+	et.mu.Lock()
+	et.err = sc.Err()
+	et.closed = true
+	et.mu.Unlock()
+}
+
+// promSeries is one labeled sample scraped off /metrics.
+type promSeries struct {
+	labels string
+	value  float64
+}
+
+// scrapeCounter pulls every sample of one labeled counter family out of
+// a Prometheus text exposition, sorted by value descending.
+func scrapeCounter(body, name string) []promSeries {
+	var out []promSeries
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		rest := line[len(name):]
+		end := strings.LastIndexByte(rest, '}')
+		if end < 0 {
+			continue
+		}
+		fields := strings.Fields(rest[end+1:])
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, promSeries{labels: rest[1:end], value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].value != out[j].value {
+			return out[i].value > out[j].value
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// fetchStatus decodes /v1/status.
+func fetchStatus(client *http.Client, base string) (serve.StatusView, error) {
+	var sv serve.StatusView
+	resp, err := client.Get(base + "/v1/status")
+	if err != nil {
+		return sv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sv, fmt.Errorf("GET /v1/status: %s", resp.Status)
+	}
+	return sv, json.NewDecoder(resp.Body).Decode(&sv)
+}
+
+// fetchMetrics reads the /metrics text exposition.
+func fetchMetrics(client *http.Client, base string) (string, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// maxTopRoutes bounds the per-route table per refresh.
+const maxTopRoutes = 8
+
+// renderTop writes one dashboard frame.
+func renderTop(out io.Writer, base string, refresh int, sv serve.StatusView, metrics string, tail []serve.Event, tailErr error, tailClosed bool) {
+	fmt.Fprintf(out, "relsched top — %s — refresh %d — %s\n",
+		base, refresh, time.Now().UTC().Format(time.RFC3339))
+	state := "ready"
+	if sv.Draining {
+		state = "draining"
+	} else if !sv.Ready {
+		state = "not ready"
+	}
+	fmt.Fprintf(out, "state %-9s workers %-4d queue %d/%d  cache %d\n",
+		state, sv.Workers, sv.QueueDepth, sv.QueueCapacity, sv.CacheCapacity)
+	fmt.Fprintf(out, "jobs  queued %-4d running %-4d done %-6d failed %d\n",
+		sv.JobsQueued, sv.JobsRunning, sv.JobsDone, sv.JobsFailed)
+	fmt.Fprintf(out, "delta applied %-4d failed %-4d warm_hits %-4d patches %d\n",
+		sv.DeltaApplied, sv.DeltaFailed, sv.DeltaWarmHits, sv.Patches)
+	fmt.Fprintf(out, "spans dropped %d\n", sv.SpansDropped)
+
+	if routes := scrapeCounter(metrics, "relsched_serve_http_requests_total"); len(routes) > 0 {
+		fmt.Fprintln(out, "requests by {route,method,code}:")
+		for i, r := range routes {
+			if i >= maxTopRoutes {
+				fmt.Fprintf(out, "  … %d more series\n", len(routes)-maxTopRoutes)
+				break
+			}
+			fmt.Fprintf(out, "  %-60s %.0f\n", r.labels, r.value)
+		}
+	}
+	if tenants := scrapeCounter(metrics, "relsched_serve_tenant_jobs_total"); len(tenants) > 0 {
+		fmt.Fprintln(out, "tenant outcomes {tenant,outcome}:")
+		for i, r := range tenants {
+			if i >= maxTopRoutes {
+				fmt.Fprintf(out, "  … %d more series\n", len(tenants)-maxTopRoutes)
+				break
+			}
+			fmt.Fprintf(out, "  %-60s %.0f\n", r.labels, r.value)
+		}
+	}
+
+	switch {
+	case tailErr != nil:
+		fmt.Fprintf(out, "events: stream error: %v\n", tailErr)
+	case len(tail) > 0 || tailClosed:
+		fmt.Fprintln(out, "events (newest last):")
+		for _, ev := range tail {
+			line := fmt.Sprintf("  %s %s", time.Unix(0, ev.TS).UTC().Format("15:04:05.000"), ev.Type)
+			if ev.Job != "" {
+				line += " " + ev.Job
+			}
+			if ev.Tenant != "" {
+				line += " tenant=" + ev.Tenant
+			}
+			if ev.Reason != "" {
+				line += " reason=" + ev.Reason
+			}
+			if ev.Jobs > 0 {
+				line += fmt.Sprintf(" jobs=%d", ev.Jobs)
+			}
+			if ev.Edits > 0 {
+				line += fmt.Sprintf(" edits=%d", ev.Edits)
+			}
+			if ev.Flight != "" {
+				line += " flight=" + ev.Flight
+			}
+			fmt.Fprintln(out, line)
+		}
+		if tailClosed {
+			fmt.Fprintln(out, "  (stream ended — daemon drained or subscriber dropped)")
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+// runTop implements `relsched top`.
+func runTop(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	fs.Usage = func() { fmt.Fprint(os.Stderr, topUsage) }
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	count := fs.Int("n", 0, "refreshes before exiting (0 = until interrupted)")
+	tailDepth := fs.Int("events", 8, "lifecycle events tailed from /v1/events (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("top takes no positional arguments (got %q)", fs.Arg(0))
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive")
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{}
+
+	var tail *eventTail
+	if *tailDepth > 0 {
+		tail = &eventTail{cap: *tailDepth}
+		go tail.follow(client, base+"/v1/events")
+	}
+
+	for refresh := 1; ; refresh++ {
+		sv, err := fetchStatus(client, base)
+		if err != nil {
+			return err
+		}
+		metrics, err := fetchMetrics(client, base)
+		if err != nil {
+			return err
+		}
+		var events []serve.Event
+		var tailErr error
+		tailClosed := false
+		if tail != nil {
+			events, tailErr, tailClosed = tail.snapshot()
+		}
+		renderTop(stdout, base, refresh, sv, metrics, events, tailErr, tailClosed)
+		if *count > 0 && refresh >= *count {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}

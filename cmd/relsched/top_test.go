@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// waitForJob polls GET /v1/jobs/{id} until the job is terminal.
+func waitForJob(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil {
+			var v struct {
+				Status string `json:"status"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err == nil && (v.Status == "done" || v.Status == "failed") {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+}
+
+// TestTopAgainstLiveServe drives `relsched top -n 1` at a live daemon:
+// one refresh renders the status block, the labeled request counters,
+// and the event tail.
+func TestTopAgainstLiveServe(t *testing.T) {
+	base, sig, _, errc := startServe(t)
+
+	// Give the dashboard something to show: one scheduled job.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"id":"top-1","source":"graph t\nvertex a delay=1\nvertex sink delay=0\nseq v0 a\nseq a sink\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
+	}
+	waitForJob(t, base, "top-1")
+
+	var out bytes.Buffer
+	if err := runTop([]string{"-addr", base, "-n", "1", "-interval", "10ms", "-events", "4"}, &out); err != nil {
+		t.Fatalf("runTop: %v\noutput: %s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"relsched top — " + base,
+		"state ready",
+		"jobs  queued",
+		"delta applied",
+		"spans dropped",
+		"requests by {route,method,code}:",
+		`route="/v1/jobs",method="POST",code="202"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("top output lacks %q\noutput:\n%s", want, got)
+		}
+	}
+
+	sig <- syscall.SIGTERM
+	if err := <-errc; err != nil {
+		t.Fatalf("serve exited: %v", err)
+	}
+}
+
+// TestTopRejectsBadFlags covers the argument contract.
+func TestTopRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := runTop([]string{"positional"}, &out); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := runTop([]string{"-interval", "0s", "-n", "1"}, &out); err == nil {
+		t.Error("non-positive interval accepted")
+	}
+}

@@ -71,6 +71,14 @@ type engineBenchArtifact struct {
 	PooledSpeedup   float64 `json:"pooled_speedup_vs_sequential"`
 	MemoizedSpeedup float64 `json:"pooled_memoized_speedup_vs_sequential"`
 
+	// Per-core scaling: the cold and pooled speedups divided by the worker
+	// count, so runs at different GOMAXPROCS are comparable in
+	// BENCH_history.jsonl. 1.0 means perfect linear scaling of the pooled
+	// win; the cold number can exceed 1.0 because it also carries the
+	// single-threaded CSR/arena improvements.
+	ColdSpeedupPerCore   float64 `json:"cold_speedup_per_core"`
+	PooledSpeedupPerCore float64 `json:"pooled_speedup_per_core"`
+
 	SequentialJobsPerSec float64 `json:"sequential_jobs_per_sec"`
 	PooledJobsPerSec     float64 `json:"pooled_jobs_per_sec"`
 	MemoizedJobsPerSec   float64 `json:"pooled_memoized_jobs_per_sec"`
@@ -240,6 +248,9 @@ func TestEngineBenchArtifact(t *testing.T) {
 		PooledSpeedup:   float64(seqNS) / float64(pooledNS),
 		MemoizedSpeedup: float64(seqNS) / float64(memoNS),
 
+		ColdSpeedupPerCore:   float64(refNS) / float64(pooledNS) / float64(pooled.Workers()),
+		PooledSpeedupPerCore: float64(seqNS) / float64(pooledNS) / float64(pooled.Workers()),
+
 		SequentialJobsPerSec: float64(len(workload)) / seqNS.Seconds(),
 		PooledJobsPerSec:     float64(len(workload)) / pooledNS.Seconds(),
 		MemoizedJobsPerSec:   float64(len(workload)) / memoNS.Seconds(),
@@ -318,6 +329,10 @@ func validateColdFields(art engineBenchArtifact) error {
 		return fmt.Errorf("full_recompute_ns = %d, want > 0", art.FullRecomputeNS)
 	case art.DeltaSpeedup <= 0:
 		return fmt.Errorf("delta_speedup = %g, want > 0", art.DeltaSpeedup)
+	case art.ColdSpeedupPerCore <= 0:
+		return fmt.Errorf("cold_speedup_per_core = %g, want > 0", art.ColdSpeedupPerCore)
+	case art.PooledSpeedupPerCore <= 0:
+		return fmt.Errorf("pooled_speedup_per_core = %g, want > 0", art.PooledSpeedupPerCore)
 	case !art.IdenticalSchedules:
 		return fmt.Errorf("identical_schedules = false: offsets diverged from the oracle")
 	}

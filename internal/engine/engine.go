@@ -96,6 +96,17 @@ type Job struct {
 	WellPose bool
 	// Timeout overrides Options.JobTimeout for this job when positive.
 	Timeout time.Duration
+	// Parent, when set, becomes the parent of the job's "job" span, so a
+	// request-scoped root span opened by a serving layer owns the whole
+	// intake → schedule tree and trace exports group them together. Nil
+	// keeps the job span a root (batch workloads). The parent may already
+	// be ended: only its immutable identity is read.
+	Parent *trace.Span
+	// RequestID is the serving layer's request correlation ID; it is
+	// attached to the job span and to latency exemplars so a scrape
+	// outlier resolves back to the originating API request. Empty for
+	// batch workloads.
+	RequestID string
 }
 
 // Result is the outcome of one Job.
@@ -130,6 +141,11 @@ type Result struct {
 	// (Corollary 2), a graph-validation error, or a context error when
 	// the job was cancelled or timed out.
 	Err error
+	// FlightBundle is the path of the flight-recorder bundle this job's
+	// outcome triggered, empty when no dump was written. It also rides
+	// the job's latency exemplar, so a scraped outlier points at its
+	// evidence on disk.
+	FlightBundle string
 }
 
 // Engine schedules batches of constraint graphs concurrently. An Engine
@@ -372,8 +388,17 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	m.submitted.Inc()
 	m.inflight.Add(1)
 	res := Result{JobID: job.ID, Graph: job.Graph}
-	span := e.tracer.StartSpan("job")
+	// A request-scoped parent (internal/serve) owns the job span so one
+	// trace tree follows intake → queue → schedule; batch jobs stay
+	// roots. StartChild on a nil parent returns nil, falling through.
+	span := job.Parent.StartChild("job")
+	if span == nil {
+		span = e.tracer.StartSpan("job")
+	}
 	span.SetStr("id", job.ID)
+	if job.RequestID != "" {
+		span.SetStr("request_id", job.RequestID)
+	}
 
 	// Per-job logging context: bind the job id (and span id when traced).
 	// With the flight recorder on, a Capture tees every record — debug
@@ -387,8 +412,10 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		jc.stages = make(map[string]int64, 8)
 	}
 	jc.log = jc.log.With(logx.Str("job", job.ID))
-	if id := span.ID(); id != 0 {
-		jc.log = jc.log.With(logx.Int("span", int64(id)))
+	jc.spanID = uint64(span.ID())
+	jc.reqID = job.RequestID
+	if jc.spanID != 0 {
+		jc.log = jc.log.With(logx.Int("span", int64(jc.spanID)))
 	}
 	var fp Fingerprint
 	fpKnown := false
@@ -396,7 +423,6 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	done := func() Result {
 		res.Duration = time.Since(start)
 		m.inflight.Add(-1)
-		m.jobDuration.Observe(res.Duration)
 		switch {
 		case res.Err == nil:
 			m.completed.Inc()
@@ -416,6 +442,18 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 			span.End()
 		}
 		e.finishJob(job, &res, jc, capture, span, fp, fpKnown)
+		// Observed after finishJob so a triggered dump's bundle path can
+		// ride the duration exemplar. Plain Observe (alloc-free) when the
+		// job carries no correlation identity.
+		if jc.spanID == 0 && jc.reqID == "" && res.FlightBundle == "" {
+			m.jobDuration.Observe(res.Duration)
+		} else {
+			m.jobDuration.ObserveExemplar(res.Duration, obs.Exemplar{
+				SpanID:     jc.spanID,
+				RequestID:  jc.reqID,
+				FlightPath: res.FlightBundle,
+			})
+		}
 		return res
 	}
 	if err := ctx.Err(); err != nil {
@@ -454,7 +492,7 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	key := cacheKey{fp: e.fingerprint(job.Graph), wellPose: job.WellPose}
 	fpSpan.End()
 	d := time.Since(t)
-	m.stageFingerprint.Observe(d)
+	jc.observe(m.stageFingerprint, d)
 	jc.stage("fingerprint", int64(d))
 	fp, fpKnown = key.fp, true
 	if jc.log.Enabled(logx.LevelDebug) {
@@ -479,7 +517,7 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		entry, ok := e.cache.get(key)
 		cacheSpan.End()
 		d = time.Since(t)
-		m.stageCache.Observe(d)
+		jc.observe(m.stageCache, d)
 		jc.stage("cache", int64(d))
 		m.lookups.Inc()
 		if ok {
@@ -574,7 +612,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 		sp.SetInt("serialization_edges", int64(added))
 		sp.End()
 		d := time.Since(t)
-		m.stageWellpose.Observe(d)
+		jc.observe(m.stageWellpose, d)
 		jc.stage("wellpose", int64(d))
 		if err != nil {
 			entry.err = err
@@ -588,7 +626,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 		err := relsched.CheckWellPosed(job.Graph)
 		sp.End()
 		d := time.Since(t)
-		m.stageWellpose.Observe(d)
+		jc.observe(m.stageWellpose, d)
 		jc.stage("wellpose", int64(d))
 		if err != nil {
 			entry.err = err
@@ -604,7 +642,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	if err != nil {
 		sp.End()
 		d := time.Since(t)
-		m.stageAnalyze.Observe(d)
+		jc.observe(m.stageAnalyze, d)
 		jc.stage("analyze", int64(d))
 		entry.err = err
 		return verdict()
@@ -612,7 +650,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	sp.SetInt("anchors", int64(info.NumAnchors()))
 	sp.End()
 	d := time.Since(t)
-	m.stageAnalyze.Observe(d)
+	jc.observe(m.stageAnalyze, d)
 	jc.stage("analyze", int64(d))
 	if jc.log.Enabled(logx.LevelDebug) {
 		jc.log.Debug("anchor analysis done", logx.Int("anchors", int64(info.NumAnchors())))
@@ -627,7 +665,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	if err != nil {
 		sp.End()
 		d = time.Since(t)
-		m.stageSchedule.Observe(d)
+		jc.observe(m.stageSchedule, d)
 		jc.stage("schedule", int64(d))
 		entry.err = err
 		return verdict()
@@ -635,7 +673,7 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	sp.SetInt("iterations", int64(sched.Iterations))
 	sp.End()
 	d = time.Since(t)
-	m.stageSchedule.Observe(d)
+	jc.observe(m.stageSchedule, d)
 	jc.stage("schedule", int64(d))
 	entry.sched = sched
 	return verdict()

@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"time"
 
 	"repro/internal/flight"
 	"repro/internal/logx"
+	"repro/internal/obs"
 	"repro/internal/relsched"
 	"repro/internal/trace"
 )
@@ -26,12 +28,28 @@ type jobCtx struct {
 	// record; allocated only when the flight recorder is on. The
 	// pipeline runs one job on one worker, so no lock is needed.
 	stages map[string]int64
+	// spanID and reqID are the job's correlation identity, attached to
+	// stage-latency exemplars. Both zero on the disabled path, which
+	// keeps stage observations on the alloc-free plain Observe.
+	spanID uint64
+	reqID  string
 }
 
 func (jc *jobCtx) stage(name string, ns int64) {
 	if jc.stages != nil {
 		jc.stages[name] = ns
 	}
+}
+
+// observe records a stage duration, riding the job's span/request
+// identity as an exemplar when the job has one. Identity-free jobs
+// (tracing off, no serving layer) take the plain alloc-free path.
+func (jc *jobCtx) observe(h *obs.Histogram, d time.Duration) {
+	if jc.spanID == 0 && jc.reqID == "" {
+		h.Observe(d)
+		return
+	}
+	h.ObserveExemplar(d, obs.Exemplar{SpanID: jc.spanID, RequestID: jc.reqID})
 }
 
 // finishJob runs after the job's span is ended and its counters are
@@ -82,9 +100,12 @@ func (e *Engine) finishJob(job Job, res *Result, jc *jobCtx, capture *logx.Captu
 	if capture != nil {
 		rec.Logs, rec.LogsDropped = capture.Records()
 	}
-	e.recorder.Observe(rec, func(jr *flight.JobRecord) {
+	// FilterRoot over the span's root, not its own ID: a request-linked
+	// job span carves out the whole request tree (for root job spans the
+	// two coincide).
+	_, bundle := e.recorder.ObserveDump(rec, func(jr *flight.JobRecord) {
 		if e.tracer != nil {
-			if spans := trace.FilterRoot(e.tracer.Snapshot(), span.ID()); len(spans) > 0 {
+			if spans := trace.FilterRoot(e.tracer.Snapshot(), span.Root()); len(spans) > 0 {
 				jr.Spans = spans
 			}
 		}
@@ -92,6 +113,7 @@ func (e *Engine) finishJob(job Job, res *Result, jc *jobCtx, capture *logx.Captu
 			jr.Provenance = p
 		}
 	})
+	res.FlightBundle = bundle
 }
 
 // classifyErrKind maps a job verdict onto the flight recorder's error

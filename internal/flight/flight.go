@@ -304,8 +304,17 @@ func (r *Recorder) Dumps() uint64 {
 // a short mutex. Enrichment and bundle I/O only happen on dumps, which
 // rate limiting bounds.
 func (r *Recorder) Observe(rec JobRecord, enrich func(*JobRecord)) Trigger {
+	t, _ := r.ObserveDump(rec, enrich)
+	return t
+}
+
+// ObserveDump is Observe with the written bundle's path as a second
+// result ("" when no bundle was written — healthy job, suppressed dump,
+// or write failure). The engine threads the path into latency exemplars
+// so a p99 outlier on a scrape resolves straight to its evidence.
+func (r *Recorder) ObserveDump(rec JobRecord, enrich func(*JobRecord)) (Trigger, string) {
 	if r == nil {
-		return TriggerNone
+		return TriggerNone, ""
 	}
 	if rec.Time.IsZero() {
 		rec.Time = r.now()
@@ -350,11 +359,11 @@ func (r *Recorder) Observe(rec JobRecord, enrich func(*JobRecord)) Trigger {
 	r.mu.Unlock()
 
 	if trigger == TriggerNone {
-		return trigger
+		return trigger, ""
 	}
 	if !allowed {
 		r.suppressed.Inc()
-		return trigger
+		return trigger, ""
 	}
 	if enrich != nil {
 		enrich(&rec)
@@ -374,7 +383,7 @@ func (r *Recorder) Observe(rec JobRecord, enrich func(*JobRecord)) Trigger {
 	if err != nil {
 		r.dumpErrors.Inc()
 		r.log.Error("flight dump failed", logx.Str("job", rec.JobID), logx.Err(err))
-		return trigger
+		return trigger, ""
 	}
 	r.dumps.Inc()
 	r.log.Info("flight dump written",
@@ -382,7 +391,7 @@ func (r *Recorder) Observe(rec JobRecord, enrich func(*JobRecord)) Trigger {
 		logx.Str("trigger", string(trigger)),
 		logx.Str("path", path),
 		logx.Dur("dur", time.Duration(rec.DurationNS)))
-	return trigger
+	return trigger, path
 }
 
 // ObserveShed records one admission refusal (a 429 shed by

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Exemplars attach correlation identity to histogram buckets: the span
+// ID, request ID, and (when a dump fired) flight-bundle path of a
+// recent bucket-max observation. A p99 outlier on a scrape then
+// resolves directly to the trace and flight bundle that explain it,
+// instead of being an anonymous count. Storage is one slot per bucket,
+// lazily allocated on the first exemplar-carrying observation, so
+// histograms that never see correlation IDs — including the whole
+// disabled-observability path — pay nothing.
+
+// Exemplar is the correlation witness of one observation. BucketNS is
+// filled by the histogram (the bucket's upper bound in nanoseconds; -1
+// for the overflow bucket); callers populate the identity fields.
+type Exemplar struct {
+	BucketNS   int64  `json:"bucket_le_ns,omitempty"`
+	ValueNS    int64  `json:"value_ns"`
+	SpanID     uint64 `json:"span_id,omitempty"`
+	RequestID  string `json:"request_id,omitempty"`
+	FlightPath string `json:"flight,omitempty"`
+	UnixNano   int64  `json:"ts_ns,omitempty"`
+}
+
+// exemplarMaxAge bounds how long a large observation pins its bucket's
+// slot: after this, any fresh exemplar replaces it, keeping the witness
+// recent ("recent bucket-max" rather than all-time max).
+const exemplarMaxAge = 60 * time.Second
+
+// exemplarStore holds per-bucket exemplar slots. Split from Histogram
+// so the histogram struct stays copy-free of mutex state until the
+// first exemplar arrives.
+type exemplarStore struct {
+	mu    sync.Mutex
+	slots []Exemplar // one per bucket (incl. overflow); UnixNano==0 means empty
+}
+
+// ObserveExemplar records one duration like Observe and, when the
+// exemplar carries any identity (span, request, or flight path), files
+// it in the observation's bucket slot. A slot is replaced when the new
+// value is at least the slot's (bucket-max) or the slot is older than
+// exemplarMaxAge. ValueNS and BucketNS are filled here; UnixNano is
+// stamped with the current time when zero.
+func (h *Histogram) ObserveExemplar(d time.Duration, ex Exemplar) {
+	h.Observe(d)
+	if ex.SpanID == 0 && ex.RequestID == "" && ex.FlightPath == "" {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return ns <= h.bounds[i] })
+	ex.ValueNS = ns
+	if i < len(h.bounds) {
+		ex.BucketNS = h.bounds[i]
+	} else {
+		ex.BucketNS = -1
+	}
+	if ex.UnixNano == 0 {
+		ex.UnixNano = time.Now().UnixNano()
+	}
+	st := h.exemplars()
+	st.mu.Lock()
+	if st.slots == nil {
+		st.slots = make([]Exemplar, len(h.bounds)+1)
+	}
+	slot := &st.slots[i]
+	if slot.UnixNano == 0 || ns >= slot.ValueNS || ex.UnixNano-slot.UnixNano > int64(exemplarMaxAge) {
+		*slot = ex
+	}
+	st.mu.Unlock()
+}
+
+// exemplars returns the histogram's exemplar store, creating it on
+// first use. The atomic pointer keeps plain Observe free of any
+// exemplar cost.
+func (h *Histogram) exemplars() *exemplarStore {
+	if st := h.ex.Load(); st != nil {
+		return st
+	}
+	st := &exemplarStore{}
+	if h.ex.CompareAndSwap(nil, st) {
+		return st
+	}
+	return h.ex.Load()
+}
+
+// Exemplars returns the current per-bucket exemplars in bucket order,
+// or nil when none were ever recorded.
+func (h *Histogram) Exemplars() []Exemplar {
+	st := h.ex.Load()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []Exemplar
+	for i := range st.slots {
+		if st.slots[i].UnixNano != 0 {
+			out = append(out, st.slots[i])
+		}
+	}
+	return out
+}

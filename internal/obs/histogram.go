@@ -36,6 +36,7 @@ type Histogram struct {
 	sum    atomic.Int64
 	min    atomic.Int64 // valid only while count > 0
 	max    atomic.Int64
+	ex     atomic.Pointer[exemplarStore] // nil until the first ObserveExemplar
 }
 
 // NewHistogram returns a histogram over the given ascending upper bounds
@@ -96,15 +97,16 @@ type Bucket struct {
 // HistogramSnapshot is a point-in-time view of a histogram, including
 // interpolated quantiles. Only non-empty buckets are listed.
 type HistogramSnapshot struct {
-	Count   uint64   `json:"count"`
-	SumNS   int64    `json:"sum_ns"`
-	MinNS   int64    `json:"min_ns"`
-	MaxNS   int64    `json:"max_ns"`
-	MeanNS  int64    `json:"mean_ns"`
-	P50NS   int64    `json:"p50_ns"`
-	P95NS   int64    `json:"p95_ns"`
-	P99NS   int64    `json:"p99_ns"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	Count     uint64     `json:"count"`
+	SumNS     int64      `json:"sum_ns"`
+	MinNS     int64      `json:"min_ns"`
+	MaxNS     int64      `json:"max_ns"`
+	MeanNS    int64      `json:"mean_ns"`
+	P50NS     int64      `json:"p50_ns"`
+	P95NS     int64      `json:"p95_ns"`
+	P99NS     int64      `json:"p99_ns"`
+	Buckets   []Bucket   `json:"buckets,omitempty"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot captures the histogram's current state. Concurrent Observe
@@ -142,6 +144,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50NS = h.quantile(counts, total, 0.50, s.MaxNS)
 	s.P95NS = h.quantile(counts, total, 0.95, s.MaxNS)
 	s.P99NS = h.quantile(counts, total, 0.99, s.MaxNS)
+	s.Exemplars = h.Exemplars()
 	return s
 }
 

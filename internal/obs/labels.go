@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file adds labeled metric families — CounterVec and HistogramVec —
+// to the registry. The design goal is the same fail-open bounded-memory
+// discipline internal/serve's tenantLimiter applies to tenant names
+// (maxTenants): label *keys* are fixed at construction, and label
+// *values* are capped in cardinality per key. Once a key has seen
+// MaxValues distinct values, every new value collapses into the
+// OverflowLabel bucket, and once a family holds MaxSeries distinct
+// label tuples, every new tuple collapses into the all-overflow series.
+// A hostile client spraying distinct tenant names (or a bug minting
+// request-derived label values) therefore costs a bounded number of
+// series, never an unbounded map — the scrape stays honest about the
+// collapse because the "other" series keeps counting.
+//
+// Resolution (With) is a read-mostly map lookup; the returned *Counter
+// or *Histogram is the same hot-path atomic primitive as the unlabeled
+// kind, so call sites that care resolve once and cache. Unlabeled
+// metrics are untouched: their registration, snapshot, and zero-alloc
+// Observe/Add paths do not change.
+
+// OverflowLabel is the label value that absorbs cardinality overflow:
+// the (capped) distinct-value budget of a label key is spent, or the
+// family's series budget is spent.
+const OverflowLabel = "other"
+
+// Cardinality defaults; see CounterVec.
+const (
+	// DefaultMaxLabelValues bounds distinct values per label key.
+	DefaultMaxLabelValues = 64
+	// DefaultMaxSeries bounds distinct label tuples per family.
+	DefaultMaxSeries = 256
+)
+
+// seriesSep joins label values into the series map key. 0xFF cannot
+// appear in UTF-8 text, so joined tuples cannot collide.
+const seriesSep = "\xff"
+
+// labelCap is the shared cardinality-capping state of a labeled family.
+type labelCap struct {
+	keys      []string
+	maxValues int
+	maxSeries int
+	// seen tracks the distinct values admitted per key position. Values
+	// beyond maxValues map to OverflowLabel (fail open, bounded memory).
+	seen []map[string]struct{}
+}
+
+func newLabelCap(keys []string) labelCap {
+	seen := make([]map[string]struct{}, len(keys))
+	for i := range seen {
+		seen[i] = make(map[string]struct{}, 8)
+	}
+	return labelCap{
+		keys:      append([]string(nil), keys...),
+		maxValues: DefaultMaxLabelValues,
+		maxSeries: DefaultMaxSeries,
+		seen:      seen,
+	}
+}
+
+// canonLocked maps raw label values onto their admitted form, applying
+// the per-key cardinality cap. Caller holds the family lock. The input
+// slice is not modified; the result is the series key and the admitted
+// values (aliasing values when nothing was capped).
+func (lc *labelCap) canonLocked(values []string) (string, []string) {
+	// Tolerate arity mismatches fail-open rather than panicking in a
+	// metrics path: missing values read as overflow, extras are dropped.
+	canon := make([]string, len(lc.keys))
+	for i := range lc.keys {
+		v := OverflowLabel
+		if i < len(values) {
+			v = values[i]
+		}
+		if _, ok := lc.seen[i][v]; !ok {
+			if len(lc.seen[i]) >= lc.maxValues {
+				v = OverflowLabel
+			} else {
+				lc.seen[i][v] = struct{}{}
+			}
+		}
+		canon[i] = v
+	}
+	return strings.Join(canon, seriesSep), canon
+}
+
+// overflowKey is the all-overflow series key used once maxSeries is hit.
+func (lc *labelCap) overflowKey() (string, []string) {
+	vals := make([]string, len(lc.keys))
+	for i := range vals {
+		vals[i] = OverflowLabel
+	}
+	return strings.Join(vals, seriesSep), vals
+}
+
+// CounterVec is a family of counters sharing a name and a fixed set of
+// label keys, with bounded label cardinality (see the file comment).
+// Safe for concurrent use.
+type CounterVec struct {
+	name string
+	mu   sync.RWMutex
+	cap  labelCap
+	vals map[string]*counterSeries
+}
+
+type counterSeries struct {
+	values []string
+	c      Counter
+}
+
+// NewCounterVec creates a labeled counter family. Prefer
+// Registry.CounterVec, which registers it for snapshots and scrapes.
+func NewCounterVec(name string, keys ...string) *CounterVec {
+	return &CounterVec{
+		name: name,
+		cap:  newLabelCap(keys),
+		vals: make(map[string]*counterSeries),
+	}
+}
+
+// Keys returns the family's label keys.
+func (v *CounterVec) Keys() []string { return v.cap.keys }
+
+// With resolves the counter for one label-value tuple (in key order),
+// creating the series on first use. Cardinality overflow resolves to
+// the OverflowLabel series rather than growing the family.
+func (v *CounterVec) With(values ...string) *Counter {
+	v.mu.RLock()
+	if len(values) == len(v.cap.keys) {
+		if s, ok := v.vals[strings.Join(values, seriesSep)]; ok {
+			v.mu.RUnlock()
+			return &s.c
+		}
+	}
+	v.mu.RUnlock()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key, canon := v.cap.canonLocked(values)
+	s, ok := v.vals[key]
+	if !ok {
+		if len(v.vals) >= v.cap.maxSeries {
+			key, canon = v.cap.overflowKey()
+			s, ok = v.vals[key]
+		}
+		if !ok {
+			s = &counterSeries{values: canon}
+			v.vals[key] = s
+		}
+	}
+	return &s.c
+}
+
+// LabeledValue is one series of a labeled counter family in a snapshot.
+type LabeledValue struct {
+	Labels map[string]string `json:"labels"`
+	Value  uint64            `json:"value"`
+}
+
+// Snapshot returns every series, sorted by label values for
+// deterministic output.
+func (v *CounterVec) Snapshot() []LabeledValue {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]LabeledValue, 0, len(v.vals))
+	for _, s := range v.vals {
+		lv := LabeledValue{Labels: make(map[string]string, len(v.cap.keys)), Value: s.c.Value()}
+		for i, k := range v.cap.keys {
+			lv.Labels[k] = s.values[i]
+		}
+		out = append(out, lv)
+	}
+	sortLabeled(out, func(l LabeledValue) map[string]string { return l.Labels }, v.cap.keys)
+	return out
+}
+
+// HistogramVec is a family of latency histograms sharing a name, bucket
+// bounds, and a fixed set of label keys, with the same bounded label
+// cardinality as CounterVec. Safe for concurrent use.
+type HistogramVec struct {
+	name   string
+	bounds []int64
+	mu     sync.RWMutex
+	cap    labelCap
+	vals   map[string]*histogramSeries
+}
+
+type histogramSeries struct {
+	values []string
+	h      *Histogram
+}
+
+// NewHistogramVec creates a labeled histogram family over the given
+// bounds (nil selects DefaultLatencyBounds). Prefer
+// Registry.HistogramVec.
+func NewHistogramVec(name string, bounds []int64, keys ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	return &HistogramVec{
+		name:   name,
+		bounds: append([]int64(nil), bounds...),
+		cap:    newLabelCap(keys),
+		vals:   make(map[string]*histogramSeries),
+	}
+}
+
+// Keys returns the family's label keys.
+func (v *HistogramVec) Keys() []string { return v.cap.keys }
+
+// With resolves the histogram for one label-value tuple (in key order),
+// creating the series on first use; overflow resolves to the
+// OverflowLabel series.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	v.mu.RLock()
+	if len(values) == len(v.cap.keys) {
+		if s, ok := v.vals[strings.Join(values, seriesSep)]; ok {
+			v.mu.RUnlock()
+			return s.h
+		}
+	}
+	v.mu.RUnlock()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key, canon := v.cap.canonLocked(values)
+	s, ok := v.vals[key]
+	if !ok {
+		if len(v.vals) >= v.cap.maxSeries {
+			key, canon = v.cap.overflowKey()
+			s, ok = v.vals[key]
+		}
+		if !ok {
+			s = &histogramSeries{values: canon, h: NewHistogram(v.bounds)}
+			v.vals[key] = s
+		}
+	}
+	return s.h
+}
+
+// LabeledHistogram is one series of a labeled histogram family in a
+// snapshot.
+type LabeledHistogram struct {
+	Labels    map[string]string `json:"labels"`
+	Histogram HistogramSnapshot `json:"histogram"`
+}
+
+// Snapshot returns every series, sorted by label values.
+func (v *HistogramVec) Snapshot() []LabeledHistogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]LabeledHistogram, 0, len(v.vals))
+	for _, s := range v.vals {
+		lh := LabeledHistogram{Labels: make(map[string]string, len(v.cap.keys)), Histogram: s.h.Snapshot()}
+		for i, k := range v.cap.keys {
+			lh.Labels[k] = s.values[i]
+		}
+		out = append(out, lh)
+	}
+	sortLabeled(out, func(l LabeledHistogram) map[string]string { return l.Labels }, v.cap.keys)
+	return out
+}
+
+// series exposes the live histograms for the Prometheus writer (bounds
+// are shared across the family).
+func (v *HistogramVec) series() []histogramSeries {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]histogramSeries, 0, len(v.vals))
+	for _, s := range v.vals {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, seriesSep) < strings.Join(out[j].values, seriesSep)
+	})
+	return out
+}
+
+// sortLabeled orders snapshot series by label values in key order.
+func sortLabeled[T any](items []T, labels func(T) map[string]string, keys []string) {
+	sort.Slice(items, func(i, j int) bool {
+		li, lj := labels(items[i]), labels(items[j])
+		for _, k := range keys {
+			if li[k] != lj[k] {
+				return li[k] < lj[k]
+			}
+		}
+		return false
+	})
+}

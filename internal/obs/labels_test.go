@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterVecBasic(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("serve.http.requests", "route", "method", "code")
+	v.With("/v1/jobs", "POST", "202").Inc()
+	v.With("/v1/jobs", "POST", "202").Add(2)
+	v.With("/v1/status", "GET", "200").Inc()
+
+	snap := v.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("series = %d, want 2", len(snap))
+	}
+	// Sorted by label values in key order: /v1/jobs < /v1/status.
+	if snap[0].Labels["route"] != "/v1/jobs" || snap[0].Value != 3 {
+		t.Fatalf("first series = %+v", snap[0])
+	}
+	if snap[1].Labels["code"] != "200" || snap[1].Value != 1 {
+		t.Fatalf("second series = %+v", snap[1])
+	}
+	if got := r.CounterVec("serve.http.requests"); got != v {
+		t.Fatal("registry returned a different vec for the same name")
+	}
+	reg := r.Snapshot()
+	if got := reg.LabeledCounters["serve.http.requests"]; len(got) != 2 {
+		t.Fatalf("registry snapshot labeled counters = %+v", got)
+	}
+}
+
+// TestLabelCardinalityBound pins the fail-open overflow design: past
+// DefaultMaxLabelValues distinct values for one key, new values land in
+// the OverflowLabel series instead of growing the family.
+func TestLabelCardinalityBound(t *testing.T) {
+	v := NewCounterVec("serve.tenant.jobs", "tenant", "outcome")
+	for i := 0; i < DefaultMaxLabelValues*3; i++ {
+		v.With(fmt.Sprintf("tenant-%04d", i), "done").Inc()
+	}
+	snap := v.Snapshot()
+	if len(snap) > DefaultMaxLabelValues+1 {
+		t.Fatalf("series = %d, want <= %d (cap + overflow)", len(snap), DefaultMaxLabelValues+1)
+	}
+	var overflow uint64
+	var total uint64
+	for _, s := range snap {
+		total += s.Value
+		if s.Labels["tenant"] == OverflowLabel {
+			overflow = s.Value
+		}
+	}
+	if want := uint64(DefaultMaxLabelValues * 3); total != want {
+		t.Fatalf("total across series = %d, want %d (no observation lost)", total, want)
+	}
+	if want := uint64(DefaultMaxLabelValues * 2); overflow != want {
+		t.Fatalf("overflow series = %d, want %d", overflow, want)
+	}
+}
+
+// TestSeriesCardinalityBound floods distinct tuples across two keys so
+// the per-key caps are not hit but the family series cap is; everything
+// past the cap must collapse into the all-overflow tuple.
+func TestSeriesCardinalityBound(t *testing.T) {
+	v := NewCounterVec("x", "a", "b")
+	v.cap.maxValues = 1 << 30 // isolate the series cap
+	n := DefaultMaxSeries * 2
+	for i := 0; i < n; i++ {
+		v.With(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)).Inc()
+	}
+	snap := v.Snapshot()
+	if len(snap) > DefaultMaxSeries+1 {
+		t.Fatalf("series = %d, want <= %d", len(snap), DefaultMaxSeries+1)
+	}
+	var total, overflow uint64
+	for _, s := range snap {
+		total += s.Value
+		if s.Labels["a"] == OverflowLabel && s.Labels["b"] == OverflowLabel {
+			overflow = s.Value
+		}
+	}
+	if total != uint64(n) {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	if overflow == 0 {
+		t.Fatal("no observations collapsed into the all-overflow series")
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	v := NewCounterVec("c", "k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v.With(fmt.Sprintf("v%d", (g+i)%10)).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range v.Snapshot() {
+		total += s.Value
+	}
+	if total != 8*500 {
+		t.Fatalf("total = %d, want %d", total, 8*500)
+	}
+}
+
+func TestHistogramVecPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain.counter").Inc()
+	r.Gauge("plain.gauge").Set(7)
+	r.Histogram("plain.hist").Observe(3 * time.Millisecond)
+	cv := r.CounterVec("serve.http.requests", "route", "method", "code")
+	cv.With("/v1/jobs", "POST", "202").Inc()
+	cv.With("/v1/jobs", "GET", "200").Add(4)
+	hv := r.HistogramVec("serve.http.latency", "route")
+	hv.With("/v1/jobs").Observe(2 * time.Millisecond)
+	hv.With("/v1/status").Observe(40 * time.Microsecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "relsched"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := LintPrometheusText(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`relsched_serve_http_requests_total{route="/v1/jobs",method="POST",code="202"} 1`,
+		`relsched_serve_http_requests_total{route="/v1/jobs",method="GET",code="200"} 4`,
+		`relsched_serve_http_latency_bucket{route="/v1/jobs",le="+Inf"} 1`,
+		`relsched_serve_http_latency_count{route="/v1/status"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# EOF") {
+		t.Fatal("0.0.4 output must not carry the OpenMetrics EOF marker")
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c", "k").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `k="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	if err := LintPrometheusText(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+}
+
+func TestExemplarRecording(t *testing.T) {
+	h := NewHistogram(nil)
+	// Identity-free exemplars record nothing (and allocate no store).
+	h.ObserveExemplar(time.Millisecond, Exemplar{})
+	if got := h.Exemplars(); got != nil {
+		t.Fatalf("identity-free exemplar stored: %+v", got)
+	}
+	h.ObserveExemplar(1500*time.Microsecond, Exemplar{SpanID: 0xabc, RequestID: "req-1"})
+	h.ObserveExemplar(1200*time.Microsecond, Exemplar{SpanID: 0xdef, RequestID: "req-2"}) // same bucket, smaller: kept out
+	h.ObserveExemplar(90*time.Millisecond, Exemplar{SpanID: 0x123, FlightPath: "/tmp/fl/bundle-9.json"})
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want 2", ex)
+	}
+	if ex[0].SpanID != 0xabc || ex[0].RequestID != "req-1" {
+		t.Fatalf("bucket-max exemplar replaced by smaller value: %+v", ex[0])
+	}
+	if ex[1].FlightPath != "/tmp/fl/bundle-9.json" || ex[1].BucketNS != 1e8 {
+		t.Fatalf("flight exemplar = %+v", ex[1])
+	}
+	snap := h.Snapshot()
+	if len(snap.Exemplars) != 2 {
+		t.Fatalf("snapshot exemplars = %+v", snap.Exemplars)
+	}
+	// A larger value in an occupied bucket replaces the slot.
+	h.ObserveExemplar(1900*time.Microsecond, Exemplar{SpanID: 0xbee})
+	if got := h.Exemplars()[0].SpanID; got != 0xbee {
+		t.Fatalf("larger value did not replace slot: %x", got)
+	}
+}
+
+// TestObserveStaysAllocFree pins the hot path: plain Observe, and
+// ObserveExemplar without identity, must not allocate.
+func TestObserveStaysAllocFree(t *testing.T) {
+	h := NewHistogram(nil)
+	if n := testing.AllocsPerRun(200, func() { h.Observe(42 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { h.ObserveExemplar(42*time.Microsecond, Exemplar{}) }); n != 0 {
+		t.Fatalf("identity-free ObserveExemplar allocates %v/op", n)
+	}
+}
+
+func TestOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("serve.job.latency")
+	h.ObserveExemplar(3*time.Millisecond, Exemplar{SpanID: 0xcafe, RequestID: "req-77"})
+	hv := r.HistogramVec("serve.http.latency", "route")
+	hv.With("/v1/jobs").ObserveExemplar(8*time.Millisecond, Exemplar{SpanID: 0xbeef, RequestID: "req-88", FlightPath: "/var/flight/bundle-3.json"})
+
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb, "relsched"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := LintPrometheusText(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`# {span_id="cafe",request_id="req-77"}`,
+		`# {span_id="beef",request_id="req-88",flight="bundle-3.json"}`,
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The 0.0.4 rendering of the same registry must stay exemplar-free.
+	sb.Reset()
+	if err := r.WritePrometheus(&sb, "relsched"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), " # {") {
+		t.Fatalf("0.0.4 output carries exemplars:\n%s", sb.String())
+	}
+}
+
+func TestLintLabeledRejections(t *testing.T) {
+	cases := map[string]string{
+		"duplicate labeled series": "# HELP c_total counter metric c\n# TYPE c_total counter\n" +
+			"c_total{k=\"a\"} 1\nc_total{k=\"a\"} 2\n",
+		"exemplar on gauge": "# HELP g gauge metric g\n# TYPE g gauge\n" +
+			"g 1 # {span_id=\"1\"} 0.5\n",
+		"oversized exemplar labels": "# HELP c_total counter metric c\n# TYPE c_total counter\n" +
+			"c_total 1 # {big=\"" + strings.Repeat("x", 200) + "\"} 0.5\n",
+		"per-series missing inf": "# HELP h histogram metric h\n# TYPE h histogram\n" +
+			"h_bucket{k=\"a\",le=\"1\"} 1\nh_bucket{k=\"a\",le=\"+Inf\"} 1\nh_sum{k=\"a\"} 1\nh_count{k=\"a\"} 1\n" +
+			"h_bucket{k=\"b\",le=\"1\"} 1\nh_sum{k=\"b\"} 1\nh_count{k=\"b\"} 1\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheusText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted malformed text", name)
+		}
+	}
+	// Labeled multi-sample counters and per-series histograms are valid.
+	ok := "# HELP c_total counter metric c\n# TYPE c_total counter\n" +
+		"c_total{k=\"a\"} 1 # {span_id=\"7\"} 0.5 1754000000.000\nc_total{k=\"b\"} 2\n" +
+		"# HELP h histogram metric h\n# TYPE h histogram\n" +
+		"h_bucket{k=\"a\",le=\"1\"} 1\nh_bucket{k=\"a\",le=\"+Inf\"} 1\nh_sum{k=\"a\"} 0.5\nh_count{k=\"a\"} 1\n" +
+		"h_bucket{k=\"b\",le=\"1\"} 0\nh_bucket{k=\"b\",le=\"+Inf\"} 2\nh_sum{k=\"b\"} 3\nh_count{k=\"b\"} 2\n" +
+		"# EOF\n"
+	if err := LintPrometheusText(strings.NewReader(ok)); err != nil {
+		t.Fatalf("lint rejected valid labeled text: %v", err)
+	}
+}
+
+// TestLintBracesInLabelValues pins the quote-aware label-set scan:
+// '}' and '{' inside quoted label values (the serve layer's
+// route="/v1/jobs/{id}" series) must not terminate the label set, on
+// samples and on exemplars alike.
+func TestLintBracesInLabelValues(t *testing.T) {
+	text := "# HELP c_total counter metric c\n# TYPE c_total counter\n" +
+		`c_total{route="/v1/jobs/{id}",method="GET"} 3` + "\n" +
+		`c_total{route="/v1/jobs",method="POST"} 1 # {req="a{b}c"} 0.5` + "\n" +
+		"# HELP h histogram metric h\n# TYPE h histogram\n" +
+		`h_bucket{route="/v1/jobs/{id}",le="1"} 1` + "\n" +
+		`h_bucket{route="/v1/jobs/{id}",le="+Inf"} 1` + "\n" +
+		`h_sum{route="/v1/jobs/{id}"} 0.5` + "\n" +
+		`h_count{route="/v1/jobs/{id}"} 1` + "\n"
+	if err := LintPrometheusText(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint rejected braces inside quoted label values: %v", err)
+	}
+	if err := LintPrometheusText(strings.NewReader(
+		"# HELP c_total counter metric c\n# TYPE c_total counter\nc_total{k=\"v 1\n")); err == nil {
+		t.Error("lint accepted an unterminated label set")
+	}
+}

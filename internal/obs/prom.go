@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,25 +23,65 @@ import (
 //     SECONDS (the registry stores nanoseconds internally), a "_sum" in
 //     seconds, a "_count", and the mandatory le="+Inf" bucket equal to
 //     the count;
+//   - labeled families (CounterVec/HistogramVec) emit one sample (or
+//     one full bucket/sum/count group) per label set, values escaped
+//     per the exposition rules;
 //   - every family is announced by "# HELP" then "# TYPE" immediately
 //     before its samples.
+//
+// Exemplars are a format extension the 0.0.4 text format does not
+// carry, so the default output never includes them; WritePrometheus
+// with exemplars enabled appends OpenMetrics-style " # {labels} value
+// timestamp" suffixes to histogram bucket samples and terminates the
+// exposition with "# EOF". PrometheusHandler negotiates this via the
+// Accept header (application/openmetrics-text), keeping plain scrapers
+// on the clean 0.0.4 surface.
 //
 // LintPrometheusText checks exactly these properties; the exposition
 // test round-trips WritePrometheus through it, and CI applies the same
 // rules to a live /metrics scrape.
 
+// exemplarLabelBudget caps the rendered size of one exemplar's label
+// set (names + values), per the OpenMetrics limit of 128 UTF-8
+// characters. Oversized flight paths are reduced to their basename and,
+// failing that, the whole flight label is dropped.
+const exemplarLabelBudget = 128
+
 // WritePrometheus renders every metric in the registry in the
-// Prometheus text format. Families are sorted by name, so output is
-// deterministic for a quiesced registry. Namespace may be empty.
+// Prometheus text format 0.0.4 (no exemplars). Families are sorted by
+// name within each kind, so output is deterministic for a quiesced
+// registry. Namespace may be empty.
 func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	return r.writePrometheus(w, namespace, false)
+}
+
+// WriteOpenMetrics renders like WritePrometheus but with
+// OpenMetrics-style exemplars on histogram buckets and a trailing
+// "# EOF" marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer, namespace string) error {
+	return r.writePrometheus(w, namespace, true)
+}
+
+func (r *Registry) writePrometheus(w io.Writer, namespace string, exemplars bool) error {
 	r.mu.RLock()
 	type hist struct {
 		bounds []int64
 		snap   HistogramSnapshot
 	}
+	type histVecSeries struct {
+		labels string // pre-rendered {k="v",...} body, no braces
+		snap   HistogramSnapshot
+	}
+	type histVec struct {
+		bounds []int64
+		series []histVecSeries
+	}
 	counters := make(map[string]uint64, len(r.counters))
 	gauges := make(map[string]int64, len(r.gauges))
 	hists := make(map[string]hist, len(r.histograms))
+	counterVecs := make(map[string][]LabeledValue, len(r.counterVecs))
+	counterVecKeys := make(map[string][]string, len(r.counterVecs))
+	histVecs := make(map[string]histVec, len(r.histogramVecs))
 	for name, c := range r.counters {
 		counters[name] = c.Value()
 	}
@@ -49,6 +90,20 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 	}
 	for name, h := range r.histograms {
 		hists[name] = hist{bounds: h.bounds, snap: h.Snapshot()}
+	}
+	for name, v := range r.counterVecs {
+		counterVecs[name] = v.Snapshot()
+		counterVecKeys[name] = v.Keys()
+	}
+	for name, v := range r.histogramVecs {
+		hv := histVec{bounds: v.bounds}
+		for _, s := range v.series() {
+			hv.series = append(hv.series, histVecSeries{
+				labels: renderLabels(v.cap.keys, s.values),
+				snap:   s.h.Snapshot(),
+			})
+		}
+		histVecs[name] = hv
 	}
 	r.mu.RUnlock()
 
@@ -73,12 +128,82 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 		emit(prom)
 	}
 
+	// writeHistogram renders one histogram series: cumulative buckets
+	// (rebuilt over every configured bound — snapshots list only
+	// non-empty buckets), the mandatory +Inf bucket, _sum, _count.
+	// labelBody is the pre-rendered non-le labels ("" for unlabeled).
+	writeHistogram := func(prom, labelBody string, bounds []int64, snap HistogramSnapshot) {
+		perBucket := make(map[int64]uint64, len(snap.Buckets))
+		for _, bk := range snap.Buckets {
+			perBucket[bk.UpperNS] = bk.Count
+		}
+		perExemplar := map[int64]Exemplar{}
+		if exemplars {
+			for _, ex := range snap.Exemplars {
+				perExemplar[ex.BucketNS] = ex
+			}
+		}
+		bucketLine := func(le string, cum uint64, bound int64) {
+			b.WriteString(prom)
+			b.WriteString("_bucket{")
+			if labelBody != "" {
+				b.WriteString(labelBody)
+				b.WriteString(",")
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteString(`"} `)
+			b.WriteString(strconv.FormatUint(cum, 10))
+			if ex, ok := perExemplar[bound]; ok {
+				writeExemplar(&b, ex)
+			}
+			b.WriteString("\n")
+		}
+		var cum uint64
+		for _, bound := range bounds {
+			cum += perBucket[bound]
+			bucketLine(formatSeconds(float64(bound)/1e9), cum, bound)
+		}
+		bucketLine("+Inf", snap.Count, -1)
+		suffix := func(kind, val string) {
+			b.WriteString(prom)
+			b.WriteString(kind)
+			if labelBody != "" {
+				b.WriteString("{")
+				b.WriteString(labelBody)
+				b.WriteString("}")
+			}
+			b.WriteString(" ")
+			b.WriteString(val)
+			b.WriteString("\n")
+		}
+		suffix("_sum", formatSeconds(float64(snap.SumNS)/1e9))
+		suffix("_count", strconv.FormatUint(snap.Count, 10))
+	}
+
 	for _, name := range sortedKeys(counters) {
 		writeFamily(name, "counter", func(prom string) {
 			b.WriteString(prom)
 			b.WriteString(" ")
 			b.WriteString(strconv.FormatUint(counters[name], 10))
 			b.WriteString("\n")
+		})
+	}
+	for _, name := range sortedKeys(counterVecs) {
+		writeFamily(name, "counter", func(prom string) {
+			keys := counterVecKeys[name]
+			for _, lv := range counterVecs[name] {
+				vals := make([]string, len(keys))
+				for i, k := range keys {
+					vals[i] = lv.Labels[k]
+				}
+				b.WriteString(prom)
+				b.WriteString("{")
+				b.WriteString(renderLabels(keys, vals))
+				b.WriteString("} ")
+				b.WriteString(strconv.FormatUint(lv.Value, 10))
+				b.WriteString("\n")
+			}
 		})
 	}
 	for _, name := range sortedKeys(gauges) {
@@ -92,38 +217,108 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 	for _, name := range sortedKeys(hists) {
 		h := hists[name]
 		writeFamily(name, "histogram", func(prom string) {
-			// The snapshot lists only non-empty buckets; rebuild the
-			// cumulative series over every configured bound.
-			perBucket := make(map[int64]uint64, len(h.snap.Buckets))
-			for _, bk := range h.snap.Buckets {
-				perBucket[bk.UpperNS] = bk.Count
-			}
-			var cum uint64
-			for _, bound := range h.bounds {
-				cum += perBucket[bound]
-				b.WriteString(prom)
-				b.WriteString(`_bucket{le="`)
-				b.WriteString(formatSeconds(float64(bound) / 1e9))
-				b.WriteString(`"} `)
-				b.WriteString(strconv.FormatUint(cum, 10))
-				b.WriteString("\n")
-			}
-			b.WriteString(prom)
-			b.WriteString(`_bucket{le="+Inf"} `)
-			b.WriteString(strconv.FormatUint(h.snap.Count, 10))
-			b.WriteString("\n")
-			b.WriteString(prom)
-			b.WriteString("_sum ")
-			b.WriteString(formatSeconds(float64(h.snap.SumNS) / 1e9))
-			b.WriteString("\n")
-			b.WriteString(prom)
-			b.WriteString("_count ")
-			b.WriteString(strconv.FormatUint(h.snap.Count, 10))
-			b.WriteString("\n")
+			writeHistogram(prom, "", h.bounds, h.snap)
 		})
+	}
+	for _, name := range sortedKeys(histVecs) {
+		hv := histVecs[name]
+		writeFamily(name, "histogram", func(prom string) {
+			for _, s := range hv.series {
+				writeHistogram(prom, s.labels, hv.bounds, s.snap)
+			}
+		})
+	}
+	if exemplars {
+		b.WriteString("# EOF\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeExemplar appends an OpenMetrics exemplar suffix:
+// " # {label=\"v\",...} value timestamp". The label set is kept inside
+// the 128-char OpenMetrics budget by reducing the flight path to its
+// basename and dropping labels outermost-first if still oversized.
+func writeExemplar(b *strings.Builder, ex Exemplar) {
+	type kv struct{ k, v string }
+	var labels []kv
+	if ex.SpanID != 0 {
+		labels = append(labels, kv{"span_id", strconv.FormatUint(ex.SpanID, 16)})
+	}
+	if ex.RequestID != "" {
+		labels = append(labels, kv{"request_id", ex.RequestID})
+	}
+	if ex.FlightPath != "" {
+		labels = append(labels, kv{"flight", filepath.Base(ex.FlightPath)})
+	}
+	size := func() int {
+		n := 0
+		for _, l := range labels {
+			n += len(l.k) + len(l.v)
+		}
+		return n
+	}
+	for len(labels) > 0 && size() > exemplarLabelBudget {
+		labels = labels[:len(labels)-1]
+	}
+	b.WriteString(" # {")
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(l.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.v))
+		b.WriteString(`"`)
+	}
+	b.WriteString("} ")
+	b.WriteString(formatSeconds(float64(ex.ValueNS) / 1e9))
+	if ex.UnixNano != 0 {
+		b.WriteString(" ")
+		b.WriteString(strconv.FormatFloat(float64(ex.UnixNano)/1e9, 'f', 3, 64))
+	}
+}
+
+// renderLabels renders key/value pairs as a label body (no braces),
+// escaping values per the exposition format.
+func renderLabels(keys, values []string) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(PrometheusName("", k))
+		b.WriteString(`="`)
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(escapeLabelValue(v))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
 }
 
 // PrometheusName sanitizes a registry metric name into a Prometheus
@@ -166,11 +361,22 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// OpenMetricsContentType is the content type announced for the
+// exemplar-carrying exposition.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // PrometheusHandler serves the registry at a scrape endpoint
 // (conventionally mounted at /metrics) with the text-format content
-// type. Each request renders a fresh snapshot.
+// type. Each request renders a fresh snapshot. Clients that accept
+// application/openmetrics-text get the exemplar-carrying exposition;
+// everything else gets clean 0.0.4 text.
 func PrometheusHandler(reg *Registry, namespace string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = reg.WriteOpenMetrics(w, namespace)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w, namespace)
 	})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -17,11 +18,17 @@ import (
 //   - families are contiguous — samples of one family never interleave
 //     with another's;
 //   - metric names and label syntax are well-formed;
-//   - histogram "_bucket" series are cumulative (monotonically
+//   - counter and gauge families carry one sample per distinct label
+//     set (at least one, duplicates rejected), values numeric and
+//     counters non-negative;
+//   - histogram series are grouped by their non-le label set; within
+//     each group the "_bucket" series are cumulative (monotonically
 //     non-decreasing in le order), the le="+Inf" bucket is present and
-//     equals the "_count" sample, and "_sum"/"_count" exist;
-//   - counter and gauge families carry exactly one sample whose value
-//     parses as a number (counters non-negative).
+//     equals the group's "_count", and "_sum"/"_count" exist;
+//   - OpenMetrics-style exemplar suffixes (" # {labels} value [ts]")
+//     are accepted only on counter and histogram-bucket samples, must
+//     be syntactically well-formed, and must fit the 128-character
+//     label budget; a trailing "# EOF" marker is tolerated.
 //
 // It exists so both the unit tests and CI's scrape smoke job can reject
 // a malformed /metrics surface without importing a Prometheus client.
@@ -29,17 +36,21 @@ func LintPrometheusText(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 
-	type family struct {
-		typ        string
-		seenType   bool
-		samples    int
+	type histGroup struct {
 		buckets    []struct{ le, v float64 }
 		infBucket  float64
 		hasInf     bool
 		sum, count float64
 		hasSum     bool
 		hasCount   bool
-		sealed     bool // a later family started; no more samples allowed
+	}
+	type family struct {
+		typ      string
+		seenType bool
+		samples  int
+		series   map[string]struct{}   // counter/gauge label signatures
+		groups   map[string]*histGroup // histogram groups by non-le labels
+		sealed   bool                  // a later family started; no more samples allowed
 	}
 	families := make(map[string]*family)
 	var current string
@@ -51,31 +62,40 @@ func LintPrometheusText(r io.Reader) error {
 		}
 		switch f.typ {
 		case "counter", "gauge":
-			if f.samples != 1 {
-				return fmt.Errorf("family %s: %d samples, want 1", name, f.samples)
+			if f.samples < 1 {
+				return fmt.Errorf("family %s: no samples", name)
 			}
 		case "histogram":
-			if !f.hasSum || !f.hasCount {
-				return fmt.Errorf("family %s: missing _sum or _count", name)
+			if len(f.groups) == 0 {
+				return fmt.Errorf("family %s: no histogram series", name)
 			}
-			if !f.hasInf {
-				return fmt.Errorf("family %s: missing le=\"+Inf\" bucket", name)
-			}
-			if f.infBucket != f.count {
-				return fmt.Errorf("family %s: +Inf bucket %v != count %v", name, f.infBucket, f.count)
-			}
-			prevLe := math.Inf(-1)
-			prevV := -1.0
-			for _, b := range f.buckets {
-				if b.le <= prevLe {
-					return fmt.Errorf("family %s: bucket le %v out of order", name, b.le)
+			for sig, g := range f.groups {
+				where := name
+				if sig != "" {
+					where = name + "{" + sig + "}"
 				}
-				if b.v < prevV {
-					return fmt.Errorf("family %s: bucket counts not cumulative (%v after %v)", name, b.v, prevV)
+				if !g.hasSum || !g.hasCount {
+					return fmt.Errorf("family %s: missing _sum or _count", where)
 				}
-				prevLe, prevV = b.le, b.v
-				if b.v > f.infBucket {
-					return fmt.Errorf("family %s: bucket %v exceeds +Inf bucket %v", name, b.v, f.infBucket)
+				if !g.hasInf {
+					return fmt.Errorf("family %s: missing le=\"+Inf\" bucket", where)
+				}
+				if g.infBucket != g.count {
+					return fmt.Errorf("family %s: +Inf bucket %v != count %v", where, g.infBucket, g.count)
+				}
+				prevLe := math.Inf(-1)
+				prevV := -1.0
+				for _, b := range g.buckets {
+					if b.le <= prevLe {
+						return fmt.Errorf("family %s: bucket le %v out of order", where, b.le)
+					}
+					if b.v < prevV {
+						return fmt.Errorf("family %s: bucket counts not cumulative (%v after %v)", where, b.v, prevV)
+					}
+					prevLe, prevV = b.le, b.v
+					if b.v > g.infBucket {
+						return fmt.Errorf("family %s: bucket %v exceeds +Inf bucket %v", where, b.v, g.infBucket)
+					}
 				}
 			}
 		}
@@ -91,7 +111,7 @@ func LintPrometheusText(r io.Reader) error {
 		if strings.HasPrefix(line, "#") {
 			fields := strings.SplitN(line, " ", 4)
 			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
-				continue // free-form comment
+				continue // free-form comment, including the OpenMetrics "# EOF"
 			}
 			name := fields[2]
 			switch fields[1] {
@@ -99,7 +119,10 @@ func LintPrometheusText(r io.Reader) error {
 				if f, ok := families[name]; ok && (f.seenType || f.samples > 0) {
 					return fmt.Errorf("line %d: duplicate # HELP for %s", lineNo, name)
 				}
-				families[name] = &family{}
+				families[name] = &family{
+					series: make(map[string]struct{}),
+					groups: make(map[string]*histGroup),
+				}
 				current = name
 			case "TYPE":
 				f, ok := families[name]
@@ -126,7 +149,7 @@ func LintPrometheusText(r io.Reader) error {
 			continue
 		}
 
-		name, labels, value, err := parseSample(line)
+		name, labels, value, hasExemplar, err := parseSample(line)
 		if err != nil {
 			return fmt.Errorf("line %d: %v", lineNo, err)
 		}
@@ -156,30 +179,66 @@ func LintPrometheusText(r io.Reader) error {
 			}
 		}
 		f.samples++
+		isBucket := f.typ == "histogram" && strings.HasSuffix(name, "_bucket")
+		if hasExemplar && !isBucket && f.typ != "counter" {
+			return fmt.Errorf("line %d: exemplar on %s (type %s); only counters and histogram buckets may carry exemplars", lineNo, name, f.typ)
+		}
 		switch {
-		case f.typ == "histogram" && strings.HasSuffix(name, "_bucket"):
+		case isBucket:
 			le, ok := labels["le"]
 			if !ok {
 				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
 			}
+			sig := labelSignature(labels, "le")
+			g := f.groups[sig]
+			if g == nil {
+				g = &histGroup{}
+				f.groups[sig] = g
+			}
 			if le == "+Inf" {
-				f.hasInf = true
-				f.infBucket = value
+				if g.hasInf {
+					return fmt.Errorf("line %d: duplicate le=\"+Inf\" bucket for %s", lineNo, name)
+				}
+				g.hasInf = true
+				g.infBucket = value
 			} else {
 				leV, err := strconv.ParseFloat(le, 64)
 				if err != nil {
 					return fmt.Errorf("line %d: bad le %q", lineNo, le)
 				}
-				f.buckets = append(f.buckets, struct{ le, v float64 }{leV, value})
+				g.buckets = append(g.buckets, struct{ le, v float64 }{leV, value})
 			}
 		case f.typ == "histogram" && strings.HasSuffix(name, "_sum"):
-			f.sum, f.hasSum = value, true
+			sig := labelSignature(labels, "le")
+			g := f.groups[sig]
+			if g == nil {
+				g = &histGroup{}
+				f.groups[sig] = g
+			}
+			if g.hasSum {
+				return fmt.Errorf("line %d: duplicate _sum for %s", lineNo, name)
+			}
+			g.sum, g.hasSum = value, true
 		case f.typ == "histogram" && strings.HasSuffix(name, "_count"):
-			f.count, f.hasCount = value, true
-		case f.typ == "counter":
-			if value < 0 {
+			sig := labelSignature(labels, "le")
+			g := f.groups[sig]
+			if g == nil {
+				g = &histGroup{}
+				f.groups[sig] = g
+			}
+			if g.hasCount {
+				return fmt.Errorf("line %d: duplicate _count for %s", lineNo, name)
+			}
+			g.count, g.hasCount = value, true
+		case f.typ == "counter" || f.typ == "gauge":
+			if f.typ == "counter" && value < 0 {
 				return fmt.Errorf("line %d: counter %s is negative", lineNo, name)
 			}
+			sig := labelSignature(labels, "")
+			if _, dup := f.series[sig]; dup {
+				return fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, name, sig)
+			}
+			f.series[sig] = struct{}{}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -196,15 +255,68 @@ func LintPrometheusText(r io.Reader) error {
 	return nil
 }
 
+// labelSignature renders a label map as a canonical sorted k="v"
+// signature, omitting the named label (pass "" to keep all).
+func labelSignature(labels map[string]string, omit string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != omit {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + `="` + labels[k] + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
 // parseSample parses one exposition sample line:
 //
-//	name{label="value",...} 12.5 [timestamp]
-func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+//	name{label="value",...} 12.5 [timestamp] [# {exemplar...} value [ts]]
+//
+// hasExemplar reports whether an OpenMetrics exemplar suffix was
+// present (and validated).
+func parseSample(line string) (name string, labels map[string]string, value float64, hasExemplar bool, err error) {
+	// Split off an exemplar suffix. Search only after the sample's label
+	// set (its first '}') so a " # " inside a label value is not
+	// mistaken for an exemplar marker.
+	sample := line
+	var exemplar string
+	searchFrom := 0
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		if end := labelSetEnd(line, i); end > i {
+			searchFrom = end
+		}
+	}
+	if i := strings.Index(line[searchFrom:], " # "); i >= 0 {
+		i += searchFrom
+		sample = strings.TrimSpace(line[:i])
+		exemplar = strings.TrimSpace(line[i+3:])
+		hasExemplar = true
+	}
+	name, labels, value, err = parseSampleBody(sample)
+	if err != nil {
+		return "", nil, 0, false, err
+	}
+	if hasExemplar {
+		if err := validateExemplar(exemplar); err != nil {
+			return "", nil, 0, false, fmt.Errorf("bad exemplar: %v", err)
+		}
+	}
+	return name, labels, value, hasExemplar, nil
+}
+
+func parseSampleBody(line string) (name string, labels map[string]string, value float64, err error) {
 	labels = map[string]string{}
 	rest := line
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		name = rest[:i]
-		end := strings.IndexByte(rest, '}')
+		end := labelSetEnd(rest, i)
 		if end < i {
 			return "", nil, 0, fmt.Errorf("unterminated label set")
 		}
@@ -241,6 +353,68 @@ func parseSample(line string) (name string, labels map[string]string, value floa
 		return "", nil, 0, fmt.Errorf("bad value %q", fields[0])
 	}
 	return name, labels, value, nil
+}
+
+// validateExemplar checks an OpenMetrics exemplar body:
+// {label="value",...} value [timestamp], with the combined label
+// name+value length within the 128-character budget.
+func validateExemplar(ex string) error {
+	if len(ex) == 0 || ex[0] != '{' {
+		return fmt.Errorf("missing label set in %q", ex)
+	}
+	end := labelSetEnd(ex, 0)
+	if end < 0 {
+		return fmt.Errorf("unterminated label set in %q", ex)
+	}
+	budget := 0
+	for _, pair := range splitLabels(ex[1:end]) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad exemplar label %q", pair)
+		}
+		k := strings.TrimSpace(pair[:eq])
+		v := strings.TrimSpace(pair[eq+1:])
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted exemplar label value %q", v)
+		}
+		budget += len(k) + len(v) - 2
+	}
+	if budget > exemplarLabelBudget {
+		return fmt.Errorf("exemplar label set %d chars exceeds budget %d", budget, exemplarLabelBudget)
+	}
+	fields := strings.Fields(strings.TrimSpace(ex[end+1:]))
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want exemplar value [timestamp], got %q", ex[end+1:])
+	}
+	for _, fv := range fields {
+		if _, err := strconv.ParseFloat(fv, 64); err != nil {
+			return fmt.Errorf("bad exemplar number %q", fv)
+		}
+	}
+	return nil
+}
+
+// labelSetEnd returns the index of the '}' closing the label set that
+// opens at s[open], skipping braces inside quoted label values (a
+// route label like "/v1/jobs/{id}" is legal exposition); -1 if the set
+// never closes.
+func labelSetEnd(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 // splitLabels splits a label body on commas outside quotes.

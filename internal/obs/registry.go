@@ -12,18 +12,22 @@ import (
 // and pay only atomic operations afterwards. A Registry is safe for
 // concurrent use.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -82,15 +86,58 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CounterVec returns the named labeled counter family, creating it on
+// first use with the given label keys. On later lookups the existing
+// family wins regardless of the keys argument (names are expected to be
+// package-level constants with one key schema each).
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	r.mu.RLock()
+	v, ok := r.counterVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counterVecs[name]; ok {
+		return v
+	}
+	v = NewCounterVec(name, keys...)
+	r.counterVecs[name] = v
+	return v
+}
+
+// HistogramVec returns the named labeled histogram family with the
+// default bucket layout, creating it on first use with the given label
+// keys. Key-schema semantics match CounterVec.
+func (r *Registry) HistogramVec(name string, keys ...string) *HistogramVec {
+	r.mu.RLock()
+	v, ok := r.histogramVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.histogramVecs[name]; ok {
+		return v
+	}
+	v = NewHistogramVec(name, nil, keys...)
+	r.histogramVecs[name] = v
+	return v
+}
+
 // Snapshot is a point-in-time serializable view of a registry. It is
 // weakly consistent: metrics are read one by one without a global lock,
 // so counters written during the snapshot may be split across it. Callers
 // that need exact cross-metric invariants (the conservation properties in
 // the engine tests) snapshot while the instrumented system is quiescent.
 type Snapshot struct {
-	Counters   map[string]uint64            `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters          map[string]uint64             `json:"counters"`
+	Gauges            map[string]int64              `json:"gauges"`
+	Histograms        map[string]HistogramSnapshot  `json:"histograms"`
+	LabeledCounters   map[string][]LabeledValue     `json:"labeled_counters,omitempty"`
+	LabeledHistograms map[string][]LabeledHistogram `json:"labeled_histograms,omitempty"`
 }
 
 // Snapshot captures every registered metric.
@@ -110,6 +157,18 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.counterVecs) > 0 {
+		s.LabeledCounters = make(map[string][]LabeledValue, len(r.counterVecs))
+		for name, v := range r.counterVecs {
+			s.LabeledCounters[name] = v.Snapshot()
+		}
+	}
+	if len(r.histogramVecs) > 0 {
+		s.LabeledHistograms = make(map[string][]LabeledHistogram, len(r.histogramVecs))
+		for name, v := range r.histogramVecs {
+			s.LabeledHistograms[name] = v.Snapshot()
+		}
 	}
 	return s
 }

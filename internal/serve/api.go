@@ -31,15 +31,19 @@ const TenantHeader = "X-Tenant"
 // Handler returns the server's full mux: the job API under /v1/ and the
 // shared observability surface (/metrics, /healthz, /readyz,
 // /debug/trace) via MountDebug, with /readyz bound to Server.Ready so
-// it flips 503 the moment drain starts.
+// it flips 503 the moment drain starts. The whole mux is wrapped in the
+// request-scoped middleware (middleware.go): every request gets a
+// traceparent + X-Request-ID and lands in
+// serve.http.requests{route,method,code}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobGet)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/admin/config", s.handleAdminConfig)
+	mux.HandleFunc("/v1/events", s.handleEvents)
 	MountDebug(mux, s.eng.Metrics(), s.tracer, s.Ready)
-	return mux
+	return s.withRequestScope(mux)
 }
 
 // errorBody is every non-2xx JSON response.
@@ -83,7 +87,6 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 //	429 + Retry-After          shed: queue full, rate limit, or quota
 //	503                        draining
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	s.httpRequests.Inc()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "use POST /v1/jobs")
@@ -122,7 +125,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	records, apiErr := s.submit(r.Header.Get(TenantHeader), jobs)
+	records, apiErr := s.submit(r.Header.Get(TenantHeader), jobs, requestMeta(r))
 	if apiErr != nil {
 		writeAPIError(w, apiErr)
 		return
@@ -200,7 +203,6 @@ func decodeJSONL(data []byte) ([]JobRequest, error) {
 // ?mode=full|relevant|irredundant picks the offset table's anchor sets
 // (default irredundant) for both methods.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	s.httpRequests.Inc()
 	if r.Method != http.MethodGet && r.Method != http.MethodPatch {
 		w.Header().Set("Allow", "GET, PATCH")
 		writeError(w, http.StatusMethodNotAllowed, "use GET or PATCH /v1/jobs/{id}")
@@ -236,7 +238,6 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 // handleStatus is GET /v1/status: the StatusView snapshot.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.httpRequests.Inc()
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, "use GET /v1/status")
@@ -263,7 +264,6 @@ type ConfigRequest struct {
 // current effective config, as a StatusView). Reload is refused with
 // 503 once drain has started — the pool is winding down.
 func (s *Server) handleAdminConfig(w http.ResponseWriter, r *http.Request) {
-	s.httpRequests.Inc()
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, s.Status())

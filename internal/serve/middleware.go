@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// This file is the request-scoped half of the ops plane: a middleware
+// wrapped around the whole API mux that gives every request a
+// correlation identity before any handler runs, and settles the RED
+// accounting after it returns. Per request it:
+//
+//   - ingests (or mints) a W3C `traceparent` and an `X-Request-ID`,
+//     echoes both on the response, and parks them in the request
+//     context so the intake path can pin them to accepted jobs;
+//   - opens a root span named "request" — the job span the engine opens
+//     later is a *child* of it (engine.Job.Parent), so one trace tree
+//     spans intake → queue → schedule → terminal result;
+//   - records serve.http.requests{route,method,code} with the route
+//     normalized onto the fixed route table below — never the raw URL,
+//     which is attacker-chosen and would mint unbounded label values.
+//
+// The span is ended when the handler returns, which is before the job
+// it admitted runs. That is safe by design: engine.Job.Parent only
+// reads the span's immutable identity (ID, Root), never its buffers.
+
+// requestIDHeader echoes and ingests the caller's request correlation
+// ID; traceParentHeader is the W3C trace-context header (lowercase on
+// the wire per spec; Go's header map canonicalizes either way).
+const (
+	requestIDHeader   = "X-Request-Id"
+	traceParentHeader = "Traceparent"
+)
+
+// maxRequestIDLen bounds an ingested X-Request-ID; longer values are
+// replaced (not truncated — a truncated ID correlates with nothing).
+const maxRequestIDLen = 128
+
+// reqMeta is one request's correlation identity, carried in the request
+// context from the middleware to the intake path.
+type reqMeta struct {
+	span        *trace.Span // request root span; nil when tracing is off
+	requestID   string
+	traceParent string // outgoing traceparent (this request's span as parent-id)
+}
+
+type reqMetaKey struct{}
+
+// requestMeta extracts the middleware's identity from a request context;
+// the zero meta (no span, empty IDs) means the middleware did not run
+// (direct handler tests).
+func requestMeta(r *http.Request) *reqMeta {
+	if m, ok := r.Context().Value(reqMetaKey{}).(*reqMeta); ok {
+		return m
+	}
+	return &reqMeta{}
+}
+
+// routeLabel normalizes a URL path onto the fixed route table so the
+// route label's cardinality is bounded by construction, not by the cap.
+func routeLabel(path string) string {
+	switch {
+	case path == "/v1/jobs":
+		return "/v1/jobs"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case path == "/v1/status":
+		return "/v1/status"
+	case path == "/v1/admin/config":
+		return "/v1/admin/config"
+	case path == "/v1/events":
+		return "/v1/events"
+	case path == "/metrics":
+		return "/metrics"
+	case path == "/healthz":
+		return "/healthz"
+	case path == "/readyz":
+		return "/readyz"
+	case strings.HasPrefix(path, "/debug/"):
+		return "/debug"
+	default:
+		return "other"
+	}
+}
+
+// randHex returns n random bytes hex-encoded (2n characters).
+// crypto/rand failure is unheard of on the platforms we run on; fall
+// back to the span-free all-zero ID rather than panicking in serving.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return strings.Repeat("0", 2*n)
+	}
+	return hex.EncodeToString(b)
+}
+
+// parseTraceParent validates a W3C traceparent header
+// (version-traceid-parentid-flags, e.g. 00-4bf9...-00f0...-01) and
+// returns its trace-id and flags. Only the 00 version's shape is
+// checked; all-zero trace-ids are invalid per spec.
+func parseTraceParent(h string) (traceID, flags string, ok bool) {
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 {
+		return "", "", false
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", "", false
+	}
+	for _, p := range parts {
+		if _, err := hex.DecodeString(p); err != nil {
+			return "", "", false
+		}
+	}
+	if parts[1] == strings.Repeat("0", 32) || parts[0] == "ff" {
+		return "", "", false
+	}
+	return parts[1], parts[3], true
+}
+
+// spanHex renders a span ID as the 16-hex-digit parent-id field of a
+// traceparent. Span ID 0 (tracing off) still yields a valid non-zero
+// parent-id by convention: the request ID keeps correlation alive even
+// without a tracer, so we burn one random ID instead of emitting the
+// invalid all-zero field.
+func spanHex(id trace.SpanID) string {
+	if id == 0 {
+		return randHex(8)
+	}
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// statusRecorder captures the response code for the RED counter while
+// passing Flusher/Hijacker through — the SSE stream needs per-event
+// flushes and would silently buffer forever behind a plain wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sr *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := sr.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
+}
+
+// withRequestScope wraps the API mux with the request-scoped ops plane
+// (see the file comment).
+func (s *Server) withRequestScope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The trace ring's drop counter is surfaced as a gauge; syncing it
+		// here (two atomics) keeps every /metrics scrape and /v1/status
+		// read current without a background ticker.
+		s.spansDropped.Set(int64(s.tracer.Dropped()))
+
+		route := routeLabel(r.URL.Path)
+
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" || len(reqID) > maxRequestIDLen {
+			reqID = "req-" + randHex(8)
+		}
+		traceID, flags, ok := parseTraceParent(r.Header.Get(traceParentHeader))
+		if !ok {
+			traceID, flags = randHex(16), "01"
+		}
+
+		span := s.tracer.StartSpan("request")
+		span.SetStr("route", route)
+		span.SetStr("method", r.Method)
+		span.SetStr("request_id", reqID)
+		span.SetStr("trace_id", traceID)
+
+		meta := &reqMeta{
+			span:        span,
+			requestID:   reqID,
+			traceParent: "00-" + traceID + "-" + spanHex(span.ID()) + "-" + flags,
+		}
+		w.Header().Set(requestIDHeader, reqID)
+		w.Header().Set(traceParentHeader, meta.traceParent)
+
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), reqMetaKey{}, meta)))
+
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		span.SetInt("code", int64(rec.code))
+		span.End()
+		s.httpReqVec.With(route, r.Method, strconv.Itoa(rec.code)).Inc()
+	})
+}

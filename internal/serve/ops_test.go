@@ -1,0 +1,603 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/flight"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Tests for the request-scoped ops plane: trace-context propagation,
+// RED metrics, latency exemplars, and the /v1/events stream.
+
+// opsServer builds a Server with tracing and a flight recorder wired
+// through the engine, the full middleware-wrapped handler mounted on an
+// httptest server.
+func opsServer(t *testing.T, mutate func(*Options), fl flight.Options) (*Server, *httptest.Server, *trace.Tracer) {
+	t.Helper()
+	tracer := trace.New(trace.Options{})
+	var rec *flight.Recorder
+	if fl.Dir != "" {
+		var err error
+		rec, err = flight.New(fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := engine.New(engine.Options{Workers: 2, Tracer: tracer, Flight: rec})
+	opts := Options{Engine: eng, Workers: 2, Tracer: tracer, Flight: rec}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	opts.Engine = eng
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("cleanup drain: %v", err)
+		}
+		ts.Close()
+	})
+	return s, ts, tracer
+}
+
+// TestRequestCorrelationEndToEnd pins the tentpole promise: one
+// identity follows a job from the POST's traceparent through the span
+// tree, the JobView echo, the latency exemplar, and the flight bundle.
+func TestRequestCorrelationEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// FixedThreshold 1ns forces the latency trigger on every job, so the
+	// scheduled job dumps a bundle whose path must ride the exemplar.
+	s, ts, tracer := opsServer(t, nil, flight.Options{
+		Dir: dir, FixedThreshold: time.Nanosecond, MinInterval: -1,
+	})
+	// Gate the job until the request span is committed, so the flight
+	// dump's ring snapshot deterministically contains the request root.
+	gate := make(chan struct{})
+	s.testJobGate = gate
+
+	const wantTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(singleJob("corr")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", "00-"+wantTraceID+"-00f067aa0ba902b7-01")
+	req.Header.Set("X-Request-Id", "req-e2e")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := decodeJobs(t, resp)
+
+	// The response echoes the request ID and a traceparent continuing
+	// the caller's trace with this request's span as parent-id.
+	if got := resp.Header.Get("X-Request-Id"); got != "req-e2e" {
+		t.Errorf("X-Request-Id echoed as %q, want req-e2e", got)
+	}
+	tp := resp.Header.Get("Traceparent")
+	traceID, _, ok := parseTraceParent(tp)
+	if !ok || traceID != wantTraceID {
+		t.Fatalf("response traceparent %q does not continue trace %s", tp, wantTraceID)
+	}
+	parentHex := strings.Split(tp, "-")[2]
+	reqSpanID, err := strconv.ParseUint(parentHex, 16, 64)
+	if err != nil || reqSpanID == 0 {
+		t.Fatalf("response traceparent parent-id %q is not a span ID", parentHex)
+	}
+	if len(views) != 1 || views[0].RequestID != "req-e2e" || views[0].TraceParent != tp {
+		t.Fatalf("JobView echo = %+v, want request_id req-e2e and traceparent %s", views, tp)
+	}
+
+	// Release the job only once the POST's request span is in the ring.
+	waitFor(t, "request span committed", func() bool {
+		for _, sd := range tracer.Snapshot() {
+			if uint64(sd.ID) == reqSpanID {
+				return true
+			}
+		}
+		return false
+	})
+	close(gate)
+
+	// Wait for the terminal JobView and check the stored echo survives.
+	var final JobView
+	waitFor(t, "job corr terminal", func() bool {
+		r, err := ts.Client().Get(ts.URL + "/v1/jobs/corr")
+		if err != nil {
+			return false
+		}
+		defer r.Body.Close()
+		if err := json.NewDecoder(r.Body).Decode(&final); err != nil {
+			return false
+		}
+		return final.Status == StatusDone || final.Status == StatusFailed
+	})
+	if final.Status != StatusDone {
+		t.Fatalf("job corr = %+v, want done", final)
+	}
+	if final.RequestID != "req-e2e" || final.TraceParent != tp {
+		t.Errorf("stored JobView echo = request_id %q traceparent %q, want req-e2e / %s",
+			final.RequestID, final.TraceParent, tp)
+	}
+
+	// The traceparent's parent-id names the root of the job's span tree:
+	// the job span is a child of the request span, sharing its root.
+	var reqSpan, jobSpan *trace.SpanData
+	for _, sd := range tracer.Snapshot() {
+		sd := sd
+		if uint64(sd.ID) == reqSpanID && sd.Name == "request" {
+			reqSpan = &sd
+		}
+		if sd.Name == "job" && uint64(sd.Root) == reqSpanID {
+			jobSpan = &sd
+		}
+	}
+	if reqSpan == nil {
+		t.Fatalf("no request span with ID %d in the trace ring", reqSpanID)
+	}
+	if reqSpan.Root != reqSpan.ID {
+		t.Errorf("request span is not a root: root=%d id=%d", reqSpan.Root, reqSpan.ID)
+	}
+	if jobSpan == nil {
+		t.Fatalf("no job span rooted at the request span %d", reqSpanID)
+	}
+	if uint64(jobSpan.Parent) != reqSpanID {
+		t.Errorf("job span parent = %d, want the request span %d", jobSpan.Parent, reqSpanID)
+	}
+
+	// The forced-slow job's serve.job.latency exemplar resolves to the
+	// same span ID and to the flight bundle on disk.
+	snap := s.eng.Metrics().Snapshot()
+	exs := snap.Histograms[MetricJobLatency].Exemplars
+	var found *obs.Exemplar
+	for i := range exs {
+		if exs[i].RequestID == "req-e2e" {
+			found = &exs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no serve.job.latency exemplar with request_id req-e2e; have %+v", exs)
+	}
+	if found.SpanID != reqSpanID {
+		t.Errorf("exemplar span = %x, want the request span %x", found.SpanID, reqSpanID)
+	}
+	if found.FlightPath == "" {
+		t.Fatal("exemplar carries no flight bundle path for a forced-slow job")
+	}
+	if _, err := os.Stat(found.FlightPath); err != nil {
+		t.Errorf("exemplar flight path does not resolve: %v", err)
+	}
+	// And the bundle's span section carries the request tree.
+	data, err := os.ReadFile(found.FlightPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle struct {
+		Job struct {
+			Spans []trace.SpanData `json:"spans"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal(data, &bundle); err != nil {
+		t.Fatal(err)
+	}
+	sawRequest := false
+	for _, sd := range bundle.Job.Spans {
+		if uint64(sd.ID) == reqSpanID && sd.Name == "request" {
+			sawRequest = true
+		}
+	}
+	if !sawRequest {
+		t.Errorf("flight bundle span tree lacks the request root span %d", reqSpanID)
+	}
+}
+
+// TestRequestIdentityGenerated: a bare request still gets a request ID
+// and a valid traceparent minted for it.
+func TestRequestIdentityGenerated(t *testing.T) {
+	_, ts, _ := opsServer(t, nil, flight.Options{})
+	resp, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); !strings.HasPrefix(got, "req-") {
+		t.Errorf("generated X-Request-Id = %q, want req-<hex>", got)
+	}
+	if tp := resp.Header.Get("Traceparent"); tp == "" {
+		t.Error("no traceparent minted")
+	} else if _, _, ok := parseTraceParent(tp); !ok {
+		t.Errorf("minted traceparent %q is not valid", tp)
+	}
+}
+
+// TestHTTPRequestsLabeled pins the RED counter: requests land in
+// serve.http.requests{route,method,code} with normalized routes, the
+// exposition carries the labels, and both text formats pass the linter.
+func TestHTTPRequestsLabeled(t *testing.T) {
+	_, ts, _ := opsServer(t, nil, flight.Options{})
+
+	for i := 0; i < 2; i++ {
+		if code := getStatusCode(t, ts, "/v1/status"); code != 200 {
+			t.Fatalf("GET /v1/status = %d", code)
+		}
+	}
+	_ = decodeJobs(t, postJobs(t, ts, "acme", "application/json", singleJob("red-1")))
+	if code := getStatusCode(t, ts, "/no/such/path"); code != 404 {
+		t.Fatalf("GET /no/such/path = %d", code)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`relsched_serve_http_requests_total{route="/v1/status",method="GET",code="200"} 2`,
+		`relsched_serve_http_requests_total{route="/v1/jobs",method="POST",code="202"} 1`,
+		`relsched_serve_http_requests_total{route="other",method="GET",code="404"} 1`,
+		`relsched_serve_tenant_jobs_total{tenant="acme",outcome="accepted"} 1`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	if err := obs.LintPrometheusText(strings.NewReader(body)); err != nil {
+		t.Errorf("labeled exposition fails lint: %v", err)
+	}
+
+	// The OpenMetrics negotiation path must lint too.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintPrometheusText(strings.NewReader(om)); err != nil {
+		t.Errorf("OpenMetrics exposition fails lint: %v", err)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return b.String(), sc.Err()
+}
+
+// TestTenantJobsCardinalityBounded: spraying distinct tenant names
+// through admission cannot mint unbounded serve.tenant.jobs series —
+// past the label budget newcomers collapse into "other" and the total
+// is conserved.
+func TestTenantJobsCardinalityBounded(t *testing.T) {
+	s := testServer(t, 1, nil)
+	n := obs.DefaultMaxLabelValues * 2
+	for i := 0; i < n; i++ {
+		s.tenantJobs.With(fmt.Sprintf("attacker-%d", i), "accepted").Inc()
+	}
+	series := s.tenantJobs.Snapshot()
+	if len(series) > obs.DefaultMaxLabelValues+1 {
+		t.Fatalf("tenant spray minted %d series, cap is %d+overflow",
+			len(series), obs.DefaultMaxLabelValues)
+	}
+	var total, overflow uint64
+	for _, sv := range series {
+		total += sv.Value
+		if sv.Labels["tenant"] == obs.OverflowLabel {
+			overflow = sv.Value
+		}
+	}
+	if total != uint64(n) {
+		t.Errorf("spray total = %d, want %d (conservation through the collapse)", total, n)
+	}
+	if overflow != uint64(n-obs.DefaultMaxLabelValues) {
+		t.Errorf("overflow bucket = %d, want %d", overflow, n-obs.DefaultMaxLabelValues)
+	}
+}
+
+// sseEvent is one parsed /v1/events frame.
+type sseEvent struct {
+	name string
+	ev   Event
+}
+
+// readSSE consumes an SSE body until EOF, signaling readiness once the
+// stream-open comment arrives.
+func readSSE(resp *http.Response, ready chan<- struct{}, out chan<- sseEvent) {
+	defer close(out)
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var name string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": stream open"):
+			if ready != nil {
+				close(ready)
+				ready = nil
+			}
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err == nil {
+				out <- sseEvent{name: name, ev: ev}
+			}
+		}
+	}
+}
+
+// TestEventsLifecycleConservation pins the stream's exactly-once
+// promise: every accepted job appears as one admitted, one started, and
+// exactly one terminal event, and the stream completes at drain.
+func TestEventsLifecycleConservation(t *testing.T) {
+	s, ts, _ := opsServer(t, nil, flight.Options{})
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/events = %d", resp.StatusCode)
+	}
+	ready := make(chan struct{})
+	out := make(chan sseEvent, 256)
+	go readSSE(resp, ready, out)
+	select {
+	case <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream never opened")
+	}
+
+	const n = 5
+	views := decodeJobs(t, postJobs(t, ts, "ten", "application/json", batchJobs(n)))
+	if len(views) != n {
+		t.Fatalf("accepted %d jobs, want %d", len(views), n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := map[string]int{}
+	started := map[string]int{}
+	terminal := map[string]int{}
+	var lastSeq uint64
+	for se := range out {
+		if se.ev.Seq <= lastSeq {
+			t.Errorf("event seq not increasing: %d after %d", se.ev.Seq, lastSeq)
+		}
+		lastSeq = se.ev.Seq
+		if se.name != se.ev.Type {
+			t.Errorf("SSE event name %q != payload type %q", se.name, se.ev.Type)
+		}
+		switch se.ev.Type {
+		case EventAdmitted:
+			admitted[se.ev.Job]++
+		case EventStarted:
+			started[se.ev.Job]++
+		case EventDone, EventFailed:
+			terminal[se.ev.Job]++
+		}
+	}
+	for _, v := range views {
+		if admitted[v.ID] != 1 {
+			t.Errorf("job %s: %d admitted events, want exactly 1", v.ID, admitted[v.ID])
+		}
+		if started[v.ID] != 1 {
+			t.Errorf("job %s: %d started events, want exactly 1", v.ID, started[v.ID])
+		}
+		if terminal[v.ID] != 1 {
+			t.Errorf("job %s: %d terminal events, want exactly 1", v.ID, terminal[v.ID])
+		}
+	}
+	if len(terminal) != n {
+		t.Errorf("terminal events for %d jobs, want %d", len(terminal), n)
+	}
+}
+
+// TestEventsShedCarriesReason: a refused batch emits one shed event
+// with the machine-readable reason.
+func TestEventsShedCarriesReason(t *testing.T) {
+	s, ts, _ := opsServer(t, func(o *Options) {
+		o.TenantQuota = 1
+		o.Workers = 1
+	}, flight.Options{})
+	gate := make(chan struct{})
+	s.testJobGate = gate
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	out := make(chan sseEvent, 64)
+	go readSSE(resp, ready, out)
+	<-ready
+
+	// First job occupies the quota (held in flight by the gate); the
+	// second is shed with reason quota.
+	decodeJobs(t, postJobs(t, ts, "q", "application/json", singleJob("held")))
+	r2 := postJobs(t, ts, "q", "application/json", singleJob("refused"))
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second job = %d, want 429", r2.StatusCode)
+	}
+	close(gate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sawShed := false
+	for se := range out {
+		if se.ev.Type == EventShed {
+			sawShed = true
+			if se.ev.Reason != "quota" || se.ev.Jobs != 1 || se.ev.Tenant != "q" {
+				t.Errorf("shed event = %+v, want reason quota, jobs 1, tenant q", se.ev)
+			}
+		}
+	}
+	if !sawShed {
+		t.Error("no shed event on the stream")
+	}
+}
+
+// TestEventsSlowSubscriberDropped: a subscriber that stops reading is
+// disconnected at the buffer bound, the miss is counted, and publishing
+// never blocks.
+func TestEventsSlowSubscriberDropped(t *testing.T) {
+	s := testServer(t, 1, nil)
+	sub := s.events.subscribe()
+
+	// Fill the buffer and push one past it; the publisher must return
+	// (non-blocking) with the subscriber disconnected.
+	for i := 0; i < eventBufDepth+1; i++ {
+		s.events.publish(Event{Type: EventAdmitted, Job: fmt.Sprintf("j%d", i)})
+	}
+	drained := 0
+	closed := false
+	for !closed {
+		select {
+		case _, ok := <-sub.ch:
+			if !ok {
+				closed = true
+				break
+			}
+			drained++
+		case <-time.After(time.Second):
+			t.Fatal("subscriber channel neither drained nor closed")
+		}
+	}
+	if drained != eventBufDepth {
+		t.Errorf("drained %d buffered events, want %d", drained, eventBufDepth)
+	}
+	snap := s.eng.Metrics().Snapshot()
+	if got := snap.Counters[MetricEventsDropped]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricEventsDropped, got)
+	}
+	// A healthy subscriber is unaffected by the other's disconnect.
+	sub2 := s.events.subscribe()
+	s.events.publish(Event{Type: EventDone, Job: "after"})
+	select {
+	case ev := <-sub2.ch:
+		if ev.Job != "after" {
+			t.Errorf("healthy subscriber got %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("healthy subscriber starved after the slow one was dropped")
+	}
+	s.events.unsubscribe(sub2)
+}
+
+// TestLimiterConcurrentAdmitRelease exercises the limiter under -race:
+// concurrent admits and releases across a small tenant set, with a
+// policy hot-swap racing them.
+func TestLimiterConcurrentAdmitRelease(t *testing.T) {
+	l := newTenantLimiter(1e9, 1<<30, 4, time.Now)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%3)
+			for i := 0; i < 500; i++ {
+				if v := l.admit(tenant, 1); v.ok {
+					l.release(tenant)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			l.setPolicy(1e9, 1<<30, 4+i%3)
+			l.policy()
+		}
+	}()
+	wg.Wait()
+	// Everything admitted was released: every tenant ends idle.
+	for name, ts := range l.tenants {
+		if ts.active != 0 {
+			t.Errorf("tenant %s ends with %d active jobs, want 0", name, ts.active)
+		}
+	}
+}
+
+// TestStatusCarriesOpsCounters: /v1/status surfaces the delta counters,
+// patch total, and the span-drop gauge.
+func TestStatusCarriesOpsCounters(t *testing.T) {
+	// A 1-span ring guarantees drops once a few requests have run.
+	tracer := trace.New(trace.Options{Capacity: 1})
+	eng := engine.New(engine.Options{Workers: 1, Tracer: tracer})
+	s, err := New(Options{Engine: eng, Workers: 1, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		getStatusCode(t, ts, "/v1/status")
+	}
+	var sv StatusView
+	resp, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.SpansDropped == 0 {
+		t.Error("spans_dropped = 0 with a 1-span ring after several requests")
+	}
+	// The reporting request itself commits one more span after the
+	// snapshot, so the live count may be ahead — never behind.
+	if live := tracer.Dropped(); sv.SpansDropped > live {
+		t.Errorf("spans_dropped = %d, ahead of the tracer's %d", sv.SpansDropped, live)
+	}
+	// The gauge mirrors it on the scrape path too.
+	if got := eng.Metrics().Snapshot().Gauges[MetricSpansDropped]; got == 0 {
+		t.Errorf("%s gauge = %d, want the synced drop count", MetricSpansDropped, got)
+	}
+}

@@ -276,6 +276,9 @@ func (s *Server) handleJobPatch(w http.ResponseWriter, r *http.Request, id strin
 	rec.renderMu.Unlock()
 
 	s.patched.Add(uint64(len(edits)))
+	ev := s.event(EventPatched, rec)
+	ev.Edits = len(edits)
+	s.events.publish(ev)
 	if s.log.Enabled(logx.LevelInfo) {
 		s.log.Info("job patched", logx.Str("job", id), logx.Int("edits", int64(len(edits))))
 	}

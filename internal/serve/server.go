@@ -108,8 +108,28 @@ const (
 	MetricQueueDepth = "serve.queue.depth"
 	// MetricWorkers gauges the current worker-pool size.
 	MetricWorkers = "serve.workers"
-	// MetricHTTPRequests counts API requests by coarse outcome.
+	// MetricHTTPRequests counts API requests, labeled
+	// {route,method,code}: the R and E of RED per endpoint. The route
+	// label is normalized onto a fixed table (see routeLabel) and the
+	// family's cardinality is capped (see internal/obs/labels.go), so a
+	// path-spraying client cannot mint series.
 	MetricHTTPRequests = "serve.http.requests"
+	// MetricTenantJobs counts per-tenant job outcomes, labeled
+	// {tenant,outcome} with outcome one of accepted, shed, done, failed.
+	// Tenant names are client-chosen, so this family leans on the label
+	// cap: past the budget new tenants collapse into "other" and the
+	// totals stay honest. Conservation per tenant:
+	// accepted = done + failed (once drained), and accepted + shed =
+	// jobs requested past the drain gate.
+	MetricTenantJobs = "serve.tenant.jobs"
+	// MetricEventsDropped counts /v1/events deliveries abandoned because
+	// a subscriber's buffer was full (the subscriber is disconnected; see
+	// events.go).
+	MetricEventsDropped = "serve.events.dropped"
+	// MetricSpansDropped gauges trace.Tracer.Dropped(): completed spans
+	// overwritten by ring wrap-around. A rising value means /debug/trace
+	// and flight bundles are missing history — raise the ring capacity.
+	MetricSpansDropped = "trace.spans.dropped"
 	// MetricJobsPatched counts graph edits applied through
 	// PATCH /v1/jobs/{id} (one per edit, not per request). The engine's
 	// engine.delta.applied/failed counters split the same traffic by
@@ -154,6 +174,12 @@ type JobView struct {
 	ID     string    `json:"id"`
 	Status JobStatus `json:"status"`
 	Tenant string    `json:"tenant,omitempty"`
+	// RequestID and TraceParent echo the submitting request's
+	// correlation identity (the X-Request-ID and W3C traceparent the
+	// server answered the POST with), so a stored job resolves back to
+	// its request trace.
+	RequestID   string `json:"request_id,omitempty"`
+	TraceParent string `json:"traceparent,omitempty"`
 	// Terminal-state fields.
 	CacheHit           bool  `json:"cache_hit,omitempty"`
 	DurationNS         int64 `json:"duration_ns,omitempty"`
@@ -184,6 +210,15 @@ type jobRecord struct {
 	result     engine.Result // valid once status is terminal
 	errKind    string
 
+	// Request-scoped correlation identity, set at admission from the
+	// submitting request's middleware metadata: the X-Request-ID and the
+	// response traceparent echoed in JobView, and the request root span
+	// the engine's job span is parented under. reqSpan is ended long
+	// before the job runs; only its immutable ID/Root are ever read.
+	requestID   string
+	traceParent string
+	reqSpan     *trace.Span
+
 	// renderMu serializes PATCH delta application against offset
 	// rendering: Schedule.Apply mutates the record's (private, forked)
 	// graph in place, and WriteOffsets walks that graph. Lock order is
@@ -210,11 +245,17 @@ type Server struct {
 	requested, accepted  *obs.Counter
 	shed, shedQueue      *obs.Counter
 	shedRate, shedQuota  *obs.Counter
-	httpRequests         *obs.Counter
 	patched              *obs.Counter
+	eventsDropped        *obs.Counter
+	httpReqVec           *obs.CounterVec
+	tenantJobs           *obs.CounterVec
 	jobLatency           *obs.Histogram
 	queueDepth, workersG *obs.Gauge
+	spansDropped         *obs.Gauge
 	queueCap, resultCap  int
+
+	// events fans the job lifecycle out to /v1/events subscribers.
+	events *eventHub
 
 	// Admission queue. intakeMu is held shared by enqueuers and
 	// exclusively by Drain: a send can never race the close.
@@ -273,30 +314,34 @@ func New(opts Options) (*Server, error) {
 	}
 	reg := opts.Engine.Metrics()
 	s := &Server{
-		eng:          opts.Engine,
-		limiter:      newTenantLimiter(opts.RatePerTenant, opts.Burst, opts.TenantQuota, now),
-		log:          opts.Logger,
-		tracer:       opts.Tracer,
-		flight:       opts.Flight,
-		now:          now,
-		requested:    reg.Counter(MetricJobsRequested),
-		accepted:     reg.Counter(MetricJobsAccepted),
-		shed:         reg.Counter(engine.MetricJobsShed),
-		shedQueue:    reg.Counter(MetricShedQueueFull),
-		shedRate:     reg.Counter(MetricShedRateLimited),
-		shedQuota:    reg.Counter(MetricShedQuota),
-		httpRequests: reg.Counter(MetricHTTPRequests),
-		patched:      reg.Counter(MetricJobsPatched),
-		jobLatency:   reg.Histogram(MetricJobLatency),
-		queueDepth:   reg.Gauge(MetricQueueDepth),
-		workersG:     reg.Gauge(MetricWorkers),
-		queueCap:     opts.QueueDepth,
-		resultCap:    opts.ResultCapacity,
-		queue:        make(chan *jobRecord, opts.QueueDepth),
-		quit:         make(chan struct{}),
-		store:        make(map[string]*jobRecord),
-		drained:      make(chan struct{}),
+		eng:           opts.Engine,
+		limiter:       newTenantLimiter(opts.RatePerTenant, opts.Burst, opts.TenantQuota, now),
+		log:           opts.Logger,
+		tracer:        opts.Tracer,
+		flight:        opts.Flight,
+		now:           now,
+		requested:     reg.Counter(MetricJobsRequested),
+		accepted:      reg.Counter(MetricJobsAccepted),
+		shed:          reg.Counter(engine.MetricJobsShed),
+		shedQueue:     reg.Counter(MetricShedQueueFull),
+		shedRate:      reg.Counter(MetricShedRateLimited),
+		shedQuota:     reg.Counter(MetricShedQuota),
+		patched:       reg.Counter(MetricJobsPatched),
+		eventsDropped: reg.Counter(MetricEventsDropped),
+		httpReqVec:    reg.CounterVec(MetricHTTPRequests, "route", "method", "code"),
+		tenantJobs:    reg.CounterVec(MetricTenantJobs, "tenant", "outcome"),
+		jobLatency:    reg.Histogram(MetricJobLatency),
+		queueDepth:    reg.Gauge(MetricQueueDepth),
+		workersG:      reg.Gauge(MetricWorkers),
+		spansDropped:  reg.Gauge(MetricSpansDropped),
+		queueCap:      opts.QueueDepth,
+		resultCap:     opts.ResultCapacity,
+		queue:         make(chan *jobRecord, opts.QueueDepth),
+		quit:          make(chan struct{}),
+		store:         make(map[string]*jobRecord),
+		drained:       make(chan struct{}),
 	}
+	s.events = newEventHub(func(n uint64) { s.eventsDropped.Add(n) })
 	s.resizePool(opts.Workers)
 	return s, nil
 }
@@ -375,12 +420,18 @@ func (s *Server) runJob(rec *jobRecord) {
 	s.storeMu.Lock()
 	rec.status = StatusRunning
 	s.storeMu.Unlock()
+	s.events.publish(s.event(EventStarted, rec))
 
+	// Parent/RequestID hand the request's correlation identity to the
+	// engine: the job span becomes a child of the (already ended) request
+	// span, and stage exemplars carry the request ID.
 	res := s.eng.Schedule(context.Background(), engine.Job{
-		ID:       rec.id,
-		Graph:    rec.graph,
-		WellPose: rec.wellPose,
-		Timeout:  rec.timeout,
+		ID:        rec.id,
+		Graph:     rec.graph,
+		WellPose:  rec.wellPose,
+		Timeout:   rec.timeout,
+		Parent:    rec.reqSpan,
+		RequestID: rec.requestID,
 	})
 
 	s.storeMu.Lock()
@@ -394,8 +445,36 @@ func (s *Server) runJob(rec *jobRecord) {
 	s.finished = append(s.finished, rec.id)
 	s.evictLocked()
 	s.storeMu.Unlock()
-	s.jobLatency.Observe(s.now().Sub(rec.acceptedAt))
+
+	latency := s.now().Sub(rec.acceptedAt)
+	if spanID := uint64(rec.reqSpan.ID()); spanID == 0 && rec.requestID == "" && res.FlightBundle == "" {
+		s.jobLatency.Observe(latency)
+	} else {
+		// The exemplar's span is the request root — the top of the tree
+		// the traceparent named — so a slow latency bucket resolves
+		// straight to the whole request's trace and flight bundle.
+		s.jobLatency.ObserveExemplar(latency, obs.Exemplar{
+			SpanID:     uint64(rec.reqSpan.ID()),
+			RequestID:  rec.requestID,
+			FlightPath: res.FlightBundle,
+		})
+	}
 	s.limiter.release(rec.tenant)
+
+	if res.Err != nil {
+		ev := s.event(EventFailed, rec)
+		ev.Reason = rec.errKind
+		s.events.publish(ev)
+		s.tenantJobs.With(rec.tenant, "failed").Inc()
+	} else {
+		s.events.publish(s.event(EventDone, rec))
+		s.tenantJobs.With(rec.tenant, "done").Inc()
+	}
+	if res.FlightBundle != "" {
+		ev := s.event(EventFlight, rec)
+		ev.Flight = res.FlightBundle
+		s.events.publish(ev)
+	}
 }
 
 // evictLocked drops the oldest finished results over the retention
@@ -431,8 +510,9 @@ func (e *apiError) Error() string { return e.msg }
 // is accepted (one jobRecord each, queued in request order) or none is
 // and the refusal names why. Gates in order: drain (503), tenant rate
 // limit and quota (429), queue capacity (429). A refused batch consumes
-// no tokens and no quota.
-func (s *Server) submit(tenant string, jobs []parsedJob) ([]*jobRecord, *apiError) {
+// no tokens and no quota. meta is the submitting request's correlation
+// identity (never nil; the zero meta means no middleware ran).
+func (s *Server) submit(tenant string, jobs []parsedJob, meta *reqMeta) ([]*jobRecord, *apiError) {
 	n := len(jobs)
 
 	// Shared intake lock: Drain takes it exclusively after flipping the
@@ -458,6 +538,7 @@ func (s *Server) submit(tenant string, jobs []parsedJob) ([]*jobRecord, *apiErro
 		}
 		detail := fmt.Sprintf("%s exceeded for tenant %q (%d job(s))", reason, tenant, n)
 		s.flight.ObserveShed(detail)
+		s.publishShed(tenant, v.reason, n, meta)
 		if s.log.Enabled(logx.LevelWarn) {
 			s.log.Warn("jobs shed", logx.Str("reason", v.reason),
 				logx.Str("tenant", tenant), logx.Int("jobs", int64(n)))
@@ -486,6 +567,7 @@ func (s *Server) submit(tenant string, jobs []parsedJob) ([]*jobRecord, *apiErro
 		s.shedQueue.Add(uint64(n))
 		detail := fmt.Sprintf("admission queue full (%d/%d), refusing %d job(s)", len(s.queue), s.queueCap, n)
 		s.flight.ObserveShed(detail)
+		s.publishShed(tenant, "queue_full", n, meta)
 		if s.log.Enabled(logx.LevelWarn) {
 			s.log.Warn("jobs shed", logx.Str("reason", "queue_full"),
 				logx.Str("tenant", tenant), logx.Int("jobs", int64(n)))
@@ -506,13 +588,16 @@ func (s *Server) submit(tenant string, jobs []parsedJob) ([]*jobRecord, *apiErro
 			}
 		}
 		rec := &jobRecord{
-			id:         id,
-			tenant:     tenant,
-			graph:      j.graph,
-			wellPose:   j.wellPose,
-			timeout:    j.timeout,
-			acceptedAt: s.now(),
-			status:     StatusQueued,
+			id:          id,
+			tenant:      tenant,
+			graph:       j.graph,
+			wellPose:    j.wellPose,
+			timeout:     j.timeout,
+			acceptedAt:  s.now(),
+			status:      StatusQueued,
+			requestID:   meta.requestID,
+			traceParent: meta.traceParent,
+			reqSpan:     meta.span,
 		}
 		s.store[id] = rec
 		records[i] = rec
@@ -524,10 +609,26 @@ func (s *Server) submit(tenant string, jobs []parsedJob) ([]*jobRecord, *apiErro
 
 	s.queueDepth.Add(int64(n))
 	s.accepted.Add(uint64(n))
+	s.tenantJobs.With(tenant, "accepted").Add(uint64(n))
+	for _, rec := range records {
+		s.events.publish(s.event(EventAdmitted, rec))
+	}
 	if s.log.Enabled(logx.LevelInfo) {
 		s.log.Info("jobs accepted", logx.Str("tenant", tenant), logx.Int("jobs", int64(n)))
 	}
 	return records, nil
+}
+
+// publishShed records the tenant outcome and emits one shed event for a
+// refused batch.
+func (s *Server) publishShed(tenant, reason string, n int, meta *reqMeta) {
+	s.tenantJobs.With(tenant, "shed").Add(uint64(n))
+	ev := s.event(EventShed, nil)
+	ev.Tenant = tenant
+	ev.Reason = reason
+	ev.Jobs = n
+	ev.RequestID = meta.requestID
+	s.events.publish(ev)
 }
 
 // releaseN returns n admitted slots to the tenant (refusal after the
@@ -563,6 +664,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 		go func() {
 			s.wg.Wait()
+			// Every terminal event is published by now: the stream closes
+			// complete, after the last done/failed, never before.
+			s.events.close()
 			close(s.drained)
 		}()
 	})
@@ -599,7 +703,8 @@ func (s *Server) view(rec *jobRecord, mode relsched.AnchorMode, withOffsets bool
 		defer rec.renderMu.Unlock()
 	}
 	s.storeMu.Lock()
-	v := JobView{ID: rec.id, Status: rec.status, Tenant: rec.tenant, Patches: rec.patches}
+	v := JobView{ID: rec.id, Status: rec.status, Tenant: rec.tenant, Patches: rec.patches,
+		RequestID: rec.requestID, TraceParent: rec.traceParent}
 	res := rec.result
 	errKind := rec.errKind
 	s.storeMu.Unlock()
@@ -663,11 +768,24 @@ type StatusView struct {
 	JobsRunning   int     `json:"jobs_running"`
 	JobsDone      int     `json:"jobs_done"`
 	JobsFailed    int     `json:"jobs_failed"`
+	// Patches totals graph edits applied via PATCH /v1/jobs/{id}; the
+	// Delta* fields split the same traffic by engine outcome (see
+	// engine.MetricDelta*). DeltaWarmHits counts jobs answered from the
+	// generation-keyed warm map.
+	Patches       uint64 `json:"patches"`
+	DeltaApplied  uint64 `json:"delta_applied"`
+	DeltaFailed   uint64 `json:"delta_failed"`
+	DeltaWarmHits uint64 `json:"delta_warm_hits"`
+	// SpansDropped is trace.Tracer.Dropped(): span history lost to ring
+	// wrap-around since the process started.
+	SpansDropped uint64 `json:"spans_dropped"`
 }
 
 // Status snapshots the server.
 func (s *Server) Status() StatusView {
 	rate, burst, quota := s.limiter.policy()
+	s.spansDropped.Set(int64(s.tracer.Dropped()))
+	counters := s.eng.Metrics().Snapshot().Counters
 	v := StatusView{
 		Ready:         s.Ready(),
 		Draining:      s.draining.Load(),
@@ -678,6 +796,11 @@ func (s *Server) Status() StatusView {
 		RatePerTenant: rate,
 		Burst:         burst,
 		TenantQuota:   quota,
+		Patches:       counters[MetricJobsPatched],
+		DeltaApplied:  counters[engine.MetricDeltaApplied],
+		DeltaFailed:   counters[engine.MetricDeltaFailed],
+		DeltaWarmHits: counters[engine.MetricDeltaWarmHits],
+		SpansDropped:  s.tracer.Dropped(),
 	}
 	s.storeMu.Lock()
 	for _, rec := range s.store {

@@ -165,6 +165,17 @@ func (s *Span) ID() SpanID {
 	return s.data.ID
 }
 
+// Root returns the ID of the span's root ancestor (its own ID for
+// roots), or 0 for a nil span. When a job span is opened as a child of
+// a request span, FilterRoot over this ID carves out the whole request
+// tree rather than just the job subtree.
+func (s *Span) Root() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.data.Root
+}
+
 // SetInt annotates the span with an integer attribute.
 func (s *Span) SetInt(key string, value int64) {
 	if s == nil {
