@@ -1,0 +1,582 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cg"
+	"repro/internal/cgio"
+	"repro/internal/designs"
+	"repro/internal/randgraph"
+	"repro/internal/serve"
+)
+
+// loadgenUsage documents the loadgen subcommand.
+const loadgenUsage = `usage: relsched loadgen [flags]
+
+Drives load against a running relsched daemon over its HTTP API and
+reports client-observed service quality: throughput, latency quantiles
+(admission to terminal state, polling included), and shed/error rates.
+The workload streams a synthetic internal/randgraph corpus plus the
+eight paper designs, each job labeled with its design name so a CPU
+profile captured on the server during the run decomposes by workload
+family (see docs/OBSERVABILITY.md, "Profiling & SLOs").
+
+Two driving modes:
+
+  closed  -clients workers each submit a job, wait for its terminal
+          state, then immediately submit the next — throughput is
+          whatever the daemon sustains at that concurrency.
+  open    jobs arrive on a fixed schedule at -rate jobs/second
+          regardless of completions — latency under overload is
+          visible instead of being absorbed by client backpressure.
+
+The run is summarized on stdout and written to -out as BENCH_serve.json
+(schema relsched.loadgen/v1); the same record is appended as one
+"kind":"serve" line to -history, next to the engine benchmark lines.
+
+flags:
+  -addr addr       daemon address (default localhost:8080)
+  -mode m          closed or open (default closed)
+  -clients n       closed-loop workers (default 4)
+  -rate f          open-loop arrival rate in jobs/second (default 50)
+  -duration d      how long to drive load (default 10s)
+  -corpus n        random graphs in the corpus (default 32; 0 = designs only)
+  -designs         include the eight paper designs (default true)
+  -seed n          corpus + scheduling RNG seed (default 1)
+  -tenants n       distinct X-Tenant values to spread jobs over (default 4)
+  -patch-mix f     fraction of completed jobs that get a follow-up
+                   PATCH graph edit through the delta path (default 0)
+  -wellpose        submit jobs with the well-posing repair enabled
+  -timeout d       client-side deadline per job (default 30s)
+  -out file        artifact path (default BENCH_serve.json; "" disables)
+  -history file    history path to append one JSONL line to
+                   (default BENCH_history.jsonl; "" disables)
+`
+
+// serveBenchArtifact is the schema of BENCH_serve.json (one run of
+// `relsched loadgen`). Kind distinguishes its BENCH_history.jsonl lines
+// from the engine benchmark's.
+type serveBenchArtifact struct {
+	Kind    string `json:"kind"` // always "serve"
+	Schema  string `json:"schema"`
+	Commit  string `json:"commit"`
+	TimeUTC string `json:"time_utc"`
+
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Mode       string  `json:"mode"`
+	Clients    int     `json:"clients"`
+	TargetRate float64 `json:"target_rate,omitempty"`
+	DurationNS int64   `json:"duration_ns"`
+	Corpus     int     `json:"corpus"`
+	Designs    int     `json:"designs"`
+	Tenants    int     `json:"tenants"`
+	PatchMix   float64 `json:"patch_mix"`
+
+	Requested int64 `json:"requested"`
+	Accepted  int64 `json:"accepted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+	Patches   int64 `json:"patches"`
+
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	P50NS                int64   `json:"p50_ns"`
+	P95NS                int64   `json:"p95_ns"`
+	P99NS                int64   `json:"p99_ns"`
+	MaxNS                int64   `json:"max_ns"`
+	ShedRate             float64 `json:"shed_rate"`
+	ErrorRate            float64 `json:"error_rate"`
+}
+
+// loadJob is one corpus entry: the serialized graph the client POSTs,
+// the design label it carries, and a pre-validated trivial edit (a
+// weight-0 minimum constraint source → sink, implied by the sequencing
+// skeleton and therefore always feasible) for the patch mix.
+type loadJob struct {
+	source    string
+	design    string
+	patchFrom string
+	patchTo   string
+}
+
+// loadStats is the shared scoreboard the driving goroutines write into.
+type loadStats struct {
+	requested atomic.Int64
+	accepted  atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	shed      atomic.Int64
+	errors    atomic.Int64
+	patches   atomic.Int64
+
+	mu        sync.Mutex
+	latencies []int64 // ns, admission POST to terminal GET, done jobs only
+}
+
+func (st *loadStats) record(d time.Duration) {
+	st.mu.Lock()
+	st.latencies = append(st.latencies, int64(d))
+	st.mu.Unlock()
+}
+
+// runLoadgen implements `relsched loadgen`.
+func runLoadgen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.Usage = func() { fmt.Fprint(os.Stderr, loadgenUsage) }
+	addr := fs.String("addr", "localhost:8080", "daemon address")
+	mode := fs.String("mode", "closed", "driving mode: closed or open")
+	clients := fs.Int("clients", 4, "closed-loop workers")
+	rate := fs.Float64("rate", 50, "open-loop arrival rate in jobs/second")
+	duration := fs.Duration("duration", 10*time.Second, "how long to drive load")
+	corpus := fs.Int("corpus", 32, "random graphs in the corpus")
+	withDesigns := fs.Bool("designs", true, "include the eight paper designs")
+	seed := fs.Int64("seed", 1, "corpus + scheduling RNG seed")
+	tenants := fs.Int("tenants", 4, "distinct X-Tenant values")
+	patchMix := fs.Float64("patch-mix", 0, "fraction of completed jobs that get a PATCH edit")
+	wellpose := fs.Bool("wellpose", false, "submit jobs with the well-posing repair enabled")
+	timeout := fs.Duration("timeout", 30*time.Second, "client-side deadline per job")
+	out := fs.String("out", "BENCH_serve.json", "artifact path (empty disables)")
+	history := fs.String("history", "BENCH_history.jsonl", "history JSONL path (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadgen takes no positional arguments (got %q)", fs.Arg(0))
+	}
+	if *mode != "closed" && *mode != "open" {
+		return fmt.Errorf("-mode must be closed or open (got %q)", *mode)
+	}
+	if *clients < 1 {
+		return fmt.Errorf("-clients must be >= 1")
+	}
+	if *rate <= 0 && *mode == "open" {
+		return fmt.Errorf("open mode needs -rate > 0")
+	}
+	if *patchMix < 0 || *patchMix > 1 {
+		return fmt.Errorf("-patch-mix must be in [0, 1]")
+	}
+	if *tenants < 1 {
+		*tenants = 1
+	}
+
+	jobs, nDesigns, err := buildLoadCorpus(*corpus, *withDesigns, *seed)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return errors.New("empty corpus: -corpus 0 with -designs=false leaves nothing to submit")
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * *clients,
+			MaxIdleConnsPerHost: 4 * *clients,
+		},
+	}
+	if err := probeDaemon(client, base); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "loadgen: %s-loop against %s for %v (corpus %d random + %d design graphs, %d tenants, patch-mix %.2f)\n",
+		*mode, base, *duration, *corpus, nDesigns, *tenants, *patchMix)
+
+	st := &loadStats{}
+	start := time.Now()
+	deadline := start.Add(*duration)
+
+	if *mode == "closed" {
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + int64(c)*7919))
+				for time.Now().Before(deadline) {
+					driveOne(client, base, jobs, rng, *tenants, *wellpose, *patchMix, deadline, st)
+				}
+			}(c)
+		}
+		wg.Wait()
+	} else {
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		var wg sync.WaitGroup
+		var seq atomic.Int64
+	arrivals:
+		for {
+			select {
+			case now := <-ticker.C:
+				if !now.Before(deadline) {
+					break arrivals
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(*seed + seq.Add(1)*7919))
+					driveOne(client, base, jobs, rng, *tenants, *wellpose, *patchMix, deadline.Add(*timeout), st)
+				}()
+			case <-time.After(time.Until(deadline)):
+				break arrivals
+			}
+		}
+		ticker.Stop()
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	art := summarizeLoad(st, *mode, *clients, *rate, elapsed, *corpus, nDesigns, *tenants, *patchMix)
+	reportLoad(stdout, art)
+	if err := validateServeFields(art); err != nil {
+		return fmt.Errorf("refusing to write artifact: %w", err)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if *history != "" {
+		if err := appendServeHistory(*history, art); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "appended to %s\n", *history)
+	}
+	return nil
+}
+
+// buildLoadCorpus assembles the job list: -corpus random graphs under
+// design label "rand", plus (optionally) every constraint graph of the
+// eight paper designs under their design names.
+func buildLoadCorpus(nRandom int, withDesigns bool, seed int64) ([]loadJob, int, error) {
+	var jobs []loadJob
+	rng := rand.New(rand.NewSource(seed))
+	cfg := randgraph.Default()
+	for i := 0; i < nRandom; i++ {
+		g := randgraph.Generate(cfg, rng)
+		lj, err := newLoadJob(g, "rand")
+		if err != nil {
+			return nil, 0, fmt.Errorf("corpus graph %d: %w", i, err)
+		}
+		jobs = append(jobs, lj)
+	}
+	nDesigns := 0
+	if withDesigns {
+		for _, d := range designs.All() {
+			r, err := d.Synthesize()
+			if err != nil {
+				return nil, 0, fmt.Errorf("synthesize %s: %w", d.Name, err)
+			}
+			for _, gname := range r.Order {
+				lj, err := newLoadJob(r.Graphs[gname].CG, d.Name)
+				if err != nil {
+					// A few hierarchy graphs reuse control vertex names
+					// ("while", "if") and don't round-trip through the
+					// text format; they are not submittable over the API
+					// from any client, so the corpus skips them.
+					continue
+				}
+				jobs = append(jobs, lj)
+				nDesigns++
+			}
+		}
+	}
+	return jobs, nDesigns, nil
+}
+
+func newLoadJob(g *cg.Graph, design string) (loadJob, error) {
+	var buf bytes.Buffer
+	if err := cgio.Write(&buf, g); err != nil {
+		return loadJob{}, err
+	}
+	// The daemon parses Source back; a graph that doesn't round-trip
+	// (duplicate vertex names) would just burn POSTs on 400s.
+	if _, err := cgio.ParseString(buf.String()); err != nil {
+		return loadJob{}, err
+	}
+	vs := g.Vertices()
+	lj := loadJob{source: buf.String(), design: design}
+	if len(vs) >= 2 {
+		// A weight-0 min constraint source → last vertex is implied by the
+		// sequencing skeleton (the source precedes everything), so the
+		// patch always re-schedules successfully through the delta path.
+		lj.patchFrom = vs[0].Name
+		lj.patchTo = vs[len(vs)-1].Name
+	}
+	return lj, nil
+}
+
+// probeDaemon fails fast with a useful message when nothing is listening.
+func probeDaemon(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("no daemon at %s (start one with `relsched serve`): %w", base, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// driveOne submits one job and follows it to a terminal state, updating
+// the scoreboard. The latency recorded for a done job spans the POST to
+// the GET that observed the terminal state — the client-visible number,
+// which includes queueing and polling granularity, not just engine time.
+func driveOne(client *http.Client, base string, jobs []loadJob, rng *rand.Rand, tenants int, wellpose bool, patchMix float64, deadline time.Time, st *loadStats) {
+	lj := jobs[rng.Intn(len(jobs))]
+	tenant := fmt.Sprintf("lg-%d", rng.Intn(tenants))
+
+	body, _ := json.Marshal(serve.JobRequest{Source: lj.source, WellPose: wellpose, Design: lj.design})
+	st.requested.Add(1)
+	begin := time.Now()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusTooManyRequests:
+		st.shed.Add(1)
+		return
+	default:
+		st.errors.Add(1)
+		return
+	}
+	var accepted struct {
+		Jobs []serve.JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &accepted); err != nil || len(accepted.Jobs) != 1 {
+		st.errors.Add(1)
+		return
+	}
+	st.accepted.Add(1)
+	id := accepted.Jobs[0].ID
+
+	status, ok := pollJob(client, base, id, tenant, deadline)
+	if !ok {
+		st.errors.Add(1)
+		return
+	}
+	if status == serve.StatusDone {
+		st.done.Add(1)
+		st.record(time.Since(begin))
+	} else {
+		st.failed.Add(1)
+	}
+
+	if status == serve.StatusDone && lj.patchFrom != "" && rng.Float64() < patchMix {
+		if patchJob(client, base, id, tenant, lj) {
+			st.patches.Add(1)
+		} else {
+			st.errors.Add(1)
+		}
+	}
+}
+
+// pollJob follows GET /v1/jobs/{id} with a small backoff until the job
+// reaches a terminal state or the deadline passes.
+func pollJob(client *http.Client, base, id, tenant string, deadline time.Time) (serve.JobStatus, bool) {
+	wait := time.Millisecond
+	for {
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return "", false
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", false
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", false
+		}
+		var view serve.JobView
+		if err := json.Unmarshal(data, &view); err != nil {
+			return "", false
+		}
+		if view.Status == serve.StatusDone || view.Status == serve.StatusFailed {
+			return view.Status, true
+		}
+		if !time.Now().Add(wait).Before(deadline) {
+			return "", false
+		}
+		time.Sleep(wait)
+		if wait < 50*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+// patchJob sends the corpus entry's trivial edit through PATCH
+// /v1/jobs/{id}, exercising the reactive delta path under load.
+func patchJob(client *http.Client, base, id, tenant string, lj loadJob) bool {
+	body, _ := json.Marshal(serve.PatchRequest{Edits: []serve.EditRequest{{
+		Op:   "add_min",
+		From: lj.patchFrom,
+		To:   lj.patchTo,
+	}}})
+	req, err := http.NewRequest(http.MethodPatch, base+"/v1/jobs/"+id, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// summarizeLoad folds the scoreboard into the artifact.
+func summarizeLoad(st *loadStats, mode string, clients int, rate float64, elapsed time.Duration, corpus, nDesigns, tenants int, patchMix float64) serveBenchArtifact {
+	st.mu.Lock()
+	lat := append([]int64(nil), st.latencies...)
+	st.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) int64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	requested := st.requested.Load()
+	done := st.done.Load()
+	art := serveBenchArtifact{
+		Kind:       "serve",
+		Schema:     "relsched.loadgen/v1",
+		Commit:     loadgenGitCommit(),
+		TimeUTC:    time.Now().UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Mode:       mode,
+		Clients:    clients,
+		DurationNS: int64(elapsed),
+		Corpus:     corpus,
+		Designs:    nDesigns,
+		Tenants:    tenants,
+		PatchMix:   patchMix,
+		Requested:  requested,
+		Accepted:   st.accepted.Load(),
+		Done:       done,
+		Failed:     st.failed.Load(),
+		Shed:       st.shed.Load(),
+		Errors:     st.errors.Load(),
+		Patches:    st.patches.Load(),
+		P50NS:      q(0.50),
+		P95NS:      q(0.95),
+		P99NS:      q(0.99),
+		MaxNS:      q(1.0),
+	}
+	if mode == "open" {
+		art.TargetRate = rate
+	}
+	if elapsed > 0 {
+		art.ThroughputJobsPerSec = float64(done) / elapsed.Seconds()
+	}
+	if requested > 0 {
+		art.ShedRate = float64(art.Shed) / float64(requested)
+		art.ErrorRate = float64(art.Errors) / float64(requested)
+	}
+	return art
+}
+
+func reportLoad(w io.Writer, art serveBenchArtifact) {
+	fmt.Fprintf(w, "requested %d  accepted %d  done %d  failed %d  shed %d  errors %d  patches %d\n",
+		art.Requested, art.Accepted, art.Done, art.Failed, art.Shed, art.Errors, art.Patches)
+	fmt.Fprintf(w, "throughput %.1f jobs/s  p50 %v  p95 %v  p99 %v  max %v\n",
+		art.ThroughputJobsPerSec,
+		time.Duration(art.P50NS), time.Duration(art.P95NS),
+		time.Duration(art.P99NS), time.Duration(art.MaxNS))
+	fmt.Fprintf(w, "shed rate %.4f  error rate %.4f\n", art.ShedRate, art.ErrorRate)
+}
+
+// validateServeFields guards the artifact write and history append:
+// every line must carry a sane, complete measurement.
+func validateServeFields(art serveBenchArtifact) error {
+	switch {
+	case art.Kind != "serve":
+		return fmt.Errorf("kind = %q, want serve", art.Kind)
+	case art.Mode != "closed" && art.Mode != "open":
+		return fmt.Errorf("mode = %q", art.Mode)
+	case art.DurationNS <= 0:
+		return errors.New("duration_ns <= 0")
+	case art.Requested <= 0:
+		return errors.New("requested <= 0: the run submitted nothing")
+	case art.Done <= 0:
+		return errors.New("done <= 0: no job reached a terminal done state")
+	case art.ThroughputJobsPerSec <= 0:
+		return errors.New("throughput_jobs_per_sec <= 0")
+	case art.P50NS <= 0 || art.P50NS > art.P95NS || art.P95NS > art.P99NS:
+		return fmt.Errorf("latency quantiles not ordered: p50 %d p95 %d p99 %d", art.P50NS, art.P95NS, art.P99NS)
+	case art.ShedRate < 0 || art.ShedRate > 1 || art.ErrorRate < 0 || art.ErrorRate > 1:
+		return fmt.Errorf("rates out of [0,1]: shed %f error %f", art.ShedRate, art.ErrorRate)
+	}
+	return nil
+}
+
+func appendServeHistory(path string, art serveBenchArtifact) error {
+	line, err := json.Marshal(art)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadgenGitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -7,6 +7,7 @@
 //	relsched [flags] [graph.cg]
 //	relsched batch [flags] [dir | graph.cg ...]
 //	relsched serve [flags]
+//	relsched loadgen [flags]
 //	relsched top [flags]
 //	relsched explain [flags] [graph.cg]
 //
@@ -25,7 +26,11 @@
 // subcommand runs the same engine as a long-running HTTP/JSON daemon —
 // bounded admission with backpressure, per-tenant rate limits, graceful
 // drain on SIGTERM — documented in docs/SERVICE.md; run `relsched serve
-// -h`. The top subcommand is a live dashboard for a running daemon:
+// -h`. The loadgen subcommand drives open- or closed-loop load against
+// a running daemon (a random-graph corpus plus the eight paper designs)
+// and writes the measured throughput/latency/shed record to
+// BENCH_serve.json; run `relsched loadgen -h`. The top subcommand is a
+// live dashboard for a running daemon:
 // queue and pool state, labeled request counters, and a tail of the
 // /v1/events lifecycle stream; run `relsched top -h`. The explain
 // subcommand prints schedule provenance — per vertex,
@@ -57,6 +62,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:], os.Stdout, serveSignals()); err != nil {
 			fmt.Fprintln(os.Stderr, "relsched serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		if err := runLoadgen(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "relsched loadgen:", err)
 			os.Exit(1)
 		}
 		return

@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flight"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -59,6 +60,28 @@ flags:
                    the running p95 of job durations (f > 1)
   -shed-storm n    flight shed-storm trigger: dump a bundle when n jobs
                    are shed within 10s (requires -flight-dir; default 32)
+  -prof-dir dir    enable the self-profiling plane: jobs run under pprof
+                   labels {stage, tenant, design, mode}, and flight
+                   dumps, SLO burns, and POST /v1/admin/profile capture
+                   CPU+heap profiles into dir (rate-limited)
+  -prof-cpu d      CPU profile recording window per capture (default 2s)
+  -prof-interval d minimum spacing between captures (default 30s)
+  -prof-mutex n    runtime mutex profile fraction (1 in n events; 0 = off)
+  -prof-block n    runtime block profile rate in ns (0 = off)
+  -runtime-interval d
+                   Go runtime telemetry poll interval for the
+                   runtime.* metrics and /v1/status (default 5s;
+                   negative disables the bridge)
+  -slo-latency d   enable the SLO tracker with this per-job latency
+                   objective (admission to terminal state; e.g. 100ms)
+  -slo-target f    fraction of jobs that must meet -slo-latency
+                   (default 0.99)
+  -slo-error-target f
+                   fraction of jobs that must succeed (default 0.999)
+  -slo-burn f      multi-window burn-rate threshold that fires a flight
+                   bundle + profile capture (default 10)
+  -slo-fast d      fast burn window (default 5m)
+  -slo-slow d      slow burn window (default 1h)
 `
 
 // runServe implements `relsched serve`. sig delivers the shutdown
@@ -85,6 +108,18 @@ func runServe(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 	flightThreshold := fs.Duration("flight-threshold", 0, "flight latency trigger: fixed duration threshold")
 	flightP95x := fs.Float64("flight-p95x", 0, "flight latency trigger: multiple of the running p95 (> 1)")
 	shedStorm := fs.Int("shed-storm", 32, "flight shed-storm trigger: sheds within 10s that dump a bundle")
+	profDir := fs.String("prof-dir", "", "enable pprof labeling and triggered CPU+heap capture into this directory")
+	profCPU := fs.Duration("prof-cpu", 2*time.Second, "CPU profile recording window per capture")
+	profInterval := fs.Duration("prof-interval", 30*time.Second, "minimum spacing between profile captures")
+	profMutex := fs.Int("prof-mutex", 0, "runtime mutex profile fraction (1 in n events; 0 = off)")
+	profBlock := fs.Int("prof-block", 0, "runtime block profile rate in ns (0 = off)")
+	runtimeInterval := fs.Duration("runtime-interval", 5*time.Second, "runtime telemetry poll interval (negative disables)")
+	sloLatency := fs.Duration("slo-latency", 0, "enable the SLO tracker with this latency objective (0 = off)")
+	sloTarget := fs.Float64("slo-target", 0, "fraction of jobs that must meet -slo-latency (default 0.99)")
+	sloErrTarget := fs.Float64("slo-error-target", 0, "fraction of jobs that must succeed (default 0.999)")
+	sloBurn := fs.Float64("slo-burn", 0, "multi-window burn-rate threshold (default 10)")
+	sloFast := fs.Duration("slo-fast", 0, "fast burn window (default 5m)")
+	sloSlow := fs.Duration("slo-slow", 0, "slow burn window (default 1h)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +158,42 @@ func runServe(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		return fmt.Errorf("-flight-threshold and -flight-p95x require -flight-dir")
 	}
 
+	// The self-profiling plane: labeling is always on for a daemon (the
+	// per-job cost is two label-set swaps, paid only on the cache-miss
+	// pipeline for stages); triggered capture needs -prof-dir.
+	profiler, err := prof.New(prof.Options{
+		Labels:        true,
+		Dir:           *profDir,
+		CPUDuration:   *profCPU,
+		MinInterval:   *profInterval,
+		MutexFraction: *profMutex,
+		BlockRate:     *profBlock,
+		Metrics:       reg,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	var sloCfg *serve.SLOConfig
+	if *sloLatency > 0 {
+		sloCfg = &serve.SLOConfig{
+			LatencyObjective: *sloLatency,
+			LatencyTarget:    *sloTarget,
+			ErrorTarget:      *sloErrTarget,
+			FastWindow:       *sloFast,
+			SlowWindow:       *sloSlow,
+			BurnThreshold:    *sloBurn,
+		}
+	} else if *sloTarget != 0 || *sloErrTarget != 0 || *sloBurn != 0 || *sloFast != 0 || *sloSlow != 0 {
+		return fmt.Errorf("-slo-target, -slo-error-target, -slo-burn, -slo-fast, and -slo-slow require -slo-latency")
+	}
+
+	var sampler *obs.RuntimeSampler
+	if *runtimeInterval >= 0 {
+		sampler = obs.NewRuntimeSampler(reg)
+	}
+
 	eng := engine.New(engine.Options{
 		Workers:       *workers,
 		DisableCache:  *nocache,
@@ -132,18 +203,23 @@ func runServe(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		Tracer:        tracer,
 		Logger:        logger,
 		Flight:        recorder,
+		Prof:          profiler,
 	})
 	srv, err := serve.New(serve.Options{
-		Engine:         eng,
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		ResultCapacity: *results,
-		RatePerTenant:  *rate,
-		Burst:          *burst,
-		TenantQuota:    *tenantQuota,
-		Tracer:         tracer,
-		Logger:         logger,
-		Flight:         recorder,
+		Engine:          eng,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		ResultCapacity:  *results,
+		RatePerTenant:   *rate,
+		Burst:           *burst,
+		TenantQuota:     *tenantQuota,
+		Tracer:          tracer,
+		Logger:          logger,
+		Flight:          recorder,
+		Prof:            profiler,
+		SLO:             sloCfg,
+		Runtime:         sampler,
+		RuntimeInterval: *runtimeInterval,
 	})
 	if err != nil {
 		return err
@@ -166,6 +242,9 @@ func runServe(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 	defer cancel()
 	drainErr := srv.Drain(ctx)
 	closeErr := hs.Close()
+	// Let an in-flight CPU capture seal its file before the process
+	// exits — a torn .pprof is worse than a slightly longer shutdown.
+	profiler.Wait()
 	if drainErr != nil {
 		return fmt.Errorf("drain did not complete within %v: %w", *drainTimeout, drainErr)
 	}

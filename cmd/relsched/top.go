@@ -27,8 +27,12 @@ import (
 const topUsage = `usage: relsched top [flags]
 
 Watches a running relsched serve daemon: queue and worker-pool state,
-per-route request counters (RED), delta/patch totals, and a rolling
-tail of /v1/events lifecycle events, refreshed in place on an interval.
+per-route request counters (RED), delta/patch totals, Go runtime
+telemetry, the SLO burn-rate panel (when the daemon runs with
+-slo-latency), and a rolling tail of /v1/events lifecycle events,
+refreshed in place on an interval. A dropped event stream (the daemon
+disconnects subscribers that fall behind) reconnects automatically
+with capped backoff and the dashboard reports the drop count.
 
 flags:
   -addr url     daemon base URL (default http://localhost:8080)
@@ -38,13 +42,18 @@ flags:
                 default 8)
 `
 
-// eventTail keeps the newest k events from /v1/events.
+// eventTail keeps the newest k events from /v1/events. The daemon
+// drop-and-disconnects a subscriber that falls behind, so the stream
+// ending is an expected overload signal, not a terminal error: follow
+// reconnects with capped backoff and the dashboard reports how many
+// times the stream was dropped instead of going silently stale.
 type eventTail struct {
-	mu     sync.Mutex
-	ring   []serve.Event
-	cap    int
-	err    error // terminal stream error, shown once in the dashboard
-	closed bool  // stream ended (daemon drained or disconnected us)
+	mu        sync.Mutex
+	ring      []serve.Event
+	cap       int
+	drops     int   // completed connections that ended (dropped or drained)
+	connected bool  // a stream is currently attached
+	lastErr   error // most recent connect/stream error, if any
 }
 
 func (et *eventTail) push(ev serve.Event) {
@@ -56,24 +65,61 @@ func (et *eventTail) push(ev serve.Event) {
 	et.mu.Unlock()
 }
 
-func (et *eventTail) snapshot() ([]serve.Event, error, bool) {
+func (et *eventTail) snapshot() (events []serve.Event, drops int, connected bool, lastErr error) {
 	et.mu.Lock()
 	defer et.mu.Unlock()
-	out := append([]serve.Event(nil), et.ring...)
-	return out, et.err, et.closed
+	return append([]serve.Event(nil), et.ring...), et.drops, et.connected, et.lastErr
 }
 
-// follow consumes the SSE stream into the tail until it ends.
+// Reconnect backoff bounds: double from the floor to the cap after each
+// failed or dropped connection, reset on a healthy stream.
+const (
+	tailBackoffFloor = 250 * time.Millisecond
+	tailBackoffCap   = 5 * time.Second
+)
+
+// follow consumes the SSE stream into the tail, reconnecting forever.
 func (et *eventTail) follow(client *http.Client, url string) {
+	backoff := tailBackoffFloor
+	for {
+		delivered, err := et.streamOnce(client, url)
+		et.mu.Lock()
+		et.connected = false
+		et.lastErr = err
+		if delivered {
+			// The daemon had accepted us (events flowed), so this ending
+			// is a drop (subscriber overrun or daemon drain) worth
+			// surfacing — connect failures are just retried quietly.
+			et.drops++
+		}
+		et.mu.Unlock()
+		if delivered {
+			backoff = tailBackoffFloor
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > tailBackoffCap {
+			backoff = tailBackoffCap
+		}
+	}
+}
+
+// streamOnce attaches one SSE connection and drains it into the ring,
+// reporting whether the daemon served us anything before it ended.
+func (et *eventTail) streamOnce(client *http.Client, url string) (delivered bool, err error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		et.mu.Lock()
-		et.err = err
-		et.closed = true
-		et.mu.Unlock()
-		return
+		return false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false, fmt.Errorf("GET /v1/events: %s", resp.Status)
+	}
+	et.mu.Lock()
+	et.connected = true
+	et.lastErr = nil
+	et.mu.Unlock()
+	delivered = true // the ": stream open" preamble counts as attached
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -86,10 +132,7 @@ func (et *eventTail) follow(client *http.Client, url string) {
 			et.push(ev)
 		}
 	}
-	et.mu.Lock()
-	et.err = sc.Err()
-	et.closed = true
-	et.mu.Unlock()
+	return delivered, sc.Err()
 }
 
 // promSeries is one labeled sample scraped off /metrics.
@@ -144,6 +187,23 @@ func fetchStatus(client *http.Client, base string) (serve.StatusView, error) {
 	return sv, json.NewDecoder(resp.Body).Decode(&sv)
 }
 
+// fetchSLO decodes /v1/slo. A daemon without the endpoint (or without
+// an SLO configured) renders no panel; that is not an error.
+func fetchSLO(client *http.Client, base string) serve.SLOView {
+	var sv serve.SLOView
+	resp, err := client.Get(base + "/v1/slo")
+	if err != nil {
+		return sv
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return sv
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&sv)
+	return sv
+}
+
 // fetchMetrics reads the /metrics text exposition.
 func fetchMetrics(client *http.Client, base string) (string, error) {
 	resp, err := client.Get(base + "/metrics")
@@ -162,7 +222,7 @@ func fetchMetrics(client *http.Client, base string) (string, error) {
 const maxTopRoutes = 8
 
 // renderTop writes one dashboard frame.
-func renderTop(out io.Writer, base string, refresh int, sv serve.StatusView, metrics string, tail []serve.Event, tailErr error, tailClosed bool) {
+func renderTop(out io.Writer, base string, refresh int, sv serve.StatusView, slo serve.SLOView, metrics string, tail []serve.Event, tailDrops int, tailConnected bool, tailErr error) {
 	fmt.Fprintf(out, "relsched top — %s — refresh %d — %s\n",
 		base, refresh, time.Now().UTC().Format(time.RFC3339))
 	state := "ready"
@@ -177,7 +237,23 @@ func renderTop(out io.Writer, base string, refresh int, sv serve.StatusView, met
 		sv.JobsQueued, sv.JobsRunning, sv.JobsDone, sv.JobsFailed)
 	fmt.Fprintf(out, "delta applied %-4d failed %-4d warm_hits %-4d patches %d\n",
 		sv.DeltaApplied, sv.DeltaFailed, sv.DeltaWarmHits, sv.Patches)
-	fmt.Fprintf(out, "spans dropped %d\n", sv.SpansDropped)
+	fmt.Fprintf(out, "spans dropped %-5d events dropped %-5d subscribers %d\n",
+		sv.SpansDropped, sv.EventsDropped, sv.EventSubscribers)
+	if rt := sv.Runtime; rt != nil {
+		fmt.Fprintf(out, "runtime goroutines %-5d heap %s  gc %d cycles, pause p99 %v  sched p99 %v\n",
+			rt.Goroutines, fmtBytes(rt.HeapLiveBytes), rt.GCCycles,
+			time.Duration(rt.GCPauseP99NS), time.Duration(rt.SchedLatencyP99NS))
+	}
+	if slo.Enabled {
+		fmt.Fprintf(out, "slo   latency %gms @ %.3f: burn %.1fx/%.1fx  errors @ %.4f: burn %.1fx/%.1fx  (fast/slow, threshold %.0fx)  burns %d\n",
+			slo.LatencyObjectiveMS, slo.LatencyTarget,
+			slo.Fast.LatencyBurn, slo.Slow.LatencyBurn,
+			slo.ErrorTarget, slo.Fast.ErrorBurn, slo.Slow.ErrorBurn,
+			slo.BurnThreshold, slo.BurnEvents)
+		if lb := slo.LastBurn; lb != nil {
+			fmt.Fprintf(out, "      last burn %s  flight=%s\n", lb.TimeUTC, lb.Flight)
+		}
+	}
 
 	if routes := scrapeCounter(metrics, "relsched_serve_http_requests_total"); len(routes) > 0 {
 		fmt.Fprintln(out, "requests by {route,method,code}:")
@@ -201,9 +277,9 @@ func renderTop(out io.Writer, base string, refresh int, sv serve.StatusView, met
 	}
 
 	switch {
-	case tailErr != nil:
-		fmt.Fprintf(out, "events: stream error: %v\n", tailErr)
-	case len(tail) > 0 || tailClosed:
+	case tailErr != nil && !tailConnected && len(tail) == 0:
+		fmt.Fprintf(out, "events: stream unavailable, retrying: %v\n", tailErr)
+	case len(tail) > 0 || tailDrops > 0:
 		fmt.Fprintln(out, "events (newest last):")
 		for _, ev := range tail {
 			line := fmt.Sprintf("  %s %s", time.Unix(0, ev.TS).UTC().Format("15:04:05.000"), ev.Type)
@@ -227,11 +303,28 @@ func renderTop(out io.Writer, base string, refresh int, sv serve.StatusView, met
 			}
 			fmt.Fprintln(out, line)
 		}
-		if tailClosed {
-			fmt.Fprintln(out, "  (stream ended — daemon drained or subscriber dropped)")
+		switch {
+		case tailDrops > 0 && tailConnected:
+			fmt.Fprintf(out, "  (stream dropped %d, reconnected)\n", tailDrops)
+		case tailDrops > 0:
+			fmt.Fprintf(out, "  (stream dropped %d, reconnecting)\n", tailDrops)
 		}
 	}
 	fmt.Fprintln(out)
+}
+
+// fmtBytes renders a byte count in the nearest binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // runTop implements `relsched top`.
@@ -272,13 +365,15 @@ func runTop(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		slo := fetchSLO(client, base)
 		var events []serve.Event
+		var tailDrops int
+		tailConnected := false
 		var tailErr error
-		tailClosed := false
 		if tail != nil {
-			events, tailErr, tailClosed = tail.snapshot()
+			events, tailDrops, tailConnected, tailErr = tail.snapshot()
 		}
-		renderTop(stdout, base, refresh, sv, metrics, events, tailErr, tailClosed)
+		renderTop(stdout, base, refresh, sv, slo, metrics, events, tailDrops, tailConnected, tailErr)
 		if *count > 0 && refresh >= *count {
 			return nil
 		}

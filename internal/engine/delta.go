@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/cg"
+	"repro/internal/prof"
 	"repro/internal/relsched"
 )
 
@@ -60,7 +62,17 @@ func (e *Engine) warmPut(s *relsched.Schedule) {
 func (e *Engine) ApplyDelta(base *relsched.Schedule, edits ...cg.Edit) (*relsched.Schedule, error) {
 	m := e.metrics
 	t := time.Now()
-	next, err := base.Apply(edits...)
+	var next *relsched.Schedule
+	var err error
+	if e.prof.LabelsEnabled() {
+		// No job context flows through the delta path; the stage label
+		// alone still attributes incremental re-schedule time in profiles.
+		e.prof.DoStage(context.Background(), prof.StageDelta, func() {
+			next, err = base.Apply(edits...)
+		})
+	} else {
+		next, err = base.Apply(edits...)
+	}
 	m.stageDelta.Observe(time.Since(t))
 	if err != nil {
 		m.deltaFailed.Inc()

@@ -32,6 +32,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/logx"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/relsched"
 	"repro/internal/trace"
 )
@@ -77,6 +78,15 @@ type Options struct {
 	// When Flight is set, per-job logs are captured for bundles even if
 	// Logger is nil.
 	Flight *flight.Recorder
+	// Prof is the self-profiling plane: with labeling enabled, every job
+	// runs under pprof labels {tenant, design, mode} with a nested
+	// {stage} label per pipeline stage, so CPU profiles attribute hot
+	// time to fingerprint/wellpose/analyze/schedule/delta per tenant;
+	// with capture configured, flight dumps also trigger a rate-limited
+	// CPU+heap profile capture cross-linked from the bundle JSON. Nil
+	// (or a label-disabled profiler) keeps the scheduling hot path
+	// allocation-free.
+	Prof *prof.Profiler
 }
 
 // DefaultCacheCapacity is the cache size used when Options.CacheCapacity
@@ -107,6 +117,11 @@ type Job struct {
 	// outlier resolves back to the originating API request. Empty for
 	// batch workloads.
 	RequestID string
+	// Tenant and Design are profile-attribution labels (see Options.Prof):
+	// the submitting tenant and the design/workload family the graph
+	// belongs to. Both optional; empty values are labeled "none".
+	Tenant string
+	Design string
 }
 
 // Result is the outcome of one Job.
@@ -163,6 +178,7 @@ type Engine struct {
 	tracer   *trace.Tracer    // nil when tracing is off
 	log      *logx.Logger     // nil when logging is off
 	recorder *flight.Recorder // nil when flight recording is off
+	prof     *prof.Profiler   // nil when the self-profiling plane is off
 
 	// flight tracks in-progress computations per cache key for
 	// singleflight duplicate suppression: concurrent misses on the same
@@ -233,6 +249,7 @@ func New(opts Options) *Engine {
 		tracer:     opts.Tracer,
 		log:        opts.Logger,
 		recorder:   opts.Flight,
+		prof:       opts.Prof,
 		flight:     make(map[cacheKey]*flightCall),
 		fps:        make(map[*cg.Graph]fpMemo),
 		warm:       make(map[*cg.Graph]warmEntry),
@@ -400,6 +417,12 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		span.SetStr("request_id", job.RequestID)
 	}
 
+	// Profile attribution: tag the goroutine (and ctx, so the pipeline's
+	// stage labels nest under these) with the job's identity. With
+	// labeling off this is two nil checks and a shared no-op restore.
+	ctx, unlabel := e.prof.JobLabels(ctx, job.Tenant, job.Design, modeLabel(job.WellPose))
+	defer unlabel()
+
 	// Per-job logging context: bind the job id (and span id when traced).
 	// With the flight recorder on, a Capture tees every record — debug
 	// included — into the job's evidence while forwarding lines the live
@@ -489,7 +512,16 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 
 	t := time.Now()
 	fpSpan := span.StartChild("fingerprint")
-	key := cacheKey{fp: e.fingerprint(job.Graph), wellPose: job.WellPose}
+	key := cacheKey{wellPose: job.WellPose}
+	if e.prof.LabelsEnabled() {
+		// The closure literal lives inside the guard so the disabled path
+		// (the cache-hit fast path's only stage) stays allocation-free.
+		e.prof.DoStage(ctx, prof.StageFingerprint, func() {
+			key.fp = e.fingerprint(job.Graph)
+		})
+	} else {
+		key.fp = e.fingerprint(job.Graph)
+	}
 	fpSpan.End()
 	d := time.Since(t)
 	jc.observe(m.stageFingerprint, d)
@@ -607,7 +639,14 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	t := time.Now()
 	sp := parent.StartChild("wellpose")
 	if job.WellPose {
-		wp, added, err := relsched.MakeWellPosedTraced(job.Graph, e.stageHooks(sp))
+		var (
+			wp    *cg.Graph
+			added int
+			err   error
+		)
+		e.prof.DoStage(ctx, prof.StageWellPose, func() {
+			wp, added, err = relsched.MakeWellPosedTraced(job.Graph, e.stageHooks(sp))
+		})
 		entry.added = added
 		sp.SetInt("serialization_edges", int64(added))
 		sp.End()
@@ -623,7 +662,10 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 		}
 		entry.graph = wp
 	} else {
-		err := relsched.CheckWellPosed(job.Graph)
+		var err error
+		e.prof.DoStage(ctx, prof.StageWellPose, func() {
+			err = relsched.CheckWellPosed(job.Graph)
+		})
 		sp.End()
 		d := time.Since(t)
 		jc.observe(m.stageWellpose, d)
@@ -638,7 +680,13 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	}
 	t = time.Now()
 	sp = parent.StartChild("analyze")
-	info, err := relsched.AnalyzeOpts(entry.graph, relsched.Options{Parallelism: e.par})
+	var (
+		info *relsched.AnchorInfo
+		err  error
+	)
+	e.prof.DoStage(ctx, prof.StageAnalyze, func() {
+		info, err = relsched.AnalyzeOpts(entry.graph, relsched.Options{Parallelism: e.par})
+	})
 	if err != nil {
 		sp.End()
 		d := time.Since(t)
@@ -661,7 +709,10 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	}
 	t = time.Now()
 	sp = parent.StartChild("schedule")
-	sched, err := relsched.ComputeFromAnalysisOpts(info, e.stageHooks(sp), relsched.Options{Parallelism: e.par})
+	var sched *relsched.Schedule
+	e.prof.DoStage(ctx, prof.StageSchedule, func() {
+		sched, err = relsched.ComputeFromAnalysisOpts(info, e.stageHooks(sp), relsched.Options{Parallelism: e.par})
+	})
 	if err != nil {
 		sp.End()
 		d = time.Since(t)
@@ -702,6 +753,16 @@ func (e *Engine) stageHooks(sp *trace.Span) *relsched.Hooks {
 			sp.Event("wellpose.serialization_pass", int64(added))
 		},
 	}
+}
+
+// modeLabel maps the job's well-posedness mode onto its profile label
+// value: "wellpose" jobs repair ill-posed graphs, "strict" jobs reject
+// them. Constant strings, so the disabled-profiling path never allocates.
+func modeLabel(wellPose bool) string {
+	if wellPose {
+		return "wellpose"
+	}
+	return "strict"
 }
 
 // fingerprint returns the canonical fingerprint of g, memoized per

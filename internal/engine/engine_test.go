@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cg"
 	"repro/internal/cgio"
+	"repro/internal/leakcheck"
 	"repro/internal/randgraph"
 	"repro/internal/relsched"
 )
@@ -240,6 +241,9 @@ func TestRunStreams(t *testing.T) {
 }
 
 func TestMidBatchCancellation(t *testing.T) {
+	// Cancellation must reap every pool worker, not strand them on the
+	// jobs channel.
+	leakcheck.Check(t)
 	e := New(Options{Workers: 2, DisableCache: true})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -313,6 +317,7 @@ func TestJobTimeout(t *testing.T) {
 // random constraint graphs, concurrent memoized batch scheduling produces
 // byte-identical offset tables to one-at-a-time relsched.Compute.
 func TestBatchMatchesSequential(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(7))
 	cfg := randgraph.Default()
 	cfg.N = 24

@@ -112,6 +112,16 @@ func (e *Engine) finishJob(job Job, res *Result, jc *jobCtx, capture *logx.Captu
 		if p := provenanceJSON(res); p != nil {
 			jr.Provenance = p
 		}
+		// A dump is the "something is wrong right now" signal the
+		// profiling plane keys on: capture CPU+heap alongside the bundle
+		// (rate-limited independently) and cross-link the paths.
+		trigger := kind
+		if trigger == "" {
+			trigger = "latency"
+		}
+		if pc, ok := e.prof.Capture("flight_" + trigger); ok {
+			jr.Profiles = pc.Paths()
+		}
 	})
 	res.FlightBundle = bundle
 }

@@ -63,6 +63,10 @@ const (
 	// service is saturated or a tenant is flooding, captured with the
 	// recent-job context that tells those apart.
 	TriggerShed Trigger = "shed"
+	// TriggerSLOBurn marks a bundle dumped because the serving layer's
+	// SLO tracker crossed its multi-window burn-rate threshold (see
+	// internal/serve's SLO tracker and docs/OBSERVABILITY.md).
+	TriggerSLOBurn Trigger = "slo_burn"
 )
 
 // Metric names the recorder registers in its obs.Registry.
@@ -165,6 +169,10 @@ type JobRecord struct {
 	// Provenance is the schedule's binding-chain explanation
 	// (enrichment; present when the job produced a schedule).
 	Provenance json.RawMessage `json:"provenance,omitempty"`
+	// Profiles cross-links profile files captured alongside this dump
+	// ({"cpu": path, "heap": path}, see internal/prof). The CPU file
+	// appears once its recording window closes.
+	Profiles map[string]string `json:"profiles,omitempty"`
 }
 
 // Bundle is the self-contained diagnostic artifact written per dump.
@@ -474,6 +482,66 @@ func (r *Recorder) ObserveShed(reason string) Trigger {
 		logx.Int("sheds_in_window", int64(inWindow)),
 		logx.Str("path", path))
 	return TriggerShed
+}
+
+// ObserveSLOBurn dumps a bundle witnessing an SLO burn-rate violation:
+// the serving layer detected that the error budget is burning faster
+// than the paging threshold across both its fast and slow windows. The
+// bundle's Job section is a synthetic record carrying the burn summary
+// and the cross-linked profile capture paths, and its Recent section is
+// the ring of jobs that were running while the budget burned. Dumps are
+// subject to the recorder's normal rate limiting; the empty string is
+// returned when the dump was suppressed. A nil recorder writes nothing.
+func (r *Recorder) ObserveSLOBurn(reason string, profiles map[string]string) (Trigger, string) {
+	if r == nil {
+		return TriggerNone, ""
+	}
+	now := r.now()
+	r.mu.Lock()
+	underBudget := r.opts.MaxDumps == 0 || r.seq < uint64(r.opts.MaxDumps)
+	outsideWindow := r.opts.MinInterval < 0 || r.lastDump.IsZero() || now.Sub(r.lastDump) >= r.opts.MinInterval
+	allowed := underBudget && outsideWindow
+	var recent []RecentJob
+	if allowed {
+		r.seq++
+		r.lastDump = now
+		recent = r.recentLocked(recentInBundle)
+	}
+	seq := r.seq
+	r.mu.Unlock()
+
+	if !allowed {
+		r.suppressed.Inc()
+		return TriggerSLOBurn, ""
+	}
+	snap := r.reg.Snapshot()
+	bundle := Bundle{
+		Schema:  BundleSchema,
+		TimeUTC: now.UTC().Format(time.RFC3339Nano),
+		Trigger: TriggerSLOBurn,
+		Reason:  reason,
+		Job: JobRecord{
+			JobID:    "slo",
+			Time:     now,
+			Err:      reason,
+			ErrKind:  "slo_burn",
+			Trigger:  TriggerSLOBurn,
+			Profiles: profiles,
+		},
+		Metrics: &snap,
+		Recent:  recent,
+	}
+	path, err := r.writeBundle(seq, &bundle)
+	if err != nil {
+		r.dumpErrors.Inc()
+		r.log.Error("flight slo-burn dump failed", logx.Err(err))
+		return TriggerSLOBurn, ""
+	}
+	r.dumps.Inc()
+	r.log.Warn("flight slo-burn dump written",
+		logx.Str("reason", reason),
+		logx.Str("path", path))
+	return TriggerSLOBurn, path
 }
 
 // classify applies the trigger rules to a record. It returns the

@@ -1,0 +1,78 @@
+// Package leakcheck is a test teardown helper that catches leaked
+// goroutines: snapshot the goroutine count when a test starts, and fail
+// the test if the count has not returned to the baseline by the time
+// its cleanups run. The serve and engine lifecycle tests use it to pin
+// the drain/batch contracts — "every goroutine we start, we stop" —
+// which would otherwise only fail indirectly, as cross-test flakes or
+// creeping memory in long suites.
+//
+// The check is count-based, not identity-based: goroutines the runtime
+// or the standard library park for reuse (finalizer goroutine, idle HTTP
+// keep-alives closed by a test server shutting down) settle back within
+// the polling window, so a short deadline with polling is enough and no
+// stack fingerprinting is needed. On failure the full stack dump of
+// every live goroutine is logged so the leak is attributable.
+package leakcheck
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; taking the interface
+// keeps this package importable without the testing package appearing in
+// non-test binaries.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// Options tune a Check. The zero value is right for almost every test.
+type Options struct {
+	// Deadline is how long the teardown polls for the count to settle
+	// before declaring a leak. Default 5s.
+	Deadline time.Duration
+	// Slack is how many goroutines above the baseline are tolerated —
+	// for tests that intentionally leave a shared background resource
+	// running. Default 0.
+	Slack int
+}
+
+// Check snapshots the current goroutine count and registers a cleanup
+// that fails the test if the count has not settled back by teardown.
+// Call it first thing in the test (before starting servers or engines)
+// so the cleanup runs after the test's own cleanups have torn them down.
+func Check(t TB) { CheckOpts(t, Options{}) }
+
+// CheckOpts is Check with explicit options.
+func CheckOpts(t TB, opts Options) {
+	t.Helper()
+	if opts.Deadline <= 0 {
+		opts.Deadline = 5 * time.Second
+	}
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(opts.Deadline)
+		wait := time.Millisecond
+		for {
+			n := runtime.NumGoroutine()
+			if n <= base+opts.Slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("leakcheck: %d goroutines still running, want <= %d (baseline %d + slack %d)",
+					n, base+opts.Slack, base, opts.Slack)
+				t.Logf("leakcheck: goroutine dump:\n%s", buf)
+				return
+			}
+			time.Sleep(wait)
+			if wait < 100*time.Millisecond {
+				wait *= 2
+			}
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeTB records what the checker did instead of failing the real test.
+type fakeTB struct {
+	cleanups []func()
+	errors   int
+	logs     int
+}
+
+func (f *fakeTB) Helper()               {}
+func (f *fakeTB) Cleanup(fn func())     { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(string, ...any) { f.errors++ }
+func (f *fakeTB) Logf(string, ...any)   { f.logs++ }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckCleanRun(t *testing.T) {
+	f := &fakeTB{}
+	Check(f)
+	// A goroutine that finishes before teardown is not a leak.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	f.runCleanups()
+	if f.errors != 0 {
+		t.Fatalf("clean run flagged a leak (%d errors)", f.errors)
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	f := &fakeTB{}
+	CheckOpts(f, Options{Deadline: 200 * time.Millisecond})
+	stop := make(chan struct{})
+	go func() { <-stop }() // parked past the teardown deadline
+	f.runCleanups()
+	close(stop)
+	if f.errors == 0 {
+		t.Fatal("leaked goroutine was not flagged")
+	}
+	if f.logs == 0 {
+		t.Fatal("no goroutine dump logged with the failure")
+	}
+}
+
+func TestCheckSlackTolerates(t *testing.T) {
+	f := &fakeTB{}
+	CheckOpts(f, Options{Deadline: 200 * time.Millisecond, Slack: 1})
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	f.runCleanups()
+	close(stop)
+	if f.errors != 0 {
+		t.Fatalf("slack 1 should tolerate one extra goroutine (%d errors)", f.errors)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExemplarIdentityLessSkipped(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveExemplar(time.Millisecond, Exemplar{})
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1 (the observation itself still lands)", h.Count())
+	}
+	if ex := h.Exemplars(); ex != nil {
+		t.Fatalf("identity-less exemplar stored: %v", ex)
+	}
+}
+
+// TestExemplarOverflowBucketRetention pins the overflow bucket's slot
+// behavior: an observation beyond the last bound files under BucketNS -1,
+// a smaller recent overflow value does not displace it, and a stale slot
+// yields to any fresh exemplar regardless of value.
+func TestExemplarOverflowBucketRetention(t *testing.T) {
+	h := NewHistogram(nil) // DefaultLatencyBounds: last bound is 10s
+	base := time.Unix(1_000_000, 0).UnixNano()
+
+	h.ObserveExemplar(20*time.Second, Exemplar{RequestID: "big", UnixNano: base})
+	ex := h.Exemplars()
+	if len(ex) != 1 {
+		t.Fatalf("exemplars = %v, want exactly one", ex)
+	}
+	if ex[0].BucketNS != -1 {
+		t.Fatalf("overflow exemplar BucketNS = %d, want -1", ex[0].BucketNS)
+	}
+	if ex[0].RequestID != "big" || ex[0].ValueNS != int64(20*time.Second) {
+		t.Fatalf("overflow exemplar = %+v", ex[0])
+	}
+
+	// A smaller overflow observation one second later must not displace
+	// the bucket-max witness.
+	h.ObserveExemplar(15*time.Second, Exemplar{RequestID: "smaller", UnixNano: base + int64(time.Second)})
+	if ex := h.Exemplars(); ex[0].RequestID != "big" {
+		t.Fatalf("smaller recent value displaced the bucket max: %+v", ex[0])
+	}
+
+	// Past exemplarMaxAge the slot is stale: a fresh, smaller exemplar
+	// replaces it so the witness stays recent.
+	stale := base + int64(exemplarMaxAge) + int64(time.Second)
+	h.ObserveExemplar(12*time.Second, Exemplar{RequestID: "fresh", UnixNano: stale})
+	ex = h.Exemplars()
+	if ex[0].RequestID != "fresh" || ex[0].ValueNS != int64(12*time.Second) {
+		t.Fatalf("stale slot not replaced by fresh exemplar: %+v", ex[0])
+	}
+}
+
+func TestExemplarsBucketOrder(t *testing.T) {
+	h := NewHistogram(nil)
+	base := time.Unix(1_000_000, 0).UnixNano()
+	// File out of order; Exemplars must come back in bucket order with
+	// the overflow slot last.
+	h.ObserveExemplar(20*time.Second, Exemplar{RequestID: "overflow", UnixNano: base})
+	h.ObserveExemplar(3*time.Millisecond, Exemplar{RequestID: "mid", UnixNano: base})
+	h.ObserveExemplar(500*time.Nanosecond, Exemplar{RequestID: "tiny", UnixNano: base})
+
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("exemplars = %v, want 3", ex)
+	}
+	want := []string{"tiny", "mid", "overflow"}
+	for i, id := range want {
+		if ex[i].RequestID != id {
+			t.Errorf("exemplar[%d] = %q, want %q", i, ex[i].RequestID, id)
+		}
+	}
+	if ex[2].BucketNS != -1 {
+		t.Errorf("last exemplar BucketNS = %d, want overflow -1", ex[2].BucketNS)
+	}
+}

@@ -83,6 +83,42 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveN records n observations of the same duration in one shot.
+// It exists for bulk ingestion — the runtime/metrics bridge maps bucket
+// deltas from runtime histograms into this histogram with O(buckets)
+// work per poll regardless of how many events the runtime counted.
+func (h *Histogram) ObserveN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return ns <= h.bounds[i] })
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(ns * int64(n))
+	for {
+		cur := h.min.Load()
+		if cur <= ns {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

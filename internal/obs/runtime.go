@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime metric names published by RuntimeSampler. The set is fixed and
+// deterministic: every sampler publishes exactly these series (histograms
+// only fill once the runtime reports events), so dashboards and tests can
+// key on them regardless of Go version.
+const (
+	MetricRuntimeGoroutines    = "runtime.goroutines"      // gauge: live goroutine count
+	MetricRuntimeHeapLiveBytes = "runtime.heap.live_bytes" // gauge: bytes of live heap objects
+	MetricRuntimeHeapGoalBytes = "runtime.heap.goal_bytes" // gauge: GC pacer heap goal
+	MetricRuntimeGCCycles      = "runtime.gc.cycles"       // gauge: completed GC cycles
+	MetricRuntimeGCPause       = "runtime.gc.pause"        // histogram: stop-the-world GC pause latency
+	MetricRuntimeSchedLatency  = "runtime.sched.latency"   // histogram: goroutine scheduling latency
+)
+
+// runtimeSources maps each published series to the runtime/metrics name it
+// is read from. Names are resolved against metrics.All() at construction;
+// a name the running Go version does not export is skipped silently (the
+// gauge stays 0, the histogram stays empty) rather than panicking, so the
+// bridge survives runtime/metrics renames across Go releases.
+var runtimeSources = []struct {
+	metric string
+	source string
+	hist   bool
+}{
+	{MetricRuntimeGoroutines, "/sched/goroutines:goroutines", false},
+	{MetricRuntimeHeapLiveBytes, "/memory/classes/heap/objects:bytes", false},
+	{MetricRuntimeHeapGoalBytes, "/gc/heap/goal:bytes", false},
+	{MetricRuntimeGCCycles, "/gc/cycles/total:gc-cycles", false},
+	{MetricRuntimeGCPause, "/sched/pauses/total/gc:seconds", true},
+	{MetricRuntimeSchedLatency, "/sched/latencies:seconds", true},
+}
+
+// runtimeSample is one resolved runtime/metrics series and its publication
+// target. Histogram sources keep the previous cumulative bucket counts so
+// each poll ingests only the delta.
+type runtimeSample struct {
+	sample metrics.Sample
+	gauge  *Gauge
+	hist   *Histogram
+	prev   []uint64 // cumulative runtime bucket counts at the last poll
+}
+
+// RuntimeSampler bridges the runtime/metrics package into a Registry. It
+// is entirely pull-based: nothing is read or allocated until Sample is
+// called, and a server that never constructs a sampler pays nothing — the
+// disabled path stays zero-alloc. Sample is safe for concurrent use (a
+// poll loop and an on-demand status read may overlap); calls serialize
+// on an internal mutex.
+type RuntimeSampler struct {
+	mu      sync.Mutex
+	samples []runtimeSample
+	batch   []metrics.Sample // contiguous scratch passed to metrics.Read
+}
+
+// NewRuntimeSampler resolves the bridged runtime/metrics names against the
+// running Go version and registers the corresponding gauges and histograms
+// on reg. Unknown source names are dropped; the registry series still
+// exist so the exposition set is deterministic.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	known := make(map[string]metrics.Description, 16)
+	for _, d := range metrics.All() {
+		known[d.Name] = d
+	}
+	s := &RuntimeSampler{}
+	for _, src := range runtimeSources {
+		var rs runtimeSample
+		if src.hist {
+			rs.hist = reg.Histogram(src.metric)
+		} else {
+			rs.gauge = reg.Gauge(src.metric)
+		}
+		d, ok := known[src.source]
+		if !ok {
+			continue // runtime/metrics name absent in this Go version
+		}
+		if src.hist != (d.Kind == metrics.KindFloat64Histogram) {
+			continue // kind changed across Go versions; skip rather than misread
+		}
+		rs.sample.Name = src.source
+		s.samples = append(s.samples, rs)
+	}
+	s.batch = make([]metrics.Sample, len(s.samples))
+	for i := range s.samples {
+		s.batch[i] = s.samples[i].sample
+	}
+	return s
+}
+
+// Sample reads the bridged runtime metrics once and publishes them.
+// Gauges are overwritten with the current value; histogram sources ingest
+// the per-bucket delta since the previous Sample call, mapped to each
+// bucket's geometric midpoint in nanoseconds.
+func (s *RuntimeSampler) Sample() {
+	if s == nil || len(s.batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.batch)
+	for i := range s.batch {
+		rs := &s.samples[i]
+		v := s.batch[i].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			if rs.gauge != nil {
+				rs.gauge.Set(clampInt64(v.Uint64()))
+			}
+		case metrics.KindFloat64:
+			if rs.gauge != nil {
+				rs.gauge.Set(int64(v.Float64()))
+			}
+		case metrics.KindFloat64Histogram:
+			if rs.hist != nil {
+				rs.ingestHistogram(v.Float64Histogram())
+			}
+		default:
+			// KindBad or a future kind: leave the series untouched.
+		}
+	}
+}
+
+// ingestHistogram folds the delta between the runtime histogram's
+// cumulative bucket counts and the counts seen at the previous poll into
+// the obs histogram. Each runtime bucket's events are recorded at the
+// bucket midpoint (seconds → nanoseconds); ±Inf edges are clamped to the
+// finite neighbor.
+func (rs *runtimeSample) ingestHistogram(h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	n := len(h.Counts)
+	if len(rs.prev) != n {
+		// First poll (or the runtime changed its bucket layout): reset the
+		// baseline without ingesting, so process-lifetime history before the
+		// sampler existed doesn't land in one poll's window.
+		rs.prev = make([]uint64, n)
+		copy(rs.prev, h.Counts)
+		return
+	}
+	for i := 0; i < n && i+1 < len(h.Buckets); i++ {
+		c := h.Counts[i]
+		p := rs.prev[i]
+		rs.prev[i] = c
+		if c <= p {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if math.IsInf(hi, +1) {
+			hi = lo
+		}
+		mid := (lo + hi) / 2
+		rs.hist.ObserveN(time.Duration(mid*float64(time.Second)), c-p)
+	}
+}
+
+// clampInt64 converts a uint64 runtime reading to the int64 gauge domain.
+func clampInt64(v uint64) int64 {
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// runtimeGaugeNames and runtimeHistNames are the fixed exposition set the
+// bridge promises regardless of Go version.
+var runtimeGaugeNames = []string{
+	MetricRuntimeGoroutines,
+	MetricRuntimeHeapLiveBytes,
+	MetricRuntimeHeapGoalBytes,
+	MetricRuntimeGCCycles,
+}
+
+var runtimeHistNames = []string{
+	MetricRuntimeGCPause,
+	MetricRuntimeSchedLatency,
+}
+
+func TestRuntimeSamplerDeterministicSeries(t *testing.T) {
+	reg := NewRegistry()
+	NewRuntimeSampler(reg)
+	// All six series must exist before any Sample call, so scrapes and
+	// dashboards see a stable key set from the first poll.
+	snap := reg.Snapshot()
+	for _, name := range runtimeGaugeNames {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s not registered at construction", name)
+		}
+	}
+	for _, name := range runtimeHistNames {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("histogram %s not registered at construction", name)
+		}
+	}
+}
+
+func TestRuntimeSamplerUnknownSourceTolerated(t *testing.T) {
+	// White-box: point the bridge at runtime/metrics names that no Go
+	// version exports. Construction must not panic, the registry series
+	// must still exist (deterministic exposition), and Sample must be a
+	// no-op rather than a misread.
+	saved := runtimeSources
+	defer func() { runtimeSources = saved }()
+	runtimeSources = []struct {
+		metric string
+		source string
+		hist   bool
+	}{
+		{MetricRuntimeGoroutines, "/bogus/does-not-exist:goroutines", false},
+		{MetricRuntimeGCPause, "/bogus/nothing:seconds", true},
+		// Kind mismatch: a histogram source declared as a gauge must be
+		// skipped, not misread.
+		{MetricRuntimeHeapLiveBytes, "/sched/latencies:seconds", false},
+	}
+
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	s.Sample()
+	s.Sample()
+
+	snap := reg.Snapshot()
+	if _, ok := snap.Gauges[MetricRuntimeGoroutines]; !ok {
+		t.Errorf("%s missing despite unknown source", MetricRuntimeGoroutines)
+	}
+	if _, ok := snap.Histograms[MetricRuntimeGCPause]; !ok {
+		t.Errorf("%s missing despite unknown source", MetricRuntimeGCPause)
+	}
+	if got := snap.Gauges[MetricRuntimeGoroutines]; got != 0 {
+		t.Errorf("%s = %d from an unknown source, want 0", MetricRuntimeGoroutines, got)
+	}
+	if got := snap.Gauges[MetricRuntimeHeapLiveBytes]; got != 0 {
+		t.Errorf("%s = %d from a kind-mismatched source, want 0", MetricRuntimeHeapLiveBytes, got)
+	}
+}
+
+func TestRuntimeSamplerNilSafe(t *testing.T) {
+	var s *RuntimeSampler
+	s.Sample() // must not panic
+}
+
+func TestRuntimeSamplerSamplePopulates(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	s.Sample() // establishes the histogram delta baseline
+
+	runtime.GC()
+	runtime.GC()
+	s.Sample()
+
+	snap := reg.Snapshot()
+	if got := snap.Gauges[MetricRuntimeGoroutines]; got <= 0 {
+		t.Errorf("%s = %d, want > 0", MetricRuntimeGoroutines, got)
+	}
+	if got := snap.Gauges[MetricRuntimeHeapLiveBytes]; got <= 0 {
+		t.Errorf("%s = %d, want > 0", MetricRuntimeHeapLiveBytes, got)
+	}
+	if got := snap.Gauges[MetricRuntimeGCCycles]; got < 2 {
+		t.Errorf("%s = %d after two forced GCs, want >= 2", MetricRuntimeGCCycles, got)
+	}
+	// The two forced GC cycles between polls must have landed pause
+	// events in the delta window.
+	if got := snap.Histograms[MetricRuntimeGCPause].Count; got == 0 {
+		t.Errorf("%s ingested no pause events across a forced GC", MetricRuntimeGCPause)
+	}
+}
+
+func TestObserveNBulkIngestion(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveN(3*time.Millisecond, 5)
+	h.ObserveN(40*time.Microsecond, 2)
+	h.ObserveN(time.Second, 0) // n==0 must be a no-op
+
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	wantSum := int64(5*3*time.Millisecond + 2*40*time.Microsecond)
+	if s.SumNS != wantSum {
+		t.Errorf("sum = %d, want %d", s.SumNS, wantSum)
+	}
+	if s.MinNS != int64(40*time.Microsecond) {
+		t.Errorf("min = %d, want %d", s.MinNS, int64(40*time.Microsecond))
+	}
+	if s.MaxNS != int64(3*time.Millisecond) {
+		t.Errorf("max = %d, want %d", s.MaxNS, int64(3*time.Millisecond))
+	}
+	// 3ms lands in the 5ms bucket, 40µs in the 50µs bucket.
+	got := map[int64]uint64{}
+	for _, b := range s.Buckets {
+		got[b.UpperNS] = b.Count
+	}
+	if got[int64(5*time.Millisecond)] != 5 || got[int64(50*time.Microsecond)] != 2 {
+		t.Errorf("buckets = %v, want 5 in 5ms and 2 in 50µs", s.Buckets)
+	}
+}

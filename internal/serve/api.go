@@ -40,7 +40,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobGet)
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/slo", s.handleSLO)
 	mux.HandleFunc("/v1/admin/config", s.handleAdminConfig)
+	mux.HandleFunc("/v1/admin/profile", s.handleAdminProfile)
 	mux.HandleFunc("/v1/events", s.handleEvents)
 	MountDebug(mux, s.eng.Metrics(), s.tracer, s.Ready)
 	return s.withRequestScope(mux)
@@ -119,6 +121,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs[i] = parsedJob{
 			id:       req.ID,
+			design:   req.Design,
 			graph:    g,
 			wellPose: req.WellPose,
 			timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
@@ -244,6 +247,44 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// handleSLO is GET /v1/slo: the SLO tracker's objectives, window sums,
+// burn rates, and last burn firing (with its flight bundle and profile
+// capture paths). With tracking disabled it answers {"enabled": false}.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET /v1/slo")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.view(s.now()))
+}
+
+// handleAdminProfile is POST /v1/admin/profile: trigger an on-demand
+// CPU+heap profile capture (the same rate-limited path SLO burns and
+// flight dumps use). Responses:
+//
+//	202 prof.Capture      capture started; the heap file exists, the CPU
+//	                      file appears when its recording window closes
+//	404                   the daemon was started without a profile dir
+//	429                   rate-limited, capped, or already capturing
+func (s *Server) handleAdminProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST /v1/admin/profile")
+		return
+	}
+	if !s.prof.CaptureEnabled() {
+		writeError(w, http.StatusNotFound, "profile capture is not enabled (start with -prof-dir)")
+		return
+	}
+	pc, ok := s.prof.Capture("manual")
+	if !ok {
+		writeError(w, http.StatusTooManyRequests, "capture refused: rate-limited, capped, or already in flight")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, pc)
 }
 
 // ConfigRequest is the POST /v1/admin/config body. Every field is

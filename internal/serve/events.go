@@ -42,6 +42,11 @@ const (
 	EventDone     = "done"
 	EventFailed   = "failed"
 	EventFlight   = "flight"
+	// EventSLOBurn announces an SLO burn-rate trigger: the error budget
+	// is burning past the paging threshold on both the fast and slow
+	// windows. Reason carries the burn summary; Flight the bundle path
+	// (when the dump was not rate-limited).
+	EventSLOBurn = "slo_burn"
 )
 
 // Event is one lifecycle transition on the /v1/events stream (the SSE
@@ -157,6 +162,16 @@ func (h *eventHub) publish(ev Event) {
 		}
 	}
 	h.mu.Unlock()
+}
+
+// subscribers reports the live subscription count (for /v1/status).
+func (h *eventHub) subscribers() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
 }
 
 // close ends every subscription (drain: the last terminal event has

@@ -75,8 +75,12 @@ func routeLabel(path string) string {
 		return "/v1/jobs/{id}"
 	case path == "/v1/status":
 		return "/v1/status"
+	case path == "/v1/slo":
+		return "/v1/slo"
 	case path == "/v1/admin/config":
 		return "/v1/admin/config"
+	case path == "/v1/admin/profile":
+		return "/v1/admin/profile"
 	case path == "/v1/events":
 		return "/v1/events"
 	case path == "/metrics":

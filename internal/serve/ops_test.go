@@ -601,3 +601,83 @@ func TestStatusCarriesOpsCounters(t *testing.T) {
 		t.Errorf("%s gauge = %d, want the synced drop count", MetricSpansDropped, got)
 	}
 }
+
+// TestStatusEventAndRuntimeFields: /v1/status reports the live SSE
+// subscriber count, the events-dropped counter, and (when a runtime
+// sampler is wired) the Go runtime telemetry block.
+func TestStatusEventAndRuntimeFields(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Options{Workers: 1, Metrics: reg})
+	s, err := New(Options{
+		Engine:          eng,
+		Workers:         1,
+		Runtime:         obs.NewRuntimeSampler(reg),
+		RuntimeInterval: time.Hour, // Status samples on read; no poll churn
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("cleanup drain: %v", err)
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status := func() StatusView {
+		t.Helper()
+		var sv StatusView
+		resp, err := ts.Client().Get(ts.URL + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
+			t.Fatal(err)
+		}
+		return sv
+	}
+
+	sv := status()
+	if sv.EventSubscribers != 0 {
+		t.Fatalf("event_subscribers = %d before any stream, want 0", sv.EventSubscribers)
+	}
+	if sv.EventsDropped != 0 {
+		t.Fatalf("events_dropped = %d on a fresh server, want 0", sv.EventsDropped)
+	}
+	if sv.Runtime == nil {
+		t.Fatal("runtime block absent with a sampler wired")
+	}
+	if sv.Runtime.Goroutines <= 0 || sv.Runtime.HeapLiveBytes <= 0 {
+		t.Errorf("runtime block not populated: %+v", sv.Runtime)
+	}
+
+	// Attach one SSE subscriber and watch the count follow it.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	waitFor(t, "one SSE subscriber", func() bool { return status().EventSubscribers == 1 })
+
+	cancel()
+	waitFor(t, "subscriber detached", func() bool { return status().EventSubscribers == 0 })
+
+	// Without a sampler the block is omitted entirely.
+	s2 := testServer(t, 1, nil)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var sv2 StatusView
+	getJSON(t, ts2, "/v1/status", &sv2)
+	if sv2.Runtime != nil {
+		t.Errorf("runtime block present without a sampler: %+v", sv2.Runtime)
+	}
+}

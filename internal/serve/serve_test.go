@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/leakcheck"
 )
 
 // simpleCG is a well-posed four-vertex graph in the cgio text format,
@@ -31,6 +32,10 @@ min a b 1
 // tweaks the serve options (the Engine field is overwritten).
 func testServer(t *testing.T, engWorkers int, mutate func(*Options)) *Server {
 	t.Helper()
+	// Registered before the drain cleanup below, so it verifies (LIFO)
+	// after the drain: a Server must not leave worker, poll, or SSE
+	// goroutines running once Drain returns.
+	leakcheck.Check(t)
 	opts := Options{Workers: engWorkers}
 	if mutate != nil {
 		mutate(&opts)

@@ -41,6 +41,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/logx"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/relsched"
 	"repro/internal/trace"
 )
@@ -75,6 +76,21 @@ type Options struct {
 	Tracer *trace.Tracer
 	Logger *logx.Logger
 	Flight *flight.Recorder
+	// SLO enables the rolling-window burn-rate tracker (see slo.go):
+	// serve.slo.* metrics, GET /v1/slo, and a flight bundle + profile
+	// capture pair on budget burn. Nil disables tracking.
+	SLO *SLOConfig
+	// Prof is the self-profiling plane (shared with the engine): the
+	// server uses it for SLO-burn captures and the POST
+	// /v1/admin/profile trigger. Nil disables both.
+	Prof *prof.Profiler
+	// Runtime, when set, is polled every RuntimeInterval (default 5s)
+	// for Go runtime telemetry (GC pauses, heap, goroutines, scheduler
+	// latency) published on the shared registry and summarized on
+	// /v1/status. The poll loop stops when the server drains. Nil keeps
+	// the disabled path free of any runtime/metrics reads.
+	Runtime         *obs.RuntimeSampler
+	RuntimeInterval time.Duration
 	// Now is a clock override for tests; nil selects time.Now.
 	Now func() time.Time
 }
@@ -166,6 +182,11 @@ type JobRequest struct {
 	WellPose bool `json:"wellpose,omitempty"`
 	// TimeoutMS overrides the engine's per-job timeout when positive.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Design names the workload family the graph belongs to (a paper
+	// design name, a corpus label). It is a profile-attribution label
+	// only — CPU profile samples carry it when the self-profiling plane
+	// is on — never an identifier. Optional.
+	Design string `json:"design,omitempty"`
 }
 
 // JobView is the GET /v1/jobs/{id} response (and the per-job element of
@@ -202,6 +223,7 @@ type JobView struct {
 type jobRecord struct {
 	id         string
 	tenant     string
+	design     string
 	graph      *cg.Graph
 	wellPose   bool
 	timeout    time.Duration
@@ -239,6 +261,9 @@ type Server struct {
 	log     *logx.Logger
 	tracer  *trace.Tracer
 	flight  *flight.Recorder
+	prof    *prof.Profiler
+	slo     *sloTracker         // nil when SLO tracking is off
+	runtime *obs.RuntimeSampler // nil when runtime telemetry is off
 	now     func() time.Time
 
 	// metrics resolved once (see the Metric* names).
@@ -319,6 +344,8 @@ func New(opts Options) (*Server, error) {
 		log:           opts.Logger,
 		tracer:        opts.Tracer,
 		flight:        opts.Flight,
+		prof:          opts.Prof,
+		runtime:       opts.Runtime,
 		now:           now,
 		requested:     reg.Counter(MetricJobsRequested),
 		accepted:      reg.Counter(MetricJobsAccepted),
@@ -341,9 +368,35 @@ func New(opts Options) (*Server, error) {
 		store:         make(map[string]*jobRecord),
 		drained:       make(chan struct{}),
 	}
+	if opts.SLO != nil {
+		s.slo = newSLOTracker(*opts.SLO, reg)
+	}
 	s.events = newEventHub(func(n uint64) { s.eventsDropped.Add(n) })
 	s.resizePool(opts.Workers)
+	if s.runtime != nil {
+		interval := opts.RuntimeInterval
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		s.runtime.Sample()
+		go s.pollRuntime(interval)
+	}
 	return s, nil
+}
+
+// pollRuntime republishes the Go runtime telemetry until drain
+// completes. One loop per server; RuntimeSampler is single-consumer.
+func (s *Server) pollRuntime(interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.drained:
+			return
+		case <-tick.C:
+			s.runtime.Sample()
+		}
+	}
 }
 
 // Ready reports whether the server accepts new jobs (false once Drain
@@ -432,6 +485,8 @@ func (s *Server) runJob(rec *jobRecord) {
 		Timeout:   rec.timeout,
 		Parent:    rec.reqSpan,
 		RequestID: rec.requestID,
+		Tenant:    rec.tenant,
+		Design:    rec.design,
 	})
 
 	s.storeMu.Lock()
@@ -460,6 +515,11 @@ func (s *Server) runJob(rec *jobRecord) {
 		})
 	}
 	s.limiter.release(rec.tenant)
+	if reason, fire := s.slo.observe(s.now(), latency, res.Err != nil); fire {
+		// The slow part (registry snapshot, bundle write, profile start)
+		// runs off the worker goroutine; cooldown guarantees no pile-up.
+		go s.fireSLOBurn(reason)
+	}
 
 	if res.Err != nil {
 		ev := s.event(EventFailed, rec)
@@ -477,6 +537,32 @@ func (s *Server) runJob(rec *jobRecord) {
 	}
 }
 
+// fireSLOBurn is the burn-rate trigger action: capture CPU+heap
+// profiles, dump a flight bundle cross-linking them, record the pair on
+// /v1/slo, and announce it on the event stream. Each artifact is
+// independently rate-limited and optional — a burn with the flight
+// recorder off still captures profiles, and vice versa.
+func (s *Server) fireSLOBurn(reason string) {
+	var profiles map[string]string
+	if pc, ok := s.prof.Capture("slo_burn"); ok {
+		profiles = pc.Paths()
+	}
+	_, bundle := s.flight.ObserveSLOBurn(reason, profiles)
+	s.slo.setLastBurn(SLOBurn{
+		TimeUTC:  s.now().UTC().Format(time.RFC3339Nano),
+		Reason:   reason,
+		Flight:   bundle,
+		Profiles: profiles,
+	})
+	ev := s.event(EventSLOBurn, nil)
+	ev.Reason = reason
+	ev.Flight = bundle
+	s.events.publish(ev)
+	if s.log.Enabled(logx.LevelWarn) {
+		s.log.Warn("slo burn", logx.Str("reason", reason), logx.Str("flight", bundle))
+	}
+}
+
 // evictLocked drops the oldest finished results over the retention
 // bound. Caller holds storeMu.
 func (s *Server) evictLocked() {
@@ -490,6 +576,7 @@ func (s *Server) evictLocked() {
 // parsedJob is one validated intake job, ready for admission.
 type parsedJob struct {
 	id       string
+	design   string
 	graph    *cg.Graph
 	wellPose bool
 	timeout  time.Duration
@@ -590,6 +677,7 @@ func (s *Server) submit(tenant string, jobs []parsedJob, meta *reqMeta) ([]*jobR
 		rec := &jobRecord{
 			id:          id,
 			tenant:      tenant,
+			design:      j.design,
 			graph:       j.graph,
 			wellPose:    j.wellPose,
 			timeout:     j.timeout,
@@ -779,13 +867,33 @@ type StatusView struct {
 	// SpansDropped is trace.Tracer.Dropped(): span history lost to ring
 	// wrap-around since the process started.
 	SpansDropped uint64 `json:"spans_dropped"`
+	// EventsDropped is serve.events.dropped: /v1/events deliveries
+	// abandoned because a subscriber overflowed (the subscriber was
+	// disconnected and must re-sync). EventSubscribers is the live SSE
+	// subscription count.
+	EventsDropped    uint64 `json:"events_dropped"`
+	EventSubscribers int    `json:"event_subscribers"`
+	// Runtime summarizes the Go runtime telemetry bridge (present only
+	// when the server was started with runtime sampling on).
+	Runtime *RuntimeStatus `json:"runtime,omitempty"`
+}
+
+// RuntimeStatus is the /v1/status summary of the runtime/metrics bridge
+// (see obs.RuntimeSampler; the full histograms are on /metrics).
+type RuntimeStatus struct {
+	Goroutines        int64 `json:"goroutines"`
+	HeapLiveBytes     int64 `json:"heap_live_bytes"`
+	GCCycles          int64 `json:"gc_cycles"`
+	GCPauseP99NS      int64 `json:"gc_pause_p99_ns"`
+	SchedLatencyP99NS int64 `json:"sched_latency_p99_ns"`
 }
 
 // Status snapshots the server.
 func (s *Server) Status() StatusView {
 	rate, burst, quota := s.limiter.policy()
 	s.spansDropped.Set(int64(s.tracer.Dropped()))
-	counters := s.eng.Metrics().Snapshot().Counters
+	snap := s.eng.Metrics().Snapshot()
+	counters := snap.Counters
 	v := StatusView{
 		Ready:         s.Ready(),
 		Draining:      s.draining.Load(),
@@ -801,6 +909,20 @@ func (s *Server) Status() StatusView {
 		DeltaFailed:   counters[engine.MetricDeltaFailed],
 		DeltaWarmHits: counters[engine.MetricDeltaWarmHits],
 		SpansDropped:  s.tracer.Dropped(),
+		EventsDropped: counters[MetricEventsDropped],
+	}
+	v.EventSubscribers = s.events.subscribers()
+	if s.runtime != nil {
+		// Sample on read too, so /v1/status is current even between polls.
+		s.runtime.Sample()
+		snap = s.eng.Metrics().Snapshot()
+		v.Runtime = &RuntimeStatus{
+			Goroutines:        snap.Gauges[obs.MetricRuntimeGoroutines],
+			HeapLiveBytes:     snap.Gauges[obs.MetricRuntimeHeapLiveBytes],
+			GCCycles:          snap.Gauges[obs.MetricRuntimeGCCycles],
+			GCPauseP99NS:      snap.Histograms[obs.MetricRuntimeGCPause].P99NS,
+			SchedLatencyP99NS: snap.Histograms[obs.MetricRuntimeSchedLatency].P99NS,
+		}
 	}
 	s.storeMu.Lock()
 	for _, rec := range s.store {

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the serving layer's SLO tracker: rolling-window latency
+// and error objectives evaluated with the multi-window burn-rate method.
+//
+// The model: an objective like "99% of jobs finish under 100ms" leaves a
+// 1% error budget. The burn rate of a window is the observed bad
+// fraction divided by that budget — burn 1 means the budget is being
+// consumed exactly as fast as it is granted; burn 10 means it is gone in
+// a tenth of the period. A page-worthy burn must be fast enough to
+// matter AND sustained enough to be real, so the tracker requires the
+// threshold to be exceeded on both a fast window (reacts in minutes,
+// noisy alone) and a slow window (smooths blips, laggy alone) — the
+// standard multi-window guard against both flappy and stale alerts.
+// When both windows burn, the tracker fires one action per cooldown:
+// a flight bundle + profile capture pair, cross-linked, plus an
+// slo_burn event on /v1/events.
+
+// SLO metric names (registered on the engine's registry). Burn-rate
+// gauges are scaled ×1000 (a value of 14400 is burn rate 14.4) since
+// gauges are integral.
+const (
+	MetricSLOLatencyBurnFast = "serve.slo.latency.burn_fast"
+	MetricSLOLatencyBurnSlow = "serve.slo.latency.burn_slow"
+	MetricSLOErrorBurnFast   = "serve.slo.error.burn_fast"
+	MetricSLOErrorBurnSlow   = "serve.slo.error.burn_slow"
+	// MetricSLOBurnEvents counts burn-rate trigger firings (each fires a
+	// flight bundle + profile capture, subject to their own rate limits).
+	MetricSLOBurnEvents = "serve.slo.burn_events"
+)
+
+// SLOConfig declares the service objectives. The zero value of any field
+// selects its default; a nil *SLOConfig in Options disables tracking
+// entirely (no per-job overhead).
+type SLOConfig struct {
+	// LatencyObjective is the per-job latency bound (admission to
+	// terminal state, queue wait included). Default 100ms.
+	LatencyObjective time.Duration
+	// LatencyTarget is the fraction of jobs that must meet the bound,
+	// e.g. 0.99. Default 0.99.
+	LatencyTarget float64
+	// ErrorTarget is the fraction of jobs that must succeed, e.g. 0.999.
+	// Default 0.999. Jobs failing with any verdict count against it.
+	ErrorTarget float64
+	// FastWindow and SlowWindow are the two burn-rate windows.
+	// Defaults 5m and 1h.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// BurnThreshold is the burn rate that must be exceeded on both
+	// windows to fire. Default 10 (the budget would be gone in a tenth
+	// of the SLO period).
+	BurnThreshold float64
+	// MinSamples is the minimum job count in the fast window before burn
+	// is evaluated — burn on three jobs is noise. Default 10.
+	MinSamples int
+	// Cooldown is the minimum spacing between burn firings. Default 5m.
+	Cooldown time.Duration
+}
+
+// withDefaults resolves zero fields.
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = 100 * time.Millisecond
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.ErrorTarget <= 0 || c.ErrorTarget >= 1 {
+		c.ErrorTarget = 0.999
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = c.FastWindow
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 10
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Minute
+	}
+	return c
+}
+
+// sloBucket accumulates one second of terminal job outcomes.
+type sloBucket struct {
+	total uint32
+	slow  uint32 // latency objective violations
+	errs  uint32 // failed jobs
+}
+
+// SLOBurn describes the most recent burn firing, surfaced on /v1/slo.
+type SLOBurn struct {
+	TimeUTC string `json:"time_utc"`
+	Reason  string `json:"reason"`
+	// Flight is the bundle the firing dumped ("" when the flight
+	// recorder was off or rate-limited it); Profiles the cross-linked
+	// capture paths ({"cpu": …, "heap": …}, "" entries omitted).
+	Flight   string            `json:"flight,omitempty"`
+	Profiles map[string]string `json:"profiles,omitempty"`
+}
+
+// SLOWindowView is one window's burn arithmetic on /v1/slo.
+type SLOWindowView struct {
+	Seconds     int64   `json:"seconds"`
+	Total       uint64  `json:"total"`
+	Slow        uint64  `json:"slow"`
+	Errors      uint64  `json:"errors"`
+	LatencyBurn float64 `json:"latency_burn"`
+	ErrorBurn   float64 `json:"error_burn"`
+}
+
+// SLOView is the GET /v1/slo response.
+type SLOView struct {
+	Enabled            bool          `json:"enabled"`
+	LatencyObjectiveMS float64       `json:"latency_objective_ms,omitempty"`
+	LatencyTarget      float64       `json:"latency_target,omitempty"`
+	ErrorTarget        float64       `json:"error_target,omitempty"`
+	BurnThreshold      float64       `json:"burn_threshold,omitempty"`
+	Fast               SLOWindowView `json:"fast,omitzero"`
+	Slow               SLOWindowView `json:"slow,omitzero"`
+	BurnEvents         uint64        `json:"burn_events"`
+	LastBurn           *SLOBurn      `json:"last_burn,omitempty"`
+}
+
+// sloTracker is the rolling-window store: one bucket per second over the
+// slow window, advanced lazily on observation. All methods are cheap —
+// record is O(1) amortized and evaluation (O(window seconds) sums) runs
+// at most once per second.
+type sloTracker struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	buckets []sloBucket
+	headSec int64 // unix second the head bucket covers; 0 = empty
+	head    int
+
+	lastEvalSec int64
+	lastFire    time.Time
+	fired       uint64
+	lastBurn    *SLOBurn
+
+	latFast, latSlow *obs.Gauge
+	errFast, errSlow *obs.Gauge
+	burns            *obs.Counter
+}
+
+func newSLOTracker(cfg SLOConfig, reg *obs.Registry) *sloTracker {
+	cfg = cfg.withDefaults()
+	return &sloTracker{
+		cfg:     cfg,
+		buckets: make([]sloBucket, int(cfg.SlowWindow/time.Second)+1),
+		latFast: reg.Gauge(MetricSLOLatencyBurnFast),
+		latSlow: reg.Gauge(MetricSLOLatencyBurnSlow),
+		errFast: reg.Gauge(MetricSLOErrorBurnFast),
+		errSlow: reg.Gauge(MetricSLOErrorBurnSlow),
+		burns:   reg.Counter(MetricSLOBurnEvents),
+	}
+}
+
+// advanceLocked moves the ring head to sec, zeroing skipped seconds.
+func (t *sloTracker) advanceLocked(sec int64) {
+	if t.headSec == 0 {
+		t.headSec = sec
+		return
+	}
+	gap := sec - t.headSec
+	if gap <= 0 {
+		return
+	}
+	if gap > int64(len(t.buckets)) {
+		gap = int64(len(t.buckets))
+	}
+	for i := int64(0); i < gap; i++ {
+		t.head = (t.head + 1) % len(t.buckets)
+		t.buckets[t.head] = sloBucket{}
+	}
+	t.headSec = sec
+}
+
+// observe records one terminal job outcome and, at most once per second,
+// re-evaluates the burn rates. It returns a non-empty reason when the
+// multi-window threshold fired and the cooldown allows acting on it; the
+// caller performs the (slow) flight + profile work outside the lock.
+func (t *sloTracker) observe(now time.Time, latency time.Duration, failed bool) (reason string, fire bool) {
+	if t == nil {
+		return "", false
+	}
+	sec := now.Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.advanceLocked(sec)
+	b := &t.buckets[t.head]
+	b.total++
+	if latency > t.cfg.LatencyObjective {
+		b.slow++
+	}
+	if failed {
+		b.errs++
+	}
+	if sec == t.lastEvalSec {
+		return "", false
+	}
+	t.lastEvalSec = sec
+	return t.evaluateLocked(now)
+}
+
+// windowLocked sums the most recent n seconds.
+func (t *sloTracker) windowLocked(n int) (total, slow, errs uint64) {
+	if n > len(t.buckets) {
+		n = len(t.buckets)
+	}
+	for i := 0; i < n; i++ {
+		b := &t.buckets[(t.head-i+len(t.buckets))%len(t.buckets)]
+		total += uint64(b.total)
+		slow += uint64(b.slow)
+		errs += uint64(b.errs)
+	}
+	return
+}
+
+// burnRate is badCount/total scaled by the inverse error budget; 0 when
+// the window is empty.
+func burnRate(bad, total uint64, target float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// evaluateLocked recomputes the four burn gauges and applies the
+// multi-window rule. Caller holds t.mu.
+func (t *sloTracker) evaluateLocked(now time.Time) (string, bool) {
+	fastN := int(t.cfg.FastWindow / time.Second)
+	slowN := int(t.cfg.SlowWindow / time.Second)
+	fTotal, fSlow, fErrs := t.windowLocked(fastN)
+	sTotal, sSlow, sErrs := t.windowLocked(slowN)
+
+	latFast := burnRate(fSlow, fTotal, t.cfg.LatencyTarget)
+	latSlow := burnRate(sSlow, sTotal, t.cfg.LatencyTarget)
+	errFast := burnRate(fErrs, fTotal, t.cfg.ErrorTarget)
+	errSlow := burnRate(sErrs, sTotal, t.cfg.ErrorTarget)
+	t.latFast.Set(int64(latFast*1000 + 0.5))
+	t.latSlow.Set(int64(latSlow*1000 + 0.5))
+	t.errFast.Set(int64(errFast*1000 + 0.5))
+	t.errSlow.Set(int64(errSlow*1000 + 0.5))
+
+	if fTotal < uint64(t.cfg.MinSamples) {
+		return "", false
+	}
+	if !t.lastFire.IsZero() && now.Sub(t.lastFire) < t.cfg.Cooldown {
+		return "", false
+	}
+	th := t.cfg.BurnThreshold
+	switch {
+	case latFast >= th && latSlow >= th:
+		t.lastFire = now
+		t.fired++
+		t.burns.Inc()
+		return fmtBurnReason("latency", latFast, latSlow, th, fSlow, fTotal, t.cfg), true
+	case errFast >= th && errSlow >= th:
+		t.lastFire = now
+		t.fired++
+		t.burns.Inc()
+		return fmtBurnReason("error", errFast, errSlow, th, fErrs, fTotal, t.cfg), true
+	}
+	return "", false
+}
+
+// fmtBurnReason renders the human sentence a firing carries into the
+// flight bundle, the slo_burn event, and /v1/slo.
+func fmtBurnReason(objective string, fast, slow, th float64, bad, total uint64, cfg SLOConfig) string {
+	return fmt.Sprintf("%s SLO burn: fast %.1fx / slow %.1fx >= threshold %.1fx (%d/%d bad in %v window)",
+		objective, fast, slow, th, bad, total, cfg.FastWindow)
+}
+
+// setLastBurn records the artifacts a firing produced.
+func (t *sloTracker) setLastBurn(b SLOBurn) {
+	t.mu.Lock()
+	t.lastBurn = &b
+	t.mu.Unlock()
+}
+
+// view renders the tracker for /v1/slo, evaluating the windows as of
+// now so the numbers are current even on an idle server.
+func (t *sloTracker) view(now time.Time) SLOView {
+	if t == nil {
+		return SLOView{Enabled: false}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.advanceLocked(now.Unix())
+	fastN := int(t.cfg.FastWindow / time.Second)
+	slowN := int(t.cfg.SlowWindow / time.Second)
+	fTotal, fSlow, fErrs := t.windowLocked(fastN)
+	sTotal, sSlow, sErrs := t.windowLocked(slowN)
+	v := SLOView{
+		Enabled:            true,
+		LatencyObjectiveMS: float64(t.cfg.LatencyObjective) / float64(time.Millisecond),
+		LatencyTarget:      t.cfg.LatencyTarget,
+		ErrorTarget:        t.cfg.ErrorTarget,
+		BurnThreshold:      t.cfg.BurnThreshold,
+		Fast: SLOWindowView{
+			Seconds:     int64(fastN),
+			Total:       fTotal,
+			Slow:        fSlow,
+			Errors:      fErrs,
+			LatencyBurn: burnRate(fSlow, fTotal, t.cfg.LatencyTarget),
+			ErrorBurn:   burnRate(fErrs, fTotal, t.cfg.ErrorTarget),
+		},
+		Slow: SLOWindowView{
+			Seconds:     int64(slowN),
+			Total:       sTotal,
+			Slow:        sSlow,
+			Errors:      sErrs,
+			LatencyBurn: burnRate(sSlow, sTotal, t.cfg.LatencyTarget),
+			ErrorBurn:   burnRate(sErrs, sTotal, t.cfg.ErrorTarget),
+		},
+		BurnEvents: t.fired,
+	}
+	if t.lastBurn != nil {
+		lb := *t.lastBurn
+		v.LastBurn = &lb
+	}
+	return v
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/obs"
+	"repro/internal/prof"
+)
+
+// slowObs observes n consecutive seconds of all-slow traffic and returns
+// how many times the tracker fired and the last reason.
+func slowObs(t *sloTracker, base time.Time, n int) (fired int, reason string) {
+	for i := 0; i < n; i++ {
+		r, f := t.observe(base.Add(time.Duration(i)*time.Second), 10*time.Millisecond, false)
+		if f {
+			fired++
+			reason = r
+		}
+	}
+	return
+}
+
+func TestSLOTrackerMultiWindowLatencyBurn(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := newSLOTracker(SLOConfig{
+		LatencyObjective: time.Millisecond,
+		MinSamples:       5,
+		Cooldown:         time.Hour,
+	}, reg)
+	base := time.Unix(1_000_000, 0)
+
+	fired, reason := slowObs(tr, base, 8)
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (cooldown suppresses repeats)", fired)
+	}
+	if reason == "" || !containsAll(reason, "latency SLO burn", "threshold") {
+		t.Fatalf("reason = %q, want a latency burn sentence", reason)
+	}
+
+	// Every observation violates the objective, so burn = 1/(1-0.99) =
+	// 100×; the gauges carry it ×1000.
+	snap := reg.Snapshot()
+	for _, name := range []string{MetricSLOLatencyBurnFast, MetricSLOLatencyBurnSlow} {
+		if got := snap.Gauges[name]; got != 100_000 {
+			t.Errorf("%s = %d, want 100000", name, got)
+		}
+	}
+	if got := snap.Counters[MetricSLOBurnEvents]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricSLOBurnEvents, got)
+	}
+}
+
+func TestSLOTrackerMinSamplesGate(t *testing.T) {
+	tr := newSLOTracker(SLOConfig{
+		LatencyObjective: time.Millisecond,
+		MinSamples:       50,
+		Cooldown:         time.Hour,
+	}, obs.NewRegistry())
+	// 10 all-slow observations burn at 100× but stay under the sample
+	// floor — noise, not a page.
+	if fired, _ := slowObs(tr, time.Unix(1_000_000, 0), 10); fired != 0 {
+		t.Fatalf("fired %d times under the MinSamples floor, want 0", fired)
+	}
+}
+
+func TestSLOTrackerErrorBurn(t *testing.T) {
+	tr := newSLOTracker(SLOConfig{MinSamples: 3, Cooldown: time.Hour}, obs.NewRegistry())
+	base := time.Unix(1_000_000, 0)
+	var fired int
+	var reason string
+	for i := 0; i < 6; i++ {
+		// Fast jobs (latency fine) that all fail: only the error
+		// objective burns.
+		r, f := tr.observe(base.Add(time.Duration(i)*time.Second), time.Microsecond, true)
+		if f {
+			fired++
+			reason = r
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if !containsAll(reason, "error SLO burn") {
+		t.Fatalf("reason = %q, want an error burn sentence", reason)
+	}
+}
+
+func TestSLOTrackerCooldownSpacing(t *testing.T) {
+	tr := newSLOTracker(SLOConfig{
+		LatencyObjective: time.Millisecond,
+		MinSamples:       2,
+		Cooldown:         time.Nanosecond, // effectively off
+	}, obs.NewRegistry())
+	if fired, _ := slowObs(tr, time.Unix(1_000_000, 0), 5); fired < 2 {
+		t.Fatalf("fired %d times with cooldown off, want every evaluation past the floor", fired)
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *sloTracker
+	if _, fired := tr.observe(time.Now(), time.Second, true); fired {
+		t.Fatal("nil tracker fired")
+	}
+	if v := tr.view(time.Now()); v.Enabled {
+		t.Fatal("nil tracker view reports enabled")
+	}
+}
+
+// TestSLOBurnProducesLinkedFlightAndProfile is the PR's acceptance
+// criterion end to end inside the serving layer: a burn firing must dump
+// a flight bundle and a profile capture pair, cross-linked — the bundle
+// JSON carries the profile paths, and /v1/slo reports both.
+func TestSLOBurnProducesLinkedFlightAndProfile(t *testing.T) {
+	dir := t.TempDir()
+	profiler, err := prof.New(prof.Options{
+		Dir:         dir,
+		CPUDuration: 30 * time.Millisecond,
+		MinInterval: -1, // no rate limiting in tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := flight.New(flight.Options{Dir: dir, MinInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t, 1, func(o *Options) {
+		o.Flight = rec
+		o.Prof = profiler
+		o.SLO = &SLOConfig{
+			LatencyObjective: time.Nanosecond, // every real job violates it
+			MinSamples:       1,
+			Cooldown:         time.Hour,
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	views := decodeJobs(t, postJobs(t, ts, "", "application/json", singleJob("burnjob")))
+	if len(views) != 1 {
+		t.Fatalf("accepted %d jobs, want 1", len(views))
+	}
+	waitFor(t, "burnjob terminal", func() bool {
+		var v JobView
+		getJSON(t, ts, "/v1/jobs/burnjob", &v)
+		return v.Status == StatusDone
+	})
+
+	// The firing runs asynchronously off the worker goroutine.
+	var burn *SLOBurn
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v := s.slo.view(time.Now()); v.LastBurn != nil {
+			burn = v.LastBurn
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if burn == nil {
+		t.Fatal("no SLO burn recorded within 5s")
+	}
+	profiler.Wait() // let the CPU half of the capture seal
+
+	if burn.Flight == "" {
+		t.Fatal("burn carries no flight bundle path")
+	}
+	if burn.Profiles["cpu"] == "" || burn.Profiles["heap"] == "" {
+		t.Fatalf("burn profiles = %v, want cpu and heap paths", burn.Profiles)
+	}
+	for kind, path := range burn.Profiles {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Errorf("%s profile %s: stat err %v", kind, path, err)
+		}
+	}
+
+	// The cross-link: the flight bundle's job record must name the same
+	// capture files.
+	data, err := os.ReadFile(burn.Flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle struct {
+		Trigger string `json:"trigger"`
+		Job     struct {
+			ErrKind  string            `json:"err_kind"`
+			Profiles map[string]string `json:"profiles"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal(data, &bundle); err != nil {
+		t.Fatalf("flight bundle %s: %v", burn.Flight, err)
+	}
+	if bundle.Trigger != string(flight.TriggerSLOBurn) {
+		t.Errorf("bundle trigger = %q, want %q", bundle.Trigger, flight.TriggerSLOBurn)
+	}
+	if bundle.Job.ErrKind != "slo_burn" {
+		t.Errorf("bundle err_kind = %q, want slo_burn", bundle.Job.ErrKind)
+	}
+	if bundle.Job.Profiles["cpu"] != burn.Profiles["cpu"] || bundle.Job.Profiles["heap"] != burn.Profiles["heap"] {
+		t.Errorf("bundle profiles %v != burn profiles %v", bundle.Job.Profiles, burn.Profiles)
+	}
+	if filepath.Dir(bundle.Job.Profiles["heap"]) != dir {
+		t.Errorf("heap profile not in capture dir: %s", bundle.Job.Profiles["heap"])
+	}
+}
+
+// TestSLOEndpoint exercises GET /v1/slo through the public handler, both
+// disabled (no SLO configured) and enabled.
+func TestSLOEndpoint(t *testing.T) {
+	s := testServer(t, 1, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var v SLOView
+	getJSON(t, ts, "/v1/slo", &v)
+	if v.Enabled {
+		t.Fatal("SLO reported enabled on a server without SLOConfig")
+	}
+
+	s2 := testServer(t, 1, func(o *Options) {
+		o.SLO = &SLOConfig{LatencyObjective: 25 * time.Millisecond}
+	})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var v2 SLOView
+	getJSON(t, ts2, "/v1/slo", &v2)
+	if !v2.Enabled {
+		t.Fatal("SLO reported disabled")
+	}
+	if v2.LatencyObjectiveMS != 25 {
+		t.Errorf("latency_objective_ms = %v, want 25", v2.LatencyObjectiveMS)
+	}
+	if v2.Fast.Seconds != 300 || v2.Slow.Seconds != 3600 {
+		t.Errorf("window seconds = %d/%d, want 300/3600", v2.Fast.Seconds, v2.Slow.Seconds)
+	}
+}
+
+// TestAdminProfileEndpoint: 404 without capture configured, 202 with,
+// 429 when the rate limiter refuses.
+func TestAdminProfileEndpoint(t *testing.T) {
+	s := testServer(t, 1, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := postStatus(t, ts, "/v1/admin/profile"); code != http.StatusNotFound {
+		t.Fatalf("POST /v1/admin/profile without prof = %d, want 404", code)
+	}
+
+	profiler, err := prof.New(prof.Options{
+		Dir:         t.TempDir(),
+		CPUDuration: 20 * time.Millisecond,
+		MinInterval: time.Hour, // the second capture inside the window is refused
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(profiler.Wait)
+	s2 := testServer(t, 1, func(o *Options) { o.Prof = profiler })
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if code := postStatus(t, ts2, "/v1/admin/profile"); code != http.StatusAccepted {
+		t.Fatalf("first capture = %d, want 202", code)
+	}
+	profiler.Wait()
+	if code := postStatus(t, ts2, "/v1/admin/profile"); code != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited capture = %d, want 429", code)
+	}
+}
+
+// postStatus POSTs an empty body and returns the status code.
+func postStatus(t *testing.T, ts *httptest.Server, path string) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// getJSON decodes a 200 GET response into v.
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
