@@ -233,6 +233,11 @@ func runBatch(args []string, stdout io.Writer) error {
 		Tracer:        tracer,
 		Logger:        logger,
 		Flight:        recorder,
+		// The batch report always prints the stage-p95 table (and
+		// -metrics/-json export the stage histograms), so the engine
+		// must stamp every job's stage boundaries, not just
+		// instrumented ones.
+		StageMetrics: true,
 	})
 
 	var debug *serve.HTTPServer

@@ -204,6 +204,10 @@ func runServe(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		Logger:        logger,
 		Flight:        recorder,
 		Prof:          profiler,
+		// The daemon exports the registry on /metrics: dashboards
+		// expect complete engine.stage.* histograms, not just the
+		// trace-sampled subset, so force stage timing on.
+		StageMetrics: true,
 	})
 	srv, err := serve.New(serve.Options{
 		Engine:          eng,

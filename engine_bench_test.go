@@ -5,9 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -71,6 +74,14 @@ type engineBenchArtifact struct {
 	PooledSpeedup   float64 `json:"pooled_speedup_vs_sequential"`
 	MemoizedSpeedup float64 `json:"pooled_memoized_speedup_vs_sequential"`
 
+	// PooledPairedRatio is min over paired laps of pooled_lap/sequential_lap
+	// (each rep times both configurations back to back, so VM noise hits
+	// both sides of a pair). It is the 1-worker parity number: at
+	// Workers == 1 the pool must cost ≤ 5% over calling relsched.Compute
+	// in a loop, asserted on this ratio rather than on the absolute bests
+	// because the paired minimum cancels wall-clock noise the bests do not.
+	PooledPairedRatio float64 `json:"pooled_paired_ratio"`
+
 	// Per-core scaling: the cold and pooled speedups divided by the worker
 	// count, so runs at different GOMAXPROCS are comparable in
 	// BENCH_history.jsonl. 1.0 means perfect linear scaling of the pooled
@@ -86,6 +97,25 @@ type engineBenchArtifact struct {
 	CacheHits          uint64 `json:"cache_hits"`
 	CacheMisses        uint64 `json:"cache_misses"`
 	IdenticalSchedules bool   `json:"identical_schedules"`
+
+	// Corpus-scale sustained ingest (see measureCorpus): CorpusJobs jobs
+	// cycling over CorpusGraphs distinct randgraph graphs streamed through
+	// a fresh memoizing engine — the serve-daemon traffic shape the
+	// sharded cache exists for. Quantiles are per-job engine latencies;
+	// CorpusJobsPerSec is wall-clock throughput over the whole stream.
+	CorpusGraphs     int     `json:"corpus_graphs"`
+	CorpusJobs       int     `json:"corpus_jobs"`
+	CorpusNS         int64   `json:"corpus_ns"`
+	CorpusJobsPerSec float64 `json:"corpus_jobs_per_sec"`
+	CorpusP50NS      int64   `json:"corpus_p50_ns"`
+	CorpusP95NS      int64   `json:"corpus_p95_ns"`
+	CorpusP99NS      int64   `json:"corpus_p99_ns"`
+
+	// CacheShards and CacheShardContention snapshot the corpus engine's
+	// sharded-cache geometry and how often a locker found a shard mutex
+	// held (failed TryLock; see engine.MetricCacheShardContention).
+	CacheShards          int    `json:"cache_shards"`
+	CacheShardContention uint64 `json:"cache_shard_contention"`
 }
 
 // TestEngineBenchArtifact measures the engine against the sequential
@@ -124,7 +154,9 @@ func TestEngineBenchArtifact(t *testing.T) {
 	// times and the minimum kept — the best-of-N is the run least disturbed
 	// by scheduler preemption and allocator growth, and all repetitions do
 	// identical work. (The memoized configuration runs once: repeating it
-	// would re-serve the populated cache and measure something else.)
+	// would re-serve the populated cache and measure something else.) The
+	// sequential and pooled laps additionally alternate within each rep —
+	// see the paired loop below.
 	// Every configuration retains a full corpus of schedules (that is what
 	// a batch engine returns), so GC state at rep start is the other big
 	// noise source: each rep begins with an explicit collection, outside
@@ -143,12 +175,30 @@ func TestEngineBenchArtifact(t *testing.T) {
 		return best
 	}
 
-	// Sequential baseline: one relsched.Compute per job, no reuse — what
-	// every caller did before internal/engine existed. Only scheduling is
-	// timed; rendering for the identity check happens outside the clock
-	// in every configuration.
+	// Sequential baseline vs pooled engine, measured as PAIRED laps: each
+	// rep times the sequential loop (one relsched.Compute per job, no
+	// reuse — what every caller did before internal/engine existed) and
+	// the uncached engine back to back, so runner noise (preemption,
+	// frequency drift) lands on both sides of a pair about equally. The
+	// artifact keeps the best lap of each side; the 1-worker parity
+	// assertion below uses the minimum paired ratio, which the noise
+	// largely cancels out of. Only scheduling is timed; rendering for the
+	// identity check happens outside the clock in every configuration.
+	pooled := engine.New(engine.Options{DisableCache: true})
 	seqScheds := make([]*relsched.Schedule, len(workload))
-	seqNS := timeBest(func() {
+	var pooledResults []engine.Result
+	var seqNS, pooledNS time.Duration
+	pairedRatio := 0.0
+	// Each lap allocates ~20MB, so with GC live, whether a collection
+	// cycle lands inside the sequential or the pooled lap is a coin flip
+	// worth >10% of a lap — far more than the 5% parity bound below.
+	// Both sides allocate identically, so GC is disabled across the
+	// paired laps (the retained-heap growth is ~120MB, collected between
+	// laps would not change either side's work) and restored after.
+	gcPct := debug.SetGCPercent(-1)
+	for rep := 0; rep < timingReps; rep++ {
+		runtime.GC()
+		start := time.Now()
 		for i, j := range workload {
 			s, err := relsched.Compute(j.Graph)
 			if err != nil {
@@ -156,10 +206,33 @@ func TestEngineBenchArtifact(t *testing.T) {
 			}
 			seqScheds[i] = s
 		}
-	})
+		seqLap := time.Since(start)
+		runtime.GC()
+		start = time.Now()
+		pooledResults = pooled.RunAll(context.Background(), workload)
+		pooledLap := time.Since(start)
+		if rep == 0 || seqLap < seqNS {
+			seqNS = seqLap
+		}
+		if rep == 0 || pooledLap < pooledNS {
+			pooledNS = pooledLap
+		}
+		if r := float64(pooledLap) / float64(seqLap); rep == 0 || r < pairedRatio {
+			pairedRatio = r
+		}
+	}
+	debug.SetGCPercent(gcPct)
+	runtime.GC()
 	seqOut := make([][]byte, len(workload))
 	for i, s := range seqScheds {
 		seqOut[i] = render(s)
+	}
+	pooledOut := make([][]byte, len(pooledResults))
+	for i, r := range pooledResults {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.JobID, r.Err)
+		}
+		pooledOut[i] = render(r.Schedule)
 	}
 
 	// Cold baseline: the seed implementation retained in
@@ -181,18 +254,6 @@ func TestEngineBenchArtifact(t *testing.T) {
 		refOut[i] = render(s)
 	}
 
-	pooled := engine.New(engine.Options{DisableCache: true})
-	var pooledResults []engine.Result
-	pooledNS := timeBest(func() {
-		pooledResults = pooled.RunAll(context.Background(), workload)
-	})
-	pooledOut := make([][]byte, len(pooledResults))
-	for i, r := range pooledResults {
-		if r.Err != nil {
-			t.Fatalf("%s: %v", r.JobID, r.Err)
-		}
-		pooledOut[i] = render(r.Schedule)
-	}
 	memo := engine.New(engine.Options{CacheCapacity: 2 * len(jobs)})
 	runtime.GC()
 	memoStart := time.Now()
@@ -207,6 +268,7 @@ func TestEngineBenchArtifact(t *testing.T) {
 	}
 
 	deltaNS, fullNS := measureDeltaEdit(t, timeBest)
+	corpus := measureCorpus(t, corpusGraphCount, corpusJobCount)
 
 	identical := true
 	for i := range workload {
@@ -245,8 +307,9 @@ func TestEngineBenchArtifact(t *testing.T) {
 		FullRecomputeNS: fullNS.Nanoseconds(),
 		DeltaSpeedup:    float64(fullNS) / float64(deltaNS),
 
-		PooledSpeedup:   float64(seqNS) / float64(pooledNS),
-		MemoizedSpeedup: float64(seqNS) / float64(memoNS),
+		PooledSpeedup:     float64(seqNS) / float64(pooledNS),
+		MemoizedSpeedup:   float64(seqNS) / float64(memoNS),
+		PooledPairedRatio: pairedRatio,
 
 		ColdSpeedupPerCore:   float64(refNS) / float64(pooledNS) / float64(pooled.Workers()),
 		PooledSpeedupPerCore: float64(seqNS) / float64(pooledNS) / float64(pooled.Workers()),
@@ -258,6 +321,17 @@ func TestEngineBenchArtifact(t *testing.T) {
 		CacheHits:          stats.Hits,
 		CacheMisses:        stats.Misses,
 		IdenticalSchedules: identical,
+
+		CorpusGraphs:     corpus.graphs,
+		CorpusJobs:       corpus.jobs,
+		CorpusNS:         corpus.elapsed.Nanoseconds(),
+		CorpusJobsPerSec: float64(corpus.jobs) / corpus.elapsed.Seconds(),
+		CorpusP50NS:      corpus.p50.Nanoseconds(),
+		CorpusP95NS:      corpus.p95.Nanoseconds(),
+		CorpusP99NS:      corpus.p99.Nanoseconds(),
+
+		CacheShards:          corpus.shards,
+		CacheShardContention: corpus.contention,
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -278,6 +352,9 @@ func TestEngineBenchArtifact(t *testing.T) {
 	t.Logf("sequential %v, pooled %v (%.1fx), pooled+memoized %v (%.1fx), cold baseline %v (cold %.2fx), cache %d/%d hits",
 		seqNS, pooledNS, art.PooledSpeedup, memoNS, art.MemoizedSpeedup, refNS, art.ColdSpeedup, stats.Hits, stats.Hits+stats.Misses)
 	t.Logf("delta edit %v vs full recompute %v (%.0fx)", deltaNS, fullNS, art.DeltaSpeedup)
+	t.Logf("corpus %d jobs over %d graphs: %v (%.0f jobs/s), p50 %v p95 %v p99 %v, %d shards, contention %d",
+		corpus.jobs, corpus.graphs, corpus.elapsed, art.CorpusJobsPerSec,
+		corpus.p50, corpus.p95, corpus.p99, corpus.shards, corpus.contention)
 
 	if art.DeltaSpeedup < 10 {
 		t.Errorf("delta speedup %.1fx < 10x acceptance floor (edit %v, recompute %v)",
@@ -287,29 +364,41 @@ func TestEngineBenchArtifact(t *testing.T) {
 	if art.MemoizedSpeedup < 2 {
 		t.Errorf("pooled+memoized speedup %.2fx < 2x acceptance floor", art.MemoizedSpeedup)
 	}
-	// The pure pooling win only exists when the runtime can actually run
-	// workers in parallel; on GOMAXPROCS=1 the pool adds coordination
-	// overhead with nothing to overlap, so the assertion would be noise.
-	if runtime.GOMAXPROCS(0) > 1 {
+	// The pure pooling win only exists when the engine actually resolved
+	// more than one worker (GOMAXPROCS and NumCPU both > 1); with a single
+	// worker the pool adds coordination overhead with nothing to overlap,
+	// so the speedup floors would be noise. What a 1-worker run must prove
+	// instead is parity: RunAll runs jobs inline with no goroutine hop, so
+	// the pool may cost at most 5% over the bare sequential loop —
+	// asserted on the noise-cancelling paired ratio.
+	if art.Workers > 1 {
 		if art.PooledSpeedup <= 1 {
 			t.Errorf("pooled speedup %.2fx on %d workers (GOMAXPROCS=%d); want > 1x",
 				art.PooledSpeedup, art.Workers, art.GOMAXPROCS)
 		}
+		if art.PooledSpeedupPerCore < 1.0 {
+			t.Errorf("pooled speedup per core %.2fx on %d workers; want >= 1.0",
+				art.PooledSpeedupPerCore, art.Workers)
+		}
 	} else {
-		t.Logf("GOMAXPROCS=1: skipping pooled-speedup assertion")
+		t.Logf("1 worker: skipping pooled-speedup floors, asserting inline parity (paired ratio %.3f)", pairedRatio)
+		if pairedRatio > 1.05 {
+			t.Errorf("pooled/sequential paired ratio %.3f > 1.05 at 1 worker: the inline RunAll path regressed",
+				pairedRatio)
+		}
 	}
 	// Cold-path acceptance: uncached engine scheduling of the corpus must
 	// beat the retained pre-optimization baseline by ≥ 1.5× once the
-	// worker pool has real CPUs; at GOMAXPROCS=1 the numbers are still
+	// worker pool has real CPUs; at 1 worker the numbers are still
 	// recorded (the single-threaded CSR/arena win is visible there too)
 	// but the floor is not asserted.
-	if runtime.GOMAXPROCS(0) > 1 {
+	if art.Workers > 1 {
 		if art.ColdSpeedup < 1.5 {
 			t.Errorf("cold speedup %.2fx < 1.5x acceptance floor (baseline %v, cold %v)",
 				art.ColdSpeedup, time.Duration(art.ColdBaselineNS), time.Duration(art.ColdNS))
 		}
 	} else {
-		t.Logf("GOMAXPROCS=1: recording cold speedup %.2fx without asserting the 1.5x floor", art.ColdSpeedup)
+		t.Logf("1 worker: recording cold speedup %.2fx without asserting the 1.5x floor", art.ColdSpeedup)
 	}
 }
 
@@ -335,8 +424,105 @@ func validateColdFields(art engineBenchArtifact) error {
 		return fmt.Errorf("pooled_speedup_per_core = %g, want > 0", art.PooledSpeedupPerCore)
 	case !art.IdenticalSchedules:
 		return fmt.Errorf("identical_schedules = false: offsets diverged from the oracle")
+	case art.PooledPairedRatio <= 0:
+		return fmt.Errorf("pooled_paired_ratio = %g, want > 0", art.PooledPairedRatio)
+	case art.CorpusJobs <= 0 || art.CorpusGraphs <= 0:
+		return fmt.Errorf("corpus_jobs = %d, corpus_graphs = %d, want > 0", art.CorpusJobs, art.CorpusGraphs)
+	case art.CorpusNS <= 0 || art.CorpusJobsPerSec <= 0:
+		return fmt.Errorf("corpus_ns = %d, corpus_jobs_per_sec = %g, want > 0", art.CorpusNS, art.CorpusJobsPerSec)
+	case art.CorpusP50NS <= 0 || art.CorpusP50NS > art.CorpusP95NS || art.CorpusP95NS > art.CorpusP99NS:
+		return fmt.Errorf("corpus quantiles not ordered: p50 %d p95 %d p99 %d",
+			art.CorpusP50NS, art.CorpusP95NS, art.CorpusP99NS)
+	case art.CacheShards < 4:
+		return fmt.Errorf("cache_shards = %d, want >= 4", art.CacheShards)
 	}
 	return nil
+}
+
+// Corpus-scale sustained ingest: corpusJobCount jobs cycling over
+// corpusGraphCount distinct random graphs. The graph count is sized so
+// the first lap over the corpus is all cold misses (real scheduling
+// through the sharded cache's miss/insert/evict path) and the remaining
+// laps are all hits — the steady-state mix a long-running serve daemon
+// settles into.
+const (
+	corpusGraphCount = 8192
+	corpusJobCount   = 100_000
+)
+
+// corpusStats is one measureCorpus run.
+type corpusStats struct {
+	graphs, jobs  int
+	elapsed       time.Duration
+	p50, p95, p99 time.Duration
+	shards        int
+	contention    uint64
+}
+
+// measureCorpus streams jobsN jobs over graphsN distinct feasible
+// randgraph graphs through a fresh memoizing engine, one Schedule call
+// per job — the sustained-ingest shape of the serve daemon's schedule
+// workers. Per-job latency quantiles come from the engine's own Duration
+// measurements; throughput is wall clock over the whole stream. Graph
+// generation happens before the clock starts.
+func measureCorpus(tb testing.TB, graphsN, jobsN int) corpusStats {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(11))
+	cfg := randgraph.Default()
+	graphs := make([]*cg.Graph, graphsN)
+	for i := 0; i < graphsN; {
+		g := randgraph.Generate(cfg, rng)
+		// The generator aims for feasible well-posed graphs but a rare
+		// constraint placement slips through; the corpus wants clean
+		// cache traffic, so filter those out before the clock starts.
+		if _, err := relsched.Compute(g); err != nil {
+			continue
+		}
+		graphs[i] = g
+		i++
+	}
+	e := engine.New(engine.Options{CacheCapacity: 2 * graphsN})
+	ctx := context.Background()
+	lat := make([]int64, jobsN)
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < jobsN; i++ {
+		res := e.Schedule(ctx, engine.Job{ID: "corpus", Graph: graphs[i%graphsN]})
+		if res.Err != nil {
+			tb.Fatalf("corpus job %d: %v", i, res.Err)
+		}
+		lat[i] = res.Duration.Nanoseconds()
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		return time.Duration(lat[int(p*float64(len(lat)-1))])
+	}
+	stats := e.Stats()
+	return corpusStats{
+		graphs:     graphsN,
+		jobs:       jobsN,
+		elapsed:    elapsed,
+		p50:        q(0.50),
+		p95:        q(0.95),
+		p99:        q(0.99),
+		shards:     stats.Shards,
+		contention: stats.ShardContention,
+	}
+}
+
+// BenchmarkEngineCorpus is the standalone view of the same workload for
+// `go test -bench`: one iteration is the full corpus stream, with
+// throughput and tail latency reported as custom metrics.
+func BenchmarkEngineCorpus(b *testing.B) {
+	b.ReportAllocs()
+	var st corpusStats
+	for i := 0; i < b.N; i++ {
+		st = measureCorpus(b, corpusGraphCount, corpusJobCount)
+	}
+	b.ReportMetric(float64(st.jobs)/st.elapsed.Seconds(), "jobs/s")
+	b.ReportMetric(float64(st.p50.Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(st.p99.Nanoseconds()), "p99-ns")
 }
 
 // measureDeltaEdit times the incremental-edit acceptance workload: a

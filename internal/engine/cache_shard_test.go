@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// registerFlightForTest installs a flight call directly in key's shard,
+// letting tests play a singleflight leader deterministically.
+func (c *cache) registerFlightForTest(key cacheKey, call *flightCall) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	sh.flight[key] = call
+	sh.mu.Unlock()
+}
+
+// keysForTest snapshots the set of keys currently cached, across shards.
+func (c *cache) keysForTest() map[cacheKey]bool {
+	keys := make(map[cacheKey]bool)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k := range sh.entries {
+			keys[k] = true
+		}
+		sh.mu.Unlock()
+	}
+	return keys
+}
+
+func newTestCache(capacity int) (*cache, *obs.Counter) {
+	r := obs.NewRegistry()
+	ev := r.Counter("test.evictions")
+	return newCache(capacity, ev, r.Counter("test.contention")), ev
+}
+
+// fpForTest derives a pseudorandom fingerprint from a counter; SHA-256
+// makes the stream uniform over shards, like real graph fingerprints.
+func fpForTest(i uint64) Fingerprint {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], i)
+	return Fingerprint(sha256.Sum256(buf[:]))
+}
+
+// lruOracle is the old single-mutex LRU, reimplemented minimally as a
+// reference model: one recency list over all keys.
+type lruOracle struct {
+	cap   int
+	order []cacheKey // order[0] = most recently used
+}
+
+func (o *lruOracle) find(k cacheKey) int {
+	for i, have := range o.order {
+		if have == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (o *lruOracle) get(k cacheKey) bool {
+	i := o.find(k)
+	if i < 0 {
+		return false
+	}
+	o.order = append([]cacheKey{k}, append(o.order[:i:i], o.order[i+1:]...)...)
+	return true
+}
+
+func (o *lruOracle) put(k cacheKey) (evicted int) {
+	if o.find(k) >= 0 {
+		return 0
+	}
+	o.order = append([]cacheKey{k}, o.order...)
+	for len(o.order) > o.cap {
+		o.order = o.order[:len(o.order)-1]
+		evicted++
+	}
+	return evicted
+}
+
+func (o *lruOracle) setCap(n int) (evicted int) {
+	o.cap = n
+	for len(o.order) > n {
+		o.order = o.order[:len(o.order)-1]
+		evicted++
+	}
+	return evicted
+}
+
+// TestShardedCacheLRUOracle drives the sharded cache and the old
+// single-LRU model through the same random sequential workload and
+// demands identical behavior: same retained key set, same hit/miss
+// answers, same eviction count after every operation. Sequential use is
+// exactly where the global-tick design promises to reproduce the old
+// cache bit for bit; SetCacheCapacity shrinks are part of the workload.
+func TestShardedCacheLRUOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, ev := newTestCache(16)
+	oracle := &lruOracle{cap: 16}
+	entry := &analysisEntry{}
+	var oracleEvictions uint64
+
+	for step := 0; step < 5000; step++ {
+		key := cacheKey{fp: fpForTest(uint64(rng.Intn(48))), wellPose: rng.Intn(2) == 0}
+		switch op := rng.Intn(10); {
+		case op < 5: // get
+			wantHit := oracle.get(key)
+			_, gotHit := c.get(key)
+			if gotHit != wantHit {
+				t.Fatalf("step %d: get hit = %v, oracle says %v", step, gotHit, wantHit)
+			}
+		case op < 9: // put
+			oracleEvictions += uint64(oracle.put(key))
+			c.put(key, entry)
+		default: // capacity change, shrink-biased
+			n := 2 + rng.Intn(24)
+			oracleEvictions += uint64(oracle.setCap(n))
+			c.setCapacity(n)
+		}
+		if got, want := c.len(), len(oracle.order); got != want {
+			t.Fatalf("step %d: len = %d, oracle has %d", step, got, want)
+		}
+		if got := ev.Value(); got != oracleEvictions {
+			t.Fatalf("step %d: evictions = %d, oracle says %d", step, got, oracleEvictions)
+		}
+	}
+
+	keys := c.keysForTest()
+	if len(keys) != len(oracle.order) {
+		t.Fatalf("final population %d, oracle has %d", len(keys), len(oracle.order))
+	}
+	for _, k := range oracle.order {
+		if !keys[k] {
+			t.Fatalf("oracle retains %x/%v but cache evicted it", k.fp[:4], k.wellPose)
+		}
+	}
+}
+
+// TestShardedCacheRaceStress hammers get/put/lookupOrLead/leaderDone and
+// concurrent SetCacheCapacity across shards; run under -race as part of
+// tier-1. Assertions are interleaving-independent: the atomic size
+// matches the per-shard populations, the capacity bound holds once the
+// dust settles, and no flight entry leaks.
+func TestShardedCacheRaceStress(t *testing.T) {
+	c, _ := newTestCache(64)
+	entry := &analysisEntry{}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				key := cacheKey{fp: fpForTest(uint64(rng.Intn(256)))}
+				switch op := rng.Intn(20); {
+				case op < 8:
+					c.get(key)
+				case op < 14:
+					c.put(key, entry)
+				case op < 19:
+					e, call, leader := c.lookupOrLead(key)
+					if e == nil && leader {
+						c.leaderDone(key, call, entry)
+					} else if e == nil {
+						<-call.done
+					}
+				default:
+					c.setCapacity(16 + rng.Intn(96))
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if len(sh.entries) != sh.order.Len() {
+			t.Errorf("shard %d: map has %d entries but ring has %d", i, len(sh.entries), sh.order.Len())
+		}
+		if len(sh.flight) != 0 {
+			t.Errorf("shard %d: %d flight entries leaked", i, len(sh.flight))
+		}
+		total += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	if got := c.len(); got != total {
+		t.Errorf("atomic size %d != shard population %d", got, total)
+	}
+	// One final sequential rebound must land exactly on the cap.
+	c.setCapacity(8)
+	if got := c.len(); got > 8 {
+		t.Errorf("after setCapacity(8): %d entries", got)
+	}
+}
+
+// TestShardSelectionUniform checks the cardinality claim behind the
+// shard index: hashing the SHA-256 fingerprint prefix spreads random
+// keys uniformly, so no shard sees more than twice its fair share over
+// a large sample (a ~6-sigma bound for the binomial at these sizes).
+func TestShardSelectionUniform(t *testing.T) {
+	c, _ := newTestCache(16)
+	shards := len(c.shards)
+	const samples = 40960
+	counts := make([]int, shards)
+	for i := 0; i < samples; i++ {
+		key := cacheKey{fp: fpForTest(uint64(i))}
+		idx := int(binary.LittleEndian.Uint64(key.fp[:8]) & c.mask)
+		if c.shardFor(key) != &c.shards[idx] {
+			t.Fatalf("shardFor disagrees with its own index at %d", i)
+		}
+		counts[idx]++
+	}
+	fair := samples / shards
+	for i, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("shard %d got %d of %d keys (fair share %d)", i, n, samples, fair)
+		}
+	}
+}
+
+// TestCacheShardStats checks the new stats surface: a fresh engine
+// reports its shard count and a zero contention baseline, and the
+// shards gauge is published on the registry.
+func TestCacheShardStats(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.Schedule(context.Background(), Job{Graph: buildFig2ish()})
+	st := e.Stats()
+	if st.Shards < 4 {
+		t.Errorf("Shards = %d, want >= 4", st.Shards)
+	}
+	if got := e.Metrics().Gauge(MetricCacheShards).Value(); int(got) != st.Shards {
+		t.Errorf("%s gauge = %d, stats say %d", MetricCacheShards, got, st.Shards)
+	}
+	// Single-threaded use can never contend.
+	if st.ShardContention != 0 {
+		t.Errorf("ShardContention = %d after sequential use", st.ShardContention)
+	}
+}
+
+// TestFingerprintOfZeroAlloc pins the pooled-hasher property: hashing a
+// graph allocates nothing in steady state (the sha256 state is pooled,
+// strings stage through a scratch buffer, and the digest lands in the
+// returned value).
+func TestFingerprintOfZeroAlloc(t *testing.T) {
+	g := buildFig2ish()
+	g.MustFreeze()
+	FingerprintOf(g) // warm the pool
+	avg := testing.AllocsPerRun(200, func() { FingerprintOf(g) })
+	if avg > 0.1 {
+		t.Errorf("FingerprintOf allocates %.2f objects/run, want 0", avg)
+	}
+}

@@ -41,8 +41,12 @@ import (
 // workers, a DefaultCacheCapacity-entry cache, no per-job timeout.
 type Options struct {
 	// Workers is the size of the worker pool. Values <= 0 select
-	// runtime.GOMAXPROCS(0) — one worker per schedulable CPU, the right
-	// default for the CPU-bound scheduling pipeline.
+	// min(runtime.GOMAXPROCS(0), runtime.NumCPU()) — one worker per CPU
+	// the pool can actually run on, the right default for the CPU-bound
+	// scheduling pipeline. When the effective pool size is 1, Run and
+	// RunAll skip the pool machinery and execute jobs inline, so a
+	// single-core deployment pays no channel or goroutine tax over
+	// calling Schedule in a loop.
 	Workers int
 	// CacheCapacity bounds the number of memoized analyses (LRU
 	// eviction). Values <= 0 select DefaultCacheCapacity.
@@ -87,6 +91,18 @@ type Options struct {
 	// (or a label-disabled profiler) keeps the scheduling hot path
 	// allocation-free.
 	Prof *prof.Profiler
+	// StageMetrics forces the per-stage latency histograms
+	// (engine.stage.*) to be recorded for every job. By default stage
+	// boundaries are only stamped for *instrumented* jobs — ones with a
+	// sampled trace span, a flight recorder, pprof stage labels, or
+	// debug logging — because the six clock reads and four histogram
+	// observations per job are a measurable tax on microsecond-scale
+	// graphs (see docs/PERFORMANCE.md). Set this when the registry is
+	// exported to a consumer that expects complete stage histograms
+	// (the batch CLI's stage table, the serve daemon's /metrics).
+	// Job-level metrics — counters, gauges, engine.job.duration — are
+	// always recorded regardless.
+	StageMetrics bool
 }
 
 // DefaultCacheCapacity is the cache size used when Options.CacheCapacity
@@ -171,6 +187,7 @@ type Engine struct {
 	par        int // relsched.Options.Parallelism per job, see New
 	jobTimeout time.Duration
 	cache      *cache // nil when caching is disabled
+	stageTimed bool   // Options.StageMetrics: always stamp stage boundaries
 
 	registry *obs.Registry
 	metrics  *engineMetrics
@@ -180,31 +197,23 @@ type Engine struct {
 	recorder *flight.Recorder // nil when flight recording is off
 	prof     *prof.Profiler   // nil when the self-profiling plane is off
 
-	// flight tracks in-progress computations per cache key for
-	// singleflight duplicate suppression: concurrent misses on the same
-	// fingerprint wait for the first worker (the leader) instead of each
-	// burning an O(|A|·|V|·|E|) pipeline run. Nil map entries never
-	// occur; a key is present exactly while a leader is computing it.
-	flightMu sync.Mutex
-	flight   map[cacheKey]*flightCall
-
 	// fps memoizes graph fingerprints per live graph value, keyed by the
 	// generation counter so any mutation invalidates the memo (see
-	// cg.Graph.Generation). Bounded: the map is reset when it exceeds
-	// maxFingerprintMemo to keep long-lived engines from pinning dead
-	// graphs.
-	fpMu sync.Mutex
-	fps  map[*cg.Graph]fpMemo
+	// cg.Graph.Generation). Sharded by graph identity (memoshard.go) and
+	// bounded: each shard resets past its slice of maxFingerprintMemo to
+	// keep long-lived engines from pinning dead graphs.
+	fps *ptrShards[fpMemo]
 
 	// warm memoizes ApplyDelta results per live graph value, keyed by the
 	// generation counter, so a job resubmitting a delta-edited graph is
 	// answered in O(1) — no SHA-256 refingerprinting anywhere on a delta
-	// chain. Same bounding policy as fps. See delta.go.
-	warmMu sync.Mutex
-	warm   map[*cg.Graph]warmEntry
+	// chain. Same sharding and bounding as fps. See delta.go.
+	warm *ptrShards[warmEntry]
 }
 
 // flightCall is one in-progress computation other workers can wait on.
+// Calls live in the cache's per-shard flight tables (see cache.go), so
+// duplicate suppression contends only with traffic on the same shard.
 type flightCall struct {
 	done  chan struct{}  // closed when the leader finishes
 	entry *analysisEntry // nil when the leader was cancelled mid-pipeline
@@ -218,10 +227,25 @@ type fpMemo struct {
 // maxFingerprintMemo bounds the per-graph fingerprint memo.
 const maxFingerprintMemo = 4096
 
+// effectiveCPUs is the number of CPUs the engine can actually schedule
+// on: GOMAXPROCS bounded by the physical core count, so a container
+// that reports GOMAXPROCS=8 on one core does not spin up eight workers
+// that serialize anyway.
+func effectiveCPUs() int {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // New creates an Engine from the options.
 func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+		opts.Workers = effectiveCPUs()
 	}
 	if opts.CacheCapacity <= 0 {
 		opts.CacheCapacity = DefaultCacheCapacity
@@ -235,7 +259,7 @@ func New(opts Options) *Engine {
 	// stages): split the schedulable CPUs across the worker pool so a
 	// saturated batch does not oversubscribe — each worker gets its share,
 	// and a lone worker (Workers: 1) gets the whole machine.
-	par := runtime.GOMAXPROCS(0) / opts.Workers
+	par := effectiveCPUs() / opts.Workers
 	if par < 1 {
 		par = 1
 	}
@@ -243,6 +267,7 @@ func New(opts Options) *Engine {
 		workers:    opts.Workers,
 		par:        par,
 		jobTimeout: opts.JobTimeout,
+		stageTimed: opts.StageMetrics,
 		registry:   registry,
 		metrics:    m,
 		hooks:      m.hooks(),
@@ -250,12 +275,12 @@ func New(opts Options) *Engine {
 		log:        opts.Logger,
 		recorder:   opts.Flight,
 		prof:       opts.Prof,
-		flight:     make(map[cacheKey]*flightCall),
-		fps:        make(map[*cg.Graph]fpMemo),
-		warm:       make(map[*cg.Graph]warmEntry),
+		fps:        newPtrShards[fpMemo](maxFingerprintMemo),
+		warm:       newPtrShards[warmEntry](maxFingerprintMemo),
 	}
 	if !opts.DisableCache {
-		e.cache = newCache(opts.CacheCapacity, m.evictions)
+		e.cache = newCache(opts.CacheCapacity, m.evictions, m.shardContention)
+		m.cacheShards.Set(int64(e.cache.numShards()))
 	}
 	return e
 }
@@ -301,11 +326,13 @@ func (e *Engine) Stats() CacheStats {
 	}
 	m := e.metrics
 	return CacheStats{
-		Hits:       m.hits.Value(),
-		Misses:     m.misses.Value(),
-		Evictions:  m.evictions.Value(),
-		Suppressed: m.suppressed.Value(),
-		Entries:    e.cache.len(),
+		Hits:            m.hits.Value(),
+		Misses:          m.misses.Value(),
+		Evictions:       m.evictions.Value(),
+		Suppressed:      m.suppressed.Value(),
+		Entries:         e.cache.len(),
+		Shards:          e.cache.numShards(),
+		ShardContention: m.shardContention.Value(),
 	}
 }
 
@@ -358,17 +385,32 @@ func (e *Engine) Run(ctx context.Context, jobs <-chan Job) <-chan Result {
 // RunAll executes a fixed batch on the worker pool and returns the
 // results in submission order: results[i] answers jobs[i]. Jobs that did
 // not run because ctx was cancelled carry the context error.
+//
+// When the pool has a single worker the batch runs inline on the calling
+// goroutine — no goroutines, no atomic work-claiming — so a one-core
+// deployment's pooled path is the sequential path (pinned by the
+// benchmark artifact's 1-core bound, see engine_bench_test.go).
 func (e *Engine) RunAll(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	next := int64(-1)
-	var wg sync.WaitGroup
 	workers := e.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	if workers <= 1 {
+		// Inline: each job is claimed the instant it would have been
+		// queued, so the queue-depth gauge is never raised — there is
+		// no moment a job sits waiting for a worker, and the two atomic
+		// ops per job would be pure overhead on the 1-core path.
+		for i := range jobs {
+			results[i] = e.Schedule(ctx, jobs[i])
+		}
+		return results
+	}
 	// queue.depth tracks jobs not yet claimed by a worker; Add (not Set)
 	// so concurrent RunAll calls on a shared engine aggregate.
 	e.metrics.queueDepth.Add(int64(len(jobs)))
+	next := int64(-1)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -418,10 +460,13 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	}
 
 	// Profile attribution: tag the goroutine (and ctx, so the pipeline's
-	// stage labels nest under these) with the job's identity. With
-	// labeling off this is two nil checks and a shared no-op restore.
-	ctx, unlabel := e.prof.JobLabels(ctx, job.Tenant, job.Design, modeLabel(job.WellPose))
-	defer unlabel()
+	// stage labels nest under these) with the job's identity. Skipped
+	// outright — no label build, no defer — when no profiler is wired.
+	if e.prof != nil {
+		var unlabel func()
+		ctx, unlabel = e.prof.JobLabels(ctx, job.Tenant, job.Design, modeLabel(job.WellPose))
+		defer unlabel()
+	}
 
 	// Per-job logging context: bind the job id (and span id when traced).
 	// With the flight recorder on, a Capture tees every record — debug
@@ -440,48 +485,18 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	if jc.spanID != 0 {
 		jc.log = jc.log.With(logx.Int("span", int64(jc.spanID)))
 	}
-	var fp Fingerprint
-	fpKnown := false
-
-	done := func() Result {
-		res.Duration = time.Since(start)
-		m.inflight.Add(-1)
-		switch {
-		case res.Err == nil:
-			m.completed.Inc()
-		case errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
-			m.cancelled.Inc()
-		default:
-			m.failed.Inc()
-		}
-		if span != nil {
-			span.SetBool("cache_hit", res.CacheHit)
-			span.SetBool("suppressed", res.Suppressed)
-			if res.Err != nil {
-				span.SetStr("error", res.Err.Error())
-			}
-			// End before finishJob so a flight dump's snapshot already
-			// holds this job's completed span tree.
-			span.End()
-		}
-		e.finishJob(job, &res, jc, capture, span, fp, fpKnown)
-		// Observed after finishJob so a triggered dump's bundle path can
-		// ride the duration exemplar. Plain Observe (alloc-free) when the
-		// job carries no correlation identity.
-		if jc.spanID == 0 && jc.reqID == "" && res.FlightBundle == "" {
-			m.jobDuration.Observe(res.Duration)
-		} else {
-			m.jobDuration.ObserveExemplar(res.Duration, obs.Exemplar{
-				SpanID:     jc.spanID,
-				RequestID:  jc.reqID,
-				FlightPath: res.FlightBundle,
-			})
-		}
-		return res
-	}
+	// Quiescence check: stage-granular telemetry is recorded only when
+	// something consumes it — a sampled span, a flight capture, pprof
+	// stage labels, a debug-level log sink — or when the engine was
+	// built with StageMetrics. A quiescent job skips the per-stage
+	// clock reads and engine.stage.* observations entirely; everything
+	// job-level (outcome counters, cache counters, engine.job.duration)
+	// is still recorded below.
+	jc.timed = e.stageTimed || span != nil || capture != nil ||
+		e.prof.LabelsEnabled() || jc.log.Enabled(logx.LevelDebug)
 	if err := ctx.Err(); err != nil {
 		res.Err = err
-		return done()
+		return e.finish(job, &res, jc, capture, span, start, Fingerprint{}, false)
 	}
 	timeout := job.Timeout
 	if timeout <= 0 {
@@ -493,76 +508,105 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		defer cancel()
 	}
 
+	// Cache disabled: no fingerprint, no lookup — the hash would be pure
+	// overhead with nothing to key, so the job goes straight into the
+	// pipeline (the flight recorder memoizes a fingerprint on demand via
+	// fingerprintPeek/fingerprint in finishJob when it needs one).
+	if e.cache == nil {
+		// The entry lives on this stack frame: nothing caches it, so the
+		// uncached path runs allocation-free in the engine layer.
+		var slot analysisEntry
+		entry := e.compute(ctx, job, span, jc, &slot)
+		if entry == nil { // cancelled mid-pipeline
+			res.Err = ctx.Err()
+			return e.finish(job, &res, jc, capture, span, start, Fingerprint{}, false)
+		}
+		res.fill(entry)
+		return e.finish(job, &res, jc, capture, span, start, Fingerprint{}, false)
+	}
+
 	// Delta fast path: a graph produced by ApplyDelta answers from its
 	// warm entry on (graph identity, generation) — no fingerprint hash.
 	// Warm entries are exact-generation matches, so any mutation since
 	// the delta (which bumps the generation) falls through to the normal
 	// fingerprint + cache path. Counted as a lookup + hit to preserve the
 	// cache conservation laws.
-	if e.cache != nil && !job.WellPose {
+	if !job.WellPose {
 		if entry, ok := e.warmGet(job.Graph); ok {
 			m.lookups.Inc()
 			m.hits.Inc()
 			m.warmHits.Inc()
 			res.fill(entry)
 			res.CacheHit = true
-			return done()
+			return e.finish(job, &res, jc, capture, span, start, Fingerprint{}, false)
 		}
 	}
 
-	t := time.Now()
-	fpSpan := span.StartChild("fingerprint")
 	key := cacheKey{wellPose: job.WellPose}
-	if e.prof.LabelsEnabled() {
-		// The closure literal lives inside the guard so the disabled path
-		// (the cache-hit fast path's only stage) stays allocation-free.
-		e.prof.DoStage(ctx, prof.StageFingerprint, func() {
+	var now time.Time
+	if jc.timed {
+		t := time.Now()
+		fpSpan := span.StartChild("fingerprint")
+		if e.prof.LabelsEnabled() {
+			// The closure literal lives inside the guard so the disabled
+			// path (the cache-hit fast path's only stage) stays
+			// allocation-free.
+			e.prof.DoStage(ctx, prof.StageFingerprint, func() {
+				key.fp = e.fingerprint(job.Graph)
+			})
+		} else {
 			key.fp = e.fingerprint(job.Graph)
-		})
-	} else {
-		key.fp = e.fingerprint(job.Graph)
-	}
-	fpSpan.End()
-	d := time.Since(t)
-	jc.observe(m.stageFingerprint, d)
-	jc.stage("fingerprint", int64(d))
-	fp, fpKnown = key.fp, true
-	if jc.log.Enabled(logx.LevelDebug) {
-		jc.log.Debug("job accepted",
-			logx.Str("fingerprint", key.fp.String()),
-			logx.Bool("wellpose", job.WellPose))
-	}
-
-	if e.cache == nil {
-		entry := e.compute(ctx, job, span, jc)
-		if entry == nil { // cancelled mid-pipeline
-			res.Err = ctx.Err()
-			return done()
 		}
-		res.fill(entry)
-		return done()
+		fpSpan.End()
+		now = time.Now()
+		d := now.Sub(t)
+		jc.observe(m.stageFingerprint, d)
+		jc.stage("fingerprint", int64(d))
+		if jc.log.Enabled(logx.LevelDebug) {
+			jc.log.Debug("job accepted",
+				logx.Str("fingerprint", key.fp.String()),
+				logx.Bool("wellpose", job.WellPose))
+		}
+	} else {
+		// Quiescent: hash without stamps — nothing consumes the stage
+		// boundary.
+		key.fp = e.fingerprint(job.Graph)
 	}
 
 	for {
-		t = time.Now()
-		cacheSpan := span.StartChild("cache")
-		entry, ok := e.cache.get(key)
-		cacheSpan.End()
-		d = time.Since(t)
-		jc.observe(m.stageCache, d)
-		jc.stage("cache", int64(d))
+		var (
+			entry  *analysisEntry
+			call   *flightCall
+			leader bool
+		)
+		if jc.timed {
+			// Stage-boundary clocks are fused: the fingerprint stage's
+			// end stamp doubles as the cache stage's start, halving the
+			// time.Now calls on the hit path.
+			t := now
+			cacheSpan := span.StartChild("cache")
+			// One shard-locked step answers the lookup, joins an
+			// in-flight leader, or registers this worker as the leader
+			// (see cache.go).
+			entry, call, leader = e.cache.lookupOrLead(key)
+			cacheSpan.End()
+			now = time.Now()
+			d := now.Sub(t)
+			jc.observe(m.stageCache, d)
+			jc.stage("cache", int64(d))
+		} else {
+			entry, call, leader = e.cache.lookupOrLead(key)
+		}
 		m.lookups.Inc()
-		if ok {
+		if entry != nil {
 			m.hits.Inc()
 			res.fill(entry)
 			res.CacheHit = true
-			return done()
+			return e.finish(job, &res, jc, capture, span, start, key.fp, true)
 		}
 		m.misses.Inc()
 
-		e.flightMu.Lock()
-		if call, inFlight := e.flight[key]; inFlight {
-			e.flightMu.Unlock()
+		if !leader {
 			// Follower: wait for the leader instead of recomputing.
 			waitSpan := span.StartChild("flight.wait")
 			select {
@@ -572,41 +616,76 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 					m.suppressed.Inc()
 					res.fill(call.entry)
 					res.Suppressed = true
-					return done()
+					return e.finish(job, &res, jc, capture, span, start, key.fp, true)
 				}
 				// The leader was cancelled and published nothing; loop
 				// to re-check the cache and, if still empty, lead.
+				if jc.timed {
+					now = time.Now()
+				}
 				continue
 			case <-ctx.Done():
 				waitSpan.End()
 				res.Err = ctx.Err()
-				return done()
+				return e.finish(job, &res, jc, capture, span, start, key.fp, true)
 			}
 		}
-		call := &flightCall{done: make(chan struct{})}
-		e.flight[key] = call
-		e.flightMu.Unlock()
 
-		// Leader: run the pipeline, publish to the cache first so
-		// followers that loop (rather than read call.entry) find it, then
-		// release the flight slot.
-		entry = e.compute(ctx, job, span, jc)
-		call.entry = entry
-		if entry != nil {
-			e.cache.put(key, entry)
-		}
-		e.flightMu.Lock()
-		delete(e.flight, key)
-		e.flightMu.Unlock()
-		close(call.done)
+		// Leader: run the pipeline, then publish entry + release the
+		// flight slot in one shard-locked step and wake the followers.
+		// The entry is heap-allocated here because the cache retains it.
+		entry = e.compute(ctx, job, span, jc, new(analysisEntry))
+		e.cache.leaderDone(key, call, entry)
 
 		if entry == nil { // cancelled mid-pipeline; nothing cached
 			res.Err = ctx.Err()
-			return done()
+			return e.finish(job, &res, jc, capture, span, start, key.fp, true)
 		}
 		res.fill(entry)
-		return done()
+		return e.finish(job, &res, jc, capture, span, start, key.fp, true)
 	}
+}
+
+// finish finalizes a result: duration, outcome counters, span closure,
+// flight-recorder hand-off, and the job-duration observation. A method
+// rather than a per-job closure so the cache-hit fast path does not
+// allocate a capture environment.
+func (e *Engine) finish(job Job, res *Result, jc *jobCtx, capture *logx.Capture, span *trace.Span, start time.Time, fp Fingerprint, fpKnown bool) Result {
+	m := e.metrics
+	res.Duration = time.Since(start)
+	m.inflight.Add(-1)
+	switch {
+	case res.Err == nil:
+		m.completed.Inc()
+	case errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
+		m.cancelled.Inc()
+	default:
+		m.failed.Inc()
+	}
+	if span != nil {
+		span.SetBool("cache_hit", res.CacheHit)
+		span.SetBool("suppressed", res.Suppressed)
+		if res.Err != nil {
+			span.SetStr("error", res.Err.Error())
+		}
+		// End before finishJob so a flight dump's snapshot already
+		// holds this job's completed span tree.
+		span.End()
+	}
+	e.finishJob(job, res, jc, capture, span, fp, fpKnown)
+	// Observed after finishJob so a triggered dump's bundle path can
+	// ride the duration exemplar. Plain Observe (alloc-free) when the
+	// job carries no correlation identity.
+	if jc.spanID == 0 && jc.reqID == "" && res.FlightBundle == "" {
+		m.jobDuration.Observe(res.Duration)
+	} else {
+		m.jobDuration.ObserveExemplar(res.Duration, obs.Exemplar{
+			SpanID:     jc.spanID,
+			RequestID:  jc.reqID,
+			FlightPath: res.FlightBundle,
+		})
+	}
+	return *res
 }
 
 // fill copies a memoized outcome into the result.
@@ -619,24 +698,52 @@ func (r *Result) fill(entry *analysisEntry) {
 }
 
 // compute runs the scheduling pipeline of §IV for one job, timing each
-// stage into the engine's histograms and counting the run in
-// engine.computes once it reaches a verdict. It returns nil (and nothing
-// is cached, and no compute is counted) when ctx expires between stages;
-// otherwise the returned entry holds either the schedule or the
-// deterministic error verdict, both of which are valid to memoize.
+// stage into the engine's histograms (instrumented jobs only — see
+// jobCtx.timed) and counting the run in engine.computes once it reaches
+// a verdict. The caller supplies the entry storage — stack space on the
+// uncached path, a heap allocation when the cache will retain it. It
+// returns nil (and nothing is cached, and no compute is counted) when
+// ctx expires between stages; otherwise the returned entry (the same
+// pointer, filled in) holds either the schedule or the deterministic
+// error verdict, both of which are valid to memoize.
 //
 // When the parent span is live (traced and sampled in), each stage opens
 // a child span under it, and the relsched inner-loop hooks additionally
 // record instant events into the stage span; otherwise the shared
 // metrics-only hooks are used and tracing costs nothing.
-func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *jobCtx) *analysisEntry {
+func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *jobCtx, entry *analysisEntry) *analysisEntry {
 	m := e.metrics
-	entry := &analysisEntry{graph: job.Graph}
+	*entry = analysisEntry{graph: job.Graph}
 	verdict := func() *analysisEntry {
 		m.computes.Inc()
 		return entry
 	}
-	t := time.Now()
+	// Stage boundaries are elapsed-time deltas against one anchor stamp:
+	// time.Since reads only the monotonic clock, which is roughly half
+	// the cost of a full time.Now on VM clocksources, and one anchor +
+	// three deltas replaces the six absolute reads the stages used to
+	// make. On small graphs the clock reads were a measurable slice of
+	// the whole pipeline — and on a quiescent job (jc.timed false) they
+	// are skipped outright.
+	timed := jc.timed
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	prev := time.Duration(0)
+	stageEnd := func() time.Duration {
+		el := time.Since(t0)
+		d := el - prev
+		prev = el
+		return d
+	}
+	// On the check (non-repair) path the wellpose stage returns the
+	// anchor sets it computed, and the analyze stage continues from them
+	// — one anchor-set pass per job instead of the two relsched.Compute
+	// makes (the check and the analysis each run their own). This is the
+	// engine's main algorithmic edge over the sequential baseline; the
+	// schedules are identical either way (see TestAnalyzeFromSets).
+	var sets *relsched.AnchorInfo
 	sp := parent.StartChild("wellpose")
 	if job.WellPose {
 		var (
@@ -650,9 +757,11 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 		entry.added = added
 		sp.SetInt("serialization_edges", int64(added))
 		sp.End()
-		d := time.Since(t)
-		jc.observe(m.stageWellpose, d)
-		jc.stage("wellpose", int64(d))
+		if timed {
+			d := stageEnd()
+			jc.observe(m.stageWellpose, d)
+			jc.stage("wellpose", int64(d))
+		}
 		if err != nil {
 			entry.err = err
 			return verdict()
@@ -664,12 +773,14 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	} else {
 		var err error
 		e.prof.DoStage(ctx, prof.StageWellPose, func() {
-			err = relsched.CheckWellPosed(job.Graph)
+			sets, err = relsched.CheckWellPosedAnalyzed(job.Graph)
 		})
 		sp.End()
-		d := time.Since(t)
-		jc.observe(m.stageWellpose, d)
-		jc.stage("wellpose", int64(d))
+		if timed {
+			d := stageEnd()
+			jc.observe(m.stageWellpose, d)
+			jc.stage("wellpose", int64(d))
+		}
 		if err != nil {
 			entry.err = err
 			return verdict()
@@ -678,28 +789,35 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	if ctx.Err() != nil {
 		return nil
 	}
-	t = time.Now()
 	sp = parent.StartChild("analyze")
 	var (
 		info *relsched.AnchorInfo
 		err  error
 	)
 	e.prof.DoStage(ctx, prof.StageAnalyze, func() {
-		info, err = relsched.AnalyzeOpts(entry.graph, relsched.Options{Parallelism: e.par})
+		if sets != nil {
+			info, err = relsched.AnalyzeFromSets(entry.graph, sets, relsched.Options{Parallelism: e.par})
+		} else {
+			info, err = relsched.AnalyzeOpts(entry.graph, relsched.Options{Parallelism: e.par})
+		}
 	})
 	if err != nil {
 		sp.End()
-		d := time.Since(t)
-		jc.observe(m.stageAnalyze, d)
-		jc.stage("analyze", int64(d))
+		if timed {
+			d := stageEnd()
+			jc.observe(m.stageAnalyze, d)
+			jc.stage("analyze", int64(d))
+		}
 		entry.err = err
 		return verdict()
 	}
 	sp.SetInt("anchors", int64(info.NumAnchors()))
 	sp.End()
-	d := time.Since(t)
-	jc.observe(m.stageAnalyze, d)
-	jc.stage("analyze", int64(d))
+	if timed {
+		d := stageEnd()
+		jc.observe(m.stageAnalyze, d)
+		jc.stage("analyze", int64(d))
+	}
 	if jc.log.Enabled(logx.LevelDebug) {
 		jc.log.Debug("anchor analysis done", logx.Int("anchors", int64(info.NumAnchors())))
 	}
@@ -707,7 +825,6 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	if ctx.Err() != nil {
 		return nil
 	}
-	t = time.Now()
 	sp = parent.StartChild("schedule")
 	var sched *relsched.Schedule
 	e.prof.DoStage(ctx, prof.StageSchedule, func() {
@@ -715,17 +832,21 @@ func (e *Engine) compute(ctx context.Context, job Job, parent *trace.Span, jc *j
 	})
 	if err != nil {
 		sp.End()
-		d = time.Since(t)
-		jc.observe(m.stageSchedule, d)
-		jc.stage("schedule", int64(d))
+		if timed {
+			d := stageEnd()
+			jc.observe(m.stageSchedule, d)
+			jc.stage("schedule", int64(d))
+		}
 		entry.err = err
 		return verdict()
 	}
 	sp.SetInt("iterations", int64(sched.Iterations))
 	sp.End()
-	d = time.Since(t)
-	jc.observe(m.stageSchedule, d)
-	jc.stage("schedule", int64(d))
+	if timed {
+		d := stageEnd()
+		jc.observe(m.stageSchedule, d)
+		jc.stage("schedule", int64(d))
+	}
 	entry.sched = sched
 	return verdict()
 }
@@ -769,21 +890,38 @@ func modeLabel(wellPose bool) string {
 // (graph value, generation) so resubmitting the same graph skips the
 // structural hash. A mutation bumps the generation (cg.Graph.Generation)
 // and forces a re-hash — the stale-cache guard the memoization layer
-// relies on.
+// relies on. The memo is sharded by graph identity (memoshard.go), so
+// concurrent workers fingerprinting unrelated graphs take unrelated
+// locks.
 func (e *Engine) fingerprint(g *cg.Graph) Fingerprint {
 	gen := g.Generation()
-	e.fpMu.Lock()
-	if m, ok := e.fps[g]; ok && m.gen == gen {
-		e.fpMu.Unlock()
+	if m, ok := e.fps.get(g, e.metrics.shardContention); ok && m.gen == gen {
 		return m.fp
 	}
-	e.fpMu.Unlock()
 	fp := FingerprintOf(g)
-	e.fpMu.Lock()
-	if len(e.fps) >= maxFingerprintMemo {
-		e.fps = make(map[*cg.Graph]fpMemo)
-	}
-	e.fps[g] = fpMemo{gen: gen, fp: fp}
-	e.fpMu.Unlock()
+	e.fps.put(g, fpMemo{gen: gen, fp: fp}, e.metrics.shardContention)
 	return fp
+}
+
+// fingerprintPeek returns g's memoized fingerprint if one is already
+// known for its current generation, without hashing. Used where a
+// fingerprint is nice to have (flight records) but not worth an
+// O(|V|+|E|) hash to produce.
+func (e *Engine) fingerprintPeek(g *cg.Graph) (Fingerprint, bool) {
+	if m, ok := e.fps.get(g, e.metrics.shardContention); ok && m.gen == g.Generation() {
+		return m.fp, true
+	}
+	return Fingerprint{}, false
+}
+
+// PrewarmFingerprint computes and memoizes g's canonical fingerprint so
+// a later Schedule call for the same graph value finds it in O(1). The
+// serving layer's intake stage calls this off the worker pool — the
+// SHA-256 pass overlaps the scheduling of earlier jobs instead of
+// serializing behind them.
+func (e *Engine) PrewarmFingerprint(g *cg.Graph) {
+	if e.cache == nil {
+		return
+	}
+	e.fingerprint(g)
 }

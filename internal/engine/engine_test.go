@@ -186,12 +186,17 @@ func TestStaleFingerprintRegression(t *testing.T) {
 }
 
 func TestPoolSizing(t *testing.T) {
-	// Workers <= 0 resolves to GOMAXPROCS; 1 is a valid serial pool.
-	if w := New(Options{Workers: 0}).Workers(); w != runtime.GOMAXPROCS(0) {
-		t.Errorf("Workers(0) resolved to %d, want GOMAXPROCS=%d", w, runtime.GOMAXPROCS(0))
+	// Workers <= 0 resolves to min(GOMAXPROCS, NumCPU) — the pool never
+	// outnumbers the CPUs it can actually run on; 1 is a valid serial pool.
+	want := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < want {
+		want = c
 	}
-	if w := New(Options{Workers: -3}).Workers(); w != runtime.GOMAXPROCS(0) {
-		t.Errorf("Workers(-3) resolved to %d, want GOMAXPROCS=%d", w, runtime.GOMAXPROCS(0))
+	if w := New(Options{Workers: 0}).Workers(); w != want {
+		t.Errorf("Workers(0) resolved to %d, want min(GOMAXPROCS, NumCPU)=%d", w, want)
+	}
+	if w := New(Options{Workers: -3}).Workers(); w != want {
+		t.Errorf("Workers(-3) resolved to %d, want min(GOMAXPROCS, NumCPU)=%d", w, want)
 	}
 	for _, workers := range []int{0, 1} {
 		e := New(Options{Workers: workers, DisableCache: true})

@@ -33,6 +33,13 @@ type jobCtx struct {
 	// keeps stage observations on the alloc-free plain Observe.
 	spanID uint64
 	reqID  string
+	// timed selects the instrumented hot path: stage boundaries are
+	// stamped and the engine.stage.* histograms observed. False on a
+	// quiescent job — no sampled span, no flight recorder, no pprof
+	// stage labels, no debug log, and Options.StageMetrics unset — so
+	// the bare engine skips six clock reads and four histogram
+	// observations per job. Set once in Schedule.
+	timed bool
 }
 
 func (jc *jobCtx) stage(name string, ns int64) {
@@ -58,6 +65,9 @@ func (jc *jobCtx) observe(h *obs.Histogram, d time.Duration) {
 // inside the recorder's dump path only, so healthy jobs never pay for
 // it.
 func (e *Engine) finishJob(job Job, res *Result, jc *jobCtx, capture *logx.Capture, span *trace.Span, fp Fingerprint, fpKnown bool) {
+	if e.recorder == nil && jc.log == nil {
+		return // nothing to log, nothing to record
+	}
 	kind := classifyErrKind(res.Err)
 	switch kind {
 	case "":
@@ -93,6 +103,11 @@ func (e *Engine) finishJob(job Job, res *Result, jc *jobCtx, capture *logx.Captu
 	}
 	if fpKnown {
 		rec.Fingerprint = fp.String()
+	} else if mfp, ok := e.fingerprintPeek(job.Graph); ok {
+		// A job that skipped hashing (warm hit, cache disabled, pre-hash
+		// cancellation) still gets its fingerprint into the flight record
+		// when the memo already holds one — a memo probe, never a hash.
+		rec.Fingerprint = mfp.String()
 	}
 	if res.Err != nil {
 		rec.Err = res.Err.Error()

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"sync"
+	"unsafe"
+
+	"repro/internal/cg"
+	"repro/internal/obs"
+)
+
+// ptrShards is a sharded map keyed by graph identity (*cg.Graph). It
+// hosts the per-graph memos the engine used to guard with one global
+// mutex each — the fingerprint memo and the delta warm-key map — so
+// that workers scheduling unrelated graphs never touch the same lock.
+//
+// Keys are pointers, so shard selection hashes the pointer value. The
+// maps are bounded: each shard clears itself when it exceeds its slice
+// of the global bound (maxFingerprintMemo), which keeps long-lived
+// engines from pinning every graph a caller ever submitted. Losing a
+// memo entry is always safe — both memos are pure caches re-derivable
+// from the graph.
+type ptrShards[V any] struct {
+	shards []ptrShard[V]
+	mask   uintptr
+	bound  int // per-shard entry cap; shard resets when exceeded
+}
+
+type ptrShard[V any] struct {
+	mu sync.Mutex
+	m  map[*cg.Graph]V
+	_  [40]byte // pad to a cache line so shard locks do not false-share
+}
+
+func newPtrShards[V any](globalBound int) *ptrShards[V] {
+	n := cacheShardCount()
+	p := &ptrShards[V]{
+		shards: make([]ptrShard[V], n),
+		mask:   uintptr(n - 1),
+		bound:  globalBound/n + 1,
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[*cg.Graph]V)
+	}
+	return p
+}
+
+// shardFor hashes the pointer into a shard index. Heap pointers share
+// alignment and arena structure, so the raw value is mixed (Fibonacci
+// multiplier + xor-fold) before masking to spread consecutive
+// allocations across shards.
+func (p *ptrShards[V]) shardFor(g *cg.Graph) *ptrShard[V] {
+	h := uintptr(unsafe.Pointer(g))
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 13
+	return &p.shards[h&p.mask]
+}
+
+// get returns the memoized value for g. Allocation-free.
+func (p *ptrShards[V]) get(g *cg.Graph, contention *obs.Counter) (V, bool) {
+	sh := p.shardFor(g)
+	if !sh.mu.TryLock() {
+		contention.Inc()
+		sh.mu.Lock()
+	}
+	v, ok := sh.m[g]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// put stores the memoized value for g, resetting the shard first if it
+// has grown past its bound.
+func (p *ptrShards[V]) put(g *cg.Graph, v V, contention *obs.Counter) {
+	sh := p.shardFor(g)
+	if !sh.mu.TryLock() {
+		contention.Inc()
+		sh.mu.Lock()
+	}
+	if len(sh.m) >= p.bound {
+		sh.m = make(map[*cg.Graph]V)
+	}
+	sh.m[g] = v
+	sh.mu.Unlock()
+}

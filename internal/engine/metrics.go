@@ -45,7 +45,20 @@ const (
 	MetricDeltaApplied  = "engine.delta.applied"
 	MetricDeltaFailed   = "engine.delta.failed"
 	MetricDeltaWarmHits = "engine.delta.warm_hits"
+	// Sharded-state health (see cache.go): the number of lock domains the
+	// cache/memo state is split into, and how often a worker found its
+	// shard's lock already held (a failed TryLock). The contention counter
+	// spans the fingerprint cache, the fingerprint memo, and the delta
+	// warm-key shards; its per-job rate should stay near zero.
+	MetricCacheShards          = "engine.cache.shards"
+	MetricCacheShardContention = "engine.cache.shard_contention"
 	// Per-stage latency histograms of the scheduling pipeline.
+	// Recorded for *instrumented* jobs only — ones carrying a sampled
+	// trace span, a flight capture, pprof stage labels, or a debug log
+	// sink — or for every job when the engine is built with
+	// Options.StageMetrics (the batch CLI and serve daemon do). A bare
+	// embedded engine leaves these empty and skips the stage clock
+	// reads entirely; job-level metrics are always complete.
 	MetricStageFingerprint = "engine.stage.fingerprint"
 	MetricStageCache       = "engine.stage.cache"
 	MetricStageWellpose    = "engine.stage.wellpose"
@@ -71,6 +84,8 @@ type engineMetrics struct {
 	lookups, hits, misses, evictions           *obs.Counter
 	suppressed, computes                       *obs.Counter
 	deltaApplied, deltaFailed, warmHits        *obs.Counter
+	shardContention                            *obs.Counter
+	cacheShards                                *obs.Gauge
 	relaxSweeps, readjusted, serialEdges       *obs.Counter
 	inflight, queueDepth                       *obs.Gauge
 	stageFingerprint, stageCache               *obs.Histogram
@@ -93,6 +108,8 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 		deltaApplied:     r.Counter(MetricDeltaApplied),
 		deltaFailed:      r.Counter(MetricDeltaFailed),
 		warmHits:         r.Counter(MetricDeltaWarmHits),
+		shardContention:  r.Counter(MetricCacheShardContention),
+		cacheShards:      r.Gauge(MetricCacheShards),
 		relaxSweeps:      r.Counter(MetricRelaxSweeps),
 		readjusted:       r.Counter(MetricReadjustedOffsets),
 		serialEdges:      r.Counter(MetricSerializationEdges),

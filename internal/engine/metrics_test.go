@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/randgraph"
+	"repro/internal/trace"
 )
 
 // TestRunDeliversResultUnderCancellation is the regression test for the
@@ -86,9 +87,7 @@ func TestDuplicateSuppressionFollower(t *testing.T) {
 	key := cacheKey{fp: e.fingerprint(g)}
 
 	call := &flightCall{done: make(chan struct{})}
-	e.flightMu.Lock()
-	e.flight[key] = call
-	e.flightMu.Unlock()
+	e.cache.registerFlightForTest(key, call)
 
 	resCh := make(chan Result, 1)
 	go func() {
@@ -99,17 +98,12 @@ func TestDuplicateSuppressionFollower(t *testing.T) {
 	// before publishing — once the follower has missed, the live flight
 	// entry forces it onto the wait path, so the suppression outcome is
 	// deterministic.
-	entry := e.compute(ctx, Job{Graph: g}, nil, &jobCtx{})
+	entry := e.compute(ctx, Job{Graph: g}, nil, &jobCtx{}, new(analysisEntry))
 	if entry == nil || entry.err != nil {
 		t.Fatalf("leader compute failed: %+v", entry)
 	}
 	waitForCounter(t, e.metrics.misses, 1)
-	e.cache.put(key, entry)
-	call.entry = entry
-	e.flightMu.Lock()
-	delete(e.flight, key)
-	e.flightMu.Unlock()
-	close(call.done)
+	e.cache.leaderDone(key, call, entry)
 
 	res := <-resCh
 	if res.Err != nil {
@@ -144,9 +138,7 @@ func TestDuplicateSuppressionLeaderCancelled(t *testing.T) {
 	key := cacheKey{fp: e.fingerprint(g)}
 
 	call := &flightCall{done: make(chan struct{})}
-	e.flightMu.Lock()
-	e.flight[key] = call
-	e.flightMu.Unlock()
+	e.cache.registerFlightForTest(key, call)
 
 	resCh := make(chan Result, 1)
 	go func() {
@@ -156,10 +148,7 @@ func TestDuplicateSuppressionLeaderCancelled(t *testing.T) {
 	// Wait for the follower to miss (it is then pinned to the wait path),
 	// then release the slot with no entry, as a cancelled leader would.
 	waitForCounter(t, e.metrics.misses, 1)
-	e.flightMu.Lock()
-	delete(e.flight, key)
-	e.flightMu.Unlock()
-	close(call.done)
+	e.cache.leaderDone(key, call, nil)
 
 	res := <-resCh
 	if res.Err != nil || res.Schedule == nil {
@@ -246,7 +235,11 @@ func TestMetricsConservation(t *testing.T) {
 			jobs = append(jobs, pool[rng.Intn(len(pool))])
 		}
 
-		e := New(Options{Workers: 1 + rng.Intn(8)})
+		// StageMetrics: the stage-histogram conservation laws below hold
+		// for engines that record stage boundaries on every job; a bare
+		// (quiescent) engine records only job-level metrics — see
+		// TestQuiescentStageMetrics.
+		e := New(Options{Workers: 1 + rng.Intn(8), StageMetrics: true})
 		e.RunAll(context.Background(), jobs)
 		snap := e.Metrics().Snapshot()
 		c, h := snap.Counters, snap.Histograms
@@ -294,6 +287,75 @@ func TestMetricsConservation(t *testing.T) {
 		if g := snap.Gauges[MetricQueueDepth]; g != 0 {
 			t.Errorf("trial %d: queue depth = %d after batch", trial, g)
 		}
+	}
+}
+
+// TestQuiescentStageMetrics pins the quiescent hot path: a bare engine
+// — no tracer, no flight recorder, no debug log, StageMetrics unset —
+// must not stamp stage boundaries (the engine.stage.* histograms stay
+// empty) while still recording every job-level metric, and flipping any
+// stage-level consumer on (here StageMetrics, and separately a tracer)
+// restores the full stage histograms. This is the contract that lets
+// embedded engines run within a few percent of the raw pipeline; see
+// docs/PERFORMANCE.md.
+func TestQuiescentStageMetrics(t *testing.T) {
+	g := buildFig2ish()
+	ctx := context.Background()
+	const n = 6
+
+	quiet := New(Options{Workers: 1})
+	for i := 0; i < n; i++ {
+		if res := quiet.Schedule(ctx, Job{Graph: g}); res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+	}
+	snap := quiet.Metrics().Snapshot()
+	for _, name := range []string{
+		MetricStageFingerprint, MetricStageCache,
+		MetricStageWellpose, MetricStageAnalyze, MetricStageSchedule,
+	} {
+		if got := snap.Histograms[name].Count; got != 0 {
+			t.Errorf("quiescent engine: %s count = %d, want 0", name, got)
+		}
+	}
+	if got := snap.Histograms[MetricJobDuration].Count; got != n {
+		t.Errorf("quiescent engine: job.duration count = %d, want %d", got, n)
+	}
+	c := snap.Counters
+	if c[MetricCacheHits]+c[MetricCacheMisses] != c[MetricCacheLookups] {
+		t.Errorf("quiescent engine: hits(%d) + misses(%d) != lookups(%d)",
+			c[MetricCacheHits], c[MetricCacheMisses], c[MetricCacheLookups])
+	}
+	if got := c[MetricCacheHits] + c[MetricDuplicateSuppressed] + c[MetricComputes]; got != n {
+		t.Errorf("quiescent engine: hits + suppressed + computes = %d, want %d", got, n)
+	}
+
+	// Same workload with StageMetrics: every job stamps every stage.
+	forced := New(Options{Workers: 1, StageMetrics: true})
+	for i := 0; i < n; i++ {
+		forced.Schedule(ctx, Job{Graph: g})
+	}
+	fsnap := forced.Metrics().Snapshot()
+	if got := fsnap.Histograms[MetricStageFingerprint].Count; got != n {
+		t.Errorf("StageMetrics engine: stage.fingerprint count = %d, want %d", got, n)
+	}
+	if got := fsnap.Histograms[MetricStageCache].Count; got != n {
+		t.Errorf("StageMetrics engine: stage.cache count = %d, want %d", got, n)
+	}
+	if got := fsnap.Histograms[MetricStageWellpose].Count; got != fsnap.Counters[MetricComputes] {
+		t.Errorf("StageMetrics engine: stage.wellpose count = %d, want %d computes",
+			got, fsnap.Counters[MetricComputes])
+	}
+
+	// A sampled trace span is also a stage-level consumer: a traced
+	// engine stays fully timed without StageMetrics.
+	traced := New(Options{Workers: 1, Tracer: trace.New(trace.Options{})})
+	for i := 0; i < n; i++ {
+		traced.Schedule(ctx, Job{Graph: g})
+	}
+	tsnap := traced.Metrics().Snapshot()
+	if got := tsnap.Histograms[MetricStageFingerprint].Count; got != n {
+		t.Errorf("traced engine: stage.fingerprint count = %d, want %d", got, n)
 	}
 }
 

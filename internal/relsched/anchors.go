@@ -269,7 +269,27 @@ func AnalyzeOpts(g *cg.Graph, opt Options) (*AnchorInfo, error) {
 	if g.HasPositiveCycle() {
 		return nil, ErrUnfeasible
 	}
-	ai := anchorSets(g)
+	return analyzeFromSets(g, anchorSets(g), opt)
+}
+
+// AnalyzeFromSets completes an anchor-set analysis started by
+// CheckWellPosedAnalyzed: ai must be that call's result for the same
+// graph. It runs the relevant-anchor, longest-path, reachability, and
+// redundancy-removal passes on top of the already-computed full anchor
+// sets, producing an AnchorInfo identical to AnalyzeOpts(g, opt) —
+// without repeating the anchor-set pass, which dominates the
+// well-posedness check and the analysis alike. The pair exists so a
+// pipeline that both *checks* well-posedness and *analyzes* (the
+// engine's hot path) computes the anchor sets once instead of twice;
+// Compute keeps the paper's two-pass structure.
+func AnalyzeFromSets(g *cg.Graph, ai *AnchorInfo, opt Options) (*AnchorInfo, error) {
+	return analyzeFromSets(g, ai, opt)
+}
+
+// analyzeFromSets is the shared tail of AnalyzeOpts and AnalyzeFromSets:
+// everything after (and excluding) the anchorSets pass. g must be frozen
+// and feasible, ai fresh from anchorSets(g).
+func analyzeFromSets(g *cg.Graph, ai *AnchorInfo, opt Options) (*AnchorInfo, error) {
 	ai.relevantAnchors()
 	nA := len(ai.List)
 	n := g.N()

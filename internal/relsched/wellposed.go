@@ -61,11 +61,26 @@ func CheckFeasible(g *cg.Graph) error {
 // otherwise. This is the paper's checkWellposed: containment of anchor
 // sets across every backward edge (Theorem 2).
 func CheckWellPosed(g *cg.Graph) error {
+	_, err := CheckWellPosedAnalyzed(g)
+	return err
+}
+
+// CheckWellPosedAnalyzed is CheckWellPosed, but on success it returns
+// the anchor-set computation the check is built on (full anchor sets
+// only — no relevant/irredundant refinement, no longest-path tables).
+// Pass it to AnalyzeFromSets to finish the full analysis without
+// re-running the anchor-set pass, which is the dominant cost of both
+// the check and the analysis on the paper's design sizes. The returned
+// AnchorInfo is freshly allocated and owned by the caller.
+func CheckWellPosedAnalyzed(g *cg.Graph) (*AnchorInfo, error) {
 	if err := CheckFeasible(g); err != nil {
-		return err
+		return nil, err
 	}
 	ai := anchorSets(g)
-	return checkContainment(g, ai)
+	if err := checkContainment(g, ai); err != nil {
+		return nil, err
+	}
+	return ai, nil
 }
 
 func checkContainment(g *cg.Graph, ai *AnchorInfo) error {

@@ -1,0 +1,150 @@
+// Staged intake pipeline: the serve layer runs each accepted job
+// through goroutine stages connected by bounded channels —
+//
+//	submit (HTTP decode) → fpq → fingerprint stage → queue →
+//	schedule workers → renderq → render workers → terminal state
+//
+// so the SHA-256 fingerprint of one job and the JSON/offset rendering
+// of another overlap the engine's scheduling of a third, instead of
+// every job running whole on one worker. Channel bounds: fpq and
+// renderq share the admission queue's capacity, and admission reserves
+// space against the *pipeline total* (Server.pipelined), so intra-
+// pipeline sends never block and never deadlock; only renderq can
+// apply backpressure to schedule workers, and render workers never
+// wait on anything upstream.
+//
+// Drain's exactly-once guarantee now settles at the *render* stage:
+// Drain closes fpq, the fingerprint stage forwards its backlog and
+// closes queue, the schedule workers finish and exit, renderq closes,
+// and the render workers publish the last terminal states before the
+// event stream closes (see Server.Drain and docs/CONCURRENCY.md).
+package serve
+
+import (
+	"strings"
+
+	"repro/internal/cgio"
+	"repro/internal/engine"
+	"repro/internal/logx"
+	"repro/internal/obs"
+	"repro/internal/relsched"
+)
+
+// renderMsg hands one finished engine result from a schedule worker to
+// the render stage.
+type renderMsg struct {
+	rec *jobRecord
+	res engine.Result
+}
+
+// renderWorkerCount sizes the render stage from the schedule pool size:
+// rendering is much lighter than scheduling, so half the pool, clamped
+// to [1, 4], keeps up without stealing CPUs from the engine.
+func renderWorkerCount(scheduleWorkers int) int {
+	n := (scheduleWorkers + 1) / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
+// fpStage is the fingerprint/admit stage: one goroutine that pre-hashes
+// each admitted graph into the engine's generation-keyed fingerprint
+// memo (a pooled SHA-256 pass, see engine.PrewarmFingerprint) before
+// handing the record to the schedule workers. The worker's own
+// fingerprint step then memo-hits in O(1), so hashing of job N overlaps
+// scheduling of job N-1 instead of serializing behind it.
+//
+// The stage owns the queue channel's close: fpq closing (Drain) makes
+// it forward the backlog and close queue, preserving the drain chain.
+func (s *Server) fpStage() {
+	defer s.fpWG.Done()
+	defer close(s.queue)
+	for rec := range s.fpq {
+		s.eng.PrewarmFingerprint(rec.graph)
+		// Cannot block: admission reserves pipeline capacity, so queue
+		// always has room for every record in flight ahead of a worker.
+		s.queue <- rec
+	}
+}
+
+// renderWorker drains finished results until renderq closes (after the
+// schedule workers exit during drain).
+func (s *Server) renderWorker() {
+	defer s.renderWG.Done()
+	for msg := range s.renderq {
+		s.finalizeJob(msg.rec, msg.res)
+	}
+}
+
+// finalizeJob is the render stage's unit of work: pre-render the offset
+// table, publish the terminal state, and fire the post-job bookkeeping
+// (latency, limiter, SLO, events). Runs on a render worker, off the
+// schedule workers' critical path.
+func (s *Server) finalizeJob(rec *jobRecord, res engine.Result) {
+	// Pre-render the default GET view (irredundant offsets) outside all
+	// locks: the record is not yet terminal, so no PATCH can be mutating
+	// its graph (PATCH requires StatusDone), and cache-shared schedules
+	// are immutable by contract.
+	var pre string
+	if res.Err == nil && res.Schedule != nil {
+		var b strings.Builder
+		if err := cgio.WriteOffsets(&b, res.Schedule, relsched.IrredundantAnchors); err == nil {
+			pre = b.String()
+		}
+	}
+
+	s.storeMu.Lock()
+	rec.result = res
+	if res.Err != nil {
+		rec.status = StatusFailed
+		rec.errKind = errKind(res.Err)
+	} else {
+		rec.status = StatusDone
+	}
+	rec.preOffsets = pre
+	s.finished = append(s.finished, rec.id)
+	s.evictLocked()
+	s.storeMu.Unlock()
+
+	latency := s.now().Sub(rec.acceptedAt)
+	if spanID := uint64(rec.reqSpan.ID()); spanID == 0 && rec.requestID == "" && res.FlightBundle == "" {
+		s.jobLatency.Observe(latency)
+	} else {
+		// The exemplar's span is the request root — the top of the tree
+		// the traceparent named — so a slow latency bucket resolves
+		// straight to the whole request's trace and flight bundle.
+		s.jobLatency.ObserveExemplar(latency, obs.Exemplar{
+			SpanID:     uint64(rec.reqSpan.ID()),
+			RequestID:  rec.requestID,
+			FlightPath: res.FlightBundle,
+		})
+	}
+	s.limiter.release(rec.tenant)
+	if reason, fire := s.slo.observe(s.now(), latency, res.Err != nil); fire {
+		// The slow part (registry snapshot, bundle write, profile start)
+		// runs off the render worker; cooldown guarantees no pile-up.
+		go s.fireSLOBurn(reason)
+	}
+
+	if res.Err != nil {
+		ev := s.event(EventFailed, rec)
+		ev.Reason = rec.errKind
+		s.events.publish(ev)
+		s.tenantJobs.With(rec.tenant, "failed").Inc()
+	} else {
+		s.events.publish(s.event(EventDone, rec))
+		s.tenantJobs.With(rec.tenant, "done").Inc()
+	}
+	if res.FlightBundle != "" {
+		ev := s.event(EventFlight, rec)
+		ev.Flight = res.FlightBundle
+		s.events.publish(ev)
+	}
+	if s.log.Enabled(logx.LevelDebug) {
+		s.log.Debug("job finalized", logx.Str("job", rec.id), logx.Str("status", string(rec.status)))
+	}
+}

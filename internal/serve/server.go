@@ -6,6 +6,10 @@
 //   - Intake: POST /v1/jobs accepts one job (inline .cg source) or a
 //     JSONL batch; GET /v1/jobs/{id} returns status and, once scheduled,
 //     the offset table and stats. Results are held in a bounded store.
+//     Accepted jobs flow through a staged pipeline — decode →
+//     fingerprint → schedule → render — with bounded channels between
+//     stages, so hashing and rendering overlap the engine's scheduling
+//     work (see pipeline.go).
 //   - Admission: a bounded queue between intake and the workers. When it
 //     is full the request is shed with 429 + Retry-After instead of
 //     queuing unboundedly — backpressure is the contract, not latency
@@ -120,7 +124,8 @@ const (
 	MetricShedRateLimited = "serve.shed.rate_limited"
 	MetricShedQuota       = "serve.shed.quota"
 	// MetricQueueDepth gauges jobs admitted but not yet claimed by a
-	// worker (the admission queue's population).
+	// schedule worker: the population of the staged intake pipeline
+	// ahead of the workers (fingerprint stage plus admission queue).
 	MetricQueueDepth = "serve.queue.depth"
 	// MetricWorkers gauges the current worker-pool size.
 	MetricWorkers = "serve.workers"
@@ -251,6 +256,11 @@ type jobRecord struct {
 	// Zero means the record still shares the engine's immutable cache
 	// entry; the first patch forks it (see handleJobPatch).
 	patches int
+	// preOffsets is the irredundant offset table pre-rendered by the
+	// render stage (see finalizeJob); the default GET view serves it
+	// without re-walking the schedule. Guarded by storeMu; a PATCH
+	// clears it because the table no longer matches the edited graph.
+	preOffsets string
 }
 
 // Server is the scheduling daemon. Create with New, mount via Handler,
@@ -282,18 +292,29 @@ type Server struct {
 	// events fans the job lifecycle out to /v1/events subscribers.
 	events *eventHub
 
-	// Admission queue. intakeMu is held shared by enqueuers and
-	// exclusively by Drain: a send can never race the close.
-	intakeMu sync.RWMutex
-	draining atomic.Bool
-	queue    chan *jobRecord
+	// Staged intake pipeline (see pipeline.go): submit sends to fpq, the
+	// fingerprint stage forwards to queue, schedule workers send results
+	// to renderq, render workers publish terminal state. intakeMu is
+	// held shared by enqueuers and exclusively by Drain: a send can
+	// never race the close. pipelined counts jobs admitted but not yet
+	// claimed by a schedule worker (it spans fpq, the fingerprint stage,
+	// and queue) and is what admission reserves capacity against.
+	intakeMu  sync.RWMutex
+	draining  atomic.Bool
+	fpq       chan *jobRecord
+	queue     chan *jobRecord
+	renderq   chan renderMsg
+	pipelined atomic.Int64
 
-	// Worker pool: resizable (quit tokens shrink it), wg tracks workers
-	// for drain.
-	poolMu  sync.Mutex
-	workers int
-	quit    chan struct{}
-	wg      sync.WaitGroup
+	// Worker pool: resizable (quit tokens shrink it), wg tracks schedule
+	// workers for drain; fpWG and renderWG track the fixed fingerprint
+	// and render stages.
+	poolMu   sync.Mutex
+	workers  int
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	fpWG     sync.WaitGroup
+	renderWG sync.WaitGroup
 
 	// Job store: every accepted job from admission to (bounded)
 	// retention after completion.
@@ -363,7 +384,9 @@ func New(opts Options) (*Server, error) {
 		spansDropped:  reg.Gauge(MetricSpansDropped),
 		queueCap:      opts.QueueDepth,
 		resultCap:     opts.ResultCapacity,
+		fpq:           make(chan *jobRecord, opts.QueueDepth),
 		queue:         make(chan *jobRecord, opts.QueueDepth),
+		renderq:       make(chan renderMsg, opts.QueueDepth),
 		quit:          make(chan struct{}),
 		store:         make(map[string]*jobRecord),
 		drained:       make(chan struct{}),
@@ -372,6 +395,12 @@ func New(opts Options) (*Server, error) {
 		s.slo = newSLOTracker(*opts.SLO, reg)
 	}
 	s.events = newEventHub(func(n uint64) { s.eventsDropped.Add(n) })
+	s.fpWG.Add(1)
+	go s.fpStage()
+	for i := 0; i < renderWorkerCount(opts.Workers); i++ {
+		s.renderWG.Add(1)
+		go s.renderWorker()
+	}
 	s.resizePool(opts.Workers)
 	if s.runtime != nil {
 		interval := opts.RuntimeInterval
@@ -411,9 +440,10 @@ func (s *Server) Workers() int {
 }
 
 // QueueDepth returns the number of admitted jobs not yet claimed by a
-// worker, and the queue's capacity.
+// schedule worker (in the fingerprint stage or the admission queue),
+// and the pipeline's capacity.
 func (s *Server) QueueDepth() (depth, capacity int) {
-	return len(s.queue), s.queueCap
+	return int(s.pipelined.Load()), s.queueCap
 }
 
 // resizePool grows or shrinks the worker pool to n (n >= 1). Shrinking
@@ -456,16 +486,19 @@ func (s *Server) worker() {
 			if !ok {
 				return
 			}
+			s.pipelined.Add(-1)
 			s.queueDepth.Add(-1)
 			s.runJob(rec)
 		}
 	}
 }
 
-// runJob executes one admitted job to its terminal state. Drain runs
-// with context.Background() deliberately: an accepted job is a promise,
-// and the per-job timeout (engine Options or JobRequest.TimeoutMS)
-// bounds how long the promise can take.
+// runJob executes one admitted job on a schedule worker and hands the
+// result to the render stage, which publishes the terminal state
+// (finalizeJob in pipeline.go). Jobs run with context.Background()
+// deliberately: an accepted job is a promise, and the per-job timeout
+// (engine Options or JobRequest.TimeoutMS) bounds how long the promise
+// can take.
 func (s *Server) runJob(rec *jobRecord) {
 	if s.testJobGate != nil {
 		<-s.testJobGate
@@ -489,52 +522,11 @@ func (s *Server) runJob(rec *jobRecord) {
 		Design:    rec.design,
 	})
 
-	s.storeMu.Lock()
-	rec.result = res
-	if res.Err != nil {
-		rec.status = StatusFailed
-		rec.errKind = errKind(res.Err)
-	} else {
-		rec.status = StatusDone
-	}
-	s.finished = append(s.finished, rec.id)
-	s.evictLocked()
-	s.storeMu.Unlock()
-
-	latency := s.now().Sub(rec.acceptedAt)
-	if spanID := uint64(rec.reqSpan.ID()); spanID == 0 && rec.requestID == "" && res.FlightBundle == "" {
-		s.jobLatency.Observe(latency)
-	} else {
-		// The exemplar's span is the request root — the top of the tree
-		// the traceparent named — so a slow latency bucket resolves
-		// straight to the whole request's trace and flight bundle.
-		s.jobLatency.ObserveExemplar(latency, obs.Exemplar{
-			SpanID:     uint64(rec.reqSpan.ID()),
-			RequestID:  rec.requestID,
-			FlightPath: res.FlightBundle,
-		})
-	}
-	s.limiter.release(rec.tenant)
-	if reason, fire := s.slo.observe(s.now(), latency, res.Err != nil); fire {
-		// The slow part (registry snapshot, bundle write, profile start)
-		// runs off the worker goroutine; cooldown guarantees no pile-up.
-		go s.fireSLOBurn(reason)
-	}
-
-	if res.Err != nil {
-		ev := s.event(EventFailed, rec)
-		ev.Reason = rec.errKind
-		s.events.publish(ev)
-		s.tenantJobs.With(rec.tenant, "failed").Inc()
-	} else {
-		s.events.publish(s.event(EventDone, rec))
-		s.tenantJobs.With(rec.tenant, "done").Inc()
-	}
-	if res.FlightBundle != "" {
-		ev := s.event(EventFlight, rec)
-		ev.Flight = res.FlightBundle
-		s.events.publish(ev)
-	}
+	// Hand off to the render stage: terminal-state publication, offset
+	// pre-rendering, and post-job bookkeeping run there, so this worker
+	// is free to claim the next job. The send can block only on render
+	// backpressure, never on anything upstream, so there is no cycle.
+	s.renderq <- renderMsg{rec: rec, res: res}
 }
 
 // fireSLOBurn is the burn-rate trigger action: capture CPU+heap
@@ -645,14 +637,17 @@ func (s *Server) submit(tenant string, jobs []parsedJob, meta *reqMeta) ([]*jobR
 		}
 	}
 	// Capacity check under storeMu: every enqueuer serializes here and
-	// workers only ever shrink the queue, so the reservation holds and
-	// the sends below cannot block.
-	if len(s.queue)+n > s.queueCap {
+	// workers only ever shrink the pipeline, so the reservation holds
+	// and the sends below cannot block — pipelined never exceeds
+	// queueCap, which also bounds every inter-stage channel, so the
+	// fingerprint stage's forward into queue cannot block either.
+	depth := int(s.pipelined.Load())
+	if depth+n > s.queueCap {
 		s.storeMu.Unlock()
 		s.releaseN(tenant, n)
 		s.shed.Add(uint64(n))
 		s.shedQueue.Add(uint64(n))
-		detail := fmt.Sprintf("admission queue full (%d/%d), refusing %d job(s)", len(s.queue), s.queueCap, n)
+		detail := fmt.Sprintf("admission queue full (%d/%d), refusing %d job(s)", depth, s.queueCap, n)
 		s.flight.ObserveShed(detail)
 		s.publishShed(tenant, "queue_full", n, meta)
 		if s.log.Enabled(logx.LevelWarn) {
@@ -690,8 +685,9 @@ func (s *Server) submit(tenant string, jobs []parsedJob, meta *reqMeta) ([]*jobR
 		s.store[id] = rec
 		records[i] = rec
 	}
+	s.pipelined.Add(int64(n))
 	for _, rec := range records {
-		s.queue <- rec
+		s.fpq <- rec
 	}
 	s.storeMu.Unlock()
 
@@ -732,10 +728,12 @@ func (s *Server) releaseN(tenant string, n int) {
 //  1. flip draining — /readyz answers 503 and POST /v1/jobs answers 503
 //     from this moment;
 //  2. wait out submitters already past the flag (the intake lock), then
-//     close the admission queue;
-//  3. wait for the workers to finish every admitted job — queued jobs
-//     are executed, not dropped, so every 202 the server ever returned
-//     resolves to exactly one terminal result.
+//     close the pipeline's intake channel;
+//  3. let the stages drain in order — the fingerprint stage forwards
+//     its backlog and closes the admission queue, the schedule workers
+//     finish every admitted job, and the render workers publish every
+//     terminal state — so every 202 the server ever returned resolves
+//     to exactly one terminal result.
 //
 // Drain returns nil once the pool is idle, or ctx.Err() if the deadline
 // expires first (jobs may then still be running; the caller decides
@@ -745,15 +743,21 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
 		s.intakeMu.Lock()
-		close(s.queue)
+		close(s.fpq)
 		s.intakeMu.Unlock()
 		if s.log.Enabled(logx.LevelInfo) {
-			s.log.Info("drain started", logx.Int("queued", int64(len(s.queue))))
+			s.log.Info("drain started", logx.Int("queued", s.pipelined.Load()))
 		}
 		go func() {
+			// Stage-ordered shutdown: fpStage forwards its backlog and
+			// closes queue; the schedule workers finish and exit; closing
+			// renderq then lets the render workers publish the last
+			// terminal states before the event stream closes — the stream
+			// closes complete, after the last done/failed, never before.
+			s.fpWG.Wait()
 			s.wg.Wait()
-			// Every terminal event is published by now: the stream closes
-			// complete, after the last done/failed, never before.
+			close(s.renderq)
+			s.renderWG.Wait()
 			s.events.close()
 			close(s.drained)
 		}()
@@ -769,7 +773,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Drained reports drain completion (closed when the last worker exits).
+// Drained reports drain completion (closed when the last pipeline
+// stage exits).
 func (s *Server) Drained() <-chan struct{} { return s.drained }
 
 // job looks up a record by ID.
@@ -784,7 +789,10 @@ func (s *Server) job(id string) (*jobRecord, bool) {
 // successful jobs only); the schedule's offsets are immutable once
 // published, so rendering happens outside storeMu on a copied result —
 // but under the record's renderMu, because a concurrent PATCH mutates
-// the record's graph in place and the renderer walks it.
+// the record's graph in place and the renderer walks it. The default
+// mode (irredundant anchors) usually skips the walk entirely: the
+// render stage pre-rendered that table into preOffsets, and the string
+// snapshot stays valid even as the graph changes underneath.
 func (s *Server) view(rec *jobRecord, mode relsched.AnchorMode, withOffsets bool) JobView {
 	if withOffsets {
 		rec.renderMu.Lock()
@@ -795,6 +803,7 @@ func (s *Server) view(rec *jobRecord, mode relsched.AnchorMode, withOffsets bool
 		RequestID: rec.requestID, TraceParent: rec.traceParent}
 	res := rec.result
 	errKind := rec.errKind
+	pre := rec.preOffsets
 	s.storeMu.Unlock()
 
 	switch v.Status {
@@ -808,9 +817,13 @@ func (s *Server) view(rec *jobRecord, mode relsched.AnchorMode, withOffsets bool
 		if res.Schedule != nil {
 			v.Iterations = res.Schedule.Iterations
 			if withOffsets {
-				var b strings.Builder
-				if err := cgio.WriteOffsets(&b, res.Schedule, mode); err == nil {
-					v.Offsets = b.String()
+				if mode == relsched.IrredundantAnchors && pre != "" {
+					v.Offsets = pre
+				} else {
+					var b strings.Builder
+					if err := cgio.WriteOffsets(&b, res.Schedule, mode); err == nil {
+						v.Offsets = b.String()
+					}
 				}
 			}
 		}
@@ -898,7 +911,7 @@ func (s *Server) Status() StatusView {
 		Ready:         s.Ready(),
 		Draining:      s.draining.Load(),
 		Workers:       s.Workers(),
-		QueueDepth:    len(s.queue),
+		QueueDepth:    int(s.pipelined.Load()),
 		QueueCapacity: s.queueCap,
 		CacheCapacity: s.eng.CacheCapacity(),
 		RatePerTenant: rate,
